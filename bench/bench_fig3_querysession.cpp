@@ -1,0 +1,90 @@
+// Figure 3 reproduction: the selection dialog's *live match counts*.
+//
+// "As resource families are added to a pr-filter, the GUI determines how
+// many performance results in the database match each resource family by
+// itself and how many match the entire pr-filter." Those counts are
+// recomputed on every click, so their latency bounds GUI interactivity.
+// This benchmark measures per-family and whole-filter count latency against
+// a store of IRS executions, for each filter kind the dialog can produce.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/query_session.h"
+
+using namespace perftrack;
+
+namespace {
+
+bench::Store& sharedStore() {
+  static bench::Store s = bench::irsStore(/*executions=*/8, /*nprocs=*/16);
+  return s;
+}
+
+void BM_FamilyCount_ByName(benchmark::State& state) {
+  core::QuerySession session(*sharedStore().store);
+  const auto fam =
+      session.addFamily(core::ResourceFilter::byName("Frost", core::Expansion::Descendants));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.familyMatchCount(fam));
+  }
+}
+BENCHMARK(BM_FamilyCount_ByName);
+
+void BM_FamilyCount_ByType(benchmark::State& state) {
+  core::QuerySession session(*sharedStore().store);
+  const auto fam = session.addFamily(
+      core::ResourceFilter::byType("build/module/function", core::Expansion::None));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.familyMatchCount(fam));
+  }
+}
+BENCHMARK(BM_FamilyCount_ByType);
+
+void BM_FamilyCount_ByAttribute(benchmark::State& state) {
+  core::QuerySession session(*sharedStore().store);
+  const auto fam = session.addFamily(core::ResourceFilter::byAttributes(
+      {{"operating system", "=", "AIX"}}, "grid/machine", core::Expansion::Descendants));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.familyMatchCount(fam));
+  }
+}
+BENCHMARK(BM_FamilyCount_ByAttribute);
+
+void BM_TotalCount_TwoFamilies(benchmark::State& state) {
+  core::QuerySession session(*sharedStore().store);
+  session.addFamily(core::ResourceFilter::byName("Frost", core::Expansion::Descendants));
+  session.addFamily(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.totalMatchCount());
+  }
+}
+BENCHMARK(BM_TotalCount_TwoFamilies);
+
+void BM_FamilyEvaluation_Expansion(benchmark::State& state) {
+  // Re-evaluating a family after the user flips the N/A/D/B flag.
+  for (auto _ : state) {
+    core::QuerySession session(*sharedStore().store);
+    const auto fam =
+        session.addFamily(core::ResourceFilter::byName("Frost", core::Expansion::None));
+    session.setExpansion(fam, core::Expansion::Descendants);
+    benchmark::DoNotOptimize(session.familyMatchCount(fam));
+  }
+}
+BENCHMARK(BM_FamilyEvaluation_Expansion);
+
+void BM_SessionRun(benchmark::State& state) {
+  // Full retrieval (the "Get Data" button) for a moderate result set.
+  core::QuerySession session(*sharedStore().store);
+  session.addFamily(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  for (auto _ : state) {
+    auto table = session.run();
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_SessionRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Figure 4 reproduction: the two-step result table.
+//
+// Step one retrieves rows; step two offers *free resources* — context
+// resource types the query didn't pin down and whose names differ across
+// rows — and fills a column per chosen type. The paper argues this must be
+// on-demand because "it would not be sensible (or efficient) to show all
+// the free resources and their attributes for each result". This benchmark
+// quantifies that argument: discovering free types, adding one column, and
+// (the rejected design) adding every column up front.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/query_session.h"
+
+using namespace perftrack;
+
+namespace {
+
+bench::Store& sharedStore() {
+  static bench::Store s = bench::irsStore(/*executions=*/6, /*nprocs=*/16);
+  return s;
+}
+
+core::ResultTable makeTable() {
+  core::QuerySession session(*sharedStore().store);
+  session.addFamily(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c", core::Expansion::Descendants));
+  return session.run();
+}
+
+void BM_FreeResourceDiscovery(benchmark::State& state) {
+  auto table = makeTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.freeResourceTypes());
+  }
+}
+BENCHMARK(BM_FreeResourceDiscovery);
+
+void BM_AddSingleColumn(benchmark::State& state) {
+  for (auto _ : state) {
+    auto table = makeTable();
+    table.addColumn("execution");
+    benchmark::DoNotOptimize(table.extraColumns().size());
+  }
+}
+BENCHMARK(BM_AddSingleColumn);
+
+void BM_AddAllColumnsUpFront(benchmark::State& state) {
+  // The design the paper rejected: populate every free column eagerly.
+  for (auto _ : state) {
+    auto table = makeTable();
+    for (const std::string& type : table.freeResourceTypes()) {
+      table.addColumn(type);
+    }
+    benchmark::DoNotOptimize(table.extraColumns().size());
+  }
+}
+BENCHMARK(BM_AddAllColumnsUpFront);
+
+void BM_SortRows(benchmark::State& state) {
+  auto table = makeTable();
+  for (auto _ : state) {
+    table.sortBy("value", state.iterations() % 2 == 0);
+  }
+}
+BENCHMARK(BM_SortRows);
+
+void BM_CsvExport(benchmark::State& state) {
+  auto table = makeTable();
+  table.addColumn("execution");
+  for (auto _ : state) {
+    std::ostringstream out;
+    table.toCsv(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_CsvExport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

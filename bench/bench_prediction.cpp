@@ -1,0 +1,65 @@
+// §6 extension: performance predictions vs actual runs.
+//
+// The paper's future work plans "the incorporation of performance
+// predictions and models into PerfTrack for direct comparison to actual
+// program runs" (its §4.2 dataset came from the Ipek et al. prediction
+// study). This bench exercises our implementation of that extension:
+// predict IRS at higher process counts from an np=8 baseline with two
+// models (ideal linear, Amdahl), compare each prediction against the
+// measured run through the standard comparison operators, and report the
+// mean relative error per model.
+//
+// Expected shape: the Amdahl model tracks measurements more closely than
+// ideal linear scaling, and both models degrade as the extrapolation
+// distance (and the machine's OS-noise contribution) grows.
+#include <cmath>
+#include <cstdio>
+
+#include "analyze/predict.h"
+#include "bench_util.h"
+
+using namespace perftrack;
+
+namespace {
+
+double meanAbsRelativeError(const analyze::ComparisonReport& report) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const analyze::ComparisonRow& row : report.rows) {
+    if (row.metric.find("time") == std::string::npos) continue;  // time metrics only
+    if (row.value_b == 0.0) continue;
+    total += std::abs(row.value_a - row.value_b) / row.value_b;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace
+
+int main() {
+  util::TempDir workspace("prediction");
+  bench::Store s = bench::Store::openMemory();
+  // Measured IRS runs on Frost at 8..64 processes (same seed: same binary,
+  // same inputs — only the process count varies).
+  for (int nprocs : {8, 16, 32, 64}) {
+    const auto ptdf_path = bench::makeIrsPtdf(workspace, sim::frostConfig(), nprocs, 21);
+    ptdf::loadFile(*s.store, ptdf_path.string());
+  }
+  const std::string base = "irs-frost-np8-s21";
+
+  std::printf("prediction error vs measured IRS runs (baseline %s)\n", base.c_str());
+  std::printf("%-8s %18s %18s\n", "target", "linear model", "Amdahl(s=0.01)");
+  for (int target : {16, 32, 64}) {
+    const std::string actual = "irs-frost-np" + std::to_string(target) + "-s21";
+    const auto linear = analyze::predictionError(
+        *s.store, base, actual, target, analyze::linearScalingModel(), "linear");
+    const auto amdahl = analyze::predictionError(
+        *s.store, base, actual, target, analyze::amdahlScalingModel(0.01), "amdahl");
+    std::printf("np=%-5d %17.1f%% %17.1f%%  (%zu matched results)\n", target,
+                100.0 * meanAbsRelativeError(linear),
+                100.0 * meanAbsRelativeError(amdahl), linear.rows.size());
+  }
+  std::printf("\nexpected shape: error grows with extrapolation distance; the Amdahl "
+              "model stays at or below the linear model\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// §2.2 query-cost study + the DESIGN.md §5 closure-table ablation.
+//
+// The paper adds resource_has_ancestor/resource_has_descendant "to avoid
+// needing to traverse the resource hierarchy and follow the chain of
+// parent_id's". This benchmark measures pr-filter evaluation with
+// descendant expansion done two ways:
+//   * via the closure table (production path),
+//   * via recursive parent-chain traversal (the design the paper avoided),
+// across store sizes, plus query latency as a function of filter
+// selectivity. Expected shape: closure lookups scale with the subtree size
+// only; parent-chain traversal pays one indexed query per tree node and
+// falls behind as the hierarchy grows.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_util.h"
+#include "core/filter.h"
+
+using namespace perftrack;
+
+namespace {
+
+bench::Store& storeOfSize(int executions) {
+  static std::map<int, bench::Store> stores;
+  auto it = stores.find(executions);
+  if (it == stores.end()) {
+    it = stores.emplace(executions, bench::irsStore(executions, 16)).first;
+  }
+  return it->second;
+}
+
+/// Descendant expansion by walking children recursively (ablation arm).
+std::vector<core::ResourceId> descendantsByParentChain(core::PTDataStore& store,
+                                                       core::ResourceId root) {
+  std::vector<core::ResourceId> out;
+  std::function<void(core::ResourceId)> walk = [&](core::ResourceId id) {
+    for (const core::ResourceInfo& child : store.childrenOf(id)) {
+      out.push_back(child.id);
+      walk(child.id);
+    }
+  };
+  walk(root);
+  return out;
+}
+
+void BM_DescendantsViaClosureTable(benchmark::State& state) {
+  auto& s = storeOfSize(static_cast<int>(state.range(0)));
+  const auto root = s.store->findResource("/SingleMachineFrost/Frost").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.store->descendantsOf(root));
+  }
+}
+BENCHMARK(BM_DescendantsViaClosureTable)->Arg(2)->Arg(8);
+
+void BM_DescendantsViaParentChain(benchmark::State& state) {
+  auto& s = storeOfSize(static_cast<int>(state.range(0)));
+  const auto root = s.store->findResource("/SingleMachineFrost/Frost").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(descendantsByParentChain(*s.store, root));
+  }
+}
+BENCHMARK(BM_DescendantsViaParentChain)->Arg(2)->Arg(8);
+
+void BM_PrFilterQuery_Narrow(benchmark::State& state) {
+  // One function: high selectivity.
+  auto& s = storeOfSize(static_cast<int>(state.range(0)));
+  core::PrFilter filter;
+  filter.families.push_back(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::queryResults(*s.store, filter));
+  }
+}
+BENCHMARK(BM_PrFilterQuery_Narrow)->Arg(2)->Arg(8);
+
+void BM_PrFilterQuery_Broad(benchmark::State& state) {
+  // The whole machine subtree: low selectivity.
+  auto& s = storeOfSize(static_cast<int>(state.range(0)));
+  core::PrFilter filter;
+  filter.families.push_back(
+      core::ResourceFilter::byName("Frost", core::Expansion::Descendants));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::queryResults(*s.store, filter));
+  }
+}
+BENCHMARK(BM_PrFilterQuery_Broad)->Arg(2)->Arg(8);
+
+void BM_PrFilterQuery_Intersection(benchmark::State& state) {
+  // Two families: machine subtree AND one function.
+  auto& s = storeOfSize(static_cast<int>(state.range(0)));
+  core::PrFilter filter;
+  filter.families.push_back(
+      core::ResourceFilter::byName("Frost", core::Expansion::Descendants));
+  filter.families.push_back(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::queryResults(*s.store, filter));
+  }
+}
+BENCHMARK(BM_PrFilterQuery_Intersection)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

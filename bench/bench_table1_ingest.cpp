@@ -1,0 +1,192 @@
+// Table 1 reproduction: "Statistics for raw data, PTdf, and data store."
+//
+// The paper loads three datasets and reports, per dataset: raw files and
+// bytes per execution, resources / metrics / performance results per
+// execution, PTdf files and lines, executions loaded, and the database size
+// increase. We regenerate each dataset with the simulated machines (see
+// DESIGN.md "Substitutions") at the paper's per-execution shape, load it,
+// and print the same row layout. Executions-loaded counts are scaled down
+// (PT_TABLE1_SCALE=full restores the paper's 62/35/60) so the default run
+// finishes in well under a minute; per-execution numbers are scale-free.
+//
+// Expected shape vs the paper: SMG-UV rows dominate results/exec (~6.5x
+// IRS), SMG-BG/L executions are tiny (8 results) but numerous, and DB
+// growth ranks SMG-UV > SMG-BG/L(total) ~ IRS.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/smg_gen.h"
+#include "tools/smg_parser.h"
+#include "util/timer.h"
+
+using namespace perftrack;
+
+namespace {
+
+struct DatasetRow {
+  std::string name;
+  std::size_t files_per_exec = 0;
+  std::uint64_t raw_bytes_per_exec = 0;
+  std::int64_t resources = 0;  // per execution (first-load delta)
+  std::int64_t metrics = 0;
+  std::int64_t results_per_exec = 0;
+  std::size_t ptdf_files = 0;
+  std::size_t ptdf_lines = 0;
+  int execs_loaded = 0;
+  std::uint64_t db_growth = 0;
+  double load_seconds = 0.0;
+};
+
+void printRow(const DatasetRow& row) {
+  std::printf("%-10s %5zu %12llu %10lld %8lld %10lld %6zu /%9zu %7d %10.1f MB %8.1f s\n",
+              row.name.c_str(), row.files_per_exec,
+              static_cast<unsigned long long>(row.raw_bytes_per_exec),
+              static_cast<long long>(row.resources),
+              static_cast<long long>(row.metrics),
+              static_cast<long long>(row.results_per_exec), row.ptdf_files,
+              row.ptdf_lines, row.execs_loaded,
+              static_cast<double>(row.db_growth) / (1024.0 * 1024.0),
+              row.load_seconds);
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("PT_TABLE1_SCALE") != nullptr &&
+                    std::string(std::getenv("PT_TABLE1_SCALE")) == "full";
+  const int irs_execs = full ? 62 : 6;
+  const int uv_execs = full ? 35 : 3;
+  const int bgl_execs = full ? 60 : 12;
+
+  bench::Store s = bench::Store::openMemory();
+  util::TempDir workspace("table1");
+
+  std::printf("Table 1: statistics for raw data, PTdf, and data store\n");
+  std::printf("%-10s %5s %12s %10s %8s %10s %6s /%9s %7s %13s %10s\n", "dataset",
+              "files", "rawB/exec", "res/exec", "metrics", "results", "PTdfs", "lines",
+              "execs", "DB growth", "load");
+
+  // ---- IRS on Frost + MCR (case study 1) -----------------------------------
+  {
+    DatasetRow row;
+    row.name = "IRS";
+    const auto base_stats = s.store->stats();
+    util::Timer timer;
+    std::int64_t resources_first = 0;
+    for (int i = 0; i < irs_execs; ++i) {
+      const sim::MachineConfig machine =
+          (i % 2 == 0) ? sim::frostConfig() : sim::mcrConfig();
+      const auto dir = workspace.file("irs" + std::to_string(i));
+      sim::IrsRunSpec spec{machine, 16, "MPI", static_cast<std::uint64_t>(i + 1), ""};
+      const sim::GeneratedRun run = sim::generateIrsRun(spec, dir);
+      row.files_per_exec = run.files.size();
+      row.raw_bytes_per_exec = run.rawBytes();
+      const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+      std::ofstream out(ptdf_path);
+      ptdf::Writer writer(out);
+      tools::convertIrsRun(dir, machine, writer);
+      out.close();
+      const auto before = s.store->stats();
+      const auto load = ptdf::loadFile(*s.store, ptdf_path.string());
+      const auto after = s.store->stats();
+      if (i == 0) resources_first = after.resources - before.resources;
+      row.ptdf_files += 1;
+      row.ptdf_lines += load.lines;
+      row.results_per_exec = after.performance_results - before.performance_results;
+    }
+    const auto end_stats = s.store->stats();
+    row.resources = resources_first;
+    row.metrics = end_stats.metrics - base_stats.metrics;
+    row.execs_loaded = irs_execs;
+    row.db_growth = end_stats.size_bytes - base_stats.size_bytes;
+    row.load_seconds = timer.elapsedSeconds();
+    printRow(row);
+  }
+
+  // ---- SMG2000 on BG/L: standard output only (case study 2) -----------------
+  {
+    DatasetRow row;
+    row.name = "SMG-BG/L";
+    const auto base_stats = s.store->stats();
+    util::Timer timer;
+    std::int64_t resources_first = 0;
+    for (int i = 0; i < bgl_execs; ++i) {
+      sim::SmgRunSpec spec;
+      spec.machine = sim::bglConfig();
+      spec.nprocs = 512;
+      spec.seed = static_cast<std::uint64_t>(i + 1);
+      const auto dir = workspace.file("bgl" + std::to_string(i));
+      const sim::GeneratedRun run = sim::generateSmgRun(spec, dir);
+      row.files_per_exec = run.files.size();
+      row.raw_bytes_per_exec = run.rawBytes();
+      const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+      std::ofstream out(ptdf_path);
+      ptdf::Writer writer(out);
+      tools::convertSmgRun(dir, spec.machine, writer);
+      out.close();
+      const auto before = s.store->stats();
+      const auto load = ptdf::loadFile(*s.store, ptdf_path.string());
+      const auto after = s.store->stats();
+      if (i == 0) resources_first = after.resources - before.resources;
+      row.ptdf_files += 1;
+      row.ptdf_lines += load.lines;
+      row.results_per_exec = after.performance_results - before.performance_results;
+    }
+    const auto end_stats = s.store->stats();
+    row.resources = resources_first;
+    row.metrics = end_stats.metrics - base_stats.metrics;
+    row.execs_loaded = bgl_execs;
+    row.db_growth = end_stats.size_bytes - base_stats.size_bytes;
+    row.load_seconds = timer.elapsedSeconds();
+    printRow(row);
+  }
+
+  // ---- SMG2000 on UV: benchmark + PMAPI + mpiP (case study 2) ---------------
+  {
+    DatasetRow row;
+    row.name = "SMG-UV";
+    const auto base_stats = s.store->stats();
+    util::Timer timer;
+    std::int64_t resources_first = 0;
+    for (int i = 0; i < uv_execs; ++i) {
+      sim::SmgRunSpec spec;
+      spec.machine = sim::uvConfig();
+      spec.nprocs = 128;
+      spec.with_mpip = true;
+      spec.with_pmapi = true;
+      spec.seed = static_cast<std::uint64_t>(i + 1);
+      const auto dir = workspace.file("uv" + std::to_string(i));
+      const sim::GeneratedRun run = sim::generateSmgRun(spec, dir);
+      row.files_per_exec = run.files.size();
+      row.raw_bytes_per_exec = run.rawBytes();
+      const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+      std::ofstream out(ptdf_path);
+      ptdf::Writer writer(out);
+      tools::convertSmgRun(dir, spec.machine, writer);
+      out.close();
+      const auto before = s.store->stats();
+      const auto load = ptdf::loadFile(*s.store, ptdf_path.string());
+      const auto after = s.store->stats();
+      if (i == 0) resources_first = after.resources - before.resources;
+      row.ptdf_files += 1;
+      row.ptdf_lines += load.lines;
+      row.results_per_exec = after.performance_results - before.performance_results;
+    }
+    const auto end_stats = s.store->stats();
+    row.resources = resources_first;
+    row.metrics = end_stats.metrics - base_stats.metrics;
+    row.execs_loaded = uv_execs;
+    row.db_growth = end_stats.size_bytes - base_stats.size_bytes;
+    row.load_seconds = timer.elapsedSeconds();
+    printRow(row);
+  }
+
+  std::printf("\npaper values (per exec): IRS 6 files/61KB/280 res/25 metrics/1514 "
+              "results; SMG-UV 2/191KB/5657/259/9777; SMG-BG/L 1/1KB/522/8/8\n");
+  std::printf("set PT_TABLE1_SCALE=full for the paper's 62/35/60 execution counts\n");
+  return 0;
+}

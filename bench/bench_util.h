@@ -1,0 +1,74 @@
+// Shared helpers for the PerfTrack benchmark harness.
+//
+// Each bench_* binary regenerates one table or figure of the paper (see
+// DESIGN.md §4). Helpers here build populated stores of a given scale so
+// google-benchmark loops and report-style mains share one code path.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/datastore.h"
+#include "dbal/connection.h"
+#include "ptdf/ptdf.h"
+#include "sim/irs_gen.h"
+#include "tools/irs_parser.h"
+#include "util/tempdir.h"
+
+namespace perftrack::bench {
+
+/// A store plus the connection that owns it.
+struct Store {
+  std::unique_ptr<dbal::Connection> conn;
+  std::unique_ptr<core::PTDataStore> store;
+
+  static Store openMemory() {
+    Store s;
+    s.conn = dbal::Connection::open(":memory:");
+    s.store = std::make_unique<core::PTDataStore>(*s.conn);
+    s.store->initialize();
+    return s;
+  }
+};
+
+/// Generates one IRS run, converts it to PTdf on disk, and returns the file.
+inline std::filesystem::path makeIrsPtdf(const util::TempDir& workspace,
+                                         const sim::MachineConfig& machine, int nprocs,
+                                         std::uint64_t seed) {
+  const auto run_dir =
+      workspace.file("irs-" + std::to_string(nprocs) + "-" + std::to_string(seed));
+  sim::IrsRunSpec spec{machine, nprocs, "MPI", seed, ""};
+  const sim::GeneratedRun run = sim::generateIrsRun(spec, run_dir);
+  const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+  std::ofstream out(ptdf_path);
+  ptdf::Writer writer(out);
+  tools::convertIrsRun(run_dir, machine, writer);
+  return ptdf_path;
+}
+
+/// Loads `executions` IRS runs into a fresh store; returns it. The machine
+/// description (grid spine + attributes) is pre-loaded first, as in §4.1
+/// ("a full set of descriptive machine data was already in our PerfTrack
+/// system").
+inline Store irsStore(int executions, int nprocs = 16) {
+  util::TempDir workspace("bench-irs");
+  Store s = Store::openMemory();
+  {
+    const auto machines_ptdf = workspace.file("machines.ptdf");
+    std::ofstream out(machines_ptdf);
+    ptdf::Writer writer(out);
+    sim::emitMachinePtdf(writer, sim::frostConfig(), /*max_nodes=*/8);
+    out.close();
+    ptdf::loadFile(*s.store, machines_ptdf.string());
+  }
+  for (int i = 0; i < executions; ++i) {
+    const auto ptdf_path = makeIrsPtdf(workspace, sim::frostConfig(), nprocs,
+                                       static_cast<std::uint64_t>(i + 1));
+    ptdf::loadFile(*s.store, ptdf_path.string());
+  }
+  return s;
+}
+
+}  // namespace perftrack::bench

@@ -1,0 +1,92 @@
+// Case study 2 (paper §4.2): the SMG2000 noise-analysis data set.
+//
+// Loads SMG2000 runs from two very different platforms — BG/L (whose
+// compute-node kernel is nearly noise-free and whose benchmark output is
+// just eight whole-execution values) and UV (AIX, with mpiP profiles and
+// PMAPI hardware counters) — into one store, then compares them. The mpiP
+// data exercises multi-resource-set results (caller + callee contexts).
+#include <fstream>
+#include <iostream>
+
+#include "analyze/compare.h"
+#include "core/query_session.h"
+#include "core/reports.h"
+#include "dbal/connection.h"
+#include "ptdf/ptdf.h"
+#include "sim/smg_gen.h"
+#include "tools/smg_parser.h"
+#include "util/tempdir.h"
+
+using namespace perftrack;
+
+int main() {
+  util::TempDir workspace("noise-study");
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+
+  std::vector<std::string> bgl_execs;
+  std::vector<std::string> uv_execs;
+
+  // --- BG/L: standard benchmark output only, many runs -----------------------
+  for (int seed = 1; seed <= 6; ++seed) {
+    sim::SmgRunSpec spec;
+    spec.machine = sim::bglConfig();
+    spec.nprocs = 128;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    const auto dir = workspace.file("bgl-run" + std::to_string(seed));
+    const sim::GeneratedRun run = sim::generateSmgRun(spec, dir);
+    bgl_execs.push_back(run.exec_name);
+    const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+    std::ofstream out(ptdf_path);
+    ptdf::Writer writer(out);
+    tools::convertSmgRun(dir, spec.machine, writer);
+    out.close();
+    const auto stats = ptdf::loadFile(store, ptdf_path.string());
+    std::cout << "BG/L " << run.exec_name << ": " << stats.perf_results
+              << " results from " << stats.lines << " PTdf lines\n";
+  }
+
+  // --- UV: benchmark + PMAPI counters + mpiP profile --------------------------
+  for (int seed = 1; seed <= 2; ++seed) {
+    sim::SmgRunSpec spec;
+    spec.machine = sim::uvConfig();
+    spec.nprocs = 64;
+    spec.with_mpip = true;
+    spec.with_pmapi = true;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    const auto dir = workspace.file("uv-run" + std::to_string(seed));
+    const sim::GeneratedRun run = sim::generateSmgRun(spec, dir);
+    uv_execs.push_back(run.exec_name);
+    const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+    std::ofstream out(ptdf_path);
+    ptdf::Writer writer(out);
+    tools::convertSmgRun(dir, spec.machine, writer);
+    out.close();
+    const auto stats = ptdf::loadFile(store, ptdf_path.string());
+    std::cout << "UV   " << run.exec_name << ": " << stats.perf_results
+              << " results from " << stats.lines << " PTdf lines (raw "
+              << run.rawBytes() << " bytes)\n";
+  }
+  std::cout << "\n" << core::metricReport(store) << "\n";
+
+  // --- the three data kinds live in one store, queryable together -------------
+  core::QuerySession session(store);
+  session.addFamily(core::ResourceFilter::byName("/" + uv_execs[0],
+                                                 core::Expansion::Descendants));
+  std::cout << "all results of " << uv_execs[0] << ": " << session.totalMatchCount()
+            << "\n";
+
+  // mpiP caller/callee: results whose context includes an MPI operation.
+  core::QuerySession mpi_session(store);
+  mpi_session.addFamily(
+      core::ResourceFilter::byName("/libmpi", core::Expansion::Descendants));
+  std::cout << "results tied to MPI operations (callee contexts): "
+            << mpi_session.totalMatchCount() << "\n\n";
+
+  // --- cross-platform comparison (the §6 comparison operators) ----------------
+  const auto report = analyze::compareExecutions(store, bgl_execs[0], bgl_execs[1]);
+  std::cout << report.toText(8) << "\n";
+  std::cout << core::storeReport(store);
+  return 0;
+}

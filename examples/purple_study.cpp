@@ -1,0 +1,102 @@
+// Case study 1 (paper §4.1): an ASC Purple benchmark study.
+//
+// "The goal of this study was to demonstrate our ability to collect, store,
+// and navigate a full set of performance data from high end systems." IRS
+// runs on MCR (Linux) and Frost (AIX) at several process counts are
+// generated, converted to PTdf, loaded, and then navigated: a cross-platform
+// query, the free-resource workflow, a CSV export for the spreadsheet step,
+// and the Figure-5 load-balance chart.
+#include <fstream>
+#include <iostream>
+
+#include "analyze/loadbalance.h"
+#include "analyze/scaling.h"
+#include "core/query_session.h"
+#include "core/reports.h"
+#include "dbal/connection.h"
+#include "ptdf/ptdf.h"
+#include "sim/irs_gen.h"
+#include "tools/irs_parser.h"
+#include "util/tempdir.h"
+
+using namespace perftrack;
+
+int main() {
+  util::TempDir workspace("purple-study");
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+
+  // --- machine descriptions pre-loaded, as in the paper -----------------------
+  {
+    const auto machines_ptdf = workspace.file("machines.ptdf");
+    std::ofstream out(machines_ptdf);
+    ptdf::Writer writer(out);
+    sim::emitMachinePtdf(writer, sim::frostConfig(), /*max_nodes=*/4);
+    sim::emitMachinePtdf(writer, sim::mcrConfig(), /*max_nodes=*/32);
+    out.close();
+    ptdf::loadFile(store, machines_ptdf.string());
+  }
+
+  // --- run IRS on both platforms at several process counts -------------------
+  std::vector<std::string> execs;
+  int seed = 1;
+  for (const sim::MachineConfig& machine : {sim::frostConfig(), sim::mcrConfig()}) {
+    for (int nprocs : {8, 16, 32, 64}) {
+      const auto run_dir = workspace.file("run" + std::to_string(seed));
+      sim::IrsRunSpec spec{machine, nprocs, "MPI", static_cast<std::uint64_t>(seed), ""};
+      const sim::GeneratedRun run = sim::generateIrsRun(spec, run_dir);
+      execs.push_back(run.exec_name);
+
+      // PTbuild/PTrun + benchmark output -> PTdf -> data store.
+      const auto ptdf_path = workspace.file(run.exec_name + ".ptdf");
+      std::ofstream out(ptdf_path);
+      ptdf::Writer writer(out);
+      const std::size_t results = tools::convertIrsRun(run_dir, machine, writer);
+      out.close();
+      const auto stats = ptdf::loadFile(store, ptdf_path.string());
+      std::cout << "loaded " << run.exec_name << ": " << stats.perf_results
+                << " results (" << results << " converted)\n";
+      ++seed;
+    }
+  }
+  std::cout << "\n" << core::executionReport(store) << "\n";
+
+  // --- navigate: AIX-only total wall time across runs -------------------------
+  core::QuerySession session(store);
+  session.addFamily(core::ResourceFilter::byAttributes(
+      {{"operating system", "=", "AIX"}}, "grid/machine", core::Expansion::Descendants));
+  std::cout << "results on AIX machines: " << session.totalMatchCount() << "\n";
+  session.addFamily(core::ResourceFilter::byType("execution"));
+  std::cout << "... that are whole-execution level: " << session.totalMatchCount()
+            << "\n\n";
+  core::ResultTable table = session.run();
+  table.filterRows("metric", "=", "total wall time");
+  table.addColumn("execution");
+  table.sortBy("value", /*descending=*/true);
+  std::cout << table.toText() << "\n";
+
+  // --- export for the spreadsheet step (paper: OpenOffice import) ------------
+  const auto csv_path = workspace.file("aix_totals.csv");
+  {
+    std::ofstream csv(csv_path);
+    table.toCsv(csv);
+  }
+  std::cout << "exported " << table.size() << " rows to CSV\n\n";
+
+  // --- Figure 5: min/max of one function across processors vs process count --
+  const auto points = analyze::loadBalanceStudy(
+      store, "/IRS-1.4/irscg.c/cgsolve", "wall time");
+  std::cout << analyze::loadBalanceChart(points, "cgsolve load balance (Frost+MCR)",
+                                         "seconds")
+                   .render()
+            << "\n";
+
+  // --- scaling summary across the whole study ---------------------------------
+  std::cout << analyze::scalingTable(
+                   analyze::scalingStudy(store, "IRS", "total wall time"),
+                   "IRS total wall time scaling (both platforms)")
+            << "\n";
+  std::cout << core::storeReport(store);
+  return 0;
+}

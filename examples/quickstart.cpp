@@ -1,0 +1,84 @@
+// Quickstart: the PerfTrack public API in one sitting.
+//
+// Creates an in-memory data store, extends the resource type system, defines
+// resources with attributes, records performance results, and runs a
+// GUI-style query session with live match counts, free-resource columns,
+// and a bar chart — the complete §2/§3 model on a toy dataset.
+#include <iostream>
+
+#include "analyze/barchart.h"
+#include "core/query_session.h"
+#include "core/reports.h"
+#include "dbal/connection.h"
+
+using namespace perftrack;
+
+int main() {
+  // 1. Open a store and initialize it (schema + Figure-2 base types).
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+
+  // 2. The type system is extensible (paper §2.1): subdivide time intervals.
+  store.addResourceType("time/interval/phase");
+
+  // 3. Describe a machine: a hierarchy of grid resources with attributes.
+  store.addResource("/GridDemo/Ash/batch/ash0/p0",
+                    "grid/machine/partition/node/processor");
+  store.addResource("/GridDemo/Ash/batch/ash0/p1",
+                    "grid/machine/partition/node/processor");
+  store.addResourceAttribute("/GridDemo/Ash", "operating system", "Linux");
+  store.addResourceAttribute("/GridDemo/Ash/batch/ash0/p0", "clock MHz", "2400");
+
+  // 4. Record two executions of an application with per-function timings.
+  for (int run = 0; run < 2; ++run) {
+    const std::string exec = "demo-np" + std::to_string(2 << run);
+    store.addExecution(exec, "demoapp");
+    store.addResource("/" + exec, "execution");
+    store.addResourceAttribute("/" + exec, "nprocs", std::to_string(2 << run));
+    store.addResource("/demoapp-build/main.c/solve", "build/module/function");
+    const double t = 10.0 / (run + 1);
+    store.addPerformanceResult(
+        exec, {{{"/demoapp-build/main.c/solve", "/" + exec}, core::FocusType::Primary}},
+        "demo-timer", "wall time (max)", t * 1.2, "seconds");
+    store.addPerformanceResult(
+        exec, {{{"/demoapp-build/main.c/solve", "/" + exec}, core::FocusType::Primary}},
+        "demo-timer", "wall time (min)", t, "seconds");
+  }
+
+  // 5. Query it the way the GUI does: build a pr-filter family by family,
+  //    watching the live match counts.
+  core::QuerySession session(store);
+  const auto family =
+      session.addFamily(core::ResourceFilter::byName("solve", core::Expansion::None));
+  std::cout << "family 'solve' alone matches " << session.familyMatchCount(family)
+            << " results\n";
+  std::cout << "full pr-filter matches " << session.totalMatchCount() << " results\n\n";
+
+  // 6. Retrieve, then add free-resource columns in a second step (Fig. 4).
+  core::ResultTable table = session.run();
+  for (const std::string& type : table.freeResourceTypes()) table.addColumn(type);
+  table.sortBy("value");
+  std::cout << table.toText() << "\n";
+
+  // 7. Plot min/max per execution (Fig. 5 style).
+  analyze::BarChart chart;
+  chart.title = "solve wall time by run";
+  chart.value_units = "seconds";
+  analyze::ChartSeries min_s{"min", {}};
+  analyze::ChartSeries max_s{"max", {}};
+  for (const auto& row : table.rows()) {
+    if (row.metric == "wall time (min)") {
+      chart.categories.push_back(row.execution);
+      min_s.values.push_back(row.value);
+    } else {
+      max_s.values.push_back(row.value);
+    }
+  }
+  chart.series = {min_s, max_s};
+  std::cout << chart.render() << "\n";
+
+  // 8. Store-level reports.
+  std::cout << core::storeReport(store);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The data-sharing workflow the paper's introduction motivates:
+// "performance data sharing between different performance studies or
+// scientists is currently done manually or not done at all ... The
+// granularity of exchange is often entire data sets, even if only a small
+// subset of the transferred data is actually needed."
+//
+// Scientist A runs an IRS scaling study on Frost and keeps a local store.
+// Scientist B asks for just one execution; A exports it as PTdf (the
+// fine-grained exchange unit), B merges it into an existing store that
+// already holds unrelated data, runs a scaling analysis, predicts the next
+// process count, and later retires the borrowed execution with
+// deleteExecution + VACUUM.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analyze/predict.h"
+#include "analyze/scaling.h"
+#include "core/reports.h"
+#include "dbal/connection.h"
+#include "ptdf/export.h"
+#include "sim/irs_gen.h"
+#include "tools/irs_parser.h"
+#include "util/tempdir.h"
+
+using namespace perftrack;
+
+int main() {
+  util::TempDir workspace("sharing");
+
+  // --- scientist A: a full IRS scaling study in a private store --------------
+  auto conn_a = dbal::Connection::open(":memory:");
+  core::PTDataStore store_a(*conn_a);
+  store_a.initialize();
+  for (int nprocs : {8, 16, 32, 64}) {
+    const auto dir = workspace.file("a-np" + std::to_string(nprocs));
+    sim::generateIrsRun({sim::frostConfig(), nprocs, "MPI", 11, ""}, dir);
+    std::ostringstream out;
+    ptdf::Writer writer(out);
+    tools::convertIrsRun(dir, sim::frostConfig(), writer);
+    std::istringstream in(out.str());
+    ptdf::load(store_a, in);
+  }
+  std::cout << "scientist A's store:\n" << core::storeReport(store_a) << "\n";
+  std::cout << analyze::scalingTable(
+                   analyze::scalingStudy(store_a, "IRS", "total wall time"),
+                   "IRS scaling on Frost (store A)")
+            << "\n";
+
+  // --- export ONE execution, not the whole data set ---------------------------
+  const std::string shared_exec = "irs-frost-np32-s11";
+  const auto share_file = workspace.file("share.ptdf");
+  {
+    std::ofstream out(share_file);
+    ptdf::Writer writer(out);
+    const auto stats = ptdf::exportExecution(store_a, shared_exec, writer);
+    std::cout << "exported " << shared_exec << ": " << stats.resources
+              << " resources, " << stats.perf_results << " results ("
+              << std::filesystem::file_size(share_file) << " bytes of PTdf)\n\n";
+  }
+
+  // --- scientist B: merge into a store with unrelated prior work --------------
+  auto conn_b = dbal::Connection::open(":memory:");
+  core::PTDataStore store_b(*conn_b);
+  store_b.initialize();
+  store_b.addExecution("b-own-run", "otherapp");
+  store_b.addResource("/b-own-run", "execution");
+  store_b.addPerformanceResult("b-own-run", {{{"/b-own-run"}, core::FocusType::Primary}},
+                               "tool", "total wall time", 42.0, "seconds");
+
+  ptdf::loadFile(store_b, share_file.string());
+  std::cout << "scientist B's store after the merge:\n"
+            << core::executionReport(store_b) << "\n";
+
+  // B runs two more small studies locally, then predicts np=64 from them.
+  for (int nprocs : {8, 16}) {
+    const auto dir = workspace.file("b-np" + std::to_string(nprocs));
+    sim::generateIrsRun({sim::frostConfig(), nprocs, "MPI", 11, ""}, dir);
+    std::ostringstream out;
+    ptdf::Writer writer(out);
+    tools::convertIrsRun(dir, sim::frostConfig(), writer);
+    std::istringstream in(out.str());
+    ptdf::load(store_b, in);
+  }
+  const auto report = analyze::predictionError(
+      store_b, "irs-frost-np8-s11", shared_exec, 32,
+      analyze::amdahlScalingModel(0.01), "amdahl");
+  std::cout << "prediction for np=32 vs A's measured run:\n"
+            << report.toText(5) << "\n";
+
+  // --- retire the borrowed execution when the study ends ----------------------
+  store_b.deleteExecution(shared_exec);
+  conn_b->database().vacuum();
+  store_b.clearCache();
+  std::cout << "after deleteExecution + VACUUM:\n" << core::executionReport(store_b);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "analyze/barchart.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::analyze {
+
+std::string BarChart::render(std::size_t width) const {
+  for (const ChartSeries& s : series) {
+    if (s.values.size() != categories.size()) {
+      throw util::ModelError("BarChart: series '" + s.label + "' has " +
+                             std::to_string(s.values.size()) + " values for " +
+                             std::to_string(categories.size()) + " categories");
+    }
+  }
+  double max_value = 0.0;
+  for (const ChartSeries& s : series) {
+    for (double v : s.values) max_value = std::max(max_value, v);
+  }
+  std::size_t label_width = 0;
+  for (const std::string& c : categories) label_width = std::max(label_width, c.size());
+  std::size_t series_width = 0;
+  for (const ChartSeries& s : series) series_width = std::max(series_width, s.label.size());
+
+  std::ostringstream out;
+  out << title;
+  if (!value_units.empty()) out << " (" << value_units << ")";
+  out << "\n";
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double v = series[s].values[c];
+      const std::size_t bar =
+          max_value > 0.0
+              ? static_cast<std::size_t>(v / max_value * static_cast<double>(width) + 0.5)
+              : 0;
+      out << "  " << categories[c]
+          << std::string(label_width - categories[c].size(), ' ') << "  "
+          << series[s].label << std::string(series_width - series[s].label.size(), ' ')
+          << " |" << std::string(bar, '#') << " " << util::formatReal(v) << "\n";
+    }
+    if (series.size() > 1 && c + 1 < categories.size()) out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace perftrack::analyze

@@ -1,0 +1,31 @@
+// PerfTrack analysis: ASCII bar charts.
+//
+// The paper's GUI plots selected data as bar charts with multiple series
+// (Figure 5: min and max running time of a function across processors, for
+// several process counts). We render the same chart to text so it works in
+// examples, benchmarks, and the CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perftrack::analyze {
+
+/// One series of values (one bar group color in the GUI chart).
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;  // one per category
+};
+
+struct BarChart {
+  std::string title;
+  std::string value_units;
+  std::vector<std::string> categories;  // x-axis groups, e.g. process counts
+  std::vector<ChartSeries> series;
+
+  /// Renders the chart: one row per (category, series) bar, scaled to
+  /// `width` characters, with value labels.
+  std::string render(std::size_t width = 60) const;
+};
+
+}  // namespace perftrack::analyze

@@ -1,0 +1,110 @@
+#include "analyze/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace perftrack::analyze {
+
+std::optional<double> ComparisonRow::ratio() const {
+  if (value_a == 0.0) return std::nullopt;
+  return value_b / value_a;
+}
+
+std::string comparableContext(core::PTDataStore& store,
+                              const core::PerfResultRecord& record) {
+  std::set<std::string> names;
+  for (const auto& context : record.contexts) {
+    for (core::ResourceId id : context) {
+      std::string full = store.resourceInfo(id).full_name;
+      // Canonicalize the leading segment when it embeds the execution name
+      // (e.g. /irs-frost-np8-s1/p0, /build-irs-frost-np8-s1, /env-...).
+      const auto slash = full.find('/', 1);
+      const std::string head =
+          slash == std::string::npos ? full.substr(1) : full.substr(1, slash - 1);
+      if (head.find(record.execution) != std::string::npos) {
+        const std::string tail = slash == std::string::npos ? "" : full.substr(slash);
+        // Keep any collector prefix ("build-", "env-") so different
+        // hierarchies stay distinct after canonicalization.
+        std::string prefix = head;
+        const auto pos = prefix.find(record.execution);
+        prefix.replace(pos, record.execution.size(), "$EXEC");
+        full = "/" + prefix + tail;
+      }
+      names.insert(std::move(full));
+    }
+  }
+  return util::join({names.begin(), names.end()}, "|");
+}
+
+ComparisonReport compareExecutions(core::PTDataStore& store, const std::string& exec_a,
+                                   const std::string& exec_b) {
+  ComparisonReport report;
+  report.execution_a = exec_a;
+  report.execution_b = exec_b;
+
+  // (metric, comparable context) -> value. Duplicate keys (several samples
+  // of one metric in one context) keep the first; a production tool would
+  // aggregate, which ComparisonRow consumers can do upstream if needed.
+  auto collect = [&](const std::string& exec) {
+    std::map<std::pair<std::string, std::string>, double> out;
+    for (std::int64_t id : store.resultsForExecution(exec)) {
+      const core::PerfResultRecord rec = store.getResult(id);
+      out.try_emplace({rec.metric, comparableContext(store, rec)}, rec.value);
+    }
+    return out;
+  };
+  const auto a = collect(exec_a);
+  const auto b = collect(exec_b);
+
+  for (const auto& [key, value_a] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) {
+      ++report.unmatched_a;
+      continue;
+    }
+    report.rows.push_back({key.first, key.second, value_a, it->second});
+  }
+  for (const auto& [key, value_b] : b) {
+    if (!a.contains(key)) ++report.unmatched_b;
+  }
+  return report;
+}
+
+std::vector<ComparisonRow> ComparisonReport::divergent(double threshold) const {
+  std::vector<ComparisonRow> out;
+  for (const ComparisonRow& row : rows) {
+    const auto r = row.ratio();
+    if (!r || std::abs(*r - 1.0) > threshold) out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const ComparisonRow& x, const ComparisonRow& y) {
+    return std::abs(x.difference()) > std::abs(y.difference());
+  });
+  return out;
+}
+
+std::string ComparisonReport::toText(std::size_t max_rows) const {
+  std::ostringstream out;
+  out << "comparison: " << execution_a << " vs " << execution_b << "\n"
+      << "  matched results:   " << rows.size() << "\n"
+      << "  unmatched (A only): " << unmatched_a << "\n"
+      << "  unmatched (B only): " << unmatched_b << "\n";
+  const auto top = divergent(0.0);
+  out << "  largest changes:\n";
+  for (std::size_t i = 0; i < top.size() && i < max_rows; ++i) {
+    const ComparisonRow& row = top[i];
+    out << "    " << row.metric << "  " << util::formatReal(row.value_a) << " -> "
+        << util::formatReal(row.value_b);
+    if (const auto r = row.ratio()) {
+      out << "  (x" << util::formatReal(*r) << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace perftrack::analyze

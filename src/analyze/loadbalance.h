@@ -1,0 +1,42 @@
+// PerfTrack analysis: load-balance study (paper Figure 5).
+//
+// Figure 5 plots "the minimum and maximum running time of a function across
+// all the processors for different process counts, which is a rough
+// indication of load balance". This module runs that query against a data
+// store — select the (max) and (min) statistics of one function's metric
+// across the executions of an application — and renders the Figure-5 chart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/barchart.h"
+#include "core/datastore.h"
+
+namespace perftrack::analyze {
+
+/// One per-execution min/max pair.
+struct LoadBalancePoint {
+  std::string execution;
+  int nprocs = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  /// max/min; a perfectly balanced function scores 1.
+  double imbalance() const { return min_value > 0.0 ? max_value / min_value : 0.0; }
+};
+
+/// Gathers min/max of `metric_base` (expects "<metric_base> (max)" and
+/// "... (min)" metrics, as the IRS converter writes) for results whose
+/// context includes `function_resource`, one point per execution. Points
+/// are sorted by process count (taken from the execution root's "nprocs"
+/// attribute).
+std::vector<LoadBalancePoint> loadBalanceStudy(core::PTDataStore& store,
+                                               const std::string& function_resource,
+                                               const std::string& metric_base);
+
+/// Builds the Figure-5 chart (categories = process counts; series = min, max).
+BarChart loadBalanceChart(const std::vector<LoadBalancePoint>& points,
+                          const std::string& title, const std::string& units);
+
+}  // namespace perftrack::analyze

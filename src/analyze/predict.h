@@ -1,0 +1,53 @@
+// PerfTrack analysis: performance predictions in the data store (§6).
+//
+// The paper's future work includes "the incorporation of performance
+// predictions and models into PerfTrack for direct comparison to actual
+// program runs" (the §4.2 dataset itself came from a prediction study). We
+// implement that extension: a prediction model takes one measured execution
+// as its baseline and materializes a *predicted execution* in the store —
+// a first-class execution whose results come from tool "PerfTrack-model" —
+// so every existing facility (pr-filters, the query session, the comparison
+// operators) works on predictions unchanged.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analyze/compare.h"
+#include "core/datastore.h"
+
+namespace perftrack::analyze {
+
+/// A scaling model maps (baseline value, baseline nprocs, target nprocs) to
+/// a predicted value, given the metric name (so time-like metrics can scale
+/// down with p while counters stay fixed).
+using ScalingModel = std::function<double(const std::string& metric, double value,
+                                          int base_nprocs, int target_nprocs)>;
+
+/// Ideal linear scaling: time metrics shrink by p_base/p_target; everything
+/// else (counts, rates aggregated over all processes) is left unchanged.
+ScalingModel linearScalingModel();
+
+/// Amdahl scaling with the given serial fraction.
+ScalingModel amdahlScalingModel(double serial_fraction);
+
+/// Materializes a predicted execution from `base_exec` at `target_nprocs`.
+/// The new execution is named "<base_exec>-pred[-<label>]-np<target>" (pass
+/// a distinct label per model when predicting with several models), carries
+/// an "nprocs" attribute and a "predicted from" attribute on its root
+/// resource, and one result per baseline result (same metric, same
+/// shareable context resources, with the baseline's per-execution resources
+/// re-rooted under the predicted execution). Returns the new execution
+/// name; predicting into an existing execution name throws.
+std::string predictExecution(core::PTDataStore& store, const std::string& base_exec,
+                             int target_nprocs, const ScalingModel& model,
+                             const std::string& label = "");
+
+/// Convenience: predict from `base_exec` and compare against the measured
+/// `actual_exec` (which ran at the predicted process count).
+ComparisonReport predictionError(core::PTDataStore& store, const std::string& base_exec,
+                                 const std::string& actual_exec, int target_nprocs,
+                                 const ScalingModel& model,
+                                 const std::string& label = "");
+
+}  // namespace perftrack::analyze

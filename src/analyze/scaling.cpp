@@ -1,0 +1,82 @@
+#include "analyze/scaling.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace perftrack::analyze {
+
+std::vector<ScalingPoint> scalingStudy(core::PTDataStore& store,
+                                       const std::string& application,
+                                       const std::string& metric) {
+  dbal::Connection& conn = store.connection();
+  const auto rs = conn.exec(
+      "SELECT e.name, pr.value FROM performance_result pr "
+      "JOIN execution e ON pr.execution_id = e.id "
+      "JOIN application a ON e.application_id = a.id "
+      "JOIN metric m ON pr.metric_id = m.id "
+      "WHERE a.name = " + util::sqlQuote(application) +
+      " AND m.name = " + util::sqlQuote(metric) + " ORDER BY e.name");
+  std::vector<ScalingPoint> points;
+  for (const auto& row : rs.rows) {
+    ScalingPoint point;
+    point.execution = row[0].asText();
+    point.seconds = row[1].asReal();
+    const auto root = store.findResource("/" + point.execution);
+    if (!root) continue;
+    for (const auto& attr : store.attributesOf(*root)) {
+      if (attr.name == "nprocs") {
+        point.nprocs = static_cast<int>(util::parseInt(attr.value).value_or(0));
+      }
+    }
+    if (point.nprocs > 0 && point.seconds > 0.0) points.push_back(std::move(point));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ScalingPoint& a, const ScalingPoint& b) {
+              return a.nprocs < b.nprocs;
+            });
+  if (points.empty()) return points;
+  const double base_time = points.front().seconds;
+  const double base_procs = points.front().nprocs;
+  for (ScalingPoint& point : points) {
+    point.speedup = base_time / point.seconds;
+    point.efficiency = point.speedup * base_procs / static_cast<double>(point.nprocs);
+  }
+  return points;
+}
+
+std::string scalingTable(const std::vector<ScalingPoint>& points,
+                         const std::string& title) {
+  std::ostringstream out;
+  out << title << "\n";
+  out << "  np      time(s)   speedup   efficiency\n";
+  for (const ScalingPoint& point : points) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-6d %9s %9.2f %11.1f%%\n", point.nprocs,
+                  util::formatReal(point.seconds).c_str(), point.speedup,
+                  point.efficiency * 100.0);
+    out << line;
+  }
+  return out.str();
+}
+
+BarChart scalingChart(const std::vector<ScalingPoint>& points,
+                      const std::string& title) {
+  BarChart chart;
+  chart.title = title;
+  chart.value_units = "seconds";
+  ChartSeries measured{"measured", {}};
+  ChartSeries ideal{"ideal", {}};
+  const double base_area =
+      points.empty() ? 0.0 : points.front().seconds * points.front().nprocs;
+  for (const ScalingPoint& point : points) {
+    chart.categories.push_back("np=" + std::to_string(point.nprocs));
+    measured.values.push_back(point.seconds);
+    ideal.values.push_back(base_area / static_cast<double>(point.nprocs));
+  }
+  chart.series = {std::move(measured), std::move(ideal)};
+  return chart;
+}
+
+}  // namespace perftrack::analyze

@@ -1,0 +1,43 @@
+// PerfTrack analysis: scaling studies (speedup and parallel efficiency).
+//
+// The §4.2 dataset is "a parameter study"; the natural cross-execution view
+// over such data is the classic scaling table: pick one whole-execution
+// metric of one application, order the executions by process count, and
+// derive speedup S(p) = t(p0)/t(p) and efficiency E(p) = S(p) * p0/p
+// relative to the smallest run. Built on the same pr-filter machinery as
+// everything else, so it works on any loaded dataset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/barchart.h"
+#include "core/datastore.h"
+
+namespace perftrack::analyze {
+
+struct ScalingPoint {
+  std::string execution;
+  int nprocs = 0;
+  double seconds = 0.0;
+  double speedup = 0.0;     // relative to the smallest-p execution
+  double efficiency = 0.0;  // speedup scaled by the process-count ratio
+};
+
+/// Collects `metric` (a whole-execution time metric, e.g. "total wall time")
+/// for every execution of `application`, sorted by the execution root's
+/// "nprocs" attribute. Executions without the metric or the attribute are
+/// skipped. Returns an empty vector when fewer than one usable execution
+/// exists.
+std::vector<ScalingPoint> scalingStudy(core::PTDataStore& store,
+                                       const std::string& application,
+                                       const std::string& metric);
+
+/// Renders the study as a text table (np, time, speedup, efficiency).
+std::string scalingTable(const std::vector<ScalingPoint>& points,
+                         const std::string& title);
+
+/// Chart of measured time vs ideal scaling from the first point.
+BarChart scalingChart(const std::vector<ScalingPoint>& points, const std::string& title);
+
+}  // namespace perftrack::analyze

@@ -1,0 +1,185 @@
+#include "analyze/session_shell.h"
+
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "analyze/barchart.h"
+#include "core/query_session.h"
+#include "core/reports.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::analyze {
+
+using util::ModelError;
+
+namespace {
+
+core::Expansion expansionFromSuffix(std::string& spec, core::Expansion fallback) {
+  if (spec.size() > 2 && spec[spec.size() - 2] == ':') {
+    const char c = spec.back();
+    if (c == 'N' || c == 'A' || c == 'D' || c == 'B') {
+      spec.resize(spec.size() - 2);
+      switch (c) {
+        case 'N': return core::Expansion::None;
+        case 'A': return core::Expansion::Ancestors;
+        case 'B': return core::Expansion::Both;
+        default: return core::Expansion::Descendants;
+      }
+    }
+  }
+  return fallback;
+}
+
+core::Expansion expansionFromLetter(const std::string& letter) {
+  if (letter == "N") return core::Expansion::None;
+  if (letter == "A") return core::Expansion::Ancestors;
+  if (letter == "D") return core::Expansion::Descendants;
+  if (letter == "B") return core::Expansion::Both;
+  throw ModelError("expected one of N|A|D|B, got '" + letter + "'");
+}
+
+}  // namespace
+
+core::ResourceFilter parseFamilySpec(const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) {
+    throw ModelError("bad family spec '" + arg + "' (want kind=value)");
+  }
+  const std::string kind = arg.substr(0, eq);
+  std::string spec = arg.substr(eq + 1);
+  if (kind == "type") {
+    return core::ResourceFilter::byType(
+        spec, expansionFromSuffix(spec, core::Expansion::None));
+  }
+  if (kind == "name") {
+    // The GUI default for named resources is Descendants (§3.2).
+    return core::ResourceFilter::byName(
+        spec, expansionFromSuffix(spec, core::Expansion::Descendants));
+  }
+  if (kind == "attr") {
+    const core::Expansion expand = expansionFromSuffix(spec, core::Expansion::None);
+    static constexpr const char* kOps[] = {"!=", "<=", ">=", "=", "<", ">"};
+    for (const char* op : kOps) {
+      const auto pos = spec.find(op);
+      if (pos != std::string::npos && pos > 0) {
+        return core::ResourceFilter::byAttributes(
+            {{spec.substr(0, pos), op, spec.substr(pos + std::string_view(op).size())}},
+            "", expand);
+      }
+    }
+    throw ModelError("attr family needs <name><op><value>: '" + spec + "'");
+  }
+  throw ModelError("unknown family kind '" + kind + "'");
+}
+
+std::size_t runSessionScript(core::PTDataStore& store, std::istream& in,
+                             std::ostream& out) {
+  core::QuerySession session(store);
+  std::optional<core::ResultTable> table;
+  std::size_t failures = 0;
+  std::string line;
+
+  auto needTable = [&]() -> core::ResultTable& {
+    if (!table) throw ModelError("no current table; use 'run' first");
+    return *table;
+  };
+
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto words = util::splitWhitespace(trimmed);
+    const std::string& cmd = words[0];
+    try {
+      if (cmd == "types") {
+        for (const std::string& type : session.resourceTypes()) out << type << "\n";
+      } else if (cmd == "top" && words.size() == 2) {
+        for (const auto& info : session.topLevelResources(words[1])) {
+          out << info.full_name << " [" << info.type_path << "]\n";
+        }
+      } else if (cmd == "children" && words.size() == 2) {
+        const auto id = store.findResource(words[1]);
+        if (!id) throw ModelError("no resource named " + words[1]);
+        for (const auto& child : session.childrenOf(*id)) {
+          out << child.full_name << " [" << child.type_path << "]\n";
+        }
+      } else if (cmd == "attrs" && words.size() == 2) {
+        const auto id = store.findResource(words[1]);
+        if (!id) throw ModelError("no resource named " + words[1]);
+        for (const auto& attr : session.attributesOf(*id)) {
+          out << attr.name << " = " << attr.value << " (" << attr.attr_type << ")\n";
+        }
+      } else if (cmd == "family" && words.size() == 2) {
+        const auto index = session.addFamily(parseFamilySpec(words[1]));
+        out << "family " << index << ": "
+            << session.families()[index].describe() << "\n";
+      } else if (cmd == "expand" && words.size() == 3) {
+        const auto index = util::parseInt(words[1]);
+        if (!index || *index < 0) throw ModelError("bad family index");
+        session.setExpansion(static_cast<std::size_t>(*index),
+                             expansionFromLetter(words[2]));
+        out << "ok\n";
+      } else if (cmd == "remove" && words.size() == 2) {
+        const auto index = util::parseInt(words[1]);
+        if (!index || *index < 0) throw ModelError("bad family index");
+        session.removeFamily(static_cast<std::size_t>(*index));
+        out << "ok\n";
+      } else if (cmd == "counts") {
+        for (std::size_t i = 0; i < session.families().size(); ++i) {
+          out << "family " << i << " (" << session.families()[i].describe()
+              << "): " << session.familyMatchCount(i) << "\n";
+        }
+        out << "total: " << session.totalMatchCount() << "\n";
+      } else if (cmd == "run") {
+        table = session.run();
+        out << "retrieved " << table->size() << " results\n";
+      } else if (cmd == "columns") {
+        for (const std::string& type : needTable().freeResourceTypes()) {
+          out << type << "\n";
+        }
+      } else if (cmd == "addcol" && words.size() == 2) {
+        needTable().addColumn(words[1]);
+        out << "ok\n";
+      } else if (cmd == "sort" && (words.size() == 2 || words.size() == 3)) {
+        needTable().sortBy(words[1], words.size() == 3 && words[2] == "desc");
+        out << "ok\n";
+      } else if (cmd == "filter" && words.size() == 4) {
+        needTable().filterRows(words[1], words[2], words[3]);
+        out << needTable().size() << " rows remain\n";
+      } else if (cmd == "show") {
+        out << needTable().toText();
+      } else if (cmd == "csv") {
+        needTable().toCsv(out);
+      } else if (cmd == "chart" && words.size() == 3) {
+        // One bar per row: label from <series-col>, height from <value-col>.
+        BarChart chart;
+        chart.title = words[2] + " by " + words[1];
+        ChartSeries series{words[2], {}};
+        for (const auto& row : needTable().rows()) {
+          std::string label;
+          if (words[1] == "execution") label = row.execution;
+          else if (words[1] == "metric") label = row.metric;
+          else if (words[1] == "tool") label = row.tool;
+          else label = row.extra_columns.count(words[1])
+                           ? row.extra_columns.at(words[1])
+                           : "?";
+          chart.categories.push_back(label);
+          series.values.push_back(row.value);
+        }
+        chart.series.push_back(std::move(series));
+        out << chart.render();
+      } else if (cmd == "report") {
+        out << core::storeReport(store);
+      } else {
+        throw ModelError("unknown command '" + std::string(trimmed) + "'");
+      }
+    } catch (const util::PTError& e) {
+      out << "error: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace perftrack::analyze

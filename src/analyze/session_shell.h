@@ -1,0 +1,52 @@
+// PerfTrack analysis: a scriptable session shell — the GUI workflow as text.
+//
+// The paper's GUI session is a sequence of small operations: browse types,
+// expand resources, inspect attributes, add families to the pr-filter while
+// watching the live counts, retrieve, add free-resource columns, sort,
+// filter, plot, export (§3.2). This shell executes that exact sequence from
+// a command stream, one command per line:
+//
+//   types                      list resource type paths
+//   top <root-type>            top-level resources of a hierarchy
+//   children <full-name>       one level of the resource tree
+//   attrs <full-name>          the attribute viewer
+//   family <spec>              add a pr-filter family; spec is
+//                              type=<path>[:N|A|D|B] | name=<name>[:N|A|D|B]
+//                              | attr=<name><op><value>[:N|A|D|B]
+//   expand <idx> <N|A|D|B>     change a family's relatives flag
+//   remove <idx>               drop a family
+//   counts                     live per-family and whole-filter counts
+//   run                        execute the query (makes a current table)
+//   columns                    free-resource types of the current table
+//   addcol <type-path>         add a free-resource column
+//   sort <column> [desc]       sort the current table
+//   filter <column> <op> <val> keep matching rows
+//   show                       print the current table
+//   csv                        print the current table as CSV
+//   chart <series-col> <value-col>  bar chart of the current table
+//   report                     store statistics
+//   # ...                      comment; blank lines are ignored
+//
+// Unknown commands and bad arguments report an error and continue, like an
+// interactive tool should. Used by `ptquery <db> session [script]` and
+// driven directly by the test suite.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/datastore.h"
+#include "core/filter.h"
+
+namespace perftrack::analyze {
+
+/// Parses one family spec ("type=...", "name=...", "attr=..." with an
+/// optional :N/:A/:D/:B suffix; name defaults to D like the GUI).
+core::ResourceFilter parseFamilySpec(const std::string& spec);
+
+/// Runs commands from `in` against `store`, writing results to `out`.
+/// Returns the number of failed commands (0 = clean session).
+std::size_t runSessionScript(core::PTDataStore& store, std::istream& in,
+                             std::ostream& out);
+
+}  // namespace perftrack::analyze

@@ -1,0 +1,33 @@
+// ptcollect — emit PTdf from a PTbuild/PTrun capture file (paper §3.3).
+//
+// Usage: ptcollect build <capture-file> <exec-name>
+//        ptcollect run   <capture-file> <exec-name>
+// PTdf is written to stdout.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+
+#include "collect/collect.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4 ||
+      (std::strcmp(argv[1], "build") != 0 && std::strcmp(argv[1], "run") != 0)) {
+    std::fprintf(stderr, "usage: %s build|run <capture-file> <exec-name>\n", argv[0]);
+    return 2;
+  }
+  try {
+    perftrack::ptdf::Writer writer(std::cout);
+    if (std::strcmp(argv[1], "build") == 0) {
+      perftrack::collect::emitBuildPtdf(writer, perftrack::collect::parseBuildFile(argv[2]),
+                                        argv[3]);
+    } else {
+      perftrack::collect::emitRunPtdf(writer, perftrack::collect::parseRunFile(argv[2]),
+                                      argv[3]);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptcollect: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+// ptcompare — comparison operators and prediction models on the CLI (§6).
+//
+// Usage:
+//   ptcompare <db> <execA> <execB>                    compare two executions
+//   ptcompare <db> <execA> <execB> --threshold 0.1    list divergent results
+//   ptcompare <db> predict <base-exec> <actual-exec> <nprocs> [serial-frac]
+//       materialize a prediction from base-exec at <nprocs> (Amdahl model
+//       when serial-frac is given, ideal linear otherwise) and report the
+//       error against actual-exec
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "analyze/predict.h"
+#include "core/datastore.h"
+#include "dbal/connection.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace perftrack;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <db> <execA> <execB> [--threshold T]\n"
+                 "       %s <db> predict <base-exec> <actual-exec> <nprocs> "
+                 "[serial-frac]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    auto conn = dbal::Connection::open(argv[1]);
+    core::PTDataStore store(*conn);
+
+    if (std::strcmp(argv[2], "predict") == 0) {
+      if (argc < 6) {
+        std::fprintf(stderr, "predict needs: <base-exec> <actual-exec> <nprocs>\n");
+        return 2;
+      }
+      const int nprocs = std::atoi(argv[5]);
+      const auto model = argc > 6
+                             ? analyze::amdahlScalingModel(std::atof(argv[6]))
+                             : analyze::linearScalingModel();
+      const auto report =
+          analyze::predictionError(store, argv[3], argv[4], nprocs, model, "cli");
+      std::fputs(report.toText().c_str(), stdout);
+      return 0;
+    }
+
+    double threshold = 0.0;
+    for (int i = 4; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--threshold") == 0) threshold = std::atof(argv[i + 1]);
+    }
+    const auto report = analyze::compareExecutions(store, argv[2], argv[3]);
+    std::fputs(report.toText().c_str(), stdout);
+    if (threshold > 0.0) {
+      const auto divergent = report.divergent(threshold);
+      std::printf("results diverging beyond %.0f%%: %zu\n", threshold * 100.0,
+                  divergent.size());
+      for (const auto& row : divergent) {
+        std::printf("  %s | %s -> %s\n", row.metric.c_str(),
+                    util::formatReal(row.value_a).c_str(),
+                    util::formatReal(row.value_b).c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptcompare: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,26 @@
+// ptdfgen — batch-convert tool output directories to PTdf (paper §3.3).
+//
+// Usage: ptdfgen <index-file> <output-dir>
+// Index entries: "<irs|smg|paradyn> <run-dir> <frost|mcr|bgl|uv> [exec]".
+#include <cstdio>
+#include <exception>
+
+#include "tools/ptdfgen.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <index-file> <output-dir>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const auto results = perftrack::tools::generateFromIndex(argv[1], argv[2]);
+    for (const auto& r : results) {
+      std::printf("%s: %zu lines, %zu performance results\n",
+                  r.ptdf_file.string().c_str(), r.ptdf_lines, r.perf_results);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptdfgen: %s\n", e.what());
+    return 1;
+  }
+}

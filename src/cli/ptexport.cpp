@@ -1,0 +1,41 @@
+// ptexport — serialize a data store (or one execution) back to PTdf.
+//
+// Usage: ptexport <db> [execution-name]
+// PTdf is written to stdout; load it elsewhere with ptdfload. This is the
+// store-to-store sharing path: fine-grained exchange without shipping the
+// whole database file.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "core/datastore.h"
+#include "dbal/connection.h"
+#include "ptdf/export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <db> [execution-name]\n", argv[0]);
+    return 2;
+  }
+  try {
+    auto conn = perftrack::dbal::Connection::open(argv[1]);
+    perftrack::core::PTDataStore store(*conn);
+    store.initialize();  // idempotent; makes empty/new files exportable
+    perftrack::ptdf::Writer writer(std::cout);
+    perftrack::ptdf::ExportStats stats;
+    if (argc == 3) {
+      stats = perftrack::ptdf::exportExecution(store, argv[2], writer);
+    } else {
+      stats = perftrack::ptdf::exportStore(store, writer);
+    }
+    std::fprintf(stderr,
+                 "exported %zu resources, %zu attributes, %zu results, "
+                 "%zu executions\n",
+                 stats.resources, stats.attributes, stats.perf_results,
+                 stats.executions);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptexport: %s\n", e.what());
+    return 1;
+  }
+}

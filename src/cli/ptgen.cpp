@@ -1,0 +1,64 @@
+// ptgen — generate simulated benchmark runs (the repo's stand-in for access
+// to Frost/MCR/BG-L/UV; see DESIGN.md "Substitutions").
+//
+// Usage:
+//   ptgen irs     <dir> <machine> <nprocs> [seed]
+//   ptgen smg     <dir> <machine> <nprocs> [seed]   (mpiP+PMAPI on uv/frost/mcr)
+//   ptgen paradyn <dir> <machine> <nprocs> [seed]
+// Prints the generated execution name and file list.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "sim/irs_gen.h"
+#include "sim/paradyn_gen.h"
+#include "sim/smg_gen.h"
+#include "tools/ptdfgen.h"
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: %s irs|smg|paradyn <dir> <machine> <nprocs> [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    using namespace perftrack;
+    const std::string kind = argv[1];
+    const std::string dir = argv[2];
+    const sim::MachineConfig machine = tools::machineByName(argv[3]);
+    const int nprocs = std::atoi(argv[4]);
+    const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+    sim::GeneratedRun run;
+    if (kind == "irs") {
+      run = sim::generateIrsRun({machine, nprocs, "MPI", seed, ""}, dir);
+    } else if (kind == "smg") {
+      sim::SmgRunSpec spec;
+      spec.machine = machine;
+      spec.nprocs = nprocs;
+      spec.seed = seed;
+      // BG/L's compute kernel has no mpiP/PMAPI support in these studies.
+      spec.with_mpip = machine.name != "BGL";
+      spec.with_pmapi = machine.name != "BGL";
+      run = sim::generateSmgRun(spec, dir);
+    } else if (kind == "paradyn") {
+      sim::ParadynRunSpec spec;
+      spec.machine = machine;
+      spec.nprocs = nprocs;
+      spec.seed = seed;
+      run = sim::generateParadynRun(spec, dir);
+    } else {
+      std::fprintf(stderr, "ptgen: unknown kind '%s'\n", kind.c_str());
+      return 2;
+    }
+    std::printf("execution: %s\n", run.exec_name.c_str());
+    for (const auto& file : run.files) {
+      std::printf("  %s\n", file.string().c_str());
+    }
+    std::printf("raw bytes: %llu\n", static_cast<unsigned long long>(run.rawBytes()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptgen: %s\n", e.what());
+    return 1;
+  }
+}

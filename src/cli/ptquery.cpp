@@ -1,0 +1,194 @@
+// ptquery — the PerfTrack GUI's query workflow as a command-line tool.
+//
+// Usage:
+//   ptquery <db> report                       store statistics
+//   ptquery <db> executions                   execution report
+//   ptquery <db> metrics                      metric inventory
+//   ptquery <db> types                        resource type list
+//   ptquery <db> tree <root-type>             resource tree
+//   ptquery <db> sql "<statement>"            raw SQL against the schema
+//   ptquery <db> select <family>... [--csv]   pr-filter query; families:
+//       type=<type-path>[:N|A|D|B]
+//       name=<resource-name>[:N|A|D|B]        (default D, like the GUI)
+//       attr=<name><op><value>[:N|A|D|B]      op in = != < <= > >=
+//     each family prints its live match count, then the result table with
+//     all free-resource columns added.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "analyze/session_shell.h"
+#include "core/filter.h"
+#include "core/integrity.h"
+#include "core/query_session.h"
+#include "core/reports.h"
+#include "dbal/connection.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace perftrack;
+
+core::Expansion expansionFromSuffix(std::string& spec) {
+  // Trailing ":N" / ":A" / ":D" / ":B" selects the relatives flag.
+  if (spec.size() > 2 && spec[spec.size() - 2] == ':') {
+    const char c = spec.back();
+    if (c == 'N' || c == 'A' || c == 'D' || c == 'B') {
+      spec.resize(spec.size() - 2);
+      switch (c) {
+        case 'N': return core::Expansion::None;
+        case 'A': return core::Expansion::Ancestors;
+        case 'B': return core::Expansion::Both;
+        default: return core::Expansion::Descendants;
+      }
+    }
+  }
+  return core::Expansion::Descendants;  // the GUI default
+}
+
+core::ResourceFilter parseFamilyArg(std::string arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) {
+    throw util::ModelError("bad family spec '" + arg + "'");
+  }
+  const std::string kind = arg.substr(0, eq);
+  std::string spec = arg.substr(eq + 1);
+  const core::Expansion expand = expansionFromSuffix(spec);
+  if (kind == "type") return core::ResourceFilter::byType(spec, expand);
+  if (kind == "name") return core::ResourceFilter::byName(spec, expand);
+  if (kind == "attr") {
+    // split name/op/value: find the comparator.
+    static const char* kOps[] = {"!=", "<=", ">=", "=", "<", ">"};
+    for (const char* op : kOps) {
+      const auto pos = spec.find(op);
+      if (pos != std::string::npos && pos > 0) {
+        return core::ResourceFilter::byAttributes(
+            {{spec.substr(0, pos), op, spec.substr(pos + std::strlen(op))}}, "", expand);
+      }
+    }
+    throw util::ModelError("attr family needs <name><op><value>: '" + spec + "'");
+  }
+  throw util::ModelError("unknown family kind '" + kind + "'");
+}
+
+int runSelect(core::PTDataStore& store, const std::vector<std::string>& args) {
+  core::QuerySession session(store);
+  bool csv = false;
+  for (std::string arg : args) {
+    if (arg == "--csv") {
+      csv = true;
+      continue;
+    }
+    const auto index = session.addFamily(parseFamilyArg(arg));
+    std::printf("family %zu  %s  matches %zu results alone\n", index,
+                session.families()[index].describe().c_str(),
+                session.familyMatchCount(index));
+  }
+  std::printf("full pr-filter matches %zu results\n", session.totalMatchCount());
+  core::ResultTable table = session.run();
+  for (const std::string& type : table.freeResourceTypes()) {
+    table.addColumn(type);
+  }
+  if (csv) {
+    table.toCsv(std::cout);
+  } else {
+    std::fputs(table.toText().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <db> report|executions|metrics|types|tree <type>|"
+                 "sql <stmt>|select <family>...\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    auto conn = dbal::Connection::open(argv[1]);
+    core::PTDataStore store(*conn);
+    store.initialize();
+    const std::string command = argv[2];
+    if (command == "report") {
+      std::fputs(core::storeReport(store).c_str(), stdout);
+    } else if (command == "check") {
+      const auto problems = core::verifyStore(store);
+      if (problems.empty()) {
+        std::printf("store is consistent\n");
+      } else {
+        for (const auto& p : problems) std::printf("PROBLEM: %s\n", p.c_str());
+        return 1;
+      }
+    } else if (command == "executions") {
+      std::fputs(core::executionReport(store).c_str(), stdout);
+    } else if (command == "metrics") {
+      std::fputs(core::metricReport(store).c_str(), stdout);
+    } else if (command == "types") {
+      for (const std::string& type : store.resourceTypes()) {
+        std::printf("%s\n", type.c_str());
+      }
+    } else if (command == "tree" && argc >= 4) {
+      std::fputs(core::resourceTreeReport(store, argv[3]).c_str(), stdout);
+    } else if (command == "attrs" && argc >= 4) {
+      // The GUI's attribute viewer: all attributes of one resource.
+      const auto id = store.findResource(argv[3]);
+      if (!id) {
+        std::fprintf(stderr, "ptquery: no resource named '%s'\n", argv[3]);
+        return 1;
+      }
+      for (const auto& attr : store.attributesOf(*id)) {
+        std::printf("%s = %s (%s)\n", attr.name.c_str(), attr.value.c_str(),
+                    attr.attr_type.c_str());
+      }
+    } else if (command == "children" && argc >= 4) {
+      // Incremental browsing: one level of the resource tree on demand.
+      const auto id = store.findResource(argv[3]);
+      if (!id) {
+        std::fprintf(stderr, "ptquery: no resource named '%s'\n", argv[3]);
+        return 1;
+      }
+      for (const auto& child : store.childrenOf(*id)) {
+        std::printf("%s [%s]\n", child.full_name.c_str(), child.type_path.c_str());
+      }
+    } else if (command == "sql" && argc >= 4) {
+      const auto rs = conn->exec(argv[3]);
+      if (!rs.columns.empty()) {
+        std::fputs(rs.toText().c_str(), stdout);
+      } else {
+        std::printf("%lld rows affected\n",
+                    static_cast<long long>(rs.rows_affected));
+      }
+    } else if (command == "select") {
+      return runSelect(store, {argv + 3, argv + argc});
+    } else if (command == "session") {
+      // Scripted GUI workflow: commands from a file, or stdin when omitted.
+      std::size_t failures = 0;
+      if (argc >= 4) {
+        std::ifstream script(argv[3]);
+        if (!script) {
+          std::fprintf(stderr, "ptquery: cannot open session script '%s'\n", argv[3]);
+          return 1;
+        }
+        failures = analyze::runSessionScript(store, script, std::cout);
+      } else {
+        failures = analyze::runSessionScript(store, std::cin, std::cout);
+      }
+      return failures == 0 ? 0 : 1;
+    } else {
+      std::fprintf(stderr, "ptquery: unknown command '%s'\n", command.c_str());
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptquery: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,179 @@
+#include "collect/collect.h"
+
+#include <fstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::collect {
+
+using util::ParseError;
+
+namespace {
+
+std::vector<std::string> readLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw util::PTError("cannot open capture file: " + path.string());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+BuildInfo parseBuildFile(const std::filesystem::path& path) {
+  BuildInfo info;
+  std::size_t line_no = 0;
+  for (const std::string& raw : readLines(path)) {
+    ++line_no;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (util::startsWith(line, "staticlib:")) {
+      const auto parts = util::split(line.substr(10), ':');
+      if (parts.size() != 3) throw ParseError("bad staticlib record", line_no);
+      info.static_libs.push_back({parts[0], parts[1], parts[2]});
+      continue;
+    }
+    const auto kv = util::splitN(line, '=', 2);
+    if (kv.size() != 2) throw ParseError("expected key=value", line_no);
+    const std::string& key = kv[0];
+    const std::string& value = kv[1];
+    if (key == "application") info.application = value;
+    else if (key == "build_machine") info.build_machine = value;
+    else if (key == "build_os") info.build_os = value;
+    else if (key == "compiler") info.compiler = value;
+    else if (key == "compiler_version") info.compiler_version = value;
+    else if (key == "compiler_flags") info.compiler_flags = value;
+    else if (key == "mpi_wrapper") info.mpi_wrapper = value;
+    else if (key == "preprocessor") info.preprocessor = value;
+    else if (key == "build_timestamp") info.build_timestamp = value;
+    else throw ParseError("unknown build key '" + key + "'", line_no);
+  }
+  return info;
+}
+
+RunInfo parseRunFile(const std::filesystem::path& path) {
+  RunInfo info;
+  std::size_t line_no = 0;
+  for (const std::string& raw : readLines(path)) {
+    ++line_no;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (util::startsWith(line, "envvar:")) {
+      const auto kv = util::splitN(line.substr(7), '=', 2);
+      if (kv.size() != 2) throw ParseError("bad envvar record", line_no);
+      info.env_vars[kv[0]] = kv[1];
+      continue;
+    }
+    if (util::startsWith(line, "dynlib:")) {
+      // The final (timestamp) field may itself contain ':'.
+      const auto parts = util::splitN(line.substr(7), ':', 4);
+      if (parts.size() != 4) throw ParseError("bad dynlib record", line_no);
+      info.dynamic_libs.push_back({parts[0], parts[1], parts[2], parts[3]});
+      continue;
+    }
+    const auto kv = util::splitN(line, '=', 2);
+    if (kv.size() != 2) throw ParseError("expected key=value", line_no);
+    const std::string& key = kv[0];
+    const std::string& value = kv[1];
+    if (key == "execution") info.execution = value;
+    else if (key == "machine") info.machine = value;
+    else if (key == "os") info.os = value;
+    else if (key == "nprocs") info.nprocs = static_cast<int>(util::parseInt(value).value_or(1));
+    else if (key == "nthreads") info.nthreads = static_cast<int>(util::parseInt(value).value_or(1));
+    else if (key == "concurrency") info.concurrency = value;
+    else if (key == "inputdeck") info.input_deck = value;
+    else if (key == "inputdeck_timestamp") info.input_deck_timestamp = value;
+    else if (key == "submission") info.submission = value;
+    else throw ParseError("unknown run key '" + key + "'", line_no);
+  }
+  return info;
+}
+
+void emitBuildPtdf(ptdf::Writer& writer, const BuildInfo& info,
+                   const std::string& exec_name) {
+  writer.comment("build capture for " + exec_name);
+  const std::string build = "/build-" + exec_name;
+  writer.resource(build, "build");
+  writer.resourceAttribute(build, "build machine", info.build_machine);
+  writer.resourceAttribute(build, "build os", info.build_os);
+  writer.resourceAttribute(build, "compiler flags", info.compiler_flags);
+  writer.resourceAttribute(build, "mpi wrapper", info.mpi_wrapper);
+  writer.resourceAttribute(build, "build timestamp", info.build_timestamp);
+  if (!info.compiler.empty()) {
+    const std::string compiler = "/" + info.compiler;
+    writer.resource(compiler, "compiler");
+    writer.resourceAttribute(compiler, "version", info.compiler_version);
+    // "a compiler may be an attribute of a particular build" (paper §2.1).
+    writer.resourceConstraint(build, compiler);
+  }
+  if (!info.preprocessor.empty()) {
+    writer.resource("/" + info.preprocessor, "preprocessor");
+    writer.resourceConstraint(build, "/" + info.preprocessor);
+  }
+  for (const StaticLib& lib : info.static_libs) {
+    const std::string module = build + "/" + lib.name;
+    writer.resource(module, "build/module");
+    writer.resourceAttribute(module, "version", lib.version);
+    writer.resourceAttribute(module, "type", lib.kind);
+  }
+}
+
+void emitRunPtdf(ptdf::Writer& writer, const RunInfo& info,
+                 const std::string& exec_name) {
+  writer.comment("runtime capture for " + exec_name);
+  const std::string env = "/env-" + exec_name;
+  writer.resource(env, "environment");
+  for (const auto& [key, value] : info.env_vars) {
+    writer.resourceAttribute(env, "env:" + key, value);
+  }
+  for (const DynamicLib& lib : info.dynamic_libs) {
+    // Library base name (path tail) becomes the module resource name.
+    const auto slash = lib.path.rfind('/');
+    const std::string base =
+        slash == std::string::npos ? lib.path : lib.path.substr(slash + 1);
+    const std::string module = env + "/" + base;
+    writer.resource(module, "environment/module");
+    writer.resourceAttribute(module, "path", lib.path);
+    writer.resourceAttribute(module, "size", lib.size);
+    writer.resourceAttribute(module, "type", lib.kind);
+    writer.resourceAttribute(module, "timestamp", lib.timestamp);
+  }
+  // Execution hierarchy: the run root plus one process per rank.
+  const std::string exec_root = "/" + exec_name;
+  writer.resource(exec_root, "execution");
+  writer.resourceAttribute(exec_root, "concurrency", info.concurrency);
+  writer.resourceAttribute(exec_root, "nprocs", std::to_string(info.nprocs));
+  writer.resourceAttribute(exec_root, "nthreads", std::to_string(info.nthreads));
+  for (int p = 0; p < info.nprocs; ++p) {
+    const std::string proc = exec_root + "/p" + std::to_string(p);
+    writer.resource(proc, "execution/process");
+    if (info.nthreads > 1) {
+      for (int t = 0; t < info.nthreads; ++t) {
+        writer.resource(proc + "/t" + std::to_string(t), "execution/process/thread");
+      }
+    }
+  }
+  if (!info.input_deck.empty()) {
+    const std::string deck = "/" + info.input_deck;
+    writer.resource(deck, "inputDeck");
+    writer.resourceAttribute(deck, "timestamp", info.input_deck_timestamp);
+    writer.resourceConstraint(exec_root, deck);
+  }
+  if (!info.submission.empty()) {
+    const std::string sub = "/submission-" + exec_name;
+    writer.resource(sub, "submission");
+    writer.resourceAttribute(sub, "command", info.submission);
+  }
+  if (!info.os.empty()) {
+    // OS name may contain spaces ("AIX 5.2"); keep the name segment clean.
+    const auto fields = util::splitWhitespace(info.os);
+    const std::string os = "/" + (fields.empty() ? info.os : fields[0]);
+    writer.resource(os, "operatingSystem");
+    writer.resourceAttribute(os, "version", fields.size() > 1 ? fields[1] : "");
+    writer.resourceConstraint(exec_root, os);
+  }
+}
+
+}  // namespace perftrack::collect

@@ -1,0 +1,90 @@
+// PerfTrack collectors: automatic build- and runtime-environment capture.
+//
+// The paper ships PTbuild/PTrun wrapper scripts that execute a build or run
+// and capture descriptive data — compiler, flags, linked libraries, OS,
+// environment variables, dynamic libraries, the input deck, submission
+// details (§3.3). Our simulated runs write that capture into irs_build.txt /
+// irs_env.txt files (sim/irs_gen.cpp); this module parses those captures and
+// emits the corresponding PTdf resources:
+//   build information  -> "build" hierarchy + compiler/preprocessor resources
+//   runtime information -> "environment" hierarchy (dynamic libraries),
+//                          "execution" hierarchy (processes/threads),
+//                          inputDeck, submission, operatingSystem resources
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptdf/ptdf.h"
+
+namespace perftrack::collect {
+
+/// A static library recorded at link time.
+struct StaticLib {
+  std::string name;
+  std::string version;
+  std::string kind;
+};
+
+/// Parsed PTbuild capture.
+struct BuildInfo {
+  std::string application;
+  std::string build_machine;
+  std::string build_os;
+  std::string compiler;
+  std::string compiler_version;
+  std::string compiler_flags;
+  std::string mpi_wrapper;
+  std::string preprocessor;
+  std::string build_timestamp;
+  std::vector<StaticLib> static_libs;
+};
+
+/// A dynamic library observed at run time.
+struct DynamicLib {
+  std::string path;
+  std::string size;
+  std::string kind;  // MPI, thread, math, ...
+  std::string timestamp;
+};
+
+/// Parsed PTrun capture.
+struct RunInfo {
+  std::string execution;
+  std::string machine;
+  std::string os;
+  int nprocs = 1;
+  int nthreads = 1;
+  std::string concurrency;
+  std::string input_deck;
+  std::string input_deck_timestamp;
+  std::string submission;
+  std::map<std::string, std::string> env_vars;
+  std::vector<DynamicLib> dynamic_libs;
+};
+
+/// Parses an irs_build.txt-style capture ("key=value" lines plus
+/// "staticlib:name:version:kind" records).
+BuildInfo parseBuildFile(const std::filesystem::path& path);
+
+/// Parses an irs_env.txt-style capture ("key=value", "envvar:K=V",
+/// "dynlib:path:size:kind:timestamp").
+RunInfo parseRunFile(const std::filesystem::path& path);
+
+/// Emits the build capture as PTdf resources for `exec_name`:
+/// /build-<exec> (build hierarchy root) with compile attributes, a compiler
+/// resource (linked via resource constraint), a preprocessor resource, and
+/// one build/module resource per static library.
+void emitBuildPtdf(ptdf::Writer& writer, const BuildInfo& info,
+                   const std::string& exec_name);
+
+/// Emits the runtime capture: environment hierarchy with one module per
+/// dynamic library, execution hierarchy with nprocs processes (and threads
+/// when nthreads > 1), inputDeck/submission/operatingSystem resources, and
+/// environment-variable attributes.
+void emitRunPtdf(ptdf::Writer& writer, const RunInfo& info,
+                 const std::string& exec_name);
+
+}  // namespace perftrack::collect

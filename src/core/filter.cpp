@@ -1,0 +1,274 @@
+#include "core/filter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::core {
+
+using util::ModelError;
+using util::sqlQuote;
+
+std::string_view expansionName(Expansion e) {
+  switch (e) {
+    case Expansion::None: return "N";
+    case Expansion::Ancestors: return "A";
+    case Expansion::Descendants: return "D";
+    case Expansion::Both: return "B";
+  }
+  return "?";
+}
+
+ResourceFilter ResourceFilter::byType(std::string type_path, Expansion e) {
+  ResourceFilter f;
+  f.kind = Kind::ByType;
+  f.type_path = std::move(type_path);
+  f.expand = e;
+  return f;
+}
+
+ResourceFilter ResourceFilter::byName(std::string name, Expansion e) {
+  ResourceFilter f;
+  f.kind = Kind::ByName;
+  f.name = std::move(name);
+  f.expand = e;
+  return f;
+}
+
+ResourceFilter ResourceFilter::byAttributes(std::vector<AttrPredicate> attrs,
+                                            std::string type_path, Expansion e) {
+  ResourceFilter f;
+  f.kind = Kind::ByAttributes;
+  f.attrs = std::move(attrs);
+  f.type_path = std::move(type_path);
+  f.expand = e;
+  return f;
+}
+
+std::string ResourceFilter::describe() const {
+  std::string out;
+  switch (kind) {
+    case Kind::ByType: out = "type=" + type_path; break;
+    case Kind::ByName: out = "name=" + name; break;
+    case Kind::ByAttributes: {
+      out = "attrs[";
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if (i) out += " AND ";
+        out += attrs[i].name + attrs[i].comparator + attrs[i].value;
+      }
+      out += "]";
+      if (!type_path.empty()) out += " type=" + type_path;
+      break;
+    }
+  }
+  out += " (";
+  out += expansionName(expand);
+  out += ")";
+  return out;
+}
+
+namespace {
+
+/// Runs `sql_prefix` + IN (<chunk>) for chunks of `ids`, collecting the
+/// first column of every row.
+std::vector<std::int64_t> chunkedIn(dbal::Connection& conn, const std::string& sql_prefix,
+                                    const std::vector<std::int64_t>& ids) {
+  std::vector<std::int64_t> out;
+  constexpr std::size_t kChunk = 200;
+  for (std::size_t start = 0; start < ids.size(); start += kChunk) {
+    const std::size_t end = std::min(ids.size(), start + kChunk);
+    std::string list;
+    for (std::size_t i = start; i < end; ++i) {
+      if (i != start) list.push_back(',');
+      list += std::to_string(ids[i]);
+    }
+    const auto rs = conn.exec(sql_prefix + " IN (" + list + ")");
+    for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+  }
+  return out;
+}
+
+void sortUnique(std::vector<std::int64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// True when `lhs cmp rhs` holds; numeric comparison when both sides parse
+/// as numbers, string comparison otherwise.
+bool comparePredicate(const std::string& lhs, const std::string& comparator,
+                      const std::string& rhs) {
+  if (comparator == "contains") return lhs.find(rhs) != std::string::npos;
+  int c = 0;
+  const auto ln = util::parseReal(lhs);
+  const auto rn = util::parseReal(rhs);
+  if (ln && rn) {
+    c = *ln < *rn ? -1 : (*ln > *rn ? 1 : 0);
+  } else {
+    c = lhs.compare(rhs);
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (comparator == "=" || comparator == "==") return c == 0;
+  if (comparator == "!=" || comparator == "<>") return c != 0;
+  if (comparator == "<") return c < 0;
+  if (comparator == "<=") return c <= 0;
+  if (comparator == ">") return c > 0;
+  if (comparator == ">=") return c >= 0;
+  throw ModelError("unknown attribute comparator '" + comparator + "'");
+}
+
+std::vector<std::int64_t> attributeCandidates(dbal::Connection& conn,
+                                              const AttrPredicate& pred) {
+  const auto rs = conn.exec(
+      "SELECT resource_id, value FROM resource_attribute WHERE name = " +
+      sqlQuote(pred.name));
+  std::vector<std::int64_t> out;
+  for (const auto& row : rs.rows) {
+    if (comparePredicate(row[1].asText(), pred.comparator, pred.value)) {
+      out.push_back(row[0].asInt());
+    }
+  }
+  sortUnique(out);
+  return out;
+}
+
+}  // namespace
+
+std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter& filter) {
+  dbal::Connection& conn = store.connection();
+  std::vector<ResourceId> family;
+
+  switch (filter.kind) {
+    case ResourceFilter::Kind::ByType: {
+      for (const ResourceInfo& info : store.resourcesOfType(filter.type_path)) {
+        family.push_back(info.id);
+      }
+      break;
+    }
+    case ResourceFilter::Kind::ByName: {
+      if (!filter.name.empty() && filter.name.front() == '/') {
+        if (const auto id = store.findResource(filter.name)) family.push_back(*id);
+      } else if (filter.name.find('/') != std::string::npos) {
+        // Partial path like "Frost/batch": resources whose full name ends
+        // with "/Frost/batch" (paper Fig. 3: child selection restricts to
+        // named parents).
+        const auto rs = conn.exec(
+            "SELECT id, full_name FROM resource_item WHERE full_name LIKE " +
+            sqlQuote("%/" + filter.name));
+        for (const auto& row : rs.rows) family.push_back(row[0].asInt());
+      } else {
+        for (const ResourceInfo& info : store.resourcesNamed(filter.name)) {
+          family.push_back(info.id);
+        }
+      }
+      break;
+    }
+    case ResourceFilter::Kind::ByAttributes: {
+      if (filter.attrs.empty()) {
+        throw ModelError("attribute filter requires at least one predicate");
+      }
+      family = attributeCandidates(conn, filter.attrs.front());
+      for (std::size_t i = 1; i < filter.attrs.size() && !family.empty(); ++i) {
+        const auto next = attributeCandidates(conn, filter.attrs[i]);
+        std::vector<std::int64_t> merged;
+        std::set_intersection(family.begin(), family.end(), next.begin(), next.end(),
+                              std::back_inserter(merged));
+        family = std::move(merged);
+      }
+      if (!filter.type_path.empty() && !family.empty()) {
+        // Keep only resources of the requested type.
+        const auto typed = chunkedIn(
+            conn,
+            "SELECT r.id FROM resource_item r JOIN focus_framework f ON "
+            "r.focus_framework_id = f.id WHERE f.type_name = " +
+                sqlQuote(filter.type_path) + " AND r.id",
+            family);
+        std::vector<std::int64_t> sorted_typed = typed;
+        sortUnique(sorted_typed);
+        std::vector<std::int64_t> merged;
+        std::set_intersection(family.begin(), family.end(), sorted_typed.begin(),
+                              sorted_typed.end(), std::back_inserter(merged));
+        family = std::move(merged);
+      }
+      break;
+    }
+  }
+  sortUnique(family);
+
+  // Expansion via the closure tables (constant-depth queries instead of
+  // parent-chain walks; see DESIGN.md §5 for the ablation). Both expansions
+  // are computed from the ORIGINAL members: B(x) = A(x) ∪ D(x), not D(A(x)),
+  // which would drag in entire sibling subtrees.
+  const std::vector<ResourceId> base = family;
+  if (filter.expand == Expansion::Ancestors || filter.expand == Expansion::Both) {
+    auto ancestors = chunkedIn(
+        conn, "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id", base);
+    family.insert(family.end(), ancestors.begin(), ancestors.end());
+  }
+  if (filter.expand == Expansion::Descendants || filter.expand == Expansion::Both) {
+    auto descendants = chunkedIn(
+        conn, "SELECT descendant_id FROM resource_has_descendant WHERE resource_id",
+        base);
+    family.insert(family.end(), descendants.begin(), descendants.end());
+  }
+  sortUnique(family);
+  return family;
+}
+
+namespace {
+
+std::unordered_set<std::int64_t> fociTouchingFamily(dbal::Connection& conn,
+                                                    const std::vector<ResourceId>& family) {
+  const auto foci = chunkedIn(
+      conn, "SELECT focus_id FROM focus_has_resource WHERE resource_id", family);
+  return {foci.begin(), foci.end()};
+}
+
+}  // namespace
+
+std::vector<std::int64_t> matchResults(
+    PTDataStore& store, const std::vector<std::vector<ResourceId>>& families) {
+  dbal::Connection& conn = store.connection();
+  if (families.empty()) {
+    // An empty pr-filter matches everything (paper: filters narrow a set).
+    const auto rs = conn.exec("SELECT id FROM performance_result ORDER BY id");
+    std::vector<std::int64_t> out;
+    out.reserve(rs.rows.size());
+    for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+    return out;
+  }
+  // Matching foci = intersection over families of {focus | focus ∩ family}.
+  std::unordered_set<std::int64_t> matching = fociTouchingFamily(conn, families[0]);
+  for (std::size_t i = 1; i < families.size() && !matching.empty(); ++i) {
+    const auto next = fociTouchingFamily(conn, families[i]);
+    std::unordered_set<std::int64_t> merged;
+    for (std::int64_t focus : matching) {
+      if (next.contains(focus)) merged.insert(focus);
+    }
+    matching = std::move(merged);
+  }
+  if (matching.empty()) return {};
+  std::vector<std::int64_t> focus_ids(matching.begin(), matching.end());
+  std::sort(focus_ids.begin(), focus_ids.end());
+  auto results = chunkedIn(
+      conn, "SELECT result_id FROM performance_result_has_focus WHERE focus_id",
+      focus_ids);
+  sortUnique(results);
+  return results;
+}
+
+std::vector<std::int64_t> queryResults(PTDataStore& store, const PrFilter& filter) {
+  std::vector<std::vector<ResourceId>> families;
+  families.reserve(filter.families.size());
+  for (const ResourceFilter& f : filter.families) {
+    families.push_back(evaluateFamily(store, f));
+  }
+  return matchResults(store, families);
+}
+
+std::size_t familyMatchCount(PTDataStore& store, const std::vector<ResourceId>& family) {
+  return matchResults(store, {family}).size();
+}
+
+}  // namespace perftrack::core

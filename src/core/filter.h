@@ -1,0 +1,78 @@
+// PerfTrack core: resource filters and pr-filters (paper §2.2).
+//
+// A *resource filter* selects a set of resources by type, by name, or by
+// attribute-value-comparator tuples, optionally expanded to ancestors,
+// descendants, or both; the resulting set is a *resource family*. A
+// *pr-filter* is a set of resource families; it matches a context C iff
+// every family contains at least one resource of C:
+//     PRF matches C  ⇔  ∀ R ∈ PRF: ∃ r ∈ C with r ∈ R
+// A performance result is selected when at least one of its contexts
+// matches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/datastore.h"
+
+namespace perftrack::core {
+
+/// Ancestor/descendant expansion flag (GUI column "Relatives": N/A/D/B).
+/// The GUI default for named resources is Descendants, so choosing "Frost"
+/// also selects its partitions, nodes, and processors.
+enum class Expansion { None, Ancestors, Descendants, Both };
+
+std::string_view expansionName(Expansion e);
+
+/// One attribute-value-comparator tuple. Comparators: = != < <= > >=
+/// plus "contains" (substring). Values compare numerically when both sides
+/// parse as numbers, else as strings.
+struct AttrPredicate {
+  std::string name;
+  std::string comparator;
+  std::string value;
+};
+
+/// A resource filter (paper §2.2): exactly one of the three selection modes.
+struct ResourceFilter {
+  enum class Kind { ByType, ByName, ByAttributes };
+
+  Kind kind = Kind::ByType;
+  std::string type_path;            // ByType: full type path; also constrains
+                                    // ByAttributes when non-empty
+  std::string name;                 // ByName: full name (leading '/') or base name
+  std::vector<AttrPredicate> attrs; // ByAttributes
+  Expansion expand = Expansion::None;
+
+  static ResourceFilter byType(std::string type_path, Expansion e = Expansion::None);
+  static ResourceFilter byName(std::string name, Expansion e = Expansion::Descendants);
+  static ResourceFilter byAttributes(std::vector<AttrPredicate> attrs,
+                                     std::string type_path = "",
+                                     Expansion e = Expansion::None);
+
+  /// Human-readable description for session displays.
+  std::string describe() const;
+};
+
+/// A pr-filter: one resource family per entry.
+struct PrFilter {
+  std::vector<ResourceFilter> families;
+};
+
+/// Applies one resource filter; returns the sorted, deduplicated family.
+std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter& filter);
+
+/// Result ids whose context(s) match every family (the pr-filter semantics
+/// above). Families are passed pre-evaluated so GUI-style sessions can show
+/// per-family counts without re-running filters.
+std::vector<std::int64_t> matchResults(PTDataStore& store,
+                                       const std::vector<std::vector<ResourceId>>& families);
+
+/// Convenience: evaluate + match in one call.
+std::vector<std::int64_t> queryResults(PTDataStore& store, const PrFilter& filter);
+
+/// Number of results matching one family alone (the Fig. 3 per-family count).
+std::size_t familyMatchCount(PTDataStore& store, const std::vector<ResourceId>& family);
+
+}  // namespace perftrack::core

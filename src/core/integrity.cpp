@@ -1,0 +1,132 @@
+#include "core/integrity.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace perftrack::core {
+
+namespace {
+
+struct ResourceRow {
+  std::string full_name;
+  std::int64_t parent_id = 0;  // 0 = none
+};
+
+}  // namespace
+
+std::vector<std::string> verifyStore(PTDataStore& store) {
+  std::vector<std::string> problems;
+  dbal::Connection& conn = store.connection();
+
+  // --- storage-level checks first ---------------------------------------------
+  for (std::string& problem : conn.database().verifyIntegrity()) {
+    problems.push_back("minidb: " + std::move(problem));
+  }
+
+  // --- resource tree -----------------------------------------------------------
+  std::unordered_map<std::int64_t, ResourceRow> resources;
+  {
+    const auto rs = conn.exec("SELECT id, full_name, parent_id FROM resource_item");
+    for (const auto& row : rs.rows) {
+      resources[row[0].asInt()] = {row[1].asText(),
+                                   row[2].isNull() ? 0 : row[2].asInt()};
+    }
+  }
+  for (const auto& [id, row] : resources) {
+    if (row.parent_id == 0) continue;
+    const auto parent = resources.find(row.parent_id);
+    if (parent == resources.end()) {
+      problems.push_back("resource " + row.full_name + " has a dangling parent_id");
+      continue;
+    }
+    const std::string& pname = parent->second.full_name;
+    if (!util::startsWith(row.full_name, pname + "/") ||
+        row.full_name.find('/', pname.size() + 1) != std::string::npos) {
+      problems.push_back("resource " + row.full_name +
+                         " does not extend its parent " + pname + " by one segment");
+    }
+  }
+
+  // --- closure tables agree with parent chains --------------------------------
+  {
+    // Expected ancestor pairs from the parent chains.
+    std::set<std::pair<std::int64_t, std::int64_t>> expected;
+    for (const auto& [id, row] : resources) {
+      std::int64_t cursor = row.parent_id;
+      while (cursor != 0) {
+        expected.insert({id, cursor});
+        const auto it = resources.find(cursor);
+        cursor = it == resources.end() ? 0 : it->second.parent_id;
+      }
+    }
+    std::set<std::pair<std::int64_t, std::int64_t>> stored;
+    const auto rs = conn.exec("SELECT resource_id, ancestor_id FROM resource_has_ancestor");
+    for (const auto& row : rs.rows) stored.insert({row[0].asInt(), row[1].asInt()});
+    if (stored != expected) {
+      problems.push_back("resource_has_ancestor disagrees with parent chains (" +
+                         std::to_string(stored.size()) + " stored vs " +
+                         std::to_string(expected.size()) + " expected)");
+    }
+    std::set<std::pair<std::int64_t, std::int64_t>> descendants;
+    const auto rd =
+        conn.exec("SELECT descendant_id, resource_id FROM resource_has_descendant");
+    for (const auto& row : rd.rows) descendants.insert({row[0].asInt(), row[1].asInt()});
+    if (descendants != expected) {
+      problems.push_back("resource_has_descendant disagrees with parent chains");
+    }
+  }
+
+  // --- referential checks (dangling foreign keys) ------------------------------
+  auto countDangling = [&](const std::string& description, const std::string& sql) {
+    const auto n = conn.queryInt(sql);
+    if (n != 0) {
+      problems.push_back(std::to_string(n) + " " + description);
+    }
+  };
+  countDangling("resource attributes with dangling resource ids",
+                "SELECT COUNT(*) FROM resource_attribute WHERE resource_id NOT IN "
+                "(SELECT id FROM resource_item)");
+  countDangling("resource constraints with dangling resource ids",
+                "SELECT COUNT(*) FROM resource_constraint WHERE resource_id1 NOT IN "
+                "(SELECT id FROM resource_item) OR resource_id2 NOT IN "
+                "(SELECT id FROM resource_item)");
+  countDangling("focus members referencing missing resources",
+                "SELECT COUNT(*) FROM focus_has_resource WHERE resource_id NOT IN "
+                "(SELECT id FROM resource_item)");
+  countDangling("focus members referencing missing foci",
+                "SELECT COUNT(*) FROM focus_has_resource WHERE focus_id NOT IN "
+                "(SELECT id FROM focus)");
+  countDangling("results referencing missing executions",
+                "SELECT COUNT(*) FROM performance_result WHERE execution_id NOT IN "
+                "(SELECT id FROM execution)");
+  countDangling("results referencing missing metrics",
+                "SELECT COUNT(*) FROM performance_result WHERE metric_id NOT IN "
+                "(SELECT id FROM metric)");
+  countDangling("result-focus links with missing results",
+                "SELECT COUNT(*) FROM performance_result_has_focus WHERE result_id "
+                "NOT IN (SELECT id FROM performance_result)");
+  countDangling("result-focus links with missing foci",
+                "SELECT COUNT(*) FROM performance_result_has_focus WHERE focus_id "
+                "NOT IN (SELECT id FROM focus)");
+  countDangling("results with no context at all",
+                "SELECT COUNT(*) FROM performance_result WHERE id NOT IN "
+                "(SELECT result_id FROM performance_result_has_focus)");
+  countDangling("histogram descriptors with missing results",
+                "SELECT COUNT(*) FROM performance_result_histogram WHERE result_id "
+                "NOT IN (SELECT id FROM performance_result)");
+  countDangling("histogram bins with missing descriptors",
+                "SELECT COUNT(*) FROM performance_result_bin WHERE result_id NOT IN "
+                "(SELECT result_id FROM performance_result_histogram)");
+  countDangling("executions referencing missing applications",
+                "SELECT COUNT(*) FROM execution WHERE application_id NOT IN "
+                "(SELECT id FROM application)");
+  countDangling("foci referencing missing executions",
+                "SELECT COUNT(*) FROM focus WHERE execution_id NOT IN "
+                "(SELECT id FROM execution)");
+  return problems;
+}
+
+}  // namespace perftrack::core

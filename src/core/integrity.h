@@ -1,0 +1,25 @@
+// PerfTrack core: store-level integrity checking.
+//
+// A production data store accumulating years of experiments needs a way to
+// prove it is still internally consistent. verifyStore() checks the
+// PerfTrack schema invariants on top of minidb's own index/heap checks:
+//   * every resource's parent_id resolves, and its full name extends the
+//     parent's full name by exactly one segment,
+//   * the ancestor/descendant closure tables agree with the parent chains,
+//   * every focus member references an existing resource, every result
+//     references at least one existing focus of its own execution,
+//   * every attribute, constraint, and histogram row points at a live owner,
+//   * executions reference existing applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/datastore.h"
+
+namespace perftrack::core {
+
+/// Returns human-readable problem descriptions; empty = consistent.
+std::vector<std::string> verifyStore(PTDataStore& store);
+
+}  // namespace perftrack::core

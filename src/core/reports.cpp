@@ -1,0 +1,69 @@
+#include "core/reports.h"
+
+#include <functional>
+#include <sstream>
+
+namespace perftrack::core {
+
+std::string executionReport(PTDataStore& store) {
+  const auto rs = store.connection().exec(
+      "SELECT e.name, a.name, COUNT(pr.id) AS results "
+      "FROM execution e "
+      "JOIN application a ON e.application_id = a.id "
+      "JOIN performance_result pr ON pr.execution_id = e.id "
+      "GROUP BY e.name, a.name ORDER BY e.name");
+  std::ostringstream out;
+  out << "execution report\n";
+  for (const auto& row : rs.rows) {
+    out << "  " << row[0].asText() << "  app=" << row[1].asText()
+        << "  results=" << row[2].asInt() << "\n";
+  }
+  return out.str();
+}
+
+std::string storeReport(PTDataStore& store) {
+  const StoreStats s = store.stats();
+  std::ostringstream out;
+  out << "store report\n"
+      << "  resource types:      " << s.resource_types << "\n"
+      << "  resources:           " << s.resources << "\n"
+      << "  resource attributes: " << s.attributes << "\n"
+      << "  metrics:             " << s.metrics << "\n"
+      << "  executions:          " << s.executions << "\n"
+      << "  performance results: " << s.performance_results << "\n"
+      << "  contexts (foci):     " << s.foci << "\n"
+      << "  store size:          " << s.size_bytes << " bytes\n";
+  return out.str();
+}
+
+std::string resourceTreeReport(PTDataStore& store, const std::string& root_type,
+                               int max_depth) {
+  std::ostringstream out;
+  out << "resource tree: " << root_type << "\n";
+  std::function<void(const ResourceInfo&, int)> walk = [&](const ResourceInfo& node,
+                                                           int depth) {
+    out << std::string(static_cast<std::size_t>(depth) * 2 + 2, ' ') << node.name << " ["
+        << node.type_path << "]\n";
+    if (depth + 1 >= max_depth) return;
+    for (const ResourceInfo& child : store.childrenOf(node.id)) walk(child, depth + 1);
+  };
+  for (const ResourceInfo& top : store.topLevelOfType(root_type)) walk(top, 0);
+  return out.str();
+}
+
+std::string metricReport(PTDataStore& store) {
+  const auto rs = store.connection().exec(
+      "SELECT m.name, m.units, COUNT(pr.id) "
+      "FROM metric m JOIN performance_result pr ON pr.metric_id = m.id "
+      "GROUP BY m.name, m.units ORDER BY m.name");
+  std::ostringstream out;
+  out << "metric report\n";
+  for (const auto& row : rs.rows) {
+    out << "  " << row[0].asText();
+    if (!row[1].asText().empty()) out << " (" << row[1].asText() << ")";
+    out << "  results=" << row[2].asInt() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace perftrack::core

@@ -1,0 +1,24 @@
+// PerfTrack core: simple reports (paper §3.3: "The user may request one of
+// several simple reports.").
+#pragma once
+
+#include <string>
+
+#include "core/datastore.h"
+
+namespace perftrack::core {
+
+/// Per-execution summary: application, result count, distinct metrics.
+std::string executionReport(PTDataStore& store);
+
+/// Store-wide statistics report (counts + size).
+std::string storeReport(PTDataStore& store);
+
+/// Indented resource tree for one root type (e.g. "grid"). Depth-limited.
+std::string resourceTreeReport(PTDataStore& store, const std::string& root_type,
+                               int max_depth = 10);
+
+/// Metric inventory with usage counts.
+std::string metricReport(PTDataStore& store);
+
+}  // namespace perftrack::core

@@ -1,0 +1,67 @@
+#include "core/typesystem.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::core {
+
+const std::vector<std::string>& baseHierarchicalTypes() {
+  static const std::vector<std::string> kTypes = {
+      "build/module/function/codeBlock",
+      "grid/machine/partition/node/processor",
+      "environment/module/function/codeBlock",
+      "execution/process/thread",
+      "time/interval",
+  };
+  return kTypes;
+}
+
+const std::vector<std::string>& baseSingleLevelTypes() {
+  static const std::vector<std::string> kTypes = {
+      "application",  "compiler", "preprocessor",    "inputDeck",
+      "submission",   "operatingSystem", "metric",   "performanceTool",
+  };
+  return kTypes;
+}
+
+std::vector<std::string> splitTypePath(std::string_view path) {
+  if (path.empty()) throw util::ModelError("empty resource type path");
+  auto segments = util::split(path, '/');
+  for (const std::string& s : segments) {
+    if (s.empty()) {
+      throw util::ModelError("bad resource type path '" + std::string(path) + "'");
+    }
+  }
+  return segments;
+}
+
+std::vector<std::string> splitResourceName(std::string_view full_name) {
+  if (full_name.size() < 2 || full_name.front() != '/') {
+    throw util::ModelError("resource name must start with '/': '" +
+                           std::string(full_name) + "'");
+  }
+  auto segments = util::split(full_name.substr(1), '/');
+  for (const std::string& s : segments) {
+    if (s.empty()) {
+      throw util::ModelError("bad resource name '" + std::string(full_name) + "'");
+    }
+  }
+  return segments;
+}
+
+std::string joinResourceName(const std::vector<std::string>& segments) {
+  std::string out;
+  for (const std::string& s : segments) {
+    out.push_back('/');
+    out.append(s);
+  }
+  return out;
+}
+
+std::string typeBaseName(std::string_view type_path) {
+  const auto pos = type_path.rfind('/');
+  return std::string(pos == std::string_view::npos ? type_path
+                                                   : type_path.substr(pos + 1));
+}
+
+}  // namespace perftrack::core

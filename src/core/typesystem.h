@@ -1,0 +1,43 @@
+// PerfTrack core: the extensible resource type system (paper §2.1, Figure 2).
+//
+// Resource types form trees written as Unix-style paths:
+//   grid/machine/partition/node/processor
+// Non-hierarchical types are single-level hierarchies ("application").
+// A base set of types is loaded at store initialization *through the same
+// extension interface users call to add new hierarchies* — exactly as the
+// paper describes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perftrack::core {
+
+/// The base type hierarchies of Figure 2.
+/// build/module/function/codeBlock      - static code location
+/// grid/machine/partition/node/processor - hardware
+/// environment/module/function/codeBlock - runtime (dynamic) code location
+/// execution/process/thread             - running processes
+/// time/interval                        - execution phases
+const std::vector<std::string>& baseHierarchicalTypes();
+
+/// The base non-hierarchical types of Figure 2: application, compiler,
+/// preprocessor, inputDeck, submission, operatingSystem, metric,
+/// performanceTool.
+const std::vector<std::string>& baseSingleLevelTypes();
+
+/// Splits a type path ("a/b/c" -> {"a","b","c"}); rejects empty segments.
+std::vector<std::string> splitTypePath(std::string_view path);
+
+/// Splits a full resource name ("/Frost/batch/n1" -> {"Frost","batch","n1"}).
+/// The leading '/' is required; empty segments are rejected.
+std::vector<std::string> splitResourceName(std::string_view full_name);
+
+/// Joins segments back into a full resource name with a leading '/'.
+std::string joinResourceName(const std::vector<std::string>& segments);
+
+/// Last segment of a type path ("grid/machine" -> "machine").
+std::string typeBaseName(std::string_view type_path);
+
+}  // namespace perftrack::core

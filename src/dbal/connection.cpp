@@ -1,0 +1,22 @@
+#include "dbal/connection.h"
+
+namespace perftrack::dbal {
+
+std::unique_ptr<Connection> Connection::open(const std::string& path) {
+  auto db = path == ":memory:" ? minidb::Database::openMemory()
+                               : minidb::Database::open(path);
+  return std::unique_ptr<Connection>(new Connection(std::move(db)));
+}
+
+minidb::Value Connection::queryValue(std::string_view sql) {
+  const ResultSet rs = exec(sql);
+  if (rs.rows.empty() || rs.rows[0].empty()) return minidb::Value::null();
+  return rs.rows[0][0];
+}
+
+std::int64_t Connection::queryInt(std::string_view sql, std::int64_t default_value) {
+  const minidb::Value v = queryValue(sql);
+  return v.isInt() ? v.asInt() : default_value;
+}
+
+}  // namespace perftrack::dbal

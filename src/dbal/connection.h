@@ -1,0 +1,57 @@
+// PerfTrack DB abstraction layer (dbal).
+//
+// The paper's prototype talks to Oracle or PostgreSQL through a thin Python
+// DBI layer; PerfTrack code never depends on a specific DBMS. This library
+// plays the same role in C++: a Connection facade over a SQL engine with two
+// interchangeable backends — file-backed ("postgres-like", durable) and
+// in-memory (scratch analysis sessions). All higher layers (core, ptdf,
+// tools) speak SQL through this interface only.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "minidb/database.h"
+#include "minidb/sql/executor.h"
+
+namespace perftrack::dbal {
+
+using minidb::sql::ResultSet;
+
+/// One open database session.
+class Connection {
+ public:
+  /// Opens `path`, or a fresh in-memory store when path == ":memory:".
+  static std::unique_ptr<Connection> open(const std::string& path);
+
+  /// Executes one SQL statement.
+  ResultSet exec(std::string_view sql) { return engine_.exec(sql); }
+
+  /// Scalar helpers for the common lookup patterns.
+  /// Returns the first column of the first row, or NULL when empty.
+  minidb::Value queryValue(std::string_view sql);
+  std::int64_t queryInt(std::string_view sql, std::int64_t default_value = 0);
+
+  void begin() { db_->begin(); }
+  void commit() { db_->commit(); }
+  void rollback() { db_->rollback(); }
+  bool inTransaction() const { return db_->inTransaction(); }
+
+  /// Logical store size in bytes (Table 1's "DB size increase" numbers).
+  std::uint64_t sizeBytes() const { return db_->sizeBytes(); }
+
+  /// Ablation switch: disable index-assisted plans (see DESIGN.md §5).
+  void setUseIndexes(bool enabled) { engine_.setUseIndexes(enabled); }
+
+  minidb::Database& database() { return *db_; }
+
+ private:
+  explicit Connection(std::unique_ptr<minidb::Database> db)
+      : db_(std::move(db)), engine_(*db_) {}
+
+  std::unique_ptr<minidb::Database> db_;
+  minidb::sql::Engine engine_;
+};
+
+}  // namespace perftrack::dbal

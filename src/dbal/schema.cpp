@@ -1,0 +1,178 @@
+#include "dbal/schema.h"
+
+#include <array>
+#include <string_view>
+
+#include "dbal/connection.h"
+
+namespace perftrack::dbal {
+
+namespace {
+
+constexpr std::string_view kTables[] = {
+    "focus_framework",
+    "resource_item",
+    "resource_attribute",
+    "resource_constraint",
+    "resource_has_ancestor",
+    "resource_has_descendant",
+    "application",
+    "execution",
+    "performance_tool",
+    "metric",
+    "focus",
+    "focus_has_resource",
+    "performance_result",
+    "performance_result_has_focus",
+    "performance_result_histogram",
+    "performance_result_bin",
+};
+
+constexpr std::string_view kDdl[] = {
+    // --- type system -------------------------------------------------------
+    "CREATE TABLE IF NOT EXISTS focus_framework ("
+    "  id INTEGER PRIMARY KEY,"
+    "  type_name TEXT,"        // full type path, e.g. grid/machine/partition
+    "  base_name TEXT,"        // last path segment, e.g. partition
+    "  parent_id INTEGER)",    // enclosing type, or NULL for a root
+    "CREATE UNIQUE INDEX IF NOT EXISTS ff_by_name ON focus_framework (type_name)",
+    "CREATE INDEX IF NOT EXISTS ff_by_parent ON focus_framework (parent_id)",
+    "CREATE INDEX IF NOT EXISTS ff_by_base ON focus_framework (base_name)",
+
+    // --- resources ----------------------------------------------------------
+    "CREATE TABLE IF NOT EXISTS resource_item ("
+    "  id INTEGER PRIMARY KEY,"
+    "  name TEXT,"              // base name (last path segment)
+    "  full_name TEXT,"         // unique full path, e.g. /Frost/batch/n1/p0
+    "  parent_id INTEGER,"      // enclosing resource, NULL for top level
+    "  focus_framework_id INTEGER)",
+    "CREATE UNIQUE INDEX IF NOT EXISTS ri_by_full_name ON resource_item (full_name)",
+    "CREATE INDEX IF NOT EXISTS ri_by_parent ON resource_item (parent_id)",
+    "CREATE INDEX IF NOT EXISTS ri_by_type ON resource_item (focus_framework_id)",
+    "CREATE INDEX IF NOT EXISTS ri_by_name ON resource_item (name)",
+
+    "CREATE TABLE IF NOT EXISTS resource_attribute ("
+    "  id INTEGER PRIMARY KEY,"
+    "  resource_id INTEGER,"
+    "  name TEXT,"
+    "  value TEXT,"
+    "  attr_type TEXT)",       // 'string' or 'resource' (paper Figure 6)
+    "CREATE INDEX IF NOT EXISTS ra_by_resource ON resource_attribute (resource_id)",
+    "CREATE INDEX IF NOT EXISTS ra_by_name ON resource_attribute (name)",
+
+    "CREATE TABLE IF NOT EXISTS resource_constraint ("
+    "  id INTEGER PRIMARY KEY,"
+    "  resource_id1 INTEGER,"
+    "  resource_id2 INTEGER)",
+    "CREATE INDEX IF NOT EXISTS rc_by_r1 ON resource_constraint (resource_id1)",
+    "CREATE INDEX IF NOT EXISTS rc_by_r2 ON resource_constraint (resource_id2)",
+
+    // Closure tables: the paper adds these "for performance reasons, ... to
+    // avoid needing to traverse the resource hierarchy and follow the chain
+    // of parent_id's".
+    "CREATE TABLE IF NOT EXISTS resource_has_ancestor ("
+    "  resource_id INTEGER,"
+    "  ancestor_id INTEGER)",
+    "CREATE INDEX IF NOT EXISTS rha_by_resource ON resource_has_ancestor (resource_id)",
+    "CREATE INDEX IF NOT EXISTS rha_by_ancestor ON resource_has_ancestor (ancestor_id)",
+    "CREATE TABLE IF NOT EXISTS resource_has_descendant ("
+    "  resource_id INTEGER,"
+    "  descendant_id INTEGER)",
+    "CREATE INDEX IF NOT EXISTS rhd_by_resource ON resource_has_descendant (resource_id)",
+    "CREATE INDEX IF NOT EXISTS rhd_by_descendant ON resource_has_descendant (descendant_id)",
+
+    // --- experiment bookkeeping ---------------------------------------------
+    "CREATE TABLE IF NOT EXISTS application ("
+    "  id INTEGER PRIMARY KEY,"
+    "  name TEXT)",
+    "CREATE UNIQUE INDEX IF NOT EXISTS app_by_name ON application (name)",
+
+    "CREATE TABLE IF NOT EXISTS execution ("
+    "  id INTEGER PRIMARY KEY,"
+    "  name TEXT,"
+    "  application_id INTEGER)",
+    "CREATE UNIQUE INDEX IF NOT EXISTS exec_by_name ON execution (name)",
+    "CREATE INDEX IF NOT EXISTS exec_by_app ON execution (application_id)",
+
+    "CREATE TABLE IF NOT EXISTS performance_tool ("
+    "  id INTEGER PRIMARY KEY,"
+    "  name TEXT)",
+    "CREATE UNIQUE INDEX IF NOT EXISTS tool_by_name ON performance_tool (name)",
+
+    "CREATE TABLE IF NOT EXISTS metric ("
+    "  id INTEGER PRIMARY KEY,"
+    "  name TEXT,"
+    "  units TEXT)",
+    "CREATE UNIQUE INDEX IF NOT EXISTS metric_by_name ON metric (name)",
+
+    // --- contexts and results -----------------------------------------------
+    "CREATE TABLE IF NOT EXISTS focus ("
+    "  id INTEGER PRIMARY KEY,"
+    "  execution_id INTEGER,"
+    "  signature TEXT)",       // canonical resource-id list for dedup
+    "CREATE INDEX IF NOT EXISTS focus_by_exec ON focus (execution_id)",
+    "CREATE INDEX IF NOT EXISTS focus_by_sig ON focus (signature)",
+
+    "CREATE TABLE IF NOT EXISTS focus_has_resource ("
+    "  focus_id INTEGER,"
+    "  resource_id INTEGER,"
+    "  focus_type TEXT)",      // primary | parent | child | sender | receiver
+    "CREATE INDEX IF NOT EXISTS fhr_by_focus ON focus_has_resource (focus_id)",
+    "CREATE INDEX IF NOT EXISTS fhr_by_resource ON focus_has_resource (resource_id)",
+
+    "CREATE TABLE IF NOT EXISTS performance_result ("
+    "  id INTEGER PRIMARY KEY,"
+    "  execution_id INTEGER,"
+    "  metric_id INTEGER,"
+    "  performance_tool_id INTEGER,"
+    "  value REAL,"
+    "  units TEXT,"
+    "  start_time REAL,"
+    "  end_time REAL)",
+    "CREATE INDEX IF NOT EXISTS pr_by_exec ON performance_result (execution_id)",
+    "CREATE INDEX IF NOT EXISTS pr_by_metric ON performance_result (metric_id)",
+    "CREATE INDEX IF NOT EXISTS pr_by_tool ON performance_result (performance_tool_id)",
+
+    "CREATE TABLE IF NOT EXISTS performance_result_has_focus ("
+    "  result_id INTEGER,"
+    "  focus_id INTEGER)",
+    "CREATE INDEX IF NOT EXISTS prhf_by_result ON performance_result_has_focus (result_id)",
+    "CREATE INDEX IF NOT EXISTS prhf_by_focus ON performance_result_has_focus (focus_id)",
+
+    // --- complex (histogram) results ------------------------------------------
+    // The paper's §6 plans "complex performance results ... to avoid creating
+    // a new performance result for each bin in a Paradyn histogram file".
+    // A histogram result is a normal performance_result (value = sum over
+    // bins) plus a descriptor row and one row per recorded bin.
+    "CREATE TABLE IF NOT EXISTS performance_result_histogram ("
+    "  result_id INTEGER,"
+    "  num_bins INTEGER,"
+    "  bin_width REAL)",
+    "CREATE INDEX IF NOT EXISTS prh_by_result ON performance_result_histogram (result_id)",
+    "CREATE TABLE IF NOT EXISTS performance_result_bin ("
+    "  result_id INTEGER,"
+    "  bin INTEGER,"
+    "  value REAL)",
+    "CREATE INDEX IF NOT EXISTS prb_by_result ON performance_result_bin (result_id)",
+};
+
+}  // namespace
+
+void createPerfTrackSchema(Connection& conn) {
+  for (std::string_view ddl : kDdl) conn.exec(ddl);
+}
+
+bool hasPerfTrackSchema(Connection& conn) {
+  for (std::string_view table : kTables) {
+    if (conn.database().catalog().findTable(table) == nullptr) return false;
+  }
+  return true;
+}
+
+void dropPerfTrackSchema(Connection& conn) {
+  for (std::string_view table : kTables) {
+    conn.exec("DROP TABLE IF EXISTS " + std::string(table));
+  }
+}
+
+}  // namespace perftrack::dbal

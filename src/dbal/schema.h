@@ -1,0 +1,35 @@
+// PerfTrack database schema (paper Figure 1).
+//
+// Tables:
+//   focus_framework        resource type system (hierarchical type tree)
+//   resource_item          one row per resource; unique full path name
+//   resource_attribute     attribute name/value pairs per resource
+//   resource_constraint    attributes that are themselves resources
+//   resource_has_ancestor  transitive-closure table (query acceleration)
+//   resource_has_descendant  symmetric closure table
+//   application            applications under study
+//   execution              one row per application run
+//   performance_tool       measurement tools (IRS, mpiP, PMAPI, Paradyn, ...)
+//   metric                 measurable characteristics
+//   focus                  a context: one set of resources
+//   focus_has_resource     resources within a focus, with a focus type
+//                          (primary/parent/child/sender/receiver)
+//   performance_result     measured value + metric + tool + execution
+//   performance_result_has_focus  result<->context links (multi-context
+//                          results, the §4.2 mpiP caller/callee change)
+#pragma once
+
+namespace perftrack::dbal {
+
+class Connection;
+
+/// Creates all PerfTrack tables and indexes (idempotent).
+void createPerfTrackSchema(Connection& conn);
+
+/// True when `conn` already carries a PerfTrack schema.
+bool hasPerfTrackSchema(Connection& conn);
+
+/// Drops every PerfTrack table (testing/reset support).
+void dropPerfTrackSchema(Connection& conn);
+
+}  // namespace perftrack::dbal

@@ -1,0 +1,324 @@
+#include "minidb/btree.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/error.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+namespace {
+
+// Node layout: [BtHeader][slot 0..n-1]              ...[cell payloads]
+// Leaf cell payload: the key bytes.
+// Internal cell payload: 4-byte child page id, then the separator key bytes.
+// Internal semantics: children are [leftmost, C1..Cn] with sorted separator
+// keys K1..Kn; a key k routes to leftmost when k < K1, else to the Ci with
+// the largest Ki <= k.
+struct BtHeader {
+  std::uint8_t is_leaf;
+  std::uint8_t pad;
+  std::uint16_t slot_count;
+  std::uint16_t free_off;
+  std::uint16_t pad2;
+  PageId right;     // leaf-level right sibling (kInvalidPage at the tail)
+  PageId leftmost;  // internal nodes only
+};
+
+struct Slot {
+  std::uint16_t off;
+  std::uint16_t len;
+};
+
+constexpr std::size_t kHdr = sizeof(BtHeader);
+constexpr std::size_t kSlot = sizeof(Slot);
+
+BtHeader* hdr(std::uint8_t* p) { return reinterpret_cast<BtHeader*>(p); }
+const BtHeader* hdr(const std::uint8_t* p) { return reinterpret_cast<const BtHeader*>(p); }
+Slot* slots(std::uint8_t* p) { return reinterpret_cast<Slot*>(p + kHdr); }
+const Slot* slots(const std::uint8_t* p) { return reinterpret_cast<const Slot*>(p + kHdr); }
+
+std::string_view cellBytes(const std::uint8_t* page, std::uint16_t idx) {
+  const Slot& s = slots(page)[idx];
+  return {reinterpret_cast<const char*>(page + s.off), s.len};
+}
+
+std::string_view keyAt(const std::uint8_t* page, std::uint16_t idx) {
+  std::string_view cell = cellBytes(page, idx);
+  if (hdr(page)->is_leaf) return cell;
+  return cell.substr(sizeof(PageId));
+}
+
+PageId childAt(const std::uint8_t* page, std::uint16_t idx) {
+  const Slot& s = slots(page)[idx];
+  PageId child;
+  std::memcpy(&child, page + s.off, sizeof(child));
+  return child;
+}
+
+std::size_t freeSpace(const std::uint8_t* page) {
+  const BtHeader* h = hdr(page);
+  return h->free_off - (kHdr + kSlot * h->slot_count);
+}
+
+void initNode(std::uint8_t* page, bool leaf) {
+  BtHeader* h = hdr(page);
+  h->is_leaf = leaf ? 1 : 0;
+  h->pad = 0;
+  h->slot_count = 0;
+  h->free_off = static_cast<std::uint16_t>(kPageSize);
+  h->pad2 = 0;
+  h->right = kInvalidPage;
+  h->leftmost = kInvalidPage;
+}
+
+// First index whose key is >= `key`; slot_count when none.
+std::uint16_t lowerBoundIdx(const std::uint8_t* page, std::string_view key) {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = hdr(page)->slot_count;
+  while (lo < hi) {
+    const std::uint16_t mid = static_cast<std::uint16_t>((lo + hi) / 2);
+    if (keyAt(page, mid) < key) {
+      lo = static_cast<std::uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index (into [leftmost, C0..Cn-1]) for descending with `key`:
+// returns the slot of the last separator <= key, or -1 for leftmost.
+int descendIdx(const std::uint8_t* page, std::string_view key) {
+  const std::uint16_t lb = lowerBoundIdx(page, key);
+  if (lb < hdr(page)->slot_count && keyAt(page, lb) == key) return lb;
+  return static_cast<int>(lb) - 1;
+}
+
+// Inserts a cell payload at sorted position `idx`. Caller checked space.
+void insertCell(std::uint8_t* page, std::uint16_t idx, std::string_view payload) {
+  BtHeader* h = hdr(page);
+  h->free_off = static_cast<std::uint16_t>(h->free_off - payload.size());
+  std::memcpy(page + h->free_off, payload.data(), payload.size());
+  Slot* arr = slots(page);
+  std::memmove(arr + idx + 1, arr + idx, (h->slot_count - idx) * kSlot);
+  arr[idx].off = h->free_off;
+  arr[idx].len = static_cast<std::uint16_t>(payload.size());
+  h->slot_count++;
+}
+
+void removeCell(std::uint8_t* page, std::uint16_t idx) {
+  BtHeader* h = hdr(page);
+  Slot* arr = slots(page);
+  std::memmove(arr + idx, arr + idx + 1, (h->slot_count - idx - 1) * kSlot);
+  h->slot_count--;
+  // Payload bytes are reclaimed lazily at the next split/compaction.
+}
+
+// Rewrites `page` compactly from a list of cell payloads.
+void rebuildNode(std::uint8_t* page, bool leaf, const std::vector<std::string>& cells,
+                 PageId right, PageId leftmost) {
+  initNode(page, leaf);
+  BtHeader* h = hdr(page);
+  h->right = right;
+  h->leftmost = leftmost;
+  for (std::uint16_t i = 0; i < cells.size(); ++i) {
+    insertCell(page, i, cells[i]);
+  }
+}
+
+std::string makeInternalCell(PageId child, std::string_view key) {
+  std::string cell;
+  cell.resize(sizeof(PageId));
+  std::memcpy(cell.data(), &child, sizeof(child));
+  cell.append(key);
+  return cell;
+}
+
+}  // namespace
+
+std::size_t BTree::maxKeySize() { return 2048; }
+
+PageId BTree::create(Pager& pager) {
+  const PageId id = pager.allocate();
+  initNode(pager.pageForWrite(id), /*leaf=*/true);
+  return id;
+}
+
+std::optional<BTree::SplitResult> BTree::insertInto(PageId page_id, std::string_view key) {
+  const std::uint8_t* rpage = pager_->pageForRead(page_id);
+  if (hdr(rpage)->is_leaf) {
+    const std::uint16_t idx = lowerBoundIdx(rpage, key);
+    if (idx < hdr(rpage)->slot_count && keyAt(rpage, idx) == key) {
+      throw StorageError("BTree: duplicate key insertion");
+    }
+    if (freeSpace(rpage) >= key.size() + kSlot) {
+      insertCell(pager_->pageForWrite(page_id), idx, key);
+      return std::nullopt;
+    }
+    // Overflow: gather, insert, split into page_id (left) and a new right.
+    std::vector<std::string> cells;
+    cells.reserve(hdr(rpage)->slot_count + 1u);
+    for (std::uint16_t i = 0; i < hdr(rpage)->slot_count; ++i) {
+      cells.emplace_back(cellBytes(rpage, i));
+    }
+    cells.insert(cells.begin() + idx, std::string(key));
+    const std::size_t mid = cells.size() / 2;
+    std::vector<std::string> left(cells.begin(), cells.begin() + mid);
+    std::vector<std::string> right(cells.begin() + mid, cells.end());
+    const PageId old_right = hdr(rpage)->right;
+    const PageId right_id = pager_->allocate();
+    rebuildNode(pager_->pageForWrite(right_id), true, right, old_right, kInvalidPage);
+    rebuildNode(pager_->pageForWrite(page_id), true, left, right_id, kInvalidPage);
+    return SplitResult{right.front(), right_id};
+  }
+
+  // Internal node: descend.
+  const int didx = descendIdx(rpage, key);
+  const PageId child =
+      didx < 0 ? hdr(rpage)->leftmost : childAt(rpage, static_cast<std::uint16_t>(didx));
+  auto split = insertInto(child, key);
+  if (!split) return std::nullopt;
+
+  const std::string cell = makeInternalCell(split->right, split->separator);
+  rpage = pager_->pageForRead(page_id);  // re-read: child work may not alias
+  const std::uint16_t idx = lowerBoundIdx(rpage, split->separator);
+  if (freeSpace(rpage) >= cell.size() + kSlot) {
+    insertCell(pager_->pageForWrite(page_id), idx, cell);
+    return std::nullopt;
+  }
+  // Internal overflow: gather cells, insert, split; middle key moves up.
+  std::vector<std::string> cells;
+  cells.reserve(hdr(rpage)->slot_count + 1u);
+  for (std::uint16_t i = 0; i < hdr(rpage)->slot_count; ++i) {
+    cells.emplace_back(cellBytes(rpage, i));
+  }
+  cells.insert(cells.begin() + idx, cell);
+  const std::size_t mid = cells.size() / 2;
+  std::string separator = cells[mid].substr(sizeof(PageId));
+  PageId right_leftmost;
+  std::memcpy(&right_leftmost, cells[mid].data(), sizeof(right_leftmost));
+  std::vector<std::string> left(cells.begin(), cells.begin() + mid);
+  std::vector<std::string> right(cells.begin() + mid + 1, cells.end());
+  const PageId leftmost = hdr(rpage)->leftmost;
+  const PageId right_id = pager_->allocate();
+  rebuildNode(pager_->pageForWrite(right_id), false, right, kInvalidPage, right_leftmost);
+  rebuildNode(pager_->pageForWrite(page_id), false, left, kInvalidPage, leftmost);
+  return SplitResult{std::move(separator), right_id};
+}
+
+void BTree::insert(std::string_view key) {
+  if (key.size() > maxKeySize()) {
+    throw StorageError("BTree: key of " + std::to_string(key.size()) +
+                       " bytes exceeds the 2 KiB index key limit");
+  }
+  auto split = insertInto(root_, key);
+  if (!split) return;
+  // Root overflowed. The root page now holds the left half; move it to a
+  // fresh page and rebuild the (stable) root as an internal node over the
+  // two halves.
+  const PageId left_id = pager_->allocate();
+  std::uint8_t* left = pager_->pageForWrite(left_id);
+  std::memcpy(left, pager_->pageForRead(root_), kPageSize);
+  std::uint8_t* root = pager_->pageForWrite(root_);
+  initNode(root, /*leaf=*/false);
+  hdr(root)->leftmost = left_id;
+  insertCell(root, 0, makeInternalCell(split->right, split->separator));
+}
+
+bool BTree::erase(std::string_view key) {
+  PageId page_id = root_;
+  while (true) {
+    const std::uint8_t* page = pager_->pageForRead(page_id);
+    if (hdr(page)->is_leaf) break;
+    const int didx = descendIdx(page, key);
+    page_id =
+        didx < 0 ? hdr(page)->leftmost : childAt(page, static_cast<std::uint16_t>(didx));
+  }
+  const std::uint8_t* leaf = pager_->pageForRead(page_id);
+  const std::uint16_t idx = lowerBoundIdx(leaf, key);
+  if (idx >= hdr(leaf)->slot_count || keyAt(leaf, idx) != key) return false;
+  removeCell(pager_->pageForWrite(page_id), idx);
+  return true;
+}
+
+bool BTree::contains(std::string_view key) const {
+  Iterator it = lowerBound(key);
+  return !it.done() && it.key() == key;
+}
+
+BTree::Iterator BTree::lowerBound(std::string_view key) const {
+  PageId page_id = root_;
+  while (true) {
+    const std::uint8_t* page = pager_->pageForRead(page_id);
+    if (hdr(page)->is_leaf) break;
+    const int didx = descendIdx(page, key);
+    page_id =
+        didx < 0 ? hdr(page)->leftmost : childAt(page, static_cast<std::uint16_t>(didx));
+  }
+  const std::uint8_t* leaf = pager_->pageForRead(page_id);
+  Iterator it(pager_, page_id, lowerBoundIdx(leaf, key));
+  it.skipEmptyLeaves();
+  return it;
+}
+
+std::string_view BTree::Iterator::key() const {
+  return keyAt(pager_->pageForRead(page_), idx_);
+}
+
+void BTree::Iterator::next() {
+  ++idx_;
+  skipEmptyLeaves();
+}
+
+void BTree::Iterator::skipEmptyLeaves() {
+  while (page_ != kInvalidPage) {
+    const std::uint8_t* page = pager_->pageForRead(page_);
+    if (idx_ < hdr(page)->slot_count) return;
+    page_ = hdr(page)->right;
+    idx_ = 0;
+  }
+}
+
+std::size_t BTree::size() const {
+  std::size_t n = 0;
+  for (Iterator it = begin(); !it.done(); it.next()) ++n;
+  return n;
+}
+
+int BTree::height() const {
+  int h = 1;
+  PageId page_id = root_;
+  while (hdr(pager_->pageForRead(page_id))->is_leaf == 0) {
+    page_id = hdr(pager_->pageForRead(page_id))->leftmost;
+    ++h;
+  }
+  return h;
+}
+
+void BTree::destroy() {
+  // Free level by level: walk down the leftmost spine, collecting each
+  // level's pages via sibling/child traversal.
+  std::vector<PageId> to_free;
+  std::vector<PageId> level{root_};
+  while (!level.empty()) {
+    std::vector<PageId> next_level;
+    for (PageId id : level) {
+      to_free.push_back(id);
+      const std::uint8_t* page = pager_->pageForRead(id);
+      if (!hdr(page)->is_leaf) {
+        next_level.push_back(hdr(page)->leftmost);
+        for (std::uint16_t i = 0; i < hdr(page)->slot_count; ++i) {
+          next_level.push_back(childAt(page, i));
+        }
+      }
+    }
+    level = std::move(next_level);
+  }
+  for (PageId id : to_free) pager_->free(id);
+  root_ = kInvalidPage;
+}
+
+}  // namespace perftrack::minidb

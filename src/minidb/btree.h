@@ -1,0 +1,98 @@
+// minidb: B+-tree index over order-preserving encoded keys.
+//
+// Keys are opaque byte strings compared with memcmp semantics (see
+// keycodec.h); each key carries the owning record id as a suffix, so the
+// tree stores *keys only* and duplicates never collide. Leaves are linked
+// left-to-right for range scans. The root page id is stable for the lifetime
+// of the index: when the root splits its contents move to two fresh children
+// and the original page becomes the new internal root, so the catalog never
+// needs rewriting.
+//
+// Deletion removes keys without rebalancing (underfull nodes persist). This
+// matches the workload: PerfTrack stores are append-mostly, and bulk removal
+// happens via DROP TABLE, which frees whole page chains.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "minidb/pager.h"
+#include "minidb/types.h"
+
+namespace perftrack::minidb {
+
+/// View over one B+-tree rooted at a fixed page.
+class BTree {
+ public:
+  BTree(Pager& pager, PageId root) : pager_(&pager), root_(root) {}
+
+  /// Creates an empty tree; returns the (stable) root page id.
+  static PageId create(Pager& pager);
+
+  PageId rootPage() const { return root_; }
+
+  /// Inserts an encoded key. Duplicate byte strings are rejected (callers
+  /// append the record id, so logical duplicates are always distinct).
+  void insert(std::string_view key);
+
+  /// Removes an exact key. Returns false when not present.
+  bool erase(std::string_view key);
+
+  /// True when the exact key exists.
+  bool contains(std::string_view key) const;
+
+  /// Frees every page of the tree (used by DROP TABLE / DROP INDEX).
+  void destroy();
+
+  /// Largest key the tree accepts; longer keys throw StorageError.
+  static std::size_t maxKeySize();
+
+  /// Forward iterator positioned by lowerBound().
+  class Iterator {
+   public:
+    bool done() const { return page_ == kInvalidPage; }
+
+    /// Current key bytes (valid until the next tree mutation).
+    std::string_view key() const;
+
+    void next();
+
+   private:
+    friend class BTree;
+    Iterator(const Pager* pager, PageId page, std::uint16_t idx)
+        : pager_(pager), page_(page), idx_(idx) {}
+    void skipEmptyLeaves();
+    const Pager* pager_;
+    PageId page_;
+    std::uint16_t idx_;
+  };
+
+  /// First key >= `key` in tree order.
+  Iterator lowerBound(std::string_view key) const;
+
+  /// Iterator over all keys.
+  Iterator begin() const { return lowerBound(std::string_view{}); }
+
+  /// Number of keys (walks the leaf level; used by tests and EXPLAIN).
+  std::size_t size() const;
+
+  /// Height of the tree (1 = just a leaf root). Exposed for tests.
+  int height() const;
+
+ private:
+  struct SplitResult {
+    std::string separator;  // first key of the new right sibling
+    PageId right;
+  };
+
+  // Inserts into the subtree rooted at `page`; returns a split descriptor
+  // when the child overflowed and the caller must add a separator.
+  std::optional<SplitResult> insertInto(PageId page, std::string_view key);
+
+  Pager* pager_;
+  PageId root_;
+};
+
+}  // namespace perftrack::minidb

@@ -1,0 +1,205 @@
+#include "minidb/catalog.h"
+
+#include "minidb/heap.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+int TableDef::columnIndex(std::string_view column) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (util::iequals(columns[i].name, column)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Catalog rows:
+//   table: ["table", name, first_page, pk_ordinal, "col:TYPE,col:TYPE,..."]
+//   index: ["index", name, root_page, unique, table, "0,2,..."]
+Row tableRow(const TableDef& t) {
+  std::vector<std::string> cols;
+  cols.reserve(t.columns.size());
+  for (const ColumnDef& c : t.columns) {
+    cols.push_back(c.name + ":" + std::string(columnTypeName(c.type)));
+  }
+  return Row{Value("table"), Value(t.name), Value(static_cast<std::int64_t>(t.first_page)),
+             Value(static_cast<std::int64_t>(t.primary_key)), Value(util::join(cols, ","))};
+}
+
+Row indexRow(const IndexDef& i) {
+  std::vector<std::string> cols;
+  cols.reserve(i.columns.size());
+  for (int c : i.columns) cols.push_back(std::to_string(c));
+  return Row{Value("index"),  Value(i.name), Value(static_cast<std::int64_t>(i.root)),
+             Value(static_cast<std::int64_t>(i.unique ? 1 : 0)), Value(i.table),
+             Value(util::join(cols, ","))};
+}
+
+ColumnType parseType(std::string_view name) {
+  if (util::iequals(name, "INTEGER")) return ColumnType::Integer;
+  if (util::iequals(name, "REAL")) return ColumnType::Real;
+  if (util::iequals(name, "TEXT")) return ColumnType::Text;
+  throw StorageError("catalog: unknown column type '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+void Catalog::load(const Pager& pager) {
+  tables_.clear();
+  indexes_.clear();
+  const PageId first = pager.header().catalog_first_page;
+  if (first == kInvalidPage) return;
+  // HeapFile needs a mutable pager reference for insert paths we do not use.
+  HeapFile heap(const_cast<Pager&>(pager), first);
+  for (auto it = heap.begin(); !it.done(); it.next()) {
+    const Row row = deserializeRow(it.data(), it.size());
+    const std::string& kind = row.at(0).asText();
+    if (kind == "table") {
+      TableDef def;
+      def.name = row.at(1).asText();
+      def.first_page = static_cast<PageId>(row.at(2).asInt());
+      def.primary_key = static_cast<int>(row.at(3).asInt());
+      for (const std::string& spec : util::split(row.at(4).asText(), ',')) {
+        if (spec.empty()) continue;
+        const auto parts = util::split(spec, ':');
+        if (parts.size() != 2) throw StorageError("catalog: bad column spec " + spec);
+        def.columns.push_back({parts[0], parseType(parts[1])});
+      }
+      tables_.emplace(def.name, std::move(def));
+    } else if (kind == "index") {
+      IndexDef def;
+      def.name = row.at(1).asText();
+      def.root = static_cast<PageId>(row.at(2).asInt());
+      def.unique = row.at(3).asInt() != 0;
+      def.table = row.at(4).asText();
+      for (const std::string& c : util::split(row.at(5).asText(), ',')) {
+        if (!c.empty()) def.columns.push_back(static_cast<int>(*util::parseInt(c)));
+      }
+      indexes_.emplace(def.name, std::move(def));
+    } else {
+      throw StorageError("catalog: unknown entry kind '" + kind + "'");
+    }
+  }
+}
+
+void Catalog::save(Pager& pager) const {
+  // Free the previous chain, then write a fresh one.
+  const PageId old = pager.header().catalog_first_page;
+  if (old != kInvalidPage) {
+    HeapFile(pager, old).destroy();
+  }
+  const PageId first = HeapFile::create(pager);
+  HeapFile heap(pager, first);
+  std::vector<std::uint8_t> buf;
+  for (const auto& [name, def] : tables_) {
+    buf.clear();
+    serializeRow(tableRow(def), buf);
+    heap.insert(buf.data(), buf.size());
+  }
+  for (const auto& [name, def] : indexes_) {
+    buf.clear();
+    serializeRow(indexRow(def), buf);
+    heap.insert(buf.data(), buf.size());
+  }
+  pager.headerForWrite().catalog_first_page = first;
+}
+
+const TableDef* Catalog::findTable(std::string_view name) const {
+  // Table names are case-insensitive, like mainstream SQL engines.
+  for (const auto& [key, def] : tables_) {
+    if (util::iequals(key, name)) return &def;
+  }
+  return nullptr;
+}
+
+const IndexDef* Catalog::findIndex(std::string_view name) const {
+  for (const auto& [key, def] : indexes_) {
+    if (util::iequals(key, name)) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<const IndexDef*> Catalog::indexesOn(std::string_view table) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& [name, def] : indexes_) {
+    if (util::iequals(def.table, table)) out.push_back(&def);
+  }
+  return out;
+}
+
+const IndexDef* Catalog::indexOnColumn(std::string_view table, int column) const {
+  for (const auto& [name, def] : indexes_) {
+    if (util::iequals(def.table, table) && !def.columns.empty() &&
+        def.columns.front() == column) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
+void Catalog::addTable(TableDef def) {
+  if (findTable(def.name) != nullptr) {
+    throw StorageError("catalog: table '" + def.name + "' already exists");
+  }
+  tables_.emplace(def.name, std::move(def));
+}
+
+void Catalog::addIndex(IndexDef def) {
+  if (findIndex(def.name) != nullptr) {
+    throw StorageError("catalog: index '" + def.name + "' already exists");
+  }
+  indexes_.emplace(def.name, std::move(def));
+}
+
+void Catalog::removeTable(std::string_view name) {
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (util::iequals(it->second.table, name)) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (util::iequals(it->first, name)) {
+      tables_.erase(it);
+      return;
+    }
+  }
+  throw StorageError("catalog: no table named '" + std::string(name) + "'");
+}
+
+void Catalog::setTableFirstPage(std::string_view name, PageId first_page) {
+  for (auto& [key, def] : tables_) {
+    if (util::iequals(key, name)) {
+      def.first_page = first_page;
+      return;
+    }
+  }
+  throw StorageError("catalog: no table named '" + std::string(name) + "'");
+}
+
+void Catalog::setIndexRoot(std::string_view name, PageId root) {
+  for (auto& [key, def] : indexes_) {
+    if (util::iequals(key, name)) {
+      def.root = root;
+      return;
+    }
+  }
+  throw StorageError("catalog: no index named '" + std::string(name) + "'");
+}
+
+void Catalog::removeIndex(std::string_view name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (util::iequals(it->first, name)) {
+      indexes_.erase(it);
+      return;
+    }
+  }
+  throw StorageError("catalog: no index named '" + std::string(name) + "'");
+}
+
+}  // namespace perftrack::minidb

@@ -1,0 +1,77 @@
+// minidb: system catalog — persistent table and index definitions.
+//
+// The catalog lives in its own heap chain (anchored in the header page), one
+// serialized row per table or index. DDL is rare, so catalog mutation simply
+// rewrites the chain. The in-memory Catalog object is a cache rebuilt from
+// pages on open and after every rollback.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/pager.h"
+#include "minidb/types.h"
+#include "minidb/value.h"
+
+namespace perftrack::minidb {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::Text;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  int primary_key = -1;  // column ordinal, or -1 when the table has no PK
+  PageId first_page = kInvalidPage;
+
+  /// Ordinal of `column`, or -1.
+  int columnIndex(std::string_view column) const;
+};
+
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::vector<int> columns;  // column ordinals in key order
+  bool unique = false;
+  PageId root = kInvalidPage;
+};
+
+/// In-memory view of the catalog with load/save against the pager.
+class Catalog {
+ public:
+  void load(const Pager& pager);
+  void save(Pager& pager) const;
+
+  const TableDef* findTable(std::string_view name) const;
+  const IndexDef* findIndex(std::string_view name) const;
+
+  /// All indexes defined on `table`.
+  std::vector<const IndexDef*> indexesOn(std::string_view table) const;
+
+  /// An index whose leading column is `column` of `table`, or nullptr.
+  const IndexDef* indexOnColumn(std::string_view table, int column) const;
+
+  void addTable(TableDef def);
+  void addIndex(IndexDef def);
+  void removeTable(std::string_view name);  // also removes its indexes
+  void removeIndex(std::string_view name);
+
+  /// Repoints a table's heap chain (used by VACUUM). Throws when absent.
+  void setTableFirstPage(std::string_view name, PageId first_page);
+  /// Repoints an index's root (used by VACUUM). Throws when absent.
+  void setIndexRoot(std::string_view name, PageId root);
+
+  const std::map<std::string, TableDef>& tables() const { return tables_; }
+  const std::map<std::string, IndexDef>& indexes() const { return indexes_; }
+
+ private:
+  std::map<std::string, TableDef> tables_;
+  std::map<std::string, IndexDef> indexes_;
+};
+
+}  // namespace perftrack::minidb

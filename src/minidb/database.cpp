@@ -1,0 +1,382 @@
+#include "minidb/database.h"
+
+#include "minidb/keycodec.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+std::unique_ptr<Database> Database::open(const std::string& path) {
+  return std::make_unique<Database>(std::make_unique<FilePager>(path));
+}
+
+std::unique_ptr<Database> Database::openMemory() {
+  return std::make_unique<Database>(std::make_unique<MemPager>());
+}
+
+Database::Database(std::unique_ptr<Pager> pager) : pager_(std::move(pager)) {
+  catalog_.load(*pager_);
+}
+
+const TableDef& Database::tableOrThrow(const std::string& name) const {
+  const TableDef* def = catalog_.findTable(name);
+  if (def == nullptr) throw StorageError("no such table: " + name);
+  return *def;
+}
+
+void Database::createTable(const std::string& name, std::vector<ColumnDef> columns,
+                           int primary_key) {
+  if (columns.empty()) throw StorageError("createTable: no columns");
+  if (primary_key >= static_cast<int>(columns.size())) {
+    throw StorageError("createTable: primary key ordinal out of range");
+  }
+  if (primary_key >= 0 && columns[primary_key].type != ColumnType::Integer) {
+    throw StorageError("createTable: primary key must be INTEGER");
+  }
+  TableDef def;
+  def.name = name;
+  def.columns = std::move(columns);
+  def.primary_key = primary_key;
+  def.first_page = HeapFile::create(*pager_);
+  catalog_.addTable(def);
+  if (primary_key >= 0) {
+    IndexDef pk;
+    pk.name = name + "__pk";
+    pk.table = name;
+    pk.columns = {primary_key};
+    pk.unique = true;
+    pk.root = BTree::create(*pager_);
+    catalog_.addIndex(std::move(pk));
+  }
+  catalog_.save(*pager_);
+}
+
+void Database::dropTable(const std::string& name) {
+  const TableDef& def = tableOrThrow(name);
+  for (const IndexDef* index : catalog_.indexesOn(def.name)) {
+    BTree(*pager_, index->root).destroy();
+  }
+  HeapFile(*pager_, def.first_page).destroy();
+  next_ids_.erase(def.name);
+  catalog_.removeTable(name);
+  catalog_.save(*pager_);
+}
+
+void Database::createIndex(const std::string& name, const std::string& table,
+                           const std::vector<std::string>& columns, bool unique) {
+  const TableDef& def = tableOrThrow(table);
+  IndexDef index;
+  index.name = name;
+  index.table = def.name;
+  index.unique = unique;
+  for (const std::string& col : columns) {
+    const int ordinal = def.columnIndex(col);
+    if (ordinal < 0) {
+      throw StorageError("createIndex: no column '" + col + "' in " + table);
+    }
+    index.columns.push_back(ordinal);
+  }
+  index.root = BTree::create(*pager_);
+  // Backfill from existing rows.
+  BTree tree(*pager_, index.root);
+  HeapFile heap(*pager_, def.first_page);
+  for (auto it = heap.begin(); !it.done(); it.next()) {
+    const Row row = deserializeRow(it.data(), it.size());
+    if (unique) {
+      std::vector<Value> key_values;
+      for (int c : index.columns) key_values.push_back(row.at(c));
+      EncodedKey prefix = encodeKey(key_values);
+      auto probe = tree.lowerBound(prefix);
+      if (!probe.done() && probe.key().substr(0, prefix.size()) == prefix) {
+        BTree(*pager_, index.root).destroy();
+        throw StorageError("createIndex: duplicate keys violate UNIQUE for " + name);
+      }
+    }
+    tree.insert(indexKeyFor(index, def, row, it.rid()));
+  }
+  catalog_.addIndex(std::move(index));
+  catalog_.save(*pager_);
+}
+
+void Database::dropIndex(const std::string& name) {
+  const IndexDef* def = catalog_.findIndex(name);
+  if (def == nullptr) throw StorageError("no such index: " + name);
+  BTree(*pager_, def->root).destroy();
+  catalog_.removeIndex(name);
+  catalog_.save(*pager_);
+}
+
+EncodedKey Database::indexKeyFor(const IndexDef& index, const TableDef& table,
+                                 const Row& row, RecordId rid) const {
+  (void)table;
+  EncodedKey key;
+  for (int c : index.columns) encodeValue(row.at(c), key);
+  encodeRecordIdSuffix(rid, key);
+  return key;
+}
+
+void Database::checkUnique(const IndexDef& index, const TableDef& table,
+                           const Row& row) const {
+  (void)table;
+  std::vector<Value> key_values;
+  for (int c : index.columns) key_values.push_back(row.at(c));
+  const EncodedKey prefix = encodeKey(key_values);
+  BTree tree(const_cast<Pager&>(*pager_), index.root);
+  auto it = tree.lowerBound(prefix);
+  if (!it.done() && it.key().substr(0, prefix.size()) == prefix) {
+    throw StorageError("UNIQUE constraint violated on index " + index.name);
+  }
+}
+
+void Database::insertIntoIndexes(const TableDef& table, const Row& row, RecordId rid) {
+  for (const IndexDef* index : catalog_.indexesOn(table.name)) {
+    BTree(*pager_, index->root).insert(indexKeyFor(*index, table, row, rid));
+  }
+}
+
+void Database::removeFromIndexes(const TableDef& table, const Row& row, RecordId rid) {
+  for (const IndexDef* index : catalog_.indexesOn(table.name)) {
+    BTree(*pager_, index->root).erase(indexKeyFor(*index, table, row, rid));
+  }
+}
+
+std::int64_t Database::nextId(const TableDef& table) {
+  auto it = next_ids_.find(table.name);
+  if (it == next_ids_.end()) {
+    // First auto-assignment since open/rollback: find the current maximum.
+    std::int64_t max_id = 0;
+    HeapFile heap(*pager_, table.first_page);
+    for (auto rec = heap.begin(); !rec.done(); rec.next()) {
+      const Row row = deserializeRow(rec.data(), rec.size());
+      const Value& pk = row.at(table.primary_key);
+      if (pk.isInt() && pk.asInt() > max_id) max_id = pk.asInt();
+    }
+    it = next_ids_.emplace(table.name, max_id).first;
+  }
+  return ++it->second;
+}
+
+std::int64_t Database::insertRow(const std::string& table_name, Row row) {
+  const TableDef& table = tableOrThrow(table_name);
+  if (row.size() != table.columns.size()) {
+    throw StorageError("insertRow: expected " + std::to_string(table.columns.size()) +
+                       " values for " + table_name + ", got " + std::to_string(row.size()));
+  }
+  std::int64_t pk_value = 0;
+  if (table.primary_key >= 0) {
+    Value& pk = row[table.primary_key];
+    if (pk.isNull()) pk = Value(nextId(table));
+    pk_value = pk.asInt();
+  }
+  for (const IndexDef* index : catalog_.indexesOn(table.name)) {
+    if (index->unique) checkUnique(*index, table, row);
+  }
+  std::vector<std::uint8_t> buf;
+  serializeRow(row, buf);
+  HeapFile heap(*pager_, table.first_page);
+  const RecordId rid = heap.insert(buf.data(), buf.size());
+  insertIntoIndexes(table, row, rid);
+  return pk_value;
+}
+
+bool Database::eraseRow(const std::string& table_name, RecordId rid) {
+  const TableDef& table = tableOrThrow(table_name);
+  HeapFile heap(*pager_, table.first_page);
+  std::vector<std::uint8_t> buf;
+  if (!heap.read(rid, buf)) return false;
+  const Row row = deserializeRow(buf.data(), buf.size());
+  removeFromIndexes(table, row, rid);
+  heap.erase(rid);
+  return true;
+}
+
+void Database::updateRow(const std::string& table_name, RecordId rid, const Row& row) {
+  const TableDef& table = tableOrThrow(table_name);
+  if (row.size() != table.columns.size()) {
+    throw StorageError("updateRow: wrong column count for " + table_name);
+  }
+  HeapFile heap(*pager_, table.first_page);
+  std::vector<std::uint8_t> old_buf;
+  if (!heap.read(rid, old_buf)) throw StorageError("updateRow: record not found");
+  const Row old_row = deserializeRow(old_buf.data(), old_buf.size());
+  removeFromIndexes(table, old_row, rid);
+  for (const IndexDef* index : catalog_.indexesOn(table.name)) {
+    if (index->unique) checkUnique(*index, table, row);
+  }
+  std::vector<std::uint8_t> buf;
+  serializeRow(row, buf);
+  const RecordId new_rid = heap.update(rid, buf.data(), buf.size());
+  insertIntoIndexes(table, row, new_rid);
+}
+
+std::optional<Row> Database::readRow(const std::string& table_name, RecordId rid) const {
+  const TableDef& table = tableOrThrow(table_name);
+  HeapFile heap(const_cast<Pager&>(*pager_), table.first_page);
+  std::vector<std::uint8_t> buf;
+  if (!heap.read(rid, buf)) return std::nullopt;
+  return deserializeRow(buf.data(), buf.size());
+}
+
+void Database::scan(const std::string& table_name,
+                    const std::function<bool(RecordId, const Row&)>& fn) const {
+  const TableDef& table = tableOrThrow(table_name);
+  HeapFile heap(const_cast<Pager&>(*pager_), table.first_page);
+  for (auto it = heap.begin(); !it.done(); it.next()) {
+    const Row row = deserializeRow(it.data(), it.size());
+    if (!fn(it.rid(), row)) return;
+  }
+}
+
+void Database::indexScanEqual(const IndexDef& index, const std::vector<Value>& key_prefix,
+                              const std::function<bool(RecordId, const Row&)>& fn) const {
+  const TableDef& table = tableOrThrow(index.table);
+  const EncodedKey prefix = encodeKey(key_prefix);
+  BTree tree(const_cast<Pager&>(*pager_), index.root);
+  HeapFile heap(const_cast<Pager&>(*pager_), table.first_page);
+  std::vector<std::uint8_t> buf;
+  for (auto it = tree.lowerBound(prefix); !it.done(); it.next()) {
+    const std::string_view key = it.key();
+    if (key.substr(0, prefix.size()) != prefix) break;
+    const RecordId rid = decodeRecordIdSuffix(std::string(key));
+    if (!heap.read(rid, buf)) {
+      throw StorageError("indexScanEqual: dangling index entry in " + index.name);
+    }
+    const Row row = deserializeRow(buf.data(), buf.size());
+    // Numeric index keys round through double; re-verify with exact values.
+    bool exact = true;
+    for (std::size_t i = 0; i < key_prefix.size(); ++i) {
+      if (row.at(index.columns[i]).compare(key_prefix[i]) != 0) {
+        exact = false;
+        break;
+      }
+    }
+    if (exact && !fn(rid, row)) return;
+  }
+}
+
+void Database::indexScanRange(const IndexDef& index, const std::optional<Value>& lower,
+                              bool lower_inclusive, const std::optional<Value>& upper,
+                              bool upper_inclusive,
+                              const std::function<bool(RecordId, const Row&)>& fn) const {
+  const TableDef& table = tableOrThrow(index.table);
+  EncodedKey start;
+  if (lower) encodeValue(*lower, start);
+  BTree tree(const_cast<Pager&>(*pager_), index.root);
+  HeapFile heap(const_cast<Pager&>(*pager_), table.first_page);
+  const int first_col = index.columns.front();
+  std::vector<std::uint8_t> buf;
+  for (auto it = tree.lowerBound(start); !it.done(); it.next()) {
+    const RecordId rid = decodeRecordIdSuffix(std::string(it.key()));
+    if (!heap.read(rid, buf)) {
+      throw StorageError("indexScanRange: dangling index entry in " + index.name);
+    }
+    const Row row = deserializeRow(buf.data(), buf.size());
+    const Value& v = row.at(first_col);
+    if (lower) {
+      const int c = v.compare(*lower);
+      if (c < 0 || (c == 0 && !lower_inclusive)) continue;
+    }
+    if (upper) {
+      const int c = v.compare(*upper);
+      if (c > 0 || (c == 0 && !upper_inclusive)) break;
+    }
+    if (!fn(rid, row)) return;
+  }
+}
+
+void Database::vacuum() {
+  if (pager_->inTransaction()) {
+    throw StorageError("VACUUM is not allowed inside a transaction");
+  }
+  // Rewrite each heap compactly, then rebuild its indexes against the new
+  // record ids. Old pages go back to the free list, so the logical size
+  // stops growing and space from deleted rows is reused.
+  for (const auto& [table_name, def] : catalog_.tables()) {
+    HeapFile old_heap(*pager_, def.first_page);
+    const PageId fresh_first = HeapFile::create(*pager_);
+    HeapFile fresh(*pager_, fresh_first);
+
+    std::vector<std::pair<Row, RecordId>> moved;  // row + new rid
+    for (auto it = old_heap.begin(); !it.done(); it.next()) {
+      const RecordId rid = fresh.insert(it.data(), it.size());
+      moved.emplace_back(deserializeRow(it.data(), it.size()), rid);
+    }
+    old_heap.destroy();
+    catalog_.setTableFirstPage(table_name, fresh_first);
+
+    for (const IndexDef* index : catalog_.indexesOn(table_name)) {
+      BTree(*pager_, index->root).destroy();
+      const PageId fresh_root = BTree::create(*pager_);
+      BTree tree(*pager_, fresh_root);
+      const TableDef* fresh_def = catalog_.findTable(table_name);
+      for (const auto& [row, rid] : moved) {
+        tree.insert(indexKeyFor(*index, *fresh_def, row, rid));
+      }
+      catalog_.setIndexRoot(index->name, fresh_root);
+    }
+  }
+  catalog_.save(*pager_);
+  pager_->flush();
+}
+
+std::vector<std::string> Database::verifyIntegrity() const {
+  std::vector<std::string> problems;
+  for (const auto& [table_name, def] : catalog_.tables()) {
+    // Collect the expected index keys from the heap.
+    HeapFile heap(const_cast<Pager&>(*pager_), def.first_page);
+    std::size_t live_rows = 0;
+    std::vector<std::pair<Row, RecordId>> rows;
+    for (auto it = heap.begin(); !it.done(); it.next()) {
+      rows.emplace_back(deserializeRow(it.data(), it.size()), it.rid());
+      ++live_rows;
+    }
+    for (const IndexDef* index : catalog_.indexesOn(table_name)) {
+      BTree tree(const_cast<Pager&>(*pager_), index->root);
+      // Heap -> index: every live row must be findable.
+      for (const auto& [row, rid] : rows) {
+        if (!tree.contains(indexKeyFor(*index, def, row, rid))) {
+          problems.push_back("index " + index->name + " is missing the entry for a "
+                             "live row of " + table_name);
+        }
+      }
+      // Index -> heap: every entry must point at a live record, and the
+      // entry count must equal the row count (no duplicates, no orphans).
+      std::size_t entries = 0;
+      for (auto it = tree.begin(); !it.done(); it.next()) {
+        ++entries;
+        const RecordId rid = decodeRecordIdSuffix(std::string(it.key()));
+        std::vector<std::uint8_t> buf;
+        if (!heap.read(rid, buf)) {
+          problems.push_back("index " + index->name +
+                             " holds an entry for a deleted record of " + table_name);
+        }
+      }
+      if (entries != live_rows) {
+        problems.push_back("index " + index->name + " has " + std::to_string(entries) +
+                           " entries for " + std::to_string(live_rows) +
+                           " live rows of " + table_name);
+      }
+    }
+  }
+  return problems;
+}
+
+void Database::begin() {
+  pager_->beginJournal();
+}
+
+void Database::commit() {
+  pager_->commitJournal();
+  pager_->flush();
+}
+
+void Database::rollback() {
+  pager_->rollbackJournal();
+  // Pages reverted under us: rebuild every cache derived from them.
+  catalog_.load(*pager_);
+  next_ids_.clear();
+}
+
+}  // namespace perftrack::minidb

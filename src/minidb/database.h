@@ -1,0 +1,123 @@
+// minidb: the storage-layer database object.
+//
+// Ties the pager, catalog, heap files, and B+-tree indexes into one
+// transactional record store. The SQL front-end (minidb/sql) compiles
+// statements against this interface; PerfTrack's DB abstraction layer
+// (src/dbal) wraps it behind a Connection facade, the way the paper's
+// Python layer wrapped Oracle/PostgreSQL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minidb/btree.h"
+#include "minidb/catalog.h"
+#include "minidb/keycodec.h"
+#include "minidb/heap.h"
+#include "minidb/pager.h"
+#include "minidb/value.h"
+
+namespace perftrack::minidb {
+
+class Database {
+ public:
+  /// Opens (or creates) a file-backed database.
+  static std::unique_ptr<Database> open(const std::string& path);
+  /// Creates a fresh in-memory database.
+  static std::unique_ptr<Database> openMemory();
+
+  explicit Database(std::unique_ptr<Pager> pager);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- DDL -----------------------------------------------------------------
+  /// Creates a table. `primary_key` column (if any) must be INTEGER; it gets
+  /// a unique index and auto-assignment of NULL values on insert.
+  void createTable(const std::string& name, std::vector<ColumnDef> columns,
+                   int primary_key = -1);
+  void dropTable(const std::string& name);
+  void createIndex(const std::string& name, const std::string& table,
+                   const std::vector<std::string>& columns, bool unique = false);
+  void dropIndex(const std::string& name);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  // --- DML -----------------------------------------------------------------
+  /// Inserts `row` (one value per column, in declaration order). A NULL
+  /// primary key is auto-assigned the next integer id. Returns the assigned
+  /// primary key value (or 0 when the table has no PK).
+  std::int64_t insertRow(const std::string& table, Row row);
+
+  /// Deletes the record at `rid`. Returns false when already gone.
+  bool eraseRow(const std::string& table, RecordId rid);
+
+  /// Replaces the record at `rid` with `row`; maintains indexes.
+  void updateRow(const std::string& table, RecordId rid, const Row& row);
+
+  /// Reads one record.
+  std::optional<Row> readRow(const std::string& table, RecordId rid) const;
+
+  /// Full-scan visitor; `fn` returns false to stop early.
+  void scan(const std::string& table,
+            const std::function<bool(RecordId, const Row&)>& fn) const;
+
+  /// Index range scan: visits rows whose key columns equal `key_prefix`
+  /// (ordered); `fn` returns false to stop.
+  void indexScanEqual(const IndexDef& index, const std::vector<Value>& key_prefix,
+                      const std::function<bool(RecordId, const Row&)>& fn) const;
+
+  /// Index range scan over [lower, upper] bounds on the first key column.
+  /// Null optionals mean unbounded.
+  void indexScanRange(const IndexDef& index, const std::optional<Value>& lower,
+                      bool lower_inclusive, const std::optional<Value>& upper,
+                      bool upper_inclusive,
+                      const std::function<bool(RecordId, const Row&)>& fn) const;
+
+  // --- transactions ---------------------------------------------------------
+  void begin();
+  void commit();
+  void rollback();
+  bool inTransaction() const { return pager_->inTransaction(); }
+
+  /// Rewrites every table's heap (dropping tombstones and dead payload
+  /// bytes) and rebuilds every index, then returns the freed pages to the
+  /// free list. Record ids change; not allowed inside a transaction.
+  void vacuum();
+
+  /// Cross-checks every index against its heap: each index entry must point
+  /// at a live record whose key columns re-encode to the entry, and each
+  /// live record must appear in every index exactly once. Returns
+  /// human-readable problem descriptions (empty = consistent).
+  std::vector<std::string> verifyIntegrity() const;
+
+  /// Persists all dirty pages (implicit on destruction for file backends).
+  void flush() { pager_->flush(); }
+
+  /// Logical database size in bytes (Table 1 "DB size increase" metric).
+  std::uint64_t sizeBytes() const { return pager_->sizeBytes(); }
+
+  Pager& pager() { return *pager_; }
+
+ private:
+  const TableDef& tableOrThrow(const std::string& name) const;
+  EncodedKey indexKeyFor(const IndexDef& index, const TableDef& table, const Row& row,
+                         RecordId rid) const;
+  void insertIntoIndexes(const TableDef& table, const Row& row, RecordId rid);
+  void removeFromIndexes(const TableDef& table, const Row& row, RecordId rid);
+  void checkUnique(const IndexDef& index, const TableDef& table, const Row& row) const;
+  std::int64_t nextId(const TableDef& table);
+
+  std::unique_ptr<Pager> pager_;
+  Catalog catalog_;
+  // Per-table auto-increment cursors, computed lazily by scanning the PK
+  // index once. Invalidated on rollback (ids may have been given back).
+  std::unordered_map<std::string, std::int64_t> next_ids_;
+};
+
+}  // namespace perftrack::minidb

@@ -1,0 +1,168 @@
+#include "minidb/heap.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+namespace {
+
+// Page layout: [HeapPageHeader][slot 0][slot 1]...        ...[payloads]
+// Payloads grow downward from kPageSize; `free_off` is the lowest used
+// payload byte. `last_hint` is only meaningful on the first page of a chain
+// and caches the page we last inserted into.
+struct HeapPageHeader {
+  PageId next;
+  PageId last_hint;
+  std::uint16_t slot_count;
+  std::uint16_t free_off;
+};
+
+struct Slot {
+  std::uint16_t off;  // 0 = tombstone
+  std::uint16_t len;
+};
+
+constexpr std::size_t kHeaderSize = sizeof(HeapPageHeader);
+constexpr std::size_t kSlotSize = sizeof(Slot);
+
+HeapPageHeader* hdr(std::uint8_t* page) { return reinterpret_cast<HeapPageHeader*>(page); }
+const HeapPageHeader* hdr(const std::uint8_t* page) {
+  return reinterpret_cast<const HeapPageHeader*>(page);
+}
+
+Slot* slotArray(std::uint8_t* page) {
+  return reinterpret_cast<Slot*>(page + kHeaderSize);
+}
+const Slot* slotArray(const std::uint8_t* page) {
+  return reinterpret_cast<const Slot*>(page + kHeaderSize);
+}
+
+std::size_t freeSpace(const std::uint8_t* page) {
+  const HeapPageHeader* h = hdr(page);
+  const std::size_t slots_end = kHeaderSize + kSlotSize * h->slot_count;
+  return h->free_off - slots_end;
+}
+
+void initHeapPage(std::uint8_t* page) {
+  HeapPageHeader* h = hdr(page);
+  h->next = kInvalidPage;
+  h->last_hint = kInvalidPage;
+  h->slot_count = 0;
+  h->free_off = static_cast<std::uint16_t>(kPageSize);
+}
+
+}  // namespace
+
+std::size_t HeapFile::maxRecordSize() {
+  return kPageSize - kHeaderSize - kSlotSize;
+}
+
+PageId HeapFile::create(Pager& pager) {
+  const PageId id = pager.allocate();
+  std::uint8_t* page = pager.pageForWrite(id);
+  initHeapPage(page);
+  hdr(page)->last_hint = id;
+  return id;
+}
+
+RecordId HeapFile::insert(const std::uint8_t* data, std::size_t size) {
+  if (size > maxRecordSize()) {
+    throw StorageError("HeapFile: record of " + std::to_string(size) +
+                       " bytes exceeds page capacity");
+  }
+  PageId target = hdr(pager_->pageForRead(first_))->last_hint;
+  if (target == kInvalidPage) target = first_;
+  // Need room for the payload plus one new slot entry.
+  if (freeSpace(pager_->pageForRead(target)) < size + kSlotSize) {
+    const PageId fresh = pager_->allocate();
+    initHeapPage(pager_->pageForWrite(fresh));
+    hdr(pager_->pageForWrite(target))->next = fresh;
+    hdr(pager_->pageForWrite(first_))->last_hint = fresh;
+    target = fresh;
+  }
+  std::uint8_t* page = pager_->pageForWrite(target);
+  HeapPageHeader* h = hdr(page);
+  h->free_off = static_cast<std::uint16_t>(h->free_off - size);
+  std::memcpy(page + h->free_off, data, size);
+  Slot* slot = slotArray(page) + h->slot_count;
+  slot->off = h->free_off;
+  slot->len = static_cast<std::uint16_t>(size);
+  const RecordId rid{target, h->slot_count};
+  h->slot_count++;
+  return rid;
+}
+
+bool HeapFile::read(RecordId rid, std::vector<std::uint8_t>& out) const {
+  const std::uint8_t* page = pager_->pageForRead(rid.page);
+  const HeapPageHeader* h = hdr(page);
+  if (rid.slot >= h->slot_count) return false;
+  const Slot& slot = slotArray(page)[rid.slot];
+  if (slot.off == 0) return false;
+  out.assign(page + slot.off, page + slot.off + slot.len);
+  return true;
+}
+
+bool HeapFile::erase(RecordId rid) {
+  std::uint8_t* page = pager_->pageForWrite(rid.page);
+  HeapPageHeader* h = hdr(page);
+  if (rid.slot >= h->slot_count) return false;
+  Slot& slot = slotArray(page)[rid.slot];
+  if (slot.off == 0) return false;
+  slot.off = 0;
+  slot.len = 0;
+  return true;
+}
+
+RecordId HeapFile::update(RecordId rid, const std::uint8_t* data, std::size_t size) {
+  std::uint8_t* page = pager_->pageForWrite(rid.page);
+  HeapPageHeader* h = hdr(page);
+  if (rid.slot >= h->slot_count) throw StorageError("HeapFile::update: bad slot");
+  Slot& slot = slotArray(page)[rid.slot];
+  if (slot.off == 0) throw StorageError("HeapFile::update: record was deleted");
+  if (size <= slot.len) {
+    std::memcpy(page + slot.off, data, size);
+    slot.len = static_cast<std::uint16_t>(size);
+    return rid;
+  }
+  slot.off = 0;
+  slot.len = 0;
+  return insert(data, size);
+}
+
+void HeapFile::destroy() {
+  PageId page = first_;
+  while (page != kInvalidPage) {
+    const PageId next = hdr(pager_->pageForRead(page))->next;
+    pager_->free(page);
+    page = next;
+  }
+  first_ = kInvalidPage;
+}
+
+const std::uint8_t* HeapFile::Iterator::data() const {
+  const std::uint8_t* page = pager_->pageForRead(page_);
+  const Slot& slot = slotArray(page)[slot_];
+  return page + slot.off;
+}
+
+std::size_t HeapFile::Iterator::size() const {
+  const std::uint8_t* page = pager_->pageForRead(page_);
+  return slotArray(page)[slot_].len;
+}
+
+void HeapFile::Iterator::advanceToLive() {
+  while (page_ != kInvalidPage) {
+    const std::uint8_t* page = pager_->pageForRead(page_);
+    const HeapPageHeader* h = hdr(page);
+    while (slot_ < h->slot_count && slotArray(page)[slot_].off == 0) ++slot_;
+    if (slot_ < h->slot_count) return;
+    page_ = h->next;
+    slot_ = 0;
+  }
+}
+
+}  // namespace perftrack::minidb

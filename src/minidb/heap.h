@@ -1,0 +1,84 @@
+// minidb: heap files — unordered record storage in slotted pages.
+//
+// A heap file is a singly-linked chain of slotted pages. Each page holds a
+// slot directory growing up from the page header and record payloads growing
+// down from the page end. Records never span pages (PerfTrack rows are small;
+// oversized records are rejected). Deleting a record tombstones its slot;
+// in-place updates are allowed when the new payload is no larger, otherwise
+// the record moves and the caller receives the new RecordId so it can update
+// indexes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "minidb/pager.h"
+#include "minidb/types.h"
+
+namespace perftrack::minidb {
+
+/// View over one heap file in a pager. Cheap to construct; all state lives
+/// in pages, so heap views stay valid across transactions and rollbacks.
+class HeapFile {
+ public:
+  HeapFile(Pager& pager, PageId first_page) : pager_(&pager), first_(first_page) {}
+
+  /// Creates a new, empty heap file and returns its first page id.
+  static PageId create(Pager& pager);
+
+  PageId firstPage() const { return first_; }
+
+  /// Inserts a record; returns its location.
+  RecordId insert(const std::uint8_t* data, std::size_t size);
+
+  /// Reads a record. Returns false when `rid` is a tombstone or out of range.
+  bool read(RecordId rid, std::vector<std::uint8_t>& out) const;
+
+  /// Deletes a record (tombstones the slot). Returns false when absent.
+  bool erase(RecordId rid);
+
+  /// Updates a record. Returns the (possibly new) location.
+  RecordId update(RecordId rid, const std::uint8_t* data, std::size_t size);
+
+  /// Frees every page of the heap back to the pager (used by DROP TABLE).
+  void destroy();
+
+  /// Forward iterator over live records.
+  class Iterator {
+   public:
+    Iterator(const Pager* pager, PageId page, std::uint16_t slot)
+        : pager_(pager), page_(page), slot_(slot) {
+      advanceToLive();
+    }
+
+    bool done() const { return page_ == kInvalidPage; }
+    RecordId rid() const { return {page_, slot_}; }
+
+    /// Payload bytes of the current record.
+    const std::uint8_t* data() const;
+    std::size_t size() const;
+
+    void next() {
+      ++slot_;
+      advanceToLive();
+    }
+
+   private:
+    void advanceToLive();
+    const Pager* pager_;
+    PageId page_;
+    std::uint16_t slot_;
+  };
+
+  Iterator begin() const { return Iterator(pager_, first_, 0); }
+
+  /// Maximum payload a heap record may carry.
+  static std::size_t maxRecordSize();
+
+ private:
+  Pager* pager_;
+  PageId first_;
+};
+
+}  // namespace perftrack::minidb

@@ -1,0 +1,88 @@
+#include "minidb/keycodec.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+namespace {
+
+constexpr char kTagNull = 0x01;
+constexpr char kTagNumeric = 0x02;
+constexpr char kTagText = 0x03;
+
+// Maps a double onto a uint64 whose unsigned order equals the numeric order
+// of the doubles (standard IEEE-754 total-order trick).
+std::uint64_t doubleToOrderedBits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & 0x8000000000000000ULL) {
+    return ~bits;  // negative: flip everything
+  }
+  return bits | 0x8000000000000000ULL;  // positive: flip sign bit
+}
+
+void appendU64BigEndian(std::uint64_t v, EncodedKey& out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void encodeValue(const Value& v, EncodedKey& out) {
+  if (v.isNull()) {
+    out.push_back(kTagNull);
+    return;
+  }
+  if (v.isInt() || v.isReal()) {
+    out.push_back(kTagNumeric);
+    // Encode integers through the double path so INTEGER and REAL interleave
+    // correctly. int64 values beyond 2^53 lose index precision but the heap
+    // row retains the exact value; the executor re-checks predicates.
+    appendU64BigEndian(doubleToOrderedBits(v.asReal()), out);
+    return;
+  }
+  out.push_back(kTagText);
+  for (char c : v.asText()) {
+    if (c == '\0') {
+      out.push_back('\0');
+      out.push_back(static_cast<char>(0xFF));
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('\0');
+  out.push_back('\0');
+}
+
+EncodedKey encodeKey(const std::vector<Value>& values) {
+  EncodedKey out;
+  out.reserve(values.size() * 10);
+  for (const Value& v : values) encodeValue(v, out);
+  return out;
+}
+
+void encodeRecordIdSuffix(RecordId rid, EncodedKey& out) {
+  out.push_back(static_cast<char>((rid.page >> 24) & 0xFF));
+  out.push_back(static_cast<char>((rid.page >> 16) & 0xFF));
+  out.push_back(static_cast<char>((rid.page >> 8) & 0xFF));
+  out.push_back(static_cast<char>(rid.page & 0xFF));
+  out.push_back(static_cast<char>((rid.slot >> 8) & 0xFF));
+  out.push_back(static_cast<char>(rid.slot & 0xFF));
+}
+
+RecordId decodeRecordIdSuffix(const EncodedKey& key) {
+  if (key.size() < 6) throw StorageError("decodeRecordIdSuffix: key too short");
+  const auto* p = reinterpret_cast<const unsigned char*>(key.data()) + key.size() - 6;
+  RecordId rid;
+  rid.page = (static_cast<PageId>(p[0]) << 24) | (static_cast<PageId>(p[1]) << 16) |
+             (static_cast<PageId>(p[2]) << 8) | static_cast<PageId>(p[3]);
+  rid.slot = static_cast<std::uint16_t>((p[4] << 8) | p[5]);
+  return rid;
+}
+
+}  // namespace perftrack::minidb

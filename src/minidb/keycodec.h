@@ -1,0 +1,43 @@
+// minidb: order-preserving key encoding for B+-tree indexes.
+//
+// Index keys are byte strings whose lexicographic (memcmp) order equals the
+// Value::compare order of the underlying column values. This lets the B+-tree
+// store variable-length composite keys and compare them without knowing the
+// schema. Encoding:
+//   NULL    -> 0x01
+//   INTEGER -> 0x02 then 8 bytes big-endian with the sign bit flipped
+//   REAL    -> 0x02 then 8 bytes of the IEEE-754 total-order transform
+//              (numerics share a tag so INTEGER 2 == REAL 2.0 sort together)
+//   TEXT    -> 0x03 then the bytes with 0x00 escaped as 0x00 0xFF,
+//              terminated by 0x00 0x00 (so "a" < "ab" and no embedded-NUL
+//              ambiguity)
+// Composite keys are simply concatenated field encodings. Uniqueness in
+// non-unique indexes is obtained by appending the record id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minidb/types.h"
+#include "minidb/value.h"
+
+namespace perftrack::minidb {
+
+/// Encoded key type: ordered via default std::string comparison.
+using EncodedKey = std::string;
+
+/// Appends the order-preserving encoding of `v` to `out`.
+void encodeValue(const Value& v, EncodedKey& out);
+
+/// Encodes a composite key from several values.
+EncodedKey encodeKey(const std::vector<Value>& values);
+
+/// Appends an 6-byte record id suffix (page big-endian, slot big-endian) so
+/// duplicate keys remain distinct and range scans stay ordered.
+void encodeRecordIdSuffix(RecordId rid, EncodedKey& out);
+
+/// Extracts the record id from the final 6 bytes of an encoded key.
+RecordId decodeRecordIdSuffix(const EncodedKey& key);
+
+}  // namespace perftrack::minidb

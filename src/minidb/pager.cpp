@@ -1,0 +1,193 @@
+#include "minidb/pager.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+namespace {
+
+DbHeader* headerOf(std::uint8_t* page0) { return reinterpret_cast<DbHeader*>(page0); }
+
+}  // namespace
+
+void Pager::formatNew() {
+  pages_.clear();
+  pages_.push_back(std::make_unique<PageBuf>());
+  pages_[0]->fill(0);
+  DbHeader* h = headerOf(pages_[0]->data());
+  h->magic = kDbMagic;
+  h->version = kDbVersion;
+  h->page_count = 1;
+  h->freelist_head = kInvalidPage;
+  h->catalog_first_page = kInvalidPage;
+  dirty_.insert(0);
+}
+
+const DbHeader& Pager::header() const {
+  return *headerOf(pages_.at(0)->data());
+}
+
+DbHeader& Pager::headerForWrite() {
+  return *headerOf(pageForWrite(0));
+}
+
+void Pager::journalTouch(PageId id) {
+  if (!journaling_) return;
+  if (journal_.contains(id)) return;
+  if (id >= journal_page_count_) {
+    // Page did not exist when the transaction began: record null image so
+    // rollback simply discards it.
+    journal_.emplace(id, nullptr);
+    return;
+  }
+  auto copy = std::make_unique<PageBuf>(*pages_.at(id));
+  journal_.emplace(id, std::move(copy));
+}
+
+std::uint8_t* Pager::pageForWrite(PageId id) {
+  if (id >= pages_.size() || !pages_[id]) {
+    throw StorageError("Pager: write access to unallocated page " + std::to_string(id));
+  }
+  journalTouch(id);
+  dirty_.insert(id);
+  return pages_[id]->data();
+}
+
+const std::uint8_t* Pager::pageForRead(PageId id) const {
+  if (id >= pages_.size() || !pages_[id]) {
+    throw StorageError("Pager: read access to unallocated page " + std::to_string(id));
+  }
+  return pages_[id]->data();
+}
+
+PageId Pager::allocate() {
+  DbHeader& h = headerForWrite();
+  if (h.freelist_head != kInvalidPage) {
+    const PageId id = h.freelist_head;
+    // The first 4 bytes of a free page link to the next free page.
+    const std::uint8_t* raw = pageForRead(id);
+    PageId next;
+    std::memcpy(&next, raw, sizeof(next));
+    h.freelist_head = next;
+    std::uint8_t* page = pageForWrite(id);
+    std::memset(page, 0, kPageSize);
+    return id;
+  }
+  const PageId id = h.page_count;
+  h.page_count = id + 1;
+  if (pages_.size() <= id) pages_.resize(id + 1);
+  if (!pages_[id]) pages_[id] = std::make_unique<PageBuf>();
+  pages_[id]->fill(0);
+  journalTouch(id);
+  dirty_.insert(id);
+  return id;
+}
+
+void Pager::free(PageId id) {
+  if (id == 0) throw StorageError("Pager: cannot free header page");
+  DbHeader& h = headerForWrite();
+  std::uint8_t* page = pageForWrite(id);
+  std::memset(page, 0, kPageSize);
+  const PageId next = h.freelist_head;
+  std::memcpy(page, &next, sizeof(next));
+  h.freelist_head = id;
+}
+
+void Pager::beginJournal() {
+  if (journaling_) throw StorageError("Pager: nested transactions are not supported");
+  journaling_ = true;
+  journal_.clear();
+  journal_page_count_ = header().page_count;
+}
+
+void Pager::commitJournal() {
+  if (!journaling_) throw StorageError("Pager: commit without begin");
+  journaling_ = false;
+  journal_.clear();
+}
+
+void Pager::rollbackJournal() {
+  if (!journaling_) throw StorageError("Pager: rollback without begin");
+  journaling_ = false;
+  for (auto& [id, image] : journal_) {
+    if (image) {
+      *pages_.at(id) = *image;
+      dirty_.insert(id);
+    } else if (id < pages_.size()) {
+      pages_[id].reset();  // discard page born inside the transaction
+    }
+  }
+  journal_.clear();
+  // Restoring the header page (journaled above) restored page_count and the
+  // free-list head; trim the in-memory vector to match.
+  const std::uint32_t count = header().page_count;
+  if (pages_.size() > count) pages_.resize(count);
+}
+
+FilePager::FilePager(std::string path) : path_(std::move(path)) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    formatNew();
+    return;
+  }
+  // Load existing file page by page.
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (file_size < static_cast<long>(kPageSize) || file_size % kPageSize != 0) {
+    std::fclose(f);
+    throw StorageError("FilePager: " + path_ + " is not a valid minidb file");
+  }
+  const std::size_t count = static_cast<std::size_t>(file_size) / kPageSize;
+  pages_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pages_[i] = std::make_unique<PageBuf>();
+    if (std::fread(pages_[i]->data(), 1, kPageSize, f) != kPageSize) {
+      std::fclose(f);
+      throw StorageError("FilePager: short read from " + path_);
+    }
+  }
+  std::fclose(f);
+  const DbHeader& h = header();
+  if (h.magic != kDbMagic || h.version != kDbVersion) {
+    throw StorageError("FilePager: " + path_ + " has a bad header");
+  }
+  if (h.page_count > count) {
+    throw StorageError("FilePager: " + path_ + " is truncated");
+  }
+}
+
+FilePager::~FilePager() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; data loss here is reported by explicit
+    // flush() calls, which callers use at transaction boundaries.
+  }
+}
+
+void FilePager::flush() {
+  if (dirty_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path_.c_str(), "w+b");
+  if (f == nullptr) throw StorageError("FilePager: cannot open " + path_ + " for writing");
+  const std::uint32_t count = header().page_count;
+  for (PageId id : dirty_) {
+    if (id >= count || !pages_[id]) continue;  // freed/rolled-back page
+    if (std::fseek(f, static_cast<long>(std::uint64_t{id} * kPageSize), SEEK_SET) != 0 ||
+        std::fwrite(pages_[id]->data(), 1, kPageSize, f) != kPageSize) {
+      std::fclose(f);
+      throw StorageError("FilePager: short write to " + path_);
+    }
+  }
+  std::fflush(f);
+  std::fclose(f);
+  dirty_.clear();
+}
+
+}  // namespace perftrack::minidb

@@ -1,0 +1,128 @@
+// minidb: page management.
+//
+// A minidb database is an array of fixed-size (8 KiB) pages. Page 0 is the
+// header page holding the magic number, logical page count, free-list head,
+// and the first page of the catalog heap. The pager provides:
+//   * allocation (reusing free-listed pages first),
+//   * mutable/const access to page bytes,
+//   * page-level undo journaling: between beginJournal() and commitJournal(),
+//     the before-image of every touched page is retained so rollbackJournal()
+//     can restore the exact pre-transaction state (including the header, and
+//     therefore the free list and page count),
+//   * durability: FilePager persists dirty pages to a backing file on flush();
+//     MemPager keeps everything in memory (the PerfTrack "in-memory backend").
+//
+// This mirrors the role PostgreSQL/Oracle played for the paper: a real paged
+// storage substrate underneath the relational schema.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "minidb/types.h"
+
+namespace perftrack::minidb {
+
+/// Raw bytes of one page.
+using PageBuf = std::array<std::uint8_t, kPageSize>;
+
+/// On-page layout of the header page (page 0).
+struct DbHeader {
+  std::uint32_t magic;          // 'PTDB'
+  std::uint32_t version;        // format version
+  std::uint32_t page_count;     // logical number of pages (including header)
+  PageId freelist_head;         // first free page, or kInvalidPage
+  PageId catalog_first_page;    // first page of the catalog heap
+};
+
+inline constexpr std::uint32_t kDbMagic = 0x50544442;  // "PTDB"
+inline constexpr std::uint32_t kDbVersion = 1;
+
+/// Abstract pager. Not thread-safe; minidb connections are single-threaded,
+/// like the paper's per-session database connections.
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Allocates a zeroed page (reusing the free list when possible) and
+  /// returns its id. The page is implicitly dirty.
+  PageId allocate();
+
+  /// Returns a freed page to the free list.
+  void free(PageId id);
+
+  /// Mutable access: records an undo image (if journaling) and marks dirty.
+  std::uint8_t* pageForWrite(PageId id);
+
+  /// Read-only access.
+  const std::uint8_t* pageForRead(PageId id) const;
+
+  /// Logical page count, including the header page.
+  std::uint32_t pageCount() const { return header().page_count; }
+
+  /// Total logical size in bytes (page_count * page size). This is the
+  /// number reported as "DB size" in Table 1 reproductions.
+  std::uint64_t sizeBytes() const { return std::uint64_t{pageCount()} * kPageSize; }
+
+  DbHeader& headerForWrite();
+  const DbHeader& header() const;
+
+  // --- transactions -------------------------------------------------------
+  void beginJournal();
+  void commitJournal();
+  void rollbackJournal();
+  bool inTransaction() const { return journaling_; }
+
+  /// Persists dirty pages. No-op for the in-memory backend.
+  virtual void flush() {}
+
+ protected:
+  Pager() = default;
+
+  /// Initializes a brand-new database (header page).
+  void formatNew();
+
+  std::vector<std::unique_ptr<PageBuf>> pages_;
+  std::unordered_set<PageId> dirty_;
+
+ private:
+  void journalTouch(PageId id);
+
+  bool journaling_ = false;
+  // Before-images of pages touched during the open transaction. Pages that
+  // did not exist at beginJournal() are recorded with a null image.
+  std::unordered_map<PageId, std::unique_ptr<PageBuf>> journal_;
+  std::uint32_t journal_page_count_ = 0;
+};
+
+/// Fully in-memory pager (fast path; used for scratch stores and tests).
+class MemPager final : public Pager {
+ public:
+  MemPager() { formatNew(); }
+};
+
+/// File-backed pager. Loads the whole file on open; flush() rewrites dirty
+/// pages in place (and extends the file as needed).
+class FilePager final : public Pager {
+ public:
+  /// Opens (or creates) the database file at `path`.
+  explicit FilePager(std::string path);
+  ~FilePager() override;
+
+  void flush() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace perftrack::minidb

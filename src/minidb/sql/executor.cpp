@@ -1,0 +1,1104 @@
+#include "minidb/sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "minidb/keycodec.h"
+#include "minidb/sql/lexer.h"
+#include "minidb/sql/parser.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::minidb::sql {
+
+using util::SqlError;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// One joined tuple: a row pointer per FROM-list entry (null = not yet bound).
+using Tuple = std::vector<const Row*>;
+
+bool likeMatch(std::string_view text, std::string_view pattern) {
+  // Classic two-pointer wildcard matcher: '%' = any run, '_' = any one char.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Value arith(BinaryOp op, const Value& a, const Value& b) {
+  if (a.isNull() || b.isNull()) return Value::null();
+  if (a.isInt() && b.isInt()) {
+    const std::int64_t x = a.asInt();
+    const std::int64_t y = b.asInt();
+    switch (op) {
+      case BinaryOp::Add: return Value(x + y);
+      case BinaryOp::Sub: return Value(x - y);
+      case BinaryOp::Mul: return Value(x * y);
+      case BinaryOp::Div:
+        if (y == 0) return Value::null();
+        return Value(x / y);
+      default: break;
+    }
+  }
+  const double x = a.asReal();
+  const double y = b.asReal();
+  switch (op) {
+    case BinaryOp::Add: return Value(x + y);
+    case BinaryOp::Sub: return Value(x - y);
+    case BinaryOp::Mul: return Value(x * y);
+    case BinaryOp::Div:
+      if (y == 0.0) return Value::null();
+      return Value(x / y);
+    default: break;
+  }
+  throw SqlError("arith: not an arithmetic operator");
+}
+
+bool truthy(const Value& v) {
+  if (v.isNull()) return false;
+  if (v.isInt()) return v.asInt() != 0;
+  if (v.isReal()) return v.asReal() != 0.0;
+  return !v.asText().empty();
+}
+
+Value evaluate(const Expr& e, const Tuple& tuple);
+
+Value compare(BinaryOp op, const Value& a, const Value& b) {
+  // SQL three-valued logic collapsed: comparisons against NULL are false.
+  if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+  const int c = a.compare(b);
+  bool result = false;
+  switch (op) {
+    case BinaryOp::Eq: result = c == 0; break;
+    case BinaryOp::Ne: result = c != 0; break;
+    case BinaryOp::Lt: result = c < 0; break;
+    case BinaryOp::Le: result = c <= 0; break;
+    case BinaryOp::Gt: result = c > 0; break;
+    case BinaryOp::Ge: result = c >= 0; break;
+    default: throw SqlError("compare: not a comparison operator");
+  }
+  return Value(std::int64_t{result ? 1 : 0});
+}
+
+Value evaluate(const Expr& e, const Tuple& tuple) {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+      return e.value;
+    case Expr::Kind::Column: {
+      const Row* row = tuple.at(e.bound_table);
+      if (row == nullptr) throw SqlError("internal: unbound tuple slot");
+      return row->at(e.bound_col);
+    }
+    case Expr::Kind::Binary: {
+      switch (e.op) {
+        case BinaryOp::And: {
+          if (!truthy(evaluate(*e.lhs, tuple))) return Value(std::int64_t{0});
+          return Value(std::int64_t{truthy(evaluate(*e.rhs, tuple)) ? 1 : 0});
+        }
+        case BinaryOp::Or: {
+          if (truthy(evaluate(*e.lhs, tuple))) return Value(std::int64_t{1});
+          return Value(std::int64_t{truthy(evaluate(*e.rhs, tuple)) ? 1 : 0});
+        }
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul:
+        case BinaryOp::Div:
+          return arith(e.op, evaluate(*e.lhs, tuple), evaluate(*e.rhs, tuple));
+        default:
+          return compare(e.op, evaluate(*e.lhs, tuple), evaluate(*e.rhs, tuple));
+      }
+    }
+    case Expr::Kind::Not:
+      return Value(std::int64_t{truthy(evaluate(*e.lhs, tuple)) ? 0 : 1});
+    case Expr::Kind::IsNull: {
+      const bool is_null = evaluate(*e.lhs, tuple).isNull();
+      return Value(std::int64_t{(is_null != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Like: {
+      const Value v = evaluate(*e.lhs, tuple);
+      if (v.isNull()) return Value(std::int64_t{0});
+      const bool hit = likeMatch(v.isText() ? v.asText() : v.toDisplayString(),
+                                 e.value.asText());
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InList: {
+      const Value v = evaluate(*e.lhs, tuple);
+      if (v.isNull()) return Value(std::int64_t{0});
+      bool hit = false;
+      for (const ExprPtr& item : e.list) {
+        if (v.compare(evaluate(*item, tuple)) == 0) {
+          hit = true;
+          break;
+        }
+      }
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InSelect: {
+      const Value v = evaluate(*e.lhs, tuple);
+      if (v.isNull()) return Value(std::int64_t{0});
+      if (!e.subquery_values) {
+        throw SqlError("internal: subquery was not materialized");
+      }
+      EncodedKey key;
+      encodeValue(v, key);
+      const bool hit = e.subquery_values->contains(key);
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Aggregate:
+      throw SqlError("aggregate used outside of an aggregating SELECT");
+  }
+  throw SqlError("internal: bad expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Binding / analysis
+// ---------------------------------------------------------------------------
+
+struct FromEntry {
+  const TableDef* def = nullptr;
+  std::string alias;
+};
+
+class Binder {
+ public:
+  explicit Binder(const std::vector<FromEntry>& from) : from_(from) {}
+
+  /// Resolves column references; records the highest table index referenced.
+  /// Returns -1 for expressions with no column references.
+  int bind(Expr& e) const {
+    int max_table = -1;
+    bindInner(e, max_table);
+    return max_table;
+  }
+
+ private:
+  void bindInner(Expr& e, int& max_table) const {
+    if (e.kind == Expr::Kind::Column) {
+      resolve(e);
+      max_table = std::max(max_table, e.bound_table);
+      return;
+    }
+    if (e.lhs) bindInner(*e.lhs, max_table);
+    if (e.rhs) bindInner(*e.rhs, max_table);
+    for (const ExprPtr& item : e.list) bindInner(*item, max_table);
+    // Subqueries bind against their own FROM list (uncorrelated); the
+    // executor materializes them before evaluation.
+  }
+
+  void resolve(Expr& e) const {
+    if (e.bound_table >= 0) return;  // already bound
+    int found_table = -1;
+    int found_col = -1;
+    for (std::size_t i = 0; i < from_.size(); ++i) {
+      if (!e.table.empty() && !util::iequals(e.table, from_[i].alias)) continue;
+      const int col = from_[i].def->columnIndex(e.column);
+      if (col < 0) continue;
+      if (found_table >= 0) {
+        throw SqlError("ambiguous column reference: " + e.column);
+      }
+      found_table = static_cast<int>(i);
+      found_col = col;
+    }
+    if (found_table < 0) {
+      const std::string qual = e.table.empty() ? e.column : e.table + "." + e.column;
+      throw SqlError("unknown column: " + qual);
+    }
+    e.bound_table = found_table;
+    e.bound_col = found_col;
+  }
+
+  const std::vector<FromEntry>& from_;
+};
+
+void collectConjuncts(Expr* e, std::vector<Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::Binary && e->op == BinaryOp::And) {
+    collectConjuncts(e->lhs.get(), out);
+    collectConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+void collectAggregates(Expr* e, std::vector<Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::Aggregate) {
+    e->agg_slot = static_cast<int>(out.size());
+    out.push_back(e);
+    // Aggregate arguments are evaluated per input tuple, not per group;
+    // do not descend further.
+    return;
+  }
+  collectAggregates(e->lhs.get(), out);
+  collectAggregates(e->rhs.get(), out);
+  for (const ExprPtr& item : e->list) collectAggregates(item.get(), out);
+}
+
+bool containsAggregate(const Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == Expr::Kind::Aggregate) return true;
+  if (containsAggregate(e->lhs.get()) || containsAggregate(e->rhs.get())) return true;
+  for (const ExprPtr& item : e->list) {
+    if (containsAggregate(item.get())) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation state
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  std::int64_t count = 0;
+  std::int64_t isum = 0;
+  double rsum = 0.0;
+  bool saw_real = false;
+  Value min;
+  Value max;
+  std::set<EncodedKey> distinct;
+
+  void add(const Value& v, bool distinct_only) {
+    if (v.isNull()) return;
+    if (distinct_only) {
+      EncodedKey key;
+      encodeValue(v, key);
+      if (!distinct.insert(key).second) return;
+    }
+    ++count;
+    if (v.isReal()) {
+      saw_real = true;
+      rsum += v.asReal();
+    } else if (v.isInt()) {
+      isum += v.asInt();
+      rsum += static_cast<double>(v.asInt());
+    }
+    if (min.isNull() || v.compare(min) < 0) min = v;
+    if (max.isNull() || v.compare(max) > 0) max = v;
+  }
+
+  Value result(AggFunc fn) const {
+    switch (fn) {
+      case AggFunc::Count: return Value(count);
+      case AggFunc::Sum:
+        if (count == 0) return Value::null();
+        return saw_real ? Value(rsum) : Value(isum);
+      case AggFunc::Avg:
+        if (count == 0) return Value::null();
+        return Value(rsum / static_cast<double>(count));
+      case AggFunc::Min: return min;
+      case AggFunc::Max: return max;
+    }
+    return Value::null();
+  }
+};
+
+struct Group {
+  Row key_values;
+  Tuple first_tuple_copy;                   // deep copies (rows), see below
+  std::vector<Row> first_rows;              // storage behind first_tuple_copy
+  std::vector<AggState> aggs;
+};
+
+/// Evaluates an expression in grouped mode: Aggregate nodes read their
+/// accumulated slot; everything else evaluates against the group's first
+/// input tuple (SQLite-style bare-column semantics).
+Value evaluateGrouped(const Expr& e, const Group& g) {
+  if (e.kind == Expr::Kind::Aggregate) {
+    return g.aggs.at(e.agg_slot).result(e.agg);
+  }
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+      return e.value;
+    case Expr::Kind::Column:
+      return g.first_rows.at(e.bound_table).at(e.bound_col);
+    case Expr::Kind::Binary: {
+      switch (e.op) {
+        case BinaryOp::And:
+          return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) &&
+                                            truthy(evaluateGrouped(*e.rhs, g))
+                                        ? 1
+                                        : 0});
+        case BinaryOp::Or:
+          return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) ||
+                                            truthy(evaluateGrouped(*e.rhs, g))
+                                        ? 1
+                                        : 0});
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul:
+        case BinaryOp::Div:
+          return arith(e.op, evaluateGrouped(*e.lhs, g), evaluateGrouped(*e.rhs, g));
+        default:
+          return compare(e.op, evaluateGrouped(*e.lhs, g), evaluateGrouped(*e.rhs, g));
+      }
+    }
+    case Expr::Kind::Not:
+      return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) ? 0 : 1});
+    case Expr::Kind::IsNull: {
+      const bool is_null = evaluateGrouped(*e.lhs, g).isNull();
+      return Value(std::int64_t{(is_null != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Like: {
+      const Value v = evaluateGrouped(*e.lhs, g);
+      if (v.isNull()) return Value(std::int64_t{0});
+      const bool hit = likeMatch(v.isText() ? v.asText() : v.toDisplayString(),
+                                 e.value.asText());
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InList: {
+      const Value v = evaluateGrouped(*e.lhs, g);
+      if (v.isNull()) return Value(std::int64_t{0});
+      bool hit = false;
+      for (const ExprPtr& item : e.list) {
+        if (v.compare(evaluateGrouped(*item, g)) == 0) {
+          hit = true;
+          break;
+        }
+      }
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InSelect: {
+      const Value v = evaluateGrouped(*e.lhs, g);
+      if (v.isNull()) return Value(std::int64_t{0});
+      if (!e.subquery_values) {
+        throw SqlError("internal: subquery was not materialized");
+      }
+      EncodedKey key;
+      encodeValue(v, key);
+      const bool hit = e.subquery_values->contains(key);
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Aggregate:
+      break;  // handled above
+  }
+  throw SqlError("internal: bad grouped expression");
+}
+
+// ---------------------------------------------------------------------------
+// Access-path planning
+// ---------------------------------------------------------------------------
+
+struct AccessPath {
+  enum class Kind { Scan, IndexEqual, IndexRange } kind = Kind::Scan;
+  const IndexDef* index = nullptr;
+  int key_column = -1;         // table-local ordinal of the indexed column
+  Expr* equal_rhs = nullptr;   // IndexEqual: bound expression for the key
+  Expr* lower_rhs = nullptr;   // IndexRange bounds
+  bool lower_inclusive = false;
+  Expr* upper_rhs = nullptr;
+  bool upper_inclusive = false;
+
+  std::string describe(const FromEntry& entry) const {
+    switch (kind) {
+      case Kind::Scan:
+        return "SCAN " + entry.def->name + " AS " + entry.alias;
+      case Kind::IndexEqual:
+        return "SEARCH " + entry.def->name + " AS " + entry.alias + " USING INDEX " +
+               index->name + " (" + entry.def->columns[key_column].name + "=?)";
+      case Kind::IndexRange:
+        return "SEARCH " + entry.def->name + " AS " + entry.alias + " USING INDEX " +
+               index->name + " (" + entry.def->columns[key_column].name + " range)";
+    }
+    return "?";
+  }
+};
+
+struct PlannedConjunct {
+  Expr* expr = nullptr;
+  int max_table = -1;  // evaluate once all tables <= max_table are bound
+  int on_table = -1;   // index of the JOIN whose ON clause supplied it, or
+                       // -1 for WHERE conjuncts (LEFT JOIN semantics)
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResultSet rendering
+// ---------------------------------------------------------------------------
+
+std::string ResultSet::toText() const {
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string text = row[c].isNull() ? "NULL" : row[c].toDisplayString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], text.size());
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream out;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  rule();
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    out << "| " << columns[c] << std::string(widths[c] - columns[c].size() + 1, ' ');
+  }
+  out << "|\n";
+  rule();
+  for (const auto& line : cells) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const std::string& text = c < line.size() ? line[c] : "";
+      out << "| " << text << std::string(widths[c] - text.size() + 1, ' ');
+    }
+    out << "|\n";
+  }
+  rule();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+ResultSet Engine::exec(std::string_view sqltext) {
+  const Statement stmt = parseStatement(sqltext);
+  return exec(stmt);
+}
+
+ResultSet Engine::execScript(std::string_view script) {
+  // Split on top-level ';' — the lexer already understands quoting and
+  // comments, so tokenize once and re-slice the source by the separators.
+  ResultSet last;
+  std::size_t start = 0;
+  std::size_t i = 0;
+  const std::size_t n = script.size();
+  bool saw_statement = false;
+  auto runSlice = [&](std::size_t begin, std::size_t end) {
+    std::string_view piece = script.substr(begin, end - begin);
+    // Skip slices that are only whitespace/comments.
+    const auto tokens = tokenize(piece);
+    if (tokens.size() <= 1) return;
+    last = exec(piece);
+    saw_statement = true;
+  };
+  while (i < n) {
+    const char c = script[i];
+    if (c == '\'') {
+      ++i;
+      while (i < n && !(script[i] == '\'' && (i + 1 >= n || script[i + 1] != '\''))) {
+        i += script[i] == '\'' ? 2 : 1;  // skip escaped ''
+      }
+      ++i;
+    } else if (c == '"') {
+      ++i;
+      while (i < n && script[i] != '"') ++i;
+      ++i;
+    } else if (c == '-' && i + 1 < n && script[i + 1] == '-') {
+      while (i < n && script[i] != '\n') ++i;
+    } else if (c == ';') {
+      runSlice(start, i);
+      ++i;
+      start = i;
+    } else {
+      ++i;
+    }
+  }
+  runSlice(start, n);
+  if (!saw_statement) throw SqlError("execScript: no statements in script");
+  return last;
+}
+
+namespace {
+
+ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
+                     bool explain);
+
+/// Runs every uncorrelated IN (SELECT ...) subquery below `e` and caches the
+/// first-column values for membership tests.
+void materializeSubqueries(Expr* e, Database& db, bool use_indexes) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::InSelect) {
+    if (!e->subquery) throw SqlError("internal: InSelect without a subquery");
+    const ResultSet rs = execSelect(db, *e->subquery, use_indexes, /*explain=*/false);
+    auto values = std::make_shared<std::set<std::string>>();
+    for (const Row& row : rs.rows) {
+      if (row.empty() || row[0].isNull()) continue;  // NULL never matches IN
+      EncodedKey key;
+      encodeValue(row[0], key);
+      values->insert(std::move(key));
+    }
+    e->subquery_values = std::move(values);
+  }
+  materializeSubqueries(e->lhs.get(), db, use_indexes);
+  materializeSubqueries(e->rhs.get(), db, use_indexes);
+  for (const ExprPtr& item : e->list) {
+    materializeSubqueries(item.get(), db, use_indexes);
+  }
+}
+
+ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
+                     bool explain) {
+  // The binding pass annotates expressions in place; SELECTs are parsed per
+  // exec() call, so mutation is private to this execution.
+  auto& sel = const_cast<SelectStmt&>(sel_const);
+
+  // --- resolve FROM ---
+  std::vector<FromEntry> from;
+  for (const TableRef& ref : sel.from) {
+    const TableDef* def = db.catalog().findTable(ref.table);
+    if (def == nullptr) throw SqlError("no such table: " + ref.table);
+    from.push_back({def, ref.alias});
+  }
+  if (from.empty()) {
+    // SELECT without FROM: evaluate items against an empty tuple.
+    Binder binder(from);
+    ResultSet rs;
+    Row row;
+    Tuple tuple;
+    for (const SelectItem& item : sel.items) {
+      if (!item.expr) throw SqlError("SELECT * requires a FROM clause");
+      binder.bind(*item.expr);
+      rs.columns.push_back(item.alias.empty() ? "expr" : item.alias);
+      row.push_back(evaluate(*item.expr, tuple));
+    }
+    rs.rows.push_back(std::move(row));
+    return rs;
+  }
+
+  Binder binder(from);
+
+  // --- expand '*' and bind select items ---
+  struct OutputCol {
+    Expr* expr;
+    std::string name;
+  };
+  std::vector<ExprPtr> star_exprs;  // owns expanded column refs
+  std::vector<OutputCol> outputs;
+  for (SelectItem& item : sel.items) {
+    if (!item.expr) {
+      for (std::size_t t = 0; t < from.size(); ++t) {
+        for (std::size_t c = 0; c < from[t].def->columns.size(); ++c) {
+          ExprPtr e = Expr::columnRef(from[t].alias, from[t].def->columns[c].name);
+          binder.bind(*e);
+          outputs.push_back({e.get(), from[t].def->columns[c].name});
+          star_exprs.push_back(std::move(e));
+        }
+      }
+      continue;
+    }
+    binder.bind(*item.expr);
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
+    }
+    outputs.push_back({item.expr.get(), std::move(name)});
+  }
+
+  // --- gather and bind conjuncts (WHERE + every JOIN ... ON) ---
+  std::vector<PlannedConjunct> conjuncts;
+  auto addConjuncts = [&](Expr* root, int on_table) {
+    std::vector<Expr*> raw;
+    collectConjuncts(root, raw);
+    for (Expr* e : raw) {
+      PlannedConjunct pc;
+      pc.expr = e;
+      pc.max_table = binder.bind(*e);
+      pc.on_table = on_table;
+      conjuncts.push_back(pc);
+    }
+  };
+  addConjuncts(sel.where.get(), -1);
+  for (std::size_t t = 0; t < sel.from.size(); ++t) {
+    addConjuncts(sel.from[t].join_on.get(), static_cast<int>(t));
+  }
+
+  // --- bind the remaining clauses ---
+  for (ExprPtr& e : sel.group_by) binder.bind(*e);
+  if (sel.having) binder.bind(*sel.having);
+  for (OrderItem& item : sel.order_by) binder.bind(*item.expr);
+
+  // --- materialize uncorrelated subqueries (once per statement) ---
+  for (const PlannedConjunct& pc : conjuncts) {
+    materializeSubqueries(pc.expr, db, use_indexes);
+  }
+  for (const OutputCol& out : outputs) materializeSubqueries(out.expr, db, use_indexes);
+  if (sel.having) materializeSubqueries(sel.having.get(), db, use_indexes);
+  for (OrderItem& item : sel.order_by) {
+    materializeSubqueries(item.expr.get(), db, use_indexes);
+  }
+
+  // --- aggregation analysis ---
+  std::vector<Expr*> aggregates;
+  for (const OutputCol& out : outputs) collectAggregates(out.expr, aggregates);
+  if (sel.having) collectAggregates(sel.having.get(), aggregates);
+  for (OrderItem& item : sel.order_by) collectAggregates(item.expr.get(), aggregates);
+  const bool grouped = !sel.group_by.empty() || !aggregates.empty();
+  if (!sel.group_by.empty()) {
+    for (const OutputCol& out : outputs) {
+      (void)out;  // bare columns allowed, SQLite-style
+    }
+  }
+
+  // --- choose an access path per table ---
+  std::vector<AccessPath> paths(from.size());
+  if (use_indexes) {
+    for (std::size_t t = 0; t < from.size(); ++t) {
+      AccessPath& path = paths[t];
+      for (const PlannedConjunct& pc : conjuncts) {
+        Expr* e = pc.expr;
+        if (e->kind != Expr::Kind::Binary) continue;
+        if (e->op != BinaryOp::Eq && e->op != BinaryOp::Lt && e->op != BinaryOp::Le &&
+            e->op != BinaryOp::Gt && e->op != BinaryOp::Ge) {
+          continue;
+        }
+        // Normalize: want column-of-t on the left.
+        Expr* col = e->lhs.get();
+        Expr* other = e->rhs.get();
+        BinaryOp op = e->op;
+        auto flip = [](BinaryOp o) {
+          switch (o) {
+            case BinaryOp::Lt: return BinaryOp::Gt;
+            case BinaryOp::Le: return BinaryOp::Ge;
+            case BinaryOp::Gt: return BinaryOp::Lt;
+            case BinaryOp::Ge: return BinaryOp::Le;
+            default: return o;
+          }
+        };
+        if (!(col->kind == Expr::Kind::Column && col->bound_table == static_cast<int>(t))) {
+          std::swap(col, other);
+          op = flip(op);
+          if (!(col->kind == Expr::Kind::Column &&
+                col->bound_table == static_cast<int>(t))) {
+            continue;
+          }
+        }
+        // The other side must be computable before table t is scanned.
+        int other_max = -1;
+        std::vector<Expr*> cols;
+        std::function<void(Expr*)> scanCols = [&](Expr* x) {
+          if (x == nullptr) return;
+          if (x->kind == Expr::Kind::Column) {
+            other_max = std::max(other_max, x->bound_table);
+          }
+          scanCols(x->lhs.get());
+          scanCols(x->rhs.get());
+          for (const ExprPtr& item : x->list) scanCols(item.get());
+        };
+        scanCols(other);
+        if (other_max >= static_cast<int>(t)) continue;
+        const IndexDef* index =
+            db.catalog().indexOnColumn(from[t].def->name, col->bound_col);
+        if (index == nullptr) continue;
+        if (op == BinaryOp::Eq) {
+          path.kind = AccessPath::Kind::IndexEqual;
+          path.index = index;
+          path.key_column = col->bound_col;
+          path.equal_rhs = other;
+          break;  // equality beats any range
+        }
+        // Range bound: merge into an existing range path on the same column.
+        if (path.kind == AccessPath::Kind::IndexEqual) continue;
+        if (path.kind == AccessPath::Kind::IndexRange && path.key_column != col->bound_col) {
+          continue;
+        }
+        path.kind = AccessPath::Kind::IndexRange;
+        path.index = index;
+        path.key_column = col->bound_col;
+        if (op == BinaryOp::Gt || op == BinaryOp::Ge) {
+          path.lower_rhs = other;
+          path.lower_inclusive = op == BinaryOp::Ge;
+        } else {
+          path.upper_rhs = other;
+          path.upper_inclusive = op == BinaryOp::Le;
+        }
+      }
+    }
+  }
+
+  if (explain) {
+    ResultSet rs;
+    rs.columns = {"plan"};
+    for (std::size_t t = 0; t < from.size(); ++t) {
+      rs.rows.push_back({Value(paths[t].describe(from[t]))});
+    }
+    return rs;
+  }
+
+  // --- execution ---
+  ResultSet rs;
+  for (const OutputCol& out : outputs) rs.columns.push_back(out.name);
+
+  // Group storage (grouped mode) or direct output (plain mode).
+  std::map<EncodedKey, Group> groups;
+  std::vector<std::pair<std::vector<Value>, Row>> keyed_rows;  // (order keys, row)
+  std::set<EncodedKey> distinct_seen;
+
+  auto emitTuple = [&](const Tuple& tuple) {
+    if (grouped) {
+      Row key_values;
+      EncodedKey key;
+      for (const ExprPtr& e : sel.group_by) {
+        Value v = evaluate(*e, tuple);
+        encodeValue(v, key);
+        key_values.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      Group& g = it->second;
+      if (inserted) {
+        g.key_values = std::move(key_values);
+        g.aggs.resize(aggregates.size());
+        g.first_rows.reserve(tuple.size());
+        for (const Row* row : tuple) g.first_rows.push_back(*row);
+      }
+      for (std::size_t a = 0; a < aggregates.size(); ++a) {
+        const Expr* agg = aggregates[a];
+        if (agg->lhs) {
+          g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
+        } else {
+          g.aggs[a].count++;  // COUNT(*)
+        }
+      }
+      return;
+    }
+    Row row;
+    row.reserve(outputs.size());
+    for (const OutputCol& out : outputs) row.push_back(evaluate(*out.expr, tuple));
+    if (sel.distinct) {
+      EncodedKey key;
+      for (const Value& v : row) encodeValue(v, key);
+      if (!distinct_seen.insert(key).second) return;
+    }
+    std::vector<Value> order_keys;
+    order_keys.reserve(sel.order_by.size());
+    for (const OrderItem& item : sel.order_by) {
+      order_keys.push_back(evaluate(*item.expr, tuple));
+    }
+    keyed_rows.emplace_back(std::move(order_keys), std::move(row));
+  };
+
+  // Nested-loop join driven by the chosen access paths. LEFT JOIN follows
+  // standard semantics: a row "matches" when it passes the table's ON
+  // conjuncts; if nothing matches, a null-extended tuple is produced and
+  // only non-ON (WHERE) conjuncts apply to it.
+  Tuple tuple(from.size(), nullptr);
+  std::vector<Row> null_rows;
+  null_rows.reserve(from.size());
+  for (const FromEntry& entry : from) {
+    null_rows.emplace_back(entry.def->columns.size());  // all NULL
+  }
+  std::function<void(std::size_t)> joinStep = [&](std::size_t t) {
+    if (t == from.size()) {
+      emitTuple(tuple);
+      return;
+    }
+    auto dueHere = [&](const PlannedConjunct& pc) {
+      return pc.max_table == static_cast<int>(t) || (t == 0 && pc.max_table <= 0);
+    };
+    bool matched = false;
+    auto visit = [&](RecordId, const Row& row) -> bool {
+      tuple[t] = &row;
+      // ON conjuncts first: they alone decide whether the row "matches".
+      bool on_pass = true;
+      for (const PlannedConjunct& pc : conjuncts) {
+        if (!dueHere(pc) || pc.on_table != static_cast<int>(t)) continue;
+        if (!truthy(evaluate(*pc.expr, tuple))) {
+          on_pass = false;
+          break;
+        }
+      }
+      if (on_pass) {
+        matched = true;
+        bool rest_pass = true;
+        for (const PlannedConjunct& pc : conjuncts) {
+          if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
+          if (!truthy(evaluate(*pc.expr, tuple))) {
+            rest_pass = false;
+            break;
+          }
+        }
+        if (rest_pass) joinStep(t + 1);
+      }
+      tuple[t] = nullptr;
+      return true;
+    };
+    const AccessPath& path = paths[t];
+    switch (path.kind) {
+      case AccessPath::Kind::Scan:
+        db.scan(from[t].def->name, visit);
+        break;
+      case AccessPath::Kind::IndexEqual: {
+        const Value key = evaluate(*path.equal_rhs, tuple);
+        if (!key.isNull()) {  // col = NULL matches nothing; may null-extend
+          db.indexScanEqual(*path.index, {key}, visit);
+        }
+        break;
+      }
+      case AccessPath::Kind::IndexRange: {
+        std::optional<Value> lower;
+        std::optional<Value> upper;
+        if (path.lower_rhs) lower = evaluate(*path.lower_rhs, tuple);
+        if (path.upper_rhs) upper = evaluate(*path.upper_rhs, tuple);
+        db.indexScanRange(*path.index, lower, path.lower_inclusive, upper,
+                          path.upper_inclusive, visit);
+        break;
+      }
+    }
+    if (!matched && sel.from[t].left_join) {
+      tuple[t] = &null_rows[t];
+      bool pass = true;
+      for (const PlannedConjunct& pc : conjuncts) {
+        if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
+        if (!truthy(evaluate(*pc.expr, tuple))) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) joinStep(t + 1);
+      tuple[t] = nullptr;
+    }
+  };
+  joinStep(0);
+
+  // --- finalize groups ---
+  if (grouped) {
+    for (const auto& [key, group] : groups) {
+      if (sel.having && !truthy(evaluateGrouped(*sel.having, group))) continue;
+      Row row;
+      row.reserve(outputs.size());
+      for (const OutputCol& out : outputs) {
+        row.push_back(evaluateGrouped(*out.expr, group));
+      }
+      if (sel.distinct) {
+        EncodedKey dkey;
+        for (const Value& v : row) encodeValue(v, dkey);
+        if (!distinct_seen.insert(dkey).second) continue;
+      }
+      std::vector<Value> order_keys;
+      order_keys.reserve(sel.order_by.size());
+      for (const OrderItem& item : sel.order_by) {
+        order_keys.push_back(evaluateGrouped(*item.expr, group));
+      }
+      keyed_rows.emplace_back(std::move(order_keys), std::move(row));
+    }
+    // A fully-aggregated SELECT over zero input rows still yields one row.
+    if (groups.empty() && sel.group_by.empty()) {
+      Group empty;
+      empty.aggs.resize(aggregates.size());
+      // Bare column refs are undefined over an empty input; report NULLs.
+      bool representable = true;
+      for (const OutputCol& out : outputs) {
+        if (!containsAggregate(out.expr) && out.expr->kind != Expr::Kind::Literal) {
+          representable = false;
+        }
+      }
+      Row row;
+      for (const OutputCol& out : outputs) {
+        if (containsAggregate(out.expr) || out.expr->kind == Expr::Kind::Literal) {
+          row.push_back(evaluateGrouped(*out.expr, empty));
+        } else {
+          row.push_back(Value::null());
+        }
+      }
+      (void)representable;
+      keyed_rows.emplace_back(std::vector<Value>{}, std::move(row));
+    }
+  }
+
+  // --- order, offset, limit ---
+  if (!sel.order_by.empty()) {
+    std::stable_sort(keyed_rows.begin(), keyed_rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (std::size_t i = 0; i < sel.order_by.size(); ++i) {
+                         const int c = a.first[i].compare(b.first[i]);
+                         if (c != 0) return sel.order_by[i].descending ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  std::size_t start = 0;
+  std::size_t end = keyed_rows.size();
+  if (sel.offset) start = std::min<std::size_t>(end, static_cast<std::size_t>(*sel.offset));
+  if (sel.limit) end = std::min<std::size_t>(end, start + static_cast<std::size_t>(*sel.limit));
+  rs.rows.reserve(end - start);
+  for (std::size_t i = start; i < end; ++i) rs.rows.push_back(std::move(keyed_rows[i].second));
+  return rs;
+}
+
+Value evalConst(const Expr& e) {
+  static const Tuple kEmpty;
+  return evaluate(e, kEmpty);
+}
+
+}  // namespace
+
+ResultSet Engine::exec(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::Select:
+      return execSelect(*db_, *stmt.select, use_indexes_, stmt.explain);
+
+    case Statement::Kind::Insert: {
+      const InsertStmt& ins = *stmt.insert;
+      const TableDef* def = db_->catalog().findTable(ins.table);
+      if (def == nullptr) throw SqlError("no such table: " + ins.table);
+      std::vector<int> target_cols;
+      if (ins.columns.empty()) {
+        for (std::size_t c = 0; c < def->columns.size(); ++c) {
+          target_cols.push_back(static_cast<int>(c));
+        }
+      } else {
+        for (const std::string& name : ins.columns) {
+          const int c = def->columnIndex(name);
+          if (c < 0) throw SqlError("no column '" + name + "' in " + ins.table);
+          target_cols.push_back(c);
+        }
+      }
+      ResultSet rs;
+      for (const auto& exprs : ins.rows) {
+        if (exprs.size() != target_cols.size()) {
+          throw SqlError("INSERT value count does not match column count");
+        }
+        Row row(def->columns.size());  // unspecified columns default to NULL
+        for (std::size_t i = 0; i < exprs.size(); ++i) {
+          row[target_cols[i]] = evalConst(*exprs[i]);
+        }
+        rs.last_insert_id = db_->insertRow(def->name, std::move(row));
+        rs.rows_affected++;
+      }
+      return rs;
+    }
+
+    case Statement::Kind::Update: {
+      const UpdateStmt& upd = *stmt.update;
+      const TableDef* def = db_->catalog().findTable(upd.table);
+      if (def == nullptr) throw SqlError("no such table: " + upd.table);
+      std::vector<FromEntry> from{{def, def->name}};
+      Binder binder(from);
+      if (upd.where) {
+        binder.bind(*const_cast<Expr*>(upd.where.get()));
+        materializeSubqueries(const_cast<Expr*>(upd.where.get()), *db_, use_indexes_);
+      }
+      std::vector<std::pair<int, const Expr*>> assigns;
+      for (const auto& [name, expr] : upd.assignments) {
+        const int c = def->columnIndex(name);
+        if (c < 0) throw SqlError("no column '" + name + "' in " + upd.table);
+        binder.bind(*const_cast<Expr*>(expr.get()));
+        assigns.emplace_back(c, expr.get());
+      }
+      // Collect matches first, then mutate (index/heap iterators must not
+      // observe our own writes).
+      std::vector<std::pair<RecordId, Row>> matches;
+      db_->scan(def->name, [&](RecordId rid, const Row& row) {
+        Tuple tuple{&row};
+        if (!upd.where || truthy(evaluate(*upd.where, tuple))) {
+          matches.emplace_back(rid, row);
+        }
+        return true;
+      });
+      ResultSet rs;
+      for (auto& [rid, row] : matches) {
+        Row updated = row;
+        Tuple tuple{&row};
+        for (const auto& [c, expr] : assigns) {
+          updated[c] = evaluate(*expr, tuple);
+        }
+        db_->updateRow(def->name, rid, updated);
+        rs.rows_affected++;
+      }
+      return rs;
+    }
+
+    case Statement::Kind::Delete: {
+      const DeleteStmt& del = *stmt.del;
+      const TableDef* def = db_->catalog().findTable(del.table);
+      if (def == nullptr) throw SqlError("no such table: " + del.table);
+      std::vector<FromEntry> from{{def, def->name}};
+      Binder binder(from);
+      if (del.where) {
+        binder.bind(*const_cast<Expr*>(del.where.get()));
+        materializeSubqueries(const_cast<Expr*>(del.where.get()), *db_, use_indexes_);
+      }
+      std::vector<RecordId> victims;
+      db_->scan(def->name, [&](RecordId rid, const Row& row) {
+        Tuple tuple{&row};
+        if (!del.where || truthy(evaluate(*del.where, tuple))) victims.push_back(rid);
+        return true;
+      });
+      ResultSet rs;
+      for (RecordId rid : victims) {
+        if (db_->eraseRow(def->name, rid)) rs.rows_affected++;
+      }
+      return rs;
+    }
+
+    case Statement::Kind::CreateTable: {
+      const CreateTableStmt& ct = *stmt.create_table;
+      if (ct.if_not_exists && db_->catalog().findTable(ct.table) != nullptr) {
+        return {};
+      }
+      std::vector<ColumnDef> columns;
+      columns.reserve(ct.columns.size());
+      for (const auto& [name, type] : ct.columns) columns.push_back({name, type});
+      db_->createTable(ct.table, std::move(columns), ct.primary_key);
+      return {};
+    }
+
+    case Statement::Kind::CreateIndex: {
+      const CreateIndexStmt& ci = *stmt.create_index;
+      if (ci.if_not_exists && db_->catalog().findIndex(ci.index) != nullptr) {
+        return {};
+      }
+      db_->createIndex(ci.index, ci.table, ci.columns, ci.unique);
+      return {};
+    }
+
+    case Statement::Kind::Drop: {
+      const DropStmt& drop = *stmt.drop;
+      if (drop.what == DropStmt::What::Table) {
+        if (drop.if_exists && db_->catalog().findTable(drop.name) == nullptr) return {};
+        db_->dropTable(drop.name);
+      } else {
+        if (drop.if_exists && db_->catalog().findIndex(drop.name) == nullptr) return {};
+        db_->dropIndex(drop.name);
+      }
+      return {};
+    }
+
+    case Statement::Kind::Txn: {
+      switch (stmt.txn->kind) {
+        case TxnStmt::Kind::Begin: db_->begin(); break;
+        case TxnStmt::Kind::Commit: db_->commit(); break;
+        case TxnStmt::Kind::Rollback: db_->rollback(); break;
+      }
+      return {};
+    }
+
+    case Statement::Kind::Vacuum:
+      db_->vacuum();
+      return {};
+  }
+  throw SqlError("internal: bad statement kind");
+}
+
+}  // namespace perftrack::minidb::sql

@@ -1,0 +1,60 @@
+// minidb SQL front-end: statement execution.
+//
+// The Engine compiles a parsed Statement against a Database and runs it.
+// SELECT planning is rule-based, in the spirit of early relational engines:
+// tables join in FROM order with nested loops; for each table the planner
+// looks for a WHERE/ON conjunct of the form  col <op> <bound expr>  where
+// `col` has a B+-tree index and the other side only references earlier
+// tables — equality conjuncts become index point scans, inequalities become
+// index range scans, otherwise the table is heap-scanned. EXPLAIN returns
+// the chosen access path per table instead of rows (used by the ablation
+// benchmarks).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minidb/database.h"
+#include "minidb/sql/ast.h"
+
+namespace perftrack::minidb::sql {
+
+/// Result of executing one statement.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  std::int64_t rows_affected = 0;  // INSERT/UPDATE/DELETE
+  std::int64_t last_insert_id = 0; // INSERT into a table with a PK
+
+  bool empty() const { return rows.empty(); }
+
+  /// Renders the result as an aligned text table (for the CLI and examples).
+  std::string toText() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(Database& db) : db_(&db) {}
+
+  /// Parses and executes one statement.
+  ResultSet exec(std::string_view sql);
+
+  /// Executes an already-parsed statement.
+  ResultSet exec(const Statement& stmt);
+
+  /// Executes a ';'-separated script (quotes and comments are respected);
+  /// returns the last statement's result. Used for DDL batches.
+  ResultSet execScript(std::string_view script);
+
+  /// When false the planner never uses indexes (ablation switch; mirrors
+  /// the paper's interest in load/query cost drivers).
+  void setUseIndexes(bool enabled) { use_indexes_ = enabled; }
+  bool useIndexes() const { return use_indexes_; }
+
+ private:
+  Database* db_;
+  bool use_indexes_ = true;
+};
+
+}  // namespace perftrack::minidb::sql

@@ -1,0 +1,157 @@
+#include "minidb/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::minidb::sql {
+
+using util::SqlError;
+
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "SELECT", "FROM",    "WHERE",  "AND",    "OR",     "NOT",      "INSERT",
+      "INTO",   "VALUES",  "UPDATE", "SET",    "DELETE", "CREATE",   "TABLE",
+      "INDEX",  "UNIQUE",  "ON",     "DROP",   "JOIN",   "INNER",    "LEFT",
+      "AS",     "ORDER",   "BY",     "GROUP",  "HAVING", "LIMIT",    "OFFSET",
+      "ASC",    "DESC",    "NULL",   "IS",     "IN",     "LIKE",     "BEGIN",
+      "COMMIT", "ROLLBACK","PRIMARY","KEY",    "INTEGER","REAL",     "TEXT",
+      "COUNT",  "SUM",     "AVG",    "MIN",    "MAX",    "DISTINCT", "EXPLAIN",
+      "IF",     "EXISTS",  "BETWEEN","OUTER",  "VACUUM"};
+  return kw;
+}
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments to end of line
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (isIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && isIdentBody(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (keywords().contains(upper)) {
+        tok.type = TokenType::Keyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::Identifier;
+        tok.text = std::move(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_real = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      const std::string text(sql.substr(start, i - start));
+      if (is_real) {
+        const auto v = util::parseReal(text);
+        if (!v) throw SqlError("bad numeric literal: " + text);
+        tok.type = TokenType::Real;
+        tok.real_value = *v;
+      } else {
+        const auto v = util::parseInt(text);
+        if (!v) throw SqlError("bad integer literal: " + text);
+        tok.type = TokenType::Integer;
+        tok.int_value = *v;
+      }
+      tok.text = text;
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(sql[i]);
+          ++i;
+        }
+      }
+      if (!closed) throw SqlError("unterminated string literal");
+      tok.type = TokenType::String;
+      tok.text = std::move(value);
+    } else if (c == '"') {
+      ++i;
+      std::size_t start = i;
+      while (i < n && sql[i] != '"') ++i;
+      if (i >= n) throw SqlError("unterminated quoted identifier");
+      tok.type = TokenType::Identifier;
+      tok.text = std::string(sql.substr(start, i - start));
+      ++i;
+    } else {
+      // Multi-character operators first.
+      static constexpr std::string_view kTwoChar[] = {"<=", ">=", "<>", "!=", "=="};
+      std::string_view rest = sql.substr(i);
+      std::string sym;
+      for (std::string_view two : kTwoChar) {
+        if (util::startsWith(rest, two)) {
+          sym = std::string(two);
+          break;
+        }
+      }
+      if (sym.empty()) {
+        static constexpr std::string_view kOneChar = "()=<>,.;*+-/";
+        if (kOneChar.find(c) == std::string_view::npos) {
+          throw SqlError(std::string("unexpected character '") + c + "' in SQL");
+        }
+        sym = std::string(1, c);
+      }
+      tok.type = TokenType::Symbol;
+      tok.text = sym;
+      i += sym.size();
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::End;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace perftrack::minidb::sql

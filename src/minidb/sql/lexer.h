@@ -1,0 +1,15 @@
+// minidb SQL front-end: lexer.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "minidb/sql/token.h"
+
+namespace perftrack::minidb::sql {
+
+/// Tokenizes one SQL statement. Throws SqlError on unterminated strings or
+/// unexpected characters. The returned vector always ends with an End token.
+std::vector<Token> tokenize(std::string_view sql);
+
+}  // namespace perftrack::minidb::sql

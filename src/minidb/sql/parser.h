@@ -1,0 +1,14 @@
+// minidb SQL front-end: recursive-descent parser.
+#pragma once
+
+#include <string_view>
+
+#include "minidb/sql/ast.h"
+
+namespace perftrack::minidb::sql {
+
+/// Parses exactly one statement (an optional trailing ';' is allowed).
+/// Throws SqlError with a position-annotated message on syntax errors.
+Statement parseStatement(std::string_view sql);
+
+}  // namespace perftrack::minidb::sql

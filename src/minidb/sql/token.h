@@ -1,0 +1,34 @@
+// minidb SQL front-end: token definitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace perftrack::minidb::sql {
+
+enum class TokenType {
+  End,
+  Identifier,   // bare or "quoted" identifier
+  Keyword,      // normalized to upper case
+  Integer,
+  Real,
+  String,       // 'quoted' literal, quotes stripped, '' unescaped
+  Symbol,       // punctuation / operator, e.g. "(", ",", "<=", "<>"
+};
+
+struct Token {
+  TokenType type = TokenType::End;
+  std::string text;        // normalized text (keywords upper-cased)
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::size_t offset = 0;  // byte offset in the statement, for error messages
+
+  bool isKeyword(std::string_view kw) const {
+    return type == TokenType::Keyword && text == kw;
+  }
+  bool isSymbol(std::string_view sym) const {
+    return type == TokenType::Symbol && text == sym;
+  }
+};
+
+}  // namespace perftrack::minidb::sql

@@ -1,0 +1,33 @@
+// minidb: fundamental storage-layer identifiers and constants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace perftrack::minidb {
+
+/// Logical page number within a database file. Page 0 is the header page.
+using PageId = std::uint32_t;
+
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+inline constexpr std::size_t kPageSize = 8192;
+
+/// Physical location of a record: (page, slot index within page).
+struct RecordId {
+  PageId page = kInvalidPage;
+  std::uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPage; }
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+  friend auto operator<=>(const RecordId&, const RecordId&) = default;
+};
+
+}  // namespace perftrack::minidb
+
+template <>
+struct std::hash<perftrack::minidb::RecordId> {
+  std::size_t operator()(const perftrack::minidb::RecordId& rid) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(rid.page) << 16) | rid.slot);
+  }
+};

@@ -1,0 +1,171 @@
+#include "minidb/value.h"
+
+#include <cstring>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::minidb {
+
+using util::StorageError;
+
+std::string_view columnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::Integer: return "INTEGER";
+    case ColumnType::Real: return "REAL";
+    case ColumnType::Text: return "TEXT";
+  }
+  return "?";
+}
+
+std::int64_t Value::asInt() const {
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) return *v;
+  throw StorageError("Value: not an integer");
+}
+
+double Value::asReal() const {
+  if (const auto* v = std::get_if<double>(&data_)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*v);
+  throw StorageError("Value: not a real");
+}
+
+const std::string& Value::asText() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  throw StorageError("Value: not text");
+}
+
+std::string Value::toDisplayString() const {
+  if (isNull()) return "";
+  if (isInt()) return std::to_string(asInt());
+  if (isReal()) return util::formatReal(asReal());
+  return asText();
+}
+
+int Value::compare(const Value& other) const {
+  // Storage-class rank: NULL(0) < numeric(1) < text(2).
+  auto rank = [](const Value& v) { return v.isNull() ? 0 : (v.isText() ? 2 : 1); };
+  const int ra = rank(*this);
+  const int rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // NULL == NULL for ordering purposes
+  if (ra == 1) {
+    // Compare numerically; stay in int64 when both are integers.
+    if (isInt() && other.isInt()) {
+      const auto a = asInt();
+      const auto b = other.asInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = asReal();
+    const double b = other.asReal();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const int c = asText().compare(other.asText());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+namespace {
+
+// Tag bytes for the serialized form.
+constexpr std::uint8_t kTagNull = 0;
+constexpr std::uint8_t kTagInt = 1;
+constexpr std::uint8_t kTagReal = 2;
+constexpr std::uint8_t kTagText = 3;
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void serializeRow(const Row& row, std::vector<std::uint8_t>& out) {
+  if (row.size() > 0xFFFF) throw StorageError("serializeRow: too many columns");
+  out.push_back(static_cast<std::uint8_t>(row.size()));
+  out.push_back(static_cast<std::uint8_t>(row.size() >> 8));
+  for (const Value& v : row) {
+    if (v.isNull()) {
+      out.push_back(kTagNull);
+    } else if (v.isInt()) {
+      out.push_back(kTagInt);
+      putU64(out, static_cast<std::uint64_t>(v.asInt()));
+    } else if (v.isReal()) {
+      out.push_back(kTagReal);
+      std::uint64_t bits = 0;
+      const double d = v.asReal();
+      std::memcpy(&bits, &d, sizeof(bits));
+      putU64(out, bits);
+    } else {
+      const std::string& s = v.asText();
+      out.push_back(kTagText);
+      putU32(out, static_cast<std::uint32_t>(s.size()));
+      out.insert(out.end(), s.begin(), s.end());
+    }
+  }
+}
+
+Row deserializeRow(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n) {
+    if (pos + n > size) throw StorageError("deserializeRow: truncated record");
+  };
+  need(2);
+  const std::size_t ncols = data[0] | (static_cast<std::size_t>(data[1]) << 8);
+  pos = 2;
+  Row row;
+  row.reserve(ncols);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    need(1);
+    const std::uint8_t tag = data[pos++];
+    switch (tag) {
+      case kTagNull:
+        row.emplace_back();
+        break;
+      case kTagInt: {
+        need(8);
+        row.emplace_back(static_cast<std::int64_t>(getU64(data + pos)));
+        pos += 8;
+        break;
+      }
+      case kTagReal: {
+        need(8);
+        const std::uint64_t bits = getU64(data + pos);
+        pos += 8;
+        double d = 0.0;
+        std::memcpy(&d, &bits, sizeof(d));
+        row.emplace_back(d);
+        break;
+      }
+      case kTagText: {
+        need(4);
+        const std::uint32_t len = getU32(data + pos);
+        pos += 4;
+        need(len);
+        row.emplace_back(std::string(reinterpret_cast<const char*>(data + pos), len));
+        pos += len;
+        break;
+      }
+      default:
+        throw StorageError("deserializeRow: bad value tag");
+    }
+  }
+  return row;
+}
+
+}  // namespace perftrack::minidb

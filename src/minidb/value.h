@@ -1,0 +1,72 @@
+// minidb: typed column values and row (de)serialization.
+//
+// minidb supports four storage classes, mirroring the subset of SQL types the
+// PerfTrack schema needs: NULL, INTEGER (int64), REAL (double), TEXT (UTF-8
+// byte string). Rows are serialized to a compact byte format for heap pages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace perftrack::minidb {
+
+enum class ColumnType : std::uint8_t {
+  Integer = 0,
+  Real = 1,
+  Text = 2,
+};
+
+/// Human-readable name ("INTEGER", "REAL", "TEXT").
+std::string_view columnTypeName(ColumnType type);
+
+/// A single dynamically-typed cell. NULL is represented by monostate.
+class Value {
+ public:
+  Value() = default;  // NULL
+  Value(std::int64_t v) : data_(v) {}
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : data_(v) {}
+  Value(std::string v) : data_(std::move(v)) {}
+  Value(std::string_view v) : data_(std::string(v)) {}
+  Value(const char* v) : data_(std::string(v)) {}
+
+  static Value null() { return Value(); }
+
+  bool isNull() const { return std::holds_alternative<std::monostate>(data_); }
+  bool isInt() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool isReal() const { return std::holds_alternative<double>(data_); }
+  bool isText() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Integer accessor; throws StorageError when the value is not an integer.
+  std::int64_t asInt() const;
+  /// Real accessor; accepts integers (widening). Throws otherwise.
+  double asReal() const;
+  /// Text accessor; throws when the value is not text.
+  const std::string& asText() const;
+
+  /// Renders the value for display: NULL -> "", reals via formatReal.
+  std::string toDisplayString() const;
+
+  /// Three-way ordering used by ORDER BY, B+-tree keys, and comparisons:
+  /// NULL < numbers < text; integers and reals compare numerically.
+  int compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.compare(b) == 0; }
+  friend bool operator<(const Value& a, const Value& b) { return a.compare(b) < 0; }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+using Row = std::vector<Value>;
+
+/// Appends a serialized row to `out`.
+void serializeRow(const Row& row, std::vector<std::uint8_t>& out);
+
+/// Parses a row from `data`; throws StorageError on corruption.
+Row deserializeRow(const std::uint8_t* data, std::size_t size);
+
+}  // namespace perftrack::minidb

@@ -1,0 +1,187 @@
+#include "ptdf/export.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "core/typesystem.h"
+#include "util/strings.h"
+
+namespace perftrack::ptdf {
+
+namespace {
+
+/// Type paths loaded by PTDataStore::initialize(); re-exporting them is
+/// harmless but noisy, so they are skipped.
+const std::set<std::string>& baseTypePaths() {
+  static const std::set<std::string> kBase = [] {
+    std::set<std::string> base;
+    for (const std::string& path : core::baseHierarchicalTypes()) {
+      const auto segments = core::splitTypePath(path);
+      std::string prefix;
+      for (const std::string& segment : segments) {
+        if (!prefix.empty()) prefix.push_back('/');
+        prefix.append(segment);
+        base.insert(prefix);
+      }
+    }
+    for (const std::string& path : core::baseSingleLevelTypes()) base.insert(path);
+    return base;
+  }();
+  return kBase;
+}
+
+/// Emits one resource with its string attributes. Resource-typed attributes
+/// are skipped here; they re-emerge from the constraint table.
+void emitResource(core::PTDataStore& store, Writer& writer,
+                  const core::ResourceInfo& info, ExportStats& stats) {
+  writer.resource(info.full_name, info.type_path);
+  ++stats.resources;
+  for (const core::AttributeInfo& attr : store.attributesOf(info.id)) {
+    if (attr.attr_type == "resource") continue;
+    writer.resourceAttribute(info.full_name, attr.name, attr.value, attr.attr_type);
+    ++stats.attributes;
+  }
+}
+
+void emitConstraints(core::PTDataStore& store, Writer& writer,
+                     const core::ResourceInfo& info, ExportStats& stats) {
+  for (core::ResourceId other : store.constraintsOf(info.id)) {
+    writer.resourceConstraint(info.full_name, store.resourceInfo(other).full_name);
+    ++stats.constraints;
+  }
+}
+
+/// Emits every performance result of one execution, reconstructing the
+/// resource sets with their focus types.
+void emitResults(core::PTDataStore& store, const std::string& exec_name, Writer& writer,
+                 ExportStats& stats) {
+  dbal::Connection& conn = store.connection();
+  for (std::int64_t id : store.resultsForExecution(exec_name)) {
+    const core::PerfResultRecord rec = store.getResult(id);
+    // Rebuild the sets with focus types straight from the schema.
+    const auto foci = conn.exec(
+        "SELECT focus_id FROM performance_result_has_focus WHERE result_id = " +
+        std::to_string(id));
+    std::vector<core::ResourceSetSpec> sets;
+    for (const auto& focus_row : foci.rows) {
+      const std::int64_t focus_id = focus_row[0].asInt();
+      const auto members = conn.exec(
+          "SELECT resource_id, focus_type FROM focus_has_resource WHERE focus_id = " +
+          std::to_string(focus_id));
+      core::ResourceSetSpec spec;
+      for (const auto& member : members.rows) {
+        spec.resource_names.push_back(
+            store.resourceInfo(member[0].asInt()).full_name);
+        spec.set_type = core::focusTypeFromName(member[1].asText());
+      }
+      if (!spec.resource_names.empty()) sets.push_back(std::move(spec));
+    }
+    if (const auto hist = store.getHistogram(id)) {
+      // Complex result: re-expand the sparse bins into the full vector with
+      // NaN holes so the PerfHistogram record round-trips exactly.
+      std::vector<double> bins(static_cast<std::size_t>(hist->num_bins),
+                               std::numeric_limits<double>::quiet_NaN());
+      for (const auto& [bin, value] : hist->bins) {
+        bins.at(static_cast<std::size_t>(bin)) = value;
+      }
+      writer.perfHistogram(exec_name, sets, rec.tool, rec.metric, hist->bin_width,
+                           rec.units, bins);
+    } else {
+      writer.perfResult(exec_name, sets, rec.tool, rec.metric, rec.value, rec.units,
+                        rec.start_time, rec.end_time);
+    }
+    ++stats.perf_results;
+  }
+}
+
+}  // namespace
+
+ExportStats exportStore(core::PTDataStore& store, Writer& writer) {
+  ExportStats stats;
+  dbal::Connection& conn = store.connection();
+  writer.comment("PTdf export: full store");
+
+  for (const std::string& type : store.resourceTypes()) {
+    if (baseTypePaths().contains(type)) continue;
+    writer.resourceType(type);
+    ++stats.resource_types;
+  }
+
+  // Executions (and their applications) before resources so PerfResults can
+  // always resolve.
+  const auto execs = conn.exec(
+      "SELECT e.name, a.name FROM execution e JOIN application a "
+      "ON e.application_id = a.id ORDER BY e.id");
+  for (const auto& row : execs.rows) {
+    writer.application(row[1].asText());
+    writer.execution(row[0].asText(), row[1].asText());
+    ++stats.executions;
+  }
+
+  // Resources in id order: parents were created before children, so a
+  // straight replay always finds ancestors in place.
+  const auto resources = conn.exec(
+      "SELECT r.id FROM resource_item r ORDER BY r.id");
+  std::vector<core::ResourceInfo> infos;
+  infos.reserve(resources.rows.size());
+  for (const auto& row : resources.rows) {
+    infos.push_back(store.resourceInfo(row[0].asInt()));
+  }
+  for (const core::ResourceInfo& info : infos) emitResource(store, writer, info, stats);
+  for (const core::ResourceInfo& info : infos) emitConstraints(store, writer, info, stats);
+
+  for (const std::string& exec : store.executions()) {
+    emitResults(store, exec, writer, stats);
+  }
+  return stats;
+}
+
+ExportStats exportExecution(core::PTDataStore& store, const std::string& exec_name,
+                            Writer& writer) {
+  ExportStats stats;
+  writer.comment("PTdf export: execution " + exec_name);
+
+  // Collect the resource closure the execution's results reference:
+  // context members plus all their ancestors (so paths re-create cleanly).
+  std::set<core::ResourceId> needed;
+  for (std::int64_t id : store.resultsForExecution(exec_name)) {
+    const core::PerfResultRecord rec = store.getResult(id);
+    for (const auto& context : rec.contexts) {
+      for (core::ResourceId rid : context) {
+        if (!needed.insert(rid).second) continue;
+        for (core::ResourceId anc : store.ancestorsOf(rid)) needed.insert(anc);
+      }
+    }
+  }
+  std::vector<core::ResourceInfo> infos;
+  infos.reserve(needed.size());
+  for (core::ResourceId rid : needed) infos.push_back(store.resourceInfo(rid));
+  // Parents first (ids ascend along every path).
+  std::sort(infos.begin(), infos.end(),
+            [](const core::ResourceInfo& a, const core::ResourceInfo& b) {
+              return a.id < b.id;
+            });
+
+  // Non-base types used by the closure.
+  std::set<std::string> types;
+  for (const core::ResourceInfo& info : infos) types.insert(info.type_path);
+  for (const std::string& type : types) {
+    if (baseTypePaths().contains(type)) continue;
+    writer.resourceType(type);
+    ++stats.resource_types;
+  }
+
+  const auto ids = store.resultsForExecution(exec_name);
+  if (!ids.empty()) {
+    const std::string app = store.getResult(ids.front()).application;
+    writer.application(app);
+    writer.execution(exec_name, app);
+    ++stats.executions;
+  }
+  for (const core::ResourceInfo& info : infos) emitResource(store, writer, info, stats);
+  emitResults(store, exec_name, writer, stats);
+  return stats;
+}
+
+}  // namespace perftrack::ptdf

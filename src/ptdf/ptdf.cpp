@@ -1,0 +1,296 @@
+#include "ptdf/ptdf.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::ptdf {
+
+using util::ParseError;
+
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= n) break;
+    std::string field;
+    if (line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {
+            field.push_back('"');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          field.push_back(line[i]);
+          ++i;
+        }
+      }
+      if (!closed) throw ParseError("unterminated quoted field");
+    } else {
+      while (i < n && !std::isspace(static_cast<unsigned char>(line[i]))) {
+        field.push_back(line[i]);
+        ++i;
+      }
+    }
+    out.push_back(std::move(field));
+  }
+  return out;
+}
+
+std::string quoteField(const std::string& field) {
+  const bool needs_quotes =
+      field.empty() ||
+      field.find_first_of(" \t\"") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<core::ResourceSetSpec> parseResourceSets(const std::string& text) {
+  std::vector<core::ResourceSetSpec> out;
+  for (const std::string& part : util::split(text, ':')) {
+    if (part.empty()) throw ParseError("empty resource set in '" + text + "'");
+    const auto open = part.rfind('(');
+    if (open == std::string::npos || part.back() != ')') {
+      throw ParseError("resource set missing (type): '" + part + "'");
+    }
+    core::ResourceSetSpec spec;
+    spec.set_type = core::focusTypeFromName(part.substr(open + 1, part.size() - open - 2));
+    const std::string names = part.substr(0, open);
+    for (const std::string& name : util::split(names, ',')) {
+      if (name.empty()) throw ParseError("empty resource name in set '" + part + "'");
+      spec.resource_names.push_back(name);
+    }
+    if (spec.resource_names.empty()) {
+      throw ParseError("resource set with no resources: '" + part + "'");
+    }
+    out.push_back(std::move(spec));
+  }
+  if (out.empty()) throw ParseError("empty resource set expression");
+  return out;
+}
+
+std::string formatResourceSets(const std::vector<core::ResourceSetSpec>& sets) {
+  std::string out;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    if (i) out.push_back(':');
+    out += util::join(sets[i].resource_names, ",");
+    out.push_back('(');
+    out += std::string(core::focusTypeName(sets[i].set_type));
+    out.push_back(')');
+  }
+  return out;
+}
+
+LoadStats load(core::PTDataStore& store, std::istream& in) {
+  LoadStats stats;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ++stats.lines;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields;
+    try {
+      fields = splitFields(line);
+    } catch (const ParseError& e) {
+      throw ParseError(e.what(), line_no);
+    }
+    const std::string& kind = fields[0];
+    auto need = [&](std::size_t min_fields, std::size_t max_fields) {
+      if (fields.size() < min_fields || fields.size() > max_fields) {
+        throw ParseError(kind + " record has " + std::to_string(fields.size() - 1) +
+                             " fields",
+                         line_no);
+      }
+    };
+    try {
+      if (kind == "Application") {
+        need(2, 2);
+        store.addApplication(fields[1]);
+        ++stats.applications;
+      } else if (kind == "ResourceType") {
+        need(2, 2);
+        store.addResourceType(fields[1]);
+        ++stats.resource_types;
+      } else if (kind == "Execution") {
+        need(3, 3);
+        store.addExecution(fields[1], fields[2]);
+        ++stats.executions;
+      } else if (kind == "Resource") {
+        need(3, 4);  // optional execName (paper Figure 6 lists both forms)
+        store.addResource(fields[1], fields[2]);
+        ++stats.resources;
+      } else if (kind == "ResourceAttribute") {
+        need(5, 5);
+        if (fields[4] == "resource") {
+          // Equivalent to a ResourceConstraint per the paper.
+          store.addResourceConstraint(fields[1], fields[3]);
+          ++stats.constraints;
+        } else if (fields[4] == "string") {
+          store.addResourceAttribute(fields[1], fields[2], fields[3], fields[4]);
+          ++stats.attributes;
+        } else {
+          throw ParseError("unknown attributeType '" + fields[4] + "'", line_no);
+        }
+      } else if (kind == "PerfResult") {
+        need(7, 9);
+        const auto value = util::parseReal(fields[5]);
+        if (!value) throw ParseError("bad PerfResult value '" + fields[5] + "'", line_no);
+        double start = -1.0;
+        double end = -1.0;
+        if (fields.size() >= 8) {
+          const auto s = util::parseReal(fields[7]);
+          if (!s) throw ParseError("bad start time '" + fields[7] + "'", line_no);
+          start = *s;
+        }
+        if (fields.size() >= 9) {
+          const auto e = util::parseReal(fields[8]);
+          if (!e) throw ParseError("bad end time '" + fields[8] + "'", line_no);
+          end = *e;
+        }
+        store.addPerformanceResult(fields[1], parseResourceSets(fields[2]), fields[3],
+                                   fields[4], *value, fields[6], start, end);
+        ++stats.perf_results;
+      } else if (kind == "ResourceConstraint") {
+        need(3, 3);
+        store.addResourceConstraint(fields[1], fields[2]);
+        ++stats.constraints;
+      } else if (kind == "PerfHistogram") {
+        need(8, 8);
+        const auto bin_width = util::parseReal(fields[5]);
+        if (!bin_width || *bin_width <= 0.0) {
+          throw ParseError("bad PerfHistogram bin width '" + fields[5] + "'", line_no);
+        }
+        std::vector<double> bins;
+        for (const std::string& cell : util::split(fields[7], ',')) {
+          if (cell == "nan") {
+            bins.push_back(std::numeric_limits<double>::quiet_NaN());
+          } else {
+            const auto v = util::parseReal(cell);
+            if (!v) throw ParseError("bad histogram bin '" + cell + "'", line_no);
+            bins.push_back(*v);
+          }
+        }
+        store.addHistogramResult(fields[1], parseResourceSets(fields[2]), fields[3],
+                                 fields[4], bins, *bin_width, fields[6]);
+        ++stats.histograms;
+        ++stats.perf_results;
+      } else {
+        throw ParseError("unknown PTdf record '" + kind + "'", line_no);
+      }
+    } catch (const ParseError&) {
+      throw;
+    } catch (const util::PTError& e) {
+      throw ParseError(e.what(), line_no);
+    }
+    ++stats.records;
+  }
+  return stats;
+}
+
+LoadStats loadFile(core::PTDataStore& store, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::PTError("cannot open PTdf file: " + path);
+  return load(store, in);
+}
+
+void Writer::emit(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_->put(' ');
+    (*out_) << quoteField(fields[i]);
+  }
+  out_->put('\n');
+  ++lines_;
+}
+
+void Writer::application(const std::string& name) { emit({"Application", name}); }
+
+void Writer::resourceType(const std::string& type_path) {
+  emit({"ResourceType", type_path});
+}
+
+void Writer::execution(const std::string& exec_name, const std::string& app_name) {
+  emit({"Execution", exec_name, app_name});
+}
+
+void Writer::resource(const std::string& full_name, const std::string& type_path,
+                      const std::string& exec_name) {
+  if (exec_name.empty()) {
+    emit({"Resource", full_name, type_path});
+  } else {
+    emit({"Resource", full_name, type_path, exec_name});
+  }
+}
+
+void Writer::resourceAttribute(const std::string& resource, const std::string& attr,
+                               const std::string& value, const std::string& attr_type) {
+  emit({"ResourceAttribute", resource, attr, value, attr_type});
+}
+
+void Writer::perfResult(const std::string& exec_name,
+                        const std::vector<core::ResourceSetSpec>& sets,
+                        const std::string& tool, const std::string& metric, double value,
+                        const std::string& units, double start_time, double end_time) {
+  std::vector<std::string> fields = {"PerfResult",
+                                     exec_name,
+                                     formatResourceSets(sets),
+                                     tool,
+                                     metric,
+                                     util::formatReal(value),
+                                     units};
+  if (start_time >= 0.0 || end_time >= 0.0) {
+    fields.push_back(util::formatReal(start_time));
+    fields.push_back(util::formatReal(end_time));
+  }
+  emit(fields);
+}
+
+void Writer::resourceConstraint(const std::string& r1, const std::string& r2) {
+  emit({"ResourceConstraint", r1, r2});
+}
+
+void Writer::perfHistogram(const std::string& exec_name,
+                           const std::vector<core::ResourceSetSpec>& sets,
+                           const std::string& tool, const std::string& metric,
+                           double bin_width, const std::string& units,
+                           const std::vector<double>& bins) {
+  std::string cells;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (i) cells.push_back(',');
+    cells += std::isnan(bins[i]) ? "nan" : util::formatReal(bins[i]);
+  }
+  emit({"PerfHistogram", exec_name, formatResourceSets(sets), tool, metric,
+        util::formatReal(bin_width), units, cells});
+}
+
+void Writer::comment(const std::string& text) {
+  (*out_) << "# " << text << '\n';
+  ++lines_;
+}
+
+}  // namespace perftrack::ptdf

@@ -1,0 +1,107 @@
+// PerfTrack data format (PTdf) — the loading interface of paper Figure 6.
+//
+// PTdf is a line-oriented text format; each line is one record:
+//   Application         appName
+//   ResourceType        resourceTypeName
+//   Execution           execName appName
+//   Resource            resourceName resourceTypeName [execName]
+//   ResourceAttribute   resourceName attributeName attributeValue attributeType
+//   PerfResult          execName resourceSet perfToolName metricName value units
+//                       [startTime endTime]
+//   ResourceConstraint  resourceName1 resourceName2
+//   PerfHistogram       execName resourceSet perfToolName metricName binWidth
+//                       units binsCSV
+//
+// PerfHistogram is this implementation's extension for the paper's §6
+// "complex performance results": one record carries a whole time series
+// (binsCSV = comma-separated values, "nan" for unrecorded bins) instead of
+// one PerfResult per bin.
+//
+// A resourceSet is "one or more lists of resource names separated by a
+// colon; each list consists of a comma separated list of resource names
+// followed by a resource set type name in parentheses", e.g.
+//   /run1/p0,/build/main.c/foo(primary):/run1/p4(sender)
+//
+// Fields are whitespace-separated; fields containing whitespace are
+// double-quoted with '""' escaping. '#' begins a comment line. attributeType
+// is 'string' or 'resource' (the latter is equivalent to a
+// ResourceConstraint, per the paper).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/datastore.h"
+
+namespace perftrack::ptdf {
+
+/// Splits one PTdf line into fields, honoring double quotes.
+std::vector<std::string> splitFields(const std::string& line);
+
+/// Quotes a field for writing when it contains whitespace or quotes.
+std::string quoteField(const std::string& field);
+
+/// Parses a resourceSet expression into resource-set specs.
+std::vector<core::ResourceSetSpec> parseResourceSets(const std::string& text);
+
+/// Renders resource sets back to the PTdf expression.
+std::string formatResourceSets(const std::vector<core::ResourceSetSpec>& sets);
+
+/// Statistics from one load.
+struct LoadStats {
+  std::size_t lines = 0;  // total lines read (incl. comments/blank)
+  std::size_t records = 0;
+  std::size_t applications = 0;
+  std::size_t resource_types = 0;
+  std::size_t executions = 0;
+  std::size_t resources = 0;
+  std::size_t attributes = 0;
+  std::size_t constraints = 0;
+  std::size_t perf_results = 0;
+  std::size_t histograms = 0;
+};
+
+/// Streams PTdf records into a data store. Throws util::ParseError with the
+/// offending line number on malformed input.
+LoadStats load(core::PTDataStore& store, std::istream& in);
+
+/// Loads one PTdf file from disk.
+LoadStats loadFile(core::PTDataStore& store, const std::string& path);
+
+/// Emits PTdf records. Each method writes one line.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(&out) {}
+
+  void application(const std::string& name);
+  void resourceType(const std::string& type_path);
+  void execution(const std::string& exec_name, const std::string& app_name);
+  void resource(const std::string& full_name, const std::string& type_path,
+                const std::string& exec_name = "");
+  void resourceAttribute(const std::string& resource, const std::string& attr,
+                         const std::string& value, const std::string& attr_type = "string");
+  void perfResult(const std::string& exec_name,
+                  const std::vector<core::ResourceSetSpec>& sets,
+                  const std::string& tool, const std::string& metric, double value,
+                  const std::string& units, double start_time = -1.0,
+                  double end_time = -1.0);
+  void resourceConstraint(const std::string& r1, const std::string& r2);
+  void perfHistogram(const std::string& exec_name,
+                     const std::vector<core::ResourceSetSpec>& sets,
+                     const std::string& tool, const std::string& metric,
+                     double bin_width, const std::string& units,
+                     const std::vector<double>& bins);  // NaN = unrecorded
+  void comment(const std::string& text);
+
+  std::size_t linesWritten() const { return lines_; }
+
+ private:
+  void emit(const std::vector<std::string>& fields);
+
+  std::ostream* out_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace perftrack::ptdf

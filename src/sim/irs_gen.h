@@ -1,0 +1,58 @@
+// PerfTrack simulation: IRS benchmark run generator (case study §4.1).
+//
+// IRS (Implicit Radiation Solver) is an ASC Purple benchmark written in C
+// using MPI/OpenMP. A standard run "outputs several data files", with
+// "timings for approximately 80 different functions ... For each function,
+// the aggregate, average, max and min values for five different metrics are
+// reported. Sometimes one of the values or metrics doesn't apply", yielding
+// ~1500 performance results per execution plus a handful of whole-program
+// summary values.
+//
+// This generator reproduces that output shape: six files per run —
+//   irs_stdout.txt   banner: version, machine, process count, concurrency
+//   irs_timing.txt   per-function table: metric x {aggregate,average,max,min}
+//   irs_summary.txt  whole-program metrics (wall time, FOM, memory, ...)
+//   irs_env.txt      runtime environment capture (consumed by collect/)
+//   irs_build.txt    build environment capture (consumed by collect/)
+//   irs_input.txt    input deck description
+// with timings produced by the analytic PerfModel on the target machine.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/machines.h"
+
+namespace perftrack::sim {
+
+/// ~80 IRS function names (module-qualified as module.c:function).
+const std::vector<std::string>& irsFunctionNames();
+
+/// The five per-function base metrics IRS reports.
+const std::vector<std::string>& irsBaseMetrics();
+
+/// Whole-program summary metrics.
+const std::vector<std::string>& irsSummaryMetrics();
+
+struct IrsRunSpec {
+  MachineConfig machine;
+  int nprocs = 8;
+  std::string concurrency = "MPI";  // MPI | OpenMP | MPI/OpenMP | serial
+  std::uint64_t seed = 1;
+  std::string exec_name;  // empty = derived "irs-<machine>-np<P>-s<seed>"
+
+  std::string effectiveExecName() const;
+};
+
+struct GeneratedRun {
+  std::string exec_name;
+  std::vector<std::filesystem::path> files;
+  std::uint64_t rawBytes() const;  // total size of the generated files
+};
+
+/// Writes one IRS run's output files into `dir` (created if needed).
+GeneratedRun generateIrsRun(const IrsRunSpec& spec, const std::filesystem::path& dir);
+
+}  // namespace perftrack::sim

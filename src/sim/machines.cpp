@@ -1,0 +1,126 @@
+#include "sim/machines.h"
+
+#include <algorithm>
+
+#include "ptdf/ptdf.h"
+
+namespace perftrack::sim {
+
+std::string MachineConfig::machineResource() const {
+  return "/" + grid_name + "/" + name;
+}
+
+std::string MachineConfig::partitionResource() const {
+  return machineResource() + "/" + partition;
+}
+
+std::string MachineConfig::nodeResource(int node) const {
+  return partitionResource() + "/" + name + std::to_string(node);
+}
+
+std::string MachineConfig::processorResource(int node, int proc) const {
+  return nodeResource(node) + "/p" + std::to_string(proc);
+}
+
+MachineConfig frostConfig() {
+  MachineConfig m;
+  m.grid_name = "SingleMachineFrost";
+  m.name = "Frost";
+  m.os_name = "AIX";
+  m.os_version = "5.2";
+  m.partition = "batch";
+  m.nodes = 68;
+  m.processors_per_node = 16;
+  m.processor = {"IBM", "Power3", 375};
+  m.interconnect = "SP Switch2";
+  m.per_proc_mflops = 1500.0;
+  m.network_latency_us = 18.0;
+  m.network_bw_mbps = 500.0;
+  m.noise_amplitude = 0.035;  // full AIX on every node
+  return m;
+}
+
+MachineConfig mcrConfig() {
+  MachineConfig m;
+  m.grid_name = "SingleMachineMCR";
+  m.name = "MCR";
+  m.os_name = "Linux";
+  m.os_version = "CHAOS 2.0";
+  m.partition = "batch";
+  m.nodes = 1152;
+  m.processors_per_node = 2;
+  m.processor = {"Intel", "Xeon", 2400};
+  m.interconnect = "Quadrics QsNet";
+  m.per_proc_mflops = 4800.0;
+  m.network_latency_us = 5.0;
+  m.network_bw_mbps = 2400.0;
+  m.noise_amplitude = 0.02;  // stock Linux cluster daemons
+  return m;
+}
+
+MachineConfig bglConfig() {
+  MachineConfig m;
+  m.grid_name = "SingleMachineBGL";
+  m.name = "BGL";
+  m.os_name = "CNK";  // BlueGene/L compute-node kernel
+  m.os_version = "1.0";
+  m.partition = "batch";
+  m.nodes = 16384;
+  m.processors_per_node = 2;
+  m.processor = {"IBM", "PowerPC440", 700};
+  m.interconnect = "3D torus";
+  m.per_proc_mflops = 2800.0;
+  m.network_latency_us = 3.0;
+  m.network_bw_mbps = 1400.0;
+  m.noise_amplitude = 0.0005;  // nearly noiseless compute kernel
+  return m;
+}
+
+MachineConfig uvConfig() {
+  MachineConfig m;
+  m.grid_name = "SingleMachineUV";
+  m.name = "UV";
+  m.os_name = "AIX";
+  m.os_version = "5.3";
+  m.partition = "batch";
+  m.nodes = 128;
+  m.processors_per_node = 8;
+  m.processor = {"IBM", "Power4+", 1500};
+  m.interconnect = "HPS Federation";
+  m.per_proc_mflops = 6000.0;
+  m.network_latency_us = 7.0;
+  m.network_bw_mbps = 2000.0;
+  m.noise_amplitude = 0.03;
+  return m;
+}
+
+void emitMachinePtdf(ptdf::Writer& writer, const MachineConfig& config, int max_nodes) {
+  const std::string type = "grid/machine/partition/node/processor";
+  writer.comment("machine description: " + config.name);
+  writer.resource("/" + config.grid_name, "grid");
+  writer.resource(config.machineResource(), "grid/machine");
+  writer.resourceAttribute(config.machineResource(), "vendor", config.processor.vendor);
+  writer.resourceAttribute(config.machineResource(), "operating system", config.os_name);
+  writer.resourceAttribute(config.machineResource(), "os version", config.os_version);
+  writer.resourceAttribute(config.machineResource(), "interconnect", config.interconnect);
+  writer.resourceAttribute(config.machineResource(), "node count",
+                           std::to_string(config.nodes));
+  writer.resourceAttribute(config.machineResource(), "processors per node",
+                           std::to_string(config.processors_per_node));
+  writer.resource(config.partitionResource(), "grid/machine/partition");
+  const int node_count = std::min(config.nodes, max_nodes);
+  for (int node = 0; node < node_count; ++node) {
+    writer.resource(config.nodeResource(node), "grid/machine/partition/node");
+    for (int proc = 0; proc < config.processors_per_node; ++proc) {
+      writer.resource(config.processorResource(node, proc), type);
+      writer.resourceAttribute(config.processorResource(node, proc), "vendor",
+                               config.processor.vendor);
+      writer.resourceAttribute(config.processorResource(node, proc), "processor type",
+                               config.processor.model);
+      writer.resourceAttribute(config.processorResource(node, proc), "clock MHz",
+                               std::to_string(config.processor.clock_mhz));
+    }
+  }
+}
+
+}  // namespace perftrack::sim

@@ -1,0 +1,78 @@
+// PerfTrack simulation: machine descriptions.
+//
+// The paper's case studies ran on real LLNL systems: Frost (IBM SP, AIX),
+// MCR (Linux/Xeon cluster), BlueGene/L, and UV (Power4+ early-delivery
+// Purple hardware). We cannot run on those machines, so this module carries
+// faithful *descriptions* of them — enough detail to populate the grid
+// hierarchy and resource attributes exactly the way PerfTrack's collection
+// scripts would have — plus analytic performance parameters used by the
+// synthetic workload generators (see perfmodel.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perftrack {
+namespace ptdf {
+class Writer;
+}
+
+namespace sim {
+
+struct ProcessorSpec {
+  std::string vendor;
+  std::string model;
+  int clock_mhz = 0;
+};
+
+struct MachineConfig {
+  std::string grid_name;   // top-level grid resource, e.g. "SingleMachineFrost"
+  std::string name;        // machine resource, e.g. "Frost"
+  std::string os_name;     // AIX / Linux / CNK
+  std::string os_version;
+  std::string partition;   // "batch" in all case studies
+  int nodes = 0;
+  int processors_per_node = 0;
+  ProcessorSpec processor;
+  std::string interconnect;
+
+  // Analytic model parameters (used by sim::PerfModel).
+  double per_proc_mflops = 0.0;     // sustained per-processor throughput
+  double network_latency_us = 0.0;  // point-to-point latency
+  double network_bw_mbps = 0.0;     // per-link bandwidth
+  double noise_amplitude = 0.0;     // OS-noise scale: fraction of compute time
+                                    // a process may lose to daemons/interrupts
+                                    // per quantum (BG/L's CNK ~ 0, AIX/Linux
+                                    // clusters noticeably higher — the driver
+                                    // of the Fig. 5 load-imbalance shape)
+
+  int totalProcessors() const { return nodes * processors_per_node; }
+
+  /// Full resource name of the machine ("/<grid>/<name>").
+  std::string machineResource() const;
+  /// Full resource name of the batch partition.
+  std::string partitionResource() const;
+  /// Full resource name of node `node`.
+  std::string nodeResource(int node) const;
+  /// Full resource name of processor `proc` of node `node`.
+  std::string processorResource(int node, int proc) const;
+};
+
+/// Frost: 68-node IBM SP, 16-way 375 MHz Power3 nodes, AIX (§4.1).
+MachineConfig frostConfig();
+/// MCR: 1152-node Linux cluster, dual 2.4 GHz Xeon nodes (§4.1).
+MachineConfig mcrConfig();
+/// BlueGene/L early-installation partition: 16k PowerPC 440 nodes (§4.2).
+MachineConfig bglConfig();
+/// UV: 128 8-way Power4+ 1.5 GHz nodes, ASC Purple early delivery (§4.2).
+MachineConfig uvConfig();
+
+/// Emits the machine description as PTdf: grid hierarchy resources for
+/// `max_nodes` nodes (cap keeps BG/L-sized machines loadable) plus the
+/// attributes PerfTrack's collection scripts record (vendor, processor
+/// type, clock MHz, OS, interconnect).
+void emitMachinePtdf(ptdf::Writer& writer, const MachineConfig& config, int max_nodes);
+
+}  // namespace sim
+}  // namespace perftrack

@@ -1,0 +1,135 @@
+#include "sim/paradyn_gen.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace perftrack::sim {
+
+std::string ParadynRunSpec::effectiveExecName() const {
+  if (!exec_name.empty()) return exec_name;
+  return "paradyn-irs-" + util::toLower(machine.name) + "-np" + std::to_string(nprocs) +
+         "-s" + std::to_string(seed);
+}
+
+const std::vector<std::string>& paradynMetrics() {
+  static const std::vector<std::string> kMetrics = {
+      "cpu",          "cpu_inclusive",  "exec_time",     "sync_wait",
+      "msg_bytes_sent", "msg_bytes_recv", "io_wait",     "proc_calls",
+  };
+  return kMetrics;
+}
+
+namespace {
+
+const char* kModules[] = {"irsrad.c", "irsmat.c",   "irscg.c",  "irscom.c",
+                          "libc.so",  "libmpi.so",  "libm.so",  "DEFAULT_MODULE"};
+
+std::string codeResource(int index) {
+  const char* module = kModules[index % std::size(kModules)];
+  return std::string("/Code/") + module + "/fn_" + std::to_string(index);
+}
+
+}  // namespace
+
+GeneratedRun generateParadynRun(const ParadynRunSpec& spec,
+                                const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  util::Rng rng(spec.seed * 31337 + static_cast<std::uint64_t>(spec.nprocs));
+  const std::string exec = spec.effectiveExecName();
+  GeneratedRun out;
+  out.exec_name = exec;
+
+  // --- resources file ---------------------------------------------------------
+  {
+    const auto path = dir / "resources.txt";
+    out.files.push_back(path);
+    std::ofstream f(path);
+    if (!f) throw util::PTError("cannot create " + path.string());
+    f << "# Paradyn resource list, session " << exec << "\n";
+    for (int i = 0; i < spec.code_resources; ++i) {
+      f << codeResource(i) << "\n";
+    }
+    for (int p = 0; p < spec.nprocs; ++p) {
+      const int node = p / std::max(1, spec.machine.processors_per_node);
+      f << "/Machine/" << spec.machine.name << node << "/irs{" << 12000 + p << "}\n";
+    }
+    for (int c = 0; c < 16; ++c) {
+      f << "/SyncObject/Message/" << 100 + c << "\n";
+    }
+    f << "/SyncObject/Window/0\n";
+  }
+
+  // --- histograms + index ------------------------------------------------------
+  {
+    const auto index_path = dir / "index.txt";
+    std::ofstream index(index_path);
+    if (!index) throw util::PTError("cannot create " + index_path.string());
+    index << "# histogram_file metric focus\n";
+    for (int h = 0; h < spec.metric_focus_pairs; ++h) {
+      const std::string& metric = paradynMetrics()[h % paradynMetrics().size()];
+      // Focus: a code function and either a process or whole machine, plus
+      // occasionally a sync object.
+      std::string focus = codeResource(static_cast<int>(rng.uniformInt(0, 99)));
+      if (rng.chance(0.7)) {
+        const int p = static_cast<int>(rng.uniformInt(0, spec.nprocs - 1));
+        const int node = p / std::max(1, spec.machine.processors_per_node);
+        focus += ",/Machine/" + spec.machine.name + std::to_string(node) + "/irs{" +
+                 std::to_string(12000 + p) + "}";
+      }
+      if (rng.chance(0.15)) {
+        focus += ",/SyncObject/Message/" +
+                 std::to_string(100 + rng.uniformInt(0, 15));
+      }
+      char histname[64];
+      std::snprintf(histname, sizeof(histname), "histogram_%03d.hist", h);
+      index << histname << " " << metric << " \"" << focus << "\"\n";
+
+      const auto hist_path = dir / histname;
+      out.files.push_back(hist_path);
+      std::ofstream hist(hist_path);
+      if (!hist) throw util::PTError("cannot create " + hist_path.string());
+      const double bin_width = 0.2;  // seconds per bin
+      hist << "# Paradyn histogram export\n"
+           << "metric: " << metric << "\n"
+           << "focus: " << focus << "\n"
+           << "numBins: " << spec.histogram_bins << "\n"
+           << "binWidth: " << bin_width << "\n";
+      // Dynamic instrumentation starts some way into the run; earlier bins
+      // are nan. The start bin differs per histogram and per session seed.
+      const int start_bin = static_cast<int>(rng.uniformInt(0, spec.histogram_bins / 5));
+      const int end_bin = spec.histogram_bins -
+                          static_cast<int>(rng.uniformInt(0, spec.histogram_bins / 20));
+      double level = rng.uniform(0.05, 1.0);
+      for (int b = 0; b < spec.histogram_bins; ++b) {
+        if (b < start_bin || b >= end_bin) {
+          hist << "nan\n";
+          continue;
+        }
+        level = std::max(0.0, level + rng.normal(0.0, 0.02));
+        hist << util::formatReal(level * bin_width) << "\n";
+      }
+    }
+    out.files.push_back(index_path);
+  }
+
+  // --- search history graph (generated for fidelity; not loaded) --------------
+  {
+    const auto path = dir / "shg.txt";
+    out.files.push_back(path);
+    std::ofstream f(path);
+    if (!f) throw util::PTError("cannot create " + path.string());
+    f << "# Performance Consultant search history graph\n"
+      << "TopLevelHypothesis true\n"
+      << "  ExcessiveSyncWaitingTime true /Code\n"
+      << "    ExcessiveSyncWaitingTime false /Code/irscom.c\n"
+      << "  CPUBound true /Code/irscg.c\n";
+  }
+
+  return out;
+}
+
+}  // namespace perftrack::sim

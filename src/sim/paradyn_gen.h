@@ -1,0 +1,50 @@
+// PerfTrack simulation: Paradyn session export generator (case study §4.3).
+//
+// Paradyn measures long-running programs via dynamic instrumentation and can
+// export a session as text files:
+//   * histogram files — one per metric-focus pair: a header (metric, focus,
+//     bin count, seconds per bin) followed by one value per bin; bins the
+//     instrumentation missed (inserted late / removed early) read "nan",
+//   * an index file naming each histogram file with its metric-focus pair,
+//   * a resources file listing every Paradyn resource (/Code/..., /Machine/...,
+//     /SyncObject/...),
+//   * a search history graph from the Performance Consultant (exported but
+//     not loaded by PerfTrack; we generate it for fidelity and ignore it).
+//
+// Scale mirrors §4.3: each execution has ~17,000 resources (dominated by the
+// function list of every linked module), 8 metrics, and ~25,000 performance
+// results (metric-focus pairs x non-nan bins). Dynamic instrumentation start
+// times differ per run, so counts vary between executions.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/irs_gen.h"  // GeneratedRun
+#include "sim/machines.h"
+
+namespace perftrack::sim {
+
+struct ParadynRunSpec {
+  MachineConfig machine;
+  int nprocs = 8;
+  std::uint64_t seed = 1;
+  std::string exec_name;        // empty = derived
+  int histogram_bins = 1000;    // Paradyn's fixed-size data arrays
+  int metric_focus_pairs = 25;  // histograms exported
+  int code_resources = 16000;   // functions across all linked modules
+
+  std::string effectiveExecName() const;
+};
+
+/// Paradyn metrics used by the generated sessions (8, per Table 1 row 3).
+const std::vector<std::string>& paradynMetrics();
+
+/// Writes a session export into `dir`: histogram_<N>.hist files, index.txt,
+/// resources.txt, shg.txt.
+GeneratedRun generateParadynRun(const ParadynRunSpec& spec,
+                                const std::filesystem::path& dir);
+
+}  // namespace perftrack::sim

@@ -1,0 +1,67 @@
+#include "sim/perfmodel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace perftrack::sim {
+
+double FunctionTiming::aggregate() const {
+  return std::accumulate(per_process_seconds.begin(), per_process_seconds.end(), 0.0);
+}
+
+double FunctionTiming::average() const {
+  if (per_process_seconds.empty()) return 0.0;
+  return aggregate() / static_cast<double>(per_process_seconds.size());
+}
+
+double FunctionTiming::maximum() const {
+  if (per_process_seconds.empty()) return 0.0;
+  return *std::max_element(per_process_seconds.begin(), per_process_seconds.end());
+}
+
+double FunctionTiming::minimum() const {
+  if (per_process_seconds.empty()) return 0.0;
+  return *std::min_element(per_process_seconds.begin(), per_process_seconds.end());
+}
+
+double PerfModel::idealSeconds(const FunctionWork& fn, int nprocs) const {
+  if (nprocs <= 0) throw util::ModelError("PerfModel: nprocs must be positive");
+  const double p = static_cast<double>(nprocs);
+  // Amdahl split of the compute work.
+  const double compute =
+      fn.work_mflop / machine_->per_proc_mflops *
+      (fn.serial_fraction + (1.0 - fn.serial_fraction) / p);
+  // Communication: latency per message plus bandwidth cost; the latency
+  // term grows ~log2(p) as collective trees deepen.
+  double comm = 0.0;
+  if (nprocs > 1) {
+    const double tree_depth = std::max(1.0, std::log2(p));
+    comm = fn.messages_per_proc * machine_->network_latency_us * 1e-6 * tree_depth +
+           fn.comm_bytes_per_proc * 8.0 / (machine_->network_bw_mbps * 1e6);
+  }
+  return compute + comm;
+}
+
+FunctionTiming PerfModel::run(const FunctionWork& fn, int nprocs, util::Rng& rng) const {
+  const double ideal = idealSeconds(fn, nprocs);
+  FunctionTiming timing;
+  timing.per_process_seconds.resize(static_cast<std::size_t>(nprocs));
+  for (double& t : timing.per_process_seconds) {
+    // Noise: expected interruption loss = noise_amplitude * ideal, drawn
+    // exponentially so a few processes are hit much harder than average —
+    // that heavy tail is what makes max >> min at large p on noisy OSes.
+    const double noise =
+        machine_->noise_amplitude > 0.0
+            ? rng.exponential(1.0 / (machine_->noise_amplitude * ideal + 1e-12))
+            : 0.0;
+    // Small symmetric measurement jitter (~0.5%).
+    const double jitter = 1.0 + 0.005 * rng.normal();
+    t = std::max(0.0, ideal * jitter + noise);
+  }
+  return timing;
+}
+
+}  // namespace perftrack::sim

@@ -1,0 +1,54 @@
+// PerfTrack simulation: analytic performance model with OS noise.
+//
+// The generators need per-function, per-process timings whose *shape*
+// matches real parallel runs: computation that scales ~1/p modulo a serial
+// fraction (Amdahl), communication that grows with p, and an OS-noise term
+// that widens the min/max spread across processes as p grows (the paper's
+// Fig. 5 load-balance chart; the §4.2 data came from the Ipek et al. noise
+// study of exactly this effect). Noise is modeled per process as a sum of
+// exponentially-distributed interruption delays whose rate scales with the
+// machine's noise_amplitude; the maximum over p samples grows ~log p, so
+// larger runs show worse imbalance on noisy machines and almost none on
+// BG/L's compute kernel.
+#pragma once
+
+#include <vector>
+
+#include "sim/machines.h"
+#include "util/rng.h"
+
+namespace perftrack::sim {
+
+/// Workload description for one program function.
+struct FunctionWork {
+  double work_mflop = 0.0;        // total floating-point work, split over p
+  double serial_fraction = 0.0;   // non-parallelizable share [0,1)
+  double comm_bytes_per_proc = 0.0;  // exchanged per process per run
+  int messages_per_proc = 0;      // latency-bound message count
+};
+
+/// Per-process timings for one function at one process count.
+struct FunctionTiming {
+  std::vector<double> per_process_seconds;  // size = nprocs
+
+  double aggregate() const;  // sum over processes
+  double average() const;
+  double maximum() const;
+  double minimum() const;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(const MachineConfig& machine) : machine_(&machine) {}
+
+  /// Ideal (noise-free) time of `fn` on one process out of `nprocs`.
+  double idealSeconds(const FunctionWork& fn, int nprocs) const;
+
+  /// Per-process times including noise. Deterministic for a given rng state.
+  FunctionTiming run(const FunctionWork& fn, int nprocs, util::Rng& rng) const;
+
+ private:
+  const MachineConfig* machine_;
+};
+
+}  // namespace perftrack::sim

@@ -1,0 +1,52 @@
+// PerfTrack simulation: SMG2000 noise-study run generator (case study §4.2).
+//
+// The paper's second study loaded SMG2000 (an ASC Purple semicoarsening
+// multigrid benchmark) data from BlueGene/L and UV, collected for the Ipek
+// et al. noise/performance-prediction study. Three data kinds appear:
+//   * the standard SMG2000 output — "only eight data values on the level of
+//     the whole execution" (Figure 7),
+//   * PMAPI hardware-counter data appended to the run output (Figure 7),
+//   * an mpiP profile with per-callsite, per-rank breakdowns including the
+//     calling function (Figure 8) — the data that motivated multi-resource-
+//     set performance results.
+//
+// generateSmgRun() writes
+//   smg_stdout.txt   SMG output (+ PMAPI counter section when enabled)
+//   smg_mpip.txt     mpiP report (when enabled)
+// using the analytic PerfModel for all timings.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/irs_gen.h"  // GeneratedRun
+#include "sim/machines.h"
+
+namespace perftrack::sim {
+
+struct SmgRunSpec {
+  MachineConfig machine;
+  int nprocs = 64;
+  bool with_mpip = false;   // UV runs carried mpiP profiles
+  bool with_pmapi = false;  // and PMAPI hardware counters
+  std::uint64_t seed = 1;
+  std::string exec_name;  // empty = derived "smg-<machine>-np<P>-s<seed>"
+
+  std::string effectiveExecName() const;
+};
+
+/// The eight whole-execution values of the standard SMG2000 output.
+const std::vector<std::string>& smgOutputMetrics();
+
+/// The PMAPI counters recorded per task (AIX Performance Monitor API).
+const std::vector<std::string>& pmapiCounters();
+
+/// MPI operations profiled by mpiP in these runs.
+const std::vector<std::string>& mpipOperations();
+
+/// Writes one SMG2000 run's output files into `dir`.
+GeneratedRun generateSmgRun(const SmgRunSpec& spec, const std::filesystem::path& dir);
+
+}  // namespace perftrack::sim

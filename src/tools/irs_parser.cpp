@@ -1,0 +1,130 @@
+#include "tools/irs_parser.h"
+
+#include <fstream>
+#include <set>
+
+#include "collect/collect.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::tools {
+
+using util::ParseError;
+
+IrsRunHeader parseIrsStdout(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw util::PTError("cannot open " + path.string());
+  IrsRunHeader header;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto kv = util::splitN(line, ':', 2);
+    if (kv.size() != 2) continue;
+    const std::string key(util::trim(kv[0]));
+    const std::string value(util::trim(kv[1]));
+    if (key == "Version") header.version = value;
+    else if (key == "Execution") header.exec_name = value;
+    else if (key == "Machine") header.machine = value;
+    else if (key == "Concurrency") header.concurrency = value;
+    else if (key == "Processes") {
+      const auto n = util::parseInt(value);
+      if (!n) throw ParseError("bad process count '" + value + "'", line_no);
+      header.nprocs = static_cast<int>(*n);
+    }
+  }
+  if (header.exec_name.empty() || header.nprocs == 0) {
+    throw ParseError("IRS stdout missing Execution/Processes fields");
+  }
+  return header;
+}
+
+std::size_t convertIrsRun(const std::filesystem::path& dir,
+                          const sim::MachineConfig& machine, ptdf::Writer& writer) {
+  const IrsRunHeader header = parseIrsStdout(dir / "irs_stdout.txt");
+  const std::string& exec = header.exec_name;
+  const std::string app = "IRS";
+
+  writer.comment("IRS run " + exec + " on " + machine.name);
+  writer.application(app);
+  writer.execution(exec, app);
+
+  // Build + runtime captures (PTbuild/PTrun outputs).
+  collect::emitBuildPtdf(writer, collect::parseBuildFile(dir / "irs_build.txt"), exec);
+  collect::emitRunPtdf(writer, collect::parseRunFile(dir / "irs_env.txt"), exec);
+
+  // The machine description is expected to be pre-loaded ("a full set of
+  // descriptive machine data was already in our PerfTrack system"), but we
+  // re-emit the partition spine so standalone files load too.
+  writer.resource("/" + machine.grid_name, "grid");
+  writer.resource(machine.machineResource(), "grid/machine");
+  writer.resource(machine.partitionResource(), "grid/machine/partition");
+  const std::string partition = machine.partitionResource();
+  const std::string exec_root = "/" + exec;
+
+  // --- per-function timing table -------------------------------------------
+  std::ifstream timing(dir / "irs_timing.txt");
+  if (!timing) throw util::PTError("cannot open " + (dir / "irs_timing.txt").string());
+  const std::string build_root = "/IRS-" + header.version;
+  writer.resource(build_root, "build");
+  std::size_t results = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  std::set<std::string> defined_functions;
+  while (std::getline(timing, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#' || trimmed.find(' ') == std::string::npos) {
+      continue;
+    }
+    if (util::startsWith(trimmed, "IRS ")) continue;  // banner
+    const auto fields = ptdf::splitFields(line);
+    if (fields.size() != 6) {
+      throw ParseError("bad IRS timing row (" + std::to_string(fields.size()) +
+                           " fields)",
+                       line_no);
+    }
+    const auto mf = util::split(fields[0], ':');
+    if (mf.size() != 2) throw ParseError("bad function name " + fields[0], line_no);
+    const std::string module_res = build_root + "/" + mf[0];
+    const std::string func_res = module_res + "/" + mf[1];
+    if (defined_functions.insert(func_res).second) {
+      writer.resource(module_res, "build/module");
+      writer.resource(func_res, "build/module/function");
+    }
+    static const char* kStats[] = {"aggregate", "average", "max", "min"};
+    const bool time_metric = fields[1].find("time") != std::string::npos;
+    const std::string units = time_metric ? "seconds" : "count";
+    for (int s = 0; s < 4; ++s) {
+      const auto value = util::parseReal(fields[2 + s]);
+      if (!value) throw ParseError("bad value '" + fields[2 + s] + "'", line_no);
+      writer.perfResult(exec,
+                        {{{func_res, exec_root, partition}, core::FocusType::Primary}},
+                        "IRS-benchmark", fields[1] + " (" + kStats[s] + ")", *value,
+                        units);
+      ++results;
+    }
+  }
+
+  // --- whole-program summary --------------------------------------------------
+  std::ifstream summary(dir / "irs_summary.txt");
+  if (!summary) throw util::PTError("cannot open " + (dir / "irs_summary.txt").string());
+  line_no = 0;
+  while (std::getline(summary, line)) {
+    ++line_no;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string metric(util::trim(line.substr(0, eq)));
+    const auto value_fields = util::splitWhitespace(line.substr(eq + 1));
+    if (value_fields.empty()) throw ParseError("bad summary line", line_no);
+    const auto value = util::parseReal(value_fields[0]);
+    if (!value) throw ParseError("bad summary value '" + value_fields[0] + "'", line_no);
+    const std::string units = value_fields.size() > 1 ? value_fields[1] : "";
+    writer.perfResult(exec, {{{exec_root, partition}, core::FocusType::Primary}},
+                      "IRS-benchmark", metric, *value, units);
+    ++results;
+  }
+  return results;
+}
+
+}  // namespace perftrack::tools

@@ -1,0 +1,33 @@
+// PerfTrack tool parsers: IRS benchmark output -> PTdf (case study §4.1).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "ptdf/ptdf.h"
+#include "sim/machines.h"
+
+namespace perftrack::tools {
+
+/// Metadata from the IRS stdout banner.
+struct IrsRunHeader {
+  std::string exec_name;
+  std::string machine;
+  std::string version;
+  std::string concurrency;
+  int nprocs = 0;
+};
+
+IrsRunHeader parseIrsStdout(const std::filesystem::path& path);
+
+/// Converts one IRS run directory (the six files of sim::generateIrsRun)
+/// into PTdf: the application/execution records, build + runtime captures
+/// (via collect/), the shared IRS function resources, the machine link, and
+/// one PerfResult per (function, metric, statistic) plus the whole-program
+/// summary values.
+///
+/// Returns the number of PerfResult records written.
+std::size_t convertIrsRun(const std::filesystem::path& dir,
+                          const sim::MachineConfig& machine, ptdf::Writer& writer);
+
+}  // namespace perftrack::tools

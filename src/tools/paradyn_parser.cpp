@@ -1,0 +1,229 @@
+#include "tools/paradyn_parser.h"
+
+#include <fstream>
+#include <limits>
+#include <set>
+
+#include "ptdf/ptdf.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::tools {
+
+using util::ParseError;
+
+MappedResource mapParadynResource(const std::string& paradyn_name,
+                                  const std::string& exec_name,
+                                  const std::string& app_tag) {
+  const auto segments = util::split(paradyn_name.substr(1), '/');
+  if (paradyn_name.empty() || paradyn_name.front() != '/' || segments.size() < 2) {
+    throw ParseError("bad Paradyn resource '" + paradyn_name + "'");
+  }
+  MappedResource out;
+  const std::string& root = segments[0];
+  if (root == "Code") {
+    // /Code/<module>/<function>. Dynamic modules (.so) go to the
+    // environment hierarchy; static modules and DEFAULT_MODULE default to
+    // build (it "is not always possible to determine" — paper §4.3).
+    const std::string& module = segments.at(1);
+    const bool dynamic = util::endsWith(module, ".so");
+    const std::string hierarchy = dynamic ? "environment" : "build";
+    const std::string prefix =
+        "/" + app_tag + (dynamic ? "-env" : "-code");
+    out.full_name = prefix + "/" + module;
+    out.type_path = hierarchy + "/module";
+    if (segments.size() >= 3) {
+      out.full_name += "/" + segments[2];
+      out.type_path += "/function";
+    }
+    return out;
+  }
+  if (root == "Machine") {
+    // /Machine/<node>/<procname{pid}> -> execution/process named by pid;
+    // the node becomes an attribute (paper: "machine nodes ... are stored
+    // as resource attributes of the process resources").
+    if (segments.size() == 2) {
+      out.full_name = "/" + exec_name;
+      out.type_path = "execution";
+      out.node_attribute = segments[1];
+      return out;
+    }
+    std::string proc = segments.at(2);
+    // Normalize "irs{12345}" -> "irs_12345".
+    for (char& c : proc) {
+      if (c == '{') c = '_';
+    }
+    if (!proc.empty() && proc.back() == '}') proc.pop_back();
+    out.full_name = "/" + exec_name + "/" + proc;
+    out.type_path = "execution/process";
+    out.node_attribute = segments[1];
+    return out;
+  }
+  if (root == "SyncObject") {
+    // New top-level hierarchy mirroring Paradyn's (Figure 11).
+    out.full_name = "/syncObjects-" + exec_name;
+    out.type_path = "syncObject";
+    if (segments.size() >= 2) {
+      out.full_name += "/" + segments[1];
+      out.type_path = "syncObject/class";
+    }
+    if (segments.size() >= 3) {
+      out.full_name += "/" + segments[2];
+      out.type_path = "syncObject/class/object";
+    }
+    return out;
+  }
+  throw ParseError("unknown Paradyn hierarchy '" + root + "'");
+}
+
+namespace {
+
+struct HistogramHeader {
+  std::string metric;
+  std::string focus;  // comma-separated Paradyn resource names
+  int num_bins = 0;
+  double bin_width = 0.0;
+};
+
+}  // namespace
+
+std::size_t convertParadynRun(const std::filesystem::path& dir,
+                              const std::string& exec_name,
+                              const std::string& app_name, ptdf::Writer& writer,
+                              BinMode mode) {
+  writer.comment("Paradyn session " + exec_name);
+  writer.application(app_name);
+  writer.execution(exec_name, app_name);
+  // The syncObject hierarchy is new to PerfTrack; register it explicitly
+  // through the type-extension interface.
+  writer.resourceType("syncObject/class/object");
+
+  const std::string app_tag = app_name;
+  std::set<std::string> defined;
+  auto defineMapped = [&](const MappedResource& mapped) {
+    if (defined.insert(mapped.full_name).second) {
+      writer.resource(mapped.full_name, mapped.type_path);
+      if (!mapped.node_attribute.empty()) {
+        writer.resourceAttribute(mapped.full_name, "node", mapped.node_attribute);
+      }
+    }
+  };
+
+  // --- resources file: define every exported resource ----------------------
+  {
+    std::ifstream in(dir / "resources.txt");
+    if (!in) throw util::PTError("cannot open " + (dir / "resources.txt").string());
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string_view t = util::trim(line);
+      if (t.empty() || t.front() == '#') continue;
+      defineMapped(mapParadynResource(std::string(t), exec_name, app_tag));
+    }
+  }
+
+  // --- time hierarchy: global phase root ------------------------------------
+  const std::string phase_root = "/" + exec_name + "-time";
+  writer.resource(phase_root, "time");
+  writer.resourceAttribute(phase_root, "phase", "global");
+  std::set<int> defined_bins;
+
+  // --- histograms ------------------------------------------------------------
+  std::ifstream index(dir / "index.txt");
+  if (!index) throw util::PTError("cannot open " + (dir / "index.txt").string());
+  std::size_t results = 0;
+  std::string line;
+  std::size_t index_line = 0;
+  while (std::getline(index, line)) {
+    ++index_line;
+    const std::string_view t = util::trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = ptdf::splitFields(std::string(t));
+    if (fields.size() != 3) throw ParseError("bad index entry", index_line);
+    const std::string& hist_file = fields[0];
+
+    std::ifstream hist(dir / hist_file);
+    if (!hist) throw util::PTError("cannot open " + (dir / hist_file).string());
+    HistogramHeader header;
+    std::string hline;
+    std::size_t hline_no = 0;
+    // Header lines, then one value per bin.
+    int bin = 0;
+    std::vector<double> all_bins;  // HistogramResults mode: collected series
+    while (std::getline(hist, hline)) {
+      ++hline_no;
+      const std::string_view ht = util::trim(hline);
+      if (ht.empty() || ht.front() == '#') continue;
+      if (util::startsWith(ht, "metric:")) {
+        header.metric = std::string(util::trim(ht.substr(7)));
+      } else if (util::startsWith(ht, "focus:")) {
+        header.focus = std::string(util::trim(ht.substr(6)));
+      } else if (util::startsWith(ht, "numBins:")) {
+        header.num_bins = static_cast<int>(
+            util::parseInt(util::trim(ht.substr(8))).value_or(0));
+      } else if (util::startsWith(ht, "binWidth:")) {
+        header.bin_width = util::parseReal(util::trim(ht.substr(9))).value_or(0.0);
+      } else {
+        // A bin value. 'nan' bins (instrumentation not yet inserted) are
+        // not recorded as performance results.
+        if (header.metric.empty() || header.focus.empty() || header.bin_width <= 0.0) {
+          throw ParseError("histogram data before complete header", hline_no);
+        }
+        if (mode == BinMode::HistogramResults) {
+          if (ht == "nan") {
+            all_bins.push_back(std::numeric_limits<double>::quiet_NaN());
+          } else {
+            const auto value = util::parseReal(ht);
+            if (!value) throw ParseError("bad bin value '" + std::string(ht) + "'",
+                                         hline_no);
+            all_bins.push_back(*value);
+          }
+        } else if (ht != "nan") {
+          const auto value = util::parseReal(ht);
+          if (!value) throw ParseError("bad bin value '" + std::string(ht) + "'",
+                                       hline_no);
+          // Bin resource, shared across histograms of this session.
+          const std::string bin_res = phase_root + "/bin" + std::to_string(bin);
+          if (defined_bins.insert(bin).second) {
+            writer.resource(bin_res, "time/interval");
+            writer.resourceAttribute(bin_res, "start time",
+                                     util::formatReal(bin * header.bin_width));
+            writer.resourceAttribute(bin_res, "end time",
+                                     util::formatReal((bin + 1) * header.bin_width));
+          }
+          std::vector<std::string> context{bin_res};
+          for (const std::string& pres : util::split(header.focus, ',')) {
+            const MappedResource mapped = mapParadynResource(pres, exec_name, app_tag);
+            defineMapped(mapped);  // tolerate foci missing from resources.txt
+            context.push_back(mapped.full_name);
+          }
+          writer.perfResult(exec_name, {{context, core::FocusType::Primary}}, "Paradyn",
+                            header.metric, *value, "seconds",
+                            bin * header.bin_width, (bin + 1) * header.bin_width);
+          ++results;
+        }
+        ++bin;
+      }
+    }
+    if (mode == BinMode::HistogramResults) bin = static_cast<int>(all_bins.size());
+    if (bin != header.num_bins) {
+      throw ParseError(hist_file + ": expected " + std::to_string(header.num_bins) +
+                       " bins, found " + std::to_string(bin));
+    }
+    if (mode == BinMode::HistogramResults) {
+      // One complex result per metric-focus pair; the global phase resource
+      // anchors it in the time hierarchy.
+      std::vector<std::string> context{phase_root};
+      for (const std::string& pres : util::split(header.focus, ',')) {
+        const MappedResource mapped = mapParadynResource(pres, exec_name, app_tag);
+        defineMapped(mapped);
+        context.push_back(mapped.full_name);
+      }
+      writer.perfHistogram(exec_name, {{context, core::FocusType::Primary}}, "Paradyn",
+                           header.metric, header.bin_width, "seconds", all_bins);
+      ++results;
+    }
+  }
+  return results;
+}
+
+}  // namespace perftrack::tools

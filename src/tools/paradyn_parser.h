@@ -1,0 +1,55 @@
+// PerfTrack tool parsers: Paradyn session exports -> PTdf (case study §4.3).
+//
+// The mapping follows the paper's Figure 11:
+//   * Paradyn /Code/<module>/<function>  ->  PerfTrack build hierarchy when
+//     the module is static (or DEFAULT_MODULE, where the real module is
+//     unknowable), environment hierarchy when it is a dynamic library (.so),
+//   * Paradyn /Machine/<node>/<proc{pid}> -> execution/process; the node is
+//     stored as a resource attribute of the process,
+//   * Paradyn /SyncObject/<class>/<id>    -> a new top-level "syncObject"
+//     hierarchy created through the type-extension interface,
+//   * Paradyn phases/bins -> the time hierarchy: a global-phase resource
+//     with one time/interval resource per histogram bin, carrying start/end
+//     attributes; 'nan' bins produce no performance result.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "ptdf/ptdf.h"
+
+namespace perftrack::tools {
+
+/// Maps one Paradyn resource name to its PerfTrack (full_name, type_path).
+/// `exec_name` scopes per-execution resources (processes, sync objects).
+/// `app_tag` scopes code resources shared between executions of one binary.
+struct MappedResource {
+  std::string full_name;
+  std::string type_path;
+  std::string node_attribute;  // set for /Machine processes
+};
+MappedResource mapParadynResource(const std::string& paradyn_name,
+                                  const std::string& exec_name,
+                                  const std::string& app_tag);
+
+/// How Paradyn histograms are represented in the store.
+enum class BinMode {
+  /// One PerfResult per non-nan bin, each contextualized by a time/interval
+  /// resource — the prototype's §4.3 representation.
+  PerBinResults,
+  /// One PerfHistogram (complex result) per metric-focus pair — the §6
+  /// future-work representation this implementation adds. Orders of
+  /// magnitude fewer rows; see bench_paradyn_ingest for the ablation.
+  HistogramResults,
+};
+
+/// Converts a Paradyn export directory (resources.txt, index.txt,
+/// histogram_*.hist) into PTdf for execution `exec_name` of `app_name`.
+/// Returns the number of result records written (non-nan bins in
+/// PerBinResults mode; metric-focus pairs in HistogramResults mode).
+std::size_t convertParadynRun(const std::filesystem::path& dir,
+                              const std::string& exec_name,
+                              const std::string& app_name, ptdf::Writer& writer,
+                              BinMode mode = BinMode::PerBinResults);
+
+}  // namespace perftrack::tools

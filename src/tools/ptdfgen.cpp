@@ -1,0 +1,86 @@
+#include "tools/ptdfgen.h"
+
+#include <fstream>
+
+#include "ptdf/ptdf.h"
+#include "tools/irs_parser.h"
+#include "tools/paradyn_parser.h"
+#include "tools/smg_parser.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::tools {
+
+using util::ParseError;
+
+sim::MachineConfig machineByName(const std::string& name) {
+  if (util::iequals(name, "frost")) return sim::frostConfig();
+  if (util::iequals(name, "mcr")) return sim::mcrConfig();
+  if (util::iequals(name, "bgl")) return sim::bglConfig();
+  if (util::iequals(name, "uv")) return sim::uvConfig();
+  throw util::PTError("unknown machine '" + name + "' (want frost|mcr|bgl|uv)");
+}
+
+std::vector<IndexEntry> parseIndexFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw util::PTError("cannot open index file: " + path.string());
+  std::vector<IndexEntry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view t = util::trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = util::splitWhitespace(t);
+    if (fields.size() < 3 || fields.size() > 4) {
+      throw ParseError("index entry needs: kind dir machine [exec]", line_no);
+    }
+    IndexEntry entry;
+    entry.kind = util::toLower(fields[0]);
+    entry.dir = fields[1];
+    entry.machine = fields[2];
+    if (fields.size() == 4) entry.exec_name = fields[3];
+    if (entry.kind != "irs" && entry.kind != "smg" && entry.kind != "paradyn") {
+      throw ParseError("unknown run kind '" + entry.kind + "'", line_no);
+    }
+    if (entry.kind == "paradyn" && entry.exec_name.empty()) {
+      throw ParseError("paradyn entries require an execution name", line_no);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+GenResult generateEntry(const IndexEntry& entry, const std::filesystem::path& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const sim::MachineConfig machine = machineByName(entry.machine);
+  const std::string stem = entry.exec_name.empty()
+                               ? entry.dir.filename().string()
+                               : entry.exec_name;
+  GenResult result;
+  result.ptdf_file = out_dir / (stem + ".ptdf");
+  std::ofstream out(result.ptdf_file);
+  if (!out) throw util::PTError("cannot create " + result.ptdf_file.string());
+  ptdf::Writer writer(out);
+  if (entry.kind == "irs") {
+    result.perf_results = convertIrsRun(entry.dir, machine, writer);
+  } else if (entry.kind == "smg") {
+    result.perf_results = convertSmgRun(entry.dir, machine, writer);
+  } else {
+    result.perf_results =
+        convertParadynRun(entry.dir, entry.exec_name, "IRS", writer);
+  }
+  result.ptdf_lines = writer.linesWritten();
+  return result;
+}
+
+std::vector<GenResult> generateFromIndex(const std::filesystem::path& index_file,
+                                         const std::filesystem::path& out_dir) {
+  std::vector<GenResult> results;
+  for (const IndexEntry& entry : parseIndexFile(index_file)) {
+    results.push_back(generateEntry(entry, out_dir));
+  }
+  return results;
+}
+
+}  // namespace perftrack::tools

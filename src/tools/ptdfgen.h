@@ -1,0 +1,45 @@
+// PerfTrack tool parsers: PTdfGen — batch conversion driver (paper §3.3).
+//
+// "PerfTrack includes a 'PTdfGen' script to generate PTdf for a directory
+// full of files. The user creates an index file, containing a list of
+// entries, one per execution." Our index format, one entry per line:
+//   <kind> <run-dir> <machine> [exec-name]
+// where kind is irs | smg | paradyn, machine is frost | mcr | bgl | uv, and
+// run-dir holds one run's output files. '#' starts a comment.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/machines.h"
+
+namespace perftrack::tools {
+
+struct IndexEntry {
+  std::string kind;     // irs | smg | paradyn
+  std::filesystem::path dir;
+  std::string machine;  // frost | mcr | bgl | uv
+  std::string exec_name;  // optional override / required for paradyn
+};
+
+/// Looks up one of the four case-study machines by (case-insensitive) name.
+sim::MachineConfig machineByName(const std::string& name);
+
+/// Parses a PTdfGen index file.
+std::vector<IndexEntry> parseIndexFile(const std::filesystem::path& path);
+
+struct GenResult {
+  std::filesystem::path ptdf_file;
+  std::size_t perf_results = 0;
+  std::size_t ptdf_lines = 0;
+};
+
+/// Converts one index entry to a PTdf file in `out_dir`.
+GenResult generateEntry(const IndexEntry& entry, const std::filesystem::path& out_dir);
+
+/// Converts every entry of an index file; returns one GenResult per entry.
+std::vector<GenResult> generateFromIndex(const std::filesystem::path& index_file,
+                                         const std::filesystem::path& out_dir);
+
+}  // namespace perftrack::tools

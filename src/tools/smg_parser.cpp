@@ -1,0 +1,287 @@
+#include "tools/smg_parser.h"
+
+#include <fstream>
+#include <set>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::tools {
+
+using util::ParseError;
+
+namespace {
+
+/// Shared preamble: application/execution records and the machine spine.
+/// Returns the execution root resource name.
+std::string emitSmgPreamble(ptdf::Writer& writer, const std::string& exec,
+                            const sim::MachineConfig& machine, int nprocs) {
+  writer.application("SMG2000");
+  writer.execution(exec, "SMG2000");
+  writer.resource("/" + machine.grid_name, "grid");
+  writer.resource(machine.machineResource(), "grid/machine");
+  writer.resource(machine.partitionResource(), "grid/machine/partition");
+  const std::string exec_root = "/" + exec;
+  writer.resource(exec_root, "execution");
+  for (int p = 0; p < nprocs; ++p) {
+    writer.resource(exec_root + "/p" + std::to_string(p), "execution/process");
+  }
+  return exec_root;
+}
+
+}  // namespace
+
+std::size_t convertSmgStdout(const std::filesystem::path& path,
+                             const sim::MachineConfig& machine, ptdf::Writer& writer) {
+  std::ifstream in(path);
+  if (!in) throw util::PTError("cannot open " + path.string());
+  // First pass: header fields.
+  std::string exec;
+  int nprocs = 0;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  for (const std::string& l : lines) {
+    const std::string_view t = util::trim(l);
+    if (util::startsWith(t, "execution")) {
+      const auto kv = util::splitN(t, '=', 2);
+      if (kv.size() == 2) exec = std::string(util::trim(kv[1]));
+    } else if (util::startsWith(t, "(P, Q, R)")) {
+      const auto open = t.find('(');
+      const auto close = t.find(')', open + 1);
+      const auto paren = t.rfind('(');
+      if (paren != std::string_view::npos && close != std::string_view::npos) {
+        const auto nums = util::split(t.substr(paren + 1, t.size() - paren - 2), ',');
+        int p = 1;
+        for (const std::string& n : nums) {
+          p *= static_cast<int>(util::parseInt(util::trim(n)).value_or(1));
+        }
+        nprocs = p;
+      }
+    } else if (util::startsWith(t, "PMAPI task")) {
+      // PMAPI section tells us ranks even without (P,Q,R).
+    }
+  }
+  if (exec.empty()) throw ParseError("SMG output missing execution field");
+  if (nprocs == 0) nprocs = 1;
+
+  writer.comment("SMG2000 run " + exec + " on " + machine.name);
+  const std::string exec_root = emitSmgPreamble(writer, exec, machine, nprocs);
+  const std::string partition = machine.partitionResource();
+
+  std::size_t results = 0;
+  std::string section;
+  auto wholeExec = [&](const std::string& metric, double value,
+                       const std::string& units) {
+    writer.perfResult(exec, {{{exec_root, partition}, core::FocusType::Primary}},
+                      "SMG2000", metric, value, units);
+    ++results;
+  };
+  std::size_t line_no = 0;
+  for (const std::string& l : lines) {
+    ++line_no;
+    const std::string_view t = util::trim(l);
+    if (util::startsWith(t, "Struct Interface")) section = "struct interface";
+    else if (util::startsWith(t, "SMG Setup")) section = "SMG setup";
+    else if (util::startsWith(t, "SMG Solve")) section = "SMG solve";
+    if (util::startsWith(t, "wall clock time")) {
+      const auto kv = util::splitN(t, '=', 2);
+      const auto fields = util::splitWhitespace(kv.at(1));
+      wholeExec(section + " time", util::parseReal(fields.at(0)).value(), "seconds");
+    } else if (util::startsWith(t, "wall MFLOPS")) {
+      const auto kv = util::splitN(t, '=', 2);
+      wholeExec(section + " wall MFLOPS",
+                util::parseReal(util::trim(kv.at(1))).value(), "MFLOPS");
+    } else if (util::startsWith(t, "Iterations")) {
+      const auto kv = util::splitN(t, '=', 2);
+      wholeExec("iterations", util::parseReal(util::trim(kv.at(1))).value(), "count");
+    } else if (util::startsWith(t, "Final Relative Residual Norm")) {
+      const auto kv = util::splitN(t, '=', 2);
+      wholeExec("final relative residual norm",
+                util::parseReal(util::trim(kv.at(1))).value(), "");
+    } else if (util::startsWith(t, "Total wall time")) {
+      const auto kv = util::splitN(t, '=', 2);
+      const auto fields = util::splitWhitespace(kv.at(1));
+      wholeExec("total wall time", util::parseReal(fields.at(0)).value(), "seconds");
+    } else if (util::startsWith(t, "PMAPI task")) {
+      // "PMAPI task <rank> <counter> <value>"
+      const auto fields = util::splitWhitespace(t);
+      if (fields.size() != 5) throw ParseError("bad PMAPI line", line_no);
+      const auto rank = util::parseInt(fields[2]);
+      const auto value = util::parseReal(fields[4]);
+      if (!rank || !value) throw ParseError("bad PMAPI line", line_no);
+      writer.perfResult(exec,
+                        {{{exec_root + "/p" + std::to_string(*rank), partition},
+                          core::FocusType::Primary}},
+                        "PMAPI", fields[3], *value, "count");
+      ++results;
+    }
+  }
+  return results;
+}
+
+std::size_t convertMpip(const std::filesystem::path& path,
+                        const sim::MachineConfig& machine, ptdf::Writer& writer) {
+  std::ifstream in(path);
+  if (!in) throw util::PTError("cannot open " + path.string());
+  std::string line;
+  std::string exec;
+  enum class Section { None, TaskTime, Callsites, SiteStats };
+  Section section = Section::None;
+
+  struct Callsite {
+    std::string file;
+    int line = 0;
+    std::string parent;
+    std::string mpi_call;
+  };
+  std::map<int, Callsite> sites;
+  struct TaskRow {
+    int task;
+    double app_time;
+    double mpi_time;
+  };
+  std::vector<TaskRow> tasks;
+  struct StatRow {
+    int site;
+    int rank;
+    double count;
+    double max_ms;
+    double mean_ms;
+    double min_ms;
+    std::string name;
+  };
+  std::vector<StatRow> stats;
+
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view t = util::trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '@') {
+      if (t.find("Execution :") != std::string_view::npos) {
+        exec = std::string(util::trim(t.substr(t.find(':') + 1)));
+      } else if (t.find("MPI Time") != std::string_view::npos) {
+        section = Section::TaskTime;
+      } else if (t.find("Callsites:") != std::string_view::npos) {
+        section = Section::Callsites;
+      } else if (t.find("Callsite Time statistics") != std::string_view::npos) {
+        section = Section::SiteStats;
+      } else {
+        section = Section::None;
+      }
+      continue;
+    }
+    const auto fields = util::splitWhitespace(t);
+    switch (section) {
+      case Section::TaskTime: {
+        if (fields.size() != 4 || !util::parseInt(fields[0])) continue;  // header
+        tasks.push_back({static_cast<int>(*util::parseInt(fields[0])),
+                         util::parseReal(fields[1]).value_or(0.0),
+                         util::parseReal(fields[2]).value_or(0.0)});
+        break;
+      }
+      case Section::Callsites: {
+        if (fields.size() != 6 || !util::parseInt(fields[0])) continue;  // header
+        Callsite site;
+        site.file = fields[2];
+        site.line = static_cast<int>(util::parseInt(fields[3]).value_or(0));
+        site.parent = fields[4];
+        site.mpi_call = fields[5];
+        sites[static_cast<int>(*util::parseInt(fields[0]))] = site;
+        break;
+      }
+      case Section::SiteStats: {
+        if (fields.size() != 7 || !util::parseInt(fields[1])) continue;  // header
+        stats.push_back({static_cast<int>(util::parseInt(fields[1]).value_or(0)),
+                         static_cast<int>(util::parseInt(fields[2]).value_or(0)),
+                         util::parseReal(fields[3]).value_or(0.0),
+                         util::parseReal(fields[4]).value_or(0.0),
+                         util::parseReal(fields[5]).value_or(0.0),
+                         util::parseReal(fields[6]).value_or(0.0), fields[0]});
+        break;
+      }
+      case Section::None:
+        break;
+    }
+  }
+  if (exec.empty()) throw ParseError("mpiP report missing '@ Execution :' header");
+
+  writer.comment("mpiP profile for " + exec);
+  const int nprocs = static_cast<int>(tasks.size());
+  const std::string exec_root = emitSmgPreamble(writer, exec, machine, nprocs);
+  const std::string partition = machine.partitionResource();
+
+  std::size_t results = 0;
+  // Per-task MPI/app time.
+  for (const TaskRow& task : tasks) {
+    const std::string proc = exec_root + "/p" + std::to_string(task.task);
+    writer.perfResult(exec, {{{proc, partition}, core::FocusType::Primary}}, "mpiP",
+                      "application time", task.app_time, "seconds");
+    writer.perfResult(exec, {{{proc, partition}, core::FocusType::Primary}}, "mpiP",
+                      "MPI time", task.mpi_time, "seconds");
+    results += 2;
+  }
+
+  // Callsite resources: caller = build function, callee = MPI operation in
+  // the environment (libmpi) hierarchy.
+  writer.resource("/SMG2000-code", "build");
+  writer.resource("/libmpi", "environment");
+  std::set<std::string> defined;
+  auto callerResource = [&](const Callsite& site) {
+    const std::string module = "/SMG2000-code/" + site.file;
+    const std::string fn = module + "/" + site.parent;
+    if (defined.insert(fn).second) {
+      writer.resource(module, "build/module");
+      writer.resource(fn, "build/module/function");
+    }
+    return fn;
+  };
+  auto calleeResource = [&](const Callsite& site) {
+    const std::string fn = "/libmpi/MPI_" + site.mpi_call;
+    if (defined.insert(fn).second) {
+      writer.resource(fn, "environment/module");
+    }
+    return fn;
+  };
+
+  for (const StatRow& row : stats) {
+    const auto site_it = sites.find(row.site);
+    if (site_it == sites.end()) {
+      throw ParseError("mpiP stats reference unknown callsite " +
+                       std::to_string(row.site));
+    }
+    const Callsite& site = site_it->second;
+    const std::string caller = callerResource(site);
+    const std::string callee = calleeResource(site);
+    const std::string proc = exec_root + "/p" + std::to_string(row.rank);
+    // Two resource sets: caller (parent) and callee (child) — no loss of
+    // granularity for "time spent in each function according to the
+    // calling function".
+    const std::vector<core::ResourceSetSpec> sets = {
+        {{caller, proc, partition}, core::FocusType::Parent},
+        {{callee, proc, partition}, core::FocusType::Child},
+    };
+    const std::string site_tag = " @" + site.file + ":" + std::to_string(site.line);
+    writer.perfResult(exec, sets, "mpiP", site.mpi_call + " mean time" + site_tag,
+                      row.mean_ms, "ms");
+    writer.perfResult(exec, sets, "mpiP", site.mpi_call + " max time" + site_tag,
+                      row.max_ms, "ms");
+    writer.perfResult(exec, sets, "mpiP", site.mpi_call + " count" + site_tag, row.count,
+                      "calls");
+    results += 3;
+  }
+  return results;
+}
+
+std::size_t convertSmgRun(const std::filesystem::path& dir,
+                          const sim::MachineConfig& machine, ptdf::Writer& writer) {
+  std::size_t results = convertSmgStdout(dir / "smg_stdout.txt", machine, writer);
+  const auto mpip = dir / "smg_mpip.txt";
+  if (std::filesystem::exists(mpip)) {
+    results += convertMpip(mpip, machine, writer);
+  }
+  return results;
+}
+
+}  // namespace perftrack::tools

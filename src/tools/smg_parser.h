@@ -1,0 +1,33 @@
+// PerfTrack tool parsers: SMG2000 / PMAPI / mpiP output -> PTdf (§4.2).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "ptdf/ptdf.h"
+#include "sim/machines.h"
+
+namespace perftrack::tools {
+
+/// Converts the standard SMG2000 output (plus an embedded PMAPI counter
+/// section, if present) into PTdf. The eight benchmark values become
+/// whole-execution results from tool "SMG2000"; PMAPI lines become
+/// per-process counter results from tool "PMAPI".
+/// Returns the number of PerfResult records written.
+std::size_t convertSmgStdout(const std::filesystem::path& path,
+                             const sim::MachineConfig& machine, ptdf::Writer& writer);
+
+/// Converts an mpiP report into PTdf. Per-task MPI times become
+/// per-process results; per-callsite rows become results with TWO resource
+/// sets — the calling function (parent) and the MPI operation (child) —
+/// the §4.2 extension "to record the caller and callee for each value, so
+/// we have no loss of granularity".
+/// Returns the number of PerfResult records written.
+std::size_t convertMpip(const std::filesystem::path& path,
+                        const sim::MachineConfig& machine, ptdf::Writer& writer);
+
+/// Converts a full SMG run directory (smg_stdout.txt [+ smg_mpip.txt]).
+std::size_t convertSmgRun(const std::filesystem::path& dir,
+                          const sim::MachineConfig& machine, ptdf::Writer& writer);
+
+}  // namespace perftrack::tools

@@ -1,0 +1,24 @@
+// PerfTrack utility library: CSV reading and writing.
+//
+// Used by the query-session export path (the paper's "store data in a format
+// suitable for spreadsheet programs to import") and by benchmark harnesses.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perftrack::util {
+
+/// Quotes a field per RFC 4180 when it contains a comma, quote, or newline.
+std::string csvEscape(std::string_view field);
+
+/// Writes one CSV row (fields escaped as needed) followed by '\n'.
+void writeCsvRow(std::ostream& out, const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields, honoring RFC 4180 quoting.
+/// Throws ParseError on an unterminated quoted field.
+std::vector<std::string> parseCsvLine(std::string_view line);
+
+}  // namespace perftrack::util

@@ -1,0 +1,54 @@
+// PerfTrack utility library: error types.
+//
+// All PerfTrack components report recoverable failures either through
+// util::Result<T> (preferred on hot paths) or by throwing util::PTError
+// (preferred at API boundaries where a caller mistake is unrecoverable).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace perftrack::util {
+
+/// Root exception type for every error raised by PerfTrack libraries.
+class PTError : public std::runtime_error {
+ public:
+  explicit PTError(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Raised by the minidb SQL front-end on malformed statements.
+class SqlError : public PTError {
+ public:
+  explicit SqlError(std::string message) : PTError(std::move(message)) {}
+};
+
+/// Raised by the minidb storage layer (page, heap, B+-tree, catalog).
+class StorageError : public PTError {
+ public:
+  explicit StorageError(std::string message) : PTError(std::move(message)) {}
+};
+
+/// Raised when parsing external data (PTdf files, tool output) fails.
+class ParseError : public PTError {
+ public:
+  ParseError(std::string message, std::size_t line = 0)
+      : PTError(line == 0 ? std::move(message)
+                          : "line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  /// 1-based source line of the failure, or 0 when unknown.
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Raised by the core model on semantic violations (duplicate full resource
+/// names, unknown types, malformed filters).
+class ModelError : public PTError {
+ public:
+  explicit ModelError(std::string message) : PTError(std::move(message)) {}
+};
+
+}  // namespace perftrack::util

@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace perftrack::util {
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller transform; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::exponential(double lambda) {
+  double u = 0.0;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+}  // namespace perftrack::util

@@ -1,0 +1,66 @@
+// PerfTrack utility library: deterministic random number generation.
+//
+// All simulated workloads must be reproducible run-to-run, so every generator
+// takes an explicit seed and uses this engine (splitmix64 seeding a
+// xoshiro256** core) instead of std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace perftrack::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Standard normal via Box–Muller (one value per call; the pair's second
+  /// value is discarded to keep the generator stateless across calls).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate parameter lambda (> 0).
+  double exponential(double lambda);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace perftrack::util

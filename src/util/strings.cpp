@@ -1,0 +1,138 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace perftrack::util {
+
+std::vector<std::string> split(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      return out;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> splitN(std::string_view input, char sep, std::size_t max_fields) {
+  std::vector<std::string> out;
+  if (max_fields == 0) return out;
+  std::size_t start = 0;
+  while (out.size() + 1 < max_fields) {
+    std::size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) break;
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  out.emplace_back(input.substr(start));
+  return out;
+}
+
+std::vector<std::string> splitWhitespace(std::string_view input) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() && std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    std::size_t start = i;
+    while (i < input.size() && !std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    if (i > start) out.emplace_back(input.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view input) {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) --end;
+  return input.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string toLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::int64_t> parseInt(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parseReal(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ 11+.
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string formatReal(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  std::string out(buf);
+  if (out.find('.') != std::string::npos) {
+    while (!out.empty() && out.back() == '0') out.pop_back();
+    if (!out.empty() && out.back() == '.') out.pop_back();
+  }
+  return out;
+}
+
+std::string sqlQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('\'');
+  for (char c : text) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+}  // namespace perftrack::util

@@ -1,0 +1,51 @@
+// PerfTrack utility library: string helpers used across all modules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perftrack::util {
+
+/// Splits `input` at every occurrence of `sep`. Adjacent separators produce
+/// empty fields; an empty input yields a single empty field.
+std::vector<std::string> split(std::string_view input, char sep);
+
+/// Splits on `sep` but keeps at most `max_fields` fields: the final field
+/// receives the remainder of the string verbatim.
+std::vector<std::string> splitN(std::string_view input, char sep, std::size_t max_fields);
+
+/// Splits on runs of whitespace, discarding empty fields.
+std::vector<std::string> splitWhitespace(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view input);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/// ASCII-only lowercase conversion.
+std::string toLower(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parses a signed 64-bit integer; returns nullopt on any trailing garbage.
+std::optional<std::int64_t> parseInt(std::string_view text);
+
+/// Parses a double; returns nullopt on any trailing garbage or empty input.
+std::optional<double> parseReal(std::string_view text);
+
+/// Formats a double the way PTdf and report tables expect: up to 6 significant
+/// fractional digits, no trailing zeros, integral values without a point.
+std::string formatReal(double value);
+
+/// Escapes a string for embedding in a single-quoted SQL literal.
+std::string sqlQuote(std::string_view text);
+
+}  // namespace perftrack::util

@@ -1,0 +1,34 @@
+#include "util/tempdir.h"
+
+#include <atomic>
+#include <system_error>
+
+#include "util/error.h"
+
+namespace perftrack::util {
+
+namespace {
+std::atomic<std::uint64_t> g_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const auto candidate =
+        base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(g_counter.fetch_add(1)));
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw PTError("TempDir: could not create a unique temporary directory");
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best effort; ignore errors
+}
+
+}  // namespace perftrack::util

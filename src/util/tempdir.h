@@ -1,0 +1,28 @@
+// PerfTrack utility library: RAII temporary directory for tests and benches.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace perftrack::util {
+
+/// Creates a unique directory under the system temp path and removes it (and
+/// its contents) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "perftrack");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Convenience: path to a file inside the directory.
+  std::filesystem::path file(const std::string& name) const { return path_ / name; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace perftrack::util

@@ -1,0 +1,26 @@
+// PerfTrack utility library: wall-clock timing for load/query measurements.
+#pragma once
+
+#include <chrono>
+
+namespace perftrack::util {
+
+/// Simple monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace perftrack::util

@@ -1,0 +1,59 @@
+#include "analyze/barchart.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::analyze {
+namespace {
+
+TEST(BarChart, RendersTitleUnitsAndValues) {
+  BarChart chart;
+  chart.title = "demo";
+  chart.value_units = "seconds";
+  chart.categories = {"np=8", "np=16"};
+  chart.series = {{"min", {1.0, 0.5}}, {"max", {2.0, 1.0}}};
+  const std::string text = chart.render(20);
+  EXPECT_NE(text.find("demo (seconds)"), std::string::npos);
+  EXPECT_NE(text.find("np=8"), std::string::npos);
+  EXPECT_NE(text.find("min"), std::string::npos);
+  EXPECT_NE(text.find(" 2\n"), std::string::npos);
+}
+
+TEST(BarChart, BarsScaleToMaxValue) {
+  BarChart chart;
+  chart.title = "t";
+  chart.categories = {"a"};
+  chart.series = {{"s", {10.0}}, {"half", {5.0}}};
+  const std::string text = chart.render(40);
+  // The 10.0 bar is 40 chars; the 5.0 bar is 20.
+  EXPECT_NE(text.find(std::string(40, '#')), std::string::npos);
+  EXPECT_NE(text.find("|" + std::string(20, '#') + " 5"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesRenderEmptyBars) {
+  BarChart chart;
+  chart.title = "t";
+  chart.categories = {"a"};
+  chart.series = {{"s", {0.0}}};
+  const std::string text = chart.render(30);
+  EXPECT_NE(text.find("| 0"), std::string::npos);
+}
+
+TEST(BarChart, MismatchedSeriesLengthThrows) {
+  BarChart chart;
+  chart.title = "t";
+  chart.categories = {"a", "b"};
+  chart.series = {{"s", {1.0}}};
+  EXPECT_THROW(chart.render(), util::ModelError);
+}
+
+TEST(BarChart, EmptyChartRendersHeaderOnly) {
+  BarChart chart;
+  chart.title = "empty";
+  const std::string text = chart.render();
+  EXPECT_EQ(text, "empty\n");
+}
+
+}  // namespace
+}  // namespace perftrack::analyze

@@ -1,0 +1,103 @@
+#include "analyze/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace perftrack::analyze {
+namespace {
+
+class CompareTest : public ::testing::Test {
+ protected:
+  CompareTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    // Two runs of the same code with per-run execution resources and a
+    // shared build function — the canonical comparison setting.
+    for (const char* exec : {"runA", "runB"}) {
+      store_.addExecution(exec, "app");
+      const std::string root = std::string("/") + exec;
+      store_.addResource(root + "/p0", "execution/process");
+      store_.addResource("/app-build/m.c/solve", "build/module/function");
+      store_.addResource("/app-build/m.c/setup", "build/module/function");
+      const double scale = exec == std::string("runA") ? 1.0 : 2.0;
+      store_.addPerformanceResult(
+          exec, {{{"/app-build/m.c/solve", root + "/p0"}, core::FocusType::Primary}},
+          "tool", "wall time", 10.0 * scale, "s");
+      store_.addPerformanceResult(
+          exec, {{{"/app-build/m.c/setup", root + "/p0"}, core::FocusType::Primary}},
+          "tool", "wall time", 1.0, "s");
+    }
+    // A result only runA has.
+    store_.addPerformanceResult(
+        "runA", {{{"/app-build/m.c/solve"}, core::FocusType::Primary}}, "tool",
+        "exclusive metric", 5.0, "s");
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+};
+
+TEST_F(CompareTest, ComparableContextCanonicalizesExecutionPrefix) {
+  const auto idsA = store_.resultsForExecution("runA");
+  const auto idsB = store_.resultsForExecution("runB");
+  const auto recA = store_.getResult(idsA[0]);
+  const auto recB = store_.getResult(idsB[0]);
+  EXPECT_EQ(comparableContext(store_, recA), comparableContext(store_, recB));
+  EXPECT_NE(comparableContext(store_, recA).find("$EXEC"), std::string::npos);
+}
+
+TEST_F(CompareTest, MatchedRowsAndUnmatchedCounts) {
+  const ComparisonReport report = compareExecutions(store_, "runA", "runB");
+  EXPECT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.unmatched_a, 1u);  // the exclusive metric
+  EXPECT_EQ(report.unmatched_b, 0u);
+}
+
+TEST_F(CompareTest, DifferenceAndRatio) {
+  const ComparisonReport report = compareExecutions(store_, "runA", "runB");
+  bool saw_solve = false;
+  for (const ComparisonRow& row : report.rows) {
+    if (row.context.find("solve") != std::string::npos) {
+      saw_solve = true;
+      EXPECT_DOUBLE_EQ(row.value_a, 10.0);
+      EXPECT_DOUBLE_EQ(row.value_b, 20.0);
+      EXPECT_DOUBLE_EQ(row.difference(), 10.0);
+      EXPECT_DOUBLE_EQ(*row.ratio(), 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_solve);
+}
+
+TEST_F(CompareTest, DivergentFiltersByThreshold) {
+  const ComparisonReport report = compareExecutions(store_, "runA", "runB");
+  const auto big = report.divergent(0.5);  // only the 2x row
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_DOUBLE_EQ(big[0].difference(), 10.0);
+  const auto all = report.divergent(0.0);
+  // setup row (ratio exactly 1.0) is not divergent even at threshold 0.
+  EXPECT_EQ(all.size(), 1u);
+}
+
+TEST_F(CompareTest, ZeroBaselineYieldsNoRatio) {
+  ComparisonRow row{"m", "c", 0.0, 5.0};
+  EXPECT_FALSE(row.ratio().has_value());
+  EXPECT_DOUBLE_EQ(row.difference(), 5.0);
+}
+
+TEST_F(CompareTest, ReportTextMentionsEverything) {
+  const ComparisonReport report = compareExecutions(store_, "runA", "runB");
+  const std::string text = report.toText();
+  EXPECT_NE(text.find("runA vs runB"), std::string::npos);
+  EXPECT_NE(text.find("matched results:   2"), std::string::npos);
+  EXPECT_NE(text.find("x2"), std::string::npos);
+}
+
+TEST_F(CompareTest, SelfComparisonIsClean) {
+  const ComparisonReport report = compareExecutions(store_, "runA", "runA");
+  EXPECT_EQ(report.unmatched_a, 0u);
+  EXPECT_EQ(report.unmatched_b, 0u);
+  for (const ComparisonRow& row : report.rows) {
+    EXPECT_DOUBLE_EQ(row.difference(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace perftrack::analyze

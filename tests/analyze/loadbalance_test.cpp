@@ -1,0 +1,88 @@
+#include "analyze/loadbalance.h"
+
+#include <gtest/gtest.h>
+
+namespace perftrack::analyze {
+namespace {
+
+class LoadBalanceTest : public ::testing::Test {
+ protected:
+  LoadBalanceTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    store_.addResource("/app-build/m.c/kernel", "build/module/function");
+    // Three executions at growing process counts with widening min/max gap.
+    int np = 8;
+    double min_t = 8.0;
+    for (int i = 0; i < 3; ++i) {
+      const std::string exec = "run-np" + std::to_string(np);
+      store_.addExecution(exec, "app");
+      store_.addResource("/" + exec, "execution");
+      store_.addResourceAttribute("/" + exec, "nprocs", std::to_string(np));
+      const double max_t = min_t * (1.0 + 0.1 * (i + 1));
+      store_.addPerformanceResult(
+          exec, {{{"/app-build/m.c/kernel", "/" + exec}, core::FocusType::Primary}},
+          "tool", "wall time (min)", min_t, "s");
+      store_.addPerformanceResult(
+          exec, {{{"/app-build/m.c/kernel", "/" + exec}, core::FocusType::Primary}},
+          "tool", "wall time (max)", max_t, "s");
+      // Distractor metric that must not leak into the study.
+      store_.addPerformanceResult(
+          exec, {{{"/app-build/m.c/kernel", "/" + exec}, core::FocusType::Primary}},
+          "tool", "CPU time (max)", 99.0, "s");
+      np *= 2;
+      min_t /= 2.0;
+    }
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+};
+
+TEST_F(LoadBalanceTest, PointsSortedByProcessCount) {
+  const auto points = loadBalanceStudy(store_, "/app-build/m.c/kernel", "wall time");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].nprocs, 8);
+  EXPECT_EQ(points[1].nprocs, 16);
+  EXPECT_EQ(points[2].nprocs, 32);
+}
+
+TEST_F(LoadBalanceTest, MinMaxPairedPerExecution) {
+  const auto points = loadBalanceStudy(store_, "/app-build/m.c/kernel", "wall time");
+  EXPECT_DOUBLE_EQ(points[0].min_value, 8.0);
+  EXPECT_DOUBLE_EQ(points[0].max_value, 8.8);
+  EXPECT_NEAR(points[0].imbalance(), 1.1, 1e-9);
+  EXPECT_NEAR(points[2].imbalance(), 1.3, 1e-9);
+}
+
+TEST_F(LoadBalanceTest, ImbalanceGrowsAcrossPoints) {
+  const auto points = loadBalanceStudy(store_, "/app-build/m.c/kernel", "wall time");
+  EXPECT_LT(points[0].imbalance(), points[2].imbalance());
+}
+
+TEST_F(LoadBalanceTest, UnknownFunctionYieldsNoPoints) {
+  EXPECT_TRUE(loadBalanceStudy(store_, "/app-build/m.c/ghost", "wall time").empty());
+}
+
+TEST_F(LoadBalanceTest, DistractorMetricIgnored) {
+  // CPU-time rows must not contaminate the wall-time study.
+  const auto points = loadBalanceStudy(store_, "/app-build/m.c/kernel", "wall time");
+  for (const auto& point : points) {
+    EXPECT_LT(point.max_value, 10.0);
+  }
+}
+
+TEST_F(LoadBalanceTest, ChartHasOneCategoryPerPointAndTwoSeries) {
+  const auto points = loadBalanceStudy(store_, "/app-build/m.c/kernel", "wall time");
+  const BarChart chart = loadBalanceChart(points, "kernel", "seconds");
+  ASSERT_EQ(chart.categories.size(), 3u);
+  EXPECT_EQ(chart.categories[0], "np=8");
+  ASSERT_EQ(chart.series.size(), 2u);
+  EXPECT_EQ(chart.series[0].label, "min");
+  EXPECT_EQ(chart.series[1].label, "max");
+  EXPECT_DOUBLE_EQ(chart.series[1].values[0], 8.8);
+  // Renders without throwing.
+  EXPECT_FALSE(chart.render().empty());
+}
+
+}  // namespace
+}  // namespace perftrack::analyze

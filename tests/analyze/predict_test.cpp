@@ -1,0 +1,138 @@
+#include "analyze/predict.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::analyze {
+namespace {
+
+class PredictTest : public ::testing::Test {
+ protected:
+  PredictTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    addRun("run-np8", 8, 16.0);
+    addRun("run-np32", 32, 4.4);  // slightly worse than ideal 4.0
+  }
+
+  void addRun(const std::string& exec, int nprocs, double seconds) {
+    store_.addExecution(exec, "app");
+    store_.addResource("/" + exec, "execution");
+    store_.addResourceAttribute("/" + exec, "nprocs", std::to_string(nprocs));
+    store_.addResource("/" + exec + "/p0", "execution/process");
+    store_.addResource("/app-build/m.c/solve", "build/module/function");
+    store_.addPerformanceResult(
+        exec,
+        {{{"/app-build/m.c/solve", "/" + exec, "/" + exec + "/p0"},
+          core::FocusType::Primary}},
+        "tool", "wall time", seconds, "s");
+    store_.addPerformanceResult(
+        exec,
+        {{{"/app-build/m.c/solve", "/" + exec, "/" + exec + "/p0"},
+          core::FocusType::Primary}},
+        "tool", "FP ops", 1e9, "count");
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+};
+
+TEST_F(PredictTest, LinearModelScalesTimeOnly) {
+  const auto model = linearScalingModel();
+  EXPECT_DOUBLE_EQ(model("wall time", 16.0, 8, 32), 4.0);
+  EXPECT_DOUBLE_EQ(model("CPU time (max)", 10.0, 8, 16), 5.0);
+  EXPECT_DOUBLE_EQ(model("FP ops", 1e9, 8, 32), 1e9);  // counters unchanged
+}
+
+TEST_F(PredictTest, AmdahlModelBoundsScaling) {
+  const auto model = amdahlScalingModel(0.1);
+  // With 10% serial work, 8 -> infinite procs can't go below ~0.1/0.2125.
+  const double predicted = model("wall time", 1.0, 8, 1 << 20);
+  EXPECT_GT(predicted, 0.45);
+  EXPECT_LT(predicted, 0.5);
+  // No serial fraction = linear.
+  EXPECT_NEAR(amdahlScalingModel(0.0)("wall time", 16.0, 8, 32), 4.0, 1e-12);
+}
+
+TEST_F(PredictTest, PredictedExecutionMaterializedInStore) {
+  const std::string pred =
+      predictExecution(store_, "run-np8", 32, linearScalingModel());
+  EXPECT_EQ(pred, "run-np8-pred-np32");
+  // It is a first-class execution with results from the model tool.
+  const auto ids = store_.resultsForExecution(pred);
+  ASSERT_EQ(ids.size(), 2u);
+  for (std::int64_t id : ids) {
+    const auto rec = store_.getResult(id);
+    EXPECT_EQ(rec.tool, "PerfTrack-model");
+    if (rec.metric == "wall time") {
+      EXPECT_DOUBLE_EQ(rec.value, 4.0);
+    }
+    if (rec.metric == "FP ops") {
+      EXPECT_DOUBLE_EQ(rec.value, 1e9);
+    }
+  }
+  // Root resource carries provenance.
+  const auto root = store_.findResource("/" + pred);
+  ASSERT_TRUE(root.has_value());
+  bool saw_provenance = false;
+  for (const auto& attr : store_.attributesOf(*root)) {
+    if (attr.name == "predicted from" && attr.value == "run-np8") saw_provenance = true;
+  }
+  EXPECT_TRUE(saw_provenance);
+}
+
+TEST_F(PredictTest, PredictionContextsRerootPerExecutionResources) {
+  const std::string pred =
+      predictExecution(store_, "run-np8", 32, linearScalingModel());
+  const auto rec = store_.getResult(store_.resultsForExecution(pred).at(0));
+  bool saw_shared = false;
+  bool saw_rerooted = false;
+  for (core::ResourceId id : rec.contexts.at(0)) {
+    const auto info = store_.resourceInfo(id);
+    if (info.full_name == "/app-build/m.c/solve") saw_shared = true;
+    if (info.full_name == "/" + pred + "/p0") saw_rerooted = true;
+  }
+  EXPECT_TRUE(saw_shared);
+  EXPECT_TRUE(saw_rerooted);
+}
+
+TEST_F(PredictTest, PredictionErrorComparesAgainstActual) {
+  const ComparisonReport report = predictionError(
+      store_, "run-np8", "run-np32", 32, linearScalingModel());
+  ASSERT_EQ(report.rows.size(), 2u);
+  for (const ComparisonRow& row : report.rows) {
+    if (row.metric == "wall time") {
+      // Predicted 4.0, actual 4.4: the model under-predicts by 10%.
+      EXPECT_DOUBLE_EQ(row.value_a, 4.0);
+      EXPECT_DOUBLE_EQ(row.value_b, 4.4);
+      EXPECT_NEAR(*row.ratio(), 1.1, 1e-9);
+    }
+  }
+  EXPECT_EQ(report.unmatched_a, 0u);
+}
+
+TEST_F(PredictTest, DuplicatePredictionNameThrows) {
+  predictExecution(store_, "run-np8", 32, linearScalingModel());
+  EXPECT_THROW(predictExecution(store_, "run-np8", 32, linearScalingModel()),
+               util::ModelError);
+  // A distinct label keeps the second model's results separate.
+  EXPECT_NO_THROW(
+      predictExecution(store_, "run-np8", 32, amdahlScalingModel(0.01), "amdahl"));
+}
+
+TEST_F(PredictTest, MissingBaselineThrows) {
+  EXPECT_THROW(predictExecution(store_, "ghost", 32, linearScalingModel()),
+               util::ModelError);
+}
+
+TEST_F(PredictTest, BaselineWithoutNprocsThrows) {
+  store_.addExecution("no-nprocs", "app");
+  store_.addResource("/no-nprocs", "execution");
+  store_.addPerformanceResult("no-nprocs", {{{"/no-nprocs"}, core::FocusType::Primary}},
+                              "tool", "wall time", 1.0, "s");
+  EXPECT_THROW(predictExecution(store_, "no-nprocs", 32, linearScalingModel()),
+               util::ModelError);
+}
+
+}  // namespace
+}  // namespace perftrack::analyze

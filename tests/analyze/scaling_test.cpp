@@ -1,0 +1,82 @@
+#include "analyze/scaling.h"
+
+#include <gtest/gtest.h>
+
+namespace perftrack::analyze {
+namespace {
+
+class ScalingTest : public ::testing::Test {
+ protected:
+  ScalingTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    // Near-linear scaling with a small efficiency loss at high p.
+    addRun("app", 8, 80.0);
+    addRun("app", 16, 41.0);
+    addRun("app", 32, 22.0);
+    addRun("other", 8, 500.0);  // different application: must not leak in
+  }
+
+  void addRun(const std::string& app, int nprocs, double seconds) {
+    const std::string exec = app + "-np" + std::to_string(nprocs);
+    store_.addExecution(exec, app);
+    store_.addResource("/" + exec, "execution");
+    store_.addResourceAttribute("/" + exec, "nprocs", std::to_string(nprocs));
+    store_.addPerformanceResult(exec, {{{"/" + exec}, core::FocusType::Primary}},
+                                "tool", "total wall time", seconds, "seconds");
+    store_.addPerformanceResult(exec, {{{"/" + exec}, core::FocusType::Primary}},
+                                "tool", "peak memory", 100.0, "MB");
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+};
+
+TEST_F(ScalingTest, PointsSortedAndScopedToApplication) {
+  const auto points = scalingStudy(store_, "app", "total wall time");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].nprocs, 8);
+  EXPECT_EQ(points[2].nprocs, 32);
+  for (const auto& point : points) {
+    EXPECT_NE(point.execution, "other-np8");
+  }
+}
+
+TEST_F(ScalingTest, SpeedupAndEfficiencyRelativeToSmallestRun) {
+  const auto points = scalingStudy(store_, "app", "total wall time");
+  EXPECT_DOUBLE_EQ(points[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  EXPECT_NEAR(points[1].speedup, 80.0 / 41.0, 1e-9);
+  EXPECT_NEAR(points[1].efficiency, (80.0 / 41.0) * 8.0 / 16.0, 1e-9);
+  EXPECT_NEAR(points[2].efficiency, (80.0 / 22.0) * 8.0 / 32.0, 1e-9);
+  EXPECT_LT(points[2].efficiency, 1.0);  // sublinear, as constructed
+}
+
+TEST_F(ScalingTest, UnknownMetricOrAppYieldsEmpty) {
+  EXPECT_TRUE(scalingStudy(store_, "app", "no such metric").empty());
+  EXPECT_TRUE(scalingStudy(store_, "ghost", "total wall time").empty());
+}
+
+TEST_F(ScalingTest, TableRendersAllRows) {
+  const auto points = scalingStudy(store_, "app", "total wall time");
+  const std::string table = scalingTable(points, "app scaling");
+  EXPECT_NE(table.find("app scaling"), std::string::npos);
+  EXPECT_NE(table.find("np"), std::string::npos);
+  EXPECT_NE(table.find("32"), std::string::npos);
+  EXPECT_NE(table.find("100.0%"), std::string::npos);  // base efficiency
+}
+
+TEST_F(ScalingTest, ChartHasMeasuredAndIdealSeries) {
+  const auto points = scalingStudy(store_, "app", "total wall time");
+  const BarChart chart = scalingChart(points, "app scaling");
+  ASSERT_EQ(chart.series.size(), 2u);
+  EXPECT_EQ(chart.series[0].label, "measured");
+  EXPECT_EQ(chart.series[1].label, "ideal");
+  // Ideal halves with every doubling from the np=8 base.
+  EXPECT_DOUBLE_EQ(chart.series[1].values[0], 80.0);
+  EXPECT_DOUBLE_EQ(chart.series[1].values[1], 40.0);
+  EXPECT_DOUBLE_EQ(chart.series[1].values[2], 20.0);
+  EXPECT_FALSE(chart.render().empty());
+}
+
+}  // namespace
+}  // namespace perftrack::analyze

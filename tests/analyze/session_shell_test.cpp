@@ -1,0 +1,141 @@
+#include "analyze/session_shell.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace perftrack::analyze {
+namespace {
+
+class SessionShellTest : public ::testing::Test {
+ protected:
+  SessionShellTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    store_.addResource("/G/Frost/batch/n0/p0", "grid/machine/partition/node/processor");
+    store_.addResourceAttribute("/G/Frost", "os", "AIX");
+    for (const char* exec : {"run-a", "run-b"}) {
+      store_.addExecution(exec, "app");
+      const std::string root = std::string("/") + exec;
+      store_.addResource(root, "execution");
+      store_.addResource("/code/m.c/solve", "build/module/function");
+      store_.addPerformanceResult(
+          exec, {{{"/code/m.c/solve", root, "/G/Frost/batch/n0/p0"},
+                  core::FocusType::Primary}},
+          "tool", "wall time", exec == std::string("run-a") ? 10.0 : 5.0, "s");
+    }
+  }
+
+  std::string run(const std::string& script, std::size_t expected_failures = 0) {
+    std::istringstream in(script);
+    std::ostringstream out;
+    const std::size_t failures = runSessionScript(store_, in, out);
+    EXPECT_EQ(failures, expected_failures) << out.str();
+    return out.str();
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+};
+
+TEST_F(SessionShellTest, ParseFamilySpecForms) {
+  EXPECT_EQ(parseFamilySpec("type=grid/machine").describe(), "type=grid/machine (N)");
+  EXPECT_EQ(parseFamilySpec("name=Frost").describe(), "name=Frost (D)");
+  EXPECT_EQ(parseFamilySpec("name=Frost:N").describe(), "name=Frost (N)");
+  EXPECT_EQ(parseFamilySpec("type=time:B").describe(), "type=time (B)");
+  EXPECT_EQ(parseFamilySpec("attr=os=AIX").describe(), "attrs[os=AIX] (N)");
+  EXPECT_EQ(parseFamilySpec("attr=clock>100:D").describe(), "attrs[clock>100] (D)");
+  EXPECT_THROW(parseFamilySpec("nonsense"), util::ModelError);
+  EXPECT_THROW(parseFamilySpec("attr=no-operator"), util::ModelError);
+  EXPECT_THROW(parseFamilySpec("what=x"), util::ModelError);
+}
+
+TEST_F(SessionShellTest, BrowseCommands) {
+  const std::string out = run(
+      "types\n"
+      "top grid\n"
+      "children /G/Frost\n"
+      "attrs /G/Frost\n");
+  EXPECT_NE(out.find("grid/machine/partition/node/processor"), std::string::npos);
+  EXPECT_NE(out.find("/G [grid]"), std::string::npos);
+  EXPECT_NE(out.find("/G/Frost/batch [grid/machine/partition]"), std::string::npos);
+  EXPECT_NE(out.find("os = AIX (string)"), std::string::npos);
+}
+
+TEST_F(SessionShellTest, FullQueryWorkflow) {
+  const std::string out = run(
+      "# the Figure 3/4 workflow\n"
+      "family name=Frost\n"
+      "family type=build/module/function\n"
+      "counts\n"
+      "run\n"
+      "columns\n"
+      "addcol execution\n"
+      "sort value desc\n"
+      "show\n"
+      "csv\n");
+  EXPECT_NE(out.find("family 0: name=Frost (D)"), std::string::npos);
+  EXPECT_NE(out.find("total: 2"), std::string::npos);
+  EXPECT_NE(out.find("retrieved 2 results"), std::string::npos);
+  EXPECT_NE(out.find("execution,metric,tool,value,units,execution"),
+            std::string::npos);
+  // desc sort puts run-a (10s) before run-b (5s) in the CSV.
+  const auto pos_a = out.find("run-a,wall time");
+  const auto pos_b = out.find("run-b,wall time");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+}
+
+TEST_F(SessionShellTest, CountsReactToExpandAndRemove) {
+  const std::string out = run(
+      "family name=Frost:N\n"
+      "counts\n"
+      "expand 0 D\n"
+      "counts\n"
+      "family name=/no/such/thing:N\n"
+      "counts\n"
+      "remove 1\n"
+      "counts\n");
+  // N: machine-level only -> 0; D: subtree -> 2; impossible family -> 0;
+  // removed -> back to 2.
+  EXPECT_NE(out.find("(name=Frost (N)): 0"), std::string::npos);
+  EXPECT_NE(out.find("(name=Frost (D)): 2"), std::string::npos);
+  const auto first_total2 = out.find("total: 2");
+  ASSERT_NE(first_total2, std::string::npos);
+  EXPECT_NE(out.find("total: 0", first_total2), std::string::npos);
+  EXPECT_NE(out.rfind("total: 2"), first_total2);
+}
+
+TEST_F(SessionShellTest, FilterAndChart) {
+  const std::string out = run(
+      "run\n"
+      "filter value > 7\n"
+      "addcol execution\n"
+      "chart execution value\n");
+  EXPECT_NE(out.find("1 rows remain"), std::string::npos);
+  EXPECT_NE(out.find("value by execution"), std::string::npos);
+  EXPECT_NE(out.find("run-a"), std::string::npos);
+}
+
+TEST_F(SessionShellTest, ErrorsAreReportedAndCounted) {
+  const std::string out = run(
+      "bogus command here\n"
+      "show\n"          // no table yet
+      "attrs /missing\n"
+      "run\n",          // still works afterwards
+      /*expected_failures=*/3);
+  EXPECT_NE(out.find("error: unknown command"), std::string::npos);
+  EXPECT_NE(out.find("error: no current table"), std::string::npos);
+  EXPECT_NE(out.find("error: no resource named /missing"), std::string::npos);
+  EXPECT_NE(out.find("retrieved 2 results"), std::string::npos);
+}
+
+TEST_F(SessionShellTest, CommentsAndBlankLinesIgnored) {
+  const std::string out = run("\n# nothing but comments\n\n   \n");
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace perftrack::analyze

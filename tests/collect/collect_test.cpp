@@ -1,0 +1,147 @@
+#include "collect/collect.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/datastore.h"
+#include "sim/irs_gen.h"
+#include "sim/machines.h"
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::collect {
+namespace {
+
+/// Generates a real capture pair via the IRS generator.
+class CollectTest : public ::testing::Test {
+ protected:
+  CollectTest() {
+    sim::IrsRunSpec spec{sim::frostConfig(), 8, "MPI/OpenMP", 3, ""};
+    run_ = sim::generateIrsRun(spec, dir_.path());
+  }
+
+  util::TempDir dir_;
+  sim::GeneratedRun run_;
+};
+
+TEST_F(CollectTest, ParseBuildFileFields) {
+  const BuildInfo info = parseBuildFile(dir_.file("irs_build.txt"));
+  EXPECT_EQ(info.application, "IRS");
+  EXPECT_EQ(info.compiler, "xlc");  // Frost is AIX
+  EXPECT_EQ(info.compiler_version, "6.0.0.8");
+  EXPECT_NE(info.compiler_flags.find("-O3"), std::string::npos);
+  EXPECT_EQ(info.mpi_wrapper, "mpcc");
+  ASSERT_EQ(info.static_libs.size(), 2u);
+  EXPECT_EQ(info.static_libs[0].name, "libhypre.a");
+  EXPECT_EQ(info.static_libs[0].version, "1.8.4");
+}
+
+TEST_F(CollectTest, ParseRunFileFields) {
+  const RunInfo info = parseRunFile(dir_.file("irs_env.txt"));
+  EXPECT_EQ(info.machine, "Frost");
+  EXPECT_EQ(info.nprocs, 8);
+  EXPECT_EQ(info.nthreads, 4);  // MPI/OpenMP run
+  EXPECT_EQ(info.concurrency, "MPI/OpenMP");
+  EXPECT_EQ(info.input_deck, "irs_3d_std.in");
+  EXPECT_EQ(info.env_vars.at("OMP_NUM_THREADS"), "4");
+  ASSERT_EQ(info.dynamic_libs.size(), 3u);
+  EXPECT_EQ(info.dynamic_libs[0].path, "/usr/lib/libmpi.so");
+  EXPECT_EQ(info.dynamic_libs[0].kind, "MPI");
+  EXPECT_EQ(info.dynamic_libs[0].timestamp, "2005-01-07T12:00:00");
+}
+
+TEST_F(CollectTest, MalformedCapturesThrow) {
+  const auto bad = dir_.file("bad.txt");
+  {
+    std::ofstream out(bad);
+    out << "not a key value line\n";
+  }
+  EXPECT_THROW(parseBuildFile(bad), util::ParseError);
+  EXPECT_THROW(parseRunFile(bad), util::ParseError);
+  EXPECT_THROW(parseBuildFile(dir_.file("missing.txt")), util::PTError);
+}
+
+TEST_F(CollectTest, UnknownKeysRejected) {
+  const auto weird = dir_.file("weird.txt");
+  {
+    std::ofstream out(weird);
+    out << "mystery_key=value\n";
+  }
+  EXPECT_THROW(parseBuildFile(weird), util::ParseError);
+  EXPECT_THROW(parseRunFile(weird), util::ParseError);
+}
+
+TEST_F(CollectTest, EmitBuildPtdfLoadsIntoStore) {
+  const BuildInfo info = parseBuildFile(dir_.file("irs_build.txt"));
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  emitBuildPtdf(writer, info, run_.exec_name);
+
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+  std::istringstream in(out.str());
+  ptdf::load(store, in);
+
+  const auto build = store.findResource("/build-" + run_.exec_name);
+  ASSERT_TRUE(build.has_value());
+  const auto attrs = store.attributesOf(*build);
+  bool saw_flags = false;
+  bool saw_compiler_link = false;
+  for (const auto& attr : attrs) {
+    if (attr.name == "compiler flags") saw_flags = true;
+    if (attr.attr_type == "resource" && attr.value == "/xlc") saw_compiler_link = true;
+  }
+  EXPECT_TRUE(saw_flags);
+  EXPECT_TRUE(saw_compiler_link);  // compiler is an attribute of the build
+  // Static libraries became build/module resources.
+  EXPECT_TRUE(store.findResource("/build-" + run_.exec_name + "/libhypre.a").has_value());
+  // Compiler resource with version attribute.
+  const auto compiler = store.findResource("/xlc");
+  ASSERT_TRUE(compiler.has_value());
+  EXPECT_EQ(store.attributesOf(*compiler).at(0).value, "6.0.0.8");
+}
+
+TEST_F(CollectTest, EmitRunPtdfLoadsIntoStore) {
+  const RunInfo info = parseRunFile(dir_.file("irs_env.txt"));
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  emitRunPtdf(writer, info, run_.exec_name);
+
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+  std::istringstream in(out.str());
+  ptdf::load(store, in);
+
+  // Execution hierarchy: root + 8 processes x 4 threads.
+  const auto root = store.findResource("/" + run_.exec_name);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(store.childrenOf(*root).size(), 8u);
+  const auto p0 = store.findResource("/" + run_.exec_name + "/p0");
+  ASSERT_TRUE(p0.has_value());
+  EXPECT_EQ(store.childrenOf(*p0).size(), 4u);  // threads
+  // Environment hierarchy: one module per dynamic library.
+  const auto env = store.findResource("/env-" + run_.exec_name);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(store.childrenOf(*env).size(), 3u);
+  // Input deck + operating system resources linked via constraints.
+  EXPECT_TRUE(store.findResource("/irs_3d_std.in").has_value());
+  EXPECT_TRUE(store.findResource("/AIX").has_value());
+  const auto linked = store.constraintsOf(*root);
+  EXPECT_EQ(linked.size(), 2u);  // inputDeck + operatingSystem
+}
+
+TEST_F(CollectTest, SingleThreadedRunHasNoThreadResources) {
+  RunInfo info = parseRunFile(dir_.file("irs_env.txt"));
+  info.nthreads = 1;
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  emitRunPtdf(writer, info, "st-run");
+  EXPECT_EQ(out.str().find("execution/process/thread"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::collect

@@ -1,0 +1,255 @@
+#include "core/datastore.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace perftrack::core {
+namespace {
+
+class DataStoreTest : public ::testing::Test {
+ protected:
+  DataStoreTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+TEST_F(DataStoreTest, InitializeLoadsBaseTypes) {
+  EXPECT_TRUE(store_.hasResourceType("grid"));
+  EXPECT_TRUE(store_.hasResourceType("grid/machine/partition/node/processor"));
+  EXPECT_TRUE(store_.hasResourceType("time/interval"));
+  EXPECT_TRUE(store_.hasResourceType("application"));
+  EXPECT_FALSE(store_.hasResourceType("nonsense"));
+  // 5 hierarchies (4+5+4+3+2 = 18 paths) + 8 single-level = 26 type rows.
+  EXPECT_EQ(store_.stats().resource_types, 26);
+}
+
+TEST_F(DataStoreTest, InitializeIsIdempotent) {
+  store_.initialize();
+  EXPECT_EQ(store_.stats().resource_types, 26);
+}
+
+TEST_F(DataStoreTest, TypeExtensionAddsNewHierarchy) {
+  // §4.3: a new top-level hierarchy for Paradyn's syncObject.
+  store_.addResourceType("syncObject/message/communicator");
+  EXPECT_TRUE(store_.hasResourceType("syncObject"));
+  EXPECT_TRUE(store_.hasResourceType("syncObject/message"));
+  const auto children = store_.childTypes("syncObject");
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], "syncObject/message");
+}
+
+TEST_F(DataStoreTest, TypeExtensionDeepensExistingHierarchy) {
+  // §2.1: extend Time with a phase level under interval.
+  store_.addResourceType("time/interval/phase");
+  EXPECT_TRUE(store_.hasResourceType("time/interval/phase"));
+  const auto children = store_.childTypes("time/interval");
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], "time/interval/phase");
+}
+
+TEST_F(DataStoreTest, RootTypesListedUnderEmptyPath) {
+  const auto roots = store_.childTypes("");
+  EXPECT_NE(std::find(roots.begin(), roots.end(), "grid"), roots.end());
+  EXPECT_NE(std::find(roots.begin(), roots.end(), "application"), roots.end());
+}
+
+TEST_F(DataStoreTest, AddResourceCreatesAncestors) {
+  const ResourceId id = store_.addResource("/SingleMachineFrost/Frost/batch/frost121/p0",
+                                           "grid/machine/partition/node/processor");
+  EXPECT_GT(id, 0);
+  // All four ancestors were created with prefix types.
+  const auto frost = store_.findResource("/SingleMachineFrost/Frost");
+  ASSERT_TRUE(frost.has_value());
+  EXPECT_EQ(store_.resourceInfo(*frost).type_path, "grid/machine");
+  const auto batch = store_.findResource("/SingleMachineFrost/Frost/batch");
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(store_.resourceInfo(*batch).type_path, "grid/machine/partition");
+}
+
+TEST_F(DataStoreTest, AddResourceIsIdempotent) {
+  const ResourceId a = store_.addResource("/Frost/batch", "grid/machine/partition");
+  const ResourceId b = store_.addResource("/Frost/batch", "grid/machine/partition");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store_.resourcesNamed("batch").size(), 1u);
+}
+
+TEST_F(DataStoreTest, ResourceDeeperThanTypeRejected) {
+  EXPECT_THROW(store_.addResource("/a/b/c", "time/interval"), util::ModelError);
+}
+
+TEST_F(DataStoreTest, ClosureTablesPopulated) {
+  const ResourceId p0 = store_.addResource("/G/M/B/N/P", "grid/machine/partition/node/processor");
+  const auto ancestors = store_.ancestorsOf(p0);
+  EXPECT_EQ(ancestors.size(), 4u);
+  const auto g = store_.findResource("/G");
+  ASSERT_TRUE(g.has_value());
+  const auto descendants = store_.descendantsOf(*g);
+  EXPECT_EQ(descendants.size(), 4u);
+  EXPECT_NE(std::find(descendants.begin(), descendants.end(), p0), descendants.end());
+}
+
+TEST_F(DataStoreTest, AddResourceRegistersNewTypePaths) {
+  // addResource routes through the type-extension interface, so a resource
+  // with a novel type path implicitly registers that path.
+  store_.addResource("/sessionX/bin42", "paradynPhase/bin");
+  EXPECT_TRUE(store_.hasResourceType("paradynPhase/bin"));
+  EXPECT_EQ(store_.resourceInfo(*store_.findResource("/sessionX/bin42")).type_path,
+            "paradynPhase/bin");
+}
+
+TEST_F(DataStoreTest, ResourcesNamedAcrossMachines) {
+  store_.addResource("/GridX/Frost/batch", "grid/machine/partition");
+  store_.addResource("/GridX/MCR/batch", "grid/machine/partition");
+  const auto batches = store_.resourcesNamed("batch");
+  EXPECT_EQ(batches.size(), 2u);
+}
+
+TEST_F(DataStoreTest, AttributesStoredAndListed) {
+  store_.addResource("/G/M/B/N/P", "grid/machine/partition/node/processor");
+  store_.addResourceAttribute("/G/M/B/N/P", "vendor", "IBM");
+  store_.addResourceAttribute("/G/M/B/N/P", "clock MHz", "375");
+  const auto id = *store_.findResource("/G/M/B/N/P");
+  const auto attrs = store_.attributesOf(id);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].name, "clock MHz");
+  EXPECT_EQ(attrs[0].value, "375");
+  EXPECT_EQ(attrs[1].name, "vendor");
+  EXPECT_EQ(attrs[1].attr_type, "string");
+}
+
+TEST_F(DataStoreTest, AttributeOnUnknownResourceThrows) {
+  EXPECT_THROW(store_.addResourceAttribute("/missing", "a", "b"), util::ModelError);
+}
+
+TEST_F(DataStoreTest, ResourceConstraintLinksResources) {
+  store_.addResource("/Exec1/proc8", "execution/process");
+  store_.addResource("/G/M/B/node16", "grid/machine/partition/node");
+  store_.addResourceConstraint("/Exec1/proc8", "/G/M/B/node16");
+  const auto pid = *store_.findResource("/Exec1/proc8");
+  const auto linked = store_.constraintsOf(pid);
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(store_.resourceInfo(linked[0]).full_name, "/G/M/B/node16");
+  // The constraint also appears as an attribute of type 'resource'.
+  const auto attrs = store_.attributesOf(pid);
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs[0].attr_type, "resource");
+  EXPECT_EQ(attrs[0].value, "/G/M/B/node16");
+}
+
+TEST_F(DataStoreTest, ExecutionsRequireApplication) {
+  store_.addExecution("run-001", "IRS");
+  const auto execs = store_.executions();
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0], "run-001");
+  // Re-adding is idempotent.
+  store_.addExecution("run-001", "IRS");
+  EXPECT_EQ(store_.executions().size(), 1u);
+  EXPECT_EQ(store_.stats().executions, 1);
+}
+
+TEST_F(DataStoreTest, PerformanceResultRoundTrip) {
+  store_.addExecution("run-001", "IRS");
+  store_.addResource("/run-001/p0", "execution/process");
+  store_.addResource("/IRSbuild/main.c/foo", "build/module/function");
+  const auto id = store_.addPerformanceResult(
+      "run-001",
+      {{{"/run-001/p0", "/IRSbuild/main.c/foo"}, FocusType::Primary}},
+      "IRS-benchmark", "wall time", 12.5, "seconds");
+  const PerfResultRecord rec = store_.getResult(id);
+  EXPECT_EQ(rec.execution, "run-001");
+  EXPECT_EQ(rec.application, "IRS");
+  EXPECT_EQ(rec.metric, "wall time");
+  EXPECT_EQ(rec.tool, "IRS-benchmark");
+  EXPECT_DOUBLE_EQ(rec.value, 12.5);
+  EXPECT_EQ(rec.units, "seconds");
+  ASSERT_EQ(rec.contexts.size(), 1u);
+  EXPECT_EQ(rec.contexts[0].size(), 2u);
+}
+
+TEST_F(DataStoreTest, MultiContextResult) {
+  // §4.2: mpiP caller/callee requires multiple resource sets per result.
+  store_.addExecution("run-002", "SMG2000");
+  store_.addResource("/B/smg.c/caller", "build/module/function");
+  store_.addResource("/B/smg.c/callee", "build/module/function");
+  const auto id = store_.addPerformanceResult(
+      "run-002",
+      {{{"/B/smg.c/caller"}, FocusType::Parent}, {{"/B/smg.c/callee"}, FocusType::Child}},
+      "mpiP", "MPI time", 3.0, "seconds");
+  const PerfResultRecord rec = store_.getResult(id);
+  EXPECT_EQ(rec.contexts.size(), 2u);
+}
+
+TEST_F(DataStoreTest, IdenticalContextsShareFocus) {
+  store_.addExecution("run-003", "IRS");
+  store_.addResource("/run-003/p0", "execution/process");
+  store_.addPerformanceResult("run-003", {{{"/run-003/p0"}, FocusType::Primary}},
+                              "tool", "metric A", 1.0);
+  store_.addPerformanceResult("run-003", {{{"/run-003/p0"}, FocusType::Primary}},
+                              "tool", "metric B", 2.0);
+  // Two results, one shared focus (paper §2.2: "a single context can apply
+  // to multiple performance results").
+  const StoreStats s = store_.stats();
+  EXPECT_EQ(s.performance_results, 2);
+  EXPECT_EQ(s.foci, 1);
+}
+
+TEST_F(DataStoreTest, ResultWithUnknownExecutionThrows) {
+  store_.addResource("/r", "time");
+  EXPECT_THROW(store_.addPerformanceResult("ghost", {{{"/r"}, FocusType::Primary}},
+                                           "t", "m", 1.0),
+               util::ModelError);
+}
+
+TEST_F(DataStoreTest, ResultWithUnknownResourceThrows) {
+  store_.addExecution("run", "app");
+  EXPECT_THROW(store_.addPerformanceResult("run", {{{"/ghost"}, FocusType::Primary}},
+                                           "t", "m", 1.0),
+               util::ModelError);
+}
+
+TEST_F(DataStoreTest, ResultWithNoContextThrows) {
+  store_.addExecution("run", "app");
+  EXPECT_THROW(store_.addPerformanceResult("run", {}, "t", "m", 1.0), util::ModelError);
+}
+
+TEST_F(DataStoreTest, ResultsForExecution) {
+  store_.addExecution("runA", "app");
+  store_.addExecution("runB", "app");
+  store_.addResource("/runA/p0", "execution/process");
+  store_.addResource("/runB/p0", "execution/process");
+  store_.addPerformanceResult("runA", {{{"/runA/p0"}, FocusType::Primary}}, "t", "m", 1.0);
+  store_.addPerformanceResult("runA", {{{"/runA/p0"}, FocusType::Primary}}, "t", "m2", 2.0);
+  store_.addPerformanceResult("runB", {{{"/runB/p0"}, FocusType::Primary}}, "t", "m", 3.0);
+  EXPECT_EQ(store_.resultsForExecution("runA").size(), 2u);
+  EXPECT_EQ(store_.resultsForExecution("runB").size(), 1u);
+}
+
+TEST_F(DataStoreTest, FocusTypeNames) {
+  EXPECT_EQ(focusTypeName(FocusType::Primary), "primary");
+  EXPECT_EQ(focusTypeFromName("sender"), FocusType::Sender);
+  EXPECT_EQ(focusTypeFromName("RECEIVER"), FocusType::Receiver);
+  EXPECT_THROW(focusTypeFromName("bogus"), util::ModelError);
+}
+
+TEST_F(DataStoreTest, StatsCountEverything) {
+  store_.addExecution("run", "app");
+  store_.addResource("/run/p0", "execution/process");
+  store_.addResourceAttribute("/run/p0", "a", "1");
+  store_.addPerformanceResult("run", {{{"/run/p0"}, FocusType::Primary}}, "t", "m", 1.0);
+  const StoreStats s = store_.stats();
+  EXPECT_EQ(s.resources, 2);  // /run and /run/p0
+  EXPECT_EQ(s.attributes, 1);
+  EXPECT_EQ(s.metrics, 1);
+  EXPECT_EQ(s.executions, 1);
+  EXPECT_EQ(s.performance_results, 1);
+  EXPECT_GT(s.size_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace perftrack::core

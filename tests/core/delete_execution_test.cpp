@@ -1,0 +1,113 @@
+// Tests for PTDataStore::deleteExecution — removing one run and its owned
+// data while preserving everything shared.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/datastore.h"
+#include "ptdf/ptdf.h"
+#include "sim/irs_gen.h"
+#include "tools/irs_parser.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/tempdir.h"
+
+namespace perftrack::core {
+namespace {
+
+class DeleteExecutionTest : public ::testing::Test {
+ protected:
+  DeleteExecutionTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    util::TempDir workspace("delete-exec");
+    // Two real IRS runs sharing machine and build-function resources.
+    for (int seed = 1; seed <= 2; ++seed) {
+      const auto dir = workspace.file("run" + std::to_string(seed));
+      sim::generateIrsRun({sim::frostConfig(), 4, "MPI",
+                           static_cast<std::uint64_t>(seed), ""},
+                          dir);
+      std::ostringstream out;
+      ptdf::Writer writer(out);
+      tools::convertIrsRun(dir, sim::frostConfig(), writer);
+      std::istringstream in(out.str());
+      ptdf::load(store_, in);
+    }
+    execs_ = store_.executions();
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+  std::vector<std::string> execs_;
+};
+
+TEST_F(DeleteExecutionTest, RemovesResultsAndFoci) {
+  ASSERT_EQ(execs_.size(), 2u);
+  const auto keep_results = store_.resultsForExecution(execs_[1]).size();
+  store_.deleteExecution(execs_[0]);
+  EXPECT_EQ(store_.executions(), std::vector<std::string>{execs_[1]});
+  EXPECT_EQ(store_.resultsForExecution(execs_[1]).size(), keep_results);
+  // No orphaned foci or focus links for the deleted run.
+  EXPECT_EQ(conn_->queryInt("SELECT COUNT(*) FROM focus f JOIN execution e "
+                            "ON f.execution_id = e.id WHERE e.name = " +
+                            util::sqlQuote(execs_[0])),
+            0);
+}
+
+TEST_F(DeleteExecutionTest, RemovesPerExecutionResourceSubtrees) {
+  store_.deleteExecution(execs_[0]);
+  EXPECT_FALSE(store_.findResource("/" + execs_[0]).has_value());
+  EXPECT_FALSE(store_.findResource("/build-" + execs_[0]).has_value());
+  EXPECT_FALSE(store_.findResource("/env-" + execs_[0]).has_value());
+  EXPECT_FALSE(store_.findResource("/" + execs_[0] + "/p0").has_value());
+}
+
+TEST_F(DeleteExecutionTest, KeepsSharedResources) {
+  store_.deleteExecution(execs_[0]);
+  // Machine description and build functions are shared with the survivor.
+  EXPECT_TRUE(store_.findResource("/SingleMachineFrost/Frost/batch").has_value());
+  EXPECT_TRUE(store_.findResource("/IRS-1.4/irscg.c/cgsolve").has_value());
+  EXPECT_TRUE(store_.findResource("/" + execs_[1]).has_value());
+}
+
+TEST_F(DeleteExecutionTest, SurvivorRemainsFullyQueryable) {
+  store_.deleteExecution(execs_[0]);
+  const auto ids = store_.resultsForExecution(execs_[1]);
+  ASSERT_FALSE(ids.empty());
+  const auto rec = store_.getResult(ids.front());
+  EXPECT_EQ(rec.execution, execs_[1]);
+  EXPECT_FALSE(rec.contexts.empty());
+}
+
+TEST_F(DeleteExecutionTest, WithResourcesFalseKeepsSubtrees) {
+  store_.deleteExecution(execs_[0], /*with_resources=*/false);
+  EXPECT_TRUE(store_.findResource("/" + execs_[0]).has_value());
+  EXPECT_TRUE(store_.resultsForExecution(execs_[1]).size() > 0);
+  EXPECT_EQ(store_.executions().size(), 1u);
+}
+
+TEST_F(DeleteExecutionTest, UnknownExecutionThrows) {
+  EXPECT_THROW(store_.deleteExecution("ghost"), util::ModelError);
+}
+
+TEST_F(DeleteExecutionTest, VacuumAfterDeleteEnablesReuse) {
+  store_.deleteExecution(execs_[0]);
+  conn_->database().vacuum();
+  store_.clearCache();
+  const auto size_after = conn_->sizeBytes();
+  // Re-load a similar run: the store should grow little past the vacuumed
+  // size because freed pages are reused.
+  util::TempDir workspace("delete-exec-reload");
+  const auto dir = workspace.file("run3");
+  sim::generateIrsRun({sim::frostConfig(), 4, "MPI", 3, ""}, dir);
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  tools::convertIrsRun(dir, sim::frostConfig(), writer);
+  std::istringstream in(out.str());
+  ptdf::load(store_, in);
+  EXPECT_LE(conn_->sizeBytes(), size_after + 64 * 8192);
+  EXPECT_EQ(store_.executions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace perftrack::core

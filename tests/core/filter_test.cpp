@@ -1,0 +1,209 @@
+#include "core/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace perftrack::core {
+namespace {
+
+/// Fixture with a small two-machine, two-execution store mirroring the
+/// paper's Frost/MCR examples.
+class FilterTest : public ::testing::Test {
+ protected:
+  FilterTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    // Machines: Frost with batch partition and 2 nodes x 2 processors,
+    // MCR with batch partition and 1 node x 2 processors.
+    for (const char* p : {"/GFrost/Frost/batch/n0/p0", "/GFrost/Frost/batch/n0/p1",
+                          "/GFrost/Frost/batch/n1/p0", "/GFrost/Frost/batch/n1/p1"}) {
+      store_.addResource(p, "grid/machine/partition/node/processor");
+    }
+    for (const char* p : {"/GMCR/MCR/batch/n0/p0", "/GMCR/MCR/batch/n0/p1"}) {
+      store_.addResource(p, "grid/machine/partition/node/processor");
+    }
+    store_.addResourceAttribute("/GFrost/Frost", "os", "AIX");
+    store_.addResourceAttribute("/GMCR/MCR", "os", "Linux");
+    store_.addResourceAttribute("/GFrost/Frost", "nodes", "128");
+    store_.addResourceAttribute("/GMCR/MCR", "nodes", "1152");
+
+    store_.addExecution("frost-run", "IRS");
+    store_.addExecution("mcr-run", "IRS");
+    store_.addResource("/frost-run/p0", "execution/process");
+    store_.addResource("/mcr-run/p0", "execution/process");
+
+    // One result per processor, plus one machine-level result per machine.
+    for (const char* p : {"/GFrost/Frost/batch/n0/p0", "/GFrost/Frost/batch/n0/p1",
+                          "/GFrost/Frost/batch/n1/p0", "/GFrost/Frost/batch/n1/p1"}) {
+      store_.addPerformanceResult("frost-run", {{{p, "/frost-run/p0"}, FocusType::Primary}},
+                                  "tool", "cpu time", 1.0, "s");
+    }
+    for (const char* p : {"/GMCR/MCR/batch/n0/p0", "/GMCR/MCR/batch/n0/p1"}) {
+      store_.addPerformanceResult("mcr-run", {{{p, "/mcr-run/p0"}, FocusType::Primary}},
+                                  "tool", "cpu time", 2.0, "s");
+    }
+    store_.addPerformanceResult("frost-run", {{{"/GFrost/Frost"}, FocusType::Primary}},
+                                "tool", "total time", 10.0, "s");
+    store_.addPerformanceResult("mcr-run", {{{"/GMCR/MCR"}, FocusType::Primary}},
+                                "tool", "total time", 20.0, "s");
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+TEST_F(FilterTest, ByTypeSelectsAllOfType) {
+  const auto family = evaluateFamily(store_, ResourceFilter::byType(
+                                                 "grid/machine/partition/node/processor"));
+  EXPECT_EQ(family.size(), 6u);
+}
+
+TEST_F(FilterTest, ByTypeMachineLevelOnly) {
+  // "A user might do this to get only machine-level measurements."
+  const auto family = evaluateFamily(store_, ResourceFilter::byType("grid/machine"));
+  EXPECT_EQ(family.size(), 2u);
+  // Machine-level family alone matches only the 2 total-time results.
+  EXPECT_EQ(familyMatchCount(store_, family), 2u);
+}
+
+TEST_F(FilterTest, ByFullNameExact) {
+  const auto family = evaluateFamily(
+      store_, ResourceFilter::byName("/GFrost/Frost/batch/n0/p0", Expansion::None));
+  EXPECT_EQ(family.size(), 1u);
+}
+
+TEST_F(FilterTest, ByBaseNameMatchesAcrossMachines) {
+  // "batch" refers to the batch partition of any machine (paper §2.1).
+  const auto family =
+      evaluateFamily(store_, ResourceFilter::byName("batch", Expansion::None));
+  EXPECT_EQ(family.size(), 2u);
+}
+
+TEST_F(FilterTest, ByPartialPathRestrictsParent) {
+  // "Frost/batch": only resources whose names end with Frost/batch (Fig 3).
+  const auto family =
+      evaluateFamily(store_, ResourceFilter::byName("Frost/batch", Expansion::None));
+  ASSERT_EQ(family.size(), 1u);
+  EXPECT_EQ(store_.resourceInfo(family[0]).full_name, "/GFrost/Frost/batch");
+}
+
+TEST_F(FilterTest, DescendantExpansionPullsSubtree) {
+  // Choosing "Frost" with the default D flag also selects partitions,
+  // nodes, and processors (paper §3.2).
+  const auto family =
+      evaluateFamily(store_, ResourceFilter::byName("Frost", Expansion::Descendants));
+  // Frost + batch + 2 nodes + 4 processors = 8.
+  EXPECT_EQ(family.size(), 8u);
+}
+
+TEST_F(FilterTest, AncestorExpansion) {
+  const auto family = evaluateFamily(
+      store_, ResourceFilter::byName("/GFrost/Frost/batch/n0/p0", Expansion::Ancestors));
+  EXPECT_EQ(family.size(), 5u);  // self + 4 ancestors
+}
+
+TEST_F(FilterTest, BothExpansion) {
+  const auto family = evaluateFamily(
+      store_, ResourceFilter::byName("/GFrost/Frost/batch", Expansion::Both));
+  EXPECT_EQ(family.size(), 9u);  // self + 2 up + 6 down
+}
+
+TEST_F(FilterTest, NoExpansionByDefaultForType) {
+  const auto family = evaluateFamily(store_, ResourceFilter::byType("grid/machine"));
+  EXPECT_EQ(family.size(), 2u);
+}
+
+TEST_F(FilterTest, AttributeEquality) {
+  const auto family = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"os", "=", "AIX"}}));
+  ASSERT_EQ(family.size(), 1u);
+  EXPECT_EQ(store_.resourceInfo(family[0]).full_name, "/GFrost/Frost");
+}
+
+TEST_F(FilterTest, AttributeNumericComparison) {
+  const auto family = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"nodes", ">", "200"}}));
+  ASSERT_EQ(family.size(), 1u);
+  EXPECT_EQ(store_.resourceInfo(family[0]).full_name, "/GMCR/MCR");
+}
+
+TEST_F(FilterTest, AttributeConjunction) {
+  const auto both = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"os", "=", "AIX"}, {"nodes", "<", "200"}}));
+  EXPECT_EQ(both.size(), 1u);
+  const auto none = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"os", "=", "AIX"}, {"nodes", ">", "200"}}));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(FilterTest, AttributeContains) {
+  const auto family = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"os", "contains", "inu"}}));
+  ASSERT_EQ(family.size(), 1u);
+  EXPECT_EQ(store_.resourceInfo(family[0]).full_name, "/GMCR/MCR");
+}
+
+TEST_F(FilterTest, AttributeFilterRequiresPredicates) {
+  EXPECT_THROW(evaluateFamily(store_, ResourceFilter::byAttributes({})),
+               util::ModelError);
+}
+
+TEST_F(FilterTest, UnknownComparatorThrows) {
+  EXPECT_THROW(evaluateFamily(store_, ResourceFilter::byAttributes(
+                                          {{"os", "~~", "AIX"}})),
+               util::ModelError);
+}
+
+TEST_F(FilterTest, PrFilterIntersectsFamilies) {
+  // Family 1: anything under Frost. Family 2: process resources.
+  PrFilter filter;
+  filter.families.push_back(ResourceFilter::byName("Frost", Expansion::Descendants));
+  filter.families.push_back(ResourceFilter::byType("execution/process"));
+  const auto results = queryResults(store_, filter);
+  // The 4 per-processor frost results have both a Frost descendant and a
+  // process in context; the machine-level result has no process resource.
+  EXPECT_EQ(results.size(), 4u);
+}
+
+TEST_F(FilterTest, PrFilterEmptyMatchesEverything) {
+  EXPECT_EQ(queryResults(store_, PrFilter{}).size(), 8u);
+}
+
+TEST_F(FilterTest, PrFilterWithEmptyFamilyMatchesNothing) {
+  PrFilter filter;
+  filter.families.push_back(ResourceFilter::byName("/no/such/resource", Expansion::None));
+  EXPECT_TRUE(queryResults(store_, filter).empty());
+}
+
+TEST_F(FilterTest, MatchSemanticsRequireEveryFamily) {
+  // Frost-machine family AND MCR-machine family: no context contains both.
+  PrFilter filter;
+  filter.families.push_back(ResourceFilter::byName("Frost", Expansion::None));
+  filter.families.push_back(ResourceFilter::byName("MCR", Expansion::None));
+  EXPECT_TRUE(queryResults(store_, filter).empty());
+}
+
+TEST_F(FilterTest, DescribeRendersReadably) {
+  EXPECT_EQ(ResourceFilter::byType("grid/machine").describe(), "type=grid/machine (N)");
+  EXPECT_EQ(ResourceFilter::byName("Frost").describe(), "name=Frost (D)");
+  const auto f = ResourceFilter::byAttributes({{"os", "=", "AIX"}}, "grid/machine");
+  EXPECT_EQ(f.describe(), "attrs[os=AIX] type=grid/machine (N)");
+}
+
+TEST_F(FilterTest, AttributeFilterRestrictedByType) {
+  // Attach the same attribute name to a non-machine resource.
+  store_.addResource("/osAIX", "operatingSystem");
+  store_.addResourceAttribute("/osAIX", "os", "AIX");
+  const auto unrestricted = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"os", "=", "AIX"}}));
+  EXPECT_EQ(unrestricted.size(), 2u);
+  const auto restricted = evaluateFamily(
+      store_, ResourceFilter::byAttributes({{"os", "=", "AIX"}}, "grid/machine"));
+  ASSERT_EQ(restricted.size(), 1u);
+  EXPECT_EQ(store_.resourceInfo(restricted[0]).full_name, "/GFrost/Frost");
+}
+
+}  // namespace
+}  // namespace perftrack::core

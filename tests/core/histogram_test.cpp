@@ -1,0 +1,128 @@
+// Tests for complex (histogram) performance results — the §6 extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/datastore.h"
+#include "ptdf/export.h"
+#include "ptdf/ptdf.h"
+#include "util/error.h"
+
+namespace perftrack::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  HistogramTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    store_.addExecution("run", "app");
+    store_.addResource("/run", "execution");
+    store_.addResource("/app-code/m.c/fn", "build/module/function");
+  }
+
+  std::int64_t addHistogram(const std::vector<double>& bins, double width = 0.2) {
+    return store_.addHistogramResult(
+        "run", {{{"/run", "/app-code/m.c/fn"}, FocusType::Primary}}, "Paradyn", "cpu",
+        bins, width, "seconds");
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+TEST_F(HistogramTest, StoresAndRetrievesBins) {
+  const auto id = addHistogram({1.0, 2.0, 3.0});
+  const auto hist = store_.getHistogram(id);
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->num_bins, 3);
+  EXPECT_DOUBLE_EQ(hist->bin_width, 0.2);
+  ASSERT_EQ(hist->bins.size(), 3u);
+  EXPECT_EQ(hist->bins[0], (std::pair{0, 1.0}));
+  EXPECT_EQ(hist->bins[2], (std::pair{2, 3.0}));
+}
+
+TEST_F(HistogramTest, ScalarValueIsSumOverBins) {
+  const auto id = addHistogram({1.0, kNaN, 3.0});
+  EXPECT_DOUBLE_EQ(store_.getResult(id).value, 4.0);
+  // Result time span covers the whole series.
+  EXPECT_DOUBLE_EQ(store_.getResult(id).end_time, 3 * 0.2);
+}
+
+TEST_F(HistogramTest, NanBinsAreNotStored) {
+  const auto id = addHistogram({kNaN, kNaN, 5.0, kNaN});
+  const auto hist = store_.getHistogram(id);
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->num_bins, 4);  // geometry remembers the full length
+  ASSERT_EQ(hist->bins.size(), 1u);
+  EXPECT_EQ(hist->bins[0].first, 2);
+}
+
+TEST_F(HistogramTest, ScalarResultHasNoHistogram) {
+  const auto id = store_.addPerformanceResult(
+      "run", {{{"/run"}, FocusType::Primary}}, "t", "m", 1.0);
+  EXPECT_FALSE(store_.getHistogram(id).has_value());
+}
+
+TEST_F(HistogramTest, AllNanRejected) {
+  EXPECT_THROW(addHistogram({kNaN, kNaN}), util::ModelError);
+}
+
+TEST_F(HistogramTest, NonPositiveBinWidthRejected) {
+  EXPECT_THROW(addHistogram({1.0}, 0.0), util::ModelError);
+  EXPECT_THROW(addHistogram({1.0}, -1.0), util::ModelError);
+}
+
+TEST_F(HistogramTest, HistogramResultsAreQueryable) {
+  // A complex result is still a performance result: pr-filters see it.
+  addHistogram({1.0, 2.0});
+  const auto ids = store_.resultsForExecution("run");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(store_.getResult(ids[0]).tool, "Paradyn");
+}
+
+TEST_F(HistogramTest, PtdfRoundTripPreservesHistogram) {
+  addHistogram({1.5, kNaN, 2.5}, 0.5);
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  ptdf::exportStore(store_, writer);
+  EXPECT_NE(out.str().find("PerfHistogram"), std::string::npos);
+  EXPECT_NE(out.str().find("1.5,nan,2.5"), std::string::npos);
+
+  auto conn2 = dbal::Connection::open(":memory:");
+  PTDataStore copy(*conn2);
+  copy.initialize();
+  std::istringstream in(out.str());
+  const auto stats = ptdf::load(copy, in);
+  EXPECT_EQ(stats.histograms, 1u);
+  const auto ids = copy.resultsForExecution("run");
+  ASSERT_EQ(ids.size(), 1u);
+  const auto hist = copy.getHistogram(ids[0]);
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->num_bins, 3);
+  EXPECT_DOUBLE_EQ(hist->bin_width, 0.5);
+  ASSERT_EQ(hist->bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist->bins[1].second, 2.5);
+}
+
+TEST_F(HistogramTest, LoaderRejectsMalformedHistogramRecords) {
+  auto tryLoad = [&](const std::string& line) {
+    auto conn2 = dbal::Connection::open(":memory:");
+    PTDataStore fresh(*conn2);
+    fresh.initialize();
+    std::istringstream in("Application a\nExecution e a\nResource /e execution\n" +
+                          line + "\n");
+    ptdf::load(fresh, in);
+  };
+  EXPECT_THROW(tryLoad("PerfHistogram e /e(primary) t m 0 s 1,2"), util::ParseError);
+  EXPECT_THROW(tryLoad("PerfHistogram e /e(primary) t m 0.5 s 1,bogus"),
+               util::ParseError);
+  EXPECT_THROW(tryLoad("PerfHistogram e /e(primary) t m 0.5 s"), util::ParseError);
+  EXPECT_NO_THROW(tryLoad("PerfHistogram e /e(primary) t m 0.5 s 1,nan,2"));
+}
+
+}  // namespace
+}  // namespace perftrack::core

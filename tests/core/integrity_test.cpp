@@ -1,0 +1,124 @@
+#include "core/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "ptdf/ptdf.h"
+#include "sim/irs_gen.h"
+#include "tools/irs_parser.h"
+#include "util/tempdir.h"
+
+namespace perftrack::core {
+namespace {
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  IntegrityTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+  }
+
+  void loadIrsRun() {
+    util::TempDir workspace("integrity");
+    const auto dir = workspace.file("run");
+    sim::generateIrsRun({sim::frostConfig(), 4, "MPI", 8, ""}, dir);
+    std::ostringstream out;
+    ptdf::Writer writer(out);
+    tools::convertIrsRun(dir, sim::frostConfig(), writer);
+    std::istringstream in(out.str());
+    ptdf::load(store_, in);
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+TEST_F(IntegrityTest, FreshStoreIsConsistent) {
+  EXPECT_TRUE(verifyStore(store_).empty());
+}
+
+TEST_F(IntegrityTest, LoadedStoreIsConsistent) {
+  loadIrsRun();
+  const auto problems = verifyStore(store_);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST_F(IntegrityTest, ConsistentAfterDeleteAndVacuum) {
+  loadIrsRun();
+  store_.deleteExecution(store_.executions().at(0));
+  conn_->database().vacuum();
+  store_.clearCache();
+  const auto problems = verifyStore(store_);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST_F(IntegrityTest, DetectsDanglingFocusMember) {
+  loadIrsRun();
+  conn_->exec("INSERT INTO focus_has_resource (focus_id, resource_id, focus_type) "
+              "VALUES (1, 999999, 'primary')");
+  const auto problems = verifyStore(store_);
+  ASSERT_FALSE(problems.empty());
+  bool mentioned = false;
+  for (const auto& p : problems) {
+    if (p.find("missing resources") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(IntegrityTest, DetectsCorruptClosureTable) {
+  loadIrsRun();
+  conn_->exec("DELETE FROM resource_has_ancestor WHERE resource_id IN "
+              "(SELECT MAX(id) FROM resource_item)");
+  const auto problems = verifyStore(store_);
+  bool mentioned = false;
+  for (const auto& p : problems) {
+    if (p.find("resource_has_ancestor") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(IntegrityTest, DetectsOrphanedResult) {
+  loadIrsRun();
+  conn_->exec("DELETE FROM performance_result_has_focus WHERE result_id IN "
+              "(SELECT MIN(id) FROM performance_result)");
+  const auto problems = verifyStore(store_);
+  bool mentioned = false;
+  for (const auto& p : problems) {
+    if (p.find("no context") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(IntegrityTest, DetectsBrokenParentLink) {
+  store_.addResource("/a/b", "grid/machine");
+  conn_->exec("UPDATE resource_item SET parent_id = 424242 WHERE full_name = '/a/b'");
+  const auto problems = verifyStore(store_);
+  bool mentioned = false;
+  for (const auto& p : problems) {
+    if (p.find("dangling parent_id") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(IntegrityTest, MinidbLayerDetectsIndexDamage) {
+  loadIrsRun();
+  minidb::Database& db = conn_->database();
+  ASSERT_TRUE(db.verifyIntegrity().empty());
+  // Surgically remove one index entry behind the database's back.
+  const minidb::IndexDef* index = db.catalog().findIndex("ri_by_full_name");
+  ASSERT_NE(index, nullptr);
+  minidb::BTree tree(db.pager(), index->root);
+  ASSERT_FALSE(tree.begin().done());
+  tree.erase(tree.begin().key());
+  const auto problems = db.verifyIntegrity();
+  ASSERT_FALSE(problems.empty());
+  bool mentioned = false;
+  for (const auto& p : problems) {
+    if (p.find("ri_by_full_name") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+}  // namespace
+}  // namespace perftrack::core

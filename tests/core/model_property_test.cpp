@@ -1,0 +1,208 @@
+// Property-based tests of the core model: for randomized resource forests
+// and result populations, the closure tables, filter expansions, and
+// pr-filter semantics must agree with brute-force reference computations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "core/filter.h"
+#include "util/rng.h"
+
+namespace perftrack::core {
+namespace {
+
+struct Forest {
+  std::unique_ptr<dbal::Connection> conn;
+  std::unique_ptr<PTDataStore> store;
+  std::vector<std::string> resource_names;  // all created full names
+  std::vector<std::string> executions;
+};
+
+/// Builds a random grid forest plus random per-execution results whose
+/// contexts pick random resources.
+Forest makeForest(std::uint64_t seed) {
+  Forest forest;
+  forest.conn = dbal::Connection::open(":memory:");
+  forest.store = std::make_unique<PTDataStore>(*forest.conn);
+  forest.store->initialize();
+  util::Rng rng(seed);
+
+  const int grids = 2;
+  for (int g = 0; g < grids; ++g) {
+    const std::string grid = "/grid" + std::to_string(g);
+    const int machines = static_cast<int>(rng.uniformInt(1, 3));
+    for (int m = 0; m < machines; ++m) {
+      const std::string machine = grid + "/mach" + std::to_string(m);
+      const int nodes = static_cast<int>(rng.uniformInt(1, 4));
+      for (int n = 0; n < nodes; ++n) {
+        const std::string node = machine + "/batch/node" + std::to_string(n);
+        const int procs = static_cast<int>(rng.uniformInt(1, 3));
+        for (int p = 0; p < procs; ++p) {
+          const std::string proc = node + "/p" + std::to_string(p);
+          forest.store->addResource(proc, "grid/machine/partition/node/processor");
+          forest.resource_names.push_back(proc);
+        }
+        forest.resource_names.push_back(node);
+      }
+      forest.resource_names.push_back(machine);
+      forest.resource_names.push_back(grid + "/mach" + std::to_string(m) + "/batch");
+    }
+    forest.resource_names.push_back(grid);
+  }
+
+  const int execs = 3;
+  for (int e = 0; e < execs; ++e) {
+    const std::string exec = "exec" + std::to_string(e);
+    forest.store->addExecution(exec, "app");
+    forest.executions.push_back(exec);
+    const int results = static_cast<int>(rng.uniformInt(5, 25));
+    for (int r = 0; r < results; ++r) {
+      // Context: 1-3 random resources.
+      std::set<std::string> context;
+      const int size = static_cast<int>(rng.uniformInt(1, 3));
+      for (int c = 0; c < size; ++c) {
+        context.insert(forest.resource_names[rng.uniformInt(
+            0, static_cast<std::int64_t>(forest.resource_names.size()) - 1)]);
+      }
+      ResourceSetSpec spec;
+      spec.resource_names.assign(context.begin(), context.end());
+      forest.store->addPerformanceResult(exec, {spec}, "tool",
+                                         "metric" + std::to_string(r % 4),
+                                         rng.uniform(0.0, 10.0));
+    }
+  }
+  return forest;
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperty, ClosureTablesMatchBruteForceTraversal) {
+  Forest forest = makeForest(GetParam());
+  PTDataStore& store = *forest.store;
+  for (const std::string& name : forest.resource_names) {
+    const ResourceId id = store.findResource(name).value();
+    // Brute-force descendants via childrenOf recursion.
+    std::set<ResourceId> expected;
+    std::function<void(ResourceId)> walk = [&](ResourceId rid) {
+      for (const ResourceInfo& child : store.childrenOf(rid)) {
+        expected.insert(child.id);
+        walk(child.id);
+      }
+    };
+    walk(id);
+    auto actual = store.descendantsOf(id);
+    std::set<ResourceId> actual_set(actual.begin(), actual.end());
+    EXPECT_EQ(actual_set, expected) << name;
+    // Ancestors: count equals path depth - 1.
+    const auto depth = std::count(name.begin(), name.end(), '/');
+    EXPECT_EQ(store.ancestorsOf(id).size(), static_cast<std::size_t>(depth - 1))
+        << name;
+  }
+}
+
+TEST_P(ModelProperty, ExpansionFlagsComposeCorrectly) {
+  Forest forest = makeForest(GetParam());
+  PTDataStore& store = *forest.store;
+  const std::string& name = forest.resource_names.front();
+  const ResourceId id = store.findResource(name).value();
+
+  const auto none = evaluateFamily(store, ResourceFilter::byName(name, Expansion::None));
+  const auto desc =
+      evaluateFamily(store, ResourceFilter::byName(name, Expansion::Descendants));
+  const auto anc =
+      evaluateFamily(store, ResourceFilter::byName(name, Expansion::Ancestors));
+  const auto both = evaluateFamily(store, ResourceFilter::byName(name, Expansion::Both));
+
+  EXPECT_EQ(none, std::vector<ResourceId>{id});
+  // D = self + descendants; A = self + ancestors; B = union of A and D.
+  EXPECT_EQ(desc.size(), 1 + store.descendantsOf(id).size());
+  EXPECT_EQ(anc.size(), 1 + store.ancestorsOf(id).size());
+  std::set<ResourceId> union_ad(desc.begin(), desc.end());
+  union_ad.insert(anc.begin(), anc.end());
+  EXPECT_EQ(both.size(), union_ad.size());
+  // Every family is sorted and duplicate-free.
+  for (const auto& family : {none, desc, anc, both}) {
+    EXPECT_TRUE(std::is_sorted(family.begin(), family.end()));
+    EXPECT_EQ(std::adjacent_find(family.begin(), family.end()), family.end());
+  }
+}
+
+TEST_P(ModelProperty, MatchedResultsSatisfyFilterSemantics) {
+  Forest forest = makeForest(GetParam());
+  PTDataStore& store = *forest.store;
+  // Two-family filter: a random machine's subtree and a random processor.
+  util::Rng rng(GetParam() * 31 + 7);
+  const std::string& any = forest.resource_names[rng.uniformInt(
+      0, static_cast<std::int64_t>(forest.resource_names.size()) - 1)];
+  PrFilter filter;
+  filter.families.push_back(ResourceFilter::byName(any, Expansion::Descendants));
+
+  std::vector<std::vector<ResourceId>> families;
+  families.push_back(evaluateFamily(store, filter.families[0]));
+  const auto matched = queryResults(store, filter);
+
+  // Verify against the definition: result matches iff SOME context has a
+  // resource in EVERY family.
+  std::set<std::int64_t> expected;
+  for (const std::string& exec : forest.executions) {
+    for (std::int64_t id : store.resultsForExecution(exec)) {
+      const PerfResultRecord rec = store.getResult(id);
+      for (const auto& context : rec.contexts) {
+        bool all_families = true;
+        for (const auto& family : families) {
+          bool any_hit = false;
+          for (ResourceId rid : context) {
+            if (std::binary_search(family.begin(), family.end(), rid)) {
+              any_hit = true;
+              break;
+            }
+          }
+          if (!any_hit) {
+            all_families = false;
+            break;
+          }
+        }
+        if (all_families) {
+          expected.insert(id);
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(std::set<std::int64_t>(matched.begin(), matched.end()), expected);
+}
+
+TEST_P(ModelProperty, AddingFamiliesNeverWidensResults) {
+  Forest forest = makeForest(GetParam());
+  PTDataStore& store = *forest.store;
+  PrFilter narrow;
+  narrow.families.push_back(ResourceFilter::byType("grid/machine", Expansion::Descendants));
+  const auto one = queryResults(store, narrow);
+  narrow.families.push_back(
+      ResourceFilter::byType("grid/machine/partition/node/processor", Expansion::None));
+  const auto two = queryResults(store, narrow);
+  EXPECT_LE(two.size(), one.size());
+  // Every result matched by the tighter filter is matched by the looser one.
+  for (std::int64_t id : two) {
+    EXPECT_TRUE(std::binary_search(one.begin(), one.end(), id));
+  }
+}
+
+TEST_P(ModelProperty, StatsAgreeWithEnumeration) {
+  Forest forest = makeForest(GetParam());
+  PTDataStore& store = *forest.store;
+  std::size_t total = 0;
+  for (const std::string& exec : forest.executions) {
+    total += store.resultsForExecution(exec).size();
+  }
+  EXPECT_EQ(static_cast<std::size_t>(store.stats().performance_results), total);
+  EXPECT_EQ(store.executions().size(), forest.executions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Values(3u, 17u, 256u, 4096u));
+
+}  // namespace
+}  // namespace perftrack::core

@@ -1,0 +1,178 @@
+#include "core/query_session.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace perftrack::core {
+namespace {
+
+class QuerySessionTest : public ::testing::Test {
+ protected:
+  QuerySessionTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    // IRS runs on Frost at 2 process counts; per-function results.
+    for (const char* p : {"/GF/Frost/batch/n0/p0", "/GF/Frost/batch/n0/p1"}) {
+      store_.addResource(p, "grid/machine/partition/node/processor");
+    }
+    store_.addResourceAttribute("/GF/Frost", "os", "AIX");
+    for (const char* exec : {"irs-np2", "irs-np4"}) {
+      store_.addExecution(exec, "IRS");
+      const std::string root = std::string("/") + exec;
+      store_.addResource(root + "/p0", "execution/process");
+      store_.addResource("/IRS-build/irs.c/solve", "build/module/function");
+      store_.addResource("/IRS-build/irs.c/setup", "build/module/function");
+      for (const char* fn : {"solve", "setup"}) {
+        store_.addPerformanceResult(
+            exec,
+            {{{"/IRS-build/irs.c/" + std::string(fn), root + "/p0",
+               "/GF/Frost/batch/n0/p0"},
+              FocusType::Primary}},
+            "IRS-benchmark", std::string(fn) + " time",
+            exec == std::string("irs-np2") ? 10.0 : 6.0, "seconds");
+      }
+    }
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+TEST_F(QuerySessionTest, BrowseTypesAndResources) {
+  QuerySession session(store_);
+  const auto types = session.resourceTypes();
+  EXPECT_FALSE(types.empty());
+  const auto tops = session.topLevelResources("grid");
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_EQ(tops[0].full_name, "/GF");
+  const auto children = session.childrenOf(tops[0].id);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0].name, "Frost");
+}
+
+TEST_F(QuerySessionTest, AttributeNamesForType) {
+  QuerySession session(store_);
+  const auto names = session.attributeNamesForType("grid/machine");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "os");
+  EXPECT_TRUE(session.attributeNamesForType("time").empty());
+}
+
+TEST_F(QuerySessionTest, LiveMatchCounts) {
+  QuerySession session(store_);
+  const auto fam = session.addFamily(ResourceFilter::byName("Frost", Expansion::Descendants));
+  EXPECT_EQ(session.familyMatchCount(fam), 4u);
+  const auto fam2 =
+      session.addFamily(ResourceFilter::byName("/IRS-build/irs.c/solve", Expansion::None));
+  EXPECT_EQ(session.familyMatchCount(fam2), 2u);
+  EXPECT_EQ(session.totalMatchCount(), 2u);  // intersection
+}
+
+TEST_F(QuerySessionTest, ChangingExpansionChangesCounts) {
+  QuerySession session(store_);
+  const auto fam = session.addFamily(ResourceFilter::byName("Frost", Expansion::None));
+  EXPECT_EQ(session.familyMatchCount(fam), 0u);  // no machine-level results here
+  session.setExpansion(fam, Expansion::Descendants);
+  EXPECT_EQ(session.familyMatchCount(fam), 4u);
+}
+
+TEST_F(QuerySessionTest, RemoveFamilyWidensQuery) {
+  QuerySession session(store_);
+  session.addFamily(ResourceFilter::byName("Frost", Expansion::Descendants));
+  session.addFamily(ResourceFilter::byName("/IRS-build/irs.c/solve", Expansion::None));
+  EXPECT_EQ(session.totalMatchCount(), 2u);
+  session.removeFamily(1);
+  EXPECT_EQ(session.totalMatchCount(), 4u);
+  EXPECT_THROW(session.removeFamily(5), util::ModelError);
+}
+
+TEST_F(QuerySessionTest, RunReturnsRowsWithContext) {
+  QuerySession session(store_);
+  session.addFamily(ResourceFilter::byName("/IRS-build/irs.c/solve", Expansion::None));
+  ResultTable table = session.run();
+  ASSERT_EQ(table.size(), 2u);
+  for (const ResultRow& row : table.rows()) {
+    EXPECT_EQ(row.metric, "solve time");
+    EXPECT_EQ(row.tool, "IRS-benchmark");
+    EXPECT_EQ(row.context_resources.size(), 3u);
+  }
+}
+
+TEST_F(QuerySessionTest, FreeResourceTypesExcludeConstantColumns) {
+  QuerySession session(store_);
+  session.addFamily(ResourceFilter::byName("/IRS-build/irs.c/solve", Expansion::None));
+  ResultTable table = session.run();
+  const auto free = table.freeResourceTypes();
+  // The per-execution process resources differ (/irs-np2/p0 vs /irs-np4/p0),
+  // so execution/process is a free resource; the function and the processor
+  // are identical on every row and therefore hidden (paper §3.2: types whose
+  // names are identical for all listed results are not offered).
+  EXPECT_NE(std::find(free.begin(), free.end(), "execution/process"), free.end());
+  EXPECT_EQ(std::find(free.begin(), free.end(),
+                      "grid/machine/partition/node/processor"),
+            free.end());
+  EXPECT_EQ(std::find(free.begin(), free.end(), "build/module/function"), free.end());
+}
+
+TEST_F(QuerySessionTest, AddColumnFillsValues) {
+  QuerySession session(store_);
+  session.addFamily(ResourceFilter::byName("/IRS-build/irs.c/solve", Expansion::None));
+  ResultTable table = session.run();
+  table.addColumn("execution/process");
+  ASSERT_EQ(table.extraColumns().size(), 1u);
+  std::set<std::string> values;
+  for (const ResultRow& row : table.rows()) {
+    values.insert(row.extra_columns.at("execution/process"));
+  }
+  EXPECT_EQ(values, (std::set<std::string>{"irs-np2/p0", "irs-np4/p0"}));
+  // Re-adding the same column is a no-op.
+  table.addColumn("execution/process");
+  EXPECT_EQ(table.extraColumns().size(), 1u);
+}
+
+TEST_F(QuerySessionTest, SortAndFilterRows) {
+  QuerySession session(store_);
+  ResultTable table = session.run();  // all 4 results
+  table.sortBy("value", /*descending=*/true);
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_DOUBLE_EQ(table.rows()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(table.rows()[3].value, 6.0);
+  table.filterRows("value", ">", "8");
+  EXPECT_EQ(table.size(), 2u);
+  table.filterRows("metric", "contains", "solve");
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST_F(QuerySessionTest, CsvExportRoundTrips) {
+  QuerySession session(store_);
+  session.addFamily(ResourceFilter::byName("/IRS-build/irs.c/solve", Expansion::None));
+  ResultTable table = session.run();
+  table.addColumn("execution/process");
+  std::ostringstream out;
+  table.toCsv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("execution,metric,tool,value,units,execution/process"),
+            std::string::npos);
+  EXPECT_NE(csv.find("solve time"), std::string::npos);
+  EXPECT_NE(csv.find("irs-np4/p0"), std::string::npos);
+}
+
+TEST_F(QuerySessionTest, TextRenderingContainsData) {
+  QuerySession session(store_);
+  ResultTable table = session.run();
+  const std::string text = table.toText();
+  EXPECT_NE(text.find("metric"), std::string::npos);
+  EXPECT_NE(text.find("IRS-benchmark"), std::string::npos);
+}
+
+TEST_F(QuerySessionTest, UnknownColumnThrows) {
+  QuerySession session(store_);
+  ResultTable table = session.run();
+  EXPECT_THROW(table.sortBy("bogus"), util::ModelError);
+  EXPECT_THROW(table.filterRows("bogus", "=", "1"), util::ModelError);
+}
+
+}  // namespace
+}  // namespace perftrack::core

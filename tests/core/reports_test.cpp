@@ -1,0 +1,58 @@
+#include "core/reports.h"
+
+#include <gtest/gtest.h>
+
+namespace perftrack::core {
+namespace {
+
+class ReportsTest : public ::testing::Test {
+ protected:
+  ReportsTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    store_.addExecution("run-1", "IRS");
+    store_.addResource("/G/Frost/batch/n0/p0", "grid/machine/partition/node/processor");
+    store_.addPerformanceResult("run-1", {{{"/G/Frost/batch/n0/p0"}, FocusType::Primary}},
+                                "tool", "cpu time", 5.0, "seconds");
+    store_.addPerformanceResult("run-1", {{{"/G/Frost/batch/n0/p0"}, FocusType::Primary}},
+                                "tool", "flops", 1e9, "ops");
+  }
+
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+TEST_F(ReportsTest, ExecutionReportListsRunsAndCounts) {
+  const std::string report = executionReport(store_);
+  EXPECT_NE(report.find("run-1"), std::string::npos);
+  EXPECT_NE(report.find("app=IRS"), std::string::npos);
+  EXPECT_NE(report.find("results=2"), std::string::npos);
+}
+
+TEST_F(ReportsTest, StoreReportShowsCounts) {
+  const std::string report = storeReport(store_);
+  EXPECT_NE(report.find("performance results: 2"), std::string::npos);
+  EXPECT_NE(report.find("executions:          1"), std::string::npos);
+}
+
+TEST_F(ReportsTest, ResourceTreeShowsHierarchy) {
+  const std::string report = resourceTreeReport(store_, "grid");
+  EXPECT_NE(report.find("G [grid]"), std::string::npos);
+  EXPECT_NE(report.find("Frost [grid/machine]"), std::string::npos);
+  EXPECT_NE(report.find("p0 [grid/machine/partition/node/processor]"), std::string::npos);
+}
+
+TEST_F(ReportsTest, ResourceTreeRespectsDepthLimit) {
+  const std::string report = resourceTreeReport(store_, "grid", /*max_depth=*/2);
+  EXPECT_NE(report.find("Frost"), std::string::npos);
+  EXPECT_EQ(report.find("batch"), std::string::npos);
+}
+
+TEST_F(ReportsTest, MetricReportListsUsage) {
+  const std::string report = metricReport(store_);
+  EXPECT_NE(report.find("cpu time (seconds)"), std::string::npos);
+  EXPECT_NE(report.find("flops (ops)"), std::string::npos);
+  EXPECT_NE(report.find("results=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::core

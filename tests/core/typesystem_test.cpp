@@ -1,0 +1,69 @@
+#include "core/typesystem.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::core {
+namespace {
+
+TEST(TypeSystem, BaseHierarchiesMatchFigureTwo) {
+  const auto& h = baseHierarchicalTypes();
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], "build/module/function/codeBlock");
+  EXPECT_EQ(h[1], "grid/machine/partition/node/processor");
+  EXPECT_EQ(h[2], "environment/module/function/codeBlock");
+  EXPECT_EQ(h[3], "execution/process/thread");
+  EXPECT_EQ(h[4], "time/interval");
+}
+
+TEST(TypeSystem, BaseSingleLevelTypesMatchFigureTwo) {
+  const auto& s = baseSingleLevelTypes();
+  ASSERT_EQ(s.size(), 8u);
+  for (const char* expected : {"application", "compiler", "preprocessor", "inputDeck",
+                               "submission", "operatingSystem", "metric",
+                               "performanceTool"}) {
+    EXPECT_NE(std::find(s.begin(), s.end(), expected), s.end()) << expected;
+  }
+}
+
+TEST(TypeSystem, SplitTypePath) {
+  const auto segs = splitTypePath("grid/machine/partition");
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], "grid");
+  EXPECT_EQ(segs[2], "partition");
+  EXPECT_EQ(splitTypePath("application").size(), 1u);
+}
+
+TEST(TypeSystem, SplitTypePathRejectsMalformed) {
+  EXPECT_THROW(splitTypePath(""), util::ModelError);
+  EXPECT_THROW(splitTypePath("a//b"), util::ModelError);
+  EXPECT_THROW(splitTypePath("a/"), util::ModelError);
+}
+
+TEST(TypeSystem, SplitResourceName) {
+  const auto segs = splitResourceName("/SingleMachineFrost/Frost/batch/frost121/p0");
+  ASSERT_EQ(segs.size(), 5u);
+  EXPECT_EQ(segs[0], "SingleMachineFrost");
+  EXPECT_EQ(segs[4], "p0");
+}
+
+TEST(TypeSystem, SplitResourceNameRejectsMalformed) {
+  EXPECT_THROW(splitResourceName("noleadingslash"), util::ModelError);
+  EXPECT_THROW(splitResourceName("/"), util::ModelError);
+  EXPECT_THROW(splitResourceName("/a//b"), util::ModelError);
+  EXPECT_THROW(splitResourceName(""), util::ModelError);
+}
+
+TEST(TypeSystem, JoinRoundTrips) {
+  const std::string name = "/Frost/batch/n1";
+  EXPECT_EQ(joinResourceName(splitResourceName(name)), name);
+}
+
+TEST(TypeSystem, TypeBaseName) {
+  EXPECT_EQ(typeBaseName("grid/machine/partition"), "partition");
+  EXPECT_EQ(typeBaseName("application"), "application");
+}
+
+}  // namespace
+}  // namespace perftrack::core

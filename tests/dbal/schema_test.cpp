@@ -1,0 +1,79 @@
+#include "dbal/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "dbal/connection.h"
+#include "util/tempdir.h"
+
+namespace perftrack::dbal {
+namespace {
+
+TEST(Schema, CreateIsIdempotent) {
+  auto conn = Connection::open(":memory:");
+  createPerfTrackSchema(*conn);
+  EXPECT_TRUE(hasPerfTrackSchema(*conn));
+  EXPECT_NO_THROW(createPerfTrackSchema(*conn));  // second run is a no-op
+  EXPECT_TRUE(hasPerfTrackSchema(*conn));
+}
+
+TEST(Schema, FreshConnectionHasNoSchema) {
+  auto conn = Connection::open(":memory:");
+  EXPECT_FALSE(hasPerfTrackSchema(*conn));
+}
+
+TEST(Schema, AllFigureOneTablesExist) {
+  auto conn = Connection::open(":memory:");
+  createPerfTrackSchema(*conn);
+  for (const char* table :
+       {"focus_framework", "resource_item", "resource_attribute", "resource_constraint",
+        "resource_has_ancestor", "resource_has_descendant", "application", "execution",
+        "performance_tool", "metric", "focus", "focus_has_resource", "performance_result",
+        "performance_result_has_focus"}) {
+    EXPECT_NE(conn->database().catalog().findTable(table), nullptr) << table;
+  }
+}
+
+TEST(Schema, UniqueFullNameEnforced) {
+  auto conn = Connection::open(":memory:");
+  createPerfTrackSchema(*conn);
+  conn->exec("INSERT INTO resource_item (name, full_name, parent_id, focus_framework_id)"
+             " VALUES ('x', '/x', NULL, 1)");
+  EXPECT_ANY_THROW(
+      conn->exec("INSERT INTO resource_item (name, full_name, parent_id, "
+                 "focus_framework_id) VALUES ('x', '/x', NULL, 1)"));
+}
+
+TEST(Schema, DropRemovesEverything) {
+  auto conn = Connection::open(":memory:");
+  createPerfTrackSchema(*conn);
+  dropPerfTrackSchema(*conn);
+  EXPECT_FALSE(hasPerfTrackSchema(*conn));
+  EXPECT_EQ(conn->database().catalog().findTable("resource_item"), nullptr);
+}
+
+TEST(Schema, SchemaSurvivesReopen) {
+  util::TempDir dir;
+  const std::string path = dir.file("schema.db").string();
+  {
+    auto conn = Connection::open(path);
+    createPerfTrackSchema(*conn);
+    conn->exec("INSERT INTO application (name) VALUES ('IRS')");
+    // The file backend flushes on close; no explicit transaction needed.
+  }
+  auto conn = Connection::open(path);
+  EXPECT_TRUE(hasPerfTrackSchema(*conn));
+  EXPECT_EQ(conn->queryInt("SELECT COUNT(*) FROM application"), 1);
+}
+
+TEST(Connection, QueryHelpers) {
+  auto conn = Connection::open(":memory:");
+  conn->exec("CREATE TABLE t (a INTEGER, b TEXT)");
+  conn->exec("INSERT INTO t VALUES (7, 'x')");
+  EXPECT_EQ(conn->queryInt("SELECT a FROM t"), 7);
+  EXPECT_EQ(conn->queryInt("SELECT a FROM t WHERE a = 99", -1), -1);
+  EXPECT_EQ(conn->queryValue("SELECT b FROM t").asText(), "x");
+  EXPECT_TRUE(conn->queryValue("SELECT a FROM t WHERE a = 99").isNull());
+}
+
+}  // namespace
+}  // namespace perftrack::dbal

@@ -1,0 +1,194 @@
+#include "minidb/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minidb/keycodec.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace perftrack::minidb {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : root_(BTree::create(pager_)), tree_(pager_, root_) {}
+
+  MemPager pager_;
+  PageId root_;
+  BTree tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeBehaviour) {
+  EXPECT_EQ(tree_.size(), 0u);
+  EXPECT_EQ(tree_.height(), 1);
+  EXPECT_FALSE(tree_.contains("anything"));
+  EXPECT_TRUE(tree_.begin().done());
+}
+
+TEST_F(BTreeTest, InsertAndContains) {
+  tree_.insert("bravo");
+  tree_.insert("alpha");
+  tree_.insert("charlie");
+  EXPECT_TRUE(tree_.contains("alpha"));
+  EXPECT_TRUE(tree_.contains("bravo"));
+  EXPECT_TRUE(tree_.contains("charlie"));
+  EXPECT_FALSE(tree_.contains("delta"));
+  EXPECT_EQ(tree_.size(), 3u);
+}
+
+TEST_F(BTreeTest, IterationIsSorted) {
+  const std::vector<std::string> keys = {"pear", "apple", "zebra", "mango", "fig"};
+  for (const auto& k : keys) tree_.insert(k);
+  std::vector<std::string> seen;
+  for (auto it = tree_.begin(); !it.done(); it.next()) {
+    seen.emplace_back(it.key());
+  }
+  std::vector<std::string> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(BTreeTest, DuplicateInsertThrows) {
+  tree_.insert("unique");
+  EXPECT_THROW(tree_.insert("unique"), util::StorageError);
+}
+
+TEST_F(BTreeTest, EraseRemovesKey) {
+  tree_.insert("keep");
+  tree_.insert("drop");
+  EXPECT_TRUE(tree_.erase("drop"));
+  EXPECT_FALSE(tree_.contains("drop"));
+  EXPECT_TRUE(tree_.contains("keep"));
+  EXPECT_FALSE(tree_.erase("drop"));  // second erase fails
+  EXPECT_FALSE(tree_.erase("never-existed"));
+}
+
+TEST_F(BTreeTest, LowerBoundSemantics) {
+  tree_.insert("b");
+  tree_.insert("d");
+  tree_.insert("f");
+  EXPECT_EQ(tree_.lowerBound("a").key(), "b");
+  EXPECT_EQ(tree_.lowerBound("b").key(), "b");
+  EXPECT_EQ(tree_.lowerBound("c").key(), "d");
+  EXPECT_EQ(tree_.lowerBound("f").key(), "f");
+  EXPECT_TRUE(tree_.lowerBound("g").done());
+}
+
+TEST_F(BTreeTest, SplitsGrowHeightAndKeepOrder) {
+  // Enough sequential keys to force multiple leaf and internal splits.
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i);
+    tree_.insert(buf);
+  }
+  EXPECT_EQ(tree_.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(tree_.height(), 1);
+  // Root page id must be stable across splits (catalog relies on it).
+  EXPECT_EQ(tree_.rootPage(), root_);
+  int i = 0;
+  for (auto it = tree_.begin(); !it.done(); it.next(), ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i);
+    ASSERT_EQ(it.key(), std::string_view(buf));
+  }
+  EXPECT_EQ(i, n);
+}
+
+TEST_F(BTreeTest, ReverseInsertionOrderStillSorted) {
+  for (int i = 2000; i > 0; --i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i);
+    tree_.insert(buf);
+  }
+  std::string prev;
+  for (auto it = tree_.begin(); !it.done(); it.next()) {
+    ASSERT_LT(prev, std::string(it.key()));
+    prev = std::string(it.key());
+  }
+  EXPECT_EQ(tree_.size(), 2000u);
+}
+
+TEST_F(BTreeTest, OversizedKeyRejected) {
+  const std::string huge(BTree::maxKeySize() + 1, 'k');
+  EXPECT_THROW(tree_.insert(huge), util::StorageError);
+  const std::string ok(BTree::maxKeySize(), 'k');
+  tree_.insert(ok);
+  EXPECT_TRUE(tree_.contains(ok));
+}
+
+TEST_F(BTreeTest, RandomizedAgainstStdSet) {
+  util::Rng rng(4242);
+  std::set<std::string> model;
+  for (int step = 0; step < 20000; ++step) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "k%06lld", static_cast<long long>(rng.uniformInt(0, 9999)));
+    const std::string key(buf);
+    if (rng.chance(0.7)) {
+      if (model.insert(key).second) {
+        tree_.insert(key);
+      } else {
+        EXPECT_THROW(tree_.insert(key), util::StorageError);
+      }
+    } else {
+      EXPECT_EQ(tree_.erase(key), model.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(tree_.size(), model.size());
+  auto it = tree_.begin();
+  for (const std::string& key : model) {
+    ASSERT_FALSE(it.done());
+    ASSERT_EQ(it.key(), key);
+    it.next();
+  }
+  EXPECT_TRUE(it.done());
+}
+
+TEST_F(BTreeTest, DestroyFreesAllPages) {
+  for (int i = 0; i < 3000; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i);
+    tree_.insert(buf);
+  }
+  const auto pages_before = pager_.pageCount();
+  EXPECT_GT(pages_before, 4u);
+  tree_.destroy();
+  // All pages recycled: the next several allocations must not grow the db.
+  for (int i = 0; i < 4; ++i) pager_.allocate();
+  EXPECT_EQ(pager_.pageCount(), pages_before);
+}
+
+TEST_F(BTreeTest, EncodedCompositeKeysScanInValueOrder) {
+  // Simulates a (text, int) secondary index as the Database uses it.
+  util::Rng rng(7);
+  std::vector<std::pair<std::string, std::int64_t>> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries.emplace_back("name" + std::to_string(rng.uniformInt(0, 20)),
+                         rng.uniformInt(0, 1000));
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EncodedKey key = encodeKey({Value(entries[i].first), Value(entries[i].second)});
+    encodeRecordIdSuffix({static_cast<PageId>(i), 0}, key);
+    tree_.insert(key);
+  }
+  // Prefix scan for one name returns exactly that name's entries.
+  const EncodedKey prefix = encodeKey({Value("name7")});
+  std::size_t expected = 0;
+  for (const auto& [name, v] : entries) {
+    if (name == "name7") ++expected;
+  }
+  std::size_t got = 0;
+  for (auto it = tree_.lowerBound(prefix); !it.done(); it.next()) {
+    if (it.key().substr(0, prefix.size()) != prefix) break;
+    ++got;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb

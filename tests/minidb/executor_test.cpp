@@ -1,0 +1,275 @@
+#include "minidb/sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::minidb::sql {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : db_(Database::openMemory()), sql_(*db_) {
+    sql_.exec("CREATE TABLE runs (id INTEGER PRIMARY KEY, app TEXT, nprocs INTEGER, "
+              "seconds REAL)");
+    sql_.exec("INSERT INTO runs (app, nprocs, seconds) VALUES "
+              "('irs', 8, 120.5), ('irs', 16, 65.2), ('irs', 32, 40.1), "
+              "('smg', 8, 300.0), ('smg', 16, 180.0), ('smg', 32, 110.0)");
+  }
+
+  std::unique_ptr<Database> db_;
+  Engine sql_;
+};
+
+TEST_F(ExecutorTest, SelectStarReturnsAllRowsAndColumns) {
+  const ResultSet rs = sql_.exec("SELECT * FROM runs");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"id", "app", "nprocs", "seconds"}));
+  EXPECT_EQ(rs.rows.size(), 6u);
+}
+
+TEST_F(ExecutorTest, WhereEquality) {
+  const ResultSet rs = sql_.exec("SELECT nprocs FROM runs WHERE app = 'irs'");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, WhereConjunction) {
+  const ResultSet rs =
+      sql_.exec("SELECT seconds FROM runs WHERE app = 'smg' AND nprocs >= 16");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, WhereDisjunctionAndComparisons) {
+  const ResultSet rs = sql_.exec("SELECT id FROM runs WHERE nprocs < 10 OR seconds > 150");
+  EXPECT_EQ(rs.rows.size(), 3u);  // irs@8, smg@8 (300s), smg@16 (180s)
+}
+
+TEST_F(ExecutorTest, OrderByDescending) {
+  const ResultSet rs = sql_.exec("SELECT seconds FROM runs ORDER BY seconds DESC");
+  ASSERT_EQ(rs.rows.size(), 6u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].asReal(), 300.0);
+  EXPECT_DOUBLE_EQ(rs.rows[5][0].asReal(), 40.1);
+}
+
+TEST_F(ExecutorTest, OrderByMultipleKeys) {
+  const ResultSet rs = sql_.exec("SELECT app, nprocs FROM runs ORDER BY app, nprocs DESC");
+  ASSERT_EQ(rs.rows.size(), 6u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "irs");
+  EXPECT_EQ(rs.rows[0][1].asInt(), 32);
+  EXPECT_EQ(rs.rows[3][0].asText(), "smg");
+  EXPECT_EQ(rs.rows[3][1].asInt(), 32);
+}
+
+TEST_F(ExecutorTest, LimitAndOffset) {
+  const ResultSet rs =
+      sql_.exec("SELECT id FROM runs ORDER BY id LIMIT 2 OFFSET 3");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].asInt(), 4);
+  EXPECT_EQ(rs.rows[1][0].asInt(), 5);
+}
+
+TEST_F(ExecutorTest, AggregatesWholeTable) {
+  const ResultSet rs = sql_.exec(
+      "SELECT COUNT(*), SUM(nprocs), MIN(seconds), MAX(seconds), AVG(nprocs) FROM runs");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].asInt(), 6);
+  EXPECT_EQ(rs.rows[0][1].asInt(), 112);
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].asReal(), 40.1);
+  EXPECT_DOUBLE_EQ(rs.rows[0][3].asReal(), 300.0);
+  EXPECT_NEAR(rs.rows[0][4].asReal(), 112.0 / 6.0, 1e-9);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  const ResultSet rs = sql_.exec("SELECT COUNT(*), SUM(nprocs) FROM runs WHERE app = 'nope'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].asInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].isNull());
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  const ResultSet rs = sql_.exec(
+      "SELECT app, COUNT(*) AS n, MIN(seconds) FROM runs GROUP BY app "
+      "HAVING MIN(seconds) < 100 ORDER BY app");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "irs");
+  EXPECT_EQ(rs.rows[0][1].asInt(), 3);
+}
+
+TEST_F(ExecutorTest, GroupByNprocsAcrossApps) {
+  const ResultSet rs = sql_.exec(
+      "SELECT nprocs, COUNT(*), AVG(seconds) FROM runs GROUP BY nprocs ORDER BY nprocs");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].asInt(), 8);
+  EXPECT_EQ(rs.rows[0][1].asInt(), 2);
+  EXPECT_NEAR(rs.rows[0][2].asReal(), (120.5 + 300.0) / 2, 1e-9);
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  const ResultSet rs = sql_.exec("SELECT COUNT(DISTINCT app) FROM runs");
+  EXPECT_EQ(rs.rows[0][0].asInt(), 2);
+}
+
+TEST_F(ExecutorTest, SelectDistinct) {
+  const ResultSet rs = sql_.exec("SELECT DISTINCT app FROM runs ORDER BY app");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "irs");
+  EXPECT_EQ(rs.rows[1][0].asText(), "smg");
+}
+
+TEST_F(ExecutorTest, JoinTwoTables) {
+  sql_.exec("CREATE TABLE apps (name TEXT, language TEXT)");
+  sql_.exec("INSERT INTO apps VALUES ('irs', 'C'), ('smg', 'C'), ('umt', 'Fortran')");
+  const ResultSet rs = sql_.exec(
+      "SELECT r.id, a.language FROM runs r JOIN apps a ON r.app = a.name "
+      "WHERE r.nprocs = 8 ORDER BY r.id");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][1].asText(), "C");
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  sql_.exec("CREATE TABLE apps (name TEXT, team INTEGER)");
+  sql_.exec("CREATE TABLE teams (id INTEGER PRIMARY KEY, lab TEXT)");
+  sql_.exec("INSERT INTO teams (lab) VALUES ('LLNL'), ('LANL')");
+  sql_.exec("INSERT INTO apps VALUES ('irs', 1), ('smg', 2)");
+  const ResultSet rs = sql_.exec(
+      "SELECT t.lab, COUNT(*) FROM runs r JOIN apps a ON r.app = a.name "
+      "JOIN teams t ON a.team = t.id GROUP BY t.lab ORDER BY t.lab");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "LANL");
+  EXPECT_EQ(rs.rows[0][1].asInt(), 3);
+}
+
+TEST_F(ExecutorTest, LikePatterns) {
+  const ResultSet rs = sql_.exec("SELECT DISTINCT app FROM runs WHERE app LIKE 'i%'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "irs");
+  const ResultSet rs2 = sql_.exec("SELECT COUNT(*) FROM runs WHERE app LIKE '_rs'");
+  EXPECT_EQ(rs2.rows[0][0].asInt(), 3);
+  const ResultSet rs3 = sql_.exec("SELECT COUNT(*) FROM runs WHERE app NOT LIKE 'i%'");
+  EXPECT_EQ(rs3.rows[0][0].asInt(), 3);
+}
+
+TEST_F(ExecutorTest, InList) {
+  const ResultSet rs = sql_.exec("SELECT COUNT(*) FROM runs WHERE nprocs IN (8, 32)");
+  EXPECT_EQ(rs.rows[0][0].asInt(), 4);
+}
+
+TEST_F(ExecutorTest, BetweenFilter) {
+  const ResultSet rs = sql_.exec("SELECT COUNT(*) FROM runs WHERE seconds BETWEEN 60 AND 200");
+  EXPECT_EQ(rs.rows[0][0].asInt(), 4);  // 120.5, 65.2, 180.0, 110.0
+}
+
+TEST_F(ExecutorTest, IsNullHandling) {
+  sql_.exec("INSERT INTO runs (app, nprocs, seconds) VALUES ('nul', NULL, NULL)");
+  EXPECT_EQ(sql_.exec("SELECT COUNT(*) FROM runs WHERE nprocs IS NULL").rows[0][0].asInt(), 1);
+  EXPECT_EQ(sql_.exec("SELECT COUNT(*) FROM runs WHERE nprocs IS NOT NULL").rows[0][0].asInt(), 6);
+  // Comparisons with NULL are false, so the row disappears from both sides.
+  EXPECT_EQ(sql_.exec("SELECT COUNT(*) FROM runs WHERE nprocs = 0 OR nprocs <> 0")
+                .rows[0][0].asInt(),
+            6);
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  const ResultSet rs =
+      sql_.exec("SELECT nprocs * 2, seconds / 2, nprocs + 1 - 1 FROM runs WHERE id = 1");
+  EXPECT_EQ(rs.rows[0][0].asInt(), 16);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].asReal(), 60.25);
+  EXPECT_EQ(rs.rows[0][2].asInt(), 8);
+}
+
+TEST_F(ExecutorTest, DivisionByZeroYieldsNull) {
+  const ResultSet rs = sql_.exec("SELECT 1 / 0, 1.0 / 0");
+  EXPECT_TRUE(rs.rows[0][0].isNull());
+  EXPECT_TRUE(rs.rows[0][1].isNull());
+}
+
+TEST_F(ExecutorTest, UpdateChangesMatchingRows) {
+  const ResultSet rs = sql_.exec("UPDATE runs SET seconds = seconds + 1 WHERE app = 'irs'");
+  EXPECT_EQ(rs.rows_affected, 3);
+  const ResultSet check = sql_.exec("SELECT seconds FROM runs WHERE id = 1");
+  EXPECT_DOUBLE_EQ(check.rows[0][0].asReal(), 121.5);
+}
+
+TEST_F(ExecutorTest, DeleteRemovesMatchingRows) {
+  const ResultSet rs = sql_.exec("DELETE FROM runs WHERE nprocs = 8");
+  EXPECT_EQ(rs.rows_affected, 2);
+  EXPECT_EQ(sql_.exec("SELECT COUNT(*) FROM runs").rows[0][0].asInt(), 4);
+}
+
+TEST_F(ExecutorTest, InsertReportsLastInsertId) {
+  const ResultSet rs = sql_.exec("INSERT INTO runs (app, nprocs, seconds) VALUES ('x', 1, 1.0)");
+  EXPECT_EQ(rs.rows_affected, 1);
+  EXPECT_EQ(rs.last_insert_id, 7);
+}
+
+TEST_F(ExecutorTest, IndexedLookupMatchesScanResults) {
+  sql_.exec("CREATE INDEX runs_by_app ON runs (app)");
+  const ResultSet with_index = sql_.exec("SELECT id FROM runs WHERE app = 'smg' ORDER BY id");
+  sql_.setUseIndexes(false);
+  const ResultSet without = sql_.exec("SELECT id FROM runs WHERE app = 'smg' ORDER BY id");
+  ASSERT_EQ(with_index.rows.size(), without.rows.size());
+  for (std::size_t i = 0; i < with_index.rows.size(); ++i) {
+    EXPECT_EQ(with_index.rows[i][0].asInt(), without.rows[i][0].asInt());
+  }
+}
+
+TEST_F(ExecutorTest, ExplainShowsIndexChoice) {
+  sql_.exec("CREATE INDEX runs_by_app ON runs (app)");
+  const ResultSet plan = sql_.exec("EXPLAIN SELECT * FROM runs WHERE app = 'irs'");
+  ASSERT_EQ(plan.rows.size(), 1u);
+  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX runs_by_app"), std::string::npos);
+  const ResultSet plan2 = sql_.exec("EXPLAIN SELECT * FROM runs WHERE seconds = 1.0");
+  EXPECT_NE(plan2.rows[0][0].asText().find("SCAN"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExplainShowsRangeScan) {
+  sql_.exec("CREATE INDEX runs_by_np ON runs (nprocs)");
+  const ResultSet plan = sql_.exec("EXPLAIN SELECT * FROM runs WHERE nprocs > 8");
+  EXPECT_NE(plan.rows[0][0].asText().find("range"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, PrimaryKeyLookupUsesIndex) {
+  const ResultSet plan = sql_.exec("EXPLAIN SELECT * FROM runs WHERE id = 3");
+  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX runs__pk"), std::string::npos);
+  const ResultSet rs = sql_.exec("SELECT app FROM runs WHERE id = 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "irs");
+}
+
+TEST_F(ExecutorTest, JoinUsesIndexOnInnerTable) {
+  sql_.exec("CREATE TABLE apps (id INTEGER PRIMARY KEY, name TEXT)");
+  sql_.exec("CREATE INDEX apps_by_name ON apps (name)");
+  sql_.exec("INSERT INTO apps (name) VALUES ('irs'), ('smg')");
+  const ResultSet plan =
+      sql_.exec("EXPLAIN SELECT * FROM runs r JOIN apps a ON a.name = r.app");
+  ASSERT_EQ(plan.rows.size(), 2u);
+  EXPECT_NE(plan.rows[1][0].asText().find("USING INDEX apps_by_name"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  const ResultSet rs = sql_.exec("SELECT 1 + 1 AS two, 'x'");
+  EXPECT_EQ(rs.rows[0][0].asInt(), 2);
+  EXPECT_EQ(rs.rows[0][1].asText(), "x");
+}
+
+TEST_F(ExecutorTest, ErrorsOnUnknownColumnsAndTables) {
+  EXPECT_THROW(sql_.exec("SELECT nope FROM runs"), util::SqlError);
+  EXPECT_THROW(sql_.exec("SELECT * FROM missing"), util::SqlError);
+  EXPECT_THROW(sql_.exec("INSERT INTO runs (bogus) VALUES (1)"), util::SqlError);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnRejected) {
+  sql_.exec("CREATE TABLE other (id INTEGER PRIMARY KEY, app TEXT)");
+  EXPECT_THROW(sql_.exec("SELECT app FROM runs r JOIN other o ON r.id = o.id"),
+               util::SqlError);
+}
+
+TEST_F(ExecutorTest, ResultSetToTextRendersAllRows) {
+  const ResultSet rs = sql_.exec("SELECT app, nprocs FROM runs WHERE id <= 2 ORDER BY id");
+  const std::string text = rs.toText();
+  EXPECT_NE(text.find("app"), std::string::npos);
+  EXPECT_NE(text.find("irs"), std::string::npos);
+  EXPECT_NE(text.find("16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb::sql

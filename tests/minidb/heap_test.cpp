@@ -1,0 +1,182 @@
+#include "minidb/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace perftrack::minidb {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string str(const std::vector<std::uint8_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+class HeapTest : public ::testing::Test {
+ protected:
+  MemPager pager_;
+};
+
+TEST_F(HeapTest, InsertThenRead) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  const auto payload = bytes("hello heap");
+  const RecordId rid = heap.insert(payload.data(), payload.size());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(heap.read(rid, out));
+  EXPECT_EQ(str(out), "hello heap");
+}
+
+TEST_F(HeapTest, ReadDeletedReturnsFalse) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  const auto payload = bytes("x");
+  const RecordId rid = heap.insert(payload.data(), payload.size());
+  EXPECT_TRUE(heap.erase(rid));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(heap.read(rid, out));
+  EXPECT_FALSE(heap.erase(rid));  // double delete is a no-op
+}
+
+TEST_F(HeapTest, SpillsAcrossPages) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  // ~500-byte records: a few dozen fill multiple pages.
+  const std::string big(500, 'z');
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 100; ++i) {
+    const auto payload = bytes(big + std::to_string(i));
+    rids.push_back(heap.insert(payload.data(), payload.size()));
+  }
+  EXPECT_GT(pager_.pageCount(), 5u);
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap.read(rids[i], out));
+    EXPECT_EQ(str(out), big + std::to_string(i));
+  }
+}
+
+TEST_F(HeapTest, IteratorVisitsAllLiveRecords) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  std::map<std::string, int> expected;
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 50; ++i) {
+    const std::string payload = "rec" + std::to_string(i);
+    const auto b = bytes(payload);
+    rids.push_back(heap.insert(b.data(), b.size()));
+    expected[payload] = 1;
+  }
+  // Delete every third record.
+  for (int i = 0; i < 50; i += 3) {
+    heap.erase(rids[i]);
+    expected.erase("rec" + std::to_string(i));
+  }
+  std::map<std::string, int> seen;
+  for (auto it = heap.begin(); !it.done(); it.next()) {
+    seen[std::string(reinterpret_cast<const char*>(it.data()), it.size())]++;
+  }
+  EXPECT_EQ(seen.size(), expected.size());
+  for (const auto& [k, v] : seen) {
+    EXPECT_EQ(v, 1) << k;
+    EXPECT_TRUE(expected.contains(k)) << k;
+  }
+}
+
+TEST_F(HeapTest, EmptyHeapIteratorIsDone) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  EXPECT_TRUE(heap.begin().done());
+}
+
+TEST_F(HeapTest, UpdateInPlaceWhenSmaller) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  const auto payload = bytes("original-payload");
+  const RecordId rid = heap.insert(payload.data(), payload.size());
+  const auto smaller = bytes("tiny");
+  const RecordId new_rid = heap.update(rid, smaller.data(), smaller.size());
+  EXPECT_EQ(new_rid, rid);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(heap.read(rid, out));
+  EXPECT_EQ(str(out), "tiny");
+}
+
+TEST_F(HeapTest, UpdateMovesWhenLarger) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  const auto payload = bytes("short");
+  const RecordId rid = heap.insert(payload.data(), payload.size());
+  const auto larger = bytes(std::string(100, 'L'));
+  const RecordId new_rid = heap.update(rid, larger.data(), larger.size());
+  EXPECT_NE(new_rid, rid);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(heap.read(rid, out));  // old slot tombstoned
+  ASSERT_TRUE(heap.read(new_rid, out));
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST_F(HeapTest, OversizedRecordRejected) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  const std::vector<std::uint8_t> huge(kPageSize, 0xAB);
+  EXPECT_THROW(heap.insert(huge.data(), huge.size()), util::StorageError);
+}
+
+TEST_F(HeapTest, MaxSizeRecordFits) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  const std::vector<std::uint8_t> max_rec(HeapFile::maxRecordSize(), 0x5A);
+  const RecordId rid = heap.insert(max_rec.data(), max_rec.size());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(heap.read(rid, out));
+  EXPECT_EQ(out, max_rec);
+}
+
+TEST_F(HeapTest, DestroyReturnsPagesToFreeList) {
+  const PageId first = HeapFile::create(pager_);
+  HeapFile heap(pager_, first);
+  const std::string big(1000, 'q');
+  for (int i = 0; i < 50; ++i) {
+    const auto payload = bytes(big);
+    heap.insert(payload.data(), payload.size());
+  }
+  const auto pages_before = pager_.pageCount();
+  heap.destroy();
+  // Freed pages are reused: allocating does not grow the database.
+  pager_.allocate();
+  EXPECT_EQ(pager_.pageCount(), pages_before);
+}
+
+TEST_F(HeapTest, StressRandomInsertDeleteReadback) {
+  HeapFile heap(pager_, HeapFile::create(pager_));
+  util::Rng rng(99);
+  std::map<int, RecordId> live;
+  std::map<int, std::string> content;
+  int next_key = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const int key = next_key++;
+      std::string payload = "key" + std::to_string(key) + ":" +
+                            std::string(rng.uniformInt(0, 200), 'd');
+      const auto b = bytes(payload);
+      live[key] = heap.insert(b.data(), b.size());
+      content[key] = payload;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.uniformInt(0, static_cast<int>(live.size()) - 1));
+      EXPECT_TRUE(heap.erase(it->second));
+      content.erase(it->first);
+      live.erase(it);
+    }
+  }
+  std::vector<std::uint8_t> out;
+  for (const auto& [key, rid] : live) {
+    ASSERT_TRUE(heap.read(rid, out));
+    EXPECT_EQ(str(out), content[key]);
+  }
+  std::size_t count = 0;
+  for (auto it = heap.begin(); !it.done(); it.next()) ++count;
+  EXPECT_EQ(count, live.size());
+}
+
+}  // namespace
+}  // namespace perftrack::minidb

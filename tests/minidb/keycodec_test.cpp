@@ -1,0 +1,111 @@
+#include "minidb/keycodec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace perftrack::minidb {
+namespace {
+
+EncodedKey enc(const Value& v) {
+  EncodedKey out;
+  encodeValue(v, out);
+  return out;
+}
+
+TEST(KeyCodec, IntegerOrderPreserved) {
+  const std::int64_t samples[] = {-1000000, -2, -1, 0, 1, 2, 42, 1000000};
+  for (std::size_t i = 0; i + 1 < std::size(samples); ++i) {
+    EXPECT_LT(enc(Value(samples[i])), enc(Value(samples[i + 1])))
+        << samples[i] << " vs " << samples[i + 1];
+  }
+}
+
+TEST(KeyCodec, RealOrderPreserved) {
+  const double samples[] = {-1e9, -3.5, -0.0001, 0.0, 0.0001, 2.5, 7.0, 1e9};
+  for (std::size_t i = 0; i + 1 < std::size(samples); ++i) {
+    EXPECT_LT(enc(Value(samples[i])), enc(Value(samples[i + 1])));
+  }
+}
+
+TEST(KeyCodec, IntAndRealInterleave) {
+  EXPECT_EQ(enc(Value(std::int64_t{2})), enc(Value(2.0)));
+  EXPECT_LT(enc(Value(std::int64_t{2})), enc(Value(2.5)));
+  EXPECT_LT(enc(Value(1.5)), enc(Value(std::int64_t{2})));
+}
+
+TEST(KeyCodec, TextOrderPreserved) {
+  EXPECT_LT(enc(Value("a")), enc(Value("ab")));
+  EXPECT_LT(enc(Value("ab")), enc(Value("b")));
+  EXPECT_LT(enc(Value("")), enc(Value("a")));
+}
+
+TEST(KeyCodec, TextWithEmbeddedNul) {
+  // "a\0b" must sort after "a" and before "ab", and must not collide with
+  // the terminator of a shorter key.
+  std::string nul_mid("a\0b", 3);
+  EXPECT_LT(enc(Value("a")), enc(Value(nul_mid)));
+  EXPECT_LT(enc(Value(nul_mid)), enc(Value("ab")));
+}
+
+TEST(KeyCodec, TypeRankOrdering) {
+  EXPECT_LT(enc(Value::null()), enc(Value(std::int64_t{-9999999})));
+  EXPECT_LT(enc(Value(std::int64_t{9999999})), enc(Value("")));
+}
+
+TEST(KeyCodec, CompositeKeyFieldBoundary) {
+  // ("ab", "c") must differ from ("a", "bc") — terminators enforce this.
+  const EncodedKey k1 = encodeKey({Value("ab"), Value("c")});
+  const EncodedKey k2 = encodeKey({Value("a"), Value("bc")});
+  EXPECT_NE(k1, k2);
+  EXPECT_GT(k1, k2);  // "ab" > "a" decides before the second field
+}
+
+TEST(KeyCodec, RandomizedOrderAgreement) {
+  util::Rng rng(2024);
+  std::vector<Value> values;
+  for (int i = 0; i < 300; ++i) {
+    switch (rng.uniformInt(0, 2)) {
+      case 0: values.emplace_back(rng.uniformInt(-100000, 100000)); break;
+      case 1: values.emplace_back(rng.uniform(-1e6, 1e6)); break;
+      default: {
+        std::string s;
+        const int len = static_cast<int>(rng.uniformInt(0, 12));
+        for (int j = 0; j < len; ++j) {
+          s.push_back(static_cast<char>('a' + rng.uniformInt(0, 25)));
+        }
+        values.emplace_back(std::move(s));
+      }
+    }
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Value& a = values[rng.uniformInt(0, static_cast<int>(values.size()) - 1)];
+    const Value& b = values[rng.uniformInt(0, static_cast<int>(values.size()) - 1)];
+    const int vc = a.compare(b);
+    const EncodedKey ka = enc(a);
+    const EncodedKey kb = enc(b);
+    const int kc = ka < kb ? -1 : (ka > kb ? 1 : 0);
+    EXPECT_EQ(vc < 0, kc < 0);
+    EXPECT_EQ(vc > 0, kc > 0);
+  }
+}
+
+TEST(KeyCodec, RecordIdSuffixRoundTrip) {
+  EncodedKey key = encodeKey({Value("resource")});
+  const RecordId rid{12345, 678};
+  encodeRecordIdSuffix(rid, key);
+  EXPECT_EQ(decodeRecordIdSuffix(key), rid);
+}
+
+TEST(KeyCodec, RecordIdSuffixPreservesOrderForDuplicates) {
+  EncodedKey a = encodeKey({Value("same")});
+  EncodedKey b = a;
+  encodeRecordIdSuffix({1, 0}, a);
+  encodeRecordIdSuffix({2, 0}, b);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb

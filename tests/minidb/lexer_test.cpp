@@ -1,0 +1,81 @@
+#include "minidb/sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::minidb::sql {
+namespace {
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  const auto toks = tokenize("select Select SELECT");
+  ASSERT_EQ(toks.size(), 4u);  // 3 + End
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::Keyword);
+    EXPECT_EQ(toks[i].text, "SELECT");
+  }
+}
+
+TEST(Lexer, IdentifiersKeepCase) {
+  const auto toks = tokenize("resource_item MyTable");
+  EXPECT_EQ(toks[0].type, TokenType::Identifier);
+  EXPECT_EQ(toks[0].text, "resource_item");
+  EXPECT_EQ(toks[1].text, "MyTable");
+}
+
+TEST(Lexer, IntegerAndRealLiterals) {
+  const auto toks = tokenize("42 3.5 1e3 2.5e-2 .5");
+  EXPECT_EQ(toks[0].type, TokenType::Integer);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].type, TokenType::Real);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 3.5);
+  EXPECT_EQ(toks[2].type, TokenType::Real);
+  EXPECT_DOUBLE_EQ(toks[2].real_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].real_value, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].real_value, 0.5);
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  const auto toks = tokenize("'it''s fine'");
+  EXPECT_EQ(toks[0].type, TokenType::String);
+  EXPECT_EQ(toks[0].text, "it's fine");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("'oops"), util::SqlError);
+}
+
+TEST(Lexer, QuotedIdentifier) {
+  const auto toks = tokenize("\"order\"");
+  EXPECT_EQ(toks[0].type, TokenType::Identifier);
+  EXPECT_EQ(toks[0].text, "order");
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto toks = tokenize("<= >= <> != =");
+  EXPECT_EQ(toks[0].text, "<=");
+  EXPECT_EQ(toks[1].text, ">=");
+  EXPECT_EQ(toks[2].text, "<>");
+  EXPECT_EQ(toks[3].text, "!=");
+  EXPECT_EQ(toks[4].text, "=");
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto toks = tokenize("SELECT -- this is a comment\n 1");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_TRUE(toks[0].isKeyword("SELECT"));
+  EXPECT_EQ(toks[1].int_value, 1);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("SELECT @foo"), util::SqlError);
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::End);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb::sql

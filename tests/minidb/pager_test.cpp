@@ -1,0 +1,156 @@
+#include "minidb/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::minidb {
+namespace {
+
+TEST(MemPager, FreshDatabaseHasValidHeader) {
+  MemPager pager;
+  EXPECT_EQ(pager.header().magic, kDbMagic);
+  EXPECT_EQ(pager.header().version, kDbVersion);
+  EXPECT_EQ(pager.pageCount(), 1u);
+  EXPECT_EQ(pager.header().freelist_head, kInvalidPage);
+}
+
+TEST(MemPager, AllocateReturnsZeroedDistinctPages) {
+  MemPager pager;
+  const PageId a = pager.allocate();
+  const PageId b = pager.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pager.pageCount(), 3u);
+  const std::uint8_t* pa = pager.pageForRead(a);
+  for (std::size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(pa[i], 0);
+}
+
+TEST(MemPager, FreeListReusesPages) {
+  MemPager pager;
+  const PageId a = pager.allocate();
+  pager.allocate();
+  pager.free(a);
+  const PageId c = pager.allocate();
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(pager.pageCount(), 3u);  // no growth
+}
+
+TEST(MemPager, CannotFreeHeaderPage) {
+  MemPager pager;
+  EXPECT_THROW(pager.free(0), util::StorageError);
+}
+
+TEST(MemPager, OutOfRangeAccessThrows) {
+  MemPager pager;
+  EXPECT_THROW(pager.pageForRead(99), util::StorageError);
+  EXPECT_THROW(pager.pageForWrite(99), util::StorageError);
+}
+
+TEST(MemPager, SizeBytesTracksPageCount) {
+  MemPager pager;
+  const auto before = pager.sizeBytes();
+  pager.allocate();
+  EXPECT_EQ(pager.sizeBytes(), before + kPageSize);
+}
+
+TEST(Journal, RollbackRestoresPageContent) {
+  MemPager pager;
+  const PageId id = pager.allocate();
+  std::memcpy(pager.pageForWrite(id), "before", 6);
+  pager.beginJournal();
+  std::memcpy(pager.pageForWrite(id), "after!", 6);
+  pager.rollbackJournal();
+  EXPECT_EQ(std::memcmp(pager.pageForRead(id), "before", 6), 0);
+}
+
+TEST(Journal, RollbackDiscardsPagesAllocatedInTransaction) {
+  MemPager pager;
+  const auto count_before = pager.pageCount();
+  pager.beginJournal();
+  pager.allocate();
+  pager.allocate();
+  pager.rollbackJournal();
+  EXPECT_EQ(pager.pageCount(), count_before);
+}
+
+TEST(Journal, RollbackRestoresFreeList) {
+  MemPager pager;
+  const PageId a = pager.allocate();
+  pager.beginJournal();
+  pager.free(a);
+  pager.rollbackJournal();
+  // `a` must not be on the free list: a fresh allocation grows the file.
+  const auto count = pager.pageCount();
+  const PageId b = pager.allocate();
+  EXPECT_NE(b, a);
+  EXPECT_EQ(pager.pageCount(), count + 1);
+}
+
+TEST(Journal, CommitKeepsChanges) {
+  MemPager pager;
+  const PageId id = pager.allocate();
+  pager.beginJournal();
+  std::memcpy(pager.pageForWrite(id), "kept", 4);
+  pager.commitJournal();
+  EXPECT_EQ(std::memcmp(pager.pageForRead(id), "kept", 4), 0);
+}
+
+TEST(Journal, NestedBeginThrows) {
+  MemPager pager;
+  pager.beginJournal();
+  EXPECT_THROW(pager.beginJournal(), util::StorageError);
+}
+
+TEST(Journal, CommitWithoutBeginThrows) {
+  MemPager pager;
+  EXPECT_THROW(pager.commitJournal(), util::StorageError);
+  EXPECT_THROW(pager.rollbackJournal(), util::StorageError);
+}
+
+TEST(FilePager, PersistsAcrossReopen) {
+  util::TempDir dir;
+  const std::string path = dir.file("test.db").string();
+  PageId id = kInvalidPage;
+  {
+    FilePager pager(path);
+    id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "durable", 7);
+    pager.flush();
+  }
+  {
+    FilePager pager(path);
+    ASSERT_LT(id, pager.pageCount());
+    EXPECT_EQ(std::memcmp(pager.pageForRead(id), "durable", 7), 0);
+  }
+}
+
+TEST(FilePager, RejectsCorruptFile) {
+  util::TempDir dir;
+  const std::string path = dir.file("bad.db").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite("not a database", 1, 14, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(FilePager pager(path), util::StorageError);
+}
+
+TEST(FilePager, FlushOnDestruction) {
+  util::TempDir dir;
+  const std::string path = dir.file("dtor.db").string();
+  PageId id = kInvalidPage;
+  {
+    FilePager pager(path);
+    id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "auto", 4);
+    // no explicit flush: destructor must persist
+  }
+  FilePager pager(path);
+  EXPECT_EQ(std::memcmp(pager.pageForRead(id), "auto", 4), 0);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "minidb/sql/executor.h"
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::minidb::sql {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() : db_(Database::openMemory()), sql_(*db_) {
+    sql_.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    sql_.exec("INSERT INTO t (v) VALUES ('base1'), ('base2')");
+  }
+
+  std::int64_t count() {
+    return sql_.exec("SELECT COUNT(*) FROM t").rows[0][0].asInt();
+  }
+
+  std::unique_ptr<Database> db_;
+  Engine sql_;
+};
+
+TEST_F(TransactionTest, CommitKeepsInserts) {
+  sql_.exec("BEGIN");
+  sql_.exec("INSERT INTO t (v) VALUES ('tx')");
+  sql_.exec("COMMIT");
+  EXPECT_EQ(count(), 3);
+}
+
+TEST_F(TransactionTest, RollbackDiscardsInserts) {
+  sql_.exec("BEGIN");
+  sql_.exec("INSERT INTO t (v) VALUES ('gone'), ('gone2')");
+  EXPECT_EQ(count(), 4);  // visible within the transaction
+  sql_.exec("ROLLBACK");
+  EXPECT_EQ(count(), 2);
+  EXPECT_EQ(sql_.exec("SELECT COUNT(*) FROM t WHERE v = 'gone'").rows[0][0].asInt(), 0);
+}
+
+TEST_F(TransactionTest, RollbackRestoresUpdatesAndDeletes) {
+  sql_.exec("BEGIN");
+  sql_.exec("UPDATE t SET v = 'mangled'");
+  sql_.exec("DELETE FROM t WHERE id = 2");
+  sql_.exec("ROLLBACK");
+  const ResultSet rs = sql_.exec("SELECT v FROM t ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "base1");
+  EXPECT_EQ(rs.rows[1][0].asText(), "base2");
+}
+
+TEST_F(TransactionTest, RollbackRestoresIndexConsistency) {
+  sql_.exec("CREATE INDEX t_by_v ON t (v)");
+  sql_.exec("BEGIN");
+  sql_.exec("INSERT INTO t (v) VALUES ('indexed')");
+  sql_.exec("ROLLBACK");
+  // Index scans must not surface the rolled-back row (dangling entries
+  // would throw inside indexScanEqual).
+  const ResultSet rs = sql_.exec("SELECT COUNT(*) FROM t WHERE v = 'indexed'");
+  EXPECT_EQ(rs.rows[0][0].asInt(), 0);
+  // Index still works for surviving rows.
+  EXPECT_EQ(sql_.exec("SELECT COUNT(*) FROM t WHERE v = 'base1'").rows[0][0].asInt(), 1);
+}
+
+TEST_F(TransactionTest, RollbackRestoresDdl) {
+  sql_.exec("BEGIN");
+  sql_.exec("CREATE TABLE scratch (a INTEGER)");
+  sql_.exec("INSERT INTO scratch VALUES (1)");
+  sql_.exec("ROLLBACK");
+  EXPECT_EQ(db_->catalog().findTable("scratch"), nullptr);
+  EXPECT_THROW(sql_.exec("SELECT * FROM scratch"), util::SqlError);
+}
+
+TEST_F(TransactionTest, RollbackRestoresDroppedTable) {
+  sql_.exec("BEGIN");
+  sql_.exec("DROP TABLE t");
+  EXPECT_THROW(sql_.exec("SELECT * FROM t"), util::SqlError);
+  sql_.exec("ROLLBACK");
+  EXPECT_EQ(count(), 2);
+}
+
+TEST_F(TransactionTest, AutoIncrementDoesNotReuseAfterCommit) {
+  sql_.exec("BEGIN");
+  sql_.exec("INSERT INTO t (v) VALUES ('three')");
+  sql_.exec("COMMIT");
+  const ResultSet rs = sql_.exec("INSERT INTO t (v) VALUES ('four')");
+  EXPECT_EQ(rs.last_insert_id, 4);
+}
+
+TEST_F(TransactionTest, AutoIncrementRestartsAfterRollback) {
+  sql_.exec("BEGIN");
+  const ResultSet in_tx = sql_.exec("INSERT INTO t (v) VALUES ('tmp')");
+  EXPECT_EQ(in_tx.last_insert_id, 3);
+  sql_.exec("ROLLBACK");
+  const ResultSet after = sql_.exec("INSERT INTO t (v) VALUES ('real')");
+  EXPECT_EQ(after.last_insert_id, 3);  // id 3 was never committed
+}
+
+TEST_F(TransactionTest, CommitWithoutBeginThrows) {
+  EXPECT_THROW(sql_.exec("COMMIT"), util::StorageError);
+  EXPECT_THROW(sql_.exec("ROLLBACK"), util::StorageError);
+}
+
+TEST_F(TransactionTest, NestedBeginThrows) {
+  sql_.exec("BEGIN");
+  EXPECT_THROW(sql_.exec("BEGIN"), util::StorageError);
+  sql_.exec("ROLLBACK");
+}
+
+TEST(TransactionPersistence, CommittedDataSurvivesReopen) {
+  util::TempDir dir;
+  const std::string path = dir.file("txn.db").string();
+  {
+    auto db = Database::open(path);
+    Engine sql(*db);
+    sql.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    sql.exec("BEGIN");
+    sql.exec("INSERT INTO t (v) VALUES ('committed')");
+    sql.exec("COMMIT");
+    sql.exec("BEGIN");
+    sql.exec("INSERT INTO t (v) VALUES ('rolled-back')");
+    sql.exec("ROLLBACK");
+  }
+  auto db = Database::open(path);
+  Engine sql(*db);
+  const ResultSet rs = sql.exec("SELECT v FROM t");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].asText(), "committed");
+}
+
+TEST(TransactionStress, ManyRollbackCyclesStayConsistent) {
+  auto db = Database::openMemory();
+  Engine sql(*db);
+  sql.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  sql.exec("CREATE INDEX t_by_v ON t (v)");
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    sql.exec("BEGIN");
+    for (int i = 0; i < 20; ++i) {
+      sql.exec("INSERT INTO t (v) VALUES ('cycle" + std::to_string(cycle) + "')");
+    }
+    if (cycle % 2 == 0) {
+      sql.exec("COMMIT");
+    } else {
+      sql.exec("ROLLBACK");
+    }
+  }
+  EXPECT_EQ(sql.exec("SELECT COUNT(*) FROM t").rows[0][0].asInt(), 15 * 20);
+  // Every surviving row came from an even (committed) cycle.
+  const ResultSet odd = sql.exec("SELECT COUNT(*) FROM t WHERE v LIKE 'cycle1'");
+  EXPECT_EQ(odd.rows[0][0].asInt(), 0);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb::sql

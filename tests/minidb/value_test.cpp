@@ -1,0 +1,93 @@
+#include "minidb/value.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::minidb {
+namespace {
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_TRUE(Value(std::int64_t{5}).isInt());
+  EXPECT_TRUE(Value(2.5).isReal());
+  EXPECT_TRUE(Value("x").isText());
+}
+
+TEST(Value, AccessorsThrowOnWrongType) {
+  EXPECT_THROW(Value("x").asInt(), util::StorageError);
+  EXPECT_THROW(Value(std::int64_t{1}).asText(), util::StorageError);
+  EXPECT_THROW(Value("x").asReal(), util::StorageError);
+}
+
+TEST(Value, AsRealWidensIntegers) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{7}).asReal(), 7.0);
+}
+
+TEST(Value, CompareWithinTypes) {
+  EXPECT_LT(Value(std::int64_t{1}).compare(Value(std::int64_t{2})), 0);
+  EXPECT_GT(Value(2.5).compare(Value(1.5)), 0);
+  EXPECT_EQ(Value("abc").compare(Value("abc")), 0);
+  EXPECT_LT(Value("abc").compare(Value("abd")), 0);
+}
+
+TEST(Value, NumericTypesInterleave) {
+  EXPECT_EQ(Value(std::int64_t{2}).compare(Value(2.0)), 0);
+  EXPECT_LT(Value(std::int64_t{2}).compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).compare(Value(std::int64_t{3})), 0);
+}
+
+TEST(Value, StorageClassOrdering) {
+  // NULL < numeric < text, per the documented ordering.
+  EXPECT_LT(Value::null().compare(Value(std::int64_t{0})), 0);
+  EXPECT_LT(Value(std::int64_t{999}).compare(Value("")), 0);
+}
+
+TEST(Value, DisplayString) {
+  EXPECT_EQ(Value::null().toDisplayString(), "");
+  EXPECT_EQ(Value(std::int64_t{42}).toDisplayString(), "42");
+  EXPECT_EQ(Value(1.5).toDisplayString(), "1.5");
+  EXPECT_EQ(Value("text").toDisplayString(), "text");
+}
+
+TEST(RowSerialization, RoundTripsAllTypes) {
+  const Row row{Value::null(), Value(std::int64_t{-7}), Value(3.25), Value("hello")};
+  std::vector<std::uint8_t> buf;
+  serializeRow(row, buf);
+  const Row back = deserializeRow(buf.data(), buf.size());
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_TRUE(back[0].isNull());
+  EXPECT_EQ(back[1].asInt(), -7);
+  EXPECT_DOUBLE_EQ(back[2].asReal(), 3.25);
+  EXPECT_EQ(back[3].asText(), "hello");
+}
+
+TEST(RowSerialization, EmptyRowAndEmptyText) {
+  std::vector<std::uint8_t> buf;
+  serializeRow({}, buf);
+  EXPECT_TRUE(deserializeRow(buf.data(), buf.size()).empty());
+
+  buf.clear();
+  serializeRow({Value("")}, buf);
+  const Row back = deserializeRow(buf.data(), buf.size());
+  EXPECT_EQ(back.at(0).asText(), "");
+}
+
+TEST(RowSerialization, TextWithEmbeddedNulAndUnicode) {
+  std::string tricky("a\0b", 3);
+  std::vector<std::uint8_t> buf;
+  serializeRow({Value(tricky), Value("héllo→")}, buf);
+  const Row back = deserializeRow(buf.data(), buf.size());
+  EXPECT_EQ(back.at(0).asText(), tricky);
+  EXPECT_EQ(back.at(1).asText(), "héllo→");
+}
+
+TEST(RowSerialization, TruncatedBufferThrows) {
+  std::vector<std::uint8_t> buf;
+  serializeRow({Value("hello world")}, buf);
+  EXPECT_THROW(deserializeRow(buf.data(), buf.size() - 3), util::StorageError);
+  EXPECT_THROW(deserializeRow(buf.data(), 1), util::StorageError);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb

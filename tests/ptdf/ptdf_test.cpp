@@ -1,0 +1,208 @@
+#include "ptdf/ptdf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace perftrack::ptdf {
+namespace {
+
+core::PTDataStore makeStore(std::unique_ptr<dbal::Connection>& conn) {
+  conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+  return store;
+}
+
+TEST(SplitFields, PlainWhitespace) {
+  const auto fields = splitFields("Resource /a/b grid/machine");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "Resource");
+  EXPECT_EQ(fields[1], "/a/b");
+}
+
+TEST(SplitFields, QuotedFieldWithSpaces) {
+  const auto fields = splitFields("ResourceAttribute /r \"clock MHz\" 375 string");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[2], "clock MHz");
+}
+
+TEST(SplitFields, EscapedQuote) {
+  const auto fields = splitFields("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(SplitFields, UnterminatedQuoteThrows) {
+  EXPECT_THROW(splitFields("Resource \"oops"), util::ParseError);
+}
+
+TEST(QuoteField, RoundTripsThroughSplit) {
+  for (const std::string original :
+       {"plain", "two words", "with\"quote", "", "tab\there"}) {
+    const auto fields = splitFields(quoteField(original));
+    ASSERT_EQ(fields.size(), original.empty() ? 1u : 1u);
+    EXPECT_EQ(fields[0], original);
+  }
+}
+
+TEST(ResourceSets, SingleSetParses) {
+  const auto sets = parseResourceSets("/a,/b(primary)");
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].set_type, core::FocusType::Primary);
+  ASSERT_EQ(sets[0].resource_names.size(), 2u);
+  EXPECT_EQ(sets[0].resource_names[1], "/b");
+}
+
+TEST(ResourceSets, MultipleSetsParse) {
+  const auto sets = parseResourceSets("/caller(parent):/callee,/p0(child)");
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].set_type, core::FocusType::Parent);
+  EXPECT_EQ(sets[1].set_type, core::FocusType::Child);
+  EXPECT_EQ(sets[1].resource_names.size(), 2u);
+}
+
+TEST(ResourceSets, FormatRoundTrips) {
+  const std::string expr = "/a,/b(primary):/c(sender)";
+  EXPECT_EQ(formatResourceSets(parseResourceSets(expr)), expr);
+}
+
+TEST(ResourceSets, MalformedThrows) {
+  EXPECT_THROW(parseResourceSets(""), util::ParseError);
+  EXPECT_THROW(parseResourceSets("/a"), util::ParseError);           // no type
+  EXPECT_THROW(parseResourceSets("/a(bogus)"), util::PTError);      // bad type
+  EXPECT_THROW(parseResourceSets("(primary)"), util::ParseError);   // no names
+  EXPECT_THROW(parseResourceSets("/a(primary):"), util::ParseError);
+}
+
+TEST(Load, FullRecordMix) {
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  std::istringstream in(R"(# comment line
+Application IRS
+ResourceType syncObject/class
+Execution run1 IRS
+Resource /run1 execution
+Resource /run1/p0 execution/process run1
+ResourceAttribute /run1/p0 rank 0 string
+Resource /G/M grid/machine
+ResourceAttribute /run1 machineRes /G/M resource
+PerfResult run1 /run1/p0(primary) mytool "cpu time" 1.25 seconds
+PerfResult run1 /run1/p0(primary) mytool "cpu time" 2.5 seconds 0 10
+ResourceConstraint /run1/p0 /G/M
+)");
+  const LoadStats stats = load(store, in);
+  EXPECT_EQ(stats.applications, 1u);
+  EXPECT_EQ(stats.resource_types, 1u);
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.resources, 3u);
+  EXPECT_EQ(stats.attributes, 1u);
+  EXPECT_EQ(stats.constraints, 2u);  // explicit + attribute of type resource
+  EXPECT_EQ(stats.perf_results, 2u);
+  EXPECT_EQ(stats.records, 11u);
+  EXPECT_EQ(stats.lines, 12u);  // 11 records + 1 comment line
+
+  // The data is really in the store.
+  EXPECT_TRUE(store.hasResourceType("syncObject/class"));
+  const auto ids = store.resultsForExecution("run1");
+  ASSERT_EQ(ids.size(), 2u);
+  const auto rec = store.getResult(ids[1]);
+  EXPECT_DOUBLE_EQ(rec.value, 2.5);
+  EXPECT_DOUBLE_EQ(rec.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(rec.end_time, 10.0);
+}
+
+TEST(Load, ErrorsCarryLineNumbers) {
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  std::istringstream in("Application IRS\nBogusRecord x\n");
+  try {
+    load(store, in);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("BogusRecord"), std::string::npos);
+  }
+}
+
+TEST(Load, SemanticErrorsBecomeParseErrors) {
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  // PerfResult for an execution that was never defined.
+  std::istringstream in("Resource /r time\nPerfResult ghost /r(primary) t m 1 s\n");
+  EXPECT_THROW(load(store, in), util::ParseError);
+}
+
+TEST(Load, BadFieldCountsThrow) {
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  std::istringstream a("Application\n");
+  EXPECT_THROW(load(store, a), util::ParseError);
+  std::istringstream b("Execution onlyone\n");
+  EXPECT_THROW(load(store, b), util::ParseError);
+  std::istringstream c("PerfResult run set tool metric notanumber units\n");
+  EXPECT_THROW(load(store, c), util::ParseError);
+}
+
+TEST(Load, UnknownAttributeTypeThrows) {
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  std::istringstream in("Resource /r time\nResourceAttribute /r a b weird\n");
+  EXPECT_THROW(load(store, in), util::ParseError);
+}
+
+TEST(Writer, RoundTripsThroughLoader) {
+  std::ostringstream out;
+  Writer writer(out);
+  writer.comment("round trip");
+  writer.application("IRS");
+  writer.execution("run1", "IRS");
+  writer.resource("/run1", "execution");
+  writer.resource("/run1/p0", "execution/process", "run1");
+  writer.resourceAttribute("/run1/p0", "clock MHz", "375");
+  writer.resource("/G/M", "grid/machine");
+  writer.resourceConstraint("/run1/p0", "/G/M");
+  writer.perfResult("run1", {{{"/run1/p0"}, core::FocusType::Primary}}, "tool",
+                    "metric with spaces", 3.5, "seconds");
+  EXPECT_EQ(writer.linesWritten(), 9u);
+
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  std::istringstream in(out.str());
+  const LoadStats stats = load(store, in);
+  EXPECT_EQ(stats.perf_results, 1u);
+  EXPECT_EQ(stats.resources, 3u);
+  const auto ids = store.resultsForExecution("run1");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(store.getResult(ids[0]).metric, "metric with spaces");
+}
+
+TEST(Writer, MultiSetPerfResultRoundTrips) {
+  std::ostringstream out;
+  Writer writer(out);
+  writer.application("A");
+  writer.execution("e", "A");
+  writer.resource("/caller", "build");
+  writer.resource("/callee", "environment");
+  writer.perfResult("e",
+                    {{{"/caller"}, core::FocusType::Parent},
+                     {{"/callee"}, core::FocusType::Child}},
+                    "mpiP", "time", 1.0, "ms");
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  std::istringstream in(out.str());
+  load(store, in);
+  const auto rec = store.getResult(store.resultsForExecution("e").at(0));
+  EXPECT_EQ(rec.contexts.size(), 2u);
+}
+
+TEST(LoadFile, MissingFileThrows) {
+  std::unique_ptr<dbal::Connection> conn;
+  auto store = makeStore(conn);
+  EXPECT_THROW(loadFile(store, "/no/such/file.ptdf"), util::PTError);
+}
+
+}  // namespace
+}  // namespace perftrack::ptdf

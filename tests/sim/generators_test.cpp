@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/irs_gen.h"
+#include "sim/paradyn_gen.h"
+#include "sim/smg_gen.h"
+#include "util/tempdir.h"
+
+namespace perftrack::sim {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(IrsGen, FunctionCatalogMatchesPaperScale) {
+  // "timings for approximately 80 different functions".
+  EXPECT_GE(irsFunctionNames().size(), 75u);
+  EXPECT_LE(irsFunctionNames().size(), 85u);
+  EXPECT_EQ(irsBaseMetrics().size(), 5u);
+}
+
+TEST(IrsGen, ProducesSixFiles) {
+  util::TempDir dir;
+  IrsRunSpec spec{frostConfig(), 8, "MPI", 1, ""};
+  const GeneratedRun run = generateIrsRun(spec, dir.path());
+  EXPECT_EQ(run.files.size(), 6u);  // Table 1: IRS has 6 files per execution
+  for (const auto& file : run.files) {
+    EXPECT_TRUE(std::filesystem::exists(file)) << file;
+  }
+  EXPECT_GT(run.rawBytes(), 10000u);
+  EXPECT_EQ(run.exec_name, "irs-frost-np8-s1");
+}
+
+TEST(IrsGen, DeterministicForSameSeed) {
+  util::TempDir dir_a;
+  util::TempDir dir_b;
+  IrsRunSpec spec{frostConfig(), 16, "MPI", 99, ""};
+  generateIrsRun(spec, dir_a.path());
+  generateIrsRun(spec, dir_b.path());
+  EXPECT_EQ(slurp(dir_a.file("irs_timing.txt")), slurp(dir_b.file("irs_timing.txt")));
+  EXPECT_EQ(slurp(dir_a.file("irs_summary.txt")), slurp(dir_b.file("irs_summary.txt")));
+}
+
+TEST(IrsGen, DifferentSeedsDiffer) {
+  util::TempDir dir_a;
+  util::TempDir dir_b;
+  generateIrsRun({frostConfig(), 16, "MPI", 1, ""}, dir_a.path());
+  generateIrsRun({frostConfig(), 16, "MPI", 2, ""}, dir_b.path());
+  EXPECT_NE(slurp(dir_a.file("irs_timing.txt")), slurp(dir_b.file("irs_timing.txt")));
+}
+
+TEST(IrsGen, ExecNameOverride) {
+  IrsRunSpec spec{frostConfig(), 8, "MPI", 1, "custom-name"};
+  EXPECT_EQ(spec.effectiveExecName(), "custom-name");
+}
+
+TEST(IrsGen, TimingRowsHaveMaxGeMin) {
+  util::TempDir dir;
+  generateIrsRun({mcrConfig(), 32, "MPI", 5, ""}, dir.path());
+  std::ifstream in(dir.file("irs_timing.txt"));
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line.rfind("IRS", 0) == 0) continue;
+    // function "metric" agg avg max min
+    std::istringstream fields(line);
+    std::string func;
+    fields >> func;
+    std::string rest;
+    std::getline(fields, rest);
+    const auto close = rest.rfind('"');
+    std::istringstream nums(rest.substr(close + 1));
+    double agg, avg, max, min;
+    nums >> agg >> avg >> max >> min;
+    EXPECT_GE(max, min);
+    EXPECT_GE(max, avg);
+    EXPECT_LE(min, avg);
+    EXPECT_NEAR(agg, avg * 32, agg * 0.01 + 1e-9);
+    ++rows;
+  }
+  // ~80 functions x 5 metrics minus the ~5% "doesn't apply" rows.
+  EXPECT_GT(rows, 330);
+  EXPECT_LT(rows, 400);
+}
+
+TEST(SmgGen, BglRunHasOnlyStandardOutput) {
+  util::TempDir dir;
+  SmgRunSpec spec;
+  spec.machine = bglConfig();
+  spec.nprocs = 128;
+  const GeneratedRun run = generateSmgRun(spec, dir.path());
+  EXPECT_EQ(run.files.size(), 1u);  // Table 1: SMG-BG/L has 1 file
+  const std::string text = slurp(run.files[0]);
+  EXPECT_NE(text.find("SMG Setup"), std::string::npos);
+  EXPECT_NE(text.find("SMG Solve"), std::string::npos);
+  EXPECT_EQ(text.find("PMAPI"), std::string::npos);
+  EXPECT_EQ(smgOutputMetrics().size(), 8u);  // "only eight data values"
+}
+
+TEST(SmgGen, UvRunAddsPmapiAndMpip) {
+  util::TempDir dir;
+  SmgRunSpec spec;
+  spec.machine = uvConfig();
+  spec.nprocs = 16;
+  spec.with_mpip = true;
+  spec.with_pmapi = true;
+  const GeneratedRun run = generateSmgRun(spec, dir.path());
+  EXPECT_EQ(run.files.size(), 2u);  // Table 1: SMG-UV has 2 files
+  const std::string stdout_text = slurp(dir.file("smg_stdout.txt"));
+  EXPECT_NE(stdout_text.find("PMAPI task 0 PM_CYC"), std::string::npos);
+  EXPECT_NE(stdout_text.find("PMAPI task 15"), std::string::npos);
+  const std::string mpip_text = slurp(dir.file("smg_mpip.txt"));
+  EXPECT_NE(mpip_text.find("@ mpiP"), std::string::npos);
+  EXPECT_NE(mpip_text.find("Parent_Funct"), std::string::npos);
+  EXPECT_NE(mpip_text.find("Callsite Time statistics"), std::string::npos);
+}
+
+TEST(SmgGen, SolveSlowerAtFewerProcs) {
+  // Sanity on the analytic model through the generator: the solve phase
+  // takes longer at 8 procs than at 64 on the same machine/seed.
+  auto solveTime = [](int nprocs) {
+    util::TempDir dir;
+    SmgRunSpec spec;
+    spec.machine = uvConfig();
+    spec.nprocs = nprocs;
+    generateSmgRun(spec, dir.path());
+    std::ifstream in(dir.file("smg_stdout.txt"));
+    std::string line;
+    bool in_solve = false;
+    while (std::getline(in, line)) {
+      if (line.find("SMG Solve") != std::string::npos) in_solve = true;
+      if (in_solve && line.find("wall clock time") != std::string::npos) {
+        const auto eq = line.find('=');
+        return std::stod(line.substr(eq + 1));
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_GT(solveTime(8), solveTime(64));
+}
+
+TEST(ParadynGen, ExportHasAllArtifacts) {
+  util::TempDir dir;
+  ParadynRunSpec spec;
+  spec.machine = mcrConfig();
+  spec.nprocs = 4;
+  spec.metric_focus_pairs = 5;
+  spec.histogram_bins = 50;
+  spec.code_resources = 100;
+  const GeneratedRun run = generateParadynRun(spec, dir.path());
+  EXPECT_TRUE(std::filesystem::exists(dir.file("resources.txt")));
+  EXPECT_TRUE(std::filesystem::exists(dir.file("index.txt")));
+  EXPECT_TRUE(std::filesystem::exists(dir.file("shg.txt")));
+  EXPECT_TRUE(std::filesystem::exists(dir.file("histogram_000.hist")));
+  EXPECT_TRUE(std::filesystem::exists(dir.file("histogram_004.hist")));
+  EXPECT_EQ(run.files.size(), 5u + 3u);  // 5 histograms + resources/index/shg
+}
+
+TEST(ParadynGen, HistogramsContainNanPrefix) {
+  util::TempDir dir;
+  ParadynRunSpec spec;
+  spec.machine = mcrConfig();
+  spec.nprocs = 4;
+  spec.metric_focus_pairs = 10;
+  spec.histogram_bins = 100;
+  spec.code_resources = 50;
+  generateParadynRun(spec, dir.path());
+  // At least one histogram must carry 'nan' bins (late instrumentation).
+  bool saw_nan = false;
+  for (int h = 0; h < 10; ++h) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "histogram_%03d.hist", h);
+    if (slurp(dir.file(name)).find("nan") != std::string::npos) saw_nan = true;
+  }
+  EXPECT_TRUE(saw_nan);
+}
+
+TEST(ParadynGen, ResourceListCoversAllHierarchies) {
+  util::TempDir dir;
+  ParadynRunSpec spec;
+  spec.machine = mcrConfig();
+  spec.nprocs = 4;
+  spec.metric_focus_pairs = 2;
+  spec.histogram_bins = 10;
+  spec.code_resources = 20;
+  generateParadynRun(spec, dir.path());
+  const std::string text = slurp(dir.file("resources.txt"));
+  EXPECT_NE(text.find("/Code/"), std::string::npos);
+  EXPECT_NE(text.find("/Machine/MCR"), std::string::npos);
+  EXPECT_NE(text.find("/SyncObject/Message/"), std::string::npos);
+  EXPECT_NE(text.find("DEFAULT_MODULE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::sim

@@ -1,0 +1,62 @@
+#include "sim/machines.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ptdf/ptdf.h"
+
+namespace perftrack::sim {
+namespace {
+
+TEST(Machines, CaseStudyConfigsMatchPaperDescriptions) {
+  const MachineConfig frost = frostConfig();
+  EXPECT_EQ(frost.os_name, "AIX");
+  EXPECT_EQ(frost.processor.model, "Power3");
+  EXPECT_EQ(frost.processor.clock_mhz, 375);
+  EXPECT_EQ(frost.processors_per_node, 16);
+
+  const MachineConfig mcr = mcrConfig();
+  EXPECT_EQ(mcr.os_name, "Linux");
+  EXPECT_EQ(mcr.nodes, 1152);
+
+  const MachineConfig bgl = bglConfig();
+  EXPECT_EQ(bgl.nodes, 16384);
+  EXPECT_EQ(bgl.processor.model, "PowerPC440");
+  EXPECT_LT(bgl.noise_amplitude, 0.01);  // near-noiseless kernel
+
+  const MachineConfig uv = uvConfig();
+  EXPECT_EQ(uv.nodes, 128);
+  EXPECT_EQ(uv.processors_per_node, 8);
+  EXPECT_EQ(uv.processor.model, "Power4+");
+  EXPECT_EQ(uv.processor.clock_mhz, 1500);
+}
+
+TEST(Machines, ResourceNamesFollowGridHierarchy) {
+  const MachineConfig frost = frostConfig();
+  EXPECT_EQ(frost.machineResource(), "/SingleMachineFrost/Frost");
+  EXPECT_EQ(frost.partitionResource(), "/SingleMachineFrost/Frost/batch");
+  EXPECT_EQ(frost.nodeResource(121), "/SingleMachineFrost/Frost/batch/Frost121");
+  EXPECT_EQ(frost.processorResource(121, 0),
+            "/SingleMachineFrost/Frost/batch/Frost121/p0");
+}
+
+TEST(Machines, TotalProcessors) {
+  EXPECT_EQ(frostConfig().totalProcessors(), 68 * 16);
+  EXPECT_EQ(uvConfig().totalProcessors(), 1024);
+}
+
+TEST(Machines, EmitMachinePtdfRespectsNodeCap) {
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  emitMachinePtdf(writer, frostConfig(), /*max_nodes=*/2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("/SingleMachineFrost/Frost/batch/Frost0/p0"), std::string::npos);
+  EXPECT_NE(text.find("/SingleMachineFrost/Frost/batch/Frost1/p15"), std::string::npos);
+  EXPECT_EQ(text.find("Frost2/"), std::string::npos);  // capped at 2 nodes
+  EXPECT_NE(text.find("\"clock MHz\" 375"), std::string::npos);
+  EXPECT_NE(text.find("\"operating system\" AIX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::sim

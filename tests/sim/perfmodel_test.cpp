@@ -1,0 +1,116 @@
+#include "sim/perfmodel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::sim {
+namespace {
+
+FunctionWork computeBoundWork() {
+  FunctionWork work;
+  work.work_mflop = 10000.0;
+  work.serial_fraction = 0.01;
+  work.comm_bytes_per_proc = 1e6;
+  work.messages_per_proc = 100;
+  return work;
+}
+
+TEST(PerfModel, IdealTimeDecreasesWithProcessCount) {
+  PerfModel model(mcrConfig());
+  const FunctionWork work = computeBoundWork();
+  double prev = model.idealSeconds(work, 1);
+  for (int p : {2, 4, 8, 16, 32}) {
+    const double t = model.idealSeconds(work, p);
+    EXPECT_LT(t, prev) << "p=" << p;
+    prev = t;
+  }
+}
+
+TEST(PerfModel, SerialFractionBoundsSpeedup) {
+  PerfModel model(mcrConfig());
+  FunctionWork work = computeBoundWork();
+  work.serial_fraction = 0.1;
+  work.comm_bytes_per_proc = 0.0;
+  work.messages_per_proc = 0;
+  const double t1 = model.idealSeconds(work, 1);
+  const double t_many = model.idealSeconds(work, 4096);
+  // Amdahl: speedup can't exceed 1/serial_fraction.
+  EXPECT_GT(t_many, t1 * 0.09);
+}
+
+TEST(PerfModel, CommunicationGrowsWithTreeDepth) {
+  PerfModel model(mcrConfig());
+  FunctionWork work;
+  work.work_mflop = 0.0;
+  work.messages_per_proc = 1000;
+  // Pure-latency workload: more processes -> deeper trees -> more time.
+  EXPECT_LT(model.idealSeconds(work, 2), model.idealSeconds(work, 256));
+}
+
+TEST(PerfModel, InvalidProcessCountThrows) {
+  PerfModel model(mcrConfig());
+  EXPECT_THROW(model.idealSeconds(computeBoundWork(), 0), util::ModelError);
+  EXPECT_THROW(model.idealSeconds(computeBoundWork(), -4), util::ModelError);
+}
+
+TEST(PerfModel, RunIsDeterministicForSameSeed) {
+  PerfModel model(frostConfig());
+  util::Rng a(42);
+  util::Rng b(42);
+  const auto ta = model.run(computeBoundWork(), 16, a);
+  const auto tb = model.run(computeBoundWork(), 16, b);
+  EXPECT_EQ(ta.per_process_seconds, tb.per_process_seconds);
+}
+
+TEST(PerfModel, TimingStatisticsAreConsistent) {
+  PerfModel model(frostConfig());
+  util::Rng rng(7);
+  const auto timing = model.run(computeBoundWork(), 32, rng);
+  ASSERT_EQ(timing.per_process_seconds.size(), 32u);
+  EXPECT_LE(timing.minimum(), timing.average());
+  EXPECT_LE(timing.average(), timing.maximum());
+  EXPECT_NEAR(timing.aggregate(), timing.average() * 32.0, 1e-9);
+}
+
+TEST(PerfModel, NoisyMachineShowsMoreImbalanceThanQuietOne) {
+  // The Figure-5 driver: max/min spread at p=128 on Frost vs BG/L, averaged
+  // over several seeds to suppress sampling luck.
+  const FunctionWork work = computeBoundWork();
+  double frost_imbalance = 0.0;
+  double bgl_imbalance = 0.0;
+  for (int seed = 1; seed <= 10; ++seed) {
+    util::Rng rng_f(static_cast<std::uint64_t>(seed));
+    util::Rng rng_b(static_cast<std::uint64_t>(seed));
+    const auto frost = PerfModel(frostConfig()).run(work, 128, rng_f);
+    const auto bgl = PerfModel(bglConfig()).run(work, 128, rng_b);
+    frost_imbalance += frost.maximum() / frost.minimum();
+    bgl_imbalance += bgl.maximum() / bgl.minimum();
+  }
+  EXPECT_GT(frost_imbalance, bgl_imbalance * 1.02);
+}
+
+TEST(PerfModel, ImbalanceGrowsWithProcessCountOnNoisyMachine) {
+  const FunctionWork work = computeBoundWork();
+  auto avg_imbalance = [&](int nprocs) {
+    double total = 0.0;
+    for (int seed = 1; seed <= 20; ++seed) {
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 31);
+      const auto t = PerfModel(frostConfig()).run(work, nprocs, rng);
+      total += t.maximum() / t.minimum();
+    }
+    return total / 20.0;
+  };
+  EXPECT_LT(avg_imbalance(4), avg_imbalance(256));
+}
+
+TEST(PerfModel, EmptyTimingStatistics) {
+  FunctionTiming timing;
+  EXPECT_DOUBLE_EQ(timing.aggregate(), 0.0);
+  EXPECT_DOUBLE_EQ(timing.average(), 0.0);
+  EXPECT_DOUBLE_EQ(timing.maximum(), 0.0);
+  EXPECT_DOUBLE_EQ(timing.minimum(), 0.0);
+}
+
+}  // namespace
+}  // namespace perftrack::sim

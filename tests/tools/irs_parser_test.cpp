@@ -1,0 +1,131 @@
+#include "tools/irs_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/filter.h"
+#include "sim/irs_gen.h"
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::tools {
+namespace {
+
+class IrsParserTest : public ::testing::Test {
+ protected:
+  IrsParserTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    sim::IrsRunSpec spec{sim::frostConfig(), 8, "MPI", 4, ""};
+    run_ = sim::generateIrsRun(spec, dir_.path());
+  }
+
+  /// Converts the generated run and loads it; returns conversion count.
+  std::size_t convertAndLoad() {
+    std::ostringstream out;
+    ptdf::Writer writer(out);
+    const std::size_t converted = convertIrsRun(dir_.path(), sim::frostConfig(), writer);
+    std::istringstream in(out.str());
+    stats_ = ptdf::load(store_, in);
+    return converted;
+  }
+
+  util::TempDir dir_;
+  sim::GeneratedRun run_;
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+  ptdf::LoadStats stats_;
+};
+
+TEST_F(IrsParserTest, StdoutHeaderParses) {
+  const IrsRunHeader header = parseIrsStdout(dir_.file("irs_stdout.txt"));
+  EXPECT_EQ(header.exec_name, "irs-frost-np8-s4");
+  EXPECT_EQ(header.machine, "Frost");
+  EXPECT_EQ(header.version, "1.4");
+  EXPECT_EQ(header.nprocs, 8);
+  EXPECT_EQ(header.concurrency, "MPI");
+}
+
+TEST_F(IrsParserTest, MissingHeaderFieldsThrow) {
+  const auto bad = dir_.file("bad_stdout.txt");
+  {
+    std::ofstream out(bad);
+    out << "IRS banner without required fields\n";
+  }
+  EXPECT_THROW(parseIrsStdout(bad), util::ParseError);
+}
+
+TEST_F(IrsParserTest, ConversionCountMatchesLoad) {
+  const std::size_t converted = convertAndLoad();
+  EXPECT_EQ(converted, stats_.perf_results);
+  // ~80 functions x 5 metrics x 4 stats, minus ~5% n/a, plus 5 summaries.
+  EXPECT_GT(converted, 1300u);
+  EXPECT_LT(converted, 1650u);
+}
+
+TEST_F(IrsParserTest, MetricsMatchTableOne) {
+  convertAndLoad();
+  // 5 base metrics x 4 statistics + 5 summary metrics = 25 (Table 1).
+  EXPECT_EQ(store_.metrics().size(), 25u);
+}
+
+TEST_F(IrsParserTest, FunctionResourcesLiveInBuildHierarchy) {
+  convertAndLoad();
+  const auto cgsolve = store_.findResource("/IRS-1.4/irscg.c/cgsolve");
+  ASSERT_TRUE(cgsolve.has_value());
+  EXPECT_EQ(store_.resourceInfo(*cgsolve).type_path, "build/module/function");
+}
+
+TEST_F(IrsParserTest, ResultsCarryMachineAndExecutionContext) {
+  convertAndLoad();
+  const auto ids = store_.resultsForExecution("irs-frost-np8-s4");
+  ASSERT_FALSE(ids.empty());
+  const auto rec = store_.getResult(ids.front());
+  ASSERT_EQ(rec.contexts.size(), 1u);
+  bool saw_partition = false;
+  for (core::ResourceId id : rec.contexts[0]) {
+    if (store_.resourceInfo(id).full_name == "/SingleMachineFrost/Frost/batch") {
+      saw_partition = true;
+    }
+  }
+  EXPECT_TRUE(saw_partition);
+}
+
+TEST_F(IrsParserTest, QueryByFunctionFindsAllStatistics) {
+  convertAndLoad();
+  core::PrFilter filter;
+  filter.families.push_back(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  const auto results = core::queryResults(store_, filter);
+  // Up to 5 metrics x 4 statistics for that one function (some rows n/a).
+  EXPECT_GE(results.size(), 12u);
+  EXPECT_LE(results.size(), 20u);
+}
+
+TEST_F(IrsParserTest, SummaryResultsAtWholeExecutionLevel) {
+  convertAndLoad();
+  core::PrFilter filter;
+  filter.families.push_back(core::ResourceFilter::byName("/irs-frost-np8-s4",
+                                                         core::Expansion::None));
+  const auto all = core::queryResults(store_, filter);
+  // Every result (function-level and summary) has the execution root.
+  EXPECT_EQ(all.size(), stats_.perf_results);
+  // Summary metric present.
+  bool saw_fom = false;
+  for (std::int64_t id : all) {
+    if (store_.getResult(id).metric == "figure of merit") saw_fom = true;
+  }
+  EXPECT_TRUE(saw_fom);
+}
+
+TEST_F(IrsParserTest, BuildAndRunCapturesIncluded) {
+  convertAndLoad();
+  EXPECT_TRUE(store_.findResource("/build-irs-frost-np8-s4").has_value());
+  EXPECT_TRUE(store_.findResource("/env-irs-frost-np8-s4").has_value());
+  EXPECT_TRUE(store_.findResource("/xlc").has_value());
+  EXPECT_TRUE(store_.findResource("/irs-frost-np8-s4/p7").has_value());
+}
+
+}  // namespace
+}  // namespace perftrack::tools

@@ -1,0 +1,242 @@
+#include "tools/paradyn_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/filter.h"
+#include "sim/paradyn_gen.h"
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::tools {
+namespace {
+
+// --- the Figure-11 mapping, case by case ------------------------------------
+
+TEST(ParadynMapping, StaticCodeGoesToBuildHierarchy) {
+  const auto m = mapParadynResource("/Code/irscg.c/cgsolve", "run1", "IRS");
+  EXPECT_EQ(m.full_name, "/IRS-code/irscg.c/cgsolve");
+  EXPECT_EQ(m.type_path, "build/module/function");
+  EXPECT_TRUE(m.node_attribute.empty());
+}
+
+TEST(ParadynMapping, DynamicModuleGoesToEnvironmentHierarchy) {
+  const auto m = mapParadynResource("/Code/libmpi.so/MPI_Isend", "run1", "IRS");
+  EXPECT_EQ(m.full_name, "/IRS-env/libmpi.so/MPI_Isend");
+  EXPECT_EQ(m.type_path, "environment/module/function");
+}
+
+TEST(ParadynMapping, DefaultModuleDefaultsToBuild) {
+  // "we default to the build (static) hierarchy" for DEFAULT_MODULE.
+  const auto m = mapParadynResource("/Code/DEFAULT_MODULE/builtin_fn", "run1", "IRS");
+  EXPECT_EQ(m.type_path, "build/module/function");
+  EXPECT_EQ(m.full_name, "/IRS-code/DEFAULT_MODULE/builtin_fn");
+}
+
+TEST(ParadynMapping, MachineProcessGoesToExecutionWithNodeAttribute) {
+  const auto m = mapParadynResource("/Machine/mcr123/irs{4242}", "run1", "IRS");
+  EXPECT_EQ(m.full_name, "/run1/irs_4242");
+  EXPECT_EQ(m.type_path, "execution/process");
+  EXPECT_EQ(m.node_attribute, "mcr123");
+}
+
+TEST(ParadynMapping, SyncObjectGetsNewTopLevelHierarchy) {
+  const auto m = mapParadynResource("/SyncObject/Message/107", "run1", "IRS");
+  EXPECT_EQ(m.full_name, "/syncObjects-run1/Message/107");
+  EXPECT_EQ(m.type_path, "syncObject/class/object");
+  const auto w = mapParadynResource("/SyncObject/Window", "run1", "IRS");
+  EXPECT_EQ(w.type_path, "syncObject/class");
+}
+
+TEST(ParadynMapping, MalformedNamesThrow) {
+  EXPECT_THROW(mapParadynResource("no-slash", "r", "A"), util::ParseError);
+  EXPECT_THROW(mapParadynResource("/Code", "r", "A"), util::ParseError);
+  EXPECT_THROW(mapParadynResource("/Mystery/x/y", "r", "A"), util::ParseError);
+}
+
+// --- end-to-end conversion ---------------------------------------------------
+
+class ParadynConvertTest : public ::testing::Test {
+ protected:
+  ParadynConvertTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    sim::ParadynRunSpec spec;
+    spec.machine = sim::mcrConfig();
+    spec.nprocs = 4;
+    spec.seed = 9;
+    spec.metric_focus_pairs = 8;
+    spec.histogram_bins = 100;
+    spec.code_resources = 200;
+    run_ = sim::generateParadynRun(spec, dir_.path());
+  }
+
+  std::size_t convertAndLoad() {
+    std::ostringstream out;
+    ptdf::Writer writer(out);
+    const std::size_t converted =
+        convertParadynRun(dir_.path(), run_.exec_name, "IRS", writer);
+    std::istringstream in(out.str());
+    stats_ = ptdf::load(store_, in);
+    return converted;
+  }
+
+  util::TempDir dir_;
+  sim::GeneratedRun run_;
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+  ptdf::LoadStats stats_;
+};
+
+TEST_F(ParadynConvertTest, NanBinsProduceNoResults) {
+  const std::size_t converted = convertAndLoad();
+  EXPECT_EQ(converted, stats_.perf_results);
+  // 8 histograms x 100 bins = 800 potential; nan bins must remove some.
+  EXPECT_LT(converted, 800u);
+  EXPECT_GT(converted, 400u);
+}
+
+TEST_F(ParadynConvertTest, SyncObjectHierarchyRegistered) {
+  convertAndLoad();
+  EXPECT_TRUE(store_.hasResourceType("syncObject/class/object"));
+}
+
+TEST_F(ParadynConvertTest, BinsAreTimeIntervalResources) {
+  convertAndLoad();
+  const auto bin = store_.findResource("/" + run_.exec_name + "-time/bin50");
+  ASSERT_TRUE(bin.has_value());
+  EXPECT_EQ(store_.resourceInfo(*bin).type_path, "time/interval");
+  const auto attrs = store_.attributesOf(*bin);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].name, "end time");
+  EXPECT_EQ(attrs[1].name, "start time");
+  EXPECT_DOUBLE_EQ(std::stod(attrs[1].value), 50 * 0.2);
+}
+
+TEST_F(ParadynConvertTest, ResultsCarryBinAndFocusContext) {
+  convertAndLoad();
+  const auto ids = store_.resultsForExecution(run_.exec_name);
+  ASSERT_FALSE(ids.empty());
+  const auto rec = store_.getResult(ids.front());
+  EXPECT_EQ(rec.tool, "Paradyn");
+  ASSERT_EQ(rec.contexts.size(), 1u);
+  bool saw_bin = false;
+  for (core::ResourceId id : rec.contexts[0]) {
+    if (store_.resourceInfo(id).type_path == "time/interval") saw_bin = true;
+  }
+  EXPECT_TRUE(saw_bin);
+  // Bin start/end recorded on the result itself too.
+  EXPECT_GE(rec.start_time, 0.0);
+  EXPECT_GT(rec.end_time, rec.start_time);
+}
+
+TEST_F(ParadynConvertTest, ProcessResourcesCarryNodeAttribute) {
+  convertAndLoad();
+  // Generator put ranks on nodes MCR0/MCR1 (2 procs per node).
+  const auto procs = store_.childrenOf(*store_.findResource("/" + run_.exec_name));
+  ASSERT_FALSE(procs.empty());
+  bool saw_node_attr = false;
+  for (const auto& proc : procs) {
+    for (const auto& attr : store_.attributesOf(proc.id)) {
+      if (attr.name == "node" && attr.value.rfind("MCR", 0) == 0) saw_node_attr = true;
+    }
+  }
+  EXPECT_TRUE(saw_node_attr);
+}
+
+TEST_F(ParadynConvertTest, QueryByTimeWindowNarrowsResults) {
+  convertAndLoad();
+  core::PrFilter all_bins;
+  all_bins.families.push_back(core::ResourceFilter::byType("time/interval"));
+  const auto everything = core::queryResults(store_, all_bins);
+
+  core::PrFilter early;
+  early.families.push_back(core::ResourceFilter::byAttributes(
+      {{"start time", "<", "5"}}, "time/interval"));
+  const auto early_results = core::queryResults(store_, early);
+  EXPECT_LT(early_results.size(), everything.size());
+  EXPECT_GT(early_results.size(), 0u);
+}
+
+TEST_F(ParadynConvertTest, EightParadynMetrics) {
+  convertAndLoad();
+  EXPECT_LE(store_.metrics().size(), 8u);  // Table 1 row 3: 8 metrics
+  EXPECT_GE(store_.metrics().size(), 4u);
+}
+
+TEST_F(ParadynConvertTest, HistogramModeStoresOneResultPerPair) {
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  const std::size_t converted = convertParadynRun(
+      dir_.path(), run_.exec_name, "IRS", writer, BinMode::HistogramResults);
+  EXPECT_EQ(converted, 8u);  // one per metric-focus pair
+  std::istringstream in(out.str());
+  stats_ = ptdf::load(store_, in);
+  EXPECT_EQ(stats_.histograms, 8u);
+  const auto ids = store_.resultsForExecution(run_.exec_name);
+  ASSERT_EQ(ids.size(), 8u);
+  // Each result carries its full series; nan bins are holes.
+  const auto hist = store_.getHistogram(ids.front());
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->num_bins, 100);
+  EXPECT_LT(hist->bins.size(), 100u);
+  EXPECT_GT(hist->bins.size(), 0u);
+  // The scalar view still works for comparisons: value = series sum.
+  const auto rec = store_.getResult(ids.front());
+  double sum = 0.0;
+  for (const auto& [bin, v] : hist->bins) sum += v;
+  EXPECT_NEAR(rec.value, sum, std::abs(sum) * 1e-6 + 1e-9);
+}
+
+TEST_F(ParadynConvertTest, HistogramModeMatchesPerBinTotals) {
+  // The two representations must agree on the total measured quantity.
+  std::ostringstream per_bin_out;
+  ptdf::Writer per_bin_writer(per_bin_out);
+  convertParadynRun(dir_.path(), "perbin-run", "IRS", per_bin_writer,
+                    BinMode::PerBinResults);
+  std::ostringstream hist_out;
+  ptdf::Writer hist_writer(hist_out);
+  convertParadynRun(dir_.path(), "hist-run", "IRS", hist_writer,
+                    BinMode::HistogramResults);
+  {
+    std::istringstream in(per_bin_out.str());
+    ptdf::load(store_, in);
+  }
+  {
+    std::istringstream in(hist_out.str());
+    ptdf::load(store_, in);
+  }
+  auto total = [&](const std::string& exec) {
+    double sum = 0.0;
+    for (std::int64_t id : store_.resultsForExecution(exec)) {
+      sum += store_.getResult(id).value;
+    }
+    return sum;
+  };
+  EXPECT_NEAR(total("perbin-run"), total("hist-run"),
+              std::abs(total("hist-run")) * 1e-5 + 1e-9);
+}
+
+TEST_F(ParadynConvertTest, TruncatedHistogramRejected) {
+  // Corrupt one histogram: drop its last lines.
+  const auto path = dir_.file("histogram_000.hist");
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents = buf.str();
+  }
+  {
+    std::ofstream out(path);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  std::ostringstream out;
+  ptdf::Writer writer(out);
+  EXPECT_THROW(convertParadynRun(dir_.path(), run_.exec_name, "IRS", writer),
+               util::ParseError);
+}
+
+}  // namespace
+}  // namespace perftrack::tools

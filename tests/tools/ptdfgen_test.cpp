@@ -1,0 +1,93 @@
+#include "tools/ptdfgen.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/datastore.h"
+#include "ptdf/ptdf.h"
+#include "sim/irs_gen.h"
+#include "sim/smg_gen.h"
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::tools {
+namespace {
+
+TEST(MachineByName, LooksUpCaseInsensitively) {
+  EXPECT_EQ(machineByName("frost").name, "Frost");
+  EXPECT_EQ(machineByName("MCR").name, "MCR");
+  EXPECT_EQ(machineByName("Bgl").name, "BGL");
+  EXPECT_EQ(machineByName("uv").name, "UV");
+  EXPECT_THROW(machineByName("purple"), util::PTError);
+}
+
+TEST(ParseIndexFile, ValidEntries) {
+  util::TempDir dir;
+  const auto index = dir.file("index.txt");
+  {
+    std::ofstream out(index);
+    out << "# case study 1\n"
+        << "irs /data/run1 frost\n"
+        << "smg /data/run2 bgl my-exec\n"
+        << "paradyn /data/run3 mcr pd-exec\n";
+  }
+  const auto entries = parseIndexFile(index);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].kind, "irs");
+  EXPECT_EQ(entries[0].machine, "frost");
+  EXPECT_TRUE(entries[0].exec_name.empty());
+  EXPECT_EQ(entries[1].exec_name, "my-exec");
+  EXPECT_EQ(entries[2].kind, "paradyn");
+}
+
+TEST(ParseIndexFile, RejectsMalformedEntries) {
+  util::TempDir dir;
+  auto write = [&](const char* text) {
+    const auto path = dir.file("bad.txt");
+    std::ofstream out(path);
+    out << text;
+    out.close();
+    return path;
+  };
+  EXPECT_THROW(parseIndexFile(write("irs onlyonefield\n")), util::ParseError);
+  EXPECT_THROW(parseIndexFile(write("teleport /d frost\n")), util::ParseError);
+  // paradyn requires an execution name
+  EXPECT_THROW(parseIndexFile(write("paradyn /d mcr\n")), util::ParseError);
+  EXPECT_THROW(parseIndexFile("/no/such/index"), util::PTError);
+}
+
+TEST(GenerateFromIndex, EndToEndConversionAndLoad) {
+  util::TempDir dir;
+  // Two real runs.
+  sim::generateIrsRun({machineByName("frost"), 8, "MPI", 1, ""}, dir.file("irs-run"));
+  sim::SmgRunSpec smg;
+  smg.machine = machineByName("bgl");
+  smg.nprocs = 64;
+  sim::generateSmgRun(smg, dir.file("smg-run"));
+
+  const auto index = dir.file("index.txt");
+  {
+    std::ofstream out(index);
+    out << "irs " << dir.file("irs-run").string() << " frost\n"
+        << "smg " << dir.file("smg-run").string() << " bgl\n";
+  }
+  const auto results = generateFromIndex(index, dir.file("out"));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].perf_results, 1000u);
+  EXPECT_EQ(results[1].perf_results, 8u);
+  EXPECT_GT(results[0].ptdf_lines, 1000u);
+
+  // The produced PTdf files load cleanly.
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+  for (const auto& r : results) {
+    const auto stats = ptdf::loadFile(store, r.ptdf_file.string());
+    EXPECT_EQ(stats.perf_results, r.perf_results);
+  }
+  EXPECT_EQ(store.executions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace perftrack::tools

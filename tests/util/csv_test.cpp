@@ -1,0 +1,47 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace perftrack::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(WriteCsvRow, JoinsAndTerminates) {
+  std::ostringstream out;
+  writeCsvRow(out, {"a", "b,c", "d"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(ParseCsvLine, RoundTripsEscapedFields) {
+  const auto fields = parseCsvLine("a,\"b,c\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  const auto fields = parseCsvLine(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parseCsvLine("\"oops"), ParseError);
+}
+
+}  // namespace
+}  // namespace perftrack::util

@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perftrack::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalApproximatesMoments) {
+  Rng rng(123);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositiveWithMatchingMean) {
+  Rng rng(55);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(4.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace perftrack::util

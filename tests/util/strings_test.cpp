@@ -1,0 +1,111 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace perftrack::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto fields = split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(Split, EmptyInputIsSingleEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(SplitN, RemainderStaysInLastField) {
+  const auto fields = splitN("a b c d", ' ', 3);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "c d");
+}
+
+TEST(SplitN, FewerFieldsThanMax) {
+  const auto fields = splitN("a b", ' ', 5);
+  ASSERT_EQ(fields.size(), 2u);
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  const auto fields = splitWhitespace("  foo\t bar\nbaz  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "foo");
+  EXPECT_EQ(fields[1], "bar");
+  EXPECT_EQ(fields[2], "baz");
+}
+
+TEST(SplitWhitespace, EmptyAndBlankInputs) {
+  EXPECT_TRUE(splitWhitespace("").empty());
+  EXPECT_TRUE(splitWhitespace("   \t\n ").empty());
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"solo"}, "/"), "solo");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(startsWith("grid/machine", "grid"));
+  EXPECT_FALSE(startsWith("grid", "grid/machine"));
+  EXPECT_TRUE(endsWith("Frost/batch", "/batch"));
+  EXPECT_FALSE(endsWith("batch", "Frost/batch"));
+}
+
+TEST(CaseHelpers, LowerAndIequals) {
+  EXPECT_EQ(toLower("MixedCase42"), "mixedcase42");
+  EXPECT_TRUE(iequals("SELECT", "select"));
+  EXPECT_FALSE(iequals("SELECT", "SELECTS"));
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-17"), -17);
+  EXPECT_EQ(parseInt(" 8 "), 8);
+  EXPECT_FALSE(parseInt("4.2").has_value());
+  EXPECT_FALSE(parseInt("x").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(ParseReal, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*parseReal("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*parseReal("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*parseReal("7"), 7.0);
+  EXPECT_FALSE(parseReal("7px").has_value());
+  EXPECT_FALSE(parseReal("").has_value());
+}
+
+TEST(FormatReal, TrimsTrailingZeros) {
+  EXPECT_EQ(formatReal(1.5), "1.5");
+  EXPECT_EQ(formatReal(2.0), "2");
+  EXPECT_EQ(formatReal(0.125), "0.125");
+  EXPECT_EQ(formatReal(-3.25), "-3.25");
+}
+
+TEST(SqlQuote, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(sqlQuote("abc"), "'abc'");
+  EXPECT_EQ(sqlQuote("it's"), "'it''s'");
+  EXPECT_EQ(sqlQuote(""), "''");
+}
+
+}  // namespace
+}  // namespace perftrack::util
