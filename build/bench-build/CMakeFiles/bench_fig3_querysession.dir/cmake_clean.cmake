@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_querysession"
+  "../bench/bench_fig3_querysession.pdb"
+  "CMakeFiles/bench_fig3_querysession.dir/bench_fig3_querysession.cpp.o"
+  "CMakeFiles/bench_fig3_querysession.dir/bench_fig3_querysession.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_querysession.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

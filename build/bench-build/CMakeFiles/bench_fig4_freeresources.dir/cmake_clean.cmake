@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_freeresources"
+  "../bench/bench_fig4_freeresources.pdb"
+  "CMakeFiles/bench_fig4_freeresources.dir/bench_fig4_freeresources.cpp.o"
+  "CMakeFiles/bench_fig4_freeresources.dir/bench_fig4_freeresources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_freeresources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_loadbalance"
+  "../bench/bench_fig5_loadbalance.pdb"
+  "CMakeFiles/bench_fig5_loadbalance.dir/bench_fig5_loadbalance.cpp.o"
+  "CMakeFiles/bench_fig5_loadbalance.dir/bench_fig5_loadbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_import.dir/paradyn_import.cpp.o"
+  "CMakeFiles/paradyn_import.dir/paradyn_import.cpp.o.d"
+  "paradyn_import"
+  "paradyn_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purple_study.dir/purple_study.cpp.o"
+  "CMakeFiles/purple_study.dir/purple_study.cpp.o.d"
+  "purple_study"
+  "purple_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purple_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

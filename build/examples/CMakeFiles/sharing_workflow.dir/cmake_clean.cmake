@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_workflow.dir/sharing_workflow.cpp.o"
+  "CMakeFiles/sharing_workflow.dir/sharing_workflow.cpp.o.d"
+  "sharing_workflow"
+  "sharing_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

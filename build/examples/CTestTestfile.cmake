@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_purple_study]=] "/root/repo/build/examples/purple_study")
+set_tests_properties([=[example_purple_study]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_noise_study]=] "/root/repo/build/examples/noise_study")
+set_tests_properties([=[example_noise_study]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_paradyn_import]=] "/root/repo/build/examples/paradyn_import")
+set_tests_properties([=[example_paradyn_import]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sharing_workflow]=] "/root/repo/build/examples/sharing_workflow")
+set_tests_properties([=[example_sharing_workflow]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyze/barchart.cpp" "src/analyze/CMakeFiles/pt_analyze.dir/barchart.cpp.o" "gcc" "src/analyze/CMakeFiles/pt_analyze.dir/barchart.cpp.o.d"
+  "/root/repo/src/analyze/compare.cpp" "src/analyze/CMakeFiles/pt_analyze.dir/compare.cpp.o" "gcc" "src/analyze/CMakeFiles/pt_analyze.dir/compare.cpp.o.d"
+  "/root/repo/src/analyze/loadbalance.cpp" "src/analyze/CMakeFiles/pt_analyze.dir/loadbalance.cpp.o" "gcc" "src/analyze/CMakeFiles/pt_analyze.dir/loadbalance.cpp.o.d"
+  "/root/repo/src/analyze/predict.cpp" "src/analyze/CMakeFiles/pt_analyze.dir/predict.cpp.o" "gcc" "src/analyze/CMakeFiles/pt_analyze.dir/predict.cpp.o.d"
+  "/root/repo/src/analyze/scaling.cpp" "src/analyze/CMakeFiles/pt_analyze.dir/scaling.cpp.o" "gcc" "src/analyze/CMakeFiles/pt_analyze.dir/scaling.cpp.o.d"
+  "/root/repo/src/analyze/session_shell.cpp" "src/analyze/CMakeFiles/pt_analyze.dir/session_shell.cpp.o" "gcc" "src/analyze/CMakeFiles/pt_analyze.dir/session_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbal/CMakeFiles/pt_dbal.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/pt_minidb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

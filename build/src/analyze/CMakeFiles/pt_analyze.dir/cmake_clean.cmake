@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_analyze.dir/barchart.cpp.o"
+  "CMakeFiles/pt_analyze.dir/barchart.cpp.o.d"
+  "CMakeFiles/pt_analyze.dir/compare.cpp.o"
+  "CMakeFiles/pt_analyze.dir/compare.cpp.o.d"
+  "CMakeFiles/pt_analyze.dir/loadbalance.cpp.o"
+  "CMakeFiles/pt_analyze.dir/loadbalance.cpp.o.d"
+  "CMakeFiles/pt_analyze.dir/predict.cpp.o"
+  "CMakeFiles/pt_analyze.dir/predict.cpp.o.d"
+  "CMakeFiles/pt_analyze.dir/scaling.cpp.o"
+  "CMakeFiles/pt_analyze.dir/scaling.cpp.o.d"
+  "CMakeFiles/pt_analyze.dir/session_shell.cpp.o"
+  "CMakeFiles/pt_analyze.dir/session_shell.cpp.o.d"
+  "libpt_analyze.a"
+  "libpt_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

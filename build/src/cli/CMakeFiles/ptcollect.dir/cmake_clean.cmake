@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptcollect.dir/ptcollect.cpp.o"
+  "CMakeFiles/ptcollect.dir/ptcollect.cpp.o.d"
+  "ptcollect"
+  "ptcollect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptcollect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ptcollect.
+# This may be replaced when dependencies are built.

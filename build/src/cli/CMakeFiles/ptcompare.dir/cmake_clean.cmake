@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptcompare.dir/ptcompare.cpp.o"
+  "CMakeFiles/ptcompare.dir/ptcompare.cpp.o.d"
+  "ptcompare"
+  "ptcompare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptcompare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

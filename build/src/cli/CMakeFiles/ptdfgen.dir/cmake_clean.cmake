@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdfgen.dir/ptdfgen.cpp.o"
+  "CMakeFiles/ptdfgen.dir/ptdfgen.cpp.o.d"
+  "ptdfgen"
+  "ptdfgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdfgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

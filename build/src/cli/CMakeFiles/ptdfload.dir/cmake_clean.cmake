@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdfload.dir/ptdfload.cpp.o"
+  "CMakeFiles/ptdfload.dir/ptdfload.cpp.o.d"
+  "ptdfload"
+  "ptdfload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdfload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptexport.dir/ptexport.cpp.o"
+  "CMakeFiles/ptexport.dir/ptexport.cpp.o.d"
+  "ptexport"
+  "ptexport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptexport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptgen.dir/ptgen.cpp.o"
+  "CMakeFiles/ptgen.dir/ptgen.cpp.o.d"
+  "ptgen"
+  "ptgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptquery.dir/ptquery.cpp.o"
+  "CMakeFiles/ptquery.dir/ptquery.cpp.o.d"
+  "ptquery"
+  "ptquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/cli
+# Build directory: /root/repo/build/src/cli
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_ptquery_report]=] "/root/repo/build/src/cli/ptquery" ":memory:" "report")
+set_tests_properties([=[cli_ptquery_report]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;8;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test([=[cli_ptquery_types]=] "/root/repo/build/src/cli/ptquery" ":memory:" "types")
+set_tests_properties([=[cli_ptquery_types]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;9;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test([=[cli_ptquery_sql]=] "/root/repo/build/src/cli/ptquery" ":memory:" "sql" "SELECT COUNT(*) FROM metric")
+set_tests_properties([=[cli_ptquery_sql]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;10;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test([=[cli_ptexport_empty]=] "/root/repo/build/src/cli/ptexport" ":memory:")
+set_tests_properties([=[cli_ptexport_empty]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;11;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test([=[cli_ptquery_check]=] "/root/repo/build/src/cli/ptquery" ":memory:" "check")
+set_tests_properties([=[cli_ptquery_check]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;12;add_test;/root/repo/src/cli/CMakeLists.txt;0;")

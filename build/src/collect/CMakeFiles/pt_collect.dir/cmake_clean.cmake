@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_collect.dir/collect.cpp.o"
+  "CMakeFiles/pt_collect.dir/collect.cpp.o.d"
+  "libpt_collect.a"
+  "libpt_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

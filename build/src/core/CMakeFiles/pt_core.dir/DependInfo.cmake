@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/datastore.cpp" "src/core/CMakeFiles/pt_core.dir/datastore.cpp.o" "gcc" "src/core/CMakeFiles/pt_core.dir/datastore.cpp.o.d"
+  "/root/repo/src/core/filter.cpp" "src/core/CMakeFiles/pt_core.dir/filter.cpp.o" "gcc" "src/core/CMakeFiles/pt_core.dir/filter.cpp.o.d"
+  "/root/repo/src/core/integrity.cpp" "src/core/CMakeFiles/pt_core.dir/integrity.cpp.o" "gcc" "src/core/CMakeFiles/pt_core.dir/integrity.cpp.o.d"
+  "/root/repo/src/core/query_session.cpp" "src/core/CMakeFiles/pt_core.dir/query_session.cpp.o" "gcc" "src/core/CMakeFiles/pt_core.dir/query_session.cpp.o.d"
+  "/root/repo/src/core/reports.cpp" "src/core/CMakeFiles/pt_core.dir/reports.cpp.o" "gcc" "src/core/CMakeFiles/pt_core.dir/reports.cpp.o.d"
+  "/root/repo/src/core/typesystem.cpp" "src/core/CMakeFiles/pt_core.dir/typesystem.cpp.o" "gcc" "src/core/CMakeFiles/pt_core.dir/typesystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbal/CMakeFiles/pt_dbal.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/pt_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

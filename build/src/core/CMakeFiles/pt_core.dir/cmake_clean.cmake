@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_core.dir/datastore.cpp.o"
+  "CMakeFiles/pt_core.dir/datastore.cpp.o.d"
+  "CMakeFiles/pt_core.dir/filter.cpp.o"
+  "CMakeFiles/pt_core.dir/filter.cpp.o.d"
+  "CMakeFiles/pt_core.dir/integrity.cpp.o"
+  "CMakeFiles/pt_core.dir/integrity.cpp.o.d"
+  "CMakeFiles/pt_core.dir/query_session.cpp.o"
+  "CMakeFiles/pt_core.dir/query_session.cpp.o.d"
+  "CMakeFiles/pt_core.dir/reports.cpp.o"
+  "CMakeFiles/pt_core.dir/reports.cpp.o.d"
+  "CMakeFiles/pt_core.dir/typesystem.cpp.o"
+  "CMakeFiles/pt_core.dir/typesystem.cpp.o.d"
+  "libpt_core.a"
+  "libpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

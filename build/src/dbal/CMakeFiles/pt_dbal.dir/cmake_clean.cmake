@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_dbal.dir/connection.cpp.o"
+  "CMakeFiles/pt_dbal.dir/connection.cpp.o.d"
+  "CMakeFiles/pt_dbal.dir/schema.cpp.o"
+  "CMakeFiles/pt_dbal.dir/schema.cpp.o.d"
+  "libpt_dbal.a"
+  "libpt_dbal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_dbal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/btree.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/btree.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/btree.cpp.o.d"
+  "/root/repo/src/minidb/catalog.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/catalog.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/catalog.cpp.o.d"
+  "/root/repo/src/minidb/database.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/database.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/database.cpp.o.d"
+  "/root/repo/src/minidb/heap.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/heap.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/heap.cpp.o.d"
+  "/root/repo/src/minidb/keycodec.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/keycodec.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/keycodec.cpp.o.d"
+  "/root/repo/src/minidb/pager.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/pager.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/pager.cpp.o.d"
+  "/root/repo/src/minidb/sql/executor.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/sql/executor.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/sql/executor.cpp.o.d"
+  "/root/repo/src/minidb/sql/lexer.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/sql/lexer.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/minidb/sql/parser.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/sql/parser.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/minidb/value.cpp" "src/minidb/CMakeFiles/pt_minidb.dir/value.cpp.o" "gcc" "src/minidb/CMakeFiles/pt_minidb.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

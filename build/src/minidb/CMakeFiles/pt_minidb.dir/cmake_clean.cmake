@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_minidb.dir/btree.cpp.o"
+  "CMakeFiles/pt_minidb.dir/btree.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/catalog.cpp.o"
+  "CMakeFiles/pt_minidb.dir/catalog.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/database.cpp.o"
+  "CMakeFiles/pt_minidb.dir/database.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/heap.cpp.o"
+  "CMakeFiles/pt_minidb.dir/heap.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/keycodec.cpp.o"
+  "CMakeFiles/pt_minidb.dir/keycodec.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/pager.cpp.o"
+  "CMakeFiles/pt_minidb.dir/pager.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/sql/executor.cpp.o"
+  "CMakeFiles/pt_minidb.dir/sql/executor.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/sql/lexer.cpp.o"
+  "CMakeFiles/pt_minidb.dir/sql/lexer.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/sql/parser.cpp.o"
+  "CMakeFiles/pt_minidb.dir/sql/parser.cpp.o.d"
+  "CMakeFiles/pt_minidb.dir/value.cpp.o"
+  "CMakeFiles/pt_minidb.dir/value.cpp.o.d"
+  "libpt_minidb.a"
+  "libpt_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_ptdf.dir/export.cpp.o"
+  "CMakeFiles/pt_ptdf.dir/export.cpp.o.d"
+  "CMakeFiles/pt_ptdf.dir/ptdf.cpp.o"
+  "CMakeFiles/pt_ptdf.dir/ptdf.cpp.o.d"
+  "libpt_ptdf.a"
+  "libpt_ptdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_ptdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

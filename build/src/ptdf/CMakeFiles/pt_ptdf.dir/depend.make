@@ -1,0 +1,2 @@
+# Empty dependencies file for pt_ptdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_sim.dir/irs_gen.cpp.o"
+  "CMakeFiles/pt_sim.dir/irs_gen.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/machines.cpp.o"
+  "CMakeFiles/pt_sim.dir/machines.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/paradyn_gen.cpp.o"
+  "CMakeFiles/pt_sim.dir/paradyn_gen.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/perfmodel.cpp.o"
+  "CMakeFiles/pt_sim.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/smg_gen.cpp.o"
+  "CMakeFiles/pt_sim.dir/smg_gen.cpp.o.d"
+  "libpt_sim.a"
+  "libpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_tools.dir/irs_parser.cpp.o"
+  "CMakeFiles/pt_tools.dir/irs_parser.cpp.o.d"
+  "CMakeFiles/pt_tools.dir/paradyn_parser.cpp.o"
+  "CMakeFiles/pt_tools.dir/paradyn_parser.cpp.o.d"
+  "CMakeFiles/pt_tools.dir/ptdfgen.cpp.o"
+  "CMakeFiles/pt_tools.dir/ptdfgen.cpp.o.d"
+  "CMakeFiles/pt_tools.dir/smg_parser.cpp.o"
+  "CMakeFiles/pt_tools.dir/smg_parser.cpp.o.d"
+  "libpt_tools.a"
+  "libpt_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_util.dir/csv.cpp.o"
+  "CMakeFiles/pt_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pt_util.dir/rng.cpp.o"
+  "CMakeFiles/pt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pt_util.dir/strings.cpp.o"
+  "CMakeFiles/pt_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pt_util.dir/tempdir.cpp.o"
+  "CMakeFiles/pt_util.dir/tempdir.cpp.o.d"
+  "libpt_util.a"
+  "libpt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

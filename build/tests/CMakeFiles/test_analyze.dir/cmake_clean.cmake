@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyze.dir/analyze/barchart_test.cpp.o"
+  "CMakeFiles/test_analyze.dir/analyze/barchart_test.cpp.o.d"
+  "CMakeFiles/test_analyze.dir/analyze/compare_test.cpp.o"
+  "CMakeFiles/test_analyze.dir/analyze/compare_test.cpp.o.d"
+  "CMakeFiles/test_analyze.dir/analyze/loadbalance_test.cpp.o"
+  "CMakeFiles/test_analyze.dir/analyze/loadbalance_test.cpp.o.d"
+  "CMakeFiles/test_analyze.dir/analyze/predict_test.cpp.o"
+  "CMakeFiles/test_analyze.dir/analyze/predict_test.cpp.o.d"
+  "CMakeFiles/test_analyze.dir/analyze/scaling_test.cpp.o"
+  "CMakeFiles/test_analyze.dir/analyze/scaling_test.cpp.o.d"
+  "CMakeFiles/test_analyze.dir/analyze/session_shell_test.cpp.o"
+  "CMakeFiles/test_analyze.dir/analyze/session_shell_test.cpp.o.d"
+  "test_analyze"
+  "test_analyze.pdb"
+  "test_analyze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collect.dir/collect/collect_test.cpp.o"
+  "CMakeFiles/test_collect.dir/collect/collect_test.cpp.o.d"
+  "test_collect"
+  "test_collect.pdb"
+  "test_collect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/datastore_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/datastore_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/filter_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/filter_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/model_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/model_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/query_session_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/query_session_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/reports_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/reports_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/typesystem_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/typesystem_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

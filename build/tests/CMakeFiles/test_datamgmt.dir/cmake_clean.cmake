@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datamgmt.dir/core/delete_execution_test.cpp.o"
+  "CMakeFiles/test_datamgmt.dir/core/delete_execution_test.cpp.o.d"
+  "CMakeFiles/test_datamgmt.dir/core/integrity_test.cpp.o"
+  "CMakeFiles/test_datamgmt.dir/core/integrity_test.cpp.o.d"
+  "test_datamgmt"
+  "test_datamgmt.pdb"
+  "test_datamgmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datamgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbal.dir/dbal/schema_test.cpp.o"
+  "CMakeFiles/test_dbal.dir/dbal/schema_test.cpp.o.d"
+  "test_dbal"
+  "test_dbal.pdb"
+  "test_dbal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/pt_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/pt_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/pt_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptdf/CMakeFiles/pt_ptdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbal/CMakeFiles/pt_dbal.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/pt_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

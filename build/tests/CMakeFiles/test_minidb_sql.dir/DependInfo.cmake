@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minidb/composite_null_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/composite_null_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/composite_null_test.cpp.o.d"
+  "/root/repo/tests/minidb/executor_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/executor_test.cpp.o.d"
+  "/root/repo/tests/minidb/lexer_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/lexer_test.cpp.o.d"
+  "/root/repo/tests/minidb/parser_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/parser_test.cpp.o.d"
+  "/root/repo/tests/minidb/property_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/property_test.cpp.o.d"
+  "/root/repo/tests/minidb/sql_features_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/sql_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/sql_features_test.cpp.o.d"
+  "/root/repo/tests/minidb/transaction_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/transaction_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/transaction_test.cpp.o.d"
+  "/root/repo/tests/minidb/txn_property_test.cpp" "tests/CMakeFiles/test_minidb_sql.dir/minidb/txn_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_minidb_sql.dir/minidb/txn_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minidb/CMakeFiles/pt_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minidb_sql.dir/minidb/composite_null_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/composite_null_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/executor_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/executor_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/lexer_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/lexer_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/parser_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/parser_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/property_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/property_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/sql_features_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/sql_features_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/transaction_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/transaction_test.cpp.o.d"
+  "CMakeFiles/test_minidb_sql.dir/minidb/txn_property_test.cpp.o"
+  "CMakeFiles/test_minidb_sql.dir/minidb/txn_property_test.cpp.o.d"
+  "test_minidb_sql"
+  "test_minidb_sql.pdb"
+  "test_minidb_sql[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minidb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

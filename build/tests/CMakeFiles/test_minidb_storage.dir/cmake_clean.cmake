@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minidb_storage.dir/minidb/btree_test.cpp.o"
+  "CMakeFiles/test_minidb_storage.dir/minidb/btree_test.cpp.o.d"
+  "CMakeFiles/test_minidb_storage.dir/minidb/database_test.cpp.o"
+  "CMakeFiles/test_minidb_storage.dir/minidb/database_test.cpp.o.d"
+  "CMakeFiles/test_minidb_storage.dir/minidb/heap_test.cpp.o"
+  "CMakeFiles/test_minidb_storage.dir/minidb/heap_test.cpp.o.d"
+  "CMakeFiles/test_minidb_storage.dir/minidb/keycodec_test.cpp.o"
+  "CMakeFiles/test_minidb_storage.dir/minidb/keycodec_test.cpp.o.d"
+  "CMakeFiles/test_minidb_storage.dir/minidb/pager_test.cpp.o"
+  "CMakeFiles/test_minidb_storage.dir/minidb/pager_test.cpp.o.d"
+  "CMakeFiles/test_minidb_storage.dir/minidb/value_test.cpp.o"
+  "CMakeFiles/test_minidb_storage.dir/minidb/value_test.cpp.o.d"
+  "test_minidb_storage"
+  "test_minidb_storage.pdb"
+  "test_minidb_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minidb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptdf.dir/core/histogram_test.cpp.o"
+  "CMakeFiles/test_ptdf.dir/core/histogram_test.cpp.o.d"
+  "CMakeFiles/test_ptdf.dir/ptdf/export_test.cpp.o"
+  "CMakeFiles/test_ptdf.dir/ptdf/export_test.cpp.o.d"
+  "CMakeFiles/test_ptdf.dir/ptdf/loader_robustness_test.cpp.o"
+  "CMakeFiles/test_ptdf.dir/ptdf/loader_robustness_test.cpp.o.d"
+  "CMakeFiles/test_ptdf.dir/ptdf/ptdf_test.cpp.o"
+  "CMakeFiles/test_ptdf.dir/ptdf/ptdf_test.cpp.o.d"
+  "test_ptdf"
+  "test_ptdf.pdb"
+  "test_ptdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

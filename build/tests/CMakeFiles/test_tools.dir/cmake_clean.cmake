@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools.dir/tools/irs_parser_test.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/irs_parser_test.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/paradyn_parser_test.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/paradyn_parser_test.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/ptdfgen_test.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/ptdfgen_test.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/smg_parser_test.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/smg_parser_test.cpp.o.d"
+  "test_tools"
+  "test_tools.pdb"
+  "test_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_minidb_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_minidb_sql[1]_include.cmake")
+include("/root/repo/build/tests/test_dbal[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_ptdf[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_collect[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_analyze[1]_include.cmake")
+include("/root/repo/build/tests/test_datamgmt[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
