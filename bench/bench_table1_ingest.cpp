@@ -53,6 +53,22 @@ void printRow(const DatasetRow& row) {
               row.load_seconds);
 }
 
+/// PT_TABLE1_JSON=<path>: also emit the rows as a JSON array, one object per
+/// dataset, for scripts/bench_smoke.sh and before/after comparisons.
+void writeJson(const std::string& path, const std::vector<DatasetRow>& rows) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DatasetRow& r = rows[i];
+    out << "  {\"dataset\": \"" << r.name << "\", \"execs_loaded\": " << r.execs_loaded
+        << ", \"results_per_exec\": " << r.results_per_exec
+        << ", \"db_growth_bytes\": " << r.db_growth
+        << ", \"load_seconds\": " << r.load_seconds << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 }  // namespace
 
 int main() {
@@ -64,6 +80,7 @@ int main() {
 
   bench::Store s = bench::Store::openMemory();
   util::TempDir workspace("table1");
+  std::vector<DatasetRow> all_rows;
 
   std::printf("Table 1: statistics for raw data, PTdf, and data store\n");
   std::printf("%-10s %5s %12s %10s %8s %10s %6s /%9s %7s %13s %10s\n", "dataset",
@@ -105,6 +122,7 @@ int main() {
     row.db_growth = end_stats.size_bytes - base_stats.size_bytes;
     row.load_seconds = timer.elapsedSeconds();
     printRow(row);
+    all_rows.push_back(row);
   }
 
   // ---- SMG2000 on BG/L: standard output only (case study 2) -----------------
@@ -143,6 +161,7 @@ int main() {
     row.db_growth = end_stats.size_bytes - base_stats.size_bytes;
     row.load_seconds = timer.elapsedSeconds();
     printRow(row);
+    all_rows.push_back(row);
   }
 
   // ---- SMG2000 on UV: benchmark + PMAPI + mpiP (case study 2) ---------------
@@ -183,10 +202,14 @@ int main() {
     row.db_growth = end_stats.size_bytes - base_stats.size_bytes;
     row.load_seconds = timer.elapsedSeconds();
     printRow(row);
+    all_rows.push_back(row);
   }
 
   std::printf("\npaper values (per exec): IRS 6 files/61KB/280 res/25 metrics/1514 "
               "results; SMG-UV 2/191KB/5657/259/9777; SMG-BG/L 1/1KB/522/8/8\n");
   std::printf("set PT_TABLE1_SCALE=full for the paper's 62/35/60 execution counts\n");
+  if (const char* json_path = std::getenv("PT_TABLE1_JSON")) {
+    writeJson(json_path, all_rows);
+  }
   return 0;
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Smoke-runs the two headline benchmarks with a short measurement budget and
+# leaves machine-readable JSON next to the binaries:
+#
+#   BENCH_fig3.json   google-benchmark output of bench_fig3_querysession
+#                     (family/total match-count latency, the pr-filter hot path)
+#   BENCH_table1.json per-dataset ingest rows from bench_table1_ingest
+#                     (Table 1 load path: results/exec, DB growth, load time)
+#
+# Wired into CTest under the "bench" label (ctest -L bench). Compare two
+# checkouts by diffing the JSON files the runs leave behind.
+#
+# Usage: bench_smoke.sh [bench-dir] [out-dir]
+#   bench-dir  directory holding the bench binaries (default: build/bench
+#              relative to the repo root)
+#   out-dir    where to write the JSON files (default: bench-dir)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bench_dir="${1:-$repo_root/build/bench}"
+out_dir="${2:-$bench_dir}"
+mkdir -p "$out_dir"
+
+for bin in bench_fig3_querysession bench_table1_ingest; do
+  if [[ ! -x "$bench_dir/$bin" ]]; then
+    echo "bench_smoke: $bench_dir/$bin not built" >&2
+    exit 1
+  fi
+done
+
+echo "== bench_fig3_querysession (short run) =="
+"$bench_dir/bench_fig3_querysession" \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="$out_dir/BENCH_fig3.json" \
+  --benchmark_out_format=json
+
+echo "== bench_table1_ingest =="
+PT_TABLE1_JSON="$out_dir/BENCH_table1.json" "$bench_dir/bench_table1_ingest"
+
+echo "bench_smoke: wrote $out_dir/BENCH_fig3.json and $out_dir/BENCH_table1.json"

@@ -10,8 +10,8 @@
 
 namespace perftrack::core {
 
+using minidb::Value;
 using util::ModelError;
-using util::sqlQuote;
 
 std::string_view focusTypeName(FocusType type) {
   switch (type) {
@@ -65,13 +65,14 @@ std::int64_t PTDataStore::addResourceType(const std::string& type_path) {
       parent_id = id;
       continue;
     }
-    id = conn_->queryInt("SELECT id FROM focus_framework WHERE type_name = " +
-                         sqlQuote(prefix));
+    id = conn_->queryInt("SELECT id FROM focus_framework WHERE type_name = ?",
+                         {Value(prefix)});
     if (id == 0) {
-      const auto rs = conn_->exec(
-          "INSERT INTO focus_framework (type_name, base_name, parent_id) VALUES (" +
-          sqlQuote(prefix) + ", " + sqlQuote(segment) + ", " +
-          (parent_id == 0 ? std::string("NULL") : std::to_string(parent_id)) + ")");
+      const auto rs = conn_->execPrepared(
+          "INSERT INTO focus_framework (type_name, base_name, parent_id) "
+          "VALUES (?, ?, ?)",
+          {Value(prefix), Value(segment),
+           parent_id == 0 ? Value::null() : Value(parent_id)});
       id = rs.last_insert_id;
     }
     type_cache_[prefix] = id;
@@ -82,8 +83,8 @@ std::int64_t PTDataStore::addResourceType(const std::string& type_path) {
 
 bool PTDataStore::hasResourceType(const std::string& type_path) {
   if (type_cache_.contains(type_path)) return true;
-  return conn_->queryInt("SELECT id FROM focus_framework WHERE type_name = " +
-                         sqlQuote(type_path)) != 0;
+  return conn_->queryInt("SELECT id FROM focus_framework WHERE type_name = ?",
+                         {Value(type_path)}) != 0;
 }
 
 std::vector<std::string> PTDataStore::resourceTypes() {
@@ -96,16 +97,13 @@ std::vector<std::string> PTDataStore::resourceTypes() {
 }
 
 std::vector<std::string> PTDataStore::childTypes(const std::string& type_path) {
-  std::string sql;
-  if (type_path.empty()) {
-    sql = "SELECT type_name FROM focus_framework WHERE parent_id IS NULL "
-          "ORDER BY type_name";
-  } else {
-    const std::int64_t id = typeIdFor(type_path);
-    sql = "SELECT type_name FROM focus_framework WHERE parent_id = " +
-          std::to_string(id) + " ORDER BY type_name";
-  }
-  const auto rs = conn_->exec(sql);
+  const auto rs =
+      type_path.empty()
+          ? conn_->exec("SELECT type_name FROM focus_framework WHERE parent_id "
+                        "IS NULL ORDER BY type_name")
+          : conn_->execPrepared("SELECT type_name FROM focus_framework WHERE "
+                                "parent_id = ? ORDER BY type_name",
+                                {Value(typeIdFor(type_path))});
   std::vector<std::string> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(row[0].asText());
@@ -116,7 +114,7 @@ std::int64_t PTDataStore::typeIdFor(const std::string& type_path) {
   auto cached = type_cache_.find(type_path);
   if (cached != type_cache_.end()) return cached->second;
   const std::int64_t id = conn_->queryInt(
-      "SELECT id FROM focus_framework WHERE type_name = " + sqlQuote(type_path));
+      "SELECT id FROM focus_framework WHERE type_name = ?", {Value(type_path)});
   if (id == 0) throw ModelError("unknown resource type '" + type_path + "'");
   type_cache_[type_path] = id;
   return id;
@@ -125,12 +123,18 @@ std::int64_t PTDataStore::typeIdFor(const std::string& type_path) {
 std::int64_t PTDataStore::lookupOrInsertNamed(const std::string& table,
                                               const std::string& name,
                                               const std::string& extra_cols,
-                                              const std::string& extra_vals) {
+                                              std::vector<Value> extra_vals) {
   const std::int64_t existing =
-      conn_->queryInt("SELECT id FROM " + table + " WHERE name = " + sqlQuote(name));
+      conn_->queryInt("SELECT id FROM " + table + " WHERE name = ?", {Value(name)});
   if (existing != 0) return existing;
-  const auto rs = conn_->exec("INSERT INTO " + table + " (name" + extra_cols +
-                              ") VALUES (" + sqlQuote(name) + extra_vals + ")");
+  std::string sql = "INSERT INTO " + table + " (name" + extra_cols + ") VALUES (?";
+  for (std::size_t i = 0; i < extra_vals.size(); ++i) sql += ", ?";
+  sql += ")";
+  std::vector<Value> params;
+  params.reserve(1 + extra_vals.size());
+  params.emplace_back(name);
+  for (Value& v : extra_vals) params.push_back(std::move(v));
+  const auto rs = conn_->execPrepared(sql, std::move(params));
   return rs.last_insert_id;
 }
 
@@ -147,8 +151,8 @@ std::int64_t PTDataStore::addExecution(const std::string& exec_name,
   auto cached = exec_cache_.find(exec_name);
   if (cached != exec_cache_.end()) return cached->second;
   const std::int64_t app_id = addApplication(app_name);
-  const std::int64_t id = lookupOrInsertNamed("execution", exec_name, ", application_id",
-                                              ", " + std::to_string(app_id));
+  const std::int64_t id =
+      lookupOrInsertNamed("execution", exec_name, ", application_id", {Value(app_id)});
   exec_cache_[exec_name] = id;
   return id;
 }
@@ -165,11 +169,11 @@ std::int64_t PTDataStore::addMetric(const std::string& name, const std::string& 
   auto cached = metric_cache_.find(name);
   if (cached != metric_cache_.end()) return cached->second;
   const std::int64_t existing =
-      conn_->queryInt("SELECT id FROM metric WHERE name = " + sqlQuote(name));
+      conn_->queryInt("SELECT id FROM metric WHERE name = ?", {Value(name)});
   std::int64_t id = existing;
   if (id == 0) {
-    const auto rs = conn_->exec("INSERT INTO metric (name, units) VALUES (" +
-                                sqlQuote(name) + ", " + sqlQuote(units) + ")");
+    const auto rs = conn_->execPrepared("INSERT INTO metric (name, units) VALUES (?, ?)",
+                                        {Value(name), Value(units)});
     id = rs.last_insert_id;
   }
   metric_cache_[name] = id;
@@ -205,24 +209,27 @@ ResourceId PTDataStore::addResource(const std::string& full_name,
     if (hit != resource_cache_.end()) {
       id = hit->second;
     } else {
-      id = conn_->queryInt("SELECT id FROM resource_item WHERE full_name = " +
-                           sqlQuote(prefix));
+      id = conn_->queryInt("SELECT id FROM resource_item WHERE full_name = ?",
+                           {Value(prefix)});
       if (id == 0) {
         const std::int64_t type_id = typeIdFor(type_prefix);
-        const auto rs = conn_->exec(
+        const auto rs = conn_->execPrepared(
             "INSERT INTO resource_item (name, full_name, parent_id, "
-            "focus_framework_id) VALUES (" +
-            sqlQuote(name_segments[depth]) + ", " + sqlQuote(prefix) + ", " +
-            (parent_id == 0 ? std::string("NULL") : std::to_string(parent_id)) + ", " +
-            std::to_string(type_id) + ")");
+            "focus_framework_id) VALUES (?, ?, ?, ?)",
+            {Value(name_segments[depth]), Value(prefix),
+             parent_id == 0 ? Value::null() : Value(parent_id), Value(type_id)});
         id = rs.last_insert_id;
         // Maintain both closure tables (paper: added "for performance
         // reasons" to avoid parent-chain traversal).
         for (ResourceId anc : ancestors) {
-          conn_->exec("INSERT INTO resource_has_ancestor (resource_id, ancestor_id) "
-                      "VALUES (" + std::to_string(id) + ", " + std::to_string(anc) + ")");
-          conn_->exec("INSERT INTO resource_has_descendant (resource_id, descendant_id) "
-                      "VALUES (" + std::to_string(anc) + ", " + std::to_string(id) + ")");
+          conn_->execPrepared(
+              "INSERT INTO resource_has_ancestor (resource_id, ancestor_id) "
+              "VALUES (?, ?)",
+              {Value(id), Value(anc)});
+          conn_->execPrepared(
+              "INSERT INTO resource_has_descendant (resource_id, descendant_id) "
+              "VALUES (?, ?)",
+              {Value(anc), Value(id)});
         }
       }
       resource_cache_[prefix] = id;
@@ -239,9 +246,10 @@ void PTDataStore::addResourceAttribute(const std::string& resource_full_name,
                                        const std::string& attr_type) {
   const auto rid = findResource(resource_full_name);
   if (!rid) throw ModelError("addResourceAttribute: unknown resource " + resource_full_name);
-  conn_->exec("INSERT INTO resource_attribute (resource_id, name, value, attr_type) "
-              "VALUES (" + std::to_string(*rid) + ", " + sqlQuote(attr_name) + ", " +
-              sqlQuote(value) + ", " + sqlQuote(attr_type) + ")");
+  conn_->execPrepared(
+      "INSERT INTO resource_attribute (resource_id, name, value, attr_type) "
+      "VALUES (?, ?, ?, ?)",
+      {Value(*rid), Value(attr_name), Value(value), Value(attr_type)});
 }
 
 void PTDataStore::addResourceConstraint(const std::string& resource1_full_name,
@@ -252,14 +260,16 @@ void PTDataStore::addResourceConstraint(const std::string& resource1_full_name,
     throw ModelError("addResourceConstraint: unknown resource in (" +
                      resource1_full_name + ", " + resource2_full_name + ")");
   }
-  conn_->exec("INSERT INTO resource_constraint (resource_id1, resource_id2) VALUES (" +
-              std::to_string(*r1) + ", " + std::to_string(*r2) + ")");
+  conn_->execPrepared(
+      "INSERT INTO resource_constraint (resource_id1, resource_id2) VALUES (?, ?)",
+      {Value(*r1), Value(*r2)});
   // A constraint is "an attribute of type resource" (paper Figure 6); also
   // record it in resource_attribute so attribute views show it.
-  conn_->exec("INSERT INTO resource_attribute (resource_id, name, value, attr_type) "
-              "VALUES (" + std::to_string(*r1) + ", " +
-              sqlQuote(typeBaseName(resourceInfo(*r2).type_path)) + ", " +
-              sqlQuote(resource2_full_name) + ", 'resource')");
+  conn_->execPrepared(
+      "INSERT INTO resource_attribute (resource_id, name, value, attr_type) "
+      "VALUES (?, ?, ?, 'resource')",
+      {Value(*r1), Value(typeBaseName(resourceInfo(*r2).type_path)),
+       Value(resource2_full_name)});
 }
 
 std::int64_t PTDataStore::focusFor(std::int64_t execution_id, const ResourceSetSpec& spec) {
@@ -284,18 +294,19 @@ std::int64_t PTDataStore::focusFor(std::int64_t execution_id, const ResourceSetS
   auto cached = focus_cache_.find(cache_key);
   if (cached != focus_cache_.end()) return cached->second;
 
-  std::int64_t focus_id =
-      conn_->queryInt("SELECT id FROM focus WHERE signature = " + sqlQuote(signature) +
-                      " AND execution_id = " + std::to_string(execution_id));
+  std::int64_t focus_id = conn_->queryInt(
+      "SELECT id FROM focus WHERE signature = ? AND execution_id = ?",
+      {Value(signature), Value(execution_id)});
   if (focus_id == 0) {
-    const auto rs = conn_->exec("INSERT INTO focus (execution_id, signature) VALUES (" +
-                                std::to_string(execution_id) + ", " +
-                                sqlQuote(signature) + ")");
+    const auto rs = conn_->execPrepared(
+        "INSERT INTO focus (execution_id, signature) VALUES (?, ?)",
+        {Value(execution_id), Value(signature)});
     focus_id = rs.last_insert_id;
     for (ResourceId id : ids) {
-      conn_->exec("INSERT INTO focus_has_resource (focus_id, resource_id, focus_type) "
-                  "VALUES (" + std::to_string(focus_id) + ", " + std::to_string(id) +
-                  ", " + sqlQuote(std::string(focusTypeName(spec.set_type))) + ")");
+      conn_->execPrepared(
+          "INSERT INTO focus_has_resource (focus_id, resource_id, focus_type) "
+          "VALUES (?, ?, ?)",
+          {Value(focus_id), Value(id), Value(std::string(focusTypeName(spec.set_type)))});
     }
   }
   focus_cache_[cache_key] = focus_id;
@@ -314,26 +325,24 @@ std::int64_t PTDataStore::addPerformanceResult(
   if (exec_it != exec_cache_.end()) {
     exec_id = exec_it->second;
   } else {
-    exec_id = conn_->queryInt("SELECT id FROM execution WHERE name = " +
-                              sqlQuote(exec_name));
+    exec_id = conn_->queryInt("SELECT id FROM execution WHERE name = ?",
+                              {Value(exec_name)});
     if (exec_id == 0) throw ModelError("unknown execution '" + exec_name + "'");
     exec_cache_[exec_name] = exec_id;
   }
   const std::int64_t tool_id = addPerformanceTool(tool_name);
   const std::int64_t metric_id = addMetric(metric_name, units);
-  const auto rs = conn_->exec(
+  const auto rs = conn_->execPrepared(
       "INSERT INTO performance_result (execution_id, metric_id, performance_tool_id, "
-      "value, units, start_time, end_time) VALUES (" +
-      std::to_string(exec_id) + ", " + std::to_string(metric_id) + ", " +
-      std::to_string(tool_id) + ", " + util::formatReal(value) + ", " +
-      sqlQuote(units) + ", " + util::formatReal(start_time) + ", " +
-      util::formatReal(end_time) + ")");
+      "value, units, start_time, end_time) VALUES (?, ?, ?, ?, ?, ?, ?)",
+      {Value(exec_id), Value(metric_id), Value(tool_id), Value(value), Value(units),
+       Value(start_time), Value(end_time)});
   const std::int64_t result_id = rs.last_insert_id;
   for (const ResourceSetSpec& spec : resource_sets) {
     const std::int64_t focus_id = focusFor(exec_id, spec);
-    conn_->exec("INSERT INTO performance_result_has_focus (result_id, focus_id) "
-                "VALUES (" + std::to_string(result_id) + ", " + std::to_string(focus_id) +
-                ")");
+    conn_->execPrepared(
+        "INSERT INTO performance_result_has_focus (result_id, focus_id) VALUES (?, ?)",
+        {Value(result_id), Value(focus_id)});
   }
   return result_id;
 }
@@ -357,29 +366,32 @@ std::int64_t PTDataStore::addHistogramResult(
   const std::int64_t result_id = addPerformanceResult(
       exec_name, resource_sets, tool_name, metric_name, total, units, 0.0,
       bin_width * static_cast<double>(bins.size()));
-  conn_->exec("INSERT INTO performance_result_histogram (result_id, num_bins, "
-              "bin_width) VALUES (" + std::to_string(result_id) + ", " +
-              std::to_string(bins.size()) + ", " + util::formatReal(bin_width) + ")");
+  conn_->execPrepared(
+      "INSERT INTO performance_result_histogram (result_id, num_bins, bin_width) "
+      "VALUES (?, ?, ?)",
+      {Value(result_id), Value(static_cast<std::int64_t>(bins.size())),
+       Value(bin_width)});
   for (std::size_t bin = 0; bin < bins.size(); ++bin) {
     if (std::isnan(bins[bin])) continue;
-    conn_->exec("INSERT INTO performance_result_bin (result_id, bin, value) VALUES (" +
-                std::to_string(result_id) + ", " + std::to_string(bin) + ", " +
-                util::formatReal(bins[bin]) + ")");
+    conn_->execPrepared(
+        "INSERT INTO performance_result_bin (result_id, bin, value) VALUES (?, ?, ?)",
+        {Value(result_id), Value(static_cast<std::int64_t>(bin)), Value(bins[bin])});
   }
   return result_id;
 }
 
 std::optional<PTDataStore::Histogram> PTDataStore::getHistogram(std::int64_t result_id) {
-  const auto desc = conn_->exec(
+  const auto desc = conn_->execPrepared(
       "SELECT num_bins, bin_width FROM performance_result_histogram WHERE "
-      "result_id = " + std::to_string(result_id));
+      "result_id = ?",
+      {Value(result_id)});
   if (desc.rows.empty()) return std::nullopt;
   Histogram hist;
   hist.num_bins = static_cast<int>(desc.rows[0][0].asInt());
   hist.bin_width = desc.rows[0][1].asReal();
-  const auto bins = conn_->exec(
-      "SELECT bin, value FROM performance_result_bin WHERE result_id = " +
-      std::to_string(result_id) + " ORDER BY bin");
+  const auto bins = conn_->execPrepared(
+      "SELECT bin, value FROM performance_result_bin WHERE result_id = ? ORDER BY bin",
+      {Value(result_id)});
   hist.bins.reserve(bins.rows.size());
   for (const auto& row : bins.rows) {
     hist.bins.emplace_back(static_cast<int>(row[0].asInt()), row[1].asReal());
@@ -391,7 +403,7 @@ std::optional<ResourceId> PTDataStore::findResource(const std::string& full_name
   auto cached = resource_cache_.find(full_name);
   if (cached != resource_cache_.end()) return cached->second;
   const std::int64_t id = conn_->queryInt(
-      "SELECT id FROM resource_item WHERE full_name = " + sqlQuote(full_name));
+      "SELECT id FROM resource_item WHERE full_name = ?", {Value(full_name)});
   if (id == 0) return std::nullopt;
   resource_cache_[full_name] = id;
   return id;
@@ -416,15 +428,16 @@ constexpr const char* kResourceSelect =
 }  // namespace
 
 ResourceInfo PTDataStore::resourceInfo(ResourceId id) {
-  const auto rs =
-      conn_->exec(std::string(kResourceSelect) + "WHERE r.id = " + std::to_string(id));
+  const auto rs = conn_->execPrepared(std::string(kResourceSelect) + "WHERE r.id = ?",
+                                      {Value(id)});
   if (rs.rows.empty()) throw ModelError("no resource with id " + std::to_string(id));
   return rowToResource(rs.rows[0]);
 }
 
 std::vector<ResourceInfo> PTDataStore::resourcesOfType(const std::string& type_path) {
-  const auto rs = conn_->exec(std::string(kResourceSelect) + "WHERE f.type_name = " +
-                              sqlQuote(type_path) + " ORDER BY r.full_name");
+  const auto rs = conn_->execPrepared(
+      std::string(kResourceSelect) + "WHERE f.type_name = ? ORDER BY r.full_name",
+      {Value(type_path)});
   std::vector<ResourceInfo> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(rowToResource(row));
@@ -432,8 +445,9 @@ std::vector<ResourceInfo> PTDataStore::resourcesOfType(const std::string& type_p
 }
 
 std::vector<ResourceInfo> PTDataStore::resourcesNamed(const std::string& base_name) {
-  const auto rs = conn_->exec(std::string(kResourceSelect) + "WHERE r.name = " +
-                              sqlQuote(base_name) + " ORDER BY r.full_name");
+  const auto rs = conn_->execPrepared(
+      std::string(kResourceSelect) + "WHERE r.name = ? ORDER BY r.full_name",
+      {Value(base_name)});
   std::vector<ResourceInfo> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(rowToResource(row));
@@ -441,8 +455,9 @@ std::vector<ResourceInfo> PTDataStore::resourcesNamed(const std::string& base_na
 }
 
 std::vector<ResourceInfo> PTDataStore::childrenOf(ResourceId id) {
-  const auto rs = conn_->exec(std::string(kResourceSelect) + "WHERE r.parent_id = " +
-                              std::to_string(id) + " ORDER BY r.full_name");
+  const auto rs = conn_->execPrepared(
+      std::string(kResourceSelect) + "WHERE r.parent_id = ? ORDER BY r.full_name",
+      {Value(id)});
   std::vector<ResourceInfo> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(rowToResource(row));
@@ -450,9 +465,10 @@ std::vector<ResourceInfo> PTDataStore::childrenOf(ResourceId id) {
 }
 
 std::vector<ResourceInfo> PTDataStore::topLevelOfType(const std::string& root_type) {
-  const auto rs = conn_->exec(std::string(kResourceSelect) + "WHERE f.type_name = " +
-                              sqlQuote(root_type) +
-                              " AND r.parent_id IS NULL ORDER BY r.full_name");
+  const auto rs = conn_->execPrepared(
+      std::string(kResourceSelect) +
+          "WHERE f.type_name = ? AND r.parent_id IS NULL ORDER BY r.full_name",
+      {Value(root_type)});
   std::vector<ResourceInfo> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(rowToResource(row));
@@ -460,9 +476,10 @@ std::vector<ResourceInfo> PTDataStore::topLevelOfType(const std::string& root_ty
 }
 
 std::vector<AttributeInfo> PTDataStore::attributesOf(ResourceId id) {
-  const auto rs = conn_->exec(
-      "SELECT name, value, attr_type FROM resource_attribute WHERE resource_id = " +
-      std::to_string(id) + " ORDER BY name");
+  const auto rs = conn_->execPrepared(
+      "SELECT name, value, attr_type FROM resource_attribute WHERE resource_id = ? "
+      "ORDER BY name",
+      {Value(id)});
   std::vector<AttributeInfo> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) {
@@ -472,9 +489,9 @@ std::vector<AttributeInfo> PTDataStore::attributesOf(ResourceId id) {
 }
 
 std::vector<ResourceId> PTDataStore::ancestorsOf(ResourceId id) {
-  const auto rs = conn_->exec(
-      "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id = " +
-      std::to_string(id));
+  const auto rs = conn_->execPrepared(
+      "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id = ?",
+      {Value(id)});
   std::vector<ResourceId> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(row[0].asInt());
@@ -482,9 +499,9 @@ std::vector<ResourceId> PTDataStore::ancestorsOf(ResourceId id) {
 }
 
 std::vector<ResourceId> PTDataStore::descendantsOf(ResourceId id) {
-  const auto rs = conn_->exec(
-      "SELECT descendant_id FROM resource_has_descendant WHERE resource_id = " +
-      std::to_string(id));
+  const auto rs = conn_->execPrepared(
+      "SELECT descendant_id FROM resource_has_descendant WHERE resource_id = ?",
+      {Value(id)});
   std::vector<ResourceId> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(row[0].asInt());
@@ -492,9 +509,9 @@ std::vector<ResourceId> PTDataStore::descendantsOf(ResourceId id) {
 }
 
 std::vector<ResourceId> PTDataStore::constraintsOf(ResourceId id) {
-  const auto rs = conn_->exec(
-      "SELECT resource_id2 FROM resource_constraint WHERE resource_id1 = " +
-      std::to_string(id));
+  const auto rs = conn_->execPrepared(
+      "SELECT resource_id2 FROM resource_constraint WHERE resource_id1 = ?",
+      {Value(id)});
   std::vector<ResourceId> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(row[0].asInt());
@@ -518,7 +535,7 @@ std::vector<std::string> PTDataStore::metrics() {
 }
 
 PerfResultRecord PTDataStore::getResult(std::int64_t result_id) {
-  const auto rs = conn_->exec(
+  const auto rs = conn_->execPrepared(
       "SELECT pr.id, e.name, a.name, m.name, t.name, pr.value, pr.units, "
       "pr.start_time, pr.end_time "
       "FROM performance_result pr "
@@ -526,7 +543,8 @@ PerfResultRecord PTDataStore::getResult(std::int64_t result_id) {
       "JOIN application a ON e.application_id = a.id "
       "JOIN metric m ON pr.metric_id = m.id "
       "JOIN performance_tool t ON pr.performance_tool_id = t.id "
-      "WHERE pr.id = " + std::to_string(result_id));
+      "WHERE pr.id = ?",
+      {Value(result_id)});
   if (rs.rows.empty()) {
     throw ModelError("no performance result with id " + std::to_string(result_id));
   }
@@ -541,13 +559,13 @@ PerfResultRecord PTDataStore::getResult(std::int64_t result_id) {
   rec.units = row[6].asText();
   rec.start_time = row[7].asReal();
   rec.end_time = row[8].asReal();
-  const auto foci = conn_->exec(
-      "SELECT focus_id FROM performance_result_has_focus WHERE result_id = " +
-      std::to_string(result_id));
+  const auto foci = conn_->execPrepared(
+      "SELECT focus_id FROM performance_result_has_focus WHERE result_id = ?",
+      {Value(result_id)});
   for (const auto& focus_row : foci.rows) {
-    const auto members = conn_->exec(
-        "SELECT resource_id FROM focus_has_resource WHERE focus_id = " +
-        std::to_string(focus_row[0].asInt()));
+    const auto members = conn_->execPrepared(
+        "SELECT resource_id FROM focus_has_resource WHERE focus_id = ?",
+        {Value(focus_row[0].asInt())});
     std::vector<ResourceId> context;
     context.reserve(members.rows.size());
     for (const auto& m : members.rows) context.push_back(m[0].asInt());
@@ -557,10 +575,10 @@ PerfResultRecord PTDataStore::getResult(std::int64_t result_id) {
 }
 
 std::vector<std::int64_t> PTDataStore::resultsForExecution(const std::string& exec_name) {
-  const auto rs = conn_->exec(
+  const auto rs = conn_->execPrepared(
       "SELECT pr.id FROM performance_result pr JOIN execution e "
-      "ON pr.execution_id = e.id WHERE e.name = " + sqlQuote(exec_name) +
-      " ORDER BY pr.id");
+      "ON pr.execution_id = e.id WHERE e.name = ? ORDER BY pr.id",
+      {Value(exec_name)});
   std::vector<std::int64_t> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(row[0].asInt());
@@ -569,22 +587,26 @@ std::vector<std::int64_t> PTDataStore::resultsForExecution(const std::string& ex
 
 void PTDataStore::deleteExecution(const std::string& exec_name, bool with_resources) {
   const std::int64_t exec_id =
-      conn_->queryInt("SELECT id FROM execution WHERE name = " + sqlQuote(exec_name));
+      conn_->queryInt("SELECT id FROM execution WHERE name = ?", {Value(exec_name)});
   if (exec_id == 0) throw ModelError("deleteExecution: unknown execution " + exec_name);
-  const std::string eid = std::to_string(exec_id);
+  const Value eid(exec_id);
 
   // Results, their histogram payloads, and their context links. The
   // subqueries keep every statement self-contained (no huge IN lists).
-  conn_->exec("DELETE FROM performance_result_bin WHERE result_id IN "
-              "(SELECT id FROM performance_result WHERE execution_id = " + eid + ")");
-  conn_->exec("DELETE FROM performance_result_histogram WHERE result_id IN "
-              "(SELECT id FROM performance_result WHERE execution_id = " + eid + ")");
-  conn_->exec("DELETE FROM performance_result_has_focus WHERE result_id IN "
-              "(SELECT id FROM performance_result WHERE execution_id = " + eid + ")");
-  conn_->exec("DELETE FROM performance_result WHERE execution_id = " + eid);
-  conn_->exec("DELETE FROM focus_has_resource WHERE focus_id IN "
-              "(SELECT id FROM focus WHERE execution_id = " + eid + ")");
-  conn_->exec("DELETE FROM focus WHERE execution_id = " + eid);
+  conn_->execPrepared("DELETE FROM performance_result_bin WHERE result_id IN "
+                      "(SELECT id FROM performance_result WHERE execution_id = ?)",
+                      {eid});
+  conn_->execPrepared("DELETE FROM performance_result_histogram WHERE result_id IN "
+                      "(SELECT id FROM performance_result WHERE execution_id = ?)",
+                      {eid});
+  conn_->execPrepared("DELETE FROM performance_result_has_focus WHERE result_id IN "
+                      "(SELECT id FROM performance_result WHERE execution_id = ?)",
+                      {eid});
+  conn_->execPrepared("DELETE FROM performance_result WHERE execution_id = ?", {eid});
+  conn_->execPrepared("DELETE FROM focus_has_resource WHERE focus_id IN "
+                      "(SELECT id FROM focus WHERE execution_id = ?)",
+                      {eid});
+  conn_->execPrepared("DELETE FROM focus WHERE execution_id = ?", {eid});
 
   if (with_resources) {
     // Per-execution subtrees follow the collector/converter naming
@@ -603,18 +625,23 @@ void PTDataStore::deleteExecution(const std::string& exec_name, bool with_resour
       doomed.insert(doomed.end(), subtree.begin(), subtree.end());
     }
     for (ResourceId id : doomed) {
-      const std::string rid = std::to_string(id);
-      conn_->exec("DELETE FROM resource_attribute WHERE resource_id = " + rid);
-      conn_->exec("DELETE FROM resource_constraint WHERE resource_id1 = " + rid +
-                  " OR resource_id2 = " + rid);
-      conn_->exec("DELETE FROM resource_has_ancestor WHERE resource_id = " + rid +
-                  " OR ancestor_id = " + rid);
-      conn_->exec("DELETE FROM resource_has_descendant WHERE resource_id = " + rid +
-                  " OR descendant_id = " + rid);
-      conn_->exec("DELETE FROM resource_item WHERE id = " + rid);
+      const Value rid(id);
+      conn_->execPrepared("DELETE FROM resource_attribute WHERE resource_id = ?",
+                          {rid});
+      conn_->execPrepared(
+          "DELETE FROM resource_constraint WHERE resource_id1 = ? OR resource_id2 = ?",
+          {rid, rid});
+      conn_->execPrepared(
+          "DELETE FROM resource_has_ancestor WHERE resource_id = ? OR ancestor_id = ?",
+          {rid, rid});
+      conn_->execPrepared(
+          "DELETE FROM resource_has_descendant WHERE resource_id = ? "
+          "OR descendant_id = ?",
+          {rid, rid});
+      conn_->execPrepared("DELETE FROM resource_item WHERE id = ?", {rid});
     }
   }
-  conn_->exec("DELETE FROM execution WHERE id = " + eid);
+  conn_->execPrepared("DELETE FROM execution WHERE id = ?", {eid});
   clearCache();
 }
 

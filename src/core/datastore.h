@@ -185,9 +185,12 @@ class PTDataStore {
   void clearCache();
 
  private:
+  /// SELECT-by-name then INSERT on miss, both through bound parameters;
+  /// `extra_cols` is the literal ", col, ..." tail of the column list and
+  /// `extra_vals` its values, bound after `name`.
   std::int64_t lookupOrInsertNamed(const std::string& table, const std::string& name,
                                    const std::string& extra_cols = "",
-                                   const std::string& extra_vals = "");
+                                   std::vector<minidb::Value> extra_vals = {});
   std::int64_t typeIdFor(const std::string& type_path);
   std::int64_t focusFor(std::int64_t execution_id, const ResourceSetSpec& spec);
 

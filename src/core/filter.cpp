@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/compare.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace perftrack::core {
 
+using minidb::Value;
 using util::ModelError;
 using util::sqlQuote;
 
@@ -71,20 +73,28 @@ std::string ResourceFilter::describe() const {
 
 namespace {
 
-/// Runs `sql_prefix` + IN (<chunk>) for chunks of `ids`, collecting the
-/// first column of every row.
+/// Runs `sql_prefix` + IN (?,...) for chunks of `ids`, collecting the first
+/// column of every row. `prefix_params` bind any '?' already in sql_prefix.
+/// Full chunks share one SQL text, so all but the ragged last chunk hit the
+/// connection's statement cache, and the IN-list lands on the index-backed
+/// multi-point probe path instead of a heap scan.
 std::vector<std::int64_t> chunkedIn(dbal::Connection& conn, const std::string& sql_prefix,
-                                    const std::vector<std::int64_t>& ids) {
+                                    const std::vector<std::int64_t>& ids,
+                                    std::vector<Value> prefix_params = {}) {
   std::vector<std::int64_t> out;
   constexpr std::size_t kChunk = 200;
   for (std::size_t start = 0; start < ids.size(); start += kChunk) {
-    const std::size_t end = std::min(ids.size(), start + kChunk);
-    std::string list;
-    for (std::size_t i = start; i < end; ++i) {
-      if (i != start) list.push_back(',');
-      list += std::to_string(ids[i]);
+    const std::size_t n = std::min(ids.size() - start, kChunk);
+    std::string sql = sql_prefix + " IN (";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i) sql.push_back(',');
+      sql.push_back('?');
     }
-    const auto rs = conn.exec(sql_prefix + " IN (" + list + ")");
+    sql.push_back(')');
+    std::vector<Value> params = prefix_params;
+    params.reserve(params.size() + n);
+    for (std::size_t i = 0; i < n; ++i) params.emplace_back(ids[start + i]);
+    const auto rs = conn.execPrepared(sql, std::move(params));
     for (const auto& row : rs.rows) out.push_back(row[0].asInt());
   }
   return out;
@@ -95,37 +105,14 @@ void sortUnique(std::vector<std::int64_t>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
-/// True when `lhs cmp rhs` holds; numeric comparison when both sides parse
-/// as numbers, string comparison otherwise.
-bool comparePredicate(const std::string& lhs, const std::string& comparator,
-                      const std::string& rhs) {
-  if (comparator == "contains") return lhs.find(rhs) != std::string::npos;
-  int c = 0;
-  const auto ln = util::parseReal(lhs);
-  const auto rn = util::parseReal(rhs);
-  if (ln && rn) {
-    c = *ln < *rn ? -1 : (*ln > *rn ? 1 : 0);
-  } else {
-    c = lhs.compare(rhs);
-    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
-  }
-  if (comparator == "=" || comparator == "==") return c == 0;
-  if (comparator == "!=" || comparator == "<>") return c != 0;
-  if (comparator == "<") return c < 0;
-  if (comparator == "<=") return c <= 0;
-  if (comparator == ">") return c > 0;
-  if (comparator == ">=") return c >= 0;
-  throw ModelError("unknown attribute comparator '" + comparator + "'");
-}
-
 std::vector<std::int64_t> attributeCandidates(dbal::Connection& conn,
                                               const AttrPredicate& pred) {
-  const auto rs = conn.exec(
-      "SELECT resource_id, value FROM resource_attribute WHERE name = " +
-      sqlQuote(pred.name));
+  const auto rs = conn.execPrepared(
+      "SELECT resource_id, value FROM resource_attribute WHERE name = ?",
+      {Value(pred.name)});
   std::vector<std::int64_t> out;
   for (const auto& row : rs.rows) {
-    if (comparePredicate(row[1].asText(), pred.comparator, pred.value)) {
+    if (util::comparePredicate(row[1].asText(), pred.comparator, pred.value)) {
       out.push_back(row[0].asInt());
     }
   }
@@ -181,9 +168,8 @@ std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter&
         const auto typed = chunkedIn(
             conn,
             "SELECT r.id FROM resource_item r JOIN focus_framework f ON "
-            "r.focus_framework_id = f.id WHERE f.type_name = " +
-                sqlQuote(filter.type_path) + " AND r.id",
-            family);
+            "r.focus_framework_id = f.id WHERE f.type_name = ? AND r.id",
+            family, {Value(filter.type_path)});
         std::vector<std::int64_t> sorted_typed = typed;
         sortUnique(sorted_typed);
         std::vector<std::int64_t> merged;

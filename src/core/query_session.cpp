@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/compare.h"
 #include "util/csv.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -104,27 +105,9 @@ void ResultTable::sortBy(const std::string& column, bool descending) {
 
 void ResultTable::filterRows(const std::string& column, const std::string& comparator,
                              const std::string& value) {
-  auto matches = [&](const ResultRow& row) {
-    const std::string lhs = cellText(row, column);
-    if (comparator == "contains") return lhs.find(value) != std::string::npos;
-    int c;
-    const auto ln = util::parseReal(lhs);
-    const auto rn = util::parseReal(value);
-    if (ln && rn) {
-      c = *ln < *rn ? -1 : (*ln > *rn ? 1 : 0);
-    } else {
-      const int sc = lhs.compare(value);
-      c = sc < 0 ? -1 : (sc > 0 ? 1 : 0);
-    }
-    if (comparator == "=" || comparator == "==") return c == 0;
-    if (comparator == "!=" || comparator == "<>") return c != 0;
-    if (comparator == "<") return c < 0;
-    if (comparator == "<=") return c <= 0;
-    if (comparator == ">") return c > 0;
-    if (comparator == ">=") return c >= 0;
-    throw ModelError("ResultTable: unknown comparator '" + comparator + "'");
-  };
-  std::erase_if(rows_, [&](const ResultRow& row) { return !matches(row); });
+  std::erase_if(rows_, [&](const ResultRow& row) {
+    return !util::comparePredicate(cellText(row, column), comparator, value);
+  });
 }
 
 namespace {
@@ -183,11 +166,12 @@ std::string ResultTable::toText() const {
 
 std::vector<std::string> QuerySession::attributeNamesForType(const std::string& type_path) {
   dbal::Connection& conn = store_->connection();
-  const auto rs = conn.exec(
+  const auto rs = conn.execPrepared(
       "SELECT DISTINCT ra.name FROM resource_attribute ra "
       "JOIN resource_item r ON ra.resource_id = r.id "
       "JOIN focus_framework f ON r.focus_framework_id = f.id "
-      "WHERE f.type_name = " + util::sqlQuote(type_path) + " ORDER BY ra.name");
+      "WHERE f.type_name = ? ORDER BY ra.name",
+      {minidb::Value(type_path)});
   std::vector<std::string> out;
   out.reserve(rs.rows.size());
   for (const auto& row : rs.rows) out.push_back(row[0].asText());
@@ -212,7 +196,7 @@ void QuerySession::setExpansion(std::size_t index, Expansion expansion) {
   cache_[index].reset();
 }
 
-std::vector<ResourceId> QuerySession::evaluated(std::size_t index) {
+const std::vector<ResourceId>& QuerySession::evaluated(std::size_t index) {
   if (!cache_[index]) cache_[index] = evaluateFamily(*store_, families_[index]);
   return *cache_[index];
 }

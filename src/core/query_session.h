@@ -117,7 +117,9 @@ class QuerySession {
   ResultTable run();
 
  private:
-  std::vector<ResourceId> evaluated(std::size_t index);
+  /// Evaluates (or returns the cached evaluation of) one family. The
+  /// reference stays valid until the family list or its expansion changes.
+  const std::vector<ResourceId>& evaluated(std::size_t index);
 
   PTDataStore* store_;
   std::vector<ResourceFilter> families_;

@@ -1,11 +1,97 @@
 #include "dbal/connection.h"
 
+#include "util/error.h"
+
 namespace perftrack::dbal {
+
+namespace {
+
+using minidb::sql::Statement;
+
+/// Only plain DML/query statements are worth caching; DDL, transaction
+/// control, and VACUUM are rare and invalidate plans anyway.
+bool cacheableKind(Statement::Kind kind) {
+  switch (kind) {
+    case Statement::Kind::Select:
+    case Statement::Kind::Insert:
+    case Statement::Kind::Update:
+    case Statement::Kind::Delete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ddlKind(Statement::Kind kind) {
+  switch (kind) {
+    case Statement::Kind::CreateTable:
+    case Statement::Kind::CreateIndex:
+    case Statement::Kind::Drop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 std::unique_ptr<Connection> Connection::open(const std::string& path) {
   auto db = path == ":memory:" ? minidb::Database::openMemory()
                                : minidb::Database::open(path);
   return std::unique_ptr<Connection>(new Connection(std::move(db)));
+}
+
+minidb::sql::PreparedStatement& Connection::prepared(std::string_view sql) {
+  const auto it = cache_map_.find(sql);
+  if (it != cache_map_.end()) {
+    ++stats_.hits;
+    cache_.splice(cache_.begin(), cache_, it->second);
+    return it->second->stmt;
+  }
+  ++stats_.misses;
+  minidb::sql::PreparedStatement stmt = engine_.prepare(sql);
+  if (cache_capacity_ == 0 || !cacheableKind(stmt.kind())) {
+    scratch_.emplace(std::move(stmt));
+    return *scratch_;
+  }
+  cache_.push_front(CacheEntry{std::string(sql), std::move(stmt)});
+  cache_map_.emplace(std::string_view(cache_.front().sql), cache_.begin());
+  while (cache_.size() > cache_capacity_) {
+    cache_map_.erase(std::string_view(cache_.back().sql));
+    cache_.pop_back();
+    ++stats_.evictions;
+  }
+  return cache_.front().stmt;
+}
+
+void Connection::dropEntries(std::uint64_t* counter) {
+  if (counter != nullptr) *counter += cache_.size();
+  cache_map_.clear();
+  cache_.clear();
+}
+
+ResultSet Connection::exec(std::string_view sql) {
+  minidb::sql::PreparedStatement& stmt = prepared(sql);
+  if (stmt.paramCount() > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt.paramCount()) +
+                         " '?' parameter(s); use execPrepared()");
+  }
+  const bool ddl = ddlKind(stmt.kind());
+  ResultSet rs = stmt.execute();
+  // Drop cached statements after DDL: their plans reference dropped catalog
+  // objects. (Plans would also self-invalidate via the schema epoch; the
+  // explicit clear keeps the cache from pinning dead TableDefs.)
+  if (ddl) dropEntries(&stats_.invalidations);
+  return rs;
+}
+
+ResultSet Connection::execPrepared(std::string_view sql,
+                                   std::vector<minidb::Value> params) {
+  minidb::sql::PreparedStatement& stmt = prepared(sql);
+  const bool ddl = ddlKind(stmt.kind());
+  ResultSet rs = stmt.execute(std::move(params));
+  if (ddl) dropEntries(&stats_.invalidations);
+  return rs;
 }
 
 minidb::Value Connection::queryValue(std::string_view sql) {
@@ -14,9 +100,40 @@ minidb::Value Connection::queryValue(std::string_view sql) {
   return rs.rows[0][0];
 }
 
+minidb::Value Connection::queryValue(std::string_view sql,
+                                     std::vector<minidb::Value> params) {
+  const ResultSet rs = execPrepared(sql, std::move(params));
+  if (rs.rows.empty() || rs.rows[0].empty()) return minidb::Value::null();
+  return rs.rows[0][0];
+}
+
 std::int64_t Connection::queryInt(std::string_view sql, std::int64_t default_value) {
   const minidb::Value v = queryValue(sql);
   return v.isInt() ? v.asInt() : default_value;
 }
+
+std::int64_t Connection::queryInt(std::string_view sql,
+                                  std::vector<minidb::Value> params,
+                                  std::int64_t default_value) {
+  const minidb::Value v = queryValue(sql, std::move(params));
+  return v.isInt() ? v.asInt() : default_value;
+}
+
+void Connection::setUseIndexes(bool enabled) {
+  if (enabled == engine_.useIndexes()) return;
+  engine_.setUseIndexes(enabled);
+  dropEntries(&stats_.invalidations);
+}
+
+void Connection::setStatementCacheCapacity(std::size_t capacity) {
+  cache_capacity_ = capacity;
+  while (cache_.size() > cache_capacity_) {
+    cache_map_.erase(std::string_view(cache_.back().sql));
+    cache_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void Connection::clearStatementCache() { dropEntries(nullptr); }
 
 }  // namespace perftrack::dbal

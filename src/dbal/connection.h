@@ -6,11 +6,24 @@
 // interchangeable backends — file-backed ("postgres-like", durable) and
 // in-memory (scratch analysis sessions). All higher layers (core, ptdf,
 // tools) speak SQL through this interface only.
+//
+// Every statement routed through exec()/execPrepared() passes through a
+// bounded LRU cache of prepared statements keyed by SQL text, so repeated
+// statements (the rule in PerfTrack's load and query paths) skip the
+// lexer/parser/planner entirely. The cache is cleared on DDL and when the
+// index-ablation switch flips; cached plans additionally revalidate against
+// the storage layer's schema epoch, so invalidation bugs degrade to replans,
+// never to stale results.
 #pragma once
 
+#include <cstddef>
+#include <list>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "minidb/database.h"
 #include "minidb/sql/executor.h"
@@ -19,19 +32,36 @@ namespace perftrack::dbal {
 
 using minidb::sql::ResultSet;
 
+/// Counters exposed for tests and the cache-ablation benchmarks.
+struct StatementCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      // entries dropped by the LRU bound
+  std::uint64_t invalidations = 0;  // entries dropped by DDL / ablation flips
+};
+
 /// One open database session.
 class Connection {
  public:
   /// Opens `path`, or a fresh in-memory store when path == ":memory:".
   static std::unique_ptr<Connection> open(const std::string& path);
 
-  /// Executes one SQL statement.
-  ResultSet exec(std::string_view sql) { return engine_.exec(sql); }
+  /// Executes one SQL statement (no '?' parameters) through the statement
+  /// cache. Executing parameterized SQL here throws; use execPrepared().
+  ResultSet exec(std::string_view sql);
+
+  /// Executes parameterized SQL: `params` bind the '?' placeholders in
+  /// order. The compiled statement is cached by SQL text, so call sites that
+  /// reuse one text with varying parameters pay for parsing/planning once.
+  ResultSet execPrepared(std::string_view sql, std::vector<minidb::Value> params);
 
   /// Scalar helpers for the common lookup patterns.
   /// Returns the first column of the first row, or NULL when empty.
   minidb::Value queryValue(std::string_view sql);
+  minidb::Value queryValue(std::string_view sql, std::vector<minidb::Value> params);
   std::int64_t queryInt(std::string_view sql, std::int64_t default_value = 0);
+  std::int64_t queryInt(std::string_view sql, std::vector<minidb::Value> params,
+                        std::int64_t default_value = 0);
 
   void begin() { db_->begin(); }
   void commit() { db_->commit(); }
@@ -42,7 +72,15 @@ class Connection {
   std::uint64_t sizeBytes() const { return db_->sizeBytes(); }
 
   /// Ablation switch: disable index-assisted plans (see DESIGN.md §5).
-  void setUseIndexes(bool enabled) { engine_.setUseIndexes(enabled); }
+  /// Flipping the switch drops all cached statements.
+  void setUseIndexes(bool enabled);
+
+  // --- statement-cache introspection ----------------------------------------
+  std::size_t statementCacheSize() const { return cache_.size(); }
+  const StatementCacheStats& statementCacheStats() const { return stats_; }
+  /// Sets the LRU bound (0 disables caching) and evicts down to it.
+  void setStatementCacheCapacity(std::size_t capacity);
+  void clearStatementCache();
 
   minidb::Database& database() { return *db_; }
 
@@ -50,8 +88,28 @@ class Connection {
   explicit Connection(std::unique_ptr<minidb::Database> db)
       : db_(std::move(db)), engine_(*db_) {}
 
+  struct CacheEntry {
+    std::string sql;
+    minidb::sql::PreparedStatement stmt;
+  };
+
+  /// Returns the cached statement for `sql`, compiling and (when the
+  /// statement kind is cacheable) inserting it on miss. The reference is
+  /// valid until the next call on this Connection.
+  minidb::sql::PreparedStatement& prepared(std::string_view sql);
+  void dropEntries(std::uint64_t* counter);
+
   std::unique_ptr<minidb::Database> db_;
   minidb::sql::Engine engine_;
+
+  // MRU-ordered entry list plus an index keyed by string_views into the
+  // entries' own SQL strings (list nodes never move, so the views and
+  // iterators stay valid across splices).
+  std::list<CacheEntry> cache_;
+  std::unordered_map<std::string_view, std::list<CacheEntry>::iterator> cache_map_;
+  std::size_t cache_capacity_ = 256;
+  std::optional<minidb::sql::PreparedStatement> scratch_;  // uncacheable stmts
+  StatementCacheStats stats_;
 };
 
 }  // namespace perftrack::dbal

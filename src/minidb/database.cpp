@@ -41,6 +41,7 @@ void Database::createTable(const std::string& name, std::vector<ColumnDef> colum
   def.primary_key = primary_key;
   def.first_page = HeapFile::create(*pager_);
   catalog_.addTable(def);
+  ++schema_epoch_;
   if (primary_key >= 0) {
     IndexDef pk;
     pk.name = name + "__pk";
@@ -61,6 +62,7 @@ void Database::dropTable(const std::string& name) {
   HeapFile(*pager_, def.first_page).destroy();
   next_ids_.erase(def.name);
   catalog_.removeTable(name);
+  ++schema_epoch_;
   catalog_.save(*pager_);
 }
 
@@ -97,6 +99,7 @@ void Database::createIndex(const std::string& name, const std::string& table,
     tree.insert(indexKeyFor(index, def, row, it.rid()));
   }
   catalog_.addIndex(std::move(index));
+  ++schema_epoch_;
   catalog_.save(*pager_);
 }
 
@@ -105,6 +108,7 @@ void Database::dropIndex(const std::string& name) {
   if (def == nullptr) throw StorageError("no such index: " + name);
   BTree(*pager_, def->root).destroy();
   catalog_.removeIndex(name);
+  ++schema_epoch_;
   catalog_.save(*pager_);
 }
 
@@ -319,6 +323,7 @@ void Database::vacuum() {
   }
   catalog_.save(*pager_);
   pager_->flush();
+  ++schema_epoch_;
 }
 
 std::vector<std::string> Database::verifyIntegrity() const {
@@ -377,6 +382,7 @@ void Database::rollback() {
   // Pages reverted under us: rebuild every cache derived from them.
   catalog_.load(*pager_);
   next_ids_.clear();
+  ++schema_epoch_;
 }
 
 }  // namespace perftrack::minidb

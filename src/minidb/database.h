@@ -48,6 +48,11 @@ class Database {
 
   const Catalog& catalog() const { return catalog_; }
 
+  /// Monotonic counter bumped whenever catalog-derived pointers may go stale
+  /// (DDL, VACUUM, rollback). Cached query plans record the epoch they were
+  /// built under and replan when it no longer matches.
+  std::uint64_t schemaEpoch() const { return schema_epoch_; }
+
   // --- DML -----------------------------------------------------------------
   /// Inserts `row` (one value per column, in declaration order). A NULL
   /// primary key is auto-assigned the next integer id. Returns the assigned
@@ -115,6 +120,7 @@ class Database {
 
   std::unique_ptr<Pager> pager_;
   Catalog catalog_;
+  std::uint64_t schema_epoch_ = 0;
   // Per-table auto-increment cursors, computed lazily by scanning the PK
   // index once. Invalidated on rollback (ids may have been given back).
   std::unordered_map<std::string, std::int64_t> next_ids_;

@@ -28,6 +28,7 @@ struct SelectStmt;
 struct Expr {
   enum class Kind {
     Literal,     // value
+    Param,       // '?' positional parameter (value filled in by bind())
     Column,      // [table_alias.]column
     Binary,      // lhs op rhs
     Not,         // NOT lhs
@@ -39,11 +40,12 @@ struct Expr {
   };
 
   Kind kind = Kind::Literal;
-  Value value;                 // Literal / Like pattern
+  Value value;                 // Literal / Like pattern / bound Param value
   std::string table;           // Column: optional qualifier
   std::string column;          // Column
   BinaryOp op = BinaryOp::Eq;  // Binary
   bool negated = false;        // IsNull / InList / Like
+  int param_index = -1;        // Param: 0-based position within the statement
   AggFunc agg = AggFunc::Count;
   bool agg_distinct = false;
   ExprPtr lhs;
@@ -146,6 +148,7 @@ struct Statement {
   };
   Kind kind = Kind::Select;
   bool explain = false;  // EXPLAIN prefix: emit the plan instead of rows
+  int param_count = 0;   // number of '?' placeholders across the statement
 
   // Exactly one of these is populated, matching `kind`.
   std::unique_ptr<SelectStmt> select;

@@ -1,6 +1,7 @@
 #include "minidb/sql/executor.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -106,6 +107,7 @@ Value compare(BinaryOp op, const Value& a, const Value& b) {
 Value evaluate(const Expr& e, const Tuple& tuple) {
   switch (e.kind) {
     case Expr::Kind::Literal:
+    case Expr::Kind::Param:  // bind() stored the parameter value in `value`
       return e.value;
     case Expr::Kind::Column: {
       const Row* row = tuple.at(e.bound_table);
@@ -173,18 +175,89 @@ Value evaluate(const Expr& e, const Tuple& tuple) {
   throw SqlError("internal: bad expression kind");
 }
 
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SelectPlan — the compiled form of one SELECT against one schema epoch.
+//
+// Owns nothing in the AST (Expr pointers reach into the Statement that was
+// planned); owns the column refs synthesized for '*' expansion. Catalog
+// pointers (TableDef/IndexDef) are valid only while `epoch` matches
+// Database::schemaEpoch(); PreparedStatement revalidates before every run.
+// ---------------------------------------------------------------------------
+
+struct SelectPlan {
+  struct FromEntry {
+    const TableDef* def = nullptr;
+    std::string alias;
+  };
+
+  struct OutputCol {
+    Expr* expr = nullptr;
+    std::string name;
+  };
+
+  struct PlannedConjunct {
+    Expr* expr = nullptr;
+    int max_table = -1;  // evaluate once all tables <= max_table are bound
+    int on_table = -1;   // index of the JOIN whose ON clause supplied it, or
+                         // -1 for WHERE conjuncts (LEFT JOIN semantics)
+  };
+
+  struct AccessPath {
+    enum class Kind { Scan, IndexEqual, IndexInList, IndexRange } kind = Kind::Scan;
+    const IndexDef* index = nullptr;
+    int key_column = -1;         // table-local ordinal of the indexed column
+    Expr* equal_rhs = nullptr;   // IndexEqual: bound expression for the key
+    Expr* in_list = nullptr;     // IndexInList: the consumed InList conjunct
+    Expr* lower_rhs = nullptr;   // IndexRange bounds
+    bool lower_inclusive = false;
+    Expr* upper_rhs = nullptr;
+    bool upper_inclusive = false;
+
+    std::string describe(const FromEntry& entry) const {
+      switch (kind) {
+        case Kind::Scan:
+          return "SCAN " + entry.def->name + " AS " + entry.alias;
+        case Kind::IndexEqual:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING INDEX " + index->name + " (" +
+                 entry.def->columns[key_column].name + "=?)";
+        case Kind::IndexInList:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING INDEX " + index->name + " (" +
+                 entry.def->columns[key_column].name + " IN multi-point probe, " +
+                 std::to_string(in_list->list.size()) + " keys)";
+        case Kind::IndexRange:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING INDEX " + index->name + " (" +
+                 entry.def->columns[key_column].name + " range)";
+      }
+      return "?";
+    }
+  };
+
+  SelectStmt* sel = nullptr;
+  std::uint64_t epoch = 0;
+  bool use_indexes = true;
+  std::vector<FromEntry> from;
+  std::vector<ExprPtr> star_exprs;  // owns column refs expanded from '*'
+  std::vector<OutputCol> outputs;
+  std::vector<PlannedConjunct> conjuncts;
+  std::vector<AccessPath> paths;
+  std::vector<Expr*> aggregates;
+  bool grouped = false;
+};
+
+namespace {
+
 // ---------------------------------------------------------------------------
 // Binding / analysis
 // ---------------------------------------------------------------------------
 
-struct FromEntry {
-  const TableDef* def = nullptr;
-  std::string alias;
-};
-
 class Binder {
  public:
-  explicit Binder(const std::vector<FromEntry>& from) : from_(from) {}
+  explicit Binder(const std::vector<SelectPlan::FromEntry>& from) : from_(from) {}
 
   /// Resolves column references; records the highest table index referenced.
   /// Returns -1 for expressions with no column references.
@@ -209,7 +282,8 @@ class Binder {
   }
 
   void resolve(Expr& e) const {
-    if (e.bound_table >= 0) return;  // already bound
+    // Always (re)resolve: a cached statement may be replanned after DDL
+    // changed column ordinals, so stale annotations must not survive.
     int found_table = -1;
     int found_col = -1;
     for (std::size_t i = 0; i < from_.size(); ++i) {
@@ -230,7 +304,7 @@ class Binder {
     e.bound_col = found_col;
   }
 
-  const std::vector<FromEntry>& from_;
+  const std::vector<SelectPlan::FromEntry>& from_;
 };
 
 void collectConjuncts(Expr* e, std::vector<Expr*>& out) {
@@ -265,6 +339,61 @@ bool containsAggregate(const Expr* e) {
     if (containsAggregate(item.get())) return true;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Expression walking (parameter binding)
+// ---------------------------------------------------------------------------
+
+void forEachExpr(SelectStmt& sel, const std::function<void(Expr&)>& fn);
+
+void forEachExpr(Expr* e, const std::function<void(Expr&)>& fn) {
+  if (e == nullptr) return;
+  fn(*e);
+  forEachExpr(e->lhs.get(), fn);
+  forEachExpr(e->rhs.get(), fn);
+  for (const ExprPtr& item : e->list) forEachExpr(item.get(), fn);
+  if (e->subquery) forEachExpr(*e->subquery, fn);
+}
+
+void forEachExpr(SelectStmt& sel, const std::function<void(Expr&)>& fn) {
+  for (SelectItem& item : sel.items) forEachExpr(item.expr.get(), fn);
+  for (TableRef& ref : sel.from) forEachExpr(ref.join_on.get(), fn);
+  forEachExpr(sel.where.get(), fn);
+  for (ExprPtr& e : sel.group_by) forEachExpr(e.get(), fn);
+  forEachExpr(sel.having.get(), fn);
+  for (OrderItem& item : sel.order_by) forEachExpr(item.expr.get(), fn);
+}
+
+void forEachExpr(Statement& stmt, const std::function<void(Expr&)>& fn) {
+  switch (stmt.kind) {
+    case Statement::Kind::Select:
+      forEachExpr(*stmt.select, fn);
+      break;
+    case Statement::Kind::Insert:
+      for (auto& row : stmt.insert->rows) {
+        for (ExprPtr& e : row) forEachExpr(e.get(), fn);
+      }
+      break;
+    case Statement::Kind::Update:
+      for (auto& [name, e] : stmt.update->assignments) forEachExpr(e.get(), fn);
+      forEachExpr(stmt.update->where.get(), fn);
+      break;
+    case Statement::Kind::Delete:
+      forEachExpr(stmt.del->where.get(), fn);
+      break;
+    default:
+      break;  // DDL/Txn/Vacuum carry no expressions
+  }
+}
+
+/// Copies `params` into every Param node of the statement.
+void bindParamValues(Statement& stmt, const std::vector<Value>& params) {
+  forEachExpr(stmt, [&](Expr& e) {
+    if (e.kind == Expr::Kind::Param) {
+      e.value = params.at(static_cast<std::size_t>(e.param_index));
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -331,6 +460,7 @@ Value evaluateGrouped(const Expr& e, const Group& g) {
   }
   switch (e.kind) {
     case Expr::Kind::Literal:
+    case Expr::Kind::Param:
       return e.value;
     case Expr::Kind::Column:
       return g.first_rows.at(e.bound_table).at(e.bound_col);
@@ -397,42 +527,6 @@ Value evaluateGrouped(const Expr& e, const Group& g) {
   throw SqlError("internal: bad grouped expression");
 }
 
-// ---------------------------------------------------------------------------
-// Access-path planning
-// ---------------------------------------------------------------------------
-
-struct AccessPath {
-  enum class Kind { Scan, IndexEqual, IndexRange } kind = Kind::Scan;
-  const IndexDef* index = nullptr;
-  int key_column = -1;         // table-local ordinal of the indexed column
-  Expr* equal_rhs = nullptr;   // IndexEqual: bound expression for the key
-  Expr* lower_rhs = nullptr;   // IndexRange bounds
-  bool lower_inclusive = false;
-  Expr* upper_rhs = nullptr;
-  bool upper_inclusive = false;
-
-  std::string describe(const FromEntry& entry) const {
-    switch (kind) {
-      case Kind::Scan:
-        return "SCAN " + entry.def->name + " AS " + entry.alias;
-      case Kind::IndexEqual:
-        return "SEARCH " + entry.def->name + " AS " + entry.alias + " USING INDEX " +
-               index->name + " (" + entry.def->columns[key_column].name + "=?)";
-      case Kind::IndexRange:
-        return "SEARCH " + entry.def->name + " AS " + entry.alias + " USING INDEX " +
-               index->name + " (" + entry.def->columns[key_column].name + " range)";
-    }
-    return "?";
-  }
-};
-
-struct PlannedConjunct {
-  Expr* expr = nullptr;
-  int max_table = -1;  // evaluate once all tables <= max_table are bound
-  int on_table = -1;   // index of the JOIN whose ON clause supplied it, or
-                       // -1 for WHERE conjuncts (LEFT JOIN semantics)
-};
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -479,11 +573,590 @@ std::string ResultSet::toText() const {
 }
 
 // ---------------------------------------------------------------------------
+// SELECT: plan construction and plan execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
+                     bool explain);
+
+/// Runs every uncorrelated IN (SELECT ...) subquery below `e` and caches the
+/// first-column values for membership tests.
+void materializeSubqueries(Expr* e, Database& db, bool use_indexes) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::InSelect) {
+    if (!e->subquery) throw SqlError("internal: InSelect without a subquery");
+    const ResultSet rs = execSelect(db, *e->subquery, use_indexes, /*explain=*/false);
+    auto values = std::make_shared<std::set<std::string>>();
+    for (const Row& row : rs.rows) {
+      if (row.empty() || row[0].isNull()) continue;  // NULL never matches IN
+      EncodedKey key;
+      encodeValue(row[0], key);
+      values->insert(std::move(key));
+    }
+    e->subquery_values = std::move(values);
+  }
+  materializeSubqueries(e->lhs.get(), db, use_indexes);
+  materializeSubqueries(e->rhs.get(), db, use_indexes);
+  for (const ExprPtr& item : e->list) {
+    materializeSubqueries(item.get(), db, use_indexes);
+  }
+}
+
+/// Resolves tables, binds expressions, splits conjuncts, and picks one
+/// access path per FROM entry. Annotates the AST in place (bound_table /
+/// bound_col / agg_slot); the produced plan is valid while the database's
+/// schema epoch matches plan.epoch.
+SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
+  SelectPlan plan;
+  plan.sel = &sel;
+  plan.epoch = db.schemaEpoch();
+  plan.use_indexes = use_indexes;
+
+  // --- resolve FROM ---
+  for (const TableRef& ref : sel.from) {
+    const TableDef* def = db.catalog().findTable(ref.table);
+    if (def == nullptr) throw SqlError("no such table: " + ref.table);
+    plan.from.push_back({def, ref.alias});
+  }
+  Binder binder(plan.from);
+
+  if (plan.from.empty()) {
+    // SELECT without FROM: items evaluate against an empty tuple at run time.
+    for (SelectItem& item : sel.items) {
+      if (!item.expr) throw SqlError("SELECT * requires a FROM clause");
+      binder.bind(*item.expr);
+      plan.outputs.push_back({item.expr.get(),
+                              item.alias.empty() ? "expr" : item.alias});
+    }
+    return plan;
+  }
+
+  // --- expand '*' and bind select items ---
+  for (SelectItem& item : sel.items) {
+    if (!item.expr) {
+      for (std::size_t t = 0; t < plan.from.size(); ++t) {
+        for (std::size_t c = 0; c < plan.from[t].def->columns.size(); ++c) {
+          ExprPtr e = Expr::columnRef(plan.from[t].alias,
+                                      plan.from[t].def->columns[c].name);
+          binder.bind(*e);
+          plan.outputs.push_back({e.get(), plan.from[t].def->columns[c].name});
+          plan.star_exprs.push_back(std::move(e));
+        }
+      }
+      continue;
+    }
+    binder.bind(*item.expr);
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
+    }
+    plan.outputs.push_back({item.expr.get(), std::move(name)});
+  }
+
+  // --- gather and bind conjuncts (WHERE + every JOIN ... ON) ---
+  auto addConjuncts = [&](Expr* root, int on_table) {
+    std::vector<Expr*> raw;
+    collectConjuncts(root, raw);
+    for (Expr* e : raw) {
+      SelectPlan::PlannedConjunct pc;
+      pc.expr = e;
+      pc.max_table = binder.bind(*e);
+      pc.on_table = on_table;
+      plan.conjuncts.push_back(pc);
+    }
+  };
+  addConjuncts(sel.where.get(), -1);
+  for (std::size_t t = 0; t < sel.from.size(); ++t) {
+    addConjuncts(sel.from[t].join_on.get(), static_cast<int>(t));
+  }
+
+  // --- bind the remaining clauses ---
+  for (ExprPtr& e : sel.group_by) binder.bind(*e);
+  if (sel.having) binder.bind(*sel.having);
+  for (OrderItem& item : sel.order_by) binder.bind(*item.expr);
+
+  // --- aggregation analysis ---
+  for (const SelectPlan::OutputCol& out : plan.outputs) {
+    collectAggregates(out.expr, plan.aggregates);
+  }
+  if (sel.having) collectAggregates(sel.having.get(), plan.aggregates);
+  for (OrderItem& item : sel.order_by) {
+    collectAggregates(item.expr.get(), plan.aggregates);
+  }
+  plan.grouped = !sel.group_by.empty() || !plan.aggregates.empty();
+
+  // --- choose an access path per table ---
+  plan.paths.assign(plan.from.size(), {});
+  if (!use_indexes) return plan;
+
+  // Highest FROM index a bound expression depends on (-1 = constant).
+  std::function<int(const Expr*)> maxTableOf = [&](const Expr* x) -> int {
+    if (x == nullptr) return -1;
+    int m = -1;
+    if (x->kind == Expr::Kind::Column) m = x->bound_table;
+    m = std::max(m, maxTableOf(x->lhs.get()));
+    m = std::max(m, maxTableOf(x->rhs.get()));
+    for (const ExprPtr& item : x->list) m = std::max(m, maxTableOf(item.get()));
+    return m;
+  };
+
+  for (std::size_t t = 0; t < plan.from.size(); ++t) {
+    SelectPlan::AccessPath& path = plan.paths[t];
+    for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+      Expr* e = pc.expr;
+
+      // col IN (list): sorted multi-point probe when every list element is
+      // computable before table t is scanned. Beats a range path, loses to
+      // a single-key equality.
+      if (e->kind == Expr::Kind::InList && !e->negated) {
+        Expr* col = e->lhs.get();
+        if (!(col->kind == Expr::Kind::Column &&
+              col->bound_table == static_cast<int>(t))) {
+          continue;
+        }
+        int list_max = -1;
+        for (const ExprPtr& item : e->list) {
+          list_max = std::max(list_max, maxTableOf(item.get()));
+        }
+        if (list_max >= static_cast<int>(t)) continue;
+        const IndexDef* index =
+            db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
+        if (index == nullptr) continue;
+        if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
+            path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
+          continue;
+        }
+        path = {};
+        path.kind = SelectPlan::AccessPath::Kind::IndexInList;
+        path.index = index;
+        path.key_column = col->bound_col;
+        path.in_list = e;
+        continue;
+      }
+
+      if (e->kind != Expr::Kind::Binary) continue;
+      if (e->op != BinaryOp::Eq && e->op != BinaryOp::Lt && e->op != BinaryOp::Le &&
+          e->op != BinaryOp::Gt && e->op != BinaryOp::Ge) {
+        continue;
+      }
+      // Normalize: want column-of-t on the left.
+      Expr* col = e->lhs.get();
+      Expr* other = e->rhs.get();
+      BinaryOp op = e->op;
+      auto flip = [](BinaryOp o) {
+        switch (o) {
+          case BinaryOp::Lt: return BinaryOp::Gt;
+          case BinaryOp::Le: return BinaryOp::Ge;
+          case BinaryOp::Gt: return BinaryOp::Lt;
+          case BinaryOp::Ge: return BinaryOp::Le;
+          default: return o;
+        }
+      };
+      if (!(col->kind == Expr::Kind::Column && col->bound_table == static_cast<int>(t))) {
+        std::swap(col, other);
+        op = flip(op);
+        if (!(col->kind == Expr::Kind::Column &&
+              col->bound_table == static_cast<int>(t))) {
+          continue;
+        }
+      }
+      // The other side must be computable before table t is scanned.
+      if (maxTableOf(other) >= static_cast<int>(t)) continue;
+      const IndexDef* index =
+          db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
+      if (index == nullptr) continue;
+      if (op == BinaryOp::Eq) {
+        path = {};
+        path.kind = SelectPlan::AccessPath::Kind::IndexEqual;
+        path.index = index;
+        path.key_column = col->bound_col;
+        path.equal_rhs = other;
+        break;  // equality beats any other path
+      }
+      // Range bound: merge into an existing range path on the same column.
+      if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
+          path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
+        continue;
+      }
+      if (path.kind == SelectPlan::AccessPath::Kind::IndexRange &&
+          path.key_column != col->bound_col) {
+        continue;
+      }
+      path.kind = SelectPlan::AccessPath::Kind::IndexRange;
+      path.index = index;
+      path.key_column = col->bound_col;
+      if (op == BinaryOp::Gt || op == BinaryOp::Ge) {
+        path.lower_rhs = other;
+        path.lower_inclusive = op == BinaryOp::Ge;
+      } else {
+        path.upper_rhs = other;
+        path.upper_inclusive = op == BinaryOp::Le;
+      }
+    }
+  }
+  return plan;
+}
+
+/// Runs a previously built plan. Re-materializes IN (SELECT ...) subqueries
+/// (their contents may have changed between executions) but reuses all
+/// binding and access-path decisions.
+ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain) {
+  SelectStmt& sel = *plan.sel;
+
+  if (plan.from.empty()) {
+    // SELECT without FROM: evaluate items against an empty tuple.
+    ResultSet rs;
+    Row row;
+    Tuple tuple;
+    for (const SelectPlan::OutputCol& out : plan.outputs) {
+      rs.columns.push_back(out.name);
+      row.push_back(evaluate(*out.expr, tuple));
+    }
+    rs.rows.push_back(std::move(row));
+    return rs;
+  }
+
+  // --- materialize uncorrelated subqueries (once per execution) ---
+  for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+    materializeSubqueries(pc.expr, db, plan.use_indexes);
+  }
+  for (const SelectPlan::OutputCol& out : plan.outputs) {
+    materializeSubqueries(out.expr, db, plan.use_indexes);
+  }
+  if (sel.having) materializeSubqueries(sel.having.get(), db, plan.use_indexes);
+  for (OrderItem& item : sel.order_by) {
+    materializeSubqueries(item.expr.get(), db, plan.use_indexes);
+  }
+
+  if (explain) {
+    ResultSet rs;
+    rs.columns = {"plan"};
+    for (std::size_t t = 0; t < plan.from.size(); ++t) {
+      rs.rows.push_back({Value(plan.paths[t].describe(plan.from[t]))});
+    }
+    return rs;
+  }
+
+  // --- execution ---
+  ResultSet rs;
+  for (const SelectPlan::OutputCol& out : plan.outputs) rs.columns.push_back(out.name);
+
+  // Group storage (grouped mode) or direct output (plain mode).
+  std::map<EncodedKey, Group> groups;
+  std::vector<std::pair<std::vector<Value>, Row>> keyed_rows;  // (order keys, row)
+  std::set<EncodedKey> distinct_seen;
+
+  auto emitTuple = [&](const Tuple& tuple) {
+    if (plan.grouped) {
+      Row key_values;
+      EncodedKey key;
+      for (const ExprPtr& e : sel.group_by) {
+        Value v = evaluate(*e, tuple);
+        encodeValue(v, key);
+        key_values.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      Group& g = it->second;
+      if (inserted) {
+        g.key_values = std::move(key_values);
+        g.aggs.resize(plan.aggregates.size());
+        g.first_rows.reserve(tuple.size());
+        for (const Row* row : tuple) g.first_rows.push_back(*row);
+      }
+      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+        const Expr* agg = plan.aggregates[a];
+        if (agg->lhs) {
+          g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
+        } else {
+          g.aggs[a].count++;  // COUNT(*)
+        }
+      }
+      return;
+    }
+    Row row;
+    row.reserve(plan.outputs.size());
+    for (const SelectPlan::OutputCol& out : plan.outputs) {
+      row.push_back(evaluate(*out.expr, tuple));
+    }
+    if (sel.distinct) {
+      EncodedKey key;
+      for (const Value& v : row) encodeValue(v, key);
+      if (!distinct_seen.insert(key).second) return;
+    }
+    std::vector<Value> order_keys;
+    order_keys.reserve(sel.order_by.size());
+    for (const OrderItem& item : sel.order_by) {
+      order_keys.push_back(evaluate(*item.expr, tuple));
+    }
+    keyed_rows.emplace_back(std::move(order_keys), std::move(row));
+  };
+
+  // Nested-loop join driven by the chosen access paths. LEFT JOIN follows
+  // standard semantics: a row "matches" when it passes the table's ON
+  // conjuncts; if nothing matches, a null-extended tuple is produced and
+  // only non-ON (WHERE) conjuncts apply to it.
+  Tuple tuple(plan.from.size(), nullptr);
+  std::vector<Row> null_rows;
+  null_rows.reserve(plan.from.size());
+  for (const SelectPlan::FromEntry& entry : plan.from) {
+    null_rows.emplace_back(entry.def->columns.size());  // all NULL
+  }
+  std::function<void(std::size_t)> joinStep = [&](std::size_t t) {
+    if (t == plan.from.size()) {
+      emitTuple(tuple);
+      return;
+    }
+    auto dueHere = [&](const SelectPlan::PlannedConjunct& pc) {
+      return pc.max_table == static_cast<int>(t) || (t == 0 && pc.max_table <= 0);
+    };
+    const SelectPlan::AccessPath& path = plan.paths[t];
+    bool matched = false;
+    auto visit = [&](RecordId, const Row& row) -> bool {
+      tuple[t] = &row;
+      // ON conjuncts first: they alone decide whether the row "matches".
+      // The conjunct consumed by an IN-list probe already holds by
+      // construction (the probe only visits matching keys) and is skipped.
+      bool on_pass = true;
+      for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+        if (!dueHere(pc) || pc.on_table != static_cast<int>(t)) continue;
+        if (pc.expr == path.in_list) continue;
+        if (!truthy(evaluate(*pc.expr, tuple))) {
+          on_pass = false;
+          break;
+        }
+      }
+      if (on_pass) {
+        matched = true;
+        bool rest_pass = true;
+        for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+          if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
+          if (pc.expr == path.in_list) continue;
+          if (!truthy(evaluate(*pc.expr, tuple))) {
+            rest_pass = false;
+            break;
+          }
+        }
+        if (rest_pass) joinStep(t + 1);
+      }
+      tuple[t] = nullptr;
+      return true;
+    };
+    switch (path.kind) {
+      case SelectPlan::AccessPath::Kind::Scan:
+        db.scan(plan.from[t].def->name, visit);
+        break;
+      case SelectPlan::AccessPath::Kind::IndexEqual: {
+        const Value key = evaluate(*path.equal_rhs, tuple);
+        if (!key.isNull()) {  // col = NULL matches nothing; may null-extend
+          db.indexScanEqual(*path.index, {key}, visit);
+        }
+        break;
+      }
+      case SelectPlan::AccessPath::Kind::IndexInList: {
+        // Sorted multi-point probe: one B+-tree descent per distinct key,
+        // in key order, instead of a heap scan with per-row membership.
+        std::vector<Value> keys;
+        keys.reserve(path.in_list->list.size());
+        for (const ExprPtr& item : path.in_list->list) {
+          Value v = evaluate(*item, tuple);
+          if (!v.isNull()) keys.push_back(std::move(v));
+        }
+        std::sort(keys.begin(), keys.end(),
+                  [](const Value& a, const Value& b) { return a.compare(b) < 0; });
+        keys.erase(std::unique(keys.begin(), keys.end(),
+                               [](const Value& a, const Value& b) {
+                                 return a.compare(b) == 0;
+                               }),
+                   keys.end());
+        bool stop = false;
+        for (const Value& key : keys) {
+          db.indexScanEqual(*path.index, {key}, [&](RecordId rid, const Row& row) {
+            if (!visit(rid, row)) {
+              stop = true;
+              return false;
+            }
+            return true;
+          });
+          if (stop) break;
+        }
+        break;
+      }
+      case SelectPlan::AccessPath::Kind::IndexRange: {
+        std::optional<Value> lower;
+        std::optional<Value> upper;
+        if (path.lower_rhs) lower = evaluate(*path.lower_rhs, tuple);
+        if (path.upper_rhs) upper = evaluate(*path.upper_rhs, tuple);
+        db.indexScanRange(*path.index, lower, path.lower_inclusive, upper,
+                          path.upper_inclusive, visit);
+        break;
+      }
+    }
+    if (!matched && sel.from[t].left_join) {
+      tuple[t] = &null_rows[t];
+      bool pass = true;
+      for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+        if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
+        // Note: a conjunct consumed by the probe IS evaluated here — a
+        // null-extended row must still fail `col IN (...)`.
+        if (!truthy(evaluate(*pc.expr, tuple))) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) joinStep(t + 1);
+      tuple[t] = nullptr;
+    }
+  };
+  joinStep(0);
+
+  // --- finalize groups ---
+  if (plan.grouped) {
+    for (const auto& [key, group] : groups) {
+      if (sel.having && !truthy(evaluateGrouped(*sel.having, group))) continue;
+      Row row;
+      row.reserve(plan.outputs.size());
+      for (const SelectPlan::OutputCol& out : plan.outputs) {
+        row.push_back(evaluateGrouped(*out.expr, group));
+      }
+      if (sel.distinct) {
+        EncodedKey dkey;
+        for (const Value& v : row) encodeValue(v, dkey);
+        if (!distinct_seen.insert(dkey).second) continue;
+      }
+      std::vector<Value> order_keys;
+      order_keys.reserve(sel.order_by.size());
+      for (const OrderItem& item : sel.order_by) {
+        order_keys.push_back(evaluateGrouped(*item.expr, group));
+      }
+      keyed_rows.emplace_back(std::move(order_keys), std::move(row));
+    }
+    // A fully-aggregated SELECT over zero input rows still yields one row.
+    if (groups.empty() && sel.group_by.empty()) {
+      Group empty;
+      empty.aggs.resize(plan.aggregates.size());
+      // Bare column refs are undefined over an empty input; report NULLs.
+      Row row;
+      for (const SelectPlan::OutputCol& out : plan.outputs) {
+        if (containsAggregate(out.expr) || out.expr->kind == Expr::Kind::Literal) {
+          row.push_back(evaluateGrouped(*out.expr, empty));
+        } else {
+          row.push_back(Value::null());
+        }
+      }
+      keyed_rows.emplace_back(std::vector<Value>{}, std::move(row));
+    }
+  }
+
+  // --- order, offset, limit ---
+  if (!sel.order_by.empty()) {
+    std::stable_sort(keyed_rows.begin(), keyed_rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (std::size_t i = 0; i < sel.order_by.size(); ++i) {
+                         const int c = a.first[i].compare(b.first[i]);
+                         if (c != 0) return sel.order_by[i].descending ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  std::size_t start = 0;
+  std::size_t end = keyed_rows.size();
+  if (sel.offset) start = std::min<std::size_t>(end, static_cast<std::size_t>(*sel.offset));
+  if (sel.limit) end = std::min<std::size_t>(end, start + static_cast<std::size_t>(*sel.limit));
+  rs.rows.reserve(end - start);
+  for (std::size_t i = start; i < end; ++i) rs.rows.push_back(std::move(keyed_rows[i].second));
+  return rs;
+}
+
+ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
+                     bool explain) {
+  // The binding pass annotates expressions in place; the annotations are
+  // rewritten by every plan build, so sharing the AST across plans is safe.
+  auto& sel = const_cast<SelectStmt&>(sel_const);
+  SelectPlan plan = buildSelectPlan(db, sel, use_indexes);
+  return execSelectPlan(db, plan, explain);
+}
+
+Value evalConst(const Expr& e) {
+  static const Tuple kEmpty;
+  return evaluate(e, kEmpty);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PreparedStatement
+// ---------------------------------------------------------------------------
+
+PreparedStatement::PreparedStatement(Engine& engine, std::string sql)
+    : engine_(&engine), sql_(std::move(sql)), stmt_(parseStatement(sql_)) {
+  params_.resize(static_cast<std::size_t>(stmt_.param_count));
+  bound_.assign(static_cast<std::size_t>(stmt_.param_count), 0);
+}
+
+void PreparedStatement::bind(int index, Value v) {
+  if (index < 1 || index > paramCount()) {
+    throw SqlError("bind: parameter index " + std::to_string(index) +
+                   " out of range (statement has " + std::to_string(paramCount()) +
+                   " parameters)");
+  }
+  params_[static_cast<std::size_t>(index - 1)] = std::move(v);
+  bound_[static_cast<std::size_t>(index - 1)] = 1;
+}
+
+void PreparedStatement::bindAll(std::vector<Value> params) {
+  if (static_cast<int>(params.size()) != paramCount()) {
+    throw SqlError("bindAll: statement has " + std::to_string(paramCount()) +
+                   " parameters, got " + std::to_string(params.size()));
+  }
+  params_ = std::move(params);
+  bound_.assign(params_.size(), 1);
+}
+
+void PreparedStatement::clearBindings() {
+  params_.assign(params_.size(), Value::null());
+  bound_.assign(bound_.size(), 0);
+}
+
+ResultSet PreparedStatement::execute() {
+  for (std::size_t i = 0; i < bound_.size(); ++i) {
+    if (!bound_[i]) {
+      throw SqlError("execute: parameter " + std::to_string(i + 1) + " is unbound");
+    }
+  }
+  if (stmt_.param_count > 0) bindParamValues(stmt_, params_);
+  if (stmt_.kind == Statement::Kind::Select) {
+    Database& db = *engine_->db_;
+    if (!plan_ || plan_->epoch != db.schemaEpoch() ||
+        plan_->use_indexes != engine_->use_indexes_) {
+      plan_ = std::make_shared<SelectPlan>(
+          buildSelectPlan(db, *stmt_.select, engine_->use_indexes_));
+    }
+    return execSelectPlan(db, *plan_, stmt_.explain);
+  }
+  return engine_->exec(stmt_);
+}
+
+ResultSet PreparedStatement::execute(std::vector<Value> params) {
+  bindAll(std::move(params));
+  return execute();
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
+PreparedStatement Engine::prepare(std::string_view sql) {
+  return PreparedStatement(*this, std::string(sql));
+}
+
 ResultSet Engine::exec(std::string_view sqltext) {
   const Statement stmt = parseStatement(sqltext);
+  if (stmt.param_count > 0) {
+    throw SqlError("statement has " + std::to_string(stmt.param_count) +
+                   " unbound '?' parameters; use prepare()/execPrepared()");
+  }
   return exec(stmt);
 }
 
@@ -530,429 +1203,6 @@ ResultSet Engine::execScript(std::string_view script) {
   return last;
 }
 
-namespace {
-
-ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain);
-
-/// Runs every uncorrelated IN (SELECT ...) subquery below `e` and caches the
-/// first-column values for membership tests.
-void materializeSubqueries(Expr* e, Database& db, bool use_indexes) {
-  if (e == nullptr) return;
-  if (e->kind == Expr::Kind::InSelect) {
-    if (!e->subquery) throw SqlError("internal: InSelect without a subquery");
-    const ResultSet rs = execSelect(db, *e->subquery, use_indexes, /*explain=*/false);
-    auto values = std::make_shared<std::set<std::string>>();
-    for (const Row& row : rs.rows) {
-      if (row.empty() || row[0].isNull()) continue;  // NULL never matches IN
-      EncodedKey key;
-      encodeValue(row[0], key);
-      values->insert(std::move(key));
-    }
-    e->subquery_values = std::move(values);
-  }
-  materializeSubqueries(e->lhs.get(), db, use_indexes);
-  materializeSubqueries(e->rhs.get(), db, use_indexes);
-  for (const ExprPtr& item : e->list) {
-    materializeSubqueries(item.get(), db, use_indexes);
-  }
-}
-
-ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain) {
-  // The binding pass annotates expressions in place; SELECTs are parsed per
-  // exec() call, so mutation is private to this execution.
-  auto& sel = const_cast<SelectStmt&>(sel_const);
-
-  // --- resolve FROM ---
-  std::vector<FromEntry> from;
-  for (const TableRef& ref : sel.from) {
-    const TableDef* def = db.catalog().findTable(ref.table);
-    if (def == nullptr) throw SqlError("no such table: " + ref.table);
-    from.push_back({def, ref.alias});
-  }
-  if (from.empty()) {
-    // SELECT without FROM: evaluate items against an empty tuple.
-    Binder binder(from);
-    ResultSet rs;
-    Row row;
-    Tuple tuple;
-    for (const SelectItem& item : sel.items) {
-      if (!item.expr) throw SqlError("SELECT * requires a FROM clause");
-      binder.bind(*item.expr);
-      rs.columns.push_back(item.alias.empty() ? "expr" : item.alias);
-      row.push_back(evaluate(*item.expr, tuple));
-    }
-    rs.rows.push_back(std::move(row));
-    return rs;
-  }
-
-  Binder binder(from);
-
-  // --- expand '*' and bind select items ---
-  struct OutputCol {
-    Expr* expr;
-    std::string name;
-  };
-  std::vector<ExprPtr> star_exprs;  // owns expanded column refs
-  std::vector<OutputCol> outputs;
-  for (SelectItem& item : sel.items) {
-    if (!item.expr) {
-      for (std::size_t t = 0; t < from.size(); ++t) {
-        for (std::size_t c = 0; c < from[t].def->columns.size(); ++c) {
-          ExprPtr e = Expr::columnRef(from[t].alias, from[t].def->columns[c].name);
-          binder.bind(*e);
-          outputs.push_back({e.get(), from[t].def->columns[c].name});
-          star_exprs.push_back(std::move(e));
-        }
-      }
-      continue;
-    }
-    binder.bind(*item.expr);
-    std::string name = item.alias;
-    if (name.empty()) {
-      name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
-    }
-    outputs.push_back({item.expr.get(), std::move(name)});
-  }
-
-  // --- gather and bind conjuncts (WHERE + every JOIN ... ON) ---
-  std::vector<PlannedConjunct> conjuncts;
-  auto addConjuncts = [&](Expr* root, int on_table) {
-    std::vector<Expr*> raw;
-    collectConjuncts(root, raw);
-    for (Expr* e : raw) {
-      PlannedConjunct pc;
-      pc.expr = e;
-      pc.max_table = binder.bind(*e);
-      pc.on_table = on_table;
-      conjuncts.push_back(pc);
-    }
-  };
-  addConjuncts(sel.where.get(), -1);
-  for (std::size_t t = 0; t < sel.from.size(); ++t) {
-    addConjuncts(sel.from[t].join_on.get(), static_cast<int>(t));
-  }
-
-  // --- bind the remaining clauses ---
-  for (ExprPtr& e : sel.group_by) binder.bind(*e);
-  if (sel.having) binder.bind(*sel.having);
-  for (OrderItem& item : sel.order_by) binder.bind(*item.expr);
-
-  // --- materialize uncorrelated subqueries (once per statement) ---
-  for (const PlannedConjunct& pc : conjuncts) {
-    materializeSubqueries(pc.expr, db, use_indexes);
-  }
-  for (const OutputCol& out : outputs) materializeSubqueries(out.expr, db, use_indexes);
-  if (sel.having) materializeSubqueries(sel.having.get(), db, use_indexes);
-  for (OrderItem& item : sel.order_by) {
-    materializeSubqueries(item.expr.get(), db, use_indexes);
-  }
-
-  // --- aggregation analysis ---
-  std::vector<Expr*> aggregates;
-  for (const OutputCol& out : outputs) collectAggregates(out.expr, aggregates);
-  if (sel.having) collectAggregates(sel.having.get(), aggregates);
-  for (OrderItem& item : sel.order_by) collectAggregates(item.expr.get(), aggregates);
-  const bool grouped = !sel.group_by.empty() || !aggregates.empty();
-  if (!sel.group_by.empty()) {
-    for (const OutputCol& out : outputs) {
-      (void)out;  // bare columns allowed, SQLite-style
-    }
-  }
-
-  // --- choose an access path per table ---
-  std::vector<AccessPath> paths(from.size());
-  if (use_indexes) {
-    for (std::size_t t = 0; t < from.size(); ++t) {
-      AccessPath& path = paths[t];
-      for (const PlannedConjunct& pc : conjuncts) {
-        Expr* e = pc.expr;
-        if (e->kind != Expr::Kind::Binary) continue;
-        if (e->op != BinaryOp::Eq && e->op != BinaryOp::Lt && e->op != BinaryOp::Le &&
-            e->op != BinaryOp::Gt && e->op != BinaryOp::Ge) {
-          continue;
-        }
-        // Normalize: want column-of-t on the left.
-        Expr* col = e->lhs.get();
-        Expr* other = e->rhs.get();
-        BinaryOp op = e->op;
-        auto flip = [](BinaryOp o) {
-          switch (o) {
-            case BinaryOp::Lt: return BinaryOp::Gt;
-            case BinaryOp::Le: return BinaryOp::Ge;
-            case BinaryOp::Gt: return BinaryOp::Lt;
-            case BinaryOp::Ge: return BinaryOp::Le;
-            default: return o;
-          }
-        };
-        if (!(col->kind == Expr::Kind::Column && col->bound_table == static_cast<int>(t))) {
-          std::swap(col, other);
-          op = flip(op);
-          if (!(col->kind == Expr::Kind::Column &&
-                col->bound_table == static_cast<int>(t))) {
-            continue;
-          }
-        }
-        // The other side must be computable before table t is scanned.
-        int other_max = -1;
-        std::vector<Expr*> cols;
-        std::function<void(Expr*)> scanCols = [&](Expr* x) {
-          if (x == nullptr) return;
-          if (x->kind == Expr::Kind::Column) {
-            other_max = std::max(other_max, x->bound_table);
-          }
-          scanCols(x->lhs.get());
-          scanCols(x->rhs.get());
-          for (const ExprPtr& item : x->list) scanCols(item.get());
-        };
-        scanCols(other);
-        if (other_max >= static_cast<int>(t)) continue;
-        const IndexDef* index =
-            db.catalog().indexOnColumn(from[t].def->name, col->bound_col);
-        if (index == nullptr) continue;
-        if (op == BinaryOp::Eq) {
-          path.kind = AccessPath::Kind::IndexEqual;
-          path.index = index;
-          path.key_column = col->bound_col;
-          path.equal_rhs = other;
-          break;  // equality beats any range
-        }
-        // Range bound: merge into an existing range path on the same column.
-        if (path.kind == AccessPath::Kind::IndexEqual) continue;
-        if (path.kind == AccessPath::Kind::IndexRange && path.key_column != col->bound_col) {
-          continue;
-        }
-        path.kind = AccessPath::Kind::IndexRange;
-        path.index = index;
-        path.key_column = col->bound_col;
-        if (op == BinaryOp::Gt || op == BinaryOp::Ge) {
-          path.lower_rhs = other;
-          path.lower_inclusive = op == BinaryOp::Ge;
-        } else {
-          path.upper_rhs = other;
-          path.upper_inclusive = op == BinaryOp::Le;
-        }
-      }
-    }
-  }
-
-  if (explain) {
-    ResultSet rs;
-    rs.columns = {"plan"};
-    for (std::size_t t = 0; t < from.size(); ++t) {
-      rs.rows.push_back({Value(paths[t].describe(from[t]))});
-    }
-    return rs;
-  }
-
-  // --- execution ---
-  ResultSet rs;
-  for (const OutputCol& out : outputs) rs.columns.push_back(out.name);
-
-  // Group storage (grouped mode) or direct output (plain mode).
-  std::map<EncodedKey, Group> groups;
-  std::vector<std::pair<std::vector<Value>, Row>> keyed_rows;  // (order keys, row)
-  std::set<EncodedKey> distinct_seen;
-
-  auto emitTuple = [&](const Tuple& tuple) {
-    if (grouped) {
-      Row key_values;
-      EncodedKey key;
-      for (const ExprPtr& e : sel.group_by) {
-        Value v = evaluate(*e, tuple);
-        encodeValue(v, key);
-        key_values.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      Group& g = it->second;
-      if (inserted) {
-        g.key_values = std::move(key_values);
-        g.aggs.resize(aggregates.size());
-        g.first_rows.reserve(tuple.size());
-        for (const Row* row : tuple) g.first_rows.push_back(*row);
-      }
-      for (std::size_t a = 0; a < aggregates.size(); ++a) {
-        const Expr* agg = aggregates[a];
-        if (agg->lhs) {
-          g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
-        } else {
-          g.aggs[a].count++;  // COUNT(*)
-        }
-      }
-      return;
-    }
-    Row row;
-    row.reserve(outputs.size());
-    for (const OutputCol& out : outputs) row.push_back(evaluate(*out.expr, tuple));
-    if (sel.distinct) {
-      EncodedKey key;
-      for (const Value& v : row) encodeValue(v, key);
-      if (!distinct_seen.insert(key).second) return;
-    }
-    std::vector<Value> order_keys;
-    order_keys.reserve(sel.order_by.size());
-    for (const OrderItem& item : sel.order_by) {
-      order_keys.push_back(evaluate(*item.expr, tuple));
-    }
-    keyed_rows.emplace_back(std::move(order_keys), std::move(row));
-  };
-
-  // Nested-loop join driven by the chosen access paths. LEFT JOIN follows
-  // standard semantics: a row "matches" when it passes the table's ON
-  // conjuncts; if nothing matches, a null-extended tuple is produced and
-  // only non-ON (WHERE) conjuncts apply to it.
-  Tuple tuple(from.size(), nullptr);
-  std::vector<Row> null_rows;
-  null_rows.reserve(from.size());
-  for (const FromEntry& entry : from) {
-    null_rows.emplace_back(entry.def->columns.size());  // all NULL
-  }
-  std::function<void(std::size_t)> joinStep = [&](std::size_t t) {
-    if (t == from.size()) {
-      emitTuple(tuple);
-      return;
-    }
-    auto dueHere = [&](const PlannedConjunct& pc) {
-      return pc.max_table == static_cast<int>(t) || (t == 0 && pc.max_table <= 0);
-    };
-    bool matched = false;
-    auto visit = [&](RecordId, const Row& row) -> bool {
-      tuple[t] = &row;
-      // ON conjuncts first: they alone decide whether the row "matches".
-      bool on_pass = true;
-      for (const PlannedConjunct& pc : conjuncts) {
-        if (!dueHere(pc) || pc.on_table != static_cast<int>(t)) continue;
-        if (!truthy(evaluate(*pc.expr, tuple))) {
-          on_pass = false;
-          break;
-        }
-      }
-      if (on_pass) {
-        matched = true;
-        bool rest_pass = true;
-        for (const PlannedConjunct& pc : conjuncts) {
-          if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
-          if (!truthy(evaluate(*pc.expr, tuple))) {
-            rest_pass = false;
-            break;
-          }
-        }
-        if (rest_pass) joinStep(t + 1);
-      }
-      tuple[t] = nullptr;
-      return true;
-    };
-    const AccessPath& path = paths[t];
-    switch (path.kind) {
-      case AccessPath::Kind::Scan:
-        db.scan(from[t].def->name, visit);
-        break;
-      case AccessPath::Kind::IndexEqual: {
-        const Value key = evaluate(*path.equal_rhs, tuple);
-        if (!key.isNull()) {  // col = NULL matches nothing; may null-extend
-          db.indexScanEqual(*path.index, {key}, visit);
-        }
-        break;
-      }
-      case AccessPath::Kind::IndexRange: {
-        std::optional<Value> lower;
-        std::optional<Value> upper;
-        if (path.lower_rhs) lower = evaluate(*path.lower_rhs, tuple);
-        if (path.upper_rhs) upper = evaluate(*path.upper_rhs, tuple);
-        db.indexScanRange(*path.index, lower, path.lower_inclusive, upper,
-                          path.upper_inclusive, visit);
-        break;
-      }
-    }
-    if (!matched && sel.from[t].left_join) {
-      tuple[t] = &null_rows[t];
-      bool pass = true;
-      for (const PlannedConjunct& pc : conjuncts) {
-        if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
-        if (!truthy(evaluate(*pc.expr, tuple))) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) joinStep(t + 1);
-      tuple[t] = nullptr;
-    }
-  };
-  joinStep(0);
-
-  // --- finalize groups ---
-  if (grouped) {
-    for (const auto& [key, group] : groups) {
-      if (sel.having && !truthy(evaluateGrouped(*sel.having, group))) continue;
-      Row row;
-      row.reserve(outputs.size());
-      for (const OutputCol& out : outputs) {
-        row.push_back(evaluateGrouped(*out.expr, group));
-      }
-      if (sel.distinct) {
-        EncodedKey dkey;
-        for (const Value& v : row) encodeValue(v, dkey);
-        if (!distinct_seen.insert(dkey).second) continue;
-      }
-      std::vector<Value> order_keys;
-      order_keys.reserve(sel.order_by.size());
-      for (const OrderItem& item : sel.order_by) {
-        order_keys.push_back(evaluateGrouped(*item.expr, group));
-      }
-      keyed_rows.emplace_back(std::move(order_keys), std::move(row));
-    }
-    // A fully-aggregated SELECT over zero input rows still yields one row.
-    if (groups.empty() && sel.group_by.empty()) {
-      Group empty;
-      empty.aggs.resize(aggregates.size());
-      // Bare column refs are undefined over an empty input; report NULLs.
-      bool representable = true;
-      for (const OutputCol& out : outputs) {
-        if (!containsAggregate(out.expr) && out.expr->kind != Expr::Kind::Literal) {
-          representable = false;
-        }
-      }
-      Row row;
-      for (const OutputCol& out : outputs) {
-        if (containsAggregate(out.expr) || out.expr->kind == Expr::Kind::Literal) {
-          row.push_back(evaluateGrouped(*out.expr, empty));
-        } else {
-          row.push_back(Value::null());
-        }
-      }
-      (void)representable;
-      keyed_rows.emplace_back(std::vector<Value>{}, std::move(row));
-    }
-  }
-
-  // --- order, offset, limit ---
-  if (!sel.order_by.empty()) {
-    std::stable_sort(keyed_rows.begin(), keyed_rows.end(),
-                     [&](const auto& a, const auto& b) {
-                       for (std::size_t i = 0; i < sel.order_by.size(); ++i) {
-                         const int c = a.first[i].compare(b.first[i]);
-                         if (c != 0) return sel.order_by[i].descending ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
-  }
-  std::size_t start = 0;
-  std::size_t end = keyed_rows.size();
-  if (sel.offset) start = std::min<std::size_t>(end, static_cast<std::size_t>(*sel.offset));
-  if (sel.limit) end = std::min<std::size_t>(end, start + static_cast<std::size_t>(*sel.limit));
-  rs.rows.reserve(end - start);
-  for (std::size_t i = start; i < end; ++i) rs.rows.push_back(std::move(keyed_rows[i].second));
-  return rs;
-}
-
-Value evalConst(const Expr& e) {
-  static const Tuple kEmpty;
-  return evaluate(e, kEmpty);
-}
-
-}  // namespace
-
 ResultSet Engine::exec(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::Select:
@@ -993,7 +1243,7 @@ ResultSet Engine::exec(const Statement& stmt) {
       const UpdateStmt& upd = *stmt.update;
       const TableDef* def = db_->catalog().findTable(upd.table);
       if (def == nullptr) throw SqlError("no such table: " + upd.table);
-      std::vector<FromEntry> from{{def, def->name}};
+      std::vector<SelectPlan::FromEntry> from{{def, def->name}};
       Binder binder(from);
       if (upd.where) {
         binder.bind(*const_cast<Expr*>(upd.where.get()));
@@ -1033,7 +1283,7 @@ ResultSet Engine::exec(const Statement& stmt) {
       const DeleteStmt& del = *stmt.del;
       const TableDef* def = db_->catalog().findTable(del.table);
       if (def == nullptr) throw SqlError("no such table: " + del.table);
-      std::vector<FromEntry> from{{def, def->name}};
+      std::vector<SelectPlan::FromEntry> from{{def, def->name}};
       Binder binder(from);
       if (del.where) {
         binder.bind(*const_cast<Expr*>(del.where.get()));

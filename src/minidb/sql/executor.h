@@ -1,16 +1,24 @@
-// minidb SQL front-end: statement execution.
+// minidb SQL front-end: statement preparation and execution.
 //
 // The Engine compiles a parsed Statement against a Database and runs it.
 // SELECT planning is rule-based, in the spirit of early relational engines:
 // tables join in FROM order with nested loops; for each table the planner
 // looks for a WHERE/ON conjunct of the form  col <op> <bound expr>  where
 // `col` has a B+-tree index and the other side only references earlier
-// tables — equality conjuncts become index point scans, inequalities become
-// index range scans, otherwise the table is heap-scanned. EXPLAIN returns
-// the chosen access path per table instead of rows (used by the ablation
-// benchmarks).
+// tables — equality conjuncts become index point scans, IN-lists become
+// sorted multi-point probes, inequalities become index range scans,
+// otherwise the table is heap-scanned. EXPLAIN returns the chosen access
+// path per table instead of rows (used by the ablation benchmarks).
+//
+// prepare() compiles a statement once into a PreparedStatement that can be
+// bound and executed repeatedly without re-lexing or re-parsing. SELECT
+// plans (resolved tables, conjuncts, access paths) are cached inside the
+// PreparedStatement and revalidated against Database::schemaEpoch() and the
+// engine's use-indexes flag, so DDL or ablation flips trigger a cheap
+// replan instead of returning stale plans.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,14 +41,64 @@ struct ResultSet {
   std::string toText() const;
 };
 
+class Engine;
+struct SelectPlan;  // opaque cached plan, defined in executor.cpp
+
+/// A parsed statement plus its parameter bindings and cached SELECT plan.
+/// Obtained from Engine::prepare(); re-executable with fresh bindings.
+class PreparedStatement {
+ public:
+  PreparedStatement(PreparedStatement&&) = default;
+  PreparedStatement& operator=(PreparedStatement&&) = default;
+
+  /// Number of '?' placeholders in the statement.
+  int paramCount() const { return stmt_.param_count; }
+
+  /// Binds one parameter (1-based index, SQLite-style). Throws SqlError when
+  /// the index is out of range. NULL is a legal binding.
+  void bind(int index, Value v);
+
+  /// Binds every parameter at once; `params.size()` must equal paramCount().
+  void bindAll(std::vector<Value> params);
+
+  /// Forgets all bindings (execute() then requires a fresh bindAll/bind).
+  void clearBindings();
+
+  /// Executes with the current bindings. Throws SqlError when any parameter
+  /// is unbound. Bindings persist across executions until rebound.
+  ResultSet execute();
+
+  /// bindAll + execute in one call.
+  ResultSet execute(std::vector<Value> params);
+
+  const std::string& sql() const { return sql_; }
+  Statement::Kind kind() const { return stmt_.kind; }
+  const Statement& statement() const { return stmt_; }
+
+ private:
+  friend class Engine;
+  PreparedStatement(Engine& engine, std::string sql);
+
+  Engine* engine_;
+  std::string sql_;
+  Statement stmt_;
+  std::vector<Value> params_;
+  std::vector<char> bound_;        // per-parameter "has been bound" flags
+  std::shared_ptr<SelectPlan> plan_;  // lazily built, epoch-validated
+};
+
 class Engine {
  public:
   explicit Engine(Database& db) : db_(&db) {}
 
-  /// Parses and executes one statement.
+  /// Compiles one statement for repeated execution with bound parameters.
+  PreparedStatement prepare(std::string_view sql);
+
+  /// Parses and executes one statement. Statements containing '?' must go
+  /// through prepare() instead.
   ResultSet exec(std::string_view sql);
 
-  /// Executes an already-parsed statement.
+  /// Executes an already-parsed statement (no parameters).
   ResultSet exec(const Statement& stmt);
 
   /// Executes a ';'-separated script (quotes and comments are respected);
@@ -48,11 +106,16 @@ class Engine {
   ResultSet execScript(std::string_view script);
 
   /// When false the planner never uses indexes (ablation switch; mirrors
-  /// the paper's interest in load/query cost drivers).
+  /// the paper's interest in load/query cost drivers). Cached plans built
+  /// under the other setting replan automatically on next execution.
   void setUseIndexes(bool enabled) { use_indexes_ = enabled; }
   bool useIndexes() const { return use_indexes_; }
 
+  Database& database() { return *db_; }
+
  private:
+  friend class PreparedStatement;
+
   Database* db_;
   bool use_indexes_ = true;
 };

@@ -135,7 +135,7 @@ std::vector<Token> tokenize(std::string_view sql) {
         }
       }
       if (sym.empty()) {
-        static constexpr std::string_view kOneChar = "()=<>,.;*+-/";
+        static constexpr std::string_view kOneChar = "()=<>,.;*+-/?";
         if (kOneChar.find(c) == std::string_view::npos) {
           throw SqlError(std::string("unexpected character '") + c + "' in SQL");
         }

@@ -84,6 +84,7 @@ class Parser {
     }
     acceptSymbol(";");
     if (peek().type != TokenType::End) fail("trailing input after statement");
+    stmt.param_count = param_count_;
     return stmt;
   }
 
@@ -517,6 +518,13 @@ class Parser {
       next();
       return Expr::literal(Value::null());
     }
+    if (t.isSymbol("?")) {
+      next();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Param;
+      e->param_index = param_count_++;
+      return e;
+    }
     if (t.isKeyword("COUNT") || t.isKeyword("SUM") || t.isKeyword("AVG") ||
         t.isKeyword("MIN") || t.isKeyword("MAX")) {
       auto e = std::make_unique<Expr>();
@@ -569,6 +577,7 @@ class Parser {
     e->column = src.column;
     e->op = src.op;
     e->negated = src.negated;
+    e->param_index = src.param_index;
     e->agg = src.agg;
     e->agg_distinct = src.agg_distinct;
     if (src.lhs) e->lhs = cloneExpr(*src.lhs);
@@ -579,6 +588,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int param_count_ = 0;  // '?' placeholders seen, in left-to-right order
 };
 
 }  // namespace

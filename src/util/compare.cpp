@@ -1,0 +1,29 @@
+#include "util/compare.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::util {
+
+bool comparePredicate(const std::string& lhs, const std::string& comparator,
+                      const std::string& rhs) {
+  if (comparator == "contains") return lhs.find(rhs) != std::string::npos;
+  int c = 0;
+  const auto ln = parseReal(lhs);
+  const auto rn = parseReal(rhs);
+  if (ln && rn) {
+    c = *ln < *rn ? -1 : (*ln > *rn ? 1 : 0);
+  } else {
+    c = lhs.compare(rhs);
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (comparator == "=" || comparator == "==") return c == 0;
+  if (comparator == "!=" || comparator == "<>") return c != 0;
+  if (comparator == "<") return c < 0;
+  if (comparator == "<=") return c <= 0;
+  if (comparator == ">") return c > 0;
+  if (comparator == ">=") return c >= 0;
+  throw ModelError("unknown comparator '" + comparator + "'");
+}
+
+}  // namespace perftrack::util

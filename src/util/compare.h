@@ -1,0 +1,17 @@
+// Shared predicate comparator for PerfTrack's attribute filters and result
+// tables (one grammar everywhere, per the paper's attribute-selection and
+// table-filter dialogs).
+#pragma once
+
+#include <string>
+
+namespace perftrack::util {
+
+/// True when `lhs comparator rhs` holds. "contains" is substring match;
+/// "=", "==", "!=", "<>", "<", "<=", ">", ">=" compare numerically when both
+/// sides parse as numbers, lexicographically otherwise. Throws ModelError on
+/// an unknown comparator.
+bool comparePredicate(const std::string& lhs, const std::string& comparator,
+                      const std::string& rhs);
+
+}  // namespace perftrack::util

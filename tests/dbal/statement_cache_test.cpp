@@ -1,0 +1,161 @@
+// Connection statement cache: hit/miss accounting, LRU eviction, and
+// invalidation on DDL and on the index-ablation switch.
+#include "dbal/connection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace perftrack::dbal {
+namespace {
+
+using minidb::Value;
+
+class StatementCacheTest : public ::testing::Test {
+ protected:
+  StatementCacheTest() : conn_(Connection::open(":memory:")) {
+    conn_->exec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)");
+    conn_->exec("INSERT INTO t (k, v) VALUES (1, 'a'), (2, 'b'), (3, 'c'), (2, 'd')");
+  }
+
+  std::unique_ptr<Connection> conn_;
+};
+
+TEST_F(StatementCacheTest, RepeatedSqlTextHitsTheCache) {
+  const auto before = conn_->statementCacheStats();
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  const auto after = conn_->statementCacheStats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 2u);
+  EXPECT_GE(conn_->statementCacheSize(), 1u);
+}
+
+TEST_F(StatementCacheTest, ExecPreparedSharesOneEntryAcrossParamSets) {
+  const auto before = conn_->statementCacheStats();
+  const char* q = "SELECT v FROM t WHERE k = ?";
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
+  EXPECT_EQ(conn_->execPrepared(q, {Value(1)}).rows.size(), 1u);
+  EXPECT_EQ(conn_->execPrepared(q, {Value(99)}).rows.size(), 0u);
+  const auto after = conn_->statementCacheStats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 2u);
+}
+
+TEST_F(StatementCacheTest, PlainExecRejectsParameterizedSql) {
+  EXPECT_THROW(conn_->exec("SELECT v FROM t WHERE k = ?"), util::SqlError);
+}
+
+TEST_F(StatementCacheTest, QueryHelpersTakeParams) {
+  EXPECT_EQ(conn_->queryInt("SELECT COUNT(*) FROM t WHERE k = ?", {Value(2)}), 2);
+  EXPECT_EQ(conn_->queryInt("SELECT id FROM t WHERE k = ?", {Value(99)}, -1), -1);
+  EXPECT_EQ(conn_->queryValue("SELECT v FROM t WHERE k = ?", {Value(1)}).asText(), "a");
+}
+
+TEST_F(StatementCacheTest, DdlClearsTheCache) {
+  conn_->exec("SELECT v FROM t WHERE k = 1");
+  ASSERT_GE(conn_->statementCacheSize(), 1u);
+  const auto before = conn_->statementCacheStats();
+  conn_->exec("CREATE TABLE other (x INTEGER)");
+  EXPECT_EQ(conn_->statementCacheSize(), 0u);
+  EXPECT_GT(conn_->statementCacheStats().invalidations, before.invalidations);
+}
+
+TEST_F(StatementCacheTest, CreateIndexInvalidatesAndNewPlansUseIt) {
+  // Warm the cache with a plan that can only heap-scan.
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  ASSERT_GE(conn_->statementCacheSize(), 1u);
+  conn_->exec("CREATE INDEX t_by_k ON t (k)");
+  EXPECT_EQ(conn_->statementCacheSize(), 0u);
+  // Correct rows after the index appears, and the replanned query uses it.
+  EXPECT_EQ(conn_->exec("SELECT v FROM t WHERE k = 2").rows.size(), 2u);
+  const auto plan = conn_->exec("EXPLAIN SELECT v FROM t WHERE k = 2");
+  ASSERT_EQ(plan.rows.size(), 1u);
+  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX t_by_k"), std::string::npos);
+}
+
+TEST_F(StatementCacheTest, DropInvalidates) {
+  conn_->exec("CREATE INDEX t_by_k ON t (k)");
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  ASSERT_GE(conn_->statementCacheSize(), 1u);
+  conn_->exec("DROP INDEX t_by_k");
+  EXPECT_EQ(conn_->statementCacheSize(), 0u);
+  // The dropped index must not be referenced by any surviving plan.
+  EXPECT_EQ(conn_->exec("SELECT v FROM t WHERE k = 2").rows.size(), 2u);
+}
+
+TEST_F(StatementCacheTest, UseIndexesSwitchClearsCacheAndChangesPlans) {
+  conn_->exec("CREATE INDEX t_by_k ON t (k)");
+  const char* q = "EXPLAIN SELECT v FROM t WHERE k IN (1, 3)";
+  auto plan = conn_->exec(q);
+  ASSERT_EQ(plan.rows.size(), 1u);
+  EXPECT_NE(plan.rows[0][0].asText().find("IN multi-point probe, 2 keys"),
+            std::string::npos);
+  conn_->setUseIndexes(false);
+  EXPECT_EQ(conn_->statementCacheSize(), 0u);
+  plan = conn_->exec(q);
+  EXPECT_EQ(plan.rows[0][0].asText(), "SCAN t AS t");
+  // Results stay identical either way.
+  EXPECT_EQ(conn_->exec("SELECT v FROM t WHERE k IN (1, 3)").rows.size(), 2u);
+  conn_->setUseIndexes(true);
+  plan = conn_->exec(q);
+  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX"), std::string::npos);
+}
+
+TEST_F(StatementCacheTest, LruEvictsLeastRecentlyUsed) {
+  conn_->clearStatementCache();
+  conn_->setStatementCacheCapacity(2);
+  conn_->exec("SELECT v FROM t WHERE k = 1");  // A
+  conn_->exec("SELECT v FROM t WHERE k = 2");  // B
+  conn_->exec("SELECT v FROM t WHERE k = 1");  // touch A -> B is now LRU
+  const auto before = conn_->statementCacheStats();
+  conn_->exec("SELECT v FROM t WHERE k = 3");  // C evicts B
+  EXPECT_EQ(conn_->statementCacheSize(), 2u);
+  EXPECT_EQ(conn_->statementCacheStats().evictions - before.evictions, 1u);
+  // A survived (hit); B was evicted (miss).
+  const auto mid = conn_->statementCacheStats();
+  conn_->exec("SELECT v FROM t WHERE k = 1");
+  EXPECT_EQ(conn_->statementCacheStats().hits - mid.hits, 1u);
+  const auto late = conn_->statementCacheStats();
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  EXPECT_EQ(conn_->statementCacheStats().misses - late.misses, 1u);
+}
+
+TEST_F(StatementCacheTest, CapacityZeroDisablesCaching) {
+  conn_->setStatementCacheCapacity(0);
+  EXPECT_EQ(conn_->statementCacheSize(), 0u);
+  const auto before = conn_->statementCacheStats();
+  conn_->exec("SELECT v FROM t WHERE k = 1");
+  conn_->exec("SELECT v FROM t WHERE k = 1");
+  EXPECT_EQ(conn_->statementCacheSize(), 0u);
+  EXPECT_EQ(conn_->statementCacheStats().misses - before.misses, 2u);
+  EXPECT_EQ(conn_->statementCacheStats().hits, before.hits);
+}
+
+TEST_F(StatementCacheTest, ShrinkingCapacityEvictsDown) {
+  conn_->clearStatementCache();
+  conn_->exec("SELECT v FROM t WHERE k = 1");
+  conn_->exec("SELECT v FROM t WHERE k = 2");
+  conn_->exec("SELECT v FROM t WHERE k = 3");
+  ASSERT_EQ(conn_->statementCacheSize(), 3u);
+  conn_->setStatementCacheCapacity(1);
+  EXPECT_EQ(conn_->statementCacheSize(), 1u);
+  // The survivor is the most recently used statement.
+  const auto before = conn_->statementCacheStats();
+  conn_->exec("SELECT v FROM t WHERE k = 3");
+  EXPECT_EQ(conn_->statementCacheStats().hits - before.hits, 1u);
+}
+
+TEST_F(StatementCacheTest, CachedDmlKeepsWorking) {
+  const char* ins = "INSERT INTO t (k, v) VALUES (?, ?)";
+  conn_->execPrepared(ins, {Value(7), Value("x")});
+  conn_->execPrepared(ins, {Value(7), Value("y")});
+  EXPECT_EQ(conn_->queryInt("SELECT COUNT(*) FROM t WHERE k = ?", {Value(7)}), 2);
+  const char* del = "DELETE FROM t WHERE v = ?";
+  EXPECT_EQ(conn_->execPrepared(del, {Value("x")}).rows_affected, 1);
+  EXPECT_EQ(conn_->queryInt("SELECT COUNT(*) FROM t WHERE k = ?", {Value(7)}), 1);
+}
+
+}  // namespace
+}  // namespace perftrack::dbal
