@@ -1,0 +1,114 @@
+// Durability ablation: what does the crash-safe commit path cost?
+//
+// With Durability::Full every commit writes before-images to the rollback
+// journal, fsyncs it, overwrites the db pages, fsyncs the db, and
+// invalidates the journal — two fsyncs and roughly 2x the page writes of
+// the legacy in-place path (Durability::None). This bench ingests the same
+// synthetic result batches through the dbal prepared-statement hot path in
+// both modes and reports rows/s, commit latency, and the overhead ratio, at
+// two commit granularities (the paper loads one execution per transaction;
+// small transactions amplify the per-commit fsync cost).
+//
+// PT_DURABILITY_JSON=<path>: also emit the rows as JSON (one object per
+// mode x batch-size cell) for scripts/bench_smoke.sh and before/after
+// comparisons.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dbal/connection.h"
+#include "util/tempdir.h"
+#include "util/timer.h"
+
+using namespace perftrack;
+
+namespace {
+
+struct Cell {
+  std::string mode;
+  int batch_rows = 0;
+  int commits = 0;
+  std::int64_t rows = 0;
+  double seconds = 0.0;
+  double rows_per_s() const { return seconds > 0 ? rows / seconds : 0.0; }
+  double ms_per_commit() const { return commits > 0 ? 1e3 * seconds / commits : 0.0; }
+};
+
+Cell runIngest(minidb::Durability durability, int batch_rows, int batches) {
+  util::TempDir dir("pt_bench_dur");
+  minidb::OpenOptions options;
+  options.durability = durability;
+  auto conn = dbal::Connection::open(dir.file("bench.db").string(), options);
+  conn->exec(
+      "CREATE TABLE result (id INTEGER PRIMARY KEY, ctx INTEGER, metric INTEGER, "
+      "value REAL, units TEXT)");
+  conn->exec("CREATE INDEX result_by_ctx ON result (ctx)");
+
+  Cell cell;
+  cell.mode = durability == minidb::Durability::Full ? "full" : "none";
+  cell.batch_rows = batch_rows;
+  const char* ins =
+      "INSERT INTO result (ctx, metric, value, units) VALUES (?, ?, ?, ?)";
+  util::Timer timer;
+  for (int b = 0; b < batches; ++b) {
+    conn->begin();
+    for (int i = 0; i < batch_rows; ++i) {
+      const int n = b * batch_rows + i;
+      conn->execPrepared(ins, {minidb::Value(n % 97), minidb::Value(n % 13),
+                               minidb::Value(n * 0.25), minidb::Value("seconds")});
+    }
+    conn->commit();
+    ++cell.commits;
+    cell.rows += batch_rows;
+  }
+  cell.seconds = timer.elapsedSeconds();
+  return cell;
+}
+
+void writeJson(const std::string& path, const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "  {\"mode\": \"" << c.mode << "\", \"batch_rows\": " << c.batch_rows
+        << ", \"commits\": " << c.commits << ", \"rows\": " << c.rows
+        << ", \"seconds\": " << c.seconds << ", \"rows_per_s\": " << c.rows_per_s()
+        << ", \"ms_per_commit\": " << c.ms_per_commit() << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  // ~1 execution per commit (paper-style bulk load) vs chatty small commits.
+  const struct { int batch_rows; int batches; } shapes[] = {
+      {1500, 8},  // bulk: Table 1's one-execution transactions
+      {50, 60},   // chatty: per-commit fsync cost dominates
+  };
+
+  std::vector<Cell> cells;
+  std::printf("%-6s %-11s %10s %10s %12s %14s\n", "mode", "batch", "rows",
+              "seconds", "rows/s", "ms/commit");
+  for (const auto& shape : shapes) {
+    Cell none = runIngest(minidb::Durability::None, shape.batch_rows, shape.batches);
+    Cell full = runIngest(minidb::Durability::Full, shape.batch_rows, shape.batches);
+    for (const Cell& c : {none, full}) {
+      std::printf("%-6s %5d x %-3d %10lld %10.3f %12.0f %14.3f\n", c.mode.c_str(),
+                  c.batch_rows, c.commits, static_cast<long long>(c.rows), c.seconds,
+                  c.rows_per_s(), c.ms_per_commit());
+      cells.push_back(c);
+    }
+    std::printf("  -> durability overhead: %.2fx slower, batch=%d\n",
+                none.seconds > 0 ? full.seconds / none.seconds : 0.0,
+                shape.batch_rows);
+  }
+  if (const char* json = std::getenv("PT_DURABILITY_JSON")) {
+    writeJson(json, cells);
+    std::printf("wrote %s\n", json);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# ci.sh — the full gate, runnable locally or from CI.
+#
+#   scripts/ci.sh            normal build + full ctest (tier-1 gate)
+#   scripts/ci.sh sanitize   ASan+UBSan build + full ctest
+#   scripts/ci.sh bench      normal build + bench smoke (non-gating label)
+#
+# Each mode uses its own build directory so they can be run back to back.
+set -eu
+
+MODE="${1:-normal}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+case "$MODE" in
+  normal)
+    BUILD="$ROOT/build-ci"
+    cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD" -j "$JOBS"
+    ctest --test-dir "$BUILD" --output-on-failure -LE bench
+    ;;
+  sanitize)
+    BUILD="$ROOT/build-asan"
+    cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DPT_SANITIZE=address,undefined
+    cmake --build "$BUILD" -j "$JOBS"
+    # halt_on_error makes UBSan findings fail the suite instead of scrolling by.
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --test-dir "$BUILD" --output-on-failure -LE bench
+    ;;
+  bench)
+    # Smoke only: the benchmarks must run to completion; numbers are not gated.
+    BUILD="$ROOT/build-ci"
+    cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD" -j "$JOBS"
+    ctest --test-dir "$BUILD" --output-on-failure -L bench
+    ;;
+  *)
+    echo "usage: $0 [normal|sanitize|bench]" >&2
+    exit 2
+    ;;
+esac

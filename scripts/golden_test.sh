@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# golden_test.sh — byte-exact golden-file test for the ptquery CLI surface.
+#
+# Rebuilds a deterministic store from scratch (seeded ptgen -> ptdfgen ->
+# ptdfload) and byte-compares the output of a fixed set of ptquery commands
+# against the files checked in under tests/golden/. Any drift in CSV
+# formatting, report layout, row ordering, or the seeded simulator itself
+# fails the test with a diff.
+#
+# Usage:   golden_test.sh <cli-bin-dir> <golden-dir>
+# Regen:   PT_REGEN_GOLDEN=1 golden_test.sh ...   rewrites the goldens
+#          (run it after an intentional output change, then review the diff).
+set -u
+
+BIN="${1:?usage: golden_test.sh <cli-bin-dir> <golden-dir>}"
+GOLD="${2:?usage: golden_test.sh <cli-bin-dir> <golden-dir>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$BIN/ptgen" irs "$WORK/run" frost 4 1 >/dev/null || fail "ptgen"
+printf 'irs %s frost\n' "$WORK/run" > "$WORK/index.txt"
+"$BIN/ptdfgen" "$WORK/index.txt" "$WORK/ptdf" >/dev/null || fail "ptdfgen"
+"$BIN/ptdfload" "$WORK/db" "$WORK/ptdf/run.ptdf" >/dev/null || fail "ptdfload"
+
+# The command set under golden control. Add a line here and regenerate to
+# put another surface under byte-exact protection.
+run_case() {
+  case "$1" in
+    types.txt)            "$BIN/ptquery" "$WORK/db" types ;;
+    metrics.txt)          "$BIN/ptquery" "$WORK/db" metrics ;;
+    select_function.csv)  "$BIN/ptquery" "$WORK/db" select "name=IRS-1.4/irsrad.c/rbndcom:B" --csv ;;
+    select_exec.csv)      "$BIN/ptquery" "$WORK/db" select "name=/irs-frost-np4-s1" "type=build/module/function" --csv ;;
+    *) fail "unknown golden case '$1'" ;;
+  esac
+}
+
+CASES="types.txt metrics.txt select_function.csv select_exec.csv"
+
+status=0
+for case_name in $CASES; do
+  out="$WORK/$case_name"
+  run_case "$case_name" > "$out" || fail "$case_name: command failed"
+  if [ "${PT_REGEN_GOLDEN:-0}" = "1" ]; then
+    cp "$out" "$GOLD/$case_name"
+    echo "regenerated $GOLD/$case_name"
+  elif ! cmp -s "$out" "$GOLD/$case_name"; then
+    echo "FAIL: $case_name differs from golden:" >&2
+    diff -u "$GOLD/$case_name" "$out" | head -40 >&2
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] || exit 1
+[ "${PT_REGEN_GOLDEN:-0}" = "1" ] || echo "OK: $(echo $CASES | wc -w) golden file(s) match"

@@ -1,36 +1,81 @@
 // ptdfload — load PTdf files into a PerfTrack data store.
 //
-// Usage: ptdfload <database|:memory:> <file.ptdf>...
+// Usage: ptdfload [--durability=full|none] <database|:memory:> <file.ptdf>...
 // Initializes the store (schema + base types) if needed, loads each file in
 // one transaction, and prints per-file and final store statistics.
+//
+// --durability=full (default) commits through the rollback journal with
+// fsync ordering, so a crash mid-load rolls back to the last loaded file on
+// the next open; --durability=none is the fast, crash-unsafe legacy path.
+// If the previous process died mid-commit, opening the store rolls the hot
+// journal back and a "recovered" line reports it.
+//
+// PT_DEBUG_CRASH_AT=<n> (testing hook, used by scripts/crash_kill_test.sh):
+// SIGKILL the process at the n-th disk write/sync/truncate, leaving a
+// genuinely crashed store behind.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "core/reports.h"
 #include "dbal/connection.h"
+#include "minidb/vfs.h"
 #include "ptdf/ptdf.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <database|:memory:> <file.ptdf>...\n", argv[0]);
+  using namespace perftrack;
+  minidb::OpenOptions options;
+  int arg = 1;
+  while (arg < argc && std::string(argv[arg]).rfind("--", 0) == 0) {
+    const std::string flag = argv[arg];
+    if (flag == "--durability=full") {
+      options.durability = minidb::Durability::Full;
+    } else if (flag == "--durability=none") {
+      options.durability = minidb::Durability::None;
+    } else {
+      std::fprintf(stderr, "ptdfload: unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+    ++arg;
+  }
+  if (argc - arg < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--durability=full|none] <database|:memory:> <file.ptdf>...\n",
+                 argv[0]);
     return 2;
   }
+  if (const char* crash_at = std::getenv("PT_DEBUG_CRASH_AT")) {
+    // Deterministic crash harness: die with SIGKILL at the n-th disk op.
+    static minidb::FaultInjectingVfs fault_vfs(minidb::PosixVfs::instance());
+    minidb::FaultPlan plan;
+    plan.fail_at_op = std::strtoull(crash_at, nullptr, 10);
+    plan.action = minidb::FaultAction::Kill;
+    fault_vfs.setPlan(plan);
+    options.vfs = &fault_vfs;
+  }
   try {
-    auto conn = perftrack::dbal::Connection::open(argv[1]);
-    perftrack::core::PTDataStore store(*conn);
+    auto conn = dbal::Connection::open(argv[arg], options);
+    const auto& recovery = conn->recoveryStats();
+    if (recovery.recovered) {
+      std::printf("recovered: rolled back %u page(s) from a hot journal "
+                  "(previous load crashed mid-commit)\n",
+                  recovery.pages_restored);
+    }
+    core::PTDataStore store(*conn);
     store.initialize();
-    for (int i = 2; i < argc; ++i) {
-      perftrack::util::Timer timer;
+    for (int i = arg + 1; i < argc; ++i) {
+      util::Timer timer;
       conn->begin();
-      const auto stats = perftrack::ptdf::loadFile(store, argv[i]);
+      const auto stats = ptdf::loadFile(store, argv[i]);
       conn->commit();
       std::printf("%s: %zu records (%zu resources, %zu attributes, %zu results) "
                   "in %.2f s\n",
                   argv[i], stats.records, stats.resources, stats.attributes,
                   stats.perf_results, timer.elapsedSeconds());
     }
-    std::fputs(perftrack::core::storeReport(store).c_str(), stdout);
+    std::fputs(core::storeReport(store).c_str(), stdout);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptdfload: %s\n", e.what());

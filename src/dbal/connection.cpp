@@ -36,8 +36,13 @@ bool ddlKind(Statement::Kind kind) {
 }  // namespace
 
 std::unique_ptr<Connection> Connection::open(const std::string& path) {
+  return open(path, minidb::OpenOptions{});
+}
+
+std::unique_ptr<Connection> Connection::open(const std::string& path,
+                                             const minidb::OpenOptions& options) {
   auto db = path == ":memory:" ? minidb::Database::openMemory()
-                               : minidb::Database::open(path);
+                               : minidb::Database::open(path, options);
   return std::unique_ptr<Connection>(new Connection(std::move(db)));
 }
 

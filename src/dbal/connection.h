@@ -44,7 +44,14 @@ struct StatementCacheStats {
 class Connection {
  public:
   /// Opens `path`, or a fresh in-memory store when path == ":memory:".
+  /// File-backed stores default to full durability (rollback journal +
+  /// fsync; see DESIGN.md §5.2).
   static std::unique_ptr<Connection> open(const std::string& path);
+
+  /// Opens with explicit storage options (durability mode, VFS override);
+  /// ignored for ":memory:".
+  static std::unique_ptr<Connection> open(const std::string& path,
+                                          const minidb::OpenOptions& options);
 
   /// Executes one SQL statement (no '?' parameters) through the statement
   /// cache. Executing parameterized SQL here throws; use execPrepared().
@@ -70,6 +77,11 @@ class Connection {
 
   /// Logical store size in bytes (Table 1's "DB size increase" numbers).
   std::uint64_t sizeBytes() const { return db_->sizeBytes(); }
+
+  /// Hot-journal recovery outcome of open (all-false for clean opens and
+  /// in-memory stores). Tools report this so an operator knows a crashed
+  /// load was rolled back.
+  const minidb::RecoveryStats& recoveryStats() const { return db_->recoveryStats(); }
 
   /// Ablation switch: disable index-assisted plans (see DESIGN.md §5).
   /// Flipping the switch drops all cached statements.

@@ -9,7 +9,13 @@ namespace perftrack::minidb {
 using util::StorageError;
 
 std::unique_ptr<Database> Database::open(const std::string& path) {
-  return std::make_unique<Database>(std::make_unique<FilePager>(path));
+  return open(path, OpenOptions{});
+}
+
+std::unique_ptr<Database> Database::open(const std::string& path,
+                                         const OpenOptions& options) {
+  return std::make_unique<Database>(
+      std::make_unique<FilePager>(path, options.durability, options.vfs));
 }
 
 std::unique_ptr<Database> Database::openMemory() {

@@ -24,10 +24,22 @@
 
 namespace perftrack::minidb {
 
+/// Storage-layer open options (durability mode, VFS override).
+struct OpenOptions {
+  Durability durability = Durability::Full;
+  /// All file operations route through this VFS when set (borrowed, must
+  /// outlive the Database). Defaults to the real filesystem; the crash
+  /// tests pass a FaultInjectingVfs here.
+  Vfs* vfs = nullptr;
+};
+
 class Database {
  public:
-  /// Opens (or creates) a file-backed database.
+  /// Opens (or creates) a file-backed database with full durability.
   static std::unique_ptr<Database> open(const std::string& path);
+  /// Opens (or creates) a file-backed database with explicit options.
+  static std::unique_ptr<Database> open(const std::string& path,
+                                        const OpenOptions& options);
   /// Creates a fresh in-memory database.
   static std::unique_ptr<Database> openMemory();
 
@@ -103,6 +115,9 @@ class Database {
 
   /// Persists all dirty pages (implicit on destruction for file backends).
   void flush() { pager_->flush(); }
+
+  /// What hot-journal recovery (if any) happened when the store was opened.
+  const RecoveryStats& recoveryStats() const { return pager_->recoveryStats(); }
 
   /// Logical database size in bytes (Table 1 "DB size increase" metric).
   std::uint64_t sizeBytes() const { return pager_->sizeBytes(); }

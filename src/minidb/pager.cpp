@@ -1,6 +1,6 @@
 #include "minidb/pager.h"
 
-#include <cstdio>
+#include <algorithm>
 #include <cstring>
 
 #include "util/error.h"
@@ -12,6 +12,17 @@ using util::StorageError;
 namespace {
 
 DbHeader* headerOf(std::uint8_t* page0) { return reinterpret_cast<DbHeader*>(page0); }
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::size_t kJournalRecordSize = sizeof(std::uint32_t) + kPageSize;
 
 }  // namespace
 
@@ -129,37 +140,16 @@ void Pager::rollbackJournal() {
   if (pages_.size() > count) pages_.resize(count);
 }
 
-FilePager::FilePager(std::string path) : path_(std::move(path)) {
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) {
-    formatNew();
-    return;
-  }
-  // Load existing file page by page.
-  std::fseek(f, 0, SEEK_END);
-  const long file_size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (file_size < static_cast<long>(kPageSize) || file_size % kPageSize != 0) {
-    std::fclose(f);
-    throw StorageError("FilePager: " + path_ + " is not a valid minidb file");
-  }
-  const std::size_t count = static_cast<std::size_t>(file_size) / kPageSize;
-  pages_.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    pages_[i] = std::make_unique<PageBuf>();
-    if (std::fread(pages_[i]->data(), 1, kPageSize, f) != kPageSize) {
-      std::fclose(f);
-      throw StorageError("FilePager: short read from " + path_);
-    }
-  }
-  std::fclose(f);
-  const DbHeader& h = header();
-  if (h.magic != kDbMagic || h.version != kDbVersion) {
-    throw StorageError("FilePager: " + path_ + " has a bad header");
-  }
-  if (h.page_count > count) {
-    throw StorageError("FilePager: " + path_ + " is truncated");
-  }
+// --- FilePager ---------------------------------------------------------------
+
+FilePager::FilePager(std::string path, Durability durability, Vfs* vfs)
+    : path_(std::move(path)),
+      journal_path_(journalPathFor(path_)),
+      durability_(durability),
+      vfs_(vfs != nullptr ? vfs : &PosixVfs::instance()) {
+  file_ = vfs_->open(path_, /*create=*/true);
+  recoverHotJournal();
+  loadFromDisk();
 }
 
 FilePager::~FilePager() {
@@ -171,22 +161,162 @@ FilePager::~FilePager() {
   }
 }
 
+void FilePager::loadFromDisk() {
+  const std::uint64_t file_size = file_->size();
+  if (file_size == 0) {
+    // Brand-new database (or one rolled back to before its first commit).
+    formatNew();
+    return;
+  }
+  if (file_size % kPageSize != 0) {
+    throw StorageError("FilePager: " + path_ + " is not a valid minidb file");
+  }
+  const std::size_t count = static_cast<std::size_t>(file_size / kPageSize);
+  pages_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pages_[i] = std::make_unique<PageBuf>();
+    if (file_->read(std::uint64_t{i} * kPageSize, pages_[i]->data(), kPageSize) !=
+        kPageSize) {
+      throw StorageError("FilePager: short read from " + path_);
+    }
+  }
+  const DbHeader& h = header();
+  if (h.magic != kDbMagic || h.version != kDbVersion) {
+    throw StorageError("FilePager: " + path_ + " has a bad header");
+  }
+  if (h.page_count > count) {
+    throw StorageError("FilePager: " + path_ + " is truncated");
+  }
+}
+
+void FilePager::recoverHotJournal() {
+  if (!vfs_->exists(journal_path_)) return;
+  auto jf = vfs_->open(journal_path_, /*create=*/false);
+  const std::uint64_t jsize = jf->size();
+
+  // Validate: header intact, all declared records present, checksum matches.
+  // Anything less means the crash hit while the journal itself was being
+  // written — the database was not yet touched, so the journal is garbage.
+  JournalHeader jh{};
+  std::vector<std::uint8_t> records;
+  bool valid = false;
+  if (jsize >= sizeof(JournalHeader) &&
+      jf->read(0, &jh, sizeof(jh)) == sizeof(jh) && jh.magic == kJournalMagic &&
+      jh.version == kJournalVersion) {
+    const std::uint64_t need =
+        sizeof(JournalHeader) + std::uint64_t{jh.page_count} * kJournalRecordSize;
+    if (jsize >= need) {
+      records.resize(need - sizeof(JournalHeader));
+      if (jf->read(sizeof(JournalHeader), records.data(), records.size()) ==
+              records.size() &&
+          fnv1a(records.data(), records.size()) == jh.checksum) {
+        valid = true;
+      }
+    }
+  }
+  jf.reset();
+  if (!valid) {
+    vfs_->remove(journal_path_);
+    recovery_stats_.discarded_invalid_journal = true;
+    return;
+  }
+
+  // Roll back: restore every before-image, then cut the file back to its
+  // pre-commit length (dropping pages the interrupted commit appended).
+  for (std::uint32_t i = 0; i < jh.page_count; ++i) {
+    const std::uint8_t* rec = records.data() + std::size_t{i} * kJournalRecordSize;
+    PageId id;
+    std::memcpy(&id, rec, sizeof(id));
+    file_->write(std::uint64_t{id} * kPageSize, rec + sizeof(id), kPageSize);
+  }
+  file_->truncate(std::uint64_t{jh.orig_file_pages} * kPageSize);
+  file_->sync();
+  vfs_->remove(journal_path_);
+  recovery_stats_.recovered = true;
+  recovery_stats_.pages_restored = jh.page_count;
+}
+
 void FilePager::flush() {
   if (dirty_.empty()) return;
-  std::FILE* f = std::fopen(path_.c_str(), "r+b");
-  if (f == nullptr) f = std::fopen(path_.c_str(), "w+b");
-  if (f == nullptr) throw StorageError("FilePager: cannot open " + path_ + " for writing");
+  if (durability_ == Durability::Full) {
+    flushDurable();
+  } else {
+    flushInPlace();
+  }
+}
+
+void FilePager::flushInPlace() {
   const std::uint32_t count = header().page_count;
   for (PageId id : dirty_) {
     if (id >= count || !pages_[id]) continue;  // freed/rolled-back page
-    if (std::fseek(f, static_cast<long>(std::uint64_t{id} * kPageSize), SEEK_SET) != 0 ||
-        std::fwrite(pages_[id]->data(), 1, kPageSize, f) != kPageSize) {
-      std::fclose(f);
-      throw StorageError("FilePager: short write to " + path_);
-    }
+    file_->write(std::uint64_t{id} * kPageSize, pages_[id]->data(), kPageSize);
   }
-  std::fflush(f);
-  std::fclose(f);
+  dirty_.clear();
+}
+
+void FilePager::flushDurable() {
+  // A journal left behind by an earlier failed flush describes the last
+  // committed on-disk state; roll the file back to it before starting over.
+  // dirty_ still covers every page changed since that state, so the retry
+  // rewrites everything the failed attempt did.
+  if (vfs_->exists(journal_path_)) {
+    RecoveryStats saved = recovery_stats_;
+    recoverHotJournal();
+    recovery_stats_ = saved;  // open-time stats, not flush-retry noise
+  }
+
+  const std::uint32_t count = header().page_count;
+  std::vector<PageId> to_write;
+  for (PageId id : dirty_) {
+    if (id < count && id < pages_.size() && pages_[id]) to_write.push_back(id);
+  }
+  if (to_write.empty()) {
+    dirty_.clear();
+    return;
+  }
+  std::sort(to_write.begin(), to_write.end());
+
+  // 1. Journal the before-images of every committed page we will overwrite.
+  //    Pages past the current end of file need no image: rollback truncates.
+  const std::uint64_t disk_pages = file_->size() / kPageSize;
+  std::vector<std::uint8_t> records;
+  std::uint32_t journaled = 0;
+  for (PageId id : to_write) {
+    if (std::uint64_t{id} >= disk_pages) continue;
+    const std::size_t at = records.size();
+    records.resize(at + kJournalRecordSize);
+    std::memcpy(records.data() + at, &id, sizeof(id));
+    if (file_->read(std::uint64_t{id} * kPageSize, records.data() + at + sizeof(id),
+                    kPageSize) != kPageSize) {
+      throw StorageError("FilePager: short read of before-image from " + path_);
+    }
+    ++journaled;
+  }
+  JournalHeader jh{kJournalMagic, kJournalVersion, journaled,
+                   static_cast<std::uint32_t>(disk_pages),
+                   fnv1a(records.data(), records.size())};
+  std::vector<std::uint8_t> jbuf(sizeof(jh) + records.size());
+  std::memcpy(jbuf.data(), &jh, sizeof(jh));
+  if (!records.empty()) {  // data() of an empty vector may be null
+    std::memcpy(jbuf.data() + sizeof(jh), records.data(), records.size());
+  }
+
+  auto jf = vfs_->open(journal_path_, /*create=*/true);
+  jf->write(0, jbuf.data(), jbuf.size());
+  jf->sync();
+
+  // 2. Write the new pages in place, then force them to stable storage.
+  for (PageId id : to_write) {
+    file_->write(std::uint64_t{id} * kPageSize, pages_[id]->data(), kPageSize);
+  }
+  file_->sync();
+
+  // 3. Commit point: invalidate the journal. Truncating to zero commits even
+  //    if the remove below never happens (an empty journal is discarded on
+  //    open).
+  jf->truncate(0);
+  jf.reset();
+  vfs_->remove(journal_path_);
   dirty_.clear();
 }
 

@@ -12,6 +12,17 @@
 //   * durability: FilePager persists dirty pages to a backing file on flush();
 //     MemPager keeps everything in memory (the PerfTrack "in-memory backend").
 //
+// With Durability::Full (the default), flush() is an atomic commit protected
+// by an on-disk rollback journal (`<db>.journal`): before-images of every
+// page about to be overwritten are written to the journal and fsynced, then
+// the pages are written in place and the database fsynced, and only then is
+// the journal invalidated (truncated and removed). A crash at any point
+// leaves either the new state (journal gone) or enough information to roll
+// back to the last committed state; FilePager detects a hot journal on open
+// and replays it before loading. Durability::None keeps the legacy
+// behavior — in-place rewrite, no journal, no fsync — for scratch stores and
+// the durability-ablation benchmarks.
+//
 // This mirrors the role PostgreSQL/Oracle played for the paper: a real paged
 // storage substrate underneath the relational schema.
 #pragma once
@@ -25,6 +36,7 @@
 #include <vector>
 
 #include "minidb/types.h"
+#include "minidb/vfs.h"
 
 namespace perftrack::minidb {
 
@@ -42,6 +54,32 @@ struct DbHeader {
 
 inline constexpr std::uint32_t kDbMagic = 0x50544442;  // "PTDB"
 inline constexpr std::uint32_t kDbVersion = 1;
+
+/// On-disk header of the rollback journal (`<db>.journal`). Followed by
+/// `page_count` records of {u32 page_id, u8[kPageSize] before-image}.
+struct JournalHeader {
+  std::uint32_t magic;            // 'PTDJ'
+  std::uint32_t version;
+  std::uint32_t page_count;       // number of before-image records
+  std::uint32_t orig_file_pages;  // db file length (in pages) at journal time
+  std::uint64_t checksum;         // FNV-1a 64 over the record bytes
+};
+
+inline constexpr std::uint32_t kJournalMagic = 0x5054444A;  // "PTDJ"
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// Whether flush() runs the journal-protected atomic commit.
+enum class Durability {
+  None,  // in-place rewrite, no journal, no fsync (fast, crash-unsafe)
+  Full,  // rollback journal + fsync ordering; crash leaves last committed state
+};
+
+/// What (if anything) happened to a hot journal found at open.
+struct RecoveryStats {
+  bool recovered = false;        // before-images were rolled back into the db
+  std::uint32_t pages_restored = 0;
+  bool discarded_invalid_journal = false;  // torn/empty journal: db untouched
+};
 
 /// Abstract pager. Not thread-safe; minidb connections are single-threaded,
 /// like the paper's per-session database connections.
@@ -81,8 +119,15 @@ class Pager {
   void rollbackJournal();
   bool inTransaction() const { return journaling_; }
 
-  /// Persists dirty pages. No-op for the in-memory backend.
+  /// Persists dirty pages. No-op for the in-memory backend. When the flush
+  /// throws (I/O error or injected fault), no dirty state is forgotten: a
+  /// later flush retries the full set against the last committed on-disk
+  /// state.
   virtual void flush() {}
+
+  /// Hot-journal recovery outcome of open (all-false for MemPager and for
+  /// clean opens).
+  const RecoveryStats& recoveryStats() const { return recovery_stats_; }
 
  protected:
   Pager() = default;
@@ -92,6 +137,7 @@ class Pager {
 
   std::vector<std::unique_ptr<PageBuf>> pages_;
   std::unordered_set<PageId> dirty_;
+  RecoveryStats recovery_stats_;
 
  private:
   void journalTouch(PageId id);
@@ -109,20 +155,41 @@ class MemPager final : public Pager {
   MemPager() { formatNew(); }
 };
 
-/// File-backed pager. Loads the whole file on open; flush() rewrites dirty
-/// pages in place (and extends the file as needed).
+/// File-backed pager. Loads the whole file on open (rolling back a hot
+/// journal first, if one is present); flush() persists dirty pages according
+/// to the durability mode.
 class FilePager final : public Pager {
  public:
-  /// Opens (or creates) the database file at `path`.
-  explicit FilePager(std::string path);
+  /// Opens (or creates) the database file at `path`. All disk operations go
+  /// through `vfs` (default: the real filesystem), which is how the crash
+  /// tests inject faults.
+  explicit FilePager(std::string path, Durability durability = Durability::Full,
+                     Vfs* vfs = nullptr);
   ~FilePager() override;
 
   void flush() override;
 
   const std::string& path() const { return path_; }
+  Durability durability() const { return durability_; }
+
+  /// Sidecar rollback-journal path for a database file.
+  static std::string journalPathFor(const std::string& db_path) {
+    return db_path + ".journal";
+  }
 
  private:
+  void loadFromDisk();
+  /// Rolls a hot (valid, non-empty) journal back into the db file; discards
+  /// torn or empty journals. Updates recovery_stats_.
+  void recoverHotJournal();
+  void flushDurable();
+  void flushInPlace();
+
   std::string path_;
+  std::string journal_path_;
+  Durability durability_;
+  Vfs* vfs_;
+  std::unique_ptr<VfsFile> file_;
 };
 
 }  // namespace perftrack::minidb

@@ -32,15 +32,15 @@ double PerfModel::idealSeconds(const FunctionWork& fn, int nprocs) const {
   const double p = static_cast<double>(nprocs);
   // Amdahl split of the compute work.
   const double compute =
-      fn.work_mflop / machine_->per_proc_mflops *
+      fn.work_mflop / machine_.per_proc_mflops *
       (fn.serial_fraction + (1.0 - fn.serial_fraction) / p);
   // Communication: latency per message plus bandwidth cost; the latency
   // term grows ~log2(p) as collective trees deepen.
   double comm = 0.0;
   if (nprocs > 1) {
     const double tree_depth = std::max(1.0, std::log2(p));
-    comm = fn.messages_per_proc * machine_->network_latency_us * 1e-6 * tree_depth +
-           fn.comm_bytes_per_proc * 8.0 / (machine_->network_bw_mbps * 1e6);
+    comm = fn.messages_per_proc * machine_.network_latency_us * 1e-6 * tree_depth +
+           fn.comm_bytes_per_proc * 8.0 / (machine_.network_bw_mbps * 1e6);
   }
   return compute + comm;
 }
@@ -54,8 +54,8 @@ FunctionTiming PerfModel::run(const FunctionWork& fn, int nprocs, util::Rng& rng
     // exponentially so a few processes are hit much harder than average —
     // that heavy tail is what makes max >> min at large p on noisy OSes.
     const double noise =
-        machine_->noise_amplitude > 0.0
-            ? rng.exponential(1.0 / (machine_->noise_amplitude * ideal + 1e-12))
+        machine_.noise_amplitude > 0.0
+            ? rng.exponential(1.0 / (machine_.noise_amplitude * ideal + 1e-12))
             : 0.0;
     // Small symmetric measurement jitter (~0.5%).
     const double jitter = 1.0 + 0.005 * rng.normal();

@@ -12,6 +12,7 @@
 // BG/L's compute kernel.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "sim/machines.h"
@@ -39,7 +40,9 @@ struct FunctionTiming {
 
 class PerfModel {
  public:
-  explicit PerfModel(const MachineConfig& machine) : machine_(&machine) {}
+  /// Copies the config: a PerfModel stays valid past the argument's lifetime
+  /// (callers routinely pass temporaries like `PerfModel(mcrConfig())`).
+  explicit PerfModel(MachineConfig machine) : machine_(std::move(machine)) {}
 
   /// Ideal (noise-free) time of `fn` on one process out of `nprocs`.
   double idealSeconds(const FunctionWork& fn, int nprocs) const;
@@ -48,7 +51,7 @@ class PerfModel {
   FunctionTiming run(const FunctionWork& fn, int nprocs, util::Rng& rng) const;
 
  private:
-  const MachineConfig* machine_;
+  MachineConfig machine_;
 };
 
 }  // namespace perftrack::sim

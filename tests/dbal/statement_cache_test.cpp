@@ -147,6 +147,69 @@ TEST_F(StatementCacheTest, ShrinkingCapacityEvictsDown) {
   EXPECT_EQ(conn_->statementCacheStats().hits - before.hits, 1u);
 }
 
+TEST_F(StatementCacheTest, VacuumBumpsEpochAndCachedPlansReplan) {
+  // VACUUM rewrites every heap and index, moving rows to new record ids, so
+  // any plan compiled before it must replan (via the schema epoch) rather
+  // than probe stale locations.
+  conn_->exec("CREATE INDEX t_by_k ON t (k)");
+  const char* q = "SELECT v FROM t WHERE k = ?";
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
+  ASSERT_GE(conn_->statementCacheSize(), 1u);
+
+  // Churn the table so vacuum actually relocates surviving rows.
+  conn_->exec("INSERT INTO t (k, v) VALUES (5, 'e'), (6, 'f'), (7, 'g')");
+  conn_->exec("DELETE FROM t WHERE k = 1 OR k = 5 OR k = 6");
+
+  const auto epoch_before = conn_->database().schemaEpoch();
+  conn_->exec("VACUUM");
+  EXPECT_GT(conn_->database().schemaEpoch(), epoch_before);
+
+  // The cached entry (if it survived the cache policy) must produce correct
+  // rows against the rewritten storage, and integrity must hold.
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
+  EXPECT_EQ(conn_->execPrepared(q, {Value(7)}).rows.size(), 1u);
+  EXPECT_EQ(conn_->execPrepared(q, {Value(1)}).rows.size(), 0u);
+  EXPECT_TRUE(conn_->database().verifyIntegrity().empty());
+}
+
+TEST_F(StatementCacheTest, RollbackOfDdlRestoresPlansViaEpoch) {
+  // A rolled-back transaction that created an index must bump the epoch:
+  // plans compiled against the in-transaction schema would otherwise keep
+  // probing an index that no longer exists.
+  const char* q = "SELECT v FROM t WHERE k = ?";
+  conn_->begin();
+  conn_->exec("CREATE INDEX t_by_k ON t (k)");
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);  // index plan
+  const auto epoch_in_txn = conn_->database().schemaEpoch();
+  conn_->rollback();
+  EXPECT_NE(conn_->database().schemaEpoch(), epoch_in_txn);
+
+  // The index is gone; the same cached SQL must heap-scan and stay correct.
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
+  const auto plan = conn_->exec("EXPLAIN SELECT v FROM t WHERE k = 2");
+  ASSERT_EQ(plan.rows.size(), 1u);
+  EXPECT_EQ(plan.rows[0][0].asText().find("USING INDEX"), std::string::npos);
+  EXPECT_TRUE(conn_->database().verifyIntegrity().empty());
+}
+
+TEST_F(StatementCacheTest, RollbackOfDroppedIndexKeepsIndexPlansValid) {
+  // The mirror case: DROP INDEX inside a rolled-back transaction. After
+  // rollback the index is back, and plans must be able to use it again.
+  conn_->exec("CREATE INDEX t_by_k ON t (k)");
+  const char* q = "SELECT v FROM t WHERE k = ?";
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
+  conn_->begin();
+  conn_->exec("DROP INDEX t_by_k");
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);  // scan plan
+  conn_->rollback();
+
+  EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
+  const auto plan = conn_->exec("EXPLAIN SELECT v FROM t WHERE k = 2");
+  ASSERT_EQ(plan.rows.size(), 1u);
+  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX t_by_k"), std::string::npos);
+  EXPECT_TRUE(conn_->database().verifyIntegrity().empty());
+}
+
 TEST_F(StatementCacheTest, CachedDmlKeepsWorking) {
   const char* ins = "INSERT INTO t (k, v) VALUES (?, ?)";
   conn_->execPrepared(ins, {Value(7), Value("x")});

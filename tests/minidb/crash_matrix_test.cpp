@@ -1,0 +1,358 @@
+// Crash-matrix harness: prove FilePager's atomic commit under injected
+// faults at *every* disk operation of a workload.
+//
+// The workload (DDL + ingest + index build + update/delete + VACUUM, all
+// through the dbal Connection) is first run fault-free against a counting
+// VFS to learn its N fault points and record the expected table contents
+// after each commit. Then, for every k in 1..N, the workload is rerun from
+// scratch with the k-th write/fsync/truncate/remove failing (simulated
+// power loss — later operations never reach the disk), the store is
+// reopened with a clean VFS, and the recovery invariants are asserted:
+//
+//   * the heap and every index pass verifyIntegrity();
+//   * the contents equal the state after the last completed commit — the
+//     transaction in flight at the crash is either fully present (the
+//     crash hit after the commit point) or fully absent, never partial;
+//   * the rollback journal is gone after the reopen;
+//   * cached statements replan and return correct results after recovery.
+//
+// A second sweep repeats the matrix with torn (partial-sector) writes at
+// the fault point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "dbal/connection.h"
+#include "minidb/pager.h"
+#include "minidb/vfs.h"
+#include "util/error.h"
+#include "util/tempdir.h"
+
+namespace perftrack::minidb {
+namespace {
+
+using dbal::Connection;
+
+// Expected table contents: (id, k, v) ordered by id.
+using Snapshot = std::vector<std::tuple<std::int64_t, std::int64_t, std::string>>;
+
+struct WorkloadTrace {
+  std::vector<Snapshot> after_commit;  // state after commit i+1
+  std::size_t commits_completed = 0;
+};
+
+Snapshot snapshotOf(const std::map<std::int64_t, std::pair<std::int64_t, std::string>>& m) {
+  Snapshot s;
+  for (const auto& [id, kv] : m) s.emplace_back(id, kv.first, kv.second);
+  return s;
+}
+
+/// Runs the full workload. Updates `trace` as commits complete; an injected
+/// fault propagates out with `trace` describing exactly how far it got.
+void runWorkload(const std::string& path, Vfs* vfs, WorkloadTrace& trace) {
+  OpenOptions options;
+  options.durability = Durability::Full;
+  options.vfs = vfs;
+  auto conn = Connection::open(path, options);
+  std::map<std::int64_t, std::pair<std::int64_t, std::string>> model;
+
+  const auto commit = [&] {
+    conn->commit();
+    ++trace.commits_completed;
+    trace.after_commit.push_back(snapshotOf(model));
+  };
+
+  // 1: DDL — table plus an index, one transaction.
+  conn->begin();
+  conn->exec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)");
+  conn->exec("CREATE INDEX t_by_k ON t (k)");
+  commit();
+
+  // 2: ingest.
+  conn->begin();
+  for (int i = 0; i < 25; ++i) {
+    const auto rs = conn->execPrepared("INSERT INTO t (k, v) VALUES (?, ?)",
+                                       {Value(i % 5), Value("v" + std::to_string(i))});
+    model[rs.last_insert_id] = {i % 5, "v" + std::to_string(i)};
+  }
+  commit();
+
+  // 3: update + delete.
+  conn->begin();
+  conn->exec("UPDATE t SET v = 'u' WHERE k = 1");
+  for (auto& [id, kv] : model) {
+    if (kv.first == 1) kv.second = "u";
+  }
+  conn->exec("DELETE FROM t WHERE k = 2");
+  std::erase_if(model, [](const auto& e) { return e.second.first == 2; });
+  commit();
+
+  // 4: index build over existing rows.
+  conn->begin();
+  conn->exec("CREATE INDEX t_by_v ON t (v)");
+  commit();
+
+  // 5: more ingest through the now-doubly-indexed table.
+  conn->begin();
+  for (int i = 0; i < 10; ++i) {
+    const auto rs = conn->execPrepared("INSERT INTO t (k, v) VALUES (?, ?)",
+                                       {Value(7), Value("w" + std::to_string(i))});
+    model[rs.last_insert_id] = {7, "w" + std::to_string(i)};
+  }
+  commit();
+
+  // 6: VACUUM — rewrites every heap and index, then flushes. Logical
+  // contents are unchanged, so no snapshot is recorded.
+  conn->exec("VACUUM");
+
+  // 7: final ingest after the vacuum.
+  conn->begin();
+  const auto rs = conn->execPrepared("INSERT INTO t (k, v) VALUES (?, ?)",
+                                     {Value(9), Value("z")});
+  model[rs.last_insert_id] = {9, "z"};
+  commit();
+}
+
+/// Reads the current contents of `t` ordered by id; empty when the table
+/// does not exist yet (crash before the DDL transaction committed).
+Snapshot readState(Connection& conn) {
+  Snapshot s;
+  try {
+    const auto rs = conn.exec("SELECT id, k, v FROM t ORDER BY id");
+    for (const auto& row : rs.rows) {
+      s.emplace_back(row[0].asInt(), row[1].asInt(), row[2].asText());
+    }
+  } catch (const util::PTError&) {
+    // no such table: pre-schema state
+  }
+  return s;
+}
+
+class CrashMatrix : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CrashMatrix, EveryFaultPointRecoversToACommittedState) {
+  const bool torn = GetParam();
+  util::TempDir dir;
+
+  // Fault-free run: learn the op count and the per-commit snapshots.
+  FaultInjectingVfs counter(PosixVfs::instance());
+  WorkloadTrace expected;
+  runWorkload(dir.file("base.db").string(), &counter, expected);
+  const std::uint64_t fault_points = counter.mutatingOps();
+  ASSERT_GT(fault_points, 20u) << "workload too small to be a meaningful matrix";
+  ASSERT_EQ(expected.commits_completed, 6u);
+
+  for (std::uint64_t k = 1; k <= fault_points; ++k) {
+    SCOPED_TRACE("fault point " + std::to_string(k) + (torn ? " (torn)" : ""));
+    const std::string path =
+        dir.file("m" + std::to_string(torn) + "_" + std::to_string(k) + ".db").string();
+    FaultInjectingVfs vfs(PosixVfs::instance());
+    FaultPlan plan;
+    plan.fail_at_op = k;
+    plan.torn_write = torn;
+    vfs.setPlan(plan);
+    WorkloadTrace trace;
+    bool crashed = false;
+    try {
+      runWorkload(path, &vfs, trace);
+    } catch (const InjectedFault&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "fault point " << k << " was never reached";
+
+    // Reopen with a clean VFS: hot-journal recovery runs here.
+    OpenOptions options;
+    options.durability = Durability::Full;
+    auto conn = Connection::open(path, options);
+
+    // The journal must be consumed by recovery, whichever way it went.
+    EXPECT_FALSE(PosixVfs::instance().exists(FilePager::journalPathFor(path)));
+
+    // Storage invariants: heap and every index agree.
+    EXPECT_TRUE(conn->database().verifyIntegrity().empty());
+
+    // Atomicity: the store holds the state after the last completed commit,
+    // or — when the crash hit between the commit point (journal
+    // invalidation) and the commit call returning — the in-flight
+    // transaction in full. Never anything in between. (A crash inside
+    // VACUUM may land on either side of its flush too; both sides hold the
+    // same logical contents, so the same check covers it.)
+    const Snapshot got = readState(*conn);
+    const std::size_t done = trace.commits_completed;
+    const Snapshot& committed =
+        done == 0 ? Snapshot{} : expected.after_commit[done - 1];
+    if (done < expected.after_commit.size() &&
+        got == expected.after_commit[done]) {
+      SUCCEED();  // in-flight transaction fully committed before the crash
+    } else {
+      EXPECT_EQ(got, committed);
+    }
+
+    // Plan cache after recovery: repeated statements hit the cache and keep
+    // returning correct results against the recovered store.
+    if (done >= 1) {
+      const char* q = "SELECT COUNT(*) FROM t WHERE k = ?";
+      const auto first = conn->queryInt(q, {Value(1)});
+      const auto before = conn->statementCacheStats();
+      EXPECT_EQ(conn->queryInt(q, {Value(1)}), first);
+      EXPECT_EQ(conn->statementCacheStats().hits, before.hits + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanAndTorn, CrashMatrix, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "TornWrites" : "CleanFaults";
+                         });
+
+// --- direct journal-level tests ---------------------------------------------
+
+TEST(DurablePager, CommitLeavesNoJournalBehind) {
+  util::TempDir dir;
+  const std::string path = dir.file("d.db").string();
+  FilePager pager(path, Durability::Full);
+  const PageId id = pager.allocate();
+  std::memcpy(pager.pageForWrite(id), "durable", 7);
+  pager.flush();
+  EXPECT_FALSE(PosixVfs::instance().exists(FilePager::journalPathFor(path)));
+  EXPECT_FALSE(pager.recoveryStats().recovered);
+}
+
+TEST(DurablePager, HotJournalRollsBackToLastCommit) {
+  util::TempDir dir;
+  const std::string path = dir.file("d.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  {
+    FilePager pager(path, Durability::Full, &vfs);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "first", 5);
+    pager.flush();  // committed state
+
+    std::memcpy(pager.pageForWrite(id), "SECOND", 6);
+    // Fail the db-page write of the next flush: the journal is durable,
+    // the db is mid-overwrite.
+    FaultPlan plan;
+    plan.fail_at_op = vfs.mutatingOps() + 3;  // journal write, journal sync, db write
+    vfs.setPlan(plan);
+    EXPECT_THROW(pager.flush(), InjectedFault);
+  }
+  // Reopen: the hot journal restores "first".
+  FilePager pager(path, Durability::Full);
+  EXPECT_TRUE(pager.recoveryStats().recovered);
+  EXPECT_GE(pager.recoveryStats().pages_restored, 1u);
+  bool found = false;
+  for (PageId id = 1; id < pager.pageCount(); ++id) {
+    if (std::memcmp(pager.pageForRead(id), "first", 5) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(PosixVfs::instance().exists(FilePager::journalPathFor(path)));
+}
+
+TEST(DurablePager, TornJournalIsDiscardedAndDbUntouched) {
+  util::TempDir dir;
+  const std::string path = dir.file("d.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  {
+    FilePager pager(path, Durability::Full, &vfs);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "first", 5);
+    pager.flush();
+    std::memcpy(pager.pageForWrite(id), "SECOND", 6);
+    // Fail the journal write itself, torn: an incomplete journal hits disk
+    // and the db is never touched.
+    FaultPlan plan;
+    plan.fail_at_op = vfs.mutatingOps() + 1;
+    plan.torn_write = true;
+    vfs.setPlan(plan);
+    EXPECT_THROW(pager.flush(), InjectedFault);
+  }
+  EXPECT_TRUE(PosixVfs::instance().exists(FilePager::journalPathFor(path)));
+  FilePager pager(path, Durability::Full);
+  EXPECT_FALSE(pager.recoveryStats().recovered);
+  EXPECT_TRUE(pager.recoveryStats().discarded_invalid_journal);
+  bool found = false;
+  for (PageId id = 1; id < pager.pageCount(); ++id) {
+    if (std::memcmp(pager.pageForRead(id), "first", 5) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DurablePager, FailedFlushRetriesCleanly) {
+  // An injected fault is also how a transient I/O error looks to the pager:
+  // a later flush must start from the last committed on-disk state and
+  // carry the full dirty set forward.
+  util::TempDir dir;
+  const std::string path = dir.file("d.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  FilePager pager(path, Durability::Full, &vfs);
+  const PageId id = pager.allocate();
+  std::memcpy(pager.pageForWrite(id), "first", 5);
+  pager.flush();
+  std::memcpy(pager.pageForWrite(id), "SECOND", 6);
+  FaultPlan plan;
+  plan.fail_at_op = vfs.mutatingOps() + 3;
+  vfs.setPlan(plan);
+  EXPECT_THROW(pager.flush(), InjectedFault);
+  // "Transient" failure: the machine did not actually die. Clear the fault
+  // and retry the flush on the same pager.
+  vfs.reset();
+  vfs.setPlan(FaultPlan{});
+  pager.flush();
+  FilePager check(path, Durability::Full);
+  EXPECT_FALSE(check.recoveryStats().recovered);
+  bool found = false;
+  for (PageId p = 1; p < check.pageCount(); ++p) {
+    if (std::memcmp(check.pageForRead(p), "SECOND", 6) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DurablePager, DurabilityNoneWritesNoJournal) {
+  util::TempDir dir;
+  const std::string path = dir.file("d.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  {
+    FilePager pager(path, Durability::None, &vfs);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "fast", 4);
+    pager.flush();
+  }
+  EXPECT_FALSE(PosixVfs::instance().exists(FilePager::journalPathFor(path)));
+  // No sync, no truncate, no journal ops: just the page writes.
+  FilePager check(path, Durability::None);
+  bool found = false;
+  for (PageId p = 1; p < check.pageCount(); ++p) {
+    if (std::memcmp(check.pageForRead(p), "fast", 4) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DurablePager, CrashDuringFirstEverFlushRollsBackToEmpty) {
+  util::TempDir dir;
+  const std::string path = dir.file("d.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  {
+    FilePager pager(path, Durability::Full, &vfs);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "never", 5);
+    FaultPlan plan;
+    plan.fail_at_op = 4;  // journal write, journal sync, db write x2 -> fail
+    vfs.setPlan(plan);
+    EXPECT_THROW(pager.flush(), InjectedFault);
+  }
+  // Recovery truncates the db file back to zero length; the store opens as
+  // a fresh, empty database.
+  FilePager pager(path, Durability::Full);
+  EXPECT_TRUE(pager.recoveryStats().recovered ||
+              pager.recoveryStats().discarded_invalid_journal);
+  EXPECT_EQ(pager.pageCount(), 1u);
+}
+
+}  // namespace
+}  // namespace perftrack::minidb
