@@ -8,6 +8,8 @@
 #                     (Table 1 load path: results/exec, DB growth, load time)
 #   BENCH_durability.json ingest throughput with the crash-safe commit path
 #                     off/on from bench_durability (rows/s, ms/commit)
+#   BENCH_cursor.json streamed vs materialized result drains from
+#                     bench_cursor (time-to-first-row, peak-RSS growth)
 #
 # Wired into CTest under the "bench" label (ctest -L bench). Compare two
 # checkouts by diffing the JSON files the runs leave behind.
@@ -23,7 +25,7 @@ bench_dir="${1:-$repo_root/build/bench}"
 out_dir="${2:-$bench_dir}"
 mkdir -p "$out_dir"
 
-for bin in bench_fig3_querysession bench_table1_ingest bench_durability; do
+for bin in bench_fig3_querysession bench_table1_ingest bench_durability bench_cursor; do
   if [[ ! -x "$bench_dir/$bin" ]]; then
     echo "bench_smoke: $bench_dir/$bin not built" >&2
     exit 1
@@ -42,4 +44,7 @@ PT_TABLE1_JSON="$out_dir/BENCH_table1.json" "$bench_dir/bench_table1_ingest"
 echo "== bench_durability =="
 PT_DURABILITY_JSON="$out_dir/BENCH_durability.json" "$bench_dir/bench_durability"
 
-echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, and $out_dir/BENCH_durability.json"
+echo "== bench_cursor =="
+PT_CURSOR_JSON="$out_dir/BENCH_cursor.json" "$bench_dir/bench_cursor"
+
+echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, and $out_dir/BENCH_cursor.json"

@@ -32,11 +32,12 @@ run_case() {
     metrics.txt)          "$BIN/ptquery" "$WORK/db" metrics ;;
     select_function.csv)  "$BIN/ptquery" "$WORK/db" select "name=IRS-1.4/irsrad.c/rbndcom:B" --csv ;;
     select_exec.csv)      "$BIN/ptquery" "$WORK/db" select "name=/irs-frost-np4-s1" "type=build/module/function" --csv ;;
+    explain_tree.txt)     "$BIN/ptquery" "$WORK/db" sql "EXPLAIN SELECT ra.name, COUNT(*) FROM resource_attribute ra JOIN resource_item r ON ra.resource_id = r.id GROUP BY ra.name ORDER BY ra.name LIMIT 5" ;;
     *) fail "unknown golden case '$1'" ;;
   esac
 }
 
-CASES="types.txt metrics.txt select_function.csv select_exec.csv"
+CASES="types.txt metrics.txt select_function.csv select_exec.csv explain_tree.txt"
 
 status=0
 for case_name in $CASES; do

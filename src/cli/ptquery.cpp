@@ -13,6 +13,7 @@
 //       attr=<name><op><value>[:N|A|D|B]      op in = != < <= > >=
 //     each family prints its live match count, then the result table with
 //     all free-resource columns added.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -33,6 +34,50 @@
 namespace {
 
 using namespace perftrack;
+
+/// True when `sql` starts with SELECT or EXPLAIN (row-producing statements
+/// that should stream through a cursor instead of buffering a ResultSet).
+bool isStreamingSql(std::string_view sql) {
+  const auto start = sql.find_first_not_of(" \t\r\n");
+  if (start == std::string_view::npos) return false;
+  sql.remove_prefix(start);
+  for (std::string_view keyword : {"SELECT", "EXPLAIN"}) {
+    if (sql.size() >= keyword.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < keyword.size(); ++i) {
+        if (std::toupper(static_cast<unsigned char>(sql[i])) != keyword[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return true;
+    }
+  }
+  return false;
+}
+
+/// Streams a SELECT/EXPLAIN: each row prints as soon as the pipeline
+/// produces it, so the first row of a huge result appears immediately and
+/// the result set never materializes in this process.
+void streamSql(dbal::Connection& conn, const char* sql) {
+  auto cur = conn.query(sql);
+  const auto& columns = cur.columns();
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    std::printf("%s%s", c ? " | " : "", columns[c].c_str());
+  }
+  std::printf("\n");
+  minidb::Row row;
+  std::uint64_t count = 0;
+  while (cur.next(row)) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string text = row[c].isNull() ? "NULL" : row[c].toDisplayString();
+      std::printf("%s%s", c ? " | " : "", text.c_str());
+    }
+    std::printf("\n");
+    ++count;
+  }
+  std::printf("(%llu rows)\n", static_cast<unsigned long long>(count));
+}
 
 core::Expansion expansionFromSuffix(std::string& spec) {
   // Trailing ":N" / ":A" / ":D" / ":B" selects the relatives flag.
@@ -159,12 +204,16 @@ int main(int argc, char** argv) {
         std::printf("%s [%s]\n", child.full_name.c_str(), child.type_path.c_str());
       }
     } else if (command == "sql" && argc >= 4) {
-      const auto rs = conn->exec(argv[3]);
-      if (!rs.columns.empty()) {
-        std::fputs(rs.toText().c_str(), stdout);
+      if (isStreamingSql(argv[3])) {
+        streamSql(*conn, argv[3]);
       } else {
-        std::printf("%lld rows affected\n",
-                    static_cast<long long>(rs.rows_affected));
+        const auto rs = conn->exec(argv[3]);
+        if (!rs.columns.empty()) {
+          std::fputs(rs.toText().c_str(), stdout);
+        } else {
+          std::printf("%lld rows affected\n",
+                      static_cast<long long>(rs.rows_affected));
+        }
       }
     } else if (command == "select") {
       return runSelect(store, {argv + 3, argv + argc});

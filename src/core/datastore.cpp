@@ -435,102 +435,102 @@ ResourceInfo PTDataStore::resourceInfo(ResourceId id) {
 }
 
 std::vector<ResourceInfo> PTDataStore::resourcesOfType(const std::string& type_path) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       std::string(kResourceSelect) + "WHERE f.type_name = ? ORDER BY r.full_name",
       {Value(type_path)});
   std::vector<ResourceInfo> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(rowToResource(row));
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(rowToResource(row));
   return out;
 }
 
 std::vector<ResourceInfo> PTDataStore::resourcesNamed(const std::string& base_name) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       std::string(kResourceSelect) + "WHERE r.name = ? ORDER BY r.full_name",
       {Value(base_name)});
   std::vector<ResourceInfo> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(rowToResource(row));
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(rowToResource(row));
   return out;
 }
 
 std::vector<ResourceInfo> PTDataStore::childrenOf(ResourceId id) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       std::string(kResourceSelect) + "WHERE r.parent_id = ? ORDER BY r.full_name",
       {Value(id)});
   std::vector<ResourceInfo> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(rowToResource(row));
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(rowToResource(row));
   return out;
 }
 
 std::vector<ResourceInfo> PTDataStore::topLevelOfType(const std::string& root_type) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       std::string(kResourceSelect) +
           "WHERE f.type_name = ? AND r.parent_id IS NULL ORDER BY r.full_name",
       {Value(root_type)});
   std::vector<ResourceInfo> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(rowToResource(row));
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(rowToResource(row));
   return out;
 }
 
 std::vector<AttributeInfo> PTDataStore::attributesOf(ResourceId id) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       "SELECT name, value, attr_type FROM resource_attribute WHERE resource_id = ? "
       "ORDER BY name",
       {Value(id)});
   std::vector<AttributeInfo> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) {
+  minidb::Row row;
+  while (cur.next(row)) {
     out.push_back({row[0].asText(), row[1].asText(), row[2].asText()});
   }
   return out;
 }
 
 std::vector<ResourceId> PTDataStore::ancestorsOf(ResourceId id) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id = ?",
       {Value(id)});
   std::vector<ResourceId> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asInt());
   return out;
 }
 
 std::vector<ResourceId> PTDataStore::descendantsOf(ResourceId id) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       "SELECT descendant_id FROM resource_has_descendant WHERE resource_id = ?",
       {Value(id)});
   std::vector<ResourceId> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asInt());
   return out;
 }
 
 std::vector<ResourceId> PTDataStore::constraintsOf(ResourceId id) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       "SELECT resource_id2 FROM resource_constraint WHERE resource_id1 = ?",
       {Value(id)});
   std::vector<ResourceId> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asInt());
   return out;
 }
 
 std::vector<std::string> PTDataStore::executions() {
-  const auto rs = conn_->exec("SELECT name FROM execution ORDER BY name");
+  auto cur = conn_->query("SELECT name FROM execution ORDER BY name");
   std::vector<std::string> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asText());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asText());
   return out;
 }
 
 std::vector<std::string> PTDataStore::metrics() {
-  const auto rs = conn_->exec("SELECT name FROM metric ORDER BY name");
+  auto cur = conn_->query("SELECT name FROM metric ORDER BY name");
   std::vector<std::string> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asText());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asText());
   return out;
 }
 
@@ -575,13 +575,13 @@ PerfResultRecord PTDataStore::getResult(std::int64_t result_id) {
 }
 
 std::vector<std::int64_t> PTDataStore::resultsForExecution(const std::string& exec_name) {
-  const auto rs = conn_->execPrepared(
+  auto cur = conn_->query(
       "SELECT pr.id FROM performance_result pr JOIN execution e "
       "ON pr.execution_id = e.id WHERE e.name = ? ORDER BY pr.id",
       {Value(exec_name)});
   std::vector<std::int64_t> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asInt());
   return out;
 }
 

@@ -94,8 +94,9 @@ std::vector<std::int64_t> chunkedIn(dbal::Connection& conn, const std::string& s
     std::vector<Value> params = prefix_params;
     params.reserve(params.size() + n);
     for (std::size_t i = 0; i < n; ++i) params.emplace_back(ids[start + i]);
-    const auto rs = conn.execPrepared(sql, std::move(params));
-    for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+    auto cur = conn.query(sql, std::move(params));
+    minidb::Row row;
+    while (cur.next(row)) out.push_back(row[0].asInt());
   }
   return out;
 }
@@ -107,11 +108,12 @@ void sortUnique(std::vector<std::int64_t>& v) {
 
 std::vector<std::int64_t> attributeCandidates(dbal::Connection& conn,
                                               const AttrPredicate& pred) {
-  const auto rs = conn.execPrepared(
+  auto cur = conn.query(
       "SELECT resource_id, value FROM resource_attribute WHERE name = ?",
       {Value(pred.name)});
   std::vector<std::int64_t> out;
-  for (const auto& row : rs.rows) {
+  minidb::Row row;
+  while (cur.next(row)) {
     if (util::comparePredicate(row[1].asText(), pred.comparator, pred.value)) {
       out.push_back(row[0].asInt());
     }
@@ -140,10 +142,11 @@ std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter&
         // Partial path like "Frost/batch": resources whose full name ends
         // with "/Frost/batch" (paper Fig. 3: child selection restricts to
         // named parents).
-        const auto rs = conn.exec(
+        auto cur = conn.query(
             "SELECT id, full_name FROM resource_item WHERE full_name LIKE " +
             sqlQuote("%/" + filter.name));
-        for (const auto& row : rs.rows) family.push_back(row[0].asInt());
+        minidb::Row row;
+        while (cur.next(row)) family.push_back(row[0].asInt());
       } else {
         for (const ResourceInfo& info : store.resourcesNamed(filter.name)) {
           family.push_back(info.id);
@@ -218,10 +221,10 @@ std::vector<std::int64_t> matchResults(
   dbal::Connection& conn = store.connection();
   if (families.empty()) {
     // An empty pr-filter matches everything (paper: filters narrow a set).
-    const auto rs = conn.exec("SELECT id FROM performance_result ORDER BY id");
+    auto cur = conn.query("SELECT id FROM performance_result ORDER BY id");
     std::vector<std::int64_t> out;
-    out.reserve(rs.rows.size());
-    for (const auto& row : rs.rows) out.push_back(row[0].asInt());
+    minidb::Row row;
+    while (cur.next(row)) out.push_back(row[0].asInt());
     return out;
   }
   // Matching foci = intersection over families of {focus | focus ∩ family}.

@@ -166,15 +166,15 @@ std::string ResultTable::toText() const {
 
 std::vector<std::string> QuerySession::attributeNamesForType(const std::string& type_path) {
   dbal::Connection& conn = store_->connection();
-  const auto rs = conn.execPrepared(
+  auto cur = conn.query(
       "SELECT DISTINCT ra.name FROM resource_attribute ra "
       "JOIN resource_item r ON ra.resource_id = r.id "
       "JOIN focus_framework f ON r.focus_framework_id = f.id "
       "WHERE f.type_name = ? ORDER BY ra.name",
       {minidb::Value(type_path)});
   std::vector<std::string> out;
-  out.reserve(rs.rows.size());
-  for (const auto& row : rs.rows) out.push_back(row[0].asText());
+  minidb::Row row;
+  while (cur.next(row)) out.push_back(row[0].asText());
   return out;
 }
 

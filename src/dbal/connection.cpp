@@ -46,27 +46,32 @@ std::unique_ptr<Connection> Connection::open(const std::string& path,
   return std::unique_ptr<Connection>(new Connection(std::move(db)));
 }
 
-minidb::sql::PreparedStatement& Connection::prepared(std::string_view sql) {
+std::shared_ptr<minidb::sql::PreparedStatement> Connection::prepared(
+    std::string_view sql) {
   const auto it = cache_map_.find(sql);
   if (it != cache_map_.end()) {
-    ++stats_.hits;
-    cache_.splice(cache_.begin(), cache_, it->second);
-    return it->second->stmt;
+    if (!it->second->stmt->hasOpenCursor()) {
+      ++stats_.hits;
+      cache_.splice(cache_.begin(), cache_, it->second);
+      return it->second->stmt;
+    }
+    // An open cursor is stepping the cached statement; its parameter values
+    // live in the shared AST, so hand out a fresh uncached statement rather
+    // than corrupting the scan in progress.
+    ++stats_.misses;
+    return std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
   }
   ++stats_.misses;
-  minidb::sql::PreparedStatement stmt = engine_.prepare(sql);
-  if (cache_capacity_ == 0 || !cacheableKind(stmt.kind())) {
-    scratch_.emplace(std::move(stmt));
-    return *scratch_;
-  }
-  cache_.push_front(CacheEntry{std::string(sql), std::move(stmt)});
+  auto stmt = std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
+  if (cache_capacity_ == 0 || !cacheableKind(stmt->kind())) return stmt;
+  cache_.push_front(CacheEntry{std::string(sql), stmt});
   cache_map_.emplace(std::string_view(cache_.front().sql), cache_.begin());
   while (cache_.size() > cache_capacity_) {
     cache_map_.erase(std::string_view(cache_.back().sql));
     cache_.pop_back();
     ++stats_.evictions;
   }
-  return cache_.front().stmt;
+  return stmt;
 }
 
 void Connection::dropEntries(std::uint64_t* counter) {
@@ -76,27 +81,45 @@ void Connection::dropEntries(std::uint64_t* counter) {
 }
 
 ResultSet Connection::exec(std::string_view sql) {
-  minidb::sql::PreparedStatement& stmt = prepared(sql);
-  if (stmt.paramCount() > 0) {
-    throw util::SqlError("statement has " + std::to_string(stmt.paramCount()) +
+  const auto stmt = prepared(sql);
+  if (stmt->paramCount() > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt->paramCount()) +
                          " '?' parameter(s); use execPrepared()");
   }
-  const bool ddl = ddlKind(stmt.kind());
-  ResultSet rs = stmt.execute();
+  const bool ddl = ddlKind(stmt->kind());
+  ResultSet rs = stmt->execute();
   // Drop cached statements after DDL: their plans reference dropped catalog
   // objects. (Plans would also self-invalidate via the schema epoch; the
-  // explicit clear keeps the cache from pinning dead TableDefs.)
+  // explicit clear keeps the cache from pinning dead TableDefs. Statements
+  // pinned by an open cursor survive via their shared_ptr.)
   if (ddl) dropEntries(&stats_.invalidations);
   return rs;
 }
 
 ResultSet Connection::execPrepared(std::string_view sql,
                                    std::vector<minidb::Value> params) {
-  minidb::sql::PreparedStatement& stmt = prepared(sql);
-  const bool ddl = ddlKind(stmt.kind());
-  ResultSet rs = stmt.execute(std::move(params));
+  const auto stmt = prepared(sql);
+  const bool ddl = ddlKind(stmt->kind());
+  ResultSet rs = stmt->execute(std::move(params));
   if (ddl) dropEntries(&stats_.invalidations);
   return rs;
+}
+
+Cursor Connection::query(std::string_view sql) {
+  auto stmt = prepared(sql);
+  if (stmt->paramCount() > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt->paramCount()) +
+                         " '?' parameter(s); use query(sql, params)");
+  }
+  minidb::sql::Cursor inner = stmt->openCursor();
+  return Cursor(std::move(inner), std::move(stmt));
+}
+
+Cursor Connection::query(std::string_view sql, std::vector<minidb::Value> params) {
+  auto stmt = prepared(sql);
+  stmt->bindAll(std::move(params));
+  minidb::sql::Cursor inner = stmt->openCursor();
+  return Cursor(std::move(inner), std::move(stmt));
 }
 
 minidb::Value Connection::queryValue(std::string_view sql) {

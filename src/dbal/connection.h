@@ -40,6 +40,38 @@ struct StatementCacheStats {
   std::uint64_t invalidations = 0;  // entries dropped by DDL / ablation flips
 };
 
+class Connection;
+
+/// A streaming SELECT cursor at the abstraction-layer level: rows are pulled
+/// one at a time from minidb's operator pipeline, so wide results never
+/// materialize. Holds a shared reference to its prepared statement, so
+/// statement-cache eviction or DDL-triggered cache clears cannot free the
+/// plan mid-scan. While open, storage-layer DDL/VACUUM/DML throw.
+class Cursor {
+ public:
+  Cursor(Cursor&&) = default;
+  Cursor& operator=(Cursor&&) = default;
+
+  const std::vector<std::string>& columns() const { return inner_.columns(); }
+
+  /// Produces the next row; returns false (and auto-closes) at end.
+  bool next(minidb::Row& row) { return inner_.next(row); }
+
+  /// Releases the pipeline and the statement pin early; idempotent.
+  void close() { inner_.close(); }
+
+  bool isOpen() const { return inner_.isOpen(); }
+
+ private:
+  friend class Connection;
+  Cursor(minidb::sql::Cursor inner,
+         std::shared_ptr<minidb::sql::PreparedStatement> stmt)
+      : inner_(std::move(inner)), stmt_(std::move(stmt)) {}
+
+  minidb::sql::Cursor inner_;
+  std::shared_ptr<minidb::sql::PreparedStatement> stmt_;  // keeps the plan alive
+};
+
 /// One open database session.
 class Connection {
  public:
@@ -61,6 +93,13 @@ class Connection {
   /// order. The compiled statement is cached by SQL text, so call sites that
   /// reuse one text with varying parameters pay for parsing/planning once.
   ResultSet execPrepared(std::string_view sql, std::vector<minidb::Value> params);
+
+  /// Opens a streaming cursor over a SELECT (or EXPLAIN). Goes through the
+  /// statement cache like exec(); if the cached statement is already being
+  /// stepped by another cursor, a fresh uncached statement is compiled so
+  /// interleaved cursors on one connection never share bindings.
+  Cursor query(std::string_view sql);
+  Cursor query(std::string_view sql, std::vector<minidb::Value> params);
 
   /// Scalar helpers for the common lookup patterns.
   /// Returns the first column of the first row, or NULL when empty.
@@ -102,13 +141,15 @@ class Connection {
 
   struct CacheEntry {
     std::string sql;
-    minidb::sql::PreparedStatement stmt;
+    std::shared_ptr<minidb::sql::PreparedStatement> stmt;
   };
 
   /// Returns the cached statement for `sql`, compiling and (when the
-  /// statement kind is cacheable) inserting it on miss. The reference is
-  /// valid until the next call on this Connection.
-  minidb::sql::PreparedStatement& prepared(std::string_view sql);
+  /// statement kind is cacheable) inserting it on miss. When the cached
+  /// statement is busy (an open cursor is stepping it), compiles a fresh
+  /// uncached statement instead. The shared_ptr keeps the statement alive
+  /// across eviction and DDL cache clears.
+  std::shared_ptr<minidb::sql::PreparedStatement> prepared(std::string_view sql);
   void dropEntries(std::uint64_t* counter);
 
   std::unique_ptr<minidb::Database> db_;
@@ -120,7 +161,6 @@ class Connection {
   std::list<CacheEntry> cache_;
   std::unordered_map<std::string_view, std::list<CacheEntry>::iterator> cache_map_;
   std::size_t cache_capacity_ = 256;
-  std::optional<minidb::sql::PreparedStatement> scratch_;  // uncacheable stmts
   StatementCacheStats stats_;
 };
 

@@ -32,8 +32,125 @@ const TableDef& Database::tableOrThrow(const std::string& name) const {
   return *def;
 }
 
+void Database::assertNoOpenCursors(const char* op) const {
+  if (open_cursors_ > 0) {
+    throw StorageError(std::string(op) + ": " + std::to_string(open_cursors_) +
+                       " cursor(s) still open on this database");
+  }
+}
+
+// --- cursors -----------------------------------------------------------------
+
+Database::TableCursor::TableCursor(const Database& db, PageId first_page)
+    : pin_(db), it_(db.pager_.get(), first_page, 0) {}
+
+bool Database::TableCursor::next(RecordId& rid, Row& row) {
+  if (!pin_.active() || it_.done()) {
+    close();
+    return false;
+  }
+  rid = it_.rid();
+  row = deserializeRow(it_.data(), it_.size());
+  it_.next();
+  return true;
+}
+
+void Database::TableCursor::close() { pin_.release(); }
+
+Database::IndexCursor::IndexCursor(const Database& db, const IndexDef& index,
+                                   const TableDef& table)
+    : db_(&db),
+      pin_(db),
+      index_name_(index.name),
+      columns_(index.columns),
+      heap_first_(table.first_page) {}
+
+bool Database::IndexCursor::next(RecordId& rid, Row& row) {
+  if (!pin_.active()) return false;
+  HeapFile heap(const_cast<Pager&>(*db_->pager_), heap_first_);
+  std::vector<std::uint8_t> buf;
+  while (it_ && !it_->done()) {
+    const std::string_view key = it_->key();
+    if (equal_mode_ && key.substr(0, prefix_.size()) != prefix_) break;
+    const RecordId cur = decodeRecordIdSuffix(std::string(key));
+    it_->next();
+    if (!heap.read(cur, buf)) {
+      close();
+      throw StorageError("index cursor: dangling index entry in " + index_name_);
+    }
+    Row candidate = deserializeRow(buf.data(), buf.size());
+    if (equal_mode_) {
+      // Numeric index keys round through double; re-verify with exact values.
+      bool exact = true;
+      for (std::size_t i = 0; i < key_prefix_.size(); ++i) {
+        if (candidate.at(columns_[i]).compare(key_prefix_[i]) != 0) {
+          exact = false;
+          break;
+        }
+      }
+      if (!exact) continue;
+    } else {
+      const Value& v = candidate.at(first_col_);
+      if (lower_) {
+        const int c = v.compare(*lower_);
+        if (c < 0 || (c == 0 && !lower_inclusive_)) continue;
+      }
+      if (upper_) {
+        const int c = v.compare(*upper_);
+        if (c > 0 || (c == 0 && !upper_inclusive_)) break;
+      }
+    }
+    rid = cur;
+    row = std::move(candidate);
+    return true;
+  }
+  close();
+  return false;
+}
+
+void Database::IndexCursor::close() {
+  it_.reset();
+  pin_.release();
+}
+
+Database::TableCursor Database::openCursor(const std::string& table) const {
+  const TableDef& def = tableOrThrow(table);
+  return TableCursor(*this, def.first_page);
+}
+
+Database::IndexCursor Database::openIndexEqual(const IndexDef& index,
+                                               std::vector<Value> key_prefix) const {
+  const TableDef& table = tableOrThrow(index.table);
+  IndexCursor cur(*this, index, table);
+  cur.equal_mode_ = true;
+  cur.prefix_ = encodeKey(key_prefix);
+  cur.key_prefix_ = std::move(key_prefix);
+  cur.it_ = BTree(const_cast<Pager&>(*pager_), index.root).lowerBound(cur.prefix_);
+  return cur;
+}
+
+Database::IndexCursor Database::openIndexRange(const IndexDef& index,
+                                               std::optional<Value> lower,
+                                               bool lower_inclusive,
+                                               std::optional<Value> upper,
+                                               bool upper_inclusive) const {
+  const TableDef& table = tableOrThrow(index.table);
+  IndexCursor cur(*this, index, table);
+  cur.equal_mode_ = false;
+  cur.lower_ = std::move(lower);
+  cur.upper_ = std::move(upper);
+  cur.lower_inclusive_ = lower_inclusive;
+  cur.upper_inclusive_ = upper_inclusive;
+  cur.first_col_ = index.columns.front();
+  EncodedKey start;
+  if (cur.lower_) encodeValue(*cur.lower_, start);
+  cur.it_ = BTree(const_cast<Pager&>(*pager_), index.root).lowerBound(start);
+  return cur;
+}
+
 void Database::createTable(const std::string& name, std::vector<ColumnDef> columns,
                            int primary_key) {
+  assertNoOpenCursors("CREATE TABLE");
   if (columns.empty()) throw StorageError("createTable: no columns");
   if (primary_key >= static_cast<int>(columns.size())) {
     throw StorageError("createTable: primary key ordinal out of range");
@@ -61,6 +178,7 @@ void Database::createTable(const std::string& name, std::vector<ColumnDef> colum
 }
 
 void Database::dropTable(const std::string& name) {
+  assertNoOpenCursors("DROP TABLE");
   const TableDef& def = tableOrThrow(name);
   for (const IndexDef* index : catalog_.indexesOn(def.name)) {
     BTree(*pager_, index->root).destroy();
@@ -74,6 +192,7 @@ void Database::dropTable(const std::string& name) {
 
 void Database::createIndex(const std::string& name, const std::string& table,
                            const std::vector<std::string>& columns, bool unique) {
+  assertNoOpenCursors("CREATE INDEX");
   const TableDef& def = tableOrThrow(table);
   IndexDef index;
   index.name = name;
@@ -110,6 +229,7 @@ void Database::createIndex(const std::string& name, const std::string& table,
 }
 
 void Database::dropIndex(const std::string& name) {
+  assertNoOpenCursors("DROP INDEX");
   const IndexDef* def = catalog_.findIndex(name);
   if (def == nullptr) throw StorageError("no such index: " + name);
   BTree(*pager_, def->root).destroy();
@@ -169,6 +289,7 @@ std::int64_t Database::nextId(const TableDef& table) {
 }
 
 std::int64_t Database::insertRow(const std::string& table_name, Row row) {
+  assertNoOpenCursors("INSERT");
   const TableDef& table = tableOrThrow(table_name);
   if (row.size() != table.columns.size()) {
     throw StorageError("insertRow: expected " + std::to_string(table.columns.size()) +
@@ -192,6 +313,7 @@ std::int64_t Database::insertRow(const std::string& table_name, Row row) {
 }
 
 bool Database::eraseRow(const std::string& table_name, RecordId rid) {
+  assertNoOpenCursors("DELETE");
   const TableDef& table = tableOrThrow(table_name);
   HeapFile heap(*pager_, table.first_page);
   std::vector<std::uint8_t> buf;
@@ -203,6 +325,7 @@ bool Database::eraseRow(const std::string& table_name, RecordId rid) {
 }
 
 void Database::updateRow(const std::string& table_name, RecordId rid, const Row& row) {
+  assertNoOpenCursors("UPDATE");
   const TableDef& table = tableOrThrow(table_name);
   if (row.size() != table.columns.size()) {
     throw StorageError("updateRow: wrong column count for " + table_name);
@@ -297,6 +420,7 @@ void Database::indexScanRange(const IndexDef& index, const std::optional<Value>&
 }
 
 void Database::vacuum() {
+  assertNoOpenCursors("VACUUM");
   if (pager_->inTransaction()) {
     throw StorageError("VACUUM is not allowed inside a transaction");
   }
@@ -384,6 +508,7 @@ void Database::commit() {
 }
 
 void Database::rollback() {
+  assertNoOpenCursors("ROLLBACK");
   pager_->rollbackJournal();
   // Pages reverted under us: rebuild every cache derived from them.
   catalog_.load(*pager_);

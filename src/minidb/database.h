@@ -35,6 +35,87 @@ struct OpenOptions {
 
 class Database {
  public:
+  /// RAII pin held by every open cursor (storage-level and SQL-level).
+  /// While at least one pin is live, operations that would invalidate live
+  /// iterators — DDL, VACUUM, ROLLBACK, and row mutations — throw
+  /// StorageError instead of corrupting the scan.
+  class CursorPin {
+   public:
+    CursorPin() = default;
+    explicit CursorPin(const Database& db) : db_(&db) { ++db_->open_cursors_; }
+    CursorPin(CursorPin&& o) noexcept : db_(o.db_) { o.db_ = nullptr; }
+    CursorPin& operator=(CursorPin&& o) noexcept {
+      if (this != &o) {
+        release();
+        db_ = o.db_;
+        o.db_ = nullptr;
+      }
+      return *this;
+    }
+    CursorPin(const CursorPin&) = delete;
+    CursorPin& operator=(const CursorPin&) = delete;
+    ~CursorPin() { release(); }
+
+    void release() {
+      if (db_ != nullptr) --db_->open_cursors_;
+      db_ = nullptr;
+    }
+    bool active() const { return db_ != nullptr; }
+
+   private:
+    const Database* db_ = nullptr;
+  };
+
+  /// Pull-based full-table scan. Obtained from openCursor(); holds a
+  /// CursorPin for its open lifetime.
+  class TableCursor {
+   public:
+    TableCursor(TableCursor&&) = default;
+    TableCursor& operator=(TableCursor&&) = default;
+
+    /// Produces the next live record. Returns false (and closes) at end.
+    bool next(RecordId& rid, Row& row);
+    /// Releases the pin early; idempotent (next() then always returns false).
+    void close();
+    bool isOpen() const { return pin_.active(); }
+
+   private:
+    friend class Database;
+    TableCursor(const Database& db, PageId first_page);
+    CursorPin pin_;
+    HeapFile::Iterator it_;
+  };
+
+  /// Pull-based index probe (point lookup or range scan), mirroring the
+  /// semantics of indexScanEqual()/indexScanRange().
+  class IndexCursor {
+   public:
+    IndexCursor(IndexCursor&&) = default;
+    IndexCursor& operator=(IndexCursor&&) = default;
+
+    bool next(RecordId& rid, Row& row);
+    void close();
+    bool isOpen() const { return pin_.active(); }
+
+   private:
+    friend class Database;
+    IndexCursor(const Database& db, const IndexDef& index, const TableDef& table);
+    const Database* db_ = nullptr;
+    CursorPin pin_;
+    std::string index_name_;  // for dangling-entry error messages
+    std::vector<int> columns_;
+    PageId heap_first_ = kInvalidPage;
+    bool equal_mode_ = true;
+    // equal mode: encoded prefix plus exact values for re-verification.
+    EncodedKey prefix_;
+    std::vector<Value> key_prefix_;
+    // range mode: bounds on the first key column.
+    std::optional<Value> lower_, upper_;
+    bool lower_inclusive_ = true, upper_inclusive_ = true;
+    int first_col_ = 0;
+    std::optional<BTree::Iterator> it_;
+  };
+
   /// Opens (or creates) a file-backed database with full durability.
   static std::unique_ptr<Database> open(const std::string& path);
   /// Opens (or creates) a file-backed database with explicit options.
@@ -96,6 +177,29 @@ class Database {
                       bool upper_inclusive,
                       const std::function<bool(RecordId, const Row&)>& fn) const;
 
+  // --- cursors --------------------------------------------------------------
+  /// Pull-based full-table scan; the SQL layer's SeqScan operator and any
+  /// caller that wants to stop early without the callback inversion.
+  TableCursor openCursor(const std::string& table) const;
+
+  /// Pull-based index point probe (rows whose key columns equal
+  /// `key_prefix`, in index order, exact-value re-verified).
+  IndexCursor openIndexEqual(const IndexDef& index,
+                             std::vector<Value> key_prefix) const;
+
+  /// Pull-based index range scan over [lower, upper] on the first key column.
+  IndexCursor openIndexRange(const IndexDef& index, std::optional<Value> lower,
+                             bool lower_inclusive, std::optional<Value> upper,
+                             bool upper_inclusive) const;
+
+  /// Pins the database for an externally managed cursor (the SQL layer's
+  /// Cursor holds one for its whole open lifetime, covering the gaps between
+  /// storage-level probes).
+  CursorPin pinCursor() const { return CursorPin(*this); }
+
+  /// Number of live cursor pins (tests and error messages).
+  std::size_t openCursorCount() const { return open_cursors_; }
+
   // --- transactions ---------------------------------------------------------
   void begin();
   void commit();
@@ -125,7 +229,10 @@ class Database {
   Pager& pager() { return *pager_; }
 
  private:
+  friend class CursorPin;
+
   const TableDef& tableOrThrow(const std::string& name) const;
+  void assertNoOpenCursors(const char* op) const;
   EncodedKey indexKeyFor(const IndexDef& index, const TableDef& table, const Row& row,
                          RecordId rid) const;
   void insertIntoIndexes(const TableDef& table, const Row& row, RecordId rid);
@@ -139,6 +246,8 @@ class Database {
   // Per-table auto-increment cursors, computed lazily by scanning the PK
   // index once. Invalidated on rollback (ids may have been given back).
   std::unordered_map<std::string, std::int64_t> next_ids_;
+  // Live cursor pins; guarded operations refuse to run while nonzero.
+  mutable std::size_t open_cursors_ = 0;
 };
 
 }  // namespace perftrack::minidb

@@ -1,533 +1,16 @@
 #include "minidb/sql/executor.h"
 
 #include <algorithm>
-#include <functional>
-#include <map>
-#include <set>
 #include <sstream>
 
-#include "minidb/keycodec.h"
 #include "minidb/sql/lexer.h"
 #include "minidb/sql/parser.h"
+#include "minidb/sql/pipeline.h"
 #include "util/error.h"
-#include "util/strings.h"
 
 namespace perftrack::minidb::sql {
 
 using util::SqlError;
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Expression evaluation
-// ---------------------------------------------------------------------------
-
-/// One joined tuple: a row pointer per FROM-list entry (null = not yet bound).
-using Tuple = std::vector<const Row*>;
-
-bool likeMatch(std::string_view text, std::string_view pattern) {
-  // Classic two-pointer wildcard matcher: '%' = any run, '_' = any one char.
-  std::size_t t = 0;
-  std::size_t p = 0;
-  std::size_t star_p = std::string_view::npos;
-  std::size_t star_t = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++p;
-      ++t;
-    } else if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (star_p != std::string_view::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
-  }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
-}
-
-Value arith(BinaryOp op, const Value& a, const Value& b) {
-  if (a.isNull() || b.isNull()) return Value::null();
-  if (a.isInt() && b.isInt()) {
-    const std::int64_t x = a.asInt();
-    const std::int64_t y = b.asInt();
-    switch (op) {
-      case BinaryOp::Add: return Value(x + y);
-      case BinaryOp::Sub: return Value(x - y);
-      case BinaryOp::Mul: return Value(x * y);
-      case BinaryOp::Div:
-        if (y == 0) return Value::null();
-        return Value(x / y);
-      default: break;
-    }
-  }
-  const double x = a.asReal();
-  const double y = b.asReal();
-  switch (op) {
-    case BinaryOp::Add: return Value(x + y);
-    case BinaryOp::Sub: return Value(x - y);
-    case BinaryOp::Mul: return Value(x * y);
-    case BinaryOp::Div:
-      if (y == 0.0) return Value::null();
-      return Value(x / y);
-    default: break;
-  }
-  throw SqlError("arith: not an arithmetic operator");
-}
-
-bool truthy(const Value& v) {
-  if (v.isNull()) return false;
-  if (v.isInt()) return v.asInt() != 0;
-  if (v.isReal()) return v.asReal() != 0.0;
-  return !v.asText().empty();
-}
-
-Value evaluate(const Expr& e, const Tuple& tuple);
-
-Value compare(BinaryOp op, const Value& a, const Value& b) {
-  // SQL three-valued logic collapsed: comparisons against NULL are false.
-  if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
-  const int c = a.compare(b);
-  bool result = false;
-  switch (op) {
-    case BinaryOp::Eq: result = c == 0; break;
-    case BinaryOp::Ne: result = c != 0; break;
-    case BinaryOp::Lt: result = c < 0; break;
-    case BinaryOp::Le: result = c <= 0; break;
-    case BinaryOp::Gt: result = c > 0; break;
-    case BinaryOp::Ge: result = c >= 0; break;
-    default: throw SqlError("compare: not a comparison operator");
-  }
-  return Value(std::int64_t{result ? 1 : 0});
-}
-
-Value evaluate(const Expr& e, const Tuple& tuple) {
-  switch (e.kind) {
-    case Expr::Kind::Literal:
-    case Expr::Kind::Param:  // bind() stored the parameter value in `value`
-      return e.value;
-    case Expr::Kind::Column: {
-      const Row* row = tuple.at(e.bound_table);
-      if (row == nullptr) throw SqlError("internal: unbound tuple slot");
-      return row->at(e.bound_col);
-    }
-    case Expr::Kind::Binary: {
-      switch (e.op) {
-        case BinaryOp::And: {
-          if (!truthy(evaluate(*e.lhs, tuple))) return Value(std::int64_t{0});
-          return Value(std::int64_t{truthy(evaluate(*e.rhs, tuple)) ? 1 : 0});
-        }
-        case BinaryOp::Or: {
-          if (truthy(evaluate(*e.lhs, tuple))) return Value(std::int64_t{1});
-          return Value(std::int64_t{truthy(evaluate(*e.rhs, tuple)) ? 1 : 0});
-        }
-        case BinaryOp::Add:
-        case BinaryOp::Sub:
-        case BinaryOp::Mul:
-        case BinaryOp::Div:
-          return arith(e.op, evaluate(*e.lhs, tuple), evaluate(*e.rhs, tuple));
-        default:
-          return compare(e.op, evaluate(*e.lhs, tuple), evaluate(*e.rhs, tuple));
-      }
-    }
-    case Expr::Kind::Not:
-      return Value(std::int64_t{truthy(evaluate(*e.lhs, tuple)) ? 0 : 1});
-    case Expr::Kind::IsNull: {
-      const bool is_null = evaluate(*e.lhs, tuple).isNull();
-      return Value(std::int64_t{(is_null != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::Like: {
-      const Value v = evaluate(*e.lhs, tuple);
-      if (v.isNull()) return Value(std::int64_t{0});
-      const bool hit = likeMatch(v.isText() ? v.asText() : v.toDisplayString(),
-                                 e.value.asText());
-      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::InList: {
-      const Value v = evaluate(*e.lhs, tuple);
-      if (v.isNull()) return Value(std::int64_t{0});
-      bool hit = false;
-      for (const ExprPtr& item : e.list) {
-        if (v.compare(evaluate(*item, tuple)) == 0) {
-          hit = true;
-          break;
-        }
-      }
-      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::InSelect: {
-      const Value v = evaluate(*e.lhs, tuple);
-      if (v.isNull()) return Value(std::int64_t{0});
-      if (!e.subquery_values) {
-        throw SqlError("internal: subquery was not materialized");
-      }
-      EncodedKey key;
-      encodeValue(v, key);
-      const bool hit = e.subquery_values->contains(key);
-      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::Aggregate:
-      throw SqlError("aggregate used outside of an aggregating SELECT");
-  }
-  throw SqlError("internal: bad expression kind");
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// SelectPlan — the compiled form of one SELECT against one schema epoch.
-//
-// Owns nothing in the AST (Expr pointers reach into the Statement that was
-// planned); owns the column refs synthesized for '*' expansion. Catalog
-// pointers (TableDef/IndexDef) are valid only while `epoch` matches
-// Database::schemaEpoch(); PreparedStatement revalidates before every run.
-// ---------------------------------------------------------------------------
-
-struct SelectPlan {
-  struct FromEntry {
-    const TableDef* def = nullptr;
-    std::string alias;
-  };
-
-  struct OutputCol {
-    Expr* expr = nullptr;
-    std::string name;
-  };
-
-  struct PlannedConjunct {
-    Expr* expr = nullptr;
-    int max_table = -1;  // evaluate once all tables <= max_table are bound
-    int on_table = -1;   // index of the JOIN whose ON clause supplied it, or
-                         // -1 for WHERE conjuncts (LEFT JOIN semantics)
-  };
-
-  struct AccessPath {
-    enum class Kind { Scan, IndexEqual, IndexInList, IndexRange } kind = Kind::Scan;
-    const IndexDef* index = nullptr;
-    int key_column = -1;         // table-local ordinal of the indexed column
-    Expr* equal_rhs = nullptr;   // IndexEqual: bound expression for the key
-    Expr* in_list = nullptr;     // IndexInList: the consumed InList conjunct
-    Expr* lower_rhs = nullptr;   // IndexRange bounds
-    bool lower_inclusive = false;
-    Expr* upper_rhs = nullptr;
-    bool upper_inclusive = false;
-
-    std::string describe(const FromEntry& entry) const {
-      switch (kind) {
-        case Kind::Scan:
-          return "SCAN " + entry.def->name + " AS " + entry.alias;
-        case Kind::IndexEqual:
-          return "SEARCH " + entry.def->name + " AS " + entry.alias +
-                 " USING INDEX " + index->name + " (" +
-                 entry.def->columns[key_column].name + "=?)";
-        case Kind::IndexInList:
-          return "SEARCH " + entry.def->name + " AS " + entry.alias +
-                 " USING INDEX " + index->name + " (" +
-                 entry.def->columns[key_column].name + " IN multi-point probe, " +
-                 std::to_string(in_list->list.size()) + " keys)";
-        case Kind::IndexRange:
-          return "SEARCH " + entry.def->name + " AS " + entry.alias +
-                 " USING INDEX " + index->name + " (" +
-                 entry.def->columns[key_column].name + " range)";
-      }
-      return "?";
-    }
-  };
-
-  SelectStmt* sel = nullptr;
-  std::uint64_t epoch = 0;
-  bool use_indexes = true;
-  std::vector<FromEntry> from;
-  std::vector<ExprPtr> star_exprs;  // owns column refs expanded from '*'
-  std::vector<OutputCol> outputs;
-  std::vector<PlannedConjunct> conjuncts;
-  std::vector<AccessPath> paths;
-  std::vector<Expr*> aggregates;
-  bool grouped = false;
-};
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Binding / analysis
-// ---------------------------------------------------------------------------
-
-class Binder {
- public:
-  explicit Binder(const std::vector<SelectPlan::FromEntry>& from) : from_(from) {}
-
-  /// Resolves column references; records the highest table index referenced.
-  /// Returns -1 for expressions with no column references.
-  int bind(Expr& e) const {
-    int max_table = -1;
-    bindInner(e, max_table);
-    return max_table;
-  }
-
- private:
-  void bindInner(Expr& e, int& max_table) const {
-    if (e.kind == Expr::Kind::Column) {
-      resolve(e);
-      max_table = std::max(max_table, e.bound_table);
-      return;
-    }
-    if (e.lhs) bindInner(*e.lhs, max_table);
-    if (e.rhs) bindInner(*e.rhs, max_table);
-    for (const ExprPtr& item : e.list) bindInner(*item, max_table);
-    // Subqueries bind against their own FROM list (uncorrelated); the
-    // executor materializes them before evaluation.
-  }
-
-  void resolve(Expr& e) const {
-    // Always (re)resolve: a cached statement may be replanned after DDL
-    // changed column ordinals, so stale annotations must not survive.
-    int found_table = -1;
-    int found_col = -1;
-    for (std::size_t i = 0; i < from_.size(); ++i) {
-      if (!e.table.empty() && !util::iequals(e.table, from_[i].alias)) continue;
-      const int col = from_[i].def->columnIndex(e.column);
-      if (col < 0) continue;
-      if (found_table >= 0) {
-        throw SqlError("ambiguous column reference: " + e.column);
-      }
-      found_table = static_cast<int>(i);
-      found_col = col;
-    }
-    if (found_table < 0) {
-      const std::string qual = e.table.empty() ? e.column : e.table + "." + e.column;
-      throw SqlError("unknown column: " + qual);
-    }
-    e.bound_table = found_table;
-    e.bound_col = found_col;
-  }
-
-  const std::vector<SelectPlan::FromEntry>& from_;
-};
-
-void collectConjuncts(Expr* e, std::vector<Expr*>& out) {
-  if (e == nullptr) return;
-  if (e->kind == Expr::Kind::Binary && e->op == BinaryOp::And) {
-    collectConjuncts(e->lhs.get(), out);
-    collectConjuncts(e->rhs.get(), out);
-    return;
-  }
-  out.push_back(e);
-}
-
-void collectAggregates(Expr* e, std::vector<Expr*>& out) {
-  if (e == nullptr) return;
-  if (e->kind == Expr::Kind::Aggregate) {
-    e->agg_slot = static_cast<int>(out.size());
-    out.push_back(e);
-    // Aggregate arguments are evaluated per input tuple, not per group;
-    // do not descend further.
-    return;
-  }
-  collectAggregates(e->lhs.get(), out);
-  collectAggregates(e->rhs.get(), out);
-  for (const ExprPtr& item : e->list) collectAggregates(item.get(), out);
-}
-
-bool containsAggregate(const Expr* e) {
-  if (e == nullptr) return false;
-  if (e->kind == Expr::Kind::Aggregate) return true;
-  if (containsAggregate(e->lhs.get()) || containsAggregate(e->rhs.get())) return true;
-  for (const ExprPtr& item : e->list) {
-    if (containsAggregate(item.get())) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Expression walking (parameter binding)
-// ---------------------------------------------------------------------------
-
-void forEachExpr(SelectStmt& sel, const std::function<void(Expr&)>& fn);
-
-void forEachExpr(Expr* e, const std::function<void(Expr&)>& fn) {
-  if (e == nullptr) return;
-  fn(*e);
-  forEachExpr(e->lhs.get(), fn);
-  forEachExpr(e->rhs.get(), fn);
-  for (const ExprPtr& item : e->list) forEachExpr(item.get(), fn);
-  if (e->subquery) forEachExpr(*e->subquery, fn);
-}
-
-void forEachExpr(SelectStmt& sel, const std::function<void(Expr&)>& fn) {
-  for (SelectItem& item : sel.items) forEachExpr(item.expr.get(), fn);
-  for (TableRef& ref : sel.from) forEachExpr(ref.join_on.get(), fn);
-  forEachExpr(sel.where.get(), fn);
-  for (ExprPtr& e : sel.group_by) forEachExpr(e.get(), fn);
-  forEachExpr(sel.having.get(), fn);
-  for (OrderItem& item : sel.order_by) forEachExpr(item.expr.get(), fn);
-}
-
-void forEachExpr(Statement& stmt, const std::function<void(Expr&)>& fn) {
-  switch (stmt.kind) {
-    case Statement::Kind::Select:
-      forEachExpr(*stmt.select, fn);
-      break;
-    case Statement::Kind::Insert:
-      for (auto& row : stmt.insert->rows) {
-        for (ExprPtr& e : row) forEachExpr(e.get(), fn);
-      }
-      break;
-    case Statement::Kind::Update:
-      for (auto& [name, e] : stmt.update->assignments) forEachExpr(e.get(), fn);
-      forEachExpr(stmt.update->where.get(), fn);
-      break;
-    case Statement::Kind::Delete:
-      forEachExpr(stmt.del->where.get(), fn);
-      break;
-    default:
-      break;  // DDL/Txn/Vacuum carry no expressions
-  }
-}
-
-/// Copies `params` into every Param node of the statement.
-void bindParamValues(Statement& stmt, const std::vector<Value>& params) {
-  forEachExpr(stmt, [&](Expr& e) {
-    if (e.kind == Expr::Kind::Param) {
-      e.value = params.at(static_cast<std::size_t>(e.param_index));
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Aggregation state
-// ---------------------------------------------------------------------------
-
-struct AggState {
-  std::int64_t count = 0;
-  std::int64_t isum = 0;
-  double rsum = 0.0;
-  bool saw_real = false;
-  Value min;
-  Value max;
-  std::set<EncodedKey> distinct;
-
-  void add(const Value& v, bool distinct_only) {
-    if (v.isNull()) return;
-    if (distinct_only) {
-      EncodedKey key;
-      encodeValue(v, key);
-      if (!distinct.insert(key).second) return;
-    }
-    ++count;
-    if (v.isReal()) {
-      saw_real = true;
-      rsum += v.asReal();
-    } else if (v.isInt()) {
-      isum += v.asInt();
-      rsum += static_cast<double>(v.asInt());
-    }
-    if (min.isNull() || v.compare(min) < 0) min = v;
-    if (max.isNull() || v.compare(max) > 0) max = v;
-  }
-
-  Value result(AggFunc fn) const {
-    switch (fn) {
-      case AggFunc::Count: return Value(count);
-      case AggFunc::Sum:
-        if (count == 0) return Value::null();
-        return saw_real ? Value(rsum) : Value(isum);
-      case AggFunc::Avg:
-        if (count == 0) return Value::null();
-        return Value(rsum / static_cast<double>(count));
-      case AggFunc::Min: return min;
-      case AggFunc::Max: return max;
-    }
-    return Value::null();
-  }
-};
-
-struct Group {
-  Row key_values;
-  Tuple first_tuple_copy;                   // deep copies (rows), see below
-  std::vector<Row> first_rows;              // storage behind first_tuple_copy
-  std::vector<AggState> aggs;
-};
-
-/// Evaluates an expression in grouped mode: Aggregate nodes read their
-/// accumulated slot; everything else evaluates against the group's first
-/// input tuple (SQLite-style bare-column semantics).
-Value evaluateGrouped(const Expr& e, const Group& g) {
-  if (e.kind == Expr::Kind::Aggregate) {
-    return g.aggs.at(e.agg_slot).result(e.agg);
-  }
-  switch (e.kind) {
-    case Expr::Kind::Literal:
-    case Expr::Kind::Param:
-      return e.value;
-    case Expr::Kind::Column:
-      return g.first_rows.at(e.bound_table).at(e.bound_col);
-    case Expr::Kind::Binary: {
-      switch (e.op) {
-        case BinaryOp::And:
-          return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) &&
-                                            truthy(evaluateGrouped(*e.rhs, g))
-                                        ? 1
-                                        : 0});
-        case BinaryOp::Or:
-          return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) ||
-                                            truthy(evaluateGrouped(*e.rhs, g))
-                                        ? 1
-                                        : 0});
-        case BinaryOp::Add:
-        case BinaryOp::Sub:
-        case BinaryOp::Mul:
-        case BinaryOp::Div:
-          return arith(e.op, evaluateGrouped(*e.lhs, g), evaluateGrouped(*e.rhs, g));
-        default:
-          return compare(e.op, evaluateGrouped(*e.lhs, g), evaluateGrouped(*e.rhs, g));
-      }
-    }
-    case Expr::Kind::Not:
-      return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) ? 0 : 1});
-    case Expr::Kind::IsNull: {
-      const bool is_null = evaluateGrouped(*e.lhs, g).isNull();
-      return Value(std::int64_t{(is_null != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::Like: {
-      const Value v = evaluateGrouped(*e.lhs, g);
-      if (v.isNull()) return Value(std::int64_t{0});
-      const bool hit = likeMatch(v.isText() ? v.asText() : v.toDisplayString(),
-                                 e.value.asText());
-      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::InList: {
-      const Value v = evaluateGrouped(*e.lhs, g);
-      if (v.isNull()) return Value(std::int64_t{0});
-      bool hit = false;
-      for (const ExprPtr& item : e.list) {
-        if (v.compare(evaluateGrouped(*item, g)) == 0) {
-          hit = true;
-          break;
-        }
-      }
-      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::InSelect: {
-      const Value v = evaluateGrouped(*e.lhs, g);
-      if (v.isNull()) return Value(std::int64_t{0});
-      if (!e.subquery_values) {
-        throw SqlError("internal: subquery was not materialized");
-      }
-      EncodedKey key;
-      encodeValue(v, key);
-      const bool hit = e.subquery_values->contains(key);
-      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
-    }
-    case Expr::Kind::Aggregate:
-      break;  // handled above
-  }
-  throw SqlError("internal: bad grouped expression");
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // ResultSet rendering
@@ -573,526 +56,92 @@ std::string ResultSet::toText() const {
 }
 
 // ---------------------------------------------------------------------------
-// SELECT: plan construction and plan execution
+// Cursor
 // ---------------------------------------------------------------------------
 
-namespace {
+/// Shared state of one open cursor. Owns (shares) the parsed statement and
+/// plan so the cursor survives its PreparedStatement and cache eviction;
+/// holds the Database::CursorPin that blocks DDL/VACUUM/DML while open.
+struct CursorImpl {
+  Database* db = nullptr;
+  std::shared_ptr<Statement> stmt;   // keeps the AST the plan points into alive
+  std::shared_ptr<SelectPlan> plan;
+  Pipeline pipeline;
+  std::vector<std::string> columns;
+  // EXPLAIN cursors step over precomputed plan lines; no storage is touched
+  // and no pin is held.
+  std::vector<Row> explain_rows;
+  std::size_t explain_pos = 0;
+  bool is_explain = false;
+  bool open = false;
+  std::uint64_t epoch = 0;
+  Database::CursorPin pin;
+  std::shared_ptr<char> busy_token;  // shared with the owning PreparedStatement
 
-ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain);
+  ~CursorImpl() { closeImpl(); }
 
-/// Runs every uncorrelated IN (SELECT ...) subquery below `e` and caches the
-/// first-column values for membership tests.
-void materializeSubqueries(Expr* e, Database& db, bool use_indexes) {
-  if (e == nullptr) return;
-  if (e->kind == Expr::Kind::InSelect) {
-    if (!e->subquery) throw SqlError("internal: InSelect without a subquery");
-    const ResultSet rs = execSelect(db, *e->subquery, use_indexes, /*explain=*/false);
-    auto values = std::make_shared<std::set<std::string>>();
-    for (const Row& row : rs.rows) {
-      if (row.empty() || row[0].isNull()) continue;  // NULL never matches IN
-      EncodedKey key;
-      encodeValue(row[0], key);
-      values->insert(std::move(key));
-    }
-    e->subquery_values = std::move(values);
-  }
-  materializeSubqueries(e->lhs.get(), db, use_indexes);
-  materializeSubqueries(e->rhs.get(), db, use_indexes);
-  for (const ExprPtr& item : e->list) {
-    materializeSubqueries(item.get(), db, use_indexes);
-  }
-}
-
-/// Resolves tables, binds expressions, splits conjuncts, and picks one
-/// access path per FROM entry. Annotates the AST in place (bound_table /
-/// bound_col / agg_slot); the produced plan is valid while the database's
-/// schema epoch matches plan.epoch.
-SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
-  SelectPlan plan;
-  plan.sel = &sel;
-  plan.epoch = db.schemaEpoch();
-  plan.use_indexes = use_indexes;
-
-  // --- resolve FROM ---
-  for (const TableRef& ref : sel.from) {
-    const TableDef* def = db.catalog().findTable(ref.table);
-    if (def == nullptr) throw SqlError("no such table: " + ref.table);
-    plan.from.push_back({def, ref.alias});
-  }
-  Binder binder(plan.from);
-
-  if (plan.from.empty()) {
-    // SELECT without FROM: items evaluate against an empty tuple at run time.
-    for (SelectItem& item : sel.items) {
-      if (!item.expr) throw SqlError("SELECT * requires a FROM clause");
-      binder.bind(*item.expr);
-      plan.outputs.push_back({item.expr.get(),
-                              item.alias.empty() ? "expr" : item.alias});
-    }
-    return plan;
-  }
-
-  // --- expand '*' and bind select items ---
-  for (SelectItem& item : sel.items) {
-    if (!item.expr) {
-      for (std::size_t t = 0; t < plan.from.size(); ++t) {
-        for (std::size_t c = 0; c < plan.from[t].def->columns.size(); ++c) {
-          ExprPtr e = Expr::columnRef(plan.from[t].alias,
-                                      plan.from[t].def->columns[c].name);
-          binder.bind(*e);
-          plan.outputs.push_back({e.get(), plan.from[t].def->columns[c].name});
-          plan.star_exprs.push_back(std::move(e));
-        }
+  bool nextRow(Row& row) {
+    if (!open) return false;
+    if (is_explain) {
+      if (explain_pos >= explain_rows.size()) {
+        closeImpl();
+        return false;
       }
-      continue;
-    }
-    binder.bind(*item.expr);
-    std::string name = item.alias;
-    if (name.empty()) {
-      name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
-    }
-    plan.outputs.push_back({item.expr.get(), std::move(name)});
-  }
-
-  // --- gather and bind conjuncts (WHERE + every JOIN ... ON) ---
-  auto addConjuncts = [&](Expr* root, int on_table) {
-    std::vector<Expr*> raw;
-    collectConjuncts(root, raw);
-    for (Expr* e : raw) {
-      SelectPlan::PlannedConjunct pc;
-      pc.expr = e;
-      pc.max_table = binder.bind(*e);
-      pc.on_table = on_table;
-      plan.conjuncts.push_back(pc);
-    }
-  };
-  addConjuncts(sel.where.get(), -1);
-  for (std::size_t t = 0; t < sel.from.size(); ++t) {
-    addConjuncts(sel.from[t].join_on.get(), static_cast<int>(t));
-  }
-
-  // --- bind the remaining clauses ---
-  for (ExprPtr& e : sel.group_by) binder.bind(*e);
-  if (sel.having) binder.bind(*sel.having);
-  for (OrderItem& item : sel.order_by) binder.bind(*item.expr);
-
-  // --- aggregation analysis ---
-  for (const SelectPlan::OutputCol& out : plan.outputs) {
-    collectAggregates(out.expr, plan.aggregates);
-  }
-  if (sel.having) collectAggregates(sel.having.get(), plan.aggregates);
-  for (OrderItem& item : sel.order_by) {
-    collectAggregates(item.expr.get(), plan.aggregates);
-  }
-  plan.grouped = !sel.group_by.empty() || !plan.aggregates.empty();
-
-  // --- choose an access path per table ---
-  plan.paths.assign(plan.from.size(), {});
-  if (!use_indexes) return plan;
-
-  // Highest FROM index a bound expression depends on (-1 = constant).
-  std::function<int(const Expr*)> maxTableOf = [&](const Expr* x) -> int {
-    if (x == nullptr) return -1;
-    int m = -1;
-    if (x->kind == Expr::Kind::Column) m = x->bound_table;
-    m = std::max(m, maxTableOf(x->lhs.get()));
-    m = std::max(m, maxTableOf(x->rhs.get()));
-    for (const ExprPtr& item : x->list) m = std::max(m, maxTableOf(item.get()));
-    return m;
-  };
-
-  for (std::size_t t = 0; t < plan.from.size(); ++t) {
-    SelectPlan::AccessPath& path = plan.paths[t];
-    for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
-      Expr* e = pc.expr;
-
-      // col IN (list): sorted multi-point probe when every list element is
-      // computable before table t is scanned. Beats a range path, loses to
-      // a single-key equality.
-      if (e->kind == Expr::Kind::InList && !e->negated) {
-        Expr* col = e->lhs.get();
-        if (!(col->kind == Expr::Kind::Column &&
-              col->bound_table == static_cast<int>(t))) {
-          continue;
-        }
-        int list_max = -1;
-        for (const ExprPtr& item : e->list) {
-          list_max = std::max(list_max, maxTableOf(item.get()));
-        }
-        if (list_max >= static_cast<int>(t)) continue;
-        const IndexDef* index =
-            db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
-        if (index == nullptr) continue;
-        if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
-            path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
-          continue;
-        }
-        path = {};
-        path.kind = SelectPlan::AccessPath::Kind::IndexInList;
-        path.index = index;
-        path.key_column = col->bound_col;
-        path.in_list = e;
-        continue;
-      }
-
-      if (e->kind != Expr::Kind::Binary) continue;
-      if (e->op != BinaryOp::Eq && e->op != BinaryOp::Lt && e->op != BinaryOp::Le &&
-          e->op != BinaryOp::Gt && e->op != BinaryOp::Ge) {
-        continue;
-      }
-      // Normalize: want column-of-t on the left.
-      Expr* col = e->lhs.get();
-      Expr* other = e->rhs.get();
-      BinaryOp op = e->op;
-      auto flip = [](BinaryOp o) {
-        switch (o) {
-          case BinaryOp::Lt: return BinaryOp::Gt;
-          case BinaryOp::Le: return BinaryOp::Ge;
-          case BinaryOp::Gt: return BinaryOp::Lt;
-          case BinaryOp::Ge: return BinaryOp::Le;
-          default: return o;
-        }
-      };
-      if (!(col->kind == Expr::Kind::Column && col->bound_table == static_cast<int>(t))) {
-        std::swap(col, other);
-        op = flip(op);
-        if (!(col->kind == Expr::Kind::Column &&
-              col->bound_table == static_cast<int>(t))) {
-          continue;
-        }
-      }
-      // The other side must be computable before table t is scanned.
-      if (maxTableOf(other) >= static_cast<int>(t)) continue;
-      const IndexDef* index =
-          db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
-      if (index == nullptr) continue;
-      if (op == BinaryOp::Eq) {
-        path = {};
-        path.kind = SelectPlan::AccessPath::Kind::IndexEqual;
-        path.index = index;
-        path.key_column = col->bound_col;
-        path.equal_rhs = other;
-        break;  // equality beats any other path
-      }
-      // Range bound: merge into an existing range path on the same column.
-      if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
-          path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
-        continue;
-      }
-      if (path.kind == SelectPlan::AccessPath::Kind::IndexRange &&
-          path.key_column != col->bound_col) {
-        continue;
-      }
-      path.kind = SelectPlan::AccessPath::Kind::IndexRange;
-      path.index = index;
-      path.key_column = col->bound_col;
-      if (op == BinaryOp::Gt || op == BinaryOp::Ge) {
-        path.lower_rhs = other;
-        path.lower_inclusive = op == BinaryOp::Ge;
-      } else {
-        path.upper_rhs = other;
-        path.upper_inclusive = op == BinaryOp::Le;
-      }
-    }
-  }
-  return plan;
-}
-
-/// Runs a previously built plan. Re-materializes IN (SELECT ...) subqueries
-/// (their contents may have changed between executions) but reuses all
-/// binding and access-path decisions.
-ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain) {
-  SelectStmt& sel = *plan.sel;
-
-  if (plan.from.empty()) {
-    // SELECT without FROM: evaluate items against an empty tuple.
-    ResultSet rs;
-    Row row;
-    Tuple tuple;
-    for (const SelectPlan::OutputCol& out : plan.outputs) {
-      rs.columns.push_back(out.name);
-      row.push_back(evaluate(*out.expr, tuple));
-    }
-    rs.rows.push_back(std::move(row));
-    return rs;
-  }
-
-  // --- materialize uncorrelated subqueries (once per execution) ---
-  for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
-    materializeSubqueries(pc.expr, db, plan.use_indexes);
-  }
-  for (const SelectPlan::OutputCol& out : plan.outputs) {
-    materializeSubqueries(out.expr, db, plan.use_indexes);
-  }
-  if (sel.having) materializeSubqueries(sel.having.get(), db, plan.use_indexes);
-  for (OrderItem& item : sel.order_by) {
-    materializeSubqueries(item.expr.get(), db, plan.use_indexes);
-  }
-
-  if (explain) {
-    ResultSet rs;
-    rs.columns = {"plan"};
-    for (std::size_t t = 0; t < plan.from.size(); ++t) {
-      rs.rows.push_back({Value(plan.paths[t].describe(plan.from[t]))});
-    }
-    return rs;
-  }
-
-  // --- execution ---
-  ResultSet rs;
-  for (const SelectPlan::OutputCol& out : plan.outputs) rs.columns.push_back(out.name);
-
-  // Group storage (grouped mode) or direct output (plain mode).
-  std::map<EncodedKey, Group> groups;
-  std::vector<std::pair<std::vector<Value>, Row>> keyed_rows;  // (order keys, row)
-  std::set<EncodedKey> distinct_seen;
-
-  auto emitTuple = [&](const Tuple& tuple) {
-    if (plan.grouped) {
-      Row key_values;
-      EncodedKey key;
-      for (const ExprPtr& e : sel.group_by) {
-        Value v = evaluate(*e, tuple);
-        encodeValue(v, key);
-        key_values.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      Group& g = it->second;
-      if (inserted) {
-        g.key_values = std::move(key_values);
-        g.aggs.resize(plan.aggregates.size());
-        g.first_rows.reserve(tuple.size());
-        for (const Row* row : tuple) g.first_rows.push_back(*row);
-      }
-      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
-        const Expr* agg = plan.aggregates[a];
-        if (agg->lhs) {
-          g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
-        } else {
-          g.aggs[a].count++;  // COUNT(*)
-        }
-      }
-      return;
-    }
-    Row row;
-    row.reserve(plan.outputs.size());
-    for (const SelectPlan::OutputCol& out : plan.outputs) {
-      row.push_back(evaluate(*out.expr, tuple));
-    }
-    if (sel.distinct) {
-      EncodedKey key;
-      for (const Value& v : row) encodeValue(v, key);
-      if (!distinct_seen.insert(key).second) return;
-    }
-    std::vector<Value> order_keys;
-    order_keys.reserve(sel.order_by.size());
-    for (const OrderItem& item : sel.order_by) {
-      order_keys.push_back(evaluate(*item.expr, tuple));
-    }
-    keyed_rows.emplace_back(std::move(order_keys), std::move(row));
-  };
-
-  // Nested-loop join driven by the chosen access paths. LEFT JOIN follows
-  // standard semantics: a row "matches" when it passes the table's ON
-  // conjuncts; if nothing matches, a null-extended tuple is produced and
-  // only non-ON (WHERE) conjuncts apply to it.
-  Tuple tuple(plan.from.size(), nullptr);
-  std::vector<Row> null_rows;
-  null_rows.reserve(plan.from.size());
-  for (const SelectPlan::FromEntry& entry : plan.from) {
-    null_rows.emplace_back(entry.def->columns.size());  // all NULL
-  }
-  std::function<void(std::size_t)> joinStep = [&](std::size_t t) {
-    if (t == plan.from.size()) {
-      emitTuple(tuple);
-      return;
-    }
-    auto dueHere = [&](const SelectPlan::PlannedConjunct& pc) {
-      return pc.max_table == static_cast<int>(t) || (t == 0 && pc.max_table <= 0);
-    };
-    const SelectPlan::AccessPath& path = plan.paths[t];
-    bool matched = false;
-    auto visit = [&](RecordId, const Row& row) -> bool {
-      tuple[t] = &row;
-      // ON conjuncts first: they alone decide whether the row "matches".
-      // The conjunct consumed by an IN-list probe already holds by
-      // construction (the probe only visits matching keys) and is skipped.
-      bool on_pass = true;
-      for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
-        if (!dueHere(pc) || pc.on_table != static_cast<int>(t)) continue;
-        if (pc.expr == path.in_list) continue;
-        if (!truthy(evaluate(*pc.expr, tuple))) {
-          on_pass = false;
-          break;
-        }
-      }
-      if (on_pass) {
-        matched = true;
-        bool rest_pass = true;
-        for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
-          if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
-          if (pc.expr == path.in_list) continue;
-          if (!truthy(evaluate(*pc.expr, tuple))) {
-            rest_pass = false;
-            break;
-          }
-        }
-        if (rest_pass) joinStep(t + 1);
-      }
-      tuple[t] = nullptr;
+      row = std::move(explain_rows[explain_pos++]);
       return true;
-    };
-    switch (path.kind) {
-      case SelectPlan::AccessPath::Kind::Scan:
-        db.scan(plan.from[t].def->name, visit);
-        break;
-      case SelectPlan::AccessPath::Kind::IndexEqual: {
-        const Value key = evaluate(*path.equal_rhs, tuple);
-        if (!key.isNull()) {  // col = NULL matches nothing; may null-extend
-          db.indexScanEqual(*path.index, {key}, visit);
-        }
-        break;
-      }
-      case SelectPlan::AccessPath::Kind::IndexInList: {
-        // Sorted multi-point probe: one B+-tree descent per distinct key,
-        // in key order, instead of a heap scan with per-row membership.
-        std::vector<Value> keys;
-        keys.reserve(path.in_list->list.size());
-        for (const ExprPtr& item : path.in_list->list) {
-          Value v = evaluate(*item, tuple);
-          if (!v.isNull()) keys.push_back(std::move(v));
-        }
-        std::sort(keys.begin(), keys.end(),
-                  [](const Value& a, const Value& b) { return a.compare(b) < 0; });
-        keys.erase(std::unique(keys.begin(), keys.end(),
-                               [](const Value& a, const Value& b) {
-                                 return a.compare(b) == 0;
-                               }),
-                   keys.end());
-        bool stop = false;
-        for (const Value& key : keys) {
-          db.indexScanEqual(*path.index, {key}, [&](RecordId rid, const Row& row) {
-            if (!visit(rid, row)) {
-              stop = true;
-              return false;
-            }
-            return true;
-          });
-          if (stop) break;
-        }
-        break;
-      }
-      case SelectPlan::AccessPath::Kind::IndexRange: {
-        std::optional<Value> lower;
-        std::optional<Value> upper;
-        if (path.lower_rhs) lower = evaluate(*path.lower_rhs, tuple);
-        if (path.upper_rhs) upper = evaluate(*path.upper_rhs, tuple);
-        db.indexScanRange(*path.index, lower, path.lower_inclusive, upper,
-                          path.upper_inclusive, visit);
-        break;
-      }
     }
-    if (!matched && sel.from[t].left_join) {
-      tuple[t] = &null_rows[t];
-      bool pass = true;
-      for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
-        if (!dueHere(pc) || pc.on_table == static_cast<int>(t)) continue;
-        // Note: a conjunct consumed by the probe IS evaluated here — a
-        // null-extended row must still fail `col IN (...)`.
-        if (!truthy(evaluate(*pc.expr, tuple))) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) joinStep(t + 1);
-      tuple[t] = nullptr;
+    // The pin makes schema changes impossible while open; this guards the
+    // invariant itself rather than any expected path.
+    if (db->schemaEpoch() != epoch) {
+      closeImpl();
+      throw SqlError("cursor: schema changed while cursor was open");
     }
-  };
-  joinStep(0);
+    if (!pipeline.root->next(row, scratch_keys_)) {
+      closeImpl();
+      return false;
+    }
+    return true;
+  }
 
-  // --- finalize groups ---
-  if (plan.grouped) {
-    for (const auto& [key, group] : groups) {
-      if (sel.having && !truthy(evaluateGrouped(*sel.having, group))) continue;
-      Row row;
-      row.reserve(plan.outputs.size());
-      for (const SelectPlan::OutputCol& out : plan.outputs) {
-        row.push_back(evaluateGrouped(*out.expr, group));
-      }
-      if (sel.distinct) {
-        EncodedKey dkey;
-        for (const Value& v : row) encodeValue(v, dkey);
-        if (!distinct_seen.insert(dkey).second) continue;
-      }
-      std::vector<Value> order_keys;
-      order_keys.reserve(sel.order_by.size());
-      for (const OrderItem& item : sel.order_by) {
-        order_keys.push_back(evaluateGrouped(*item.expr, group));
-      }
-      keyed_rows.emplace_back(std::move(order_keys), std::move(row));
-    }
-    // A fully-aggregated SELECT over zero input rows still yields one row.
-    if (groups.empty() && sel.group_by.empty()) {
-      Group empty;
-      empty.aggs.resize(plan.aggregates.size());
-      // Bare column refs are undefined over an empty input; report NULLs.
-      Row row;
-      for (const SelectPlan::OutputCol& out : plan.outputs) {
-        if (containsAggregate(out.expr) || out.expr->kind == Expr::Kind::Literal) {
-          row.push_back(evaluateGrouped(*out.expr, empty));
-        } else {
-          row.push_back(Value::null());
-        }
-      }
-      keyed_rows.emplace_back(std::vector<Value>{}, std::move(row));
+  void closeImpl() {
+    if (open && pipeline.root) pipeline.root->close();
+    open = false;
+    pin.release();
+    if (busy_token) {
+      *busy_token = 0;
+      busy_token.reset();
     }
   }
 
-  // --- order, offset, limit ---
-  if (!sel.order_by.empty()) {
-    std::stable_sort(keyed_rows.begin(), keyed_rows.end(),
-                     [&](const auto& a, const auto& b) {
-                       for (std::size_t i = 0; i < sel.order_by.size(); ++i) {
-                         const int c = a.first[i].compare(b.first[i]);
-                         if (c != 0) return sel.order_by[i].descending ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
-  }
-  std::size_t start = 0;
-  std::size_t end = keyed_rows.size();
-  if (sel.offset) start = std::min<std::size_t>(end, static_cast<std::size_t>(*sel.offset));
-  if (sel.limit) end = std::min<std::size_t>(end, start + static_cast<std::size_t>(*sel.limit));
-  rs.rows.reserve(end - start);
-  for (std::size_t i = start; i < end; ++i) rs.rows.push_back(std::move(keyed_rows[i].second));
-  return rs;
+ private:
+  std::vector<Value> scratch_keys_;  // ORDER BY keys plumbing (unused at root)
+};
+
+Cursor::Cursor(std::shared_ptr<CursorImpl> impl) : impl_(std::move(impl)) {}
+Cursor::Cursor(Cursor&& o) noexcept = default;
+Cursor& Cursor::operator=(Cursor&& o) noexcept = default;
+Cursor::~Cursor() = default;
+
+const std::vector<std::string>& Cursor::columns() const { return impl_->columns; }
+
+bool Cursor::next(Row& row) { return impl_->nextRow(row); }
+
+void Cursor::close() {
+  if (impl_) impl_->closeImpl();
 }
 
-ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain) {
-  // The binding pass annotates expressions in place; the annotations are
-  // rewritten by every plan build, so sharing the AST across plans is safe.
-  auto& sel = const_cast<SelectStmt&>(sel_const);
-  SelectPlan plan = buildSelectPlan(db, sel, use_indexes);
-  return execSelectPlan(db, plan, explain);
-}
-
-Value evalConst(const Expr& e) {
-  static const Tuple kEmpty;
-  return evaluate(e, kEmpty);
-}
-
-}  // namespace
+bool Cursor::isOpen() const { return impl_ && impl_->open; }
 
 // ---------------------------------------------------------------------------
 // PreparedStatement
 // ---------------------------------------------------------------------------
 
 PreparedStatement::PreparedStatement(Engine& engine, std::string sql)
-    : engine_(&engine), sql_(std::move(sql)), stmt_(parseStatement(sql_)) {
-  params_.resize(static_cast<std::size_t>(stmt_.param_count));
-  bound_.assign(static_cast<std::size_t>(stmt_.param_count), 0);
+    : engine_(&engine),
+      sql_(std::move(sql)),
+      stmt_(std::make_shared<Statement>(parseStatement(sql_))) {
+  params_.resize(static_cast<std::size_t>(stmt_->param_count));
+  bound_.assign(static_cast<std::size_t>(stmt_->param_count), 0);
 }
 
 void PreparedStatement::bind(int index, Value v) {
@@ -1119,23 +168,74 @@ void PreparedStatement::clearBindings() {
   bound_.assign(bound_.size(), 0);
 }
 
+bool PreparedStatement::hasOpenCursor() const {
+  return busy_token_ != nullptr && *busy_token_ != 0;
+}
+
+Cursor PreparedStatement::openCursor() {
+  for (std::size_t i = 0; i < bound_.size(); ++i) {
+    if (!bound_[i]) {
+      throw SqlError("openCursor: parameter " + std::to_string(i + 1) +
+                     " is unbound");
+    }
+  }
+  if (stmt_->kind != Statement::Kind::Select) {
+    throw SqlError("openCursor: statement is not a SELECT");
+  }
+  // One cursor per statement: the bindings live in the shared AST, so a
+  // second cursor would silently corrupt the first one's parameters.
+  if (hasOpenCursor()) {
+    throw SqlError("a cursor is already open on this prepared statement");
+  }
+  if (stmt_->param_count > 0) bindParamValues(*stmt_, params_);
+  Database& db = *engine_->db_;
+  if (!plan_ || plan_->epoch != db.schemaEpoch() ||
+      plan_->use_indexes != engine_->use_indexes_) {
+    plan_ = std::make_shared<SelectPlan>(
+        buildSelectPlan(db, *stmt_->select, engine_->use_indexes_));
+  }
+  auto impl = std::make_shared<CursorImpl>();
+  impl->db = &db;
+  impl->stmt = stmt_;
+  impl->plan = plan_;
+  impl->epoch = plan_->epoch;
+  impl->busy_token = std::make_shared<char>(1);
+  busy_token_ = impl->busy_token;
+  if (stmt_->explain) {
+    impl->is_explain = true;
+    impl->columns = {"plan"};
+    for (std::string& line : explainPipeline(db, *plan_)) {
+      impl->explain_rows.push_back({Value(std::move(line))});
+    }
+  } else {
+    // Subqueries run before the pin is taken (they open their own scans).
+    materializePlanSubqueries(db, *plan_);
+    impl->pipeline = buildPipeline(db, *plan_);
+    impl->columns = impl->pipeline.columns;
+    impl->pin = db.pinCursor();
+    impl->pipeline.root->open();
+  }
+  impl->open = true;
+  return Cursor(std::move(impl));
+}
+
 ResultSet PreparedStatement::execute() {
   for (std::size_t i = 0; i < bound_.size(); ++i) {
     if (!bound_[i]) {
       throw SqlError("execute: parameter " + std::to_string(i + 1) + " is unbound");
     }
   }
-  if (stmt_.param_count > 0) bindParamValues(stmt_, params_);
-  if (stmt_.kind == Statement::Kind::Select) {
-    Database& db = *engine_->db_;
-    if (!plan_ || plan_->epoch != db.schemaEpoch() ||
-        plan_->use_indexes != engine_->use_indexes_) {
-      plan_ = std::make_shared<SelectPlan>(
-          buildSelectPlan(db, *stmt_.select, engine_->use_indexes_));
-    }
-    return execSelectPlan(db, *plan_, stmt_.explain);
+  if (stmt_->kind == Statement::Kind::Select) {
+    // The materializing wrapper: open a cursor and drain it.
+    Cursor cur = openCursor();
+    ResultSet rs;
+    rs.columns = cur.columns();
+    Row row;
+    while (cur.next(row)) rs.rows.push_back(std::move(row));
+    return rs;
   }
-  return engine_->exec(stmt_);
+  if (stmt_->param_count > 0) bindParamValues(*stmt_, params_);
+  return engine_->exec(*stmt_);
 }
 
 ResultSet PreparedStatement::execute(std::vector<Value> params) {
@@ -1158,6 +258,17 @@ ResultSet Engine::exec(std::string_view sqltext) {
                    " unbound '?' parameters; use prepare()/execPrepared()");
   }
   return exec(stmt);
+}
+
+Cursor Engine::openCursor(std::string_view sql) {
+  PreparedStatement stmt = prepare(sql);
+  if (stmt.paramCount() > 0) {
+    throw SqlError("openCursor: statement has " +
+                   std::to_string(stmt.paramCount()) +
+                   " unbound '?' parameters; use prepare()");
+  }
+  // The cursor shares the statement and plan, so it outlives `stmt`.
+  return stmt.openCursor();
 }
 
 ResultSet Engine::execScript(std::string_view script) {

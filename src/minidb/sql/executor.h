@@ -7,8 +7,12 @@
 // `col` has a B+-tree index and the other side only references earlier
 // tables — equality conjuncts become index point scans, IN-lists become
 // sorted multi-point probes, inequalities become index range scans,
-// otherwise the table is heap-scanned. EXPLAIN returns the chosen access
-// path per table instead of rows (used by the ablation benchmarks).
+// otherwise the table is heap-scanned.
+//
+// Execution is a pull-based Volcano pipeline (see sql/pipeline.h): a SELECT
+// can be stepped row by row through a Cursor without materializing the
+// result, and exec()/execute() are thin wrappers that drain a cursor into a
+// ResultSet. EXPLAIN returns the operator tree, one line per operator.
 //
 // prepare() compiles a statement once into a PreparedStatement that can be
 // bound and executed repeatedly without re-lexing or re-parsing. SELECT
@@ -42,7 +46,46 @@ struct ResultSet {
 };
 
 class Engine;
-struct SelectPlan;  // opaque cached plan, defined in executor.cpp
+struct SelectPlan;  // cached plan, defined in sql/pipeline.h
+struct CursorImpl;  // cursor state, defined in executor.cpp
+
+/// A stepping SELECT cursor: pulls one row at a time through the operator
+/// pipeline, so the first row arrives without materializing the result.
+///
+/// Invariants:
+///  - While open (and not EXPLAIN), the cursor holds a Database::CursorPin:
+///    DDL, VACUUM, ROLLBACK, and row mutations on the database throw
+///    StorageError until the cursor is closed.
+///  - The cursor keeps the parsed statement and plan alive (shared), so it
+///    survives its PreparedStatement and statement-cache eviction.
+///  - next() after exhaustion returns false; close() is idempotent and
+///    releases the pin immediately.
+class Cursor {
+ public:
+  Cursor(Cursor&& o) noexcept;
+  Cursor& operator=(Cursor&& o) noexcept;
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+  ~Cursor();
+
+  const std::vector<std::string>& columns() const;
+
+  /// Produces the next row. Returns false (and auto-closes) at end of
+  /// stream.
+  bool next(Row& row);
+
+  /// Releases the pipeline and the database pin early; idempotent.
+  void close();
+
+  bool isOpen() const;
+
+ private:
+  friend class Engine;
+  friend class PreparedStatement;
+  explicit Cursor(std::shared_ptr<CursorImpl> impl);
+
+  std::shared_ptr<CursorImpl> impl_;
+};
 
 /// A parsed statement plus its parameter bindings and cached SELECT plan.
 /// Obtained from Engine::prepare(); re-executable with fresh bindings.
@@ -52,7 +95,7 @@ class PreparedStatement {
   PreparedStatement& operator=(PreparedStatement&&) = default;
 
   /// Number of '?' placeholders in the statement.
-  int paramCount() const { return stmt_.param_count; }
+  int paramCount() const { return stmt_->param_count; }
 
   /// Binds one parameter (1-based index, SQLite-style). Throws SqlError when
   /// the index is out of range. NULL is a legal binding.
@@ -66,14 +109,23 @@ class PreparedStatement {
 
   /// Executes with the current bindings. Throws SqlError when any parameter
   /// is unbound. Bindings persist across executions until rebound.
+  /// SELECTs drain an internal cursor (the materializing wrapper).
   ResultSet execute();
 
   /// bindAll + execute in one call.
   ResultSet execute(std::vector<Value> params);
 
+  /// Opens a stepping cursor over a SELECT with the current bindings.
+  /// Only one cursor may be open per statement at a time (the bindings are
+  /// baked into the shared AST); throws SqlError otherwise.
+  Cursor openCursor();
+
+  /// True while a cursor opened from this statement is still open.
+  bool hasOpenCursor() const;
+
   const std::string& sql() const { return sql_; }
-  Statement::Kind kind() const { return stmt_.kind; }
-  const Statement& statement() const { return stmt_; }
+  Statement::Kind kind() const { return stmt_->kind; }
+  const Statement& statement() const { return *stmt_; }
 
  private:
   friend class Engine;
@@ -81,10 +133,11 @@ class PreparedStatement {
 
   Engine* engine_;
   std::string sql_;
-  Statement stmt_;
+  std::shared_ptr<Statement> stmt_;   // shared with cursors opened from here
   std::vector<Value> params_;
   std::vector<char> bound_;        // per-parameter "has been bound" flags
   std::shared_ptr<SelectPlan> plan_;  // lazily built, epoch-validated
+  std::shared_ptr<char> busy_token_;  // nonzero while a cursor is open
 };
 
 class Engine {
@@ -100,6 +153,10 @@ class Engine {
 
   /// Executes an already-parsed statement (no parameters).
   ResultSet exec(const Statement& stmt);
+
+  /// Opens a stepping cursor over a parameterless SELECT (or EXPLAIN).
+  /// The cursor owns the parsed statement and plan; it outlives this call.
+  Cursor openCursor(std::string_view sql);
 
   /// Executes a ';'-separated script (quotes and comments are respected);
   /// returns the last statement's result. Used for DDL batches.

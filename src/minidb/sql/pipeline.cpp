@@ -1,0 +1,1507 @@
+// minidb SQL execution pipeline: planning, expression evaluation, and the
+// Volcano-style operator tree (see pipeline.h for the shape).
+#include "minidb/sql/pipeline.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "minidb/keycodec.h"
+#include "minidb/sql/executor.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::minidb::sql {
+
+using util::SqlError;
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool likeMatch(std::string_view text, std::string_view pattern) {
+  // Classic two-pointer wildcard matcher: '%' = any run, '_' = any one char.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Value arith(BinaryOp op, const Value& a, const Value& b) {
+  if (a.isNull() || b.isNull()) return Value::null();
+  if (a.isInt() && b.isInt()) {
+    const std::int64_t x = a.asInt();
+    const std::int64_t y = b.asInt();
+    switch (op) {
+      case BinaryOp::Add: return Value(x + y);
+      case BinaryOp::Sub: return Value(x - y);
+      case BinaryOp::Mul: return Value(x * y);
+      case BinaryOp::Div:
+        if (y == 0) return Value::null();
+        return Value(x / y);
+      default: break;
+    }
+  }
+  const double x = a.asReal();
+  const double y = b.asReal();
+  switch (op) {
+    case BinaryOp::Add: return Value(x + y);
+    case BinaryOp::Sub: return Value(x - y);
+    case BinaryOp::Mul: return Value(x * y);
+    case BinaryOp::Div:
+      if (y == 0.0) return Value::null();
+      return Value(x / y);
+    default: break;
+  }
+  throw SqlError("arith: not an arithmetic operator");
+}
+
+Value compare(BinaryOp op, const Value& a, const Value& b) {
+  // SQL three-valued logic collapsed: comparisons against NULL are false.
+  if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+  const int c = a.compare(b);
+  bool result = false;
+  switch (op) {
+    case BinaryOp::Eq: result = c == 0; break;
+    case BinaryOp::Ne: result = c != 0; break;
+    case BinaryOp::Lt: result = c < 0; break;
+    case BinaryOp::Le: result = c <= 0; break;
+    case BinaryOp::Gt: result = c > 0; break;
+    case BinaryOp::Ge: result = c >= 0; break;
+    default: throw SqlError("compare: not a comparison operator");
+  }
+  return Value(std::int64_t{result ? 1 : 0});
+}
+
+}  // namespace
+
+bool truthy(const Value& v) {
+  if (v.isNull()) return false;
+  if (v.isInt()) return v.asInt() != 0;
+  if (v.isReal()) return v.asReal() != 0.0;
+  return !v.asText().empty();
+}
+
+Value evaluate(const Expr& e, const Tuple& tuple) {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+    case Expr::Kind::Param:  // bind() stored the parameter value in `value`
+      return e.value;
+    case Expr::Kind::Column: {
+      const Row* row = tuple.at(e.bound_table);
+      if (row == nullptr) throw SqlError("internal: unbound tuple slot");
+      return row->at(e.bound_col);
+    }
+    case Expr::Kind::Binary: {
+      switch (e.op) {
+        case BinaryOp::And: {
+          if (!truthy(evaluate(*e.lhs, tuple))) return Value(std::int64_t{0});
+          return Value(std::int64_t{truthy(evaluate(*e.rhs, tuple)) ? 1 : 0});
+        }
+        case BinaryOp::Or: {
+          if (truthy(evaluate(*e.lhs, tuple))) return Value(std::int64_t{1});
+          return Value(std::int64_t{truthy(evaluate(*e.rhs, tuple)) ? 1 : 0});
+        }
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul:
+        case BinaryOp::Div:
+          return arith(e.op, evaluate(*e.lhs, tuple), evaluate(*e.rhs, tuple));
+        default:
+          return compare(e.op, evaluate(*e.lhs, tuple), evaluate(*e.rhs, tuple));
+      }
+    }
+    case Expr::Kind::Not:
+      return Value(std::int64_t{truthy(evaluate(*e.lhs, tuple)) ? 0 : 1});
+    case Expr::Kind::IsNull: {
+      const bool is_null = evaluate(*e.lhs, tuple).isNull();
+      return Value(std::int64_t{(is_null != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Like: {
+      const Value v = evaluate(*e.lhs, tuple);
+      if (v.isNull()) return Value(std::int64_t{0});
+      const bool hit = likeMatch(v.isText() ? v.asText() : v.toDisplayString(),
+                                 e.value.asText());
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InList: {
+      const Value v = evaluate(*e.lhs, tuple);
+      if (v.isNull()) return Value(std::int64_t{0});
+      bool hit = false;
+      for (const ExprPtr& item : e.list) {
+        if (v.compare(evaluate(*item, tuple)) == 0) {
+          hit = true;
+          break;
+        }
+      }
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InSelect: {
+      const Value v = evaluate(*e.lhs, tuple);
+      if (v.isNull()) return Value(std::int64_t{0});
+      if (!e.subquery_values) {
+        throw SqlError("internal: subquery was not materialized");
+      }
+      EncodedKey key;
+      encodeValue(v, key);
+      const bool hit = e.subquery_values->contains(key);
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Aggregate:
+      throw SqlError("aggregate used outside of an aggregating SELECT");
+  }
+  throw SqlError("internal: bad expression kind");
+}
+
+Value evalConst(const Expr& e) {
+  static const Tuple kEmpty;
+  return evaluate(e, kEmpty);
+}
+
+// ---------------------------------------------------------------------------
+// Binding / analysis
+// ---------------------------------------------------------------------------
+
+int Binder::bind(Expr& e) const {
+  int max_table = -1;
+  bindInner(e, max_table);
+  return max_table;
+}
+
+void Binder::bindInner(Expr& e, int& max_table) const {
+  if (e.kind == Expr::Kind::Column) {
+    resolve(e);
+    max_table = std::max(max_table, e.bound_table);
+    return;
+  }
+  if (e.lhs) bindInner(*e.lhs, max_table);
+  if (e.rhs) bindInner(*e.rhs, max_table);
+  for (const ExprPtr& item : e.list) bindInner(*item, max_table);
+  // Subqueries bind against their own FROM list (uncorrelated); the
+  // executor materializes them before evaluation.
+}
+
+void Binder::resolve(Expr& e) const {
+  // Always (re)resolve: a cached statement may be replanned after DDL
+  // changed column ordinals, so stale annotations must not survive.
+  int found_table = -1;
+  int found_col = -1;
+  for (std::size_t i = 0; i < from_.size(); ++i) {
+    if (!e.table.empty() && !util::iequals(e.table, from_[i].alias)) continue;
+    const int col = from_[i].def->columnIndex(e.column);
+    if (col < 0) continue;
+    if (found_table >= 0) {
+      throw SqlError("ambiguous column reference: " + e.column);
+    }
+    found_table = static_cast<int>(i);
+    found_col = col;
+  }
+  if (found_table < 0) {
+    const std::string qual = e.table.empty() ? e.column : e.table + "." + e.column;
+    throw SqlError("unknown column: " + qual);
+  }
+  e.bound_table = found_table;
+  e.bound_col = found_col;
+}
+
+namespace {
+
+void collectConjuncts(Expr* e, std::vector<Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::Binary && e->op == BinaryOp::And) {
+    collectConjuncts(e->lhs.get(), out);
+    collectConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+void collectAggregates(Expr* e, std::vector<Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::Aggregate) {
+    e->agg_slot = static_cast<int>(out.size());
+    out.push_back(e);
+    // Aggregate arguments are evaluated per input tuple, not per group;
+    // do not descend further.
+    return;
+  }
+  collectAggregates(e->lhs.get(), out);
+  collectAggregates(e->rhs.get(), out);
+  for (const ExprPtr& item : e->list) collectAggregates(item.get(), out);
+}
+
+bool containsAggregate(const Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == Expr::Kind::Aggregate) return true;
+  if (containsAggregate(e->lhs.get()) || containsAggregate(e->rhs.get())) return true;
+  for (const ExprPtr& item : e->list) {
+    if (containsAggregate(item.get())) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Expression walking (parameter binding)
+// ---------------------------------------------------------------------------
+
+void forEachExpr(SelectStmt& sel, const std::function<void(Expr&)>& fn);
+
+void forEachExpr(Expr* e, const std::function<void(Expr&)>& fn) {
+  if (e == nullptr) return;
+  fn(*e);
+  forEachExpr(e->lhs.get(), fn);
+  forEachExpr(e->rhs.get(), fn);
+  for (const ExprPtr& item : e->list) forEachExpr(item.get(), fn);
+  if (e->subquery) forEachExpr(*e->subquery, fn);
+}
+
+void forEachExpr(SelectStmt& sel, const std::function<void(Expr&)>& fn) {
+  for (SelectItem& item : sel.items) forEachExpr(item.expr.get(), fn);
+  for (TableRef& ref : sel.from) forEachExpr(ref.join_on.get(), fn);
+  forEachExpr(sel.where.get(), fn);
+  for (ExprPtr& e : sel.group_by) forEachExpr(e.get(), fn);
+  forEachExpr(sel.having.get(), fn);
+  for (OrderItem& item : sel.order_by) forEachExpr(item.expr.get(), fn);
+}
+
+void forEachExpr(Statement& stmt, const std::function<void(Expr&)>& fn) {
+  switch (stmt.kind) {
+    case Statement::Kind::Select:
+      forEachExpr(*stmt.select, fn);
+      break;
+    case Statement::Kind::Insert:
+      for (auto& row : stmt.insert->rows) {
+        for (ExprPtr& e : row) forEachExpr(e.get(), fn);
+      }
+      break;
+    case Statement::Kind::Update:
+      for (auto& [name, e] : stmt.update->assignments) forEachExpr(e.get(), fn);
+      forEachExpr(stmt.update->where.get(), fn);
+      break;
+    case Statement::Kind::Delete:
+      forEachExpr(stmt.del->where.get(), fn);
+      break;
+    default:
+      break;  // DDL/Txn/Vacuum carry no expressions
+  }
+}
+
+}  // namespace
+
+void bindParamValues(Statement& stmt, const std::vector<Value>& params) {
+  forEachExpr(stmt, [&](Expr& e) {
+    if (e.kind == Expr::Kind::Param) {
+      e.value = params.at(static_cast<std::size_t>(e.param_index));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation state
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct AggState {
+  std::int64_t count = 0;
+  std::int64_t isum = 0;
+  double rsum = 0.0;
+  bool saw_real = false;
+  Value min;
+  Value max;
+  std::set<EncodedKey> distinct;
+
+  void add(const Value& v, bool distinct_only) {
+    if (v.isNull()) return;
+    if (distinct_only) {
+      EncodedKey key;
+      encodeValue(v, key);
+      if (!distinct.insert(key).second) return;
+    }
+    ++count;
+    if (v.isReal()) {
+      saw_real = true;
+      rsum += v.asReal();
+    } else if (v.isInt()) {
+      isum += v.asInt();
+      rsum += static_cast<double>(v.asInt());
+    }
+    if (min.isNull() || v.compare(min) < 0) min = v;
+    if (max.isNull() || v.compare(max) > 0) max = v;
+  }
+
+  Value result(AggFunc fn) const {
+    switch (fn) {
+      case AggFunc::Count: return Value(count);
+      case AggFunc::Sum:
+        if (count == 0) return Value::null();
+        return saw_real ? Value(rsum) : Value(isum);
+      case AggFunc::Avg:
+        if (count == 0) return Value::null();
+        return Value(rsum / static_cast<double>(count));
+      case AggFunc::Min: return min;
+      case AggFunc::Max: return max;
+    }
+    return Value::null();
+  }
+};
+
+struct Group {
+  Row key_values;
+  std::vector<Row> first_rows;  // deep copy of the group's first input tuple
+  std::vector<AggState> aggs;
+};
+
+/// Evaluates an expression in grouped mode: Aggregate nodes read their
+/// accumulated slot; everything else evaluates against the group's first
+/// input tuple (SQLite-style bare-column semantics).
+Value evaluateGrouped(const Expr& e, const Group& g) {
+  if (e.kind == Expr::Kind::Aggregate) {
+    return g.aggs.at(e.agg_slot).result(e.agg);
+  }
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+    case Expr::Kind::Param:
+      return e.value;
+    case Expr::Kind::Column:
+      return g.first_rows.at(e.bound_table).at(e.bound_col);
+    case Expr::Kind::Binary: {
+      switch (e.op) {
+        case BinaryOp::And:
+          return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) &&
+                                            truthy(evaluateGrouped(*e.rhs, g))
+                                        ? 1
+                                        : 0});
+        case BinaryOp::Or:
+          return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) ||
+                                            truthy(evaluateGrouped(*e.rhs, g))
+                                        ? 1
+                                        : 0});
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul:
+        case BinaryOp::Div:
+          return arith(e.op, evaluateGrouped(*e.lhs, g), evaluateGrouped(*e.rhs, g));
+        default:
+          return compare(e.op, evaluateGrouped(*e.lhs, g), evaluateGrouped(*e.rhs, g));
+      }
+    }
+    case Expr::Kind::Not:
+      return Value(std::int64_t{truthy(evaluateGrouped(*e.lhs, g)) ? 0 : 1});
+    case Expr::Kind::IsNull: {
+      const bool is_null = evaluateGrouped(*e.lhs, g).isNull();
+      return Value(std::int64_t{(is_null != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Like: {
+      const Value v = evaluateGrouped(*e.lhs, g);
+      if (v.isNull()) return Value(std::int64_t{0});
+      const bool hit = likeMatch(v.isText() ? v.asText() : v.toDisplayString(),
+                                 e.value.asText());
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InList: {
+      const Value v = evaluateGrouped(*e.lhs, g);
+      if (v.isNull()) return Value(std::int64_t{0});
+      bool hit = false;
+      for (const ExprPtr& item : e.list) {
+        if (v.compare(evaluateGrouped(*item, g)) == 0) {
+          hit = true;
+          break;
+        }
+      }
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::InSelect: {
+      const Value v = evaluateGrouped(*e.lhs, g);
+      if (v.isNull()) return Value(std::int64_t{0});
+      if (!e.subquery_values) {
+        throw SqlError("internal: subquery was not materialized");
+      }
+      EncodedKey key;
+      encodeValue(v, key);
+      const bool hit = e.subquery_values->contains(key);
+      return Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+    }
+    case Expr::Kind::Aggregate:
+      break;  // handled above
+  }
+  throw SqlError("internal: bad grouped expression");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Subquery materialization and plan construction
+// ---------------------------------------------------------------------------
+
+void materializeSubqueries(Expr* e, Database& db, bool use_indexes) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::InSelect) {
+    if (!e->subquery) throw SqlError("internal: InSelect without a subquery");
+    const ResultSet rs = execSelect(db, *e->subquery, use_indexes, /*explain=*/false);
+    auto values = std::make_shared<std::set<std::string>>();
+    for (const Row& row : rs.rows) {
+      if (row.empty() || row[0].isNull()) continue;  // NULL never matches IN
+      EncodedKey key;
+      encodeValue(row[0], key);
+      values->insert(std::move(key));
+    }
+    e->subquery_values = std::move(values);
+  }
+  materializeSubqueries(e->lhs.get(), db, use_indexes);
+  materializeSubqueries(e->rhs.get(), db, use_indexes);
+  for (const ExprPtr& item : e->list) {
+    materializeSubqueries(item.get(), db, use_indexes);
+  }
+}
+
+void materializePlanSubqueries(Database& db, SelectPlan& plan) {
+  // A FROM-less SELECT never materializes (mirrors the historical early
+  // return; an InSelect there fails at evaluation time instead).
+  if (plan.from.empty()) return;
+  SelectStmt& sel = *plan.sel;
+  for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+    materializeSubqueries(pc.expr, db, plan.use_indexes);
+  }
+  for (const SelectPlan::OutputCol& out : plan.outputs) {
+    materializeSubqueries(out.expr, db, plan.use_indexes);
+  }
+  if (sel.having) materializeSubqueries(sel.having.get(), db, plan.use_indexes);
+  for (OrderItem& item : sel.order_by) {
+    materializeSubqueries(item.expr.get(), db, plan.use_indexes);
+  }
+}
+
+SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
+  SelectPlan plan;
+  plan.sel = &sel;
+  plan.epoch = db.schemaEpoch();
+  plan.use_indexes = use_indexes;
+
+  // --- resolve FROM ---
+  for (const TableRef& ref : sel.from) {
+    const TableDef* def = db.catalog().findTable(ref.table);
+    if (def == nullptr) throw SqlError("no such table: " + ref.table);
+    plan.from.push_back({def, ref.alias});
+  }
+  Binder binder(plan.from);
+
+  if (plan.from.empty()) {
+    // SELECT without FROM: items evaluate against an empty tuple at run time.
+    for (SelectItem& item : sel.items) {
+      if (!item.expr) throw SqlError("SELECT * requires a FROM clause");
+      binder.bind(*item.expr);
+      plan.outputs.push_back({item.expr.get(),
+                              item.alias.empty() ? "expr" : item.alias});
+    }
+    return plan;
+  }
+
+  // --- expand '*' and bind select items ---
+  for (SelectItem& item : sel.items) {
+    if (!item.expr) {
+      for (std::size_t t = 0; t < plan.from.size(); ++t) {
+        for (std::size_t c = 0; c < plan.from[t].def->columns.size(); ++c) {
+          ExprPtr e = Expr::columnRef(plan.from[t].alias,
+                                      plan.from[t].def->columns[c].name);
+          binder.bind(*e);
+          plan.outputs.push_back({e.get(), plan.from[t].def->columns[c].name});
+          plan.star_exprs.push_back(std::move(e));
+        }
+      }
+      continue;
+    }
+    binder.bind(*item.expr);
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
+    }
+    plan.outputs.push_back({item.expr.get(), std::move(name)});
+  }
+
+  // --- gather and bind conjuncts (WHERE + every JOIN ... ON) ---
+  auto addConjuncts = [&](Expr* root, int on_table) {
+    std::vector<Expr*> raw;
+    collectConjuncts(root, raw);
+    for (Expr* e : raw) {
+      SelectPlan::PlannedConjunct pc;
+      pc.expr = e;
+      pc.max_table = binder.bind(*e);
+      pc.on_table = on_table;
+      plan.conjuncts.push_back(pc);
+    }
+  };
+  addConjuncts(sel.where.get(), -1);
+  for (std::size_t t = 0; t < sel.from.size(); ++t) {
+    addConjuncts(sel.from[t].join_on.get(), static_cast<int>(t));
+  }
+
+  // --- bind the remaining clauses ---
+  for (ExprPtr& e : sel.group_by) binder.bind(*e);
+  if (sel.having) binder.bind(*sel.having);
+  for (OrderItem& item : sel.order_by) binder.bind(*item.expr);
+
+  // --- aggregation analysis ---
+  for (const SelectPlan::OutputCol& out : plan.outputs) {
+    collectAggregates(out.expr, plan.aggregates);
+  }
+  if (sel.having) collectAggregates(sel.having.get(), plan.aggregates);
+  for (OrderItem& item : sel.order_by) {
+    collectAggregates(item.expr.get(), plan.aggregates);
+  }
+  plan.grouped = !sel.group_by.empty() || !plan.aggregates.empty();
+
+  // --- choose an access path per table ---
+  plan.paths.assign(plan.from.size(), {});
+  if (!use_indexes) return plan;
+
+  // Highest FROM index a bound expression depends on (-1 = constant).
+  std::function<int(const Expr*)> maxTableOf = [&](const Expr* x) -> int {
+    if (x == nullptr) return -1;
+    int m = -1;
+    if (x->kind == Expr::Kind::Column) m = x->bound_table;
+    m = std::max(m, maxTableOf(x->lhs.get()));
+    m = std::max(m, maxTableOf(x->rhs.get()));
+    for (const ExprPtr& item : x->list) m = std::max(m, maxTableOf(item.get()));
+    return m;
+  };
+
+  for (std::size_t t = 0; t < plan.from.size(); ++t) {
+    SelectPlan::AccessPath& path = plan.paths[t];
+    for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+      Expr* e = pc.expr;
+
+      // col IN (list): sorted multi-point probe when every list element is
+      // computable before table t is scanned. Beats a range path, loses to
+      // a single-key equality.
+      if (e->kind == Expr::Kind::InList && !e->negated) {
+        Expr* col = e->lhs.get();
+        if (!(col->kind == Expr::Kind::Column &&
+              col->bound_table == static_cast<int>(t))) {
+          continue;
+        }
+        int list_max = -1;
+        for (const ExprPtr& item : e->list) {
+          list_max = std::max(list_max, maxTableOf(item.get()));
+        }
+        if (list_max >= static_cast<int>(t)) continue;
+        const IndexDef* index =
+            db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
+        if (index == nullptr) continue;
+        if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
+            path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
+          continue;
+        }
+        path = {};
+        path.kind = SelectPlan::AccessPath::Kind::IndexInList;
+        path.index = index;
+        path.key_column = col->bound_col;
+        path.in_list = e;
+        continue;
+      }
+
+      if (e->kind != Expr::Kind::Binary) continue;
+      if (e->op != BinaryOp::Eq && e->op != BinaryOp::Lt && e->op != BinaryOp::Le &&
+          e->op != BinaryOp::Gt && e->op != BinaryOp::Ge) {
+        continue;
+      }
+      // Normalize: want column-of-t on the left.
+      Expr* col = e->lhs.get();
+      Expr* other = e->rhs.get();
+      BinaryOp op = e->op;
+      auto flip = [](BinaryOp o) {
+        switch (o) {
+          case BinaryOp::Lt: return BinaryOp::Gt;
+          case BinaryOp::Le: return BinaryOp::Ge;
+          case BinaryOp::Gt: return BinaryOp::Lt;
+          case BinaryOp::Ge: return BinaryOp::Le;
+          default: return o;
+        }
+      };
+      if (!(col->kind == Expr::Kind::Column && col->bound_table == static_cast<int>(t))) {
+        std::swap(col, other);
+        op = flip(op);
+        if (!(col->kind == Expr::Kind::Column &&
+              col->bound_table == static_cast<int>(t))) {
+          continue;
+        }
+      }
+      // The other side must be computable before table t is scanned.
+      if (maxTableOf(other) >= static_cast<int>(t)) continue;
+      const IndexDef* index =
+          db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
+      if (index == nullptr) continue;
+      if (op == BinaryOp::Eq) {
+        path = {};
+        path.kind = SelectPlan::AccessPath::Kind::IndexEqual;
+        path.index = index;
+        path.key_column = col->bound_col;
+        path.equal_rhs = other;
+        break;  // equality beats any other path
+      }
+      // Range bound: merge into an existing range path on the same column.
+      if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
+          path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
+        continue;
+      }
+      if (path.kind == SelectPlan::AccessPath::Kind::IndexRange &&
+          path.key_column != col->bound_col) {
+        continue;
+      }
+      path.kind = SelectPlan::AccessPath::Kind::IndexRange;
+      path.index = index;
+      path.key_column = col->bound_col;
+      if (op == BinaryOp::Gt || op == BinaryOp::Ge) {
+        path.lower_rhs = other;
+        path.lower_inclusive = op == BinaryOp::Ge;
+      } else {
+        path.upper_rhs = other;
+        path.upper_inclusive = op == BinaryOp::Le;
+      }
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// SlotIter — per-FROM-entry row producers inside the nested loop
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string indentOf(int depth) { return std::string(2 * depth, ' '); }
+
+/// Produces the candidate rows of one FROM entry for the current binding of
+/// the earlier tuple slots. produced() counts rows emitted since open().
+class SlotIter {
+ public:
+  virtual ~SlotIter() = default;
+  virtual void open() = 0;
+  virtual bool next(Row& out) = 0;
+  virtual void close() = 0;
+  virtual void describe(std::vector<std::string>& lines, int depth) const = 0;
+  std::size_t produced() const { return produced_; }
+
+ protected:
+  std::size_t produced_ = 0;
+};
+
+class SeqScanIter : public SlotIter {
+ public:
+  SeqScanIter(Database& db, const SelectPlan::AccessPath& path,
+              const SelectPlan::FromEntry& entry)
+      : db_(&db), path_(&path), entry_(&entry) {}
+
+  void open() override {
+    produced_ = 0;
+    cur_.emplace(db_->openCursor(entry_->def->name));
+  }
+  bool next(Row& out) override {
+    RecordId rid;
+    if (!cur_ || !cur_->next(rid, out)) return false;
+    ++produced_;
+    return true;
+  }
+  void close() override { cur_.reset(); }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + path_->describe(*entry_));
+  }
+
+ private:
+  Database* db_;
+  const SelectPlan::AccessPath* path_;
+  const SelectPlan::FromEntry* entry_;
+  std::optional<Database::TableCursor> cur_;
+};
+
+class IndexEqualIter : public SlotIter {
+ public:
+  IndexEqualIter(Database& db, const SelectPlan::AccessPath& path,
+                 const SelectPlan::FromEntry& entry, const Tuple& tuple)
+      : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
+
+  void open() override {
+    produced_ = 0;
+    cur_.reset();
+    const Value key = evaluate(*path_->equal_rhs, *tuple_);
+    if (!key.isNull()) {  // col = NULL matches nothing; may null-extend
+      cur_.emplace(db_->openIndexEqual(*path_->index, {key}));
+    }
+  }
+  bool next(Row& out) override {
+    RecordId rid;
+    if (!cur_ || !cur_->next(rid, out)) return false;
+    ++produced_;
+    return true;
+  }
+  void close() override { cur_.reset(); }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + path_->describe(*entry_));
+  }
+
+ private:
+  Database* db_;
+  const SelectPlan::AccessPath* path_;
+  const SelectPlan::FromEntry* entry_;
+  const Tuple* tuple_;
+  std::optional<Database::IndexCursor> cur_;
+};
+
+/// Sorted multi-point probe: one B+-tree descent per distinct key, in key
+/// order, instead of a heap scan with per-row membership.
+class IndexInListIter : public SlotIter {
+ public:
+  IndexInListIter(Database& db, const SelectPlan::AccessPath& path,
+                  const SelectPlan::FromEntry& entry, const Tuple& tuple)
+      : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
+
+  void open() override {
+    produced_ = 0;
+    cur_.reset();
+    next_key_ = 0;
+    keys_.clear();
+    keys_.reserve(path_->in_list->list.size());
+    for (const ExprPtr& item : path_->in_list->list) {
+      Value v = evaluate(*item, *tuple_);
+      if (!v.isNull()) keys_.push_back(std::move(v));
+    }
+    std::sort(keys_.begin(), keys_.end(),
+              [](const Value& a, const Value& b) { return a.compare(b) < 0; });
+    keys_.erase(std::unique(keys_.begin(), keys_.end(),
+                            [](const Value& a, const Value& b) {
+                              return a.compare(b) == 0;
+                            }),
+                keys_.end());
+  }
+  bool next(Row& out) override {
+    RecordId rid;
+    for (;;) {
+      if (cur_ && cur_->next(rid, out)) {
+        ++produced_;
+        return true;
+      }
+      if (next_key_ >= keys_.size()) return false;
+      cur_.emplace(db_->openIndexEqual(*path_->index, {keys_[next_key_++]}));
+    }
+  }
+  void close() override {
+    cur_.reset();
+    keys_.clear();
+    next_key_ = 0;
+  }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + path_->describe(*entry_));
+  }
+
+ private:
+  Database* db_;
+  const SelectPlan::AccessPath* path_;
+  const SelectPlan::FromEntry* entry_;
+  const Tuple* tuple_;
+  std::vector<Value> keys_;
+  std::size_t next_key_ = 0;
+  std::optional<Database::IndexCursor> cur_;
+};
+
+class IndexRangeIter : public SlotIter {
+ public:
+  IndexRangeIter(Database& db, const SelectPlan::AccessPath& path,
+                 const SelectPlan::FromEntry& entry, const Tuple& tuple)
+      : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
+
+  void open() override {
+    produced_ = 0;
+    std::optional<Value> lower;
+    std::optional<Value> upper;
+    if (path_->lower_rhs) lower = evaluate(*path_->lower_rhs, *tuple_);
+    if (path_->upper_rhs) upper = evaluate(*path_->upper_rhs, *tuple_);
+    cur_.emplace(db_->openIndexRange(*path_->index, std::move(lower),
+                                     path_->lower_inclusive, std::move(upper),
+                                     path_->upper_inclusive));
+  }
+  bool next(Row& out) override {
+    RecordId rid;
+    if (!cur_ || !cur_->next(rid, out)) return false;
+    ++produced_;
+    return true;
+  }
+  void close() override { cur_.reset(); }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + path_->describe(*entry_));
+  }
+
+ private:
+  Database* db_;
+  const SelectPlan::AccessPath* path_;
+  const SelectPlan::FromEntry* entry_;
+  const Tuple* tuple_;
+  std::optional<Database::IndexCursor> cur_;
+};
+
+/// Applies a conjunct list to the child's rows. Binds the candidate row into
+/// its tuple slot while evaluating (the slot's final binding is re-set by the
+/// nested loop once the row is accepted).
+class FilterIter : public SlotIter {
+ public:
+  FilterIter(std::unique_ptr<SlotIter> child, std::vector<Expr*> conjuncts,
+             Tuple& tuple, std::size_t slot, bool is_on)
+      : child_(std::move(child)),
+        conjuncts_(std::move(conjuncts)),
+        tuple_(&tuple),
+        slot_(slot),
+        is_on_(is_on) {}
+
+  void open() override {
+    produced_ = 0;
+    child_->open();
+  }
+  bool next(Row& out) override {
+    while (child_->next(out)) {
+      (*tuple_)[slot_] = &out;
+      bool pass = true;
+      for (const Expr* e : conjuncts_) {
+        if (!truthy(evaluate(*e, *tuple_))) {
+          pass = false;
+          break;
+        }
+      }
+      (*tuple_)[slot_] = nullptr;
+      if (pass) {
+        ++produced_;
+        return true;
+      }
+    }
+    return false;
+  }
+  void close() override { child_->close(); }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + (is_on_ ? "FILTER ON (" : "FILTER (") +
+                    std::to_string(conjuncts_.size()) + " conjunct" +
+                    (conjuncts_.size() == 1 ? "" : "s") + ")");
+    child_->describe(lines, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<SlotIter> child_;
+  std::vector<Expr*> conjuncts_;
+  Tuple* tuple_;
+  std::size_t slot_;
+  bool is_on_;
+};
+
+// ---------------------------------------------------------------------------
+// NestedLoop — iterative join over the per-table SlotIter chains
+// ---------------------------------------------------------------------------
+
+/// Pull-based nested-loop join. LEFT JOIN follows standard semantics: a row
+/// "matches" when it passes the table's ON conjuncts; if nothing matches,
+/// one null-extended tuple is produced and only non-ON (WHERE) conjuncts
+/// apply to it.
+class NestedLoop {
+ public:
+  NestedLoop(Database& db, SelectPlan& plan)
+      : plan_(&plan), tuple_(plan.from.size(), nullptr) {
+    const SelectStmt& sel = *plan.sel;
+    for (std::size_t t = 0; t < plan.from.size(); ++t) {
+      Level lv;
+      const SelectPlan::AccessPath& path = plan.paths[t];
+      std::unique_ptr<SlotIter> it;
+      switch (path.kind) {
+        case SelectPlan::AccessPath::Kind::Scan:
+          it = std::make_unique<SeqScanIter>(db, path, plan.from[t]);
+          break;
+        case SelectPlan::AccessPath::Kind::IndexEqual:
+          it = std::make_unique<IndexEqualIter>(db, path, plan.from[t], tuple_);
+          break;
+        case SelectPlan::AccessPath::Kind::IndexInList:
+          it = std::make_unique<IndexInListIter>(db, path, plan.from[t], tuple_);
+          break;
+        case SelectPlan::AccessPath::Kind::IndexRange:
+          it = std::make_unique<IndexRangeIter>(db, path, plan.from[t], tuple_);
+          break;
+      }
+      SlotIter* matched = it.get();
+      // Route the conjuncts due at this level: ON conjuncts decide LEFT JOIN
+      // matching; the rest filter accepted rows. A conjunct consumed by an
+      // IN-list probe already holds by construction and is skipped — except
+      // on null-extended rows, which must still fail `col IN (...)`.
+      std::vector<Expr*> on_list;
+      std::vector<Expr*> where_list;
+      for (const SelectPlan::PlannedConjunct& pc : plan.conjuncts) {
+        const bool due = pc.max_table == static_cast<int>(t) ||
+                         (t == 0 && pc.max_table <= 0);
+        if (!due) continue;
+        if (pc.on_table == static_cast<int>(t)) {
+          if (pc.expr != path.in_list) on_list.push_back(pc.expr);
+        } else {
+          lv.null_conjuncts.push_back(pc.expr);
+          if (pc.expr != path.in_list) where_list.push_back(pc.expr);
+        }
+      }
+      if (!on_list.empty()) {
+        it = std::make_unique<FilterIter>(std::move(it), std::move(on_list),
+                                          tuple_, t, /*is_on=*/true);
+        matched = it.get();
+      }
+      if (!where_list.empty()) {
+        it = std::make_unique<FilterIter>(std::move(it), std::move(where_list),
+                                          tuple_, t, /*is_on=*/false);
+      }
+      lv.top = std::move(it);
+      lv.matched_stage = matched;
+      lv.null_row = Row(plan.from[t].def->columns.size());  // all NULL
+      lv.left_join = sel.from[t].left_join;
+      levels_.push_back(std::move(lv));
+    }
+  }
+
+  void open() {
+    started_ = false;
+    done_ = false;
+    std::fill(tuple_.begin(), tuple_.end(), nullptr);
+  }
+
+  bool next() {
+    if (done_ || levels_.empty()) return false;
+    const int last = static_cast<int>(levels_.size()) - 1;
+    int t;
+    if (!started_) {
+      started_ = true;
+      openLevel(0);
+      t = 0;
+    } else {
+      t = last;  // resume below the tuple we just emitted
+    }
+    while (t >= 0) {
+      Level& lv = levels_[static_cast<std::size_t>(t)];
+      if (lv.null_pending) {
+        lv.null_pending = false;
+        tuple_[static_cast<std::size_t>(t)] = &lv.null_row;
+        if (!nullRowPasses(lv)) {
+          tuple_[static_cast<std::size_t>(t)] = nullptr;
+          t = ascend(t);
+          continue;
+        }
+      } else if (lv.top->next(lv.row)) {
+        tuple_[static_cast<std::size_t>(t)] = &lv.row;
+      } else {
+        if (lv.left_join && !lv.null_done && lv.matched_stage->produced() == 0) {
+          lv.null_pending = true;
+          lv.null_done = true;
+          continue;
+        }
+        t = ascend(t);
+        continue;
+      }
+      if (t == last) return true;
+      openLevel(static_cast<std::size_t>(t) + 1);
+      ++t;
+    }
+    done_ = true;
+    return false;
+  }
+
+  void close() {
+    for (Level& lv : levels_) lv.top->close();
+    std::fill(tuple_.begin(), tuple_.end(), nullptr);
+    done_ = true;
+  }
+
+  const Tuple& tuple() const { return tuple_; }
+
+  void describe(std::vector<std::string>& lines, int depth) const {
+    int child_depth = depth;
+    if (levels_.size() > 1) {
+      lines.push_back(indentOf(depth) + "NESTED LOOP JOIN (" +
+                      std::to_string(levels_.size()) + " tables)");
+      child_depth = depth + 1;
+    }
+    for (const Level& lv : levels_) lv.top->describe(lines, child_depth);
+  }
+
+ private:
+  struct Level {
+    std::unique_ptr<SlotIter> top;      // filter stages over the scan/probe
+    SlotIter* matched_stage = nullptr;  // produced() > 0 <=> ON-matched
+    Row row;
+    Row null_row;
+    bool left_join = false;
+    std::vector<Expr*> null_conjuncts;  // checked on the null-extended row
+    bool null_pending = false;
+    bool null_done = false;
+  };
+
+  void openLevel(std::size_t t) {
+    Level& lv = levels_[t];
+    lv.null_pending = false;
+    lv.null_done = false;
+    tuple_[t] = nullptr;
+    lv.top->open();
+  }
+
+  bool nullRowPasses(const Level& lv) const {
+    for (const Expr* e : lv.null_conjuncts) {
+      if (!truthy(evaluate(*e, tuple_))) return false;
+    }
+    return true;
+  }
+
+  int ascend(int t) {
+    levels_[static_cast<std::size_t>(t)].top->close();
+    tuple_[static_cast<std::size_t>(t)] = nullptr;
+    return t - 1;
+  }
+
+  SelectPlan* plan_;
+  Tuple tuple_;
+  std::vector<Level> levels_;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Row-level operators
+// ---------------------------------------------------------------------------
+
+/// SELECT without FROM: one row of constant expressions.
+class ConstRowOp : public RowOp {
+ public:
+  explicit ConstRowOp(SelectPlan& plan) : plan_(&plan) {}
+
+  void open() override { emitted_ = false; }
+  bool next(Row& row, std::vector<Value>& keys) override {
+    if (emitted_) return false;
+    emitted_ = true;
+    static const Tuple kEmpty;
+    row.clear();
+    row.reserve(plan_->outputs.size());
+    for (const SelectPlan::OutputCol& out : plan_->outputs) {
+      row.push_back(evaluate(*out.expr, kEmpty));
+    }
+    keys.clear();
+    return true;
+  }
+  void close() override {}
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + "CONST ROW");
+  }
+
+ private:
+  SelectPlan* plan_;
+  bool emitted_ = false;
+};
+
+/// Evaluates the output expressions (and ORDER BY keys) per joined tuple.
+class ProjectOp : public RowOp {
+ public:
+  ProjectOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan)
+      : src_(std::move(src)), plan_(&plan) {}
+
+  void open() override { src_->open(); }
+  bool next(Row& row, std::vector<Value>& keys) override {
+    if (!src_->next()) return false;
+    const Tuple& tuple = src_->tuple();
+    row.clear();
+    row.reserve(plan_->outputs.size());
+    for (const SelectPlan::OutputCol& out : plan_->outputs) {
+      row.push_back(evaluate(*out.expr, tuple));
+    }
+    const SelectStmt& sel = *plan_->sel;
+    keys.clear();
+    keys.reserve(sel.order_by.size());
+    for (const OrderItem& item : sel.order_by) {
+      keys.push_back(evaluate(*item.expr, tuple));
+    }
+    return true;
+  }
+  void close() override { src_->close(); }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    std::string cols;
+    for (const SelectPlan::OutputCol& out : plan_->outputs) {
+      if (!cols.empty()) cols += ", ";
+      cols += out.name;
+    }
+    lines.push_back(indentOf(depth) + "PROJECT " + cols);
+    src_->describe(lines, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<NestedLoop> src_;
+  SelectPlan* plan_;
+};
+
+/// Blocking aggregation: drains the join on the first next(), groups by the
+/// GROUP BY keys, then emits one row per HAVING-surviving group.
+class AggregateOp : public RowOp {
+ public:
+  AggregateOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan)
+      : src_(std::move(src)), plan_(&plan) {}
+
+  void open() override {
+    src_->open();
+    built_ = false;
+    out_.clear();
+    pos_ = 0;
+  }
+  bool next(Row& row, std::vector<Value>& keys) override {
+    if (!built_) build();
+    if (pos_ >= out_.size()) return false;
+    row = std::move(out_[pos_].first);
+    keys = std::move(out_[pos_].second);
+    ++pos_;
+    return true;
+  }
+  void close() override {
+    src_->close();
+    out_.clear();
+    pos_ = 0;
+  }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    const SelectStmt& sel = *plan_->sel;
+    std::string line = indentOf(depth) + "AGGREGATE (" +
+                       std::to_string(plan_->aggregates.size()) + " aggregate" +
+                       (plan_->aggregates.size() == 1 ? "" : "s") + ", " +
+                       std::to_string(sel.group_by.size()) + " group key" +
+                       (sel.group_by.size() == 1 ? "" : "s") + ")";
+    if (sel.having) line += " HAVING";
+    lines.push_back(std::move(line));
+    src_->describe(lines, depth + 1);
+  }
+
+ private:
+  void build() {
+    const SelectStmt& sel = *plan_->sel;
+    std::map<EncodedKey, Group> groups;
+    while (src_->next()) {
+      const Tuple& tuple = src_->tuple();
+      Row key_values;
+      EncodedKey key;
+      for (const ExprPtr& e : sel.group_by) {
+        Value v = evaluate(*e, tuple);
+        encodeValue(v, key);
+        key_values.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      Group& g = it->second;
+      if (inserted) {
+        g.key_values = std::move(key_values);
+        g.aggs.resize(plan_->aggregates.size());
+        g.first_rows.reserve(tuple.size());
+        for (const Row* row : tuple) g.first_rows.push_back(*row);
+      }
+      for (std::size_t a = 0; a < plan_->aggregates.size(); ++a) {
+        const Expr* agg = plan_->aggregates[a];
+        if (agg->lhs) {
+          g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
+        } else {
+          g.aggs[a].count++;  // COUNT(*)
+        }
+      }
+    }
+    src_->close();
+    for (const auto& [key, group] : groups) {
+      if (sel.having && !truthy(evaluateGrouped(*sel.having, group))) continue;
+      Row row;
+      row.reserve(plan_->outputs.size());
+      for (const SelectPlan::OutputCol& out : plan_->outputs) {
+        row.push_back(evaluateGrouped(*out.expr, group));
+      }
+      std::vector<Value> keys;
+      keys.reserve(sel.order_by.size());
+      for (const OrderItem& item : sel.order_by) {
+        keys.push_back(evaluateGrouped(*item.expr, group));
+      }
+      out_.emplace_back(std::move(row), std::move(keys));
+    }
+    // A fully-aggregated SELECT over zero input rows still yields one row.
+    if (groups.empty() && sel.group_by.empty()) {
+      Group empty;
+      empty.aggs.resize(plan_->aggregates.size());
+      // Bare column refs are undefined over an empty input; report NULLs.
+      Row row;
+      for (const SelectPlan::OutputCol& out : plan_->outputs) {
+        if (containsAggregate(out.expr) || out.expr->kind == Expr::Kind::Literal) {
+          row.push_back(evaluateGrouped(*out.expr, empty));
+        } else {
+          row.push_back(Value::null());
+        }
+      }
+      out_.emplace_back(std::move(row), std::vector<Value>{});
+    }
+    built_ = true;
+  }
+
+  std::unique_ptr<NestedLoop> src_;
+  SelectPlan* plan_;
+  bool built_ = false;
+  std::vector<std::pair<Row, std::vector<Value>>> out_;
+  std::size_t pos_ = 0;
+};
+
+/// Streaming duplicate elimination on the projected row values.
+class DistinctOp : public RowOp {
+ public:
+  explicit DistinctOp(std::unique_ptr<RowOp> child) : child_(std::move(child)) {}
+
+  void open() override {
+    child_->open();
+    seen_.clear();
+  }
+  bool next(Row& row, std::vector<Value>& keys) override {
+    while (child_->next(row, keys)) {
+      EncodedKey key;
+      for (const Value& v : row) encodeValue(v, key);
+      if (seen_.insert(std::move(key)).second) return true;
+    }
+    return false;
+  }
+  void close() override {
+    child_->close();
+    seen_.clear();
+  }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + "DISTINCT");
+    child_->describe(lines, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<RowOp> child_;
+  std::set<EncodedKey> seen_;
+};
+
+/// Blocking sort on the ORDER BY keys. With a pushed-down LIMIT the sort
+/// keeps a bounded top-K heap (K = offset + limit) instead of materializing
+/// and sorting every input row. An input sequence number is the final
+/// comparison key, so the output order is exactly what a stable sort of the
+/// full input would produce.
+class SortOp : public RowOp {
+ public:
+  SortOp(std::unique_ptr<RowOp> child, SelectPlan& plan,
+         std::optional<std::size_t> top_k)
+      : child_(std::move(child)), plan_(&plan), top_k_(top_k) {}
+
+  void open() override {
+    child_->open();
+    sorted_ = false;
+    rows_.clear();
+    pos_ = 0;
+  }
+  bool next(Row& row, std::vector<Value>& keys) override {
+    if (!sorted_) drain();
+    if (pos_ >= rows_.size()) return false;
+    row = std::move(rows_[pos_].row);
+    keys.clear();
+    ++pos_;
+    return true;
+  }
+  void close() override {
+    child_->close();
+    rows_.clear();
+    pos_ = 0;
+  }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    const std::size_t n = plan_->sel->order_by.size();
+    std::string line = indentOf(depth) + "SORT BY " + std::to_string(n) + " key" +
+                       (n == 1 ? "" : "s");
+    if (top_k_) line += " (TOP-K " + std::to_string(*top_k_) + ")";
+    lines.push_back(std::move(line));
+    child_->describe(lines, depth + 1);
+  }
+
+ private:
+  struct Keyed {
+    std::vector<Value> keys;
+    Row row;
+    std::uint64_t seq = 0;
+  };
+
+  bool before(const Keyed& a, const Keyed& b) const {
+    const auto& order = plan_->sel->order_by;
+    const std::size_t n =
+        std::min({order.size(), a.keys.size(), b.keys.size()});
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = a.keys[i].compare(b.keys[i]);
+      if (c != 0) return order[i].descending ? c > 0 : c < 0;
+    }
+    return a.seq < b.seq;  // stable: ties keep input order
+  }
+
+  void drain() {
+    auto cmp = [this](const Keyed& a, const Keyed& b) { return before(a, b); };
+    Row row;
+    std::vector<Value> keys;
+    std::uint64_t seq = 0;
+    while (child_->next(row, keys)) {
+      if (top_k_ && *top_k_ == 0) {
+        ++seq;
+        continue;  // LIMIT 0: consume input, keep nothing
+      }
+      rows_.push_back(Keyed{std::move(keys), std::move(row), seq++});
+      keys = {};
+      row = {};
+      if (top_k_) {
+        std::push_heap(rows_.begin(), rows_.end(), cmp);
+        if (rows_.size() > *top_k_) {
+          std::pop_heap(rows_.begin(), rows_.end(), cmp);
+          rows_.pop_back();
+        }
+      }
+    }
+    if (top_k_) {
+      std::sort_heap(rows_.begin(), rows_.end(), cmp);
+    } else {
+      std::sort(rows_.begin(), rows_.end(), cmp);
+    }
+    sorted_ = true;
+  }
+
+  std::unique_ptr<RowOp> child_;
+  SelectPlan* plan_;
+  std::optional<std::size_t> top_k_;
+  std::vector<Keyed> rows_;
+  std::size_t pos_ = 0;
+  bool sorted_ = false;
+};
+
+/// Streaming OFFSET/LIMIT; without an ORDER BY below it this stops pulling
+/// (and therefore scanning) as soon as the limit is reached.
+class LimitOp : public RowOp {
+ public:
+  LimitOp(std::unique_ptr<RowOp> child, std::optional<std::size_t> limit,
+          std::size_t offset)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+  void open() override {
+    child_->open();
+    skipped_ = 0;
+    emitted_ = 0;
+  }
+  bool next(Row& row, std::vector<Value>& keys) override {
+    if (limit_ && emitted_ >= *limit_) return false;
+    while (child_->next(row, keys)) {
+      if (skipped_ < offset_) {
+        ++skipped_;
+        continue;
+      }
+      ++emitted_;
+      return true;
+    }
+    return false;
+  }
+  void close() override { child_->close(); }
+  void describe(std::vector<std::string>& lines, int depth) const override {
+    std::string line = indentOf(depth);
+    if (limit_) {
+      line += "LIMIT " + std::to_string(*limit_);
+      if (offset_ > 0) line += " OFFSET " + std::to_string(offset_);
+    } else {
+      line += "OFFSET " + std::to_string(offset_);
+    }
+    lines.push_back(std::move(line));
+    child_->describe(lines, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<RowOp> child_;
+  std::optional<std::size_t> limit_;
+  std::size_t offset_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pipeline assembly and the materializing wrappers
+// ---------------------------------------------------------------------------
+
+Pipeline buildPipeline(Database& db, SelectPlan& plan) {
+  Pipeline p;
+  for (const SelectPlan::OutputCol& out : plan.outputs) p.columns.push_back(out.name);
+  if (plan.from.empty()) {
+    // SELECT without FROM: exactly one row; DISTINCT/ORDER BY/LIMIT do not
+    // apply (mirrors the historical early return).
+    p.root = std::make_unique<ConstRowOp>(plan);
+    return p;
+  }
+  SelectStmt& sel = *plan.sel;
+  auto loop = std::make_unique<NestedLoop>(db, plan);
+  std::unique_ptr<RowOp> op;
+  if (plan.grouped) {
+    op = std::make_unique<AggregateOp>(std::move(loop), plan);
+  } else {
+    op = std::make_unique<ProjectOp>(std::move(loop), plan);
+  }
+  if (sel.distinct) op = std::make_unique<DistinctOp>(std::move(op));
+  const std::size_t offset =
+      sel.offset ? static_cast<std::size_t>(*sel.offset) : 0;
+  if (!sel.order_by.empty()) {
+    std::optional<std::size_t> top_k;
+    if (sel.limit) top_k = offset + static_cast<std::size_t>(*sel.limit);
+    op = std::make_unique<SortOp>(std::move(op), plan, top_k);
+  }
+  if (sel.limit || sel.offset) {
+    std::optional<std::size_t> limit;
+    if (sel.limit) limit = static_cast<std::size_t>(*sel.limit);
+    op = std::make_unique<LimitOp>(std::move(op), limit, offset);
+  }
+  p.root = std::move(op);
+  return p;
+}
+
+std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan) {
+  const Pipeline p = buildPipeline(db, plan);
+  std::vector<std::string> lines;
+  p.root->describe(lines, 0);
+  return lines;
+}
+
+ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain) {
+  ResultSet rs;
+  if (explain) {
+    rs.columns = {"plan"};
+    for (std::string& line : explainPipeline(db, plan)) {
+      rs.rows.push_back({Value(std::move(line))});
+    }
+    return rs;
+  }
+  materializePlanSubqueries(db, plan);
+  Pipeline p = buildPipeline(db, plan);
+  rs.columns = std::move(p.columns);
+  p.root->open();
+  Row row;
+  std::vector<Value> keys;
+  while (p.root->next(row, keys)) rs.rows.push_back(std::move(row));
+  p.root->close();
+  return rs;
+}
+
+ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
+                     bool explain) {
+  // The binding pass annotates expressions in place; the annotations are
+  // rewritten by every plan build, so sharing the AST across plans is safe.
+  auto& sel = const_cast<SelectStmt&>(sel_const);
+  SelectPlan plan = buildSelectPlan(db, sel, use_indexes);
+  return execSelectPlan(db, plan, explain);
+}
+
+}  // namespace perftrack::minidb::sql

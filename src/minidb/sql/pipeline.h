@@ -1,0 +1,190 @@
+// minidb SQL execution pipeline (internal header).
+//
+// SELECT execution is a Volcano-style operator tree: each operator exposes
+// open()/next()/close() and pulls rows from its child, so the first output
+// row is produced without materializing the whole result. The tree is
+//
+//   Limit -> Sort -> Distinct -> (Project | Aggregate) -> NestedLoop
+//
+// with the NestedLoop driving one SlotIter chain per FROM entry
+// (SeqScan / IndexProbe wrapped by FilterOp stages). Sort uses a bounded
+// top-K heap when the plan carries LIMIT, so ORDER BY ... LIMIT n never
+// materializes more than offset+n rows. EXPLAIN renders this tree, one line
+// per operator, root first.
+//
+// This header is internal to minidb/sql: executor.cpp (statements, prepared
+// statements, cursors) builds on it; nothing above the SQL layer includes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+#include "minidb/sql/ast.h"
+
+namespace perftrack::minidb::sql {
+
+struct ResultSet;
+
+/// One joined tuple: a row pointer per FROM-list entry (null = not yet bound).
+using Tuple = std::vector<const Row*>;
+
+/// Evaluates an expression against a (possibly partially bound) tuple.
+Value evaluate(const Expr& e, const Tuple& tuple);
+
+/// SQL truthiness: NULL and zero are false, everything else true.
+bool truthy(const Value& v);
+
+/// Evaluates an expression with no row context (INSERT values).
+Value evalConst(const Expr& e);
+
+/// Copies `params` into every Param node of the statement.
+void bindParamValues(Statement& stmt, const std::vector<Value>& params);
+
+// ---------------------------------------------------------------------------
+// SelectPlan — the compiled form of one SELECT against one schema epoch.
+//
+// Owns nothing in the AST (Expr pointers reach into the Statement that was
+// planned); owns the column refs synthesized for '*' expansion. Catalog
+// pointers (TableDef/IndexDef) are valid only while `epoch` matches
+// Database::schemaEpoch(); PreparedStatement revalidates before every run.
+// ---------------------------------------------------------------------------
+
+struct SelectPlan {
+  struct FromEntry {
+    const TableDef* def = nullptr;
+    std::string alias;
+  };
+
+  struct OutputCol {
+    Expr* expr = nullptr;
+    std::string name;
+  };
+
+  struct PlannedConjunct {
+    Expr* expr = nullptr;
+    int max_table = -1;  // evaluate once all tables <= max_table are bound
+    int on_table = -1;   // index of the JOIN whose ON clause supplied it, or
+                         // -1 for WHERE conjuncts (LEFT JOIN semantics)
+  };
+
+  struct AccessPath {
+    enum class Kind { Scan, IndexEqual, IndexInList, IndexRange } kind = Kind::Scan;
+    const IndexDef* index = nullptr;
+    int key_column = -1;         // table-local ordinal of the indexed column
+    Expr* equal_rhs = nullptr;   // IndexEqual: bound expression for the key
+    Expr* in_list = nullptr;     // IndexInList: the consumed InList conjunct
+    Expr* lower_rhs = nullptr;   // IndexRange bounds
+    bool lower_inclusive = false;
+    Expr* upper_rhs = nullptr;
+    bool upper_inclusive = false;
+
+    std::string describe(const FromEntry& entry) const {
+      switch (kind) {
+        case Kind::Scan:
+          return "SCAN " + entry.def->name + " AS " + entry.alias;
+        case Kind::IndexEqual:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING INDEX " + index->name + " (" +
+                 entry.def->columns[key_column].name + "=?)";
+        case Kind::IndexInList:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING INDEX " + index->name + " (" +
+                 entry.def->columns[key_column].name + " IN multi-point probe, " +
+                 std::to_string(in_list->list.size()) + " keys)";
+        case Kind::IndexRange:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING INDEX " + index->name + " (" +
+                 entry.def->columns[key_column].name + " range)";
+      }
+      return "?";
+    }
+  };
+
+  SelectStmt* sel = nullptr;
+  std::uint64_t epoch = 0;
+  bool use_indexes = true;
+  std::vector<FromEntry> from;
+  std::vector<ExprPtr> star_exprs;  // owns column refs expanded from '*'
+  std::vector<OutputCol> outputs;
+  std::vector<PlannedConjunct> conjuncts;
+  std::vector<AccessPath> paths;
+  std::vector<Expr*> aggregates;
+  bool grouped = false;
+};
+
+/// Resolves column references against a FROM list; used by the SELECT
+/// planner and by the single-table UPDATE/DELETE paths.
+class Binder {
+ public:
+  explicit Binder(const std::vector<SelectPlan::FromEntry>& from) : from_(from) {}
+
+  /// Resolves column references; records the highest table index referenced.
+  /// Returns -1 for expressions with no column references.
+  int bind(Expr& e) const;
+
+ private:
+  void bindInner(Expr& e, int& max_table) const;
+  void resolve(Expr& e) const;
+
+  const std::vector<SelectPlan::FromEntry>& from_;
+};
+
+/// Runs every uncorrelated IN (SELECT ...) subquery below `e` and caches the
+/// first-column values for membership tests.
+void materializeSubqueries(Expr* e, Database& db, bool use_indexes);
+
+/// Resolves tables, binds expressions, splits conjuncts, and picks one
+/// access path per FROM entry. Annotates the AST in place (bound_table /
+/// bound_col / agg_slot); the produced plan is valid while the database's
+/// schema epoch matches plan.epoch.
+SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes);
+
+// ---------------------------------------------------------------------------
+// Operator tree
+// ---------------------------------------------------------------------------
+
+/// One pipeline operator. next() fills `row` (and, for operators below the
+/// Sort, the ORDER BY key values in `keys`) and returns false at end of
+/// stream. Operators tolerate next() after exhaustion and close() twice.
+class RowOp {
+ public:
+  virtual ~RowOp() = default;
+  virtual void open() = 0;
+  virtual bool next(Row& row, std::vector<Value>& keys) = 0;
+  virtual void close() = 0;
+  /// Appends this operator's EXPLAIN line(s), children indented below.
+  virtual void describe(std::vector<std::string>& lines, int depth) const = 0;
+};
+
+/// A built (but not yet opened) operator tree for one SelectPlan.
+struct Pipeline {
+  std::unique_ptr<RowOp> root;
+  std::vector<std::string> columns;
+};
+
+/// Builds the operator tree for `plan`. Does not touch storage until the
+/// root is open()ed, so it is safe to build for EXPLAIN only.
+Pipeline buildPipeline(Database& db, SelectPlan& plan);
+
+/// Runs the plan's uncorrelated IN (SELECT ...) subqueries (once per
+/// execution; their contents may have changed between runs).
+void materializePlanSubqueries(Database& db, SelectPlan& plan);
+
+/// EXPLAIN text: the operator tree, one line per operator, root first,
+/// children indented two spaces per level.
+std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan);
+
+/// Runs a previously built plan to completion (the thin materializing
+/// wrapper the exec() entry points use).
+ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain);
+
+/// Plans and runs one SELECT (annotates the AST in place; the annotations
+/// are rewritten by every plan build, so sharing the AST is safe).
+ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
+                     bool explain);
+
+}  // namespace perftrack::minidb::sql

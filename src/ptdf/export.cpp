@@ -59,18 +59,22 @@ void emitResults(core::PTDataStore& store, const std::string& exec_name, Writer&
   dbal::Connection& conn = store.connection();
   for (std::int64_t id : store.resultsForExecution(exec_name)) {
     const core::PerfResultRecord rec = store.getResult(id);
-    // Rebuild the sets with focus types straight from the schema.
-    const auto foci = conn.exec(
-        "SELECT focus_id FROM performance_result_has_focus WHERE result_id = " +
-        std::to_string(id));
+    // Rebuild the sets with focus types straight from the schema. The focus
+    // and member scans are two interleaved read-only cursors on the same
+    // connection; the statement cache hands the inner loop its own statement.
+    auto foci = conn.query(
+        "SELECT focus_id FROM performance_result_has_focus WHERE result_id = ?",
+        {minidb::Value(id)});
     std::vector<core::ResourceSetSpec> sets;
-    for (const auto& focus_row : foci.rows) {
+    minidb::Row focus_row;
+    while (foci.next(focus_row)) {
       const std::int64_t focus_id = focus_row[0].asInt();
-      const auto members = conn.exec(
-          "SELECT resource_id, focus_type FROM focus_has_resource WHERE focus_id = " +
-          std::to_string(focus_id));
+      auto members = conn.query(
+          "SELECT resource_id, focus_type FROM focus_has_resource WHERE focus_id = ?",
+          {minidb::Value(focus_id)});
       core::ResourceSetSpec spec;
-      for (const auto& member : members.rows) {
+      minidb::Row member;
+      while (members.next(member)) {
         spec.resource_names.push_back(
             store.resourceInfo(member[0].asInt()).full_name);
         spec.set_type = core::focusTypeFromName(member[1].asText());
@@ -110,26 +114,36 @@ ExportStats exportStore(core::PTDataStore& store, Writer& writer) {
 
   // Executions (and their applications) before resources so PerfResults can
   // always resolve.
-  const auto execs = conn.exec(
-      "SELECT e.name, a.name FROM execution e JOIN application a "
-      "ON e.application_id = a.id ORDER BY e.id");
-  for (const auto& row : execs.rows) {
-    writer.application(row[1].asText());
-    writer.execution(row[0].asText(), row[1].asText());
-    ++stats.executions;
+  {
+    auto execs = conn.query(
+        "SELECT e.name, a.name FROM execution e JOIN application a "
+        "ON e.application_id = a.id ORDER BY e.id");
+    minidb::Row row;
+    while (execs.next(row)) {
+      writer.application(row[1].asText());
+      writer.execution(row[0].asText(), row[1].asText());
+      ++stats.executions;
+    }
   }
 
   // Resources in id order: parents were created before children, so a
-  // straight replay always finds ancestors in place.
-  const auto resources = conn.exec(
-      "SELECT r.id FROM resource_item r ORDER BY r.id");
-  std::vector<core::ResourceInfo> infos;
-  infos.reserve(resources.rows.size());
-  for (const auto& row : resources.rows) {
-    infos.push_back(store.resourceInfo(row[0].asInt()));
+  // straight replay always finds ancestors in place. Two streaming passes
+  // over the resource table instead of one materialized list: the exporter's
+  // footprint stays flat in the store size (BENCH_cursor.json measures this).
+  {
+    auto resources = conn.query("SELECT r.id FROM resource_item r ORDER BY r.id");
+    minidb::Row row;
+    while (resources.next(row)) {
+      emitResource(store, writer, store.resourceInfo(row[0].asInt()), stats);
+    }
   }
-  for (const core::ResourceInfo& info : infos) emitResource(store, writer, info, stats);
-  for (const core::ResourceInfo& info : infos) emitConstraints(store, writer, info, stats);
+  {
+    auto resources = conn.query("SELECT r.id FROM resource_item r ORDER BY r.id");
+    minidb::Row row;
+    while (resources.next(row)) {
+      emitConstraints(store, writer, store.resourceInfo(row[0].asInt()), stats);
+    }
+  }
 
   for (const std::string& exec : store.executions()) {
     emitResults(store, exec, writer, stats);

@@ -11,6 +11,17 @@ namespace {
 
 using minidb::Value;
 
+// EXPLAIN now returns the operator tree, one row per operator; join the
+// lines so assertions can search the whole plan.
+std::string planText(const minidb::sql::ResultSet& rs) {
+  std::string text;
+  for (const auto& row : rs.rows) {
+    text += row[0].asText();
+    text += '\n';
+  }
+  return text;
+}
+
 class StatementCacheTest : public ::testing::Test {
  protected:
   StatementCacheTest() : conn_(Connection::open(":memory:")) {
@@ -71,8 +82,7 @@ TEST_F(StatementCacheTest, CreateIndexInvalidatesAndNewPlansUseIt) {
   // Correct rows after the index appears, and the replanned query uses it.
   EXPECT_EQ(conn_->exec("SELECT v FROM t WHERE k = 2").rows.size(), 2u);
   const auto plan = conn_->exec("EXPLAIN SELECT v FROM t WHERE k = 2");
-  ASSERT_EQ(plan.rows.size(), 1u);
-  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX t_by_k"), std::string::npos);
+  EXPECT_NE(planText(plan).find("USING INDEX t_by_k"), std::string::npos);
 }
 
 TEST_F(StatementCacheTest, DropInvalidates) {
@@ -89,18 +99,18 @@ TEST_F(StatementCacheTest, UseIndexesSwitchClearsCacheAndChangesPlans) {
   conn_->exec("CREATE INDEX t_by_k ON t (k)");
   const char* q = "EXPLAIN SELECT v FROM t WHERE k IN (1, 3)";
   auto plan = conn_->exec(q);
-  ASSERT_EQ(plan.rows.size(), 1u);
-  EXPECT_NE(plan.rows[0][0].asText().find("IN multi-point probe, 2 keys"),
+  EXPECT_NE(planText(plan).find("IN multi-point probe, 2 keys"),
             std::string::npos);
   conn_->setUseIndexes(false);
   EXPECT_EQ(conn_->statementCacheSize(), 0u);
   plan = conn_->exec(q);
-  EXPECT_EQ(plan.rows[0][0].asText(), "SCAN t AS t");
+  EXPECT_NE(planText(plan).find("SCAN t AS t"), std::string::npos);
+  EXPECT_EQ(planText(plan).find("USING INDEX"), std::string::npos);
   // Results stay identical either way.
   EXPECT_EQ(conn_->exec("SELECT v FROM t WHERE k IN (1, 3)").rows.size(), 2u);
   conn_->setUseIndexes(true);
   plan = conn_->exec(q);
-  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX"), std::string::npos);
+  EXPECT_NE(planText(plan).find("USING INDEX"), std::string::npos);
 }
 
 TEST_F(StatementCacheTest, LruEvictsLeastRecentlyUsed) {
@@ -187,8 +197,7 @@ TEST_F(StatementCacheTest, RollbackOfDdlRestoresPlansViaEpoch) {
   // The index is gone; the same cached SQL must heap-scan and stay correct.
   EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
   const auto plan = conn_->exec("EXPLAIN SELECT v FROM t WHERE k = 2");
-  ASSERT_EQ(plan.rows.size(), 1u);
-  EXPECT_EQ(plan.rows[0][0].asText().find("USING INDEX"), std::string::npos);
+  EXPECT_EQ(planText(plan).find("USING INDEX"), std::string::npos);
   EXPECT_TRUE(conn_->database().verifyIntegrity().empty());
 }
 
@@ -205,8 +214,7 @@ TEST_F(StatementCacheTest, RollbackOfDroppedIndexKeepsIndexPlansValid) {
 
   EXPECT_EQ(conn_->execPrepared(q, {Value(2)}).rows.size(), 2u);
   const auto plan = conn_->exec("EXPLAIN SELECT v FROM t WHERE k = 2");
-  ASSERT_EQ(plan.rows.size(), 1u);
-  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX t_by_k"), std::string::npos);
+  EXPECT_NE(planText(plan).find("USING INDEX t_by_k"), std::string::npos);
   EXPECT_TRUE(conn_->database().verifyIntegrity().empty());
 }
 

@@ -7,6 +7,17 @@
 namespace perftrack::minidb::sql {
 namespace {
 
+// EXPLAIN returns the operator tree, one row per operator; join the lines so
+// assertions can search the whole plan.
+std::string planText(const ResultSet& rs) {
+  std::string text;
+  for (const auto& row : rs.rows) {
+    text += row[0].asText();
+    text += '\n';
+  }
+  return text;
+}
+
 class ExecutorTest : public ::testing::Test {
  protected:
   ExecutorTest() : db_(Database::openMemory()), sql_(*db_) {
@@ -215,21 +226,22 @@ TEST_F(ExecutorTest, IndexedLookupMatchesScanResults) {
 TEST_F(ExecutorTest, ExplainShowsIndexChoice) {
   sql_.exec("CREATE INDEX runs_by_app ON runs (app)");
   const ResultSet plan = sql_.exec("EXPLAIN SELECT * FROM runs WHERE app = 'irs'");
-  ASSERT_EQ(plan.rows.size(), 1u);
-  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX runs_by_app"), std::string::npos);
+  const std::string text = planText(plan);
+  EXPECT_NE(text.find("USING INDEX runs_by_app"), std::string::npos) << text;
+  EXPECT_NE(text.find("PROJECT"), std::string::npos) << text;
   const ResultSet plan2 = sql_.exec("EXPLAIN SELECT * FROM runs WHERE seconds = 1.0");
-  EXPECT_NE(plan2.rows[0][0].asText().find("SCAN"), std::string::npos);
+  EXPECT_NE(planText(plan2).find("SCAN"), std::string::npos);
 }
 
 TEST_F(ExecutorTest, ExplainShowsRangeScan) {
   sql_.exec("CREATE INDEX runs_by_np ON runs (nprocs)");
   const ResultSet plan = sql_.exec("EXPLAIN SELECT * FROM runs WHERE nprocs > 8");
-  EXPECT_NE(plan.rows[0][0].asText().find("range"), std::string::npos);
+  EXPECT_NE(planText(plan).find("range"), std::string::npos);
 }
 
 TEST_F(ExecutorTest, PrimaryKeyLookupUsesIndex) {
   const ResultSet plan = sql_.exec("EXPLAIN SELECT * FROM runs WHERE id = 3");
-  EXPECT_NE(plan.rows[0][0].asText().find("USING INDEX runs__pk"), std::string::npos);
+  EXPECT_NE(planText(plan).find("USING INDEX runs__pk"), std::string::npos);
   const ResultSet rs = sql_.exec("SELECT app FROM runs WHERE id = 3");
   ASSERT_EQ(rs.rows.size(), 1u);
   EXPECT_EQ(rs.rows[0][0].asText(), "irs");
@@ -241,8 +253,57 @@ TEST_F(ExecutorTest, JoinUsesIndexOnInnerTable) {
   sql_.exec("INSERT INTO apps (name) VALUES ('irs'), ('smg')");
   const ResultSet plan =
       sql_.exec("EXPLAIN SELECT * FROM runs r JOIN apps a ON a.name = r.app");
-  ASSERT_EQ(plan.rows.size(), 2u);
-  EXPECT_NE(plan.rows[1][0].asText().find("USING INDEX apps_by_name"), std::string::npos);
+  const std::string text = planText(plan);
+  EXPECT_NE(text.find("NESTED LOOP JOIN (2 tables)"), std::string::npos) << text;
+  EXPECT_NE(text.find("USING INDEX apps_by_name"), std::string::npos) << text;
+}
+
+TEST_F(ExecutorTest, ExplainShowsOperatorTree) {
+  // The full pipeline, root first, two spaces of indent per level.
+  const ResultSet plan = sql_.exec(
+      "EXPLAIN SELECT app, COUNT(*) FROM runs GROUP BY app "
+      "HAVING COUNT(*) > 1 ORDER BY app LIMIT 3");
+  ASSERT_EQ(plan.columns, std::vector<std::string>{"plan"});
+  ASSERT_EQ(plan.rows.size(), 4u);
+  EXPECT_EQ(plan.rows[0][0].asText(), "LIMIT 3");
+  EXPECT_EQ(plan.rows[1][0].asText(), "  SORT BY 1 key (TOP-K 3)");
+  EXPECT_EQ(plan.rows[2][0].asText(),
+            "    AGGREGATE (2 aggregates, 1 group key) HAVING");
+  EXPECT_EQ(plan.rows[3][0].asText(), "      SCAN runs AS runs");
+}
+
+TEST_F(ExecutorTest, OrderByLimitUsesTopKHeap) {
+  // Regression: ORDER BY ... LIMIT used to sort and materialize every row
+  // and then slice; the Sort operator must instead keep a bounded heap of
+  // offset+limit rows. Observable via the TOP-K marker in EXPLAIN.
+  const ResultSet plan =
+      sql_.exec("EXPLAIN SELECT id FROM runs ORDER BY seconds LIMIT 2 OFFSET 1");
+  EXPECT_NE(planText(plan).find("SORT BY 1 key (TOP-K 3)"), std::string::npos)
+      << planText(plan);
+  // No LIMIT -> no bound.
+  const ResultSet full = sql_.exec("EXPLAIN SELECT id FROM runs ORDER BY seconds");
+  EXPECT_EQ(planText(full).find("TOP-K"), std::string::npos);
+
+  // The heap path must agree with the sort-everything path, including ties
+  // (stable order) and DESC keys.
+  const ResultSet rs =
+      sql_.exec("SELECT id FROM runs ORDER BY seconds LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].asInt(), 2);  // 65.2 (40.1 skipped by OFFSET)
+  EXPECT_EQ(rs.rows[1][0].asInt(), 6);  // 110.0
+  const ResultSet desc =
+      sql_.exec("SELECT id FROM runs ORDER BY nprocs DESC, id LIMIT 3");
+  ASSERT_EQ(desc.rows.size(), 3u);
+  EXPECT_EQ(desc.rows[0][0].asInt(), 3);
+  EXPECT_EQ(desc.rows[1][0].asInt(), 6);
+  EXPECT_EQ(desc.rows[2][0].asInt(), 2);
+  // Ties on the sort key keep input order (stable), same as the full sort.
+  const ResultSet ties = sql_.exec("SELECT id FROM runs ORDER BY app LIMIT 2");
+  ASSERT_EQ(ties.rows.size(), 2u);
+  EXPECT_EQ(ties.rows[0][0].asInt(), 1);
+  EXPECT_EQ(ties.rows[1][0].asInt(), 2);
+  // LIMIT 0 keeps nothing but still executes cleanly.
+  EXPECT_EQ(sql_.exec("SELECT id FROM runs ORDER BY app LIMIT 0").rows.size(), 0u);
 }
 
 TEST_F(ExecutorTest, SelectWithoutFrom) {

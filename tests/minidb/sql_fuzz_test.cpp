@@ -1,13 +1,15 @@
-// Differential SQL fuzzing: the literal path vs the prepared path.
+// Differential SQL fuzzing: the literal path vs the prepared path vs the
+// streaming cursor path.
 //
-// Two twin in-memory databases receive the same seeded random statement
+// Three twin in-memory databases receive the same seeded random statement
 // stream. One executes every statement with inlined literals through
-// Engine::exec; the other executes the parameterized form ('?' placeholders)
-// through prepare()/bind/execute. The two paths share the parser but diverge
-// at parameter substitution, plan caching, and epoch revalidation — exactly
-// the machinery the statement cache and the prepared INSERT hot path lean
-// on. Any divergence (different rows, different rows_affected, an error on
-// one side only) is a bug in one of the paths.
+// Engine::exec; the second executes the parameterized form ('?'
+// placeholders) through prepare()/bind/execute; the third also prepares, but
+// drains every SELECT one row at a time through openCursor()/next(). The
+// paths share the parser but diverge at parameter substitution, plan caching,
+// epoch revalidation, and (for the cursor twin) the materializing wrapper vs
+// the raw operator pipeline. Any divergence (different rows, different
+// rows_affected, an error on one side only) is a bug in one of the paths.
 //
 // Statement mix: INSERT (with NULLs, negative ints, reals, text), UPDATE,
 // DELETE, point/range/IN SELECTs with ORDER BY, occasional CREATE/DROP
@@ -154,17 +156,37 @@ void expectSameResult(const ResultSet& a, const ResultSet& b, const std::string&
   }
 }
 
+/// The cursor twin's executor: prepares `sql`, then drains SELECTs row by
+/// row through the streaming cursor instead of the materializing execute().
+/// Non-SELECT statements run through the prepared path so all twins apply
+/// identical mutations.
+ResultSet runViaCursor(Engine& eng, const std::string& sql,
+                       const std::vector<Value>& params) {
+  PreparedStatement stmt = eng.prepare(sql);
+  if (stmt.kind() != Statement::Kind::Select) return stmt.execute(params);
+  stmt.bindAll(params);
+  Cursor cur = stmt.openCursor();
+  ResultSet rs;
+  rs.columns = cur.columns();
+  Row row;
+  while (cur.next(row)) rs.rows.push_back(row);
+  return rs;
+}
+
 class SqlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(SqlFuzz, LiteralAndPreparedPathsAgree) {
+TEST_P(SqlFuzz, LiteralPreparedAndCursorPathsAgree) {
   auto db_lit = Database::openMemory();
   auto db_par = Database::openMemory();
+  auto db_cur = Database::openMemory();
   Engine lit(*db_lit);
   Engine par(*db_par);
+  Engine cur(*db_cur);
   const char* ddl =
       "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT, r REAL)";
   lit.exec(ddl);
   par.exec(ddl);
+  cur.exec(ddl);
 
   FuzzGen gen(GetParam());
   int in_txn = 0;
@@ -174,20 +196,23 @@ TEST_P(SqlFuzz, LiteralAndPreparedPathsAgree) {
     if (in_txn == 0 && gen.rng().chance(0.15)) {
       db_lit->begin();
       db_par->begin();
+      db_cur->begin();
       in_txn = static_cast<int>(gen.rng().uniformInt(3, 10));
     } else if (in_txn > 0 && --in_txn == 0) {
       if (gen.rng().chance(0.33)) {
         db_lit->rollback();
         db_par->rollback();
+        db_cur->rollback();
       } else {
         db_lit->commit();
         db_par->commit();
+        db_cur->commit();
       }
     }
 
     const GenStmt g = gen.next();
-    std::optional<ResultSet> ra, rb;
-    std::string err_a, err_b;
+    std::optional<ResultSet> ra, rb, rc;
+    std::string err_a, err_b, err_c;
     try {
       ra = lit.exec(g.literal);
     } catch (const util::PTError& e) {
@@ -200,29 +225,52 @@ TEST_P(SqlFuzz, LiteralAndPreparedPathsAgree) {
     } catch (const util::PTError& e) {
       err_b = e.what();
     }
+    try {
+      rc = runViaCursor(cur, g.parameterized, g.params);
+    } catch (const util::PTError& e) {
+      err_c = e.what();
+    }
     ASSERT_EQ(ra.has_value(), rb.has_value())
         << "one path errored: literal=[" << err_a << "] prepared=[" << err_b
         << "] for: " << g.literal;
+    ASSERT_EQ(ra.has_value(), rc.has_value())
+        << "one path errored: literal=[" << err_a << "] cursor=[" << err_c
+        << "] for: " << g.literal;
     if (ra) {
       expectSameResult(*ra, *rb, g.literal);
+      SCOPED_TRACE("cursor path");
+      ASSERT_EQ(ra->columns, rc->columns);
+      ASSERT_EQ(ra->rows.size(), rc->rows.size()) << "for: " << g.literal;
+      for (std::size_t i = 0; i < ra->rows.size(); ++i) {
+        for (std::size_t j = 0; j < ra->rows[i].size(); ++j) {
+          EXPECT_EQ(ra->rows[i][j], rc->rows[i][j])
+              << "cursor row " << i << " col " << j << " diverged for: "
+              << g.literal;
+        }
+      }
     } else {
       EXPECT_EQ(err_a, err_b) << "error text diverged for: " << g.literal;
+      EXPECT_EQ(err_a, err_c) << "cursor error text diverged for: " << g.literal;
     }
 
     if (step % 40 == 39) {
       const char* all = "SELECT id, k, v, r FROM t ORDER BY id";
       expectSameResult(lit.exec(all), par.exec(all), all);
+      expectSameResult(lit.exec(all), runViaCursor(cur, all, {}), all);
       EXPECT_TRUE(db_lit->verifyIntegrity().empty());
       EXPECT_TRUE(db_par->verifyIntegrity().empty());
+      EXPECT_TRUE(db_cur->verifyIntegrity().empty());
     }
   }
   if (in_txn > 0) {
     db_lit->commit();
     db_par->commit();
+    db_cur->commit();
   }
   const char* all = "SELECT id, k, v, r FROM t ORDER BY id";
   const ResultSet fin = lit.exec(all);
   expectSameResult(fin, par.exec(all), all);
+  expectSameResult(fin, runViaCursor(cur, all, {}), all);
   EXPECT_GT(fin.rows.size(), 50u) << "workload degenerated; generator is off";
 }
 
