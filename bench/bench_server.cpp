@@ -1,0 +1,169 @@
+// ptserverd concurrency bench: what does the daemon cost, and does it scale?
+//
+// Spins up an in-process PtServer over an in-memory store preloaded with a
+// result table, then drives it with N concurrent clients (N = 1, 4, 8), each
+// running a loop of point SELECTs (one prepared roundtrip per request) for a
+// fixed wall-clock budget. Reports aggregate throughput and client-observed
+// p50/p99 request latency per client count, plus one streaming row for a
+// full-table scan (rows/s through FETCH batches). A flat p50 and rising
+// aggregate throughput as N grows is the shared-read-gate claim (DESIGN.md
+// §5.4) in numbers; p99 shows the queueing tail.
+//
+// PT_SERVER_JSON=<path>: also emit the cells as JSON (one object per row)
+// for scripts/bench_smoke.sh and before/after comparisons.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbal/connection.h"
+#include "minidb/database.h"
+#include "server/server.h"
+#include "util/timer.h"
+
+using namespace perftrack;
+
+namespace {
+
+constexpr std::int64_t kTableRows = 20000;
+constexpr auto kBudget = std::chrono::milliseconds(400);
+
+struct Cell {
+  std::string phase;
+  int clients = 0;
+  std::int64_t requests = 0;  // completed requests (or rows, for the scan)
+  double seconds = 0.0;
+  double throughput = 0.0;  // requests (rows) per second, all clients summed
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  const auto nth = static_cast<std::ptrdiff_t>(p * (samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + nth, samples.end());
+  return samples[nth];
+}
+
+/// N clients, each looping a prepared point SELECT until the budget expires.
+Cell runPointQueries(const std::string& url, int clients) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  util::Timer timer;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto conn = dbal::Connection::open(url);
+      // Deterministic per-client probe sequence; no shared RNG.
+      std::int64_t key = 1 + c * 37;
+      std::int64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        util::Timer rt;
+        conn->queryValue("SELECT value FROM result WHERE id = ?",
+                         {minidb::Value(key)});
+        latencies[c].push_back(1e6 * rt.elapsedSeconds());
+        key = 1 + (key * 31) % kTableRows;
+        ++done;
+      }
+      total.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(kBudget);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const double seconds = timer.elapsedSeconds();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  Cell cell;
+  cell.phase = "point_select";
+  cell.clients = clients;
+  cell.requests = total.load();
+  cell.seconds = seconds;
+  cell.throughput = static_cast<double>(cell.requests) / seconds;
+  cell.p50_us = percentile(all, 0.50);
+  cell.p99_us = percentile(all, 0.99);
+  return cell;
+}
+
+/// One client streaming the whole table through FETCH batches.
+Cell runScan(const std::string& url) {
+  auto conn = dbal::Connection::open(url);
+  util::Timer timer;
+  auto cur = conn->query("SELECT id, value FROM result");
+  minidb::Row row;
+  std::int64_t rows = 0;
+  while (cur.next(row)) ++rows;
+  Cell cell;
+  cell.phase = "full_scan";
+  cell.clients = 1;
+  cell.requests = rows;
+  cell.seconds = timer.elapsedSeconds();
+  cell.throughput = static_cast<double>(rows) / cell.seconds;
+  return cell;
+}
+
+void writeJson(const std::string& path, const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "  {\"phase\": \"" << c.phase << "\", \"clients\": " << c.clients
+        << ", \"requests\": " << c.requests << ", \"seconds\": " << c.seconds
+        << ", \"per_second\": " << c.throughput << ", \"p50_us\": " << c.p50_us
+        << ", \"p99_us\": " << c.p99_us << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  auto db = minidb::Database::openMemory();
+  server::ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.workers = 8;
+  server::PtServer srv(*db, config);
+  srv.start();
+  const std::string url =
+      "pt://127.0.0.1:" + std::to_string(srv.boundPort());
+
+  {
+    auto seed = dbal::Connection::open(url);
+    seed->exec(
+        "CREATE TABLE result (id INTEGER PRIMARY KEY, metric INTEGER, "
+        "value REAL)");
+    for (std::int64_t i = 0; i < kTableRows; ++i) {
+      seed->execPrepared("INSERT INTO result (metric, value) VALUES (?, ?)",
+                         {minidb::Value(i % 13), minidb::Value(i * 0.25)});
+    }
+  }
+
+  std::vector<Cell> cells;
+  std::printf("%-13s %8s %10s %10s %12s %10s %10s\n", "phase", "clients",
+              "requests", "seconds", "per_second", "p50_us", "p99_us");
+  for (const int clients : {1, 4, 8}) {
+    cells.push_back(runPointQueries(url, clients));
+  }
+  cells.push_back(runScan(url));
+  for (const Cell& c : cells) {
+    std::printf("%-13s %8d %10lld %10.3f %12.0f %10.1f %10.1f\n",
+                c.phase.c_str(), c.clients, static_cast<long long>(c.requests),
+                c.seconds, c.throughput, c.p50_us, c.p99_us);
+  }
+
+  if (const char* json = std::getenv("PT_SERVER_JSON")) {
+    writeJson(json, cells);
+    std::printf("wrote %s\n", json);
+  }
+
+  srv.stop();
+  return 0;
+}

@@ -10,6 +10,8 @@
 #                     off/on from bench_durability (rows/s, ms/commit)
 #   BENCH_cursor.json streamed vs materialized result drains from
 #                     bench_cursor (time-to-first-row, peak-RSS growth)
+#   BENCH_server.json ptserverd under N concurrent clients from bench_server
+#                     (requests/s and p50/p99 latency, plus a streamed scan)
 #
 # Wired into CTest under the "bench" label (ctest -L bench). Compare two
 # checkouts by diffing the JSON files the runs leave behind.
@@ -25,7 +27,7 @@ bench_dir="${1:-$repo_root/build/bench}"
 out_dir="${2:-$bench_dir}"
 mkdir -p "$out_dir"
 
-for bin in bench_fig3_querysession bench_table1_ingest bench_durability bench_cursor; do
+for bin in bench_fig3_querysession bench_table1_ingest bench_durability bench_cursor bench_server; do
   if [[ ! -x "$bench_dir/$bin" ]]; then
     echo "bench_smoke: $bench_dir/$bin not built" >&2
     exit 1
@@ -47,4 +49,7 @@ PT_DURABILITY_JSON="$out_dir/BENCH_durability.json" "$bench_dir/bench_durability
 echo "== bench_cursor =="
 PT_CURSOR_JSON="$out_dir/BENCH_cursor.json" "$bench_dir/bench_cursor"
 
-echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, and $out_dir/BENCH_cursor.json"
+echo "== bench_server =="
+PT_SERVER_JSON="$out_dir/BENCH_server.json" "$bench_dir/bench_server"
+
+echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, and $out_dir/BENCH_server.json"

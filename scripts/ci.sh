@@ -3,6 +3,9 @@
 #
 #   scripts/ci.sh            normal build + full ctest (tier-1 gate)
 #   scripts/ci.sh sanitize   ASan+UBSan build + full ctest
+#   scripts/ci.sh tsan       ThreadSanitizer build + the `server` label
+#                            (ptserverd concurrency: worker pool, DbGate,
+#                            remote dbal, stress + crash-restart tests)
 #   scripts/ci.sh bench      normal build + bench smoke (non-gating label)
 #
 # Each mode uses its own build directory so they can be run back to back.
@@ -27,6 +30,17 @@ case "$MODE" in
     # halt_on_error makes UBSan findings fail the suite instead of scrolling by.
     UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
       ctest --test-dir "$BUILD" --output-on-failure -LE bench
+    ;;
+  tsan)
+    # TSan is incompatible with ASan, so it gets its own tree; the server
+    # label selects everything multi-threaded (src/server tests and the
+    # daemon crash-restart script).
+    BUILD="$ROOT/build-tsan"
+    cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DPT_SANITIZE=thread
+    cmake --build "$BUILD" -j "$JOBS"
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      ctest --test-dir "$BUILD" --output-on-failure -L server
     ;;
   bench)
     # Smoke only: the benchmarks must run to completion; numbers are not gated.

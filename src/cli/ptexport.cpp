@@ -5,16 +5,28 @@
 // store-to-store sharing path: fine-grained exchange without shipping the
 // whole database file.
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <iostream>
+#include <string>
 
 #include "core/datastore.h"
 #include "dbal/connection.h"
 #include "ptdf/export.h"
 
 int main(int argc, char** argv) {
+  // "--connect host:port" exports from a running ptserverd ("pt://..." also
+  // works directly as <db>).
+  std::string connect_target;
+  if (argc >= 3 && std::strcmp(argv[1], "--connect") == 0) {
+    connect_target = std::string("pt://") + argv[2];
+    argv += 1;
+    argc -= 1;
+    argv[1] = const_cast<char*>(connect_target.c_str());
+  }
   if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: %s <db> [execution-name]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <db>|--connect <host:port> [execution-name]\n",
+                 argv[0]);
     return 2;
   }
   try {

@@ -150,9 +150,19 @@ int runSelect(core::PTDataStore& store, const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // "--connect host:port" is sugar for the "pt://host:port" connection
+  // string: the whole command surface below runs against a ptserverd.
+  std::string connect_target;
+  if (argc >= 3 && std::strcmp(argv[1], "--connect") == 0) {
+    connect_target = std::string("pt://") + argv[2];
+    argv += 1;
+    argc -= 1;
+    argv[1] = const_cast<char*>(connect_target.c_str());
+  }
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <db> report|executions|metrics|types|tree <type>|"
+                 "usage: %s <db>|--connect <host:port> "
+                 "report|executions|metrics|types|tree <type>|"
                  "sql <stmt>|select <family>...\n",
                  argv[0]);
     return 2;

@@ -1,0 +1,195 @@
+// ptserverd — the PerfTrack query server.
+//
+// Owns one minidb database and serves it to many concurrent clients over
+// the src/server wire protocol (see DESIGN.md §5.4). Clients connect with
+// dbal connection string "pt://host:port" or "pt://unix:/path" — every
+// ptquery/ptexport workflow runs unchanged against the daemon.
+//
+// Usage:
+//   ptserverd [flags] <database|:memory:>
+//     --listen <host:port>    TCP endpoint (default 127.0.0.1:7077; port 0
+//                             picks an ephemeral port, printed on stdout)
+//     --unix <path>           also listen on a Unix-domain socket
+//     --workers <n>           worker threads (default 4)
+//     --max-conn <n>          connection cap; excess gets a BUSY frame
+//     --idle-timeout <ms>     reap connections idle this long (0 disables)
+//     --lock-timeout <ms>     gate acquisition budget before BUSY
+//     --durability=full|none  storage journaling mode (default full)
+//     --no-remote-shutdown    ignore SHUTDOWN frames (signals still work)
+//
+// On startup the daemon prints "listening on <host>:<port>" (and the unix
+// path if any) to stdout and flushes, so harnesses can scrape the ephemeral
+// port. SIGTERM/SIGINT trigger a graceful drain: in-flight requests finish,
+// their responses are sent, open cursors release their locks, and the
+// store closes cleanly.
+//
+// PT_DEBUG_CRASH_AT=<n> (testing hook, used by scripts/server_kill_test.sh):
+// SIGKILL the daemon at the n-th disk write/sync/truncate, leaving a
+// genuinely crashed store for the restart-recovery test.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "minidb/vfs.h"
+#include "server/server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void onTerminate(int) {
+  const char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool parseHostPort(const std::string& spec, std::string& host, std::uint16_t& port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) return false;
+  host = spec.substr(0, colon);
+  const long value = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+  if (value < 0 || value > 65535) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--listen host:port] [--unix path] [--workers n]\n"
+               "       [--max-conn n] [--idle-timeout ms] [--lock-timeout ms]\n"
+               "       [--durability=full|none] [--no-remote-shutdown]\n"
+               "       <database|:memory:>\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perftrack;
+
+  // A client that disconnects mid-response must surface as EPIPE on the
+  // worker's send, never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server::ServerConfig config;
+  config.port = 7077;
+  minidb::OpenOptions options;
+  bool explicit_listen = false;
+
+  int arg = 1;
+  auto nextValue = [&](const char* flag) -> const char* {
+    if (arg + 1 >= argc) {
+      std::fprintf(stderr, "ptserverd: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++arg];
+  };
+  for (; arg < argc && std::string(argv[arg]).rfind("--", 0) == 0; ++arg) {
+    const std::string flag = argv[arg];
+    if (flag == "--listen") {
+      if (!parseHostPort(nextValue("--listen"), config.host, config.port)) {
+        std::fprintf(stderr, "ptserverd: bad --listen spec (want host:port)\n");
+        return 2;
+      }
+      explicit_listen = true;
+    } else if (flag == "--unix") {
+      config.unix_path = nextValue("--unix");
+      // --unix alone means unix-only, unless --listen was also given.
+      if (!explicit_listen) config.tcp = false;
+    } else if (flag == "--workers") {
+      config.workers = std::atoi(nextValue("--workers"));
+      if (config.workers < 1) config.workers = 1;
+    } else if (flag == "--max-conn") {
+      config.max_connections =
+          static_cast<std::size_t>(std::strtoul(nextValue("--max-conn"), nullptr, 10));
+    } else if (flag == "--idle-timeout") {
+      config.idle_timeout =
+          std::chrono::milliseconds(std::atol(nextValue("--idle-timeout")));
+    } else if (flag == "--lock-timeout") {
+      config.limits.lock_timeout =
+          std::chrono::milliseconds(std::atol(nextValue("--lock-timeout")));
+    } else if (flag == "--durability=full") {
+      options.durability = minidb::Durability::Full;
+    } else if (flag == "--durability=none") {
+      options.durability = minidb::Durability::None;
+    } else if (flag == "--no-remote-shutdown") {
+      config.limits.allow_shutdown = false;
+    } else {
+      std::fprintf(stderr, "ptserverd: unknown flag '%s'\n", flag.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (arg != argc - 1) return usage(argv[0]);
+  const std::string db_path = argv[arg];
+  // --listen was given explicitly alongside nothing else: keep TCP on even
+  // if a later --unix turned it off (flag order independence).
+  if (explicit_listen) config.tcp = true;
+
+  if (const char* crash_at = std::getenv("PT_DEBUG_CRASH_AT")) {
+    // Deterministic crash harness: die with SIGKILL at the n-th disk op.
+    static minidb::FaultInjectingVfs fault_vfs(minidb::PosixVfs::instance());
+    minidb::FaultPlan plan;
+    plan.fail_at_op = std::strtoull(crash_at, nullptr, 10);
+    plan.action = minidb::FaultAction::Kill;
+    fault_vfs.setPlan(plan);
+    options.vfs = &fault_vfs;
+  }
+
+  try {
+    auto db = db_path == ":memory:" ? minidb::Database::openMemory()
+                                    : minidb::Database::open(db_path, options);
+    const auto& recovery = db->recoveryStats();
+    if (recovery.recovered) {
+      std::fprintf(stderr,
+                   "ptserverd: recovered: rolled back %u page(s) from a hot "
+                   "journal (previous process crashed mid-commit)\n",
+                   recovery.pages_restored);
+    }
+
+    server::PtServer srv(*db, config);
+    srv.start();
+
+    if (config.tcp) {
+      std::printf("listening on %s:%u\n", config.host.c_str(), srv.boundPort());
+    }
+    if (!config.unix_path.empty()) {
+      std::printf("listening on unix:%s\n", config.unix_path.c_str());
+    }
+    std::fflush(stdout);
+
+    if (::pipe(g_signal_pipe) != 0) {
+      std::fprintf(stderr, "ptserverd: cannot create signal pipe\n");
+      return 1;
+    }
+    std::signal(SIGTERM, onTerminate);
+    std::signal(SIGINT, onTerminate);
+
+    // Signals must not call into the server (locks are not async-signal
+    // safe); the handler pokes a pipe and this relay does the real work.
+    std::thread relay([&srv] {
+      char byte = 0;
+      if (::read(g_signal_pipe[0], &byte, 1) > 0 && byte == 1) {
+        srv.requestStop();
+      }
+    });
+
+    srv.waitUntilStopped();  // drains on SIGTERM/SIGINT or a SHUTDOWN frame
+
+    // Unblock the relay if the stop came from a SHUTDOWN frame.
+    const char quit = 0;
+    (void)!::write(g_signal_pipe[1], &quit, 1);
+    relay.join();
+
+    std::printf("ptserverd: drained, closing store\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptserverd: %s\n", e.what());
+    return 1;
+  }
+}

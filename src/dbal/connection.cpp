@@ -1,5 +1,6 @@
 #include "dbal/connection.h"
 
+#include "dbal/remote.h"
 #include "util/error.h"
 
 namespace perftrack::dbal {
@@ -33,7 +34,31 @@ bool ddlKind(Statement::Kind kind) {
   }
 }
 
+/// Local cursor backend: minidb's pipeline cursor plus a shared reference
+/// to its prepared statement, so statement-cache eviction or DDL-triggered
+/// cache clears cannot free the plan mid-scan. While open, storage-layer
+/// DDL/VACUUM/DML throw.
+class LocalCursorImpl final : public Cursor::Impl {
+ public:
+  LocalCursorImpl(minidb::sql::Cursor inner,
+                  std::shared_ptr<minidb::sql::PreparedStatement> stmt)
+      : inner_(std::move(inner)), stmt_(std::move(stmt)) {}
+
+  const std::vector<std::string>& columns() const override {
+    return inner_.columns();
+  }
+  bool next(minidb::Row& row) override { return inner_.next(row); }
+  void close() override { inner_.close(); }
+  bool isOpen() const override { return inner_.isOpen(); }
+
+ private:
+  minidb::sql::Cursor inner_;
+  std::shared_ptr<minidb::sql::PreparedStatement> stmt_;  // keeps the plan alive
+};
+
 }  // namespace
+
+// --- Connection (shared surface) ---------------------------------------------
 
 std::unique_ptr<Connection> Connection::open(const std::string& path) {
   return open(path, minidb::OpenOptions{});
@@ -41,85 +66,20 @@ std::unique_ptr<Connection> Connection::open(const std::string& path) {
 
 std::unique_ptr<Connection> Connection::open(const std::string& path,
                                              const minidb::OpenOptions& options) {
-  auto db = path == ":memory:" ? minidb::Database::openMemory()
-                               : minidb::Database::open(path, options);
-  return std::unique_ptr<Connection>(new Connection(std::move(db)));
-}
-
-std::shared_ptr<minidb::sql::PreparedStatement> Connection::prepared(
-    std::string_view sql) {
-  const auto it = cache_map_.find(sql);
-  if (it != cache_map_.end()) {
-    if (!it->second->stmt->hasOpenCursor()) {
-      ++stats_.hits;
-      cache_.splice(cache_.begin(), cache_, it->second);
-      return it->second->stmt;
-    }
-    // An open cursor is stepping the cached statement; its parameter values
-    // live in the shared AST, so hand out a fresh uncached statement rather
-    // than corrupting the scan in progress.
-    ++stats_.misses;
-    return std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
+  if (path.rfind(kRemoteScheme, 0) == 0) {
+    return RemoteConnection::connect(path.substr(std::string_view(kRemoteScheme).size()));
   }
-  ++stats_.misses;
-  auto stmt = std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
-  if (cache_capacity_ == 0 || !cacheableKind(stmt->kind())) return stmt;
-  cache_.push_front(CacheEntry{std::string(sql), stmt});
-  cache_map_.emplace(std::string_view(cache_.front().sql), cache_.begin());
-  while (cache_.size() > cache_capacity_) {
-    cache_map_.erase(std::string_view(cache_.back().sql));
-    cache_.pop_back();
-    ++stats_.evictions;
-  }
-  return stmt;
+  return LocalConnection::open(path, options);
 }
 
-void Connection::dropEntries(std::uint64_t* counter) {
-  if (counter != nullptr) *counter += cache_.size();
-  cache_map_.clear();
-  cache_.clear();
+const StatementCacheStats& Connection::statementCacheStats() const {
+  static const StatementCacheStats kEmpty;
+  return kEmpty;
 }
 
-ResultSet Connection::exec(std::string_view sql) {
-  const auto stmt = prepared(sql);
-  if (stmt->paramCount() > 0) {
-    throw util::SqlError("statement has " + std::to_string(stmt->paramCount()) +
-                         " '?' parameter(s); use execPrepared()");
-  }
-  const bool ddl = ddlKind(stmt->kind());
-  ResultSet rs = stmt->execute();
-  // Drop cached statements after DDL: their plans reference dropped catalog
-  // objects. (Plans would also self-invalidate via the schema epoch; the
-  // explicit clear keeps the cache from pinning dead TableDefs. Statements
-  // pinned by an open cursor survive via their shared_ptr.)
-  if (ddl) dropEntries(&stats_.invalidations);
-  return rs;
-}
-
-ResultSet Connection::execPrepared(std::string_view sql,
-                                   std::vector<minidb::Value> params) {
-  const auto stmt = prepared(sql);
-  const bool ddl = ddlKind(stmt->kind());
-  ResultSet rs = stmt->execute(std::move(params));
-  if (ddl) dropEntries(&stats_.invalidations);
-  return rs;
-}
-
-Cursor Connection::query(std::string_view sql) {
-  auto stmt = prepared(sql);
-  if (stmt->paramCount() > 0) {
-    throw util::SqlError("statement has " + std::to_string(stmt->paramCount()) +
-                         " '?' parameter(s); use query(sql, params)");
-  }
-  minidb::sql::Cursor inner = stmt->openCursor();
-  return Cursor(std::move(inner), std::move(stmt));
-}
-
-Cursor Connection::query(std::string_view sql, std::vector<minidb::Value> params) {
-  auto stmt = prepared(sql);
-  stmt->bindAll(std::move(params));
-  minidb::sql::Cursor inner = stmt->openCursor();
-  return Cursor(std::move(inner), std::move(stmt));
+minidb::Database& Connection::database() {
+  throw util::SqlError(
+      "this connection has no local database (remote ptserverd session)");
 }
 
 minidb::Value Connection::queryValue(std::string_view sql) {
@@ -147,13 +107,99 @@ std::int64_t Connection::queryInt(std::string_view sql,
   return v.isInt() ? v.asInt() : default_value;
 }
 
-void Connection::setUseIndexes(bool enabled) {
+// --- LocalConnection ---------------------------------------------------------
+
+std::unique_ptr<LocalConnection> LocalConnection::open(
+    const std::string& path, const minidb::OpenOptions& options) {
+  auto db = path == ":memory:" ? minidb::Database::openMemory()
+                               : minidb::Database::open(path, options);
+  return std::unique_ptr<LocalConnection>(new LocalConnection(std::move(db)));
+}
+
+std::shared_ptr<minidb::sql::PreparedStatement> LocalConnection::prepared(
+    std::string_view sql) {
+  const auto it = cache_map_.find(sql);
+  if (it != cache_map_.end()) {
+    if (!it->second->stmt->hasOpenCursor()) {
+      ++stats_.hits;
+      cache_.splice(cache_.begin(), cache_, it->second);
+      return it->second->stmt;
+    }
+    // An open cursor is stepping the cached statement; its parameter values
+    // live in the shared AST, so hand out a fresh uncached statement rather
+    // than corrupting the scan in progress.
+    ++stats_.misses;
+    return std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
+  }
+  ++stats_.misses;
+  auto stmt = std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
+  if (cache_capacity_ == 0 || !cacheableKind(stmt->kind())) return stmt;
+  cache_.push_front(CacheEntry{std::string(sql), stmt});
+  cache_map_.emplace(std::string_view(cache_.front().sql), cache_.begin());
+  while (cache_.size() > cache_capacity_) {
+    cache_map_.erase(std::string_view(cache_.back().sql));
+    cache_.pop_back();
+    ++stats_.evictions;
+  }
+  return stmt;
+}
+
+void LocalConnection::dropEntries(std::uint64_t* counter) {
+  if (counter != nullptr) *counter += cache_.size();
+  cache_map_.clear();
+  cache_.clear();
+}
+
+ResultSet LocalConnection::exec(std::string_view sql) {
+  const auto stmt = prepared(sql);
+  if (stmt->paramCount() > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt->paramCount()) +
+                         " '?' parameter(s); use execPrepared()");
+  }
+  const bool ddl = ddlKind(stmt->kind());
+  ResultSet rs = stmt->execute();
+  // Drop cached statements after DDL: their plans reference dropped catalog
+  // objects. (Plans would also self-invalidate via the schema epoch; the
+  // explicit clear keeps the cache from pinning dead TableDefs. Statements
+  // pinned by an open cursor survive via their shared_ptr.)
+  if (ddl) dropEntries(&stats_.invalidations);
+  return rs;
+}
+
+ResultSet LocalConnection::execPrepared(std::string_view sql,
+                                        std::vector<minidb::Value> params) {
+  const auto stmt = prepared(sql);
+  const bool ddl = ddlKind(stmt->kind());
+  ResultSet rs = stmt->execute(std::move(params));
+  if (ddl) dropEntries(&stats_.invalidations);
+  return rs;
+}
+
+Cursor LocalConnection::query(std::string_view sql) {
+  auto stmt = prepared(sql);
+  if (stmt->paramCount() > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt->paramCount()) +
+                         " '?' parameter(s); use query(sql, params)");
+  }
+  minidb::sql::Cursor inner = stmt->openCursor();
+  return Cursor(std::make_unique<LocalCursorImpl>(std::move(inner), std::move(stmt)));
+}
+
+Cursor LocalConnection::query(std::string_view sql,
+                              std::vector<minidb::Value> params) {
+  auto stmt = prepared(sql);
+  stmt->bindAll(std::move(params));
+  minidb::sql::Cursor inner = stmt->openCursor();
+  return Cursor(std::make_unique<LocalCursorImpl>(std::move(inner), std::move(stmt)));
+}
+
+void LocalConnection::setUseIndexes(bool enabled) {
   if (enabled == engine_.useIndexes()) return;
   engine_.setUseIndexes(enabled);
   dropEntries(&stats_.invalidations);
 }
 
-void Connection::setStatementCacheCapacity(std::size_t capacity) {
+void LocalConnection::setStatementCacheCapacity(std::size_t capacity) {
   cache_capacity_ = capacity;
   while (cache_.size() > cache_capacity_) {
     cache_map_.erase(std::string_view(cache_.back().sql));
@@ -161,7 +207,5 @@ void Connection::setStatementCacheCapacity(std::size_t capacity) {
     ++stats_.evictions;
   }
 }
-
-void Connection::clearStatementCache() { dropEntries(nullptr); }
 
 }  // namespace perftrack::dbal

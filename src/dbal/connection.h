@@ -2,18 +2,21 @@
 //
 // The paper's prototype talks to Oracle or PostgreSQL through a thin Python
 // DBI layer; PerfTrack code never depends on a specific DBMS. This library
-// plays the same role in C++: a Connection facade over a SQL engine with two
-// interchangeable backends — file-backed ("postgres-like", durable) and
-// in-memory (scratch analysis sessions). All higher layers (core, ptdf,
-// tools) speak SQL through this interface only.
+// plays the same role in C++: a Connection facade over a SQL engine with
+// interchangeable backends — file-backed ("postgres-like", durable),
+// in-memory (scratch analysis sessions), and remote (a ptserverd daemon
+// reached over TCP or a Unix socket; see src/server and dbal/remote.h). All
+// higher layers (core, ptdf, tools) speak SQL through this interface only,
+// which is what lets every CLI workflow run unchanged against a shared
+// query server.
 //
-// Every statement routed through exec()/execPrepared() passes through a
-// bounded LRU cache of prepared statements keyed by SQL text, so repeated
-// statements (the rule in PerfTrack's load and query paths) skip the
-// lexer/parser/planner entirely. The cache is cleared on DDL and when the
-// index-ablation switch flips; cached plans additionally revalidate against
-// the storage layer's schema epoch, so invalidation bugs degrade to replans,
-// never to stale results.
+// For local backends, every statement routed through exec()/execPrepared()
+// passes through a bounded LRU cache of prepared statements keyed by SQL
+// text, so repeated statements (the rule in PerfTrack's load and query
+// paths) skip the lexer/parser/planner entirely. The cache is cleared on
+// DDL and when the index-ablation switch flips; cached plans additionally
+// revalidate against the storage layer's schema epoch, so invalidation bugs
+// degrade to replans, never to stale results.
 #pragma once
 
 #include <cstddef>
@@ -40,68 +43,81 @@ struct StatementCacheStats {
   std::uint64_t invalidations = 0;  // entries dropped by DDL / ablation flips
 };
 
-class Connection;
-
 /// A streaming SELECT cursor at the abstraction-layer level: rows are pulled
-/// one at a time from minidb's operator pipeline, so wide results never
-/// materialize. Holds a shared reference to its prepared statement, so
-/// statement-cache eviction or DDL-triggered cache clears cannot free the
-/// plan mid-scan. While open, storage-layer DDL/VACUUM/DML throw.
+/// one at a time, so wide results never materialize client-side. Local
+/// cursors step minidb's operator pipeline directly (and pin the storage
+/// layer against DDL/VACUUM/DML while open); remote cursors pull bounded row
+/// batches from a server-side cursor that holds the same guarantees.
 class Cursor {
  public:
+  /// Backend hook behind the cursor surface.
+  class Impl {
+   public:
+    virtual ~Impl() = default;
+    virtual const std::vector<std::string>& columns() const = 0;
+    virtual bool next(minidb::Row& row) = 0;
+    virtual void close() = 0;
+    virtual bool isOpen() const = 0;
+  };
+
+  explicit Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
   Cursor(Cursor&&) = default;
   Cursor& operator=(Cursor&&) = default;
 
-  const std::vector<std::string>& columns() const { return inner_.columns(); }
+  const std::vector<std::string>& columns() const { return impl_->columns(); }
 
   /// Produces the next row; returns false (and auto-closes) at end.
-  bool next(minidb::Row& row) { return inner_.next(row); }
+  bool next(minidb::Row& row) { return impl_->next(row); }
 
-  /// Releases the pipeline and the statement pin early; idempotent.
-  void close() { inner_.close(); }
+  /// Releases the pipeline/server cursor and the statement pin early;
+  /// idempotent.
+  void close() { impl_->close(); }
 
-  bool isOpen() const { return inner_.isOpen(); }
+  bool isOpen() const { return impl_ != nullptr && impl_->isOpen(); }
 
  private:
-  friend class Connection;
-  Cursor(minidb::sql::Cursor inner,
-         std::shared_ptr<minidb::sql::PreparedStatement> stmt)
-      : inner_(std::move(inner)), stmt_(std::move(stmt)) {}
-
-  minidb::sql::Cursor inner_;
-  std::shared_ptr<minidb::sql::PreparedStatement> stmt_;  // keeps the plan alive
+  std::unique_ptr<Impl> impl_;
 };
 
-/// One open database session.
+/// One open database session (local file, local memory, or remote server).
 class Connection {
  public:
-  /// Opens `path`, or a fresh in-memory store when path == ":memory:".
+  virtual ~Connection() = default;
+
+  /// Opens a session on `path`:
+  ///   ":memory:"            fresh in-memory store
+  ///   "pt://host:port"      remote ptserverd session over TCP
+  ///   "pt://unix:/sock"     remote ptserverd session over a Unix socket
+  ///   anything else         file-backed store (created when missing)
   /// File-backed stores default to full durability (rollback journal +
   /// fsync; see DESIGN.md §5.2).
   static std::unique_ptr<Connection> open(const std::string& path);
 
   /// Opens with explicit storage options (durability mode, VFS override);
-  /// ignored for ":memory:".
+  /// ignored for ":memory:" and remote targets.
   static std::unique_ptr<Connection> open(const std::string& path,
                                           const minidb::OpenOptions& options);
 
-  /// Executes one SQL statement (no '?' parameters) through the statement
-  /// cache. Executing parameterized SQL here throws; use execPrepared().
-  ResultSet exec(std::string_view sql);
+  /// Executes one SQL statement (no '?' parameters). Executing
+  /// parameterized SQL here throws; use execPrepared().
+  virtual ResultSet exec(std::string_view sql) = 0;
 
   /// Executes parameterized SQL: `params` bind the '?' placeholders in
-  /// order. The compiled statement is cached by SQL text, so call sites that
-  /// reuse one text with varying parameters pay for parsing/planning once.
-  ResultSet execPrepared(std::string_view sql, std::vector<minidb::Value> params);
+  /// order. Compiled statements are cached by SQL text (client-side for
+  /// local backends, server-side for remote ones), so call sites that reuse
+  /// one text with varying parameters pay for parsing/planning once.
+  virtual ResultSet execPrepared(std::string_view sql,
+                                 std::vector<minidb::Value> params) = 0;
 
   /// Opens a streaming cursor over a SELECT (or EXPLAIN). Goes through the
   /// statement cache like exec(); if the cached statement is already being
   /// stepped by another cursor, a fresh uncached statement is compiled so
-  /// interleaved cursors on one connection never share bindings.
-  Cursor query(std::string_view sql);
-  Cursor query(std::string_view sql, std::vector<minidb::Value> params);
+  /// interleaved cursors on one connection never share bindings. The same
+  /// fallback applies to exec()/execPrepared() on a busy statement.
+  virtual Cursor query(std::string_view sql) = 0;
+  virtual Cursor query(std::string_view sql, std::vector<minidb::Value> params) = 0;
 
-  /// Scalar helpers for the common lookup patterns.
+  // --- scalar helpers for the common lookup patterns -----------------------
   /// Returns the first column of the first row, or NULL when empty.
   minidb::Value queryValue(std::string_view sql);
   minidb::Value queryValue(std::string_view sql, std::vector<minidb::Value> params);
@@ -109,34 +125,76 @@ class Connection {
   std::int64_t queryInt(std::string_view sql, std::vector<minidb::Value> params,
                         std::int64_t default_value = 0);
 
-  void begin() { db_->begin(); }
-  void commit() { db_->commit(); }
-  void rollback() { db_->rollback(); }
-  bool inTransaction() const { return db_->inTransaction(); }
+  // --- transactions ---------------------------------------------------------
+  /// Remote sessions are autocommit-only (the server wraps each mutating
+  /// statement in its own journal-protected commit); begin() there throws.
+  virtual void begin() = 0;
+  virtual void commit() = 0;
+  virtual void rollback() = 0;
+  virtual bool inTransaction() const = 0;
 
   /// Logical store size in bytes (Table 1's "DB size increase" numbers).
-  std::uint64_t sizeBytes() const { return db_->sizeBytes(); }
+  /// For remote sessions this is one STAT round trip.
+  virtual std::uint64_t sizeBytes() const = 0;
 
-  /// Hot-journal recovery outcome of open (all-false for clean opens and
-  /// in-memory stores). Tools report this so an operator knows a crashed
-  /// load was rolled back.
-  const minidb::RecoveryStats& recoveryStats() const { return db_->recoveryStats(); }
+  /// Hot-journal recovery outcome of open (all-false for clean opens,
+  /// in-memory stores, and remote sessions — the server recovers its own
+  /// store when it starts).
+  virtual const minidb::RecoveryStats& recoveryStats() const = 0;
 
   /// Ablation switch: disable index-assisted plans (see DESIGN.md §5).
-  /// Flipping the switch drops all cached statements.
-  void setUseIndexes(bool enabled);
+  /// Flipping the switch drops all cached statements. Session-scoped for
+  /// remote connections.
+  virtual void setUseIndexes(bool enabled) = 0;
 
   // --- statement-cache introspection ----------------------------------------
-  std::size_t statementCacheSize() const { return cache_.size(); }
-  const StatementCacheStats& statementCacheStats() const { return stats_; }
+  // Local backends report the real LRU numbers; the remote backend keeps no
+  // client-side plan cache, so the base defaults (zeros, no-ops) apply.
+  virtual std::size_t statementCacheSize() const { return 0; }
+  virtual const StatementCacheStats& statementCacheStats() const;
   /// Sets the LRU bound (0 disables caching) and evicts down to it.
-  void setStatementCacheCapacity(std::size_t capacity);
-  void clearStatementCache();
+  virtual void setStatementCacheCapacity(std::size_t capacity) { (void)capacity; }
+  virtual void clearStatementCache() {}
 
-  minidb::Database& database() { return *db_; }
+  /// Direct storage access (integrity checks, tests). Only local
+  /// connections have one; remote connections throw SqlError.
+  virtual minidb::Database& database();
+};
+
+/// The in-process backends: a minidb store opened in this process (file or
+/// memory), fronted by the LRU statement cache described above.
+class LocalConnection final : public Connection {
+ public:
+  static std::unique_ptr<LocalConnection> open(const std::string& path,
+                                               const minidb::OpenOptions& options);
+
+  ResultSet exec(std::string_view sql) override;
+  ResultSet execPrepared(std::string_view sql,
+                         std::vector<minidb::Value> params) override;
+  Cursor query(std::string_view sql) override;
+  Cursor query(std::string_view sql, std::vector<minidb::Value> params) override;
+
+  void begin() override { db_->begin(); }
+  void commit() override { db_->commit(); }
+  void rollback() override { db_->rollback(); }
+  bool inTransaction() const override { return db_->inTransaction(); }
+
+  std::uint64_t sizeBytes() const override { return db_->sizeBytes(); }
+  const minidb::RecoveryStats& recoveryStats() const override {
+    return db_->recoveryStats();
+  }
+
+  void setUseIndexes(bool enabled) override;
+
+  std::size_t statementCacheSize() const override { return cache_.size(); }
+  const StatementCacheStats& statementCacheStats() const override { return stats_; }
+  void setStatementCacheCapacity(std::size_t capacity) override;
+  void clearStatementCache() override { dropEntries(nullptr); }
+
+  minidb::Database& database() override { return *db_; }
 
  private:
-  explicit Connection(std::unique_ptr<minidb::Database> db)
+  explicit LocalConnection(std::unique_ptr<minidb::Database> db)
       : db_(std::move(db)), engine_(*db_) {}
 
   struct CacheEntry {
@@ -147,8 +205,8 @@ class Connection {
   /// Returns the cached statement for `sql`, compiling and (when the
   /// statement kind is cacheable) inserting it on miss. When the cached
   /// statement is busy (an open cursor is stepping it), compiles a fresh
-  /// uncached statement instead. The shared_ptr keeps the statement alive
-  /// across eviction and DDL cache clears.
+  /// uncached statement instead — this covers query() AND exec()/
+  /// execPrepared(), so a statement mid-scan is never re-entered.
   std::shared_ptr<minidb::sql::PreparedStatement> prepared(std::string_view sql);
   void dropEntries(std::uint64_t* counter);
 

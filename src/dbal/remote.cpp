@@ -1,0 +1,406 @@
+#include "dbal/remote.h"
+
+#include <deque>
+#include <utility>
+
+#include "server/net.h"
+#include "server/protocol.h"
+#include "util/error.h"
+
+namespace perftrack::dbal {
+
+namespace {
+
+using server::ErrCode;
+using server::Frame;
+using server::NetError;
+using server::Op;
+using server::WireReader;
+using server::WireWriter;
+
+/// Maps an ERROR frame back onto the exception the local backend would
+/// have thrown for the same mistake.
+[[noreturn]] void throwServerError(const Frame& frame) {
+  const auto [code, message] = server::readError(frame);
+  switch (code) {
+    case ErrCode::Sql:
+    case ErrCode::BadState:
+      throw util::SqlError(message);
+    case ErrCode::Storage:
+      throw util::StorageError(message);
+    case ErrCode::Busy:
+      throw ServerBusyError(message);
+    case ErrCode::Shutdown:
+      throw NetError("server is shutting down: " + message);
+    default:
+      throw NetError("server error (" + std::string(server::errCodeName(code)) +
+                     "): " + message);
+  }
+}
+
+}  // namespace
+
+// --- Wire --------------------------------------------------------------------
+
+/// The socket plus its in-flight discipline. Shared (shared_ptr) between
+/// the connection and any open cursors, so a cursor outliving its
+/// connection degrades to a clean NetError instead of a dangling pointer.
+struct RemoteConnection::Wire {
+  server::Socket sock;
+  bool alive = false;
+
+  /// One request, one response. An ERROR response is returned (not thrown)
+  /// so call sites choose the mapping; transport failures mark the wire
+  /// dead — the request/response framing cannot be trusted afterwards.
+  Frame roundtrip(const Frame& request) {
+    if (!alive) throw NetError("connection to ptserverd is closed");
+    try {
+      sock.sendFrame(request);
+      std::optional<Frame> response = sock.recvFrame();
+      if (!response.has_value()) {
+        throw NetError("ptserverd closed the connection");
+      }
+      return std::move(*response);
+    } catch (const NetError&) {
+      alive = false;
+      sock.close();
+      throw;
+    }
+  }
+
+  /// roundtrip + require a specific response opcode.
+  Frame expect(const Frame& request, Op want) {
+    Frame response = roundtrip(request);
+    if (response.op == Op::Error) throwServerError(response);
+    if (response.op != want) {
+      throw NetError(std::string("protocol mismatch: expected ") +
+                     std::string(server::opName(want)) + ", got " +
+                     std::string(server::opName(response.op)));
+    }
+    return response;
+  }
+};
+
+// --- StmtHandle --------------------------------------------------------------
+
+struct RemoteConnection::StmtHandle {
+  std::shared_ptr<Wire> wire;
+  std::uint32_t id = 0;
+  int param_count = 0;
+  minidb::sql::Statement::Kind kind = minidb::sql::Statement::Kind::Select;
+  bool cursor_open = false;  // a RemoteCursorImpl is streaming this handle
+  bool cached = false;       // temporaries are closed when their use ends
+
+  /// Best-effort server-side release; the wire may already be gone.
+  void closeRemote() {
+    if (wire == nullptr || !wire->alive) return;
+    WireWriter w;
+    w.u32(id);
+    try {
+      wire->roundtrip(server::makeFrame(Op::CloseStmt, std::move(w)));
+    } catch (const NetError&) {
+    }
+  }
+};
+
+// --- RemoteCursorImpl --------------------------------------------------------
+
+/// Streams a server-side cursor in bounded batches. The handle's busy flag
+/// stays set while the server-side cursor is open, which is what triggers
+/// the temporary-statement fallback for interleaved exec()/query() calls.
+class RemoteCursorImpl final : public Cursor::Impl {
+ public:
+  RemoteCursorImpl(std::shared_ptr<RemoteConnection::Wire> wire,
+                   std::shared_ptr<RemoteConnection::StmtHandle> stmt,
+                   std::uint32_t cursor_id, std::vector<std::string> columns)
+      : wire_(std::move(wire)),
+        stmt_(std::move(stmt)),
+        cursor_id_(cursor_id),
+        columns_(std::move(columns)) {}
+
+  ~RemoteCursorImpl() override {
+    try {
+      close();
+    } catch (...) {
+    }
+  }
+
+  const std::vector<std::string>& columns() const override { return columns_; }
+
+  bool next(minidb::Row& row) override {
+    if (buffer_.empty() && !server_done_ && open_) fetchBatch();
+    if (buffer_.empty()) {
+      close();
+      return false;
+    }
+    row = std::move(buffer_.front());
+    buffer_.pop_front();
+    return true;
+  }
+
+  void close() override {
+    if (!open_) return;
+    open_ = false;
+    buffer_.clear();
+    releaseStmt();
+    if (!server_done_ && wire_->alive) {
+      WireWriter w;
+      w.u32(cursor_id_);
+      try {
+        wire_->roundtrip(server::makeFrame(Op::CloseCursor, std::move(w)));
+      } catch (const NetError&) {
+      }
+    }
+  }
+
+  bool isOpen() const override { return open_; }
+
+ private:
+  void fetchBatch() {
+    WireWriter w;
+    w.u32(cursor_id_);
+    w.u32(0);  // 0 = server default batch size
+    Frame response = wire_->expect(server::makeFrame(Op::Fetch, std::move(w)),
+                                   Op::Rows);
+    WireReader r(response.payload);
+    server_done_ = r.u8() != 0;
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) buffer_.push_back(r.row());
+    // The server closed its cursor at exhaustion, so the statement is
+    // reusable even while we drain the tail of the buffer.
+    if (server_done_) releaseStmt();
+  }
+
+  void releaseStmt() {
+    if (stmt_ == nullptr) return;
+    stmt_->cursor_open = false;
+    if (!stmt_->cached) stmt_->closeRemote();
+    stmt_.reset();
+  }
+
+  std::shared_ptr<RemoteConnection::Wire> wire_;
+  std::shared_ptr<RemoteConnection::StmtHandle> stmt_;
+  std::uint32_t cursor_id_;
+  std::vector<std::string> columns_;
+  std::deque<minidb::Row> buffer_;
+  bool server_done_ = false;  // server-side cursor exhausted and gone
+  bool open_ = true;
+};
+
+// --- RemoteConnection --------------------------------------------------------
+
+std::unique_ptr<RemoteConnection> RemoteConnection::connect(
+    const std::string& target) {
+  auto wire = std::make_shared<Wire>();
+  wire->sock = server::connectTo(target);
+  wire->alive = true;
+
+  WireWriter hello;
+  hello.u32(server::kProtocolVersion);
+  Frame response =
+      wire->expect(server::makeFrame(Op::Hello, std::move(hello)), Op::HelloOk);
+  WireReader r(response.payload);
+  const std::uint32_t version = r.u32();
+  if (version != server::kProtocolVersion) {
+    throw NetError("server speaks protocol version " + std::to_string(version) +
+                   "; this client needs " +
+                   std::to_string(server::kProtocolVersion));
+  }
+  return std::unique_ptr<RemoteConnection>(new RemoteConnection(std::move(wire)));
+}
+
+RemoteConnection::RemoteConnection(std::shared_ptr<Wire> wire)
+    : wire_(std::move(wire)) {}
+
+RemoteConnection::~RemoteConnection() {
+  // No per-statement goodbyes: closing the socket tears down the whole
+  // server-side session (statements, cursors, gate holds) in one step.
+  wire_->alive = false;
+  wire_->sock.close();
+}
+
+std::shared_ptr<RemoteConnection::StmtHandle> RemoteConnection::prepareRemote(
+    std::string_view sql, bool cache) {
+  WireWriter w;
+  w.str(sql);
+  Frame response = wire_->expect(server::makeFrame(Op::Prepare, std::move(w)),
+                                 Op::StmtOk);
+  WireReader r(response.payload);
+  auto handle = std::make_shared<StmtHandle>();
+  handle->wire = wire_;
+  handle->id = r.u32();
+  handle->param_count = static_cast<int>(r.u32());
+  handle->kind = static_cast<minidb::sql::Statement::Kind>(r.u8());
+  handle->cached = cache;
+  if (cache) stmts_.emplace(std::string(sql), handle);
+  return handle;
+}
+
+std::shared_ptr<RemoteConnection::StmtHandle> RemoteConnection::stmtFor(
+    std::string_view sql) {
+  const auto it = stmts_.find(std::string(sql));
+  if (it != stmts_.end()) {
+    if (!it->second->cursor_open) return it->second;
+    // Same rule as the local backend: a statement mid-stream is never
+    // re-entered; compile a throwaway server-side twin instead.
+    return prepareRemote(sql, /*cache=*/false);
+  }
+  return prepareRemote(sql, /*cache=*/true);
+}
+
+void RemoteConnection::bindRemote(const std::shared_ptr<StmtHandle>& stmt,
+                                  std::vector<minidb::Value> params) {
+  WireWriter w;
+  w.u32(stmt->id);
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  for (const minidb::Value& v : params) w.value(v);
+  wire_->expect(server::makeFrame(Op::Bind, std::move(w)), Op::BindOk);
+}
+
+ResultSet RemoteConnection::runToResult(const std::shared_ptr<StmtHandle>& stmt) {
+  WireWriter w;
+  w.u32(stmt->id);
+  Frame response = wire_->roundtrip(server::makeFrame(Op::Execute, std::move(w)));
+  if (response.op == Op::Error) {
+    if (!stmt->cached) stmt->closeRemote();
+    throwServerError(response);
+  }
+
+  ResultSet rs;
+  if (response.op == Op::ResultOk) {
+    WireReader r(response.payload);
+    rs.rows_affected = r.i64();
+    rs.last_insert_id = r.i64();
+    if (!stmt->cached) stmt->closeRemote();
+    return rs;
+  }
+  if (response.op != Op::CursorOk) {
+    throw NetError(std::string("protocol mismatch: expected RESULT_OK or "
+                               "CURSOR_OK, got ") +
+                   std::string(server::opName(response.op)));
+  }
+
+  // exec() of a SELECT materializes, like the local backend: drain the
+  // server-side cursor batch by batch into the ResultSet.
+  WireReader r(response.payload);
+  const std::uint32_t cursor_id = r.u32();
+  const std::uint32_t ncols = r.u32();
+  rs.columns.reserve(ncols);
+  for (std::uint32_t i = 0; i < ncols; ++i) rs.columns.push_back(r.str());
+
+  bool done = false;
+  while (!done) {
+    WireWriter fw;
+    fw.u32(cursor_id);
+    fw.u32(0);
+    Frame batch = wire_->expect(server::makeFrame(Op::Fetch, std::move(fw)),
+                                Op::Rows);
+    WireReader br(batch.payload);
+    done = br.u8() != 0;
+    const std::uint32_t n = br.u32();
+    for (std::uint32_t i = 0; i < n; ++i) rs.rows.push_back(br.row());
+  }
+  if (!stmt->cached) stmt->closeRemote();
+  return rs;
+}
+
+Cursor RemoteConnection::openRemoteCursor(std::shared_ptr<StmtHandle> stmt) {
+  WireWriter w;
+  w.u32(stmt->id);
+  Frame response;
+  try {
+    response = wire_->expect(server::makeFrame(Op::Execute, std::move(w)),
+                             Op::CursorOk);
+  } catch (...) {
+    if (!stmt->cached) stmt->closeRemote();
+    throw;
+  }
+  WireReader r(response.payload);
+  const std::uint32_t cursor_id = r.u32();
+  const std::uint32_t ncols = r.u32();
+  std::vector<std::string> columns;
+  columns.reserve(ncols);
+  for (std::uint32_t i = 0; i < ncols; ++i) columns.push_back(r.str());
+  stmt->cursor_open = true;
+  return Cursor(std::make_unique<RemoteCursorImpl>(wire_, std::move(stmt),
+                                                   cursor_id, std::move(columns)));
+}
+
+ResultSet RemoteConnection::exec(std::string_view sql) {
+  auto stmt = stmtFor(sql);
+  if (stmt->param_count > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt->param_count) +
+                         " '?' parameter(s); use execPrepared()");
+  }
+  return runToResult(stmt);
+}
+
+ResultSet RemoteConnection::execPrepared(std::string_view sql,
+                                         std::vector<minidb::Value> params) {
+  auto stmt = stmtFor(sql);
+  bindRemote(stmt, std::move(params));
+  return runToResult(stmt);
+}
+
+Cursor RemoteConnection::query(std::string_view sql) {
+  auto stmt = stmtFor(sql);
+  if (stmt->param_count > 0) {
+    throw util::SqlError("statement has " + std::to_string(stmt->param_count) +
+                         " '?' parameter(s); use query(sql, params)");
+  }
+  return openRemoteCursor(std::move(stmt));
+}
+
+Cursor RemoteConnection::query(std::string_view sql,
+                               std::vector<minidb::Value> params) {
+  auto stmt = stmtFor(sql);
+  bindRemote(stmt, std::move(params));
+  return openRemoteCursor(std::move(stmt));
+}
+
+void RemoteConnection::begin() {
+  throw util::SqlError(
+      "transactions are not supported over ptserverd (autocommit only)");
+}
+
+void RemoteConnection::commit() { begin(); }
+void RemoteConnection::rollback() { begin(); }
+
+std::uint64_t RemoteConnection::sizeBytes() const {
+  Frame response = wire_->expect(Frame{Op::Stat, {}}, Op::StatOk);
+  WireReader r(response.payload);
+  return r.u64();
+}
+
+const minidb::RecoveryStats& RemoteConnection::recoveryStats() const {
+  // The server recovered its own store when it opened it; a client joining
+  // later has nothing to report.
+  static const minidb::RecoveryStats kNone{};
+  return kNone;
+}
+
+void RemoteConnection::setUseIndexes(bool enabled) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(server::SessionOption::UseIndexes));
+  w.i64(enabled ? 1 : 0);
+  wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
+}
+
+void RemoteConnection::clearStatementCache() {
+  for (auto& [sql, stmt] : stmts_) {
+    // Handles pinned by a streaming cursor are released by the cursor.
+    if (!stmt->cursor_open) stmt->closeRemote();
+    stmt->cached = false;
+  }
+  stmts_.clear();
+}
+
+void RemoteConnection::ping() {
+  wire_->expect(Frame{Op::Ping, {}}, Op::Pong);
+}
+
+void RemoteConnection::shutdownServer() {
+  wire_->expect(Frame{Op::Shutdown, {}}, Op::Ok);
+}
+
+}  // namespace perftrack::dbal

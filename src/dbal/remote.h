@@ -1,0 +1,101 @@
+// Remote dbal backend: a dbal::Connection over a ptserverd session.
+//
+// RemoteConnection speaks the src/server wire protocol (one frame out, one
+// frame back) and maps it onto the Connection surface, so core/ptdf/tools
+// code — and the ptquery/ptexport CLIs — run unchanged against a shared
+// query server. Differences from the local backends, all documented on the
+// base class:
+//
+//   * autocommit only: begin()/commit()/rollback() throw (the server wraps
+//     each mutating statement in its own journal-protected commit);
+//   * statements are cached server-side, keyed client-side by SQL text;
+//     the cache introspection surface reports the remote handle count;
+//   * SELECT cursors stream bounded row batches (FETCH) from a server-side
+//     cursor holding a shared lock on the store, so results of any size
+//     arrive in constant client memory.
+//
+// Like the local backend, a statement whose server-side cursor is still
+// streaming is never re-entered: exec()/execPrepared()/query() on a busy
+// statement prepare a fresh temporary server-side statement instead, which
+// is closed once its use (or its cursor) finishes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "dbal/connection.h"
+#include "minidb/sql/ast.h"
+
+namespace perftrack::dbal {
+
+/// Connection-string prefix selecting this backend ("pt://host:port" or
+/// "pt://unix:/path").
+inline constexpr char kRemoteScheme[] = "pt://";
+
+/// Raised when the server rejects a request with BUSY (lock timeout or
+/// connection cap). Retryable by design: the store itself is untouched.
+class ServerBusyError : public util::PTError {
+ public:
+  explicit ServerBusyError(std::string message) : util::PTError(std::move(message)) {}
+};
+
+class RemoteConnection final : public Connection {
+ public:
+  /// Connects to "host:port" or "unix:/path" (the "pt://" prefix already
+  /// stripped) and performs the protocol handshake.
+  static std::unique_ptr<RemoteConnection> connect(const std::string& target);
+
+  ~RemoteConnection() override;
+
+  ResultSet exec(std::string_view sql) override;
+  ResultSet execPrepared(std::string_view sql,
+                         std::vector<minidb::Value> params) override;
+  Cursor query(std::string_view sql) override;
+  Cursor query(std::string_view sql, std::vector<minidb::Value> params) override;
+
+  void begin() override;
+  void commit() override;
+  void rollback() override;
+  bool inTransaction() const override { return false; }
+
+  std::uint64_t sizeBytes() const override;
+  const minidb::RecoveryStats& recoveryStats() const override;
+
+  void setUseIndexes(bool enabled) override;
+
+  /// Remote handles held by this client (server-side statements stay alive
+  /// until closed, so this doubles as a leak check in tests).
+  std::size_t statementCacheSize() const override { return stmts_.size(); }
+  void clearStatementCache() override;
+
+  // --- remote-only surface ---------------------------------------------------
+  /// Round-trips a PING (liveness probe; throws NetError when the server
+  /// is gone).
+  void ping();
+  /// Asks the server to drain and exit (SHUTDOWN frame).
+  void shutdownServer();
+
+ private:
+  struct Wire;        // shared socket state (kept alive by open cursors)
+  struct StmtHandle;  // one server-side prepared statement
+  friend class RemoteCursorImpl;
+
+  explicit RemoteConnection(std::shared_ptr<Wire> wire);
+
+  /// Returns the handle for `sql`, preparing it server-side on miss. When
+  /// the cached handle has a streaming cursor (busy), prepares a fresh
+  /// temporary handle instead.
+  std::shared_ptr<StmtHandle> stmtFor(std::string_view sql);
+  std::shared_ptr<StmtHandle> prepareRemote(std::string_view sql, bool cache);
+  ResultSet runToResult(const std::shared_ptr<StmtHandle>& stmt);
+  Cursor openRemoteCursor(std::shared_ptr<StmtHandle> stmt);
+  void bindRemote(const std::shared_ptr<StmtHandle>& stmt,
+                  std::vector<minidb::Value> params);
+
+  std::shared_ptr<Wire> wire_;
+  std::unordered_map<std::string, std::shared_ptr<StmtHandle>> stmts_;
+};
+
+}  // namespace perftrack::dbal

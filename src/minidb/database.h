@@ -7,6 +7,7 @@
 // Python layer wrapped Oracle/PostgreSQL.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -247,7 +248,10 @@ class Database {
   // index once. Invalidated on rollback (ids may have been given back).
   std::unordered_map<std::string, std::int64_t> next_ids_;
   // Live cursor pins; guarded operations refuse to run while nonzero.
-  mutable std::size_t open_cursors_ = 0;
+  // Atomic because ptserverd opens/closes cursors from concurrent reader
+  // sessions; the DbGate orders pins against writers, but pin counting
+  // itself crosses reader threads.
+  mutable std::atomic<std::size_t> open_cursors_{0};
 };
 
 }  // namespace perftrack::minidb

@@ -54,13 +54,17 @@ class PosixFile final : public VfsFile {
   }
 
   void sync() override {
-    if (::fsync(fd_) != 0) {
+    // EINTR retry matters in ptserverd: SIGTERM during the drain lands on
+    // whichever worker is mid-commit, and durability must survive it.
+    while (::fsync(fd_) != 0) {
+      if (errno == EINTR) continue;
       throw StorageError("fsync failed on " + path_ + ": " + std::strerror(errno));
     }
   }
 
   void truncate(std::uint64_t size) override {
-    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    while (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      if (errno == EINTR) continue;
       throw StorageError("truncate failed on " + path_ + ": " + std::strerror(errno));
     }
   }

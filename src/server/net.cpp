@@ -1,0 +1,276 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace perftrack::server {
+
+namespace {
+
+std::string errnoText() { return std::strerror(errno); }
+
+/// Applies one SO_*TIMEO option; 0 disables.
+void setTimeoutOpt(int fd, int opt, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+// --- Socket ------------------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::setIoTimeout(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return;
+  setTimeoutOpt(fd_, SO_RCVTIMEO, timeout);
+  setTimeoutOpt(fd_, SO_SNDTIMEO, timeout);
+}
+
+void Socket::sendAll(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-send must surface as EPIPE,
+    // not as a process-killing SIGPIPE.
+    const ssize_t put = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("send timed out");
+      }
+      throw NetError("send failed: " + errnoText());
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+}
+
+bool Socket::recvAll(void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("recv timed out");
+      }
+      throw NetError("recv failed: " + errnoText());
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw NetError("connection closed mid-frame (" + std::to_string(got) +
+                     " of " + std::to_string(n) + " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void Socket::sendFrame(const Frame& frame) {
+  std::uint8_t header[kFrameHeaderBytes];
+  const auto len = static_cast<std::uint32_t>(frame.payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  header[4] = static_cast<std::uint8_t>(frame.op);
+  // One send for the header keeps the syscall count low; payload follows.
+  sendAll(header, sizeof(header));
+  if (!frame.payload.empty()) sendAll(frame.payload.data(), frame.payload.size());
+}
+
+std::optional<Frame> Socket::recvFrame() {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!recvAll(header, sizeof(header))) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes) throw FrameTooBig(len);
+  Frame frame;
+  frame.op = static_cast<Op>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0 && !frame.payload.empty()) {
+    if (!recvAll(frame.payload.data(), len)) {
+      throw NetError("connection closed before frame payload");
+    }
+  }
+  return frame;
+}
+
+// --- Listener ----------------------------------------------------------------
+
+Listener Listener::tcp(const std::string& host, std::uint16_t port, int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw NetError("cannot resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = "socket: " + errnoText();
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, backlog) == 0) {
+      break;
+    }
+    last_error = "bind/listen: " + errnoText();
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw NetError("cannot listen on " + host + ":" + port_text + " (" +
+                   last_error + ")");
+  }
+  Listener listener;
+  listener.sock_ = Socket(fd);
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    listener.port_ = ntohs(bound.sin_port);
+  }
+  return listener;
+}
+
+Listener Listener::unixSocket(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw NetError("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("socket: " + errnoText());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  (void)::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const std::string err = errnoText();
+    ::close(fd);
+    throw NetError("cannot listen on unix socket " + path + ": " + err);
+  }
+  Listener listener;
+  listener.sock_ = Socket(fd);
+  listener.unix_path_ = path;
+  return listener;
+}
+
+Listener::~Listener() { close(); }
+
+Socket Listener::accept() {
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      // Request/response frames are small; without TCP_NODELAY the reply
+      // header waits out Nagle + delayed ACK (~40ms per roundtrip). Fails
+      // harmlessly on AF_UNIX sockets.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // transient (EAGAIN, ECONNABORTED, ...): caller re-polls
+  }
+}
+
+void Listener::close() {
+  sock_.close();
+  if (!unix_path_.empty()) {
+    (void)::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+// --- client connect ----------------------------------------------------------
+
+Socket connectTo(const std::string& target, std::chrono::milliseconds io_timeout) {
+  Socket sock;
+  if (target.rfind("unix:", 0) == 0) {
+    const std::string path = target.substr(5);
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+      throw NetError("unix socket path too long: " + path);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw NetError("socket: " + errnoText());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string err = errnoText();
+      ::close(fd);
+      throw NetError("cannot connect to unix socket " + path + ": " + err);
+    }
+    sock = Socket(fd);
+  } else {
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == target.size()) {
+      throw NetError("bad remote target '" + target +
+                     "' (expected host:port or unix:/path)");
+    }
+    const std::string host = target.substr(0, colon);
+    const std::string port = target.substr(colon + 1);
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0) {
+      throw NetError("cannot resolve " + host + ": " + ::gai_strerror(rc));
+    }
+    int fd = -1;
+    std::string last_error = "no addresses";
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last_error = errnoText();
+        continue;
+      }
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_error = errnoText();
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+      throw NetError("cannot connect to " + target + ": " + last_error);
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sock = Socket(fd);
+  }
+  sock.setIoTimeout(io_timeout);
+  return sock;
+}
+
+}  // namespace perftrack::server

@@ -1,0 +1,120 @@
+// ptserverd networking: RAII sockets and frame transport.
+//
+// Thin POSIX wrappers shared by the server and the remote dbal backend.
+// Everything retries EINTR, sends with MSG_NOSIGNAL (so a dropped peer
+// yields EPIPE instead of killing the process), and reports failures as
+// NetError. recvFrame/sendFrame move whole protocol frames; a peer that
+// disappears mid-frame surfaces as "connection closed", never as a hang
+// (per-socket timeouts bound every blocking call).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/error.h"
+
+namespace perftrack::server {
+
+/// Raised on socket-level failures (connect refused, peer gone, timeout).
+class NetError : public util::PTError {
+ public:
+  explicit NetError(std::string message) : util::PTError(std::move(message)) {}
+};
+
+/// RAII file descriptor with frame-level send/receive.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Bounds every blocking send/recv on this socket (SO_RCVTIMEO/SNDTIMEO).
+  /// Zero disables the bound.
+  void setIoTimeout(std::chrono::milliseconds timeout);
+
+  /// Sends all of `n` bytes; throws NetError on failure.
+  void sendAll(const void* buf, std::size_t n);
+
+  /// Receives exactly `n` bytes. Returns false on clean EOF before the
+  /// first byte; throws NetError on errors, timeouts, and mid-buffer EOF
+  /// (a truncated frame).
+  bool recvAll(void* buf, std::size_t n);
+
+  /// Sends one protocol frame (header + payload).
+  void sendFrame(const Frame& frame);
+
+  /// Receives one frame. Returns nullopt on clean EOF at a frame boundary.
+  /// Throws NetError on I/O failure or a truncated frame, and FrameTooBig
+  /// when the header advertises more than kMaxFrameBytes.
+  std::optional<Frame> recvFrame();
+
+ private:
+  int fd_ = -1;
+};
+
+/// recvFrame-specific failure: the length prefix exceeds kMaxFrameBytes.
+/// The connection cannot be resynchronized after this; the server answers
+/// with an ERROR frame and closes.
+class FrameTooBig : public NetError {
+ public:
+  explicit FrameTooBig(std::uint32_t advertised)
+      : NetError("frame of " + std::to_string(advertised) +
+                 " bytes exceeds the protocol maximum"),
+        advertised_(advertised) {}
+  std::uint32_t advertised() const { return advertised_; }
+
+ private:
+  std::uint32_t advertised_;
+};
+
+/// Listening endpoint (TCP host:port or Unix socket path).
+class Listener {
+ public:
+  /// Binds and listens on TCP `host:port`; port 0 picks an ephemeral port
+  /// (read it back with boundPort()).
+  static Listener tcp(const std::string& host, std::uint16_t port, int backlog = 64);
+
+  /// Binds and listens on a Unix-domain socket path (unlinking a stale
+  /// one). Named unixSocket to stay clear of the legacy `unix` macro some
+  /// toolchains predefine.
+  static Listener unixSocket(const std::string& path, int backlog = 64);
+
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+  ~Listener();
+
+  bool valid() const { return sock_.valid(); }
+  int fd() const { return sock_.fd(); }
+  std::uint16_t boundPort() const { return port_; }
+  const std::string& unixPath() const { return unix_path_; }
+
+  /// Accepts one pending connection; returns an invalid Socket when the
+  /// accept fails transiently (caller just re-polls).
+  Socket accept();
+
+  void close();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+  std::string unix_path_;  // unlinked on close
+};
+
+/// Connects to `target`: "host:port" for TCP or "unix:/path" for a Unix
+/// socket. Throws NetError when the server cannot be reached.
+Socket connectTo(const std::string& target,
+                 std::chrono::milliseconds io_timeout = std::chrono::milliseconds(30000));
+
+}  // namespace perftrack::server

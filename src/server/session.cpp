@@ -1,0 +1,318 @@
+#include "server/session.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace perftrack::server {
+
+namespace {
+
+using minidb::sql::Statement;
+
+bool isReadKind(Statement::Kind kind) { return kind == Statement::Kind::Select; }
+
+bool isTxnKind(Statement::Kind kind) { return kind == Statement::Kind::Txn; }
+
+}  // namespace
+
+Session::Session(std::uint64_t id, minidb::Database& db, DbGate& gate,
+                 const SessionLimits& limits, ServerCounters& counters)
+    : id_(id),
+      db_(&db),
+      gate_(&gate),
+      limits_(limits),
+      counters_(&counters),
+      engine_(db) {
+  counters_->sessions.fetch_add(1, std::memory_order_relaxed);
+}
+
+Session::~Session() {
+  teardown();
+  counters_->sessions.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Session::closeCursorEntry(CursorEntry& entry) {
+  entry.cursor.close();
+  if (entry.holds_gate) {
+    entry.holds_gate = false;
+    --gate_holds_;
+    gate_->unlockShared();
+  }
+}
+
+void Session::teardown() {
+  for (auto& [id, entry] : cursors_) closeCursorEntry(entry);
+  cursors_.clear();
+  stmts_.clear();
+}
+
+Session::Outcome Session::handle(const Frame& request) {
+  counters_->frames_served.fetch_add(1, std::memory_order_relaxed);
+  Outcome out;
+  try {
+    WireReader r(request.payload);
+    if (!hello_done_ && request.op != Op::Hello) {
+      out.response = makeError(ErrCode::Protocol, "expected HELLO first");
+      return out;
+    }
+    switch (request.op) {
+      case Op::Hello: out.response = doHello(r); return out;
+      case Op::Prepare: out.response = doPrepare(r); return out;
+      case Op::Bind: out.response = doBind(r); return out;
+      case Op::Execute: out.response = doExecute(r); return out;
+      case Op::Fetch: out.response = doFetch(r); return out;
+      case Op::CloseStmt: out.response = doCloseStmt(r); return out;
+      case Op::CloseCursor: out.response = doCloseCursor(r); return out;
+      case Op::SetOption: out.response = doSetOption(r); return out;
+      case Op::Stat: out.response = doStat(r); return out;
+      case Op::Ping: out.response = Frame{Op::Pong, {}}; return out;
+      case Op::Shutdown:
+        if (!limits_.allow_shutdown) {
+          out.response = makeError(ErrCode::BadState, "remote shutdown is disabled");
+        } else {
+          out.response = Frame{Op::Ok, {}};
+          out.shutdown_requested = true;
+        }
+        return out;
+      default:
+        out.response = makeError(
+            ErrCode::UnknownOpcode,
+            "unknown opcode " + std::to_string(static_cast<int>(request.op)));
+        return out;
+    }
+  } catch (const WireError& e) {
+    out.response = makeError(ErrCode::Protocol, e.what());
+  } catch (const util::SqlError& e) {
+    out.response = makeError(ErrCode::Sql, e.what());
+  } catch (const util::StorageError& e) {
+    out.response = makeError(ErrCode::Storage, e.what());
+  } catch (const std::exception& e) {
+    out.response = makeError(ErrCode::Internal, e.what());
+  }
+  return out;
+}
+
+Frame Session::doHello(WireReader& r) {
+  const std::uint32_t version = r.u32();
+  r.expectEnd("HELLO");
+  if (version != kProtocolVersion) {
+    return makeError(ErrCode::Protocol,
+                     "protocol version " + std::to_string(version) +
+                         " not supported (server speaks " +
+                         std::to_string(kProtocolVersion) + ")");
+  }
+  hello_done_ = true;
+  WireWriter w;
+  w.u32(kProtocolVersion);
+  w.str("ptserverd/1");
+  return makeFrame(Op::HelloOk, std::move(w));
+}
+
+Frame Session::doPrepare(WireReader& r) {
+  std::string sql = r.str();
+  r.expectEnd("PREPARE");
+  // Parsing touches no shared storage (planning is lazy and gated), so
+  // PREPARE runs without a gate hold.
+  auto stmt =
+      std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
+  const std::uint32_t id = next_stmt_id_++;
+  stmts_.emplace(id, stmt);
+  WireWriter w;
+  w.u32(id);
+  w.u32(static_cast<std::uint32_t>(stmt->paramCount()));
+  w.u8(static_cast<std::uint8_t>(stmt->kind()));
+  return makeFrame(Op::StmtOk, std::move(w));
+}
+
+Frame Session::doBind(WireReader& r) {
+  const std::uint32_t id = r.u32();
+  const auto it = stmts_.find(id);
+  if (it == stmts_.end()) {
+    return makeError(ErrCode::BadState, "no such statement id " + std::to_string(id));
+  }
+  const std::uint32_t n = r.u32();
+  std::vector<minidb::Value> params;
+  params.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) params.push_back(r.value());
+  r.expectEnd("BIND");
+  // bindAll validates the count against the statement's placeholders. It
+  // only stages values; a cursor already streaming this statement keeps its
+  // own copy inside the AST, so staging is safe even while busy.
+  it->second->bindAll(std::move(params));
+  return Frame{Op::BindOk, {}};
+}
+
+Frame Session::doExecute(WireReader& r) {
+  const std::uint32_t id = r.u32();
+  r.expectEnd("EXECUTE");
+  const auto it = stmts_.find(id);
+  if (it == stmts_.end()) {
+    return makeError(ErrCode::BadState, "no such statement id " + std::to_string(id));
+  }
+  const auto& stmt = it->second;
+  if (isTxnKind(stmt->kind())) {
+    return makeError(ErrCode::BadState,
+                     "transactions are not supported over ptserverd "
+                     "(autocommit only; each write commits atomically)");
+  }
+  if (isReadKind(stmt->kind())) return executeSelect(stmt);
+  return executeWrite(stmt);
+}
+
+Frame Session::executeSelect(
+    const std::shared_ptr<minidb::sql::PreparedStatement>& stmt) {
+  // Sessions already holding a cursor bypass the writer queue: the queued
+  // writer is waiting on *our* cursor, so parking behind it would deadlock
+  // this session until both time out.
+  DbGate::SharedHold hold(*gate_, limits_.lock_timeout, gate_holds_ > 0);
+  if (!hold.held()) {
+    counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    return makeError(ErrCode::Busy,
+                     "database is busy (writer active or queued); retry");
+  }
+  minidb::sql::Cursor cursor = stmt->openCursor();
+  const std::uint32_t cursor_id = next_cursor_id_++;
+  WireWriter w;
+  w.u32(cursor_id);
+  const auto& columns = cursor.columns();
+  w.u32(static_cast<std::uint32_t>(columns.size()));
+  for (const std::string& c : columns) w.str(c);
+  CursorEntry entry{std::move(cursor), stmt, /*holds_gate=*/true};
+  hold.forget();  // the hold now belongs to the cursor, until close/exhaust
+  ++gate_holds_;
+  cursors_.emplace(cursor_id, std::move(entry));
+  return makeFrame(Op::CursorOk, std::move(w));
+}
+
+Frame Session::executeWrite(
+    const std::shared_ptr<minidb::sql::PreparedStatement>& stmt) {
+  DbGate::ExclusiveHold hold(*gate_, limits_.lock_timeout);
+  if (!hold.held()) {
+    counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    return makeError(ErrCode::Busy,
+                     "database is busy (readers hold cursors open); retry");
+  }
+  minidb::sql::ResultSet rs;
+  if (stmt->kind() == Statement::Kind::Vacuum) {
+    // VACUUM manages its own page shuffle and may not run inside a
+    // transaction; persist its result explicitly.
+    rs = stmt->execute();
+    db_->flush();
+  } else {
+    // Autocommit: each write is its own journal-protected atomic commit, so
+    // a daemon crash can never expose another client's half-applied write.
+    db_->begin();
+    try {
+      rs = stmt->execute();
+      db_->commit();
+    } catch (...) {
+      if (db_->inTransaction()) db_->rollback();
+      throw;
+    }
+  }
+  WireWriter w;
+  w.i64(rs.rows_affected);
+  w.i64(rs.last_insert_id);
+  return makeFrame(Op::ResultOk, std::move(w));
+}
+
+Frame Session::doFetch(WireReader& r) {
+  const std::uint32_t id = r.u32();
+  std::uint32_t max_rows = r.u32();
+  r.expectEnd("FETCH");
+  const auto it = cursors_.find(id);
+  if (it == cursors_.end()) {
+    return makeError(ErrCode::BadState, "no such cursor id " + std::to_string(id) +
+                                            " (closed, exhausted, or never opened)");
+  }
+  if (max_rows == 0) max_rows = limits_.default_fetch_rows;
+  max_rows = std::min(max_rows, limits_.max_fetch_rows);
+
+  WireWriter rows;
+  std::uint32_t produced = 0;
+  bool done = false;
+  try {
+    minidb::Row row;
+    while (produced < max_rows && rows.bytes().size() < limits_.fetch_byte_budget) {
+      if (!it->second.cursor.next(row)) {
+        done = true;
+        break;
+      }
+      rows.row(row);
+      ++produced;
+    }
+  } catch (...) {
+    // A cursor that failed mid-step (e.g. a dangling index entry) is dead;
+    // release its hold before the error frame goes out.
+    closeCursorEntry(it->second);
+    cursors_.erase(it);
+    throw;
+  }
+  if (done) {
+    closeCursorEntry(it->second);
+    cursors_.erase(it);
+  }
+  const auto& body = rows.bytes();
+  WireWriter out;
+  out.u8(done ? 1 : 0);
+  out.u32(produced);
+  std::vector<std::uint8_t> payload = out.take();
+  payload.insert(payload.end(), body.begin(), body.end());
+  return Frame{Op::Rows, std::move(payload)};
+}
+
+Frame Session::doCloseStmt(WireReader& r) {
+  const std::uint32_t id = r.u32();
+  r.expectEnd("CLOSE_STMT");
+  // Closing an unknown statement is not an error (the client may race a
+  // teardown); open cursors keep the statement alive via their shared_ptr.
+  stmts_.erase(id);
+  return Frame{Op::Ok, {}};
+}
+
+Frame Session::doCloseCursor(WireReader& r) {
+  const std::uint32_t id = r.u32();
+  r.expectEnd("CLOSE_CURSOR");
+  const auto it = cursors_.find(id);
+  if (it == cursors_.end()) {
+    return makeError(ErrCode::BadState,
+                     "no such cursor id " + std::to_string(id) +
+                         " (closed, exhausted, or never opened)");
+  }
+  closeCursorEntry(it->second);
+  cursors_.erase(it);
+  return Frame{Op::Ok, {}};
+}
+
+Frame Session::doSetOption(WireReader& r) {
+  const auto option = static_cast<SessionOption>(r.u8());
+  const std::int64_t value = r.i64();
+  r.expectEnd("SET_OPTION");
+  switch (option) {
+    case SessionOption::UseIndexes:
+      // Session-scoped: cached plans revalidate against the engine flag on
+      // their next execution, so no explicit invalidation is needed.
+      engine_.setUseIndexes(value != 0);
+      return Frame{Op::Ok, {}};
+  }
+  return makeError(ErrCode::Protocol, "unknown session option");
+}
+
+Frame Session::doStat(WireReader& r) {
+  r.expectEnd("STAT");
+  // sizeBytes reads the header page; take a brief shared hold so a writer
+  // can't be rewriting it concurrently.
+  DbGate::SharedHold hold(*gate_, limits_.lock_timeout, gate_holds_ > 0);
+  if (!hold.held()) {
+    counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    return makeError(ErrCode::Busy, "database is busy; retry");
+  }
+  WireWriter w;
+  w.u64(db_->sizeBytes());
+  w.u32(counters_->sessions.load(std::memory_order_relaxed));
+  w.u64(counters_->frames_served.load(std::memory_order_relaxed));
+  return makeFrame(Op::StatOk, std::move(w));
+}
+
+}  // namespace perftrack::server

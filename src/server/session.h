@@ -1,0 +1,129 @@
+// ptserverd per-connection session state.
+//
+// Each client connection owns one Session: its prepared statements, its
+// open server-side cursors, and its session-scoped engine options. The
+// Session is the protocol's only entry into the shared minidb Database, and
+// every entry point is classified and gated:
+//
+//   SELECT / EXPLAIN   shared gate hold, kept for the cursor's lifetime so
+//                      concurrent SELECTs from many sessions run in
+//                      parallel while no writer can move pages under them;
+//   INSERT/UPDATE/DELETE/DDL/VACUUM
+//                      exclusive gate hold for the statement, wrapped in
+//                      the storage layer's journal-protected commit so each
+//                      autocommit write is atomic and durable;
+//   BEGIN/COMMIT/ROLLBACK
+//                      rejected (autocommit only — interleaving frames from
+//                      many clients inside one storage transaction would
+//                      attribute writes to the wrong session).
+//
+// A Session is serviced by at most one pool worker at a time (the server
+// never marks a connection readable while a request is in flight), so the
+// members need no locking of their own; only the DbGate and the shared
+// counters are cross-thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "minidb/database.h"
+#include "minidb/sql/executor.h"
+#include "server/dbgate.h"
+#include "server/protocol.h"
+
+namespace perftrack::server {
+
+/// Session behavior knobs, shared by every session of one server.
+struct SessionLimits {
+  /// Gate-acquisition budget; expiry produces a BUSY error frame.
+  std::chrono::milliseconds lock_timeout{5000};
+  /// Server-side clamp on FETCH batch size.
+  std::uint32_t max_fetch_rows = 4096;
+  /// Batch size used when a FETCH asks for 0 rows.
+  std::uint32_t default_fetch_rows = 256;
+  /// Soft bound on one ROWS frame's payload; a batch ends early once
+  /// crossed, so wide rows cannot balloon a frame toward kMaxFrameBytes.
+  std::size_t fetch_byte_budget = 1u << 20;
+  /// Whether the SHUTDOWN opcode is honored.
+  bool allow_shutdown = true;
+};
+
+/// Monotonic counters shared across sessions (STAT frames, tests, bench).
+struct ServerCounters {
+  std::atomic<std::uint32_t> sessions{0};
+  std::atomic<std::uint64_t> frames_served{0};
+  std::atomic<std::uint64_t> busy_rejections{0};
+};
+
+class Session {
+ public:
+  Session(std::uint64_t id, minidb::Database& db, DbGate& gate,
+          const SessionLimits& limits, ServerCounters& counters);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// What the worker should do after sending `response`.
+  struct Outcome {
+    Frame response;
+    bool shutdown_requested = false;  // SHUTDOWN accepted: drain the server
+    bool close_connection = false;    // unrecoverable framing damage
+  };
+
+  /// Serves one request frame. Never throws: every failure becomes an
+  /// ERROR response frame so a bad request can't kill the daemon.
+  Outcome handle(const Frame& request);
+
+  /// Closes every open cursor (releasing its gate hold) and drops all
+  /// statements. Idempotent; called on disconnect, reap, and drain.
+  void teardown();
+
+  std::uint64_t id() const { return id_; }
+  std::size_t openCursorCount() const { return cursors_.size(); }
+  std::size_t statementCount() const { return stmts_.size(); }
+
+ private:
+  struct CursorEntry {
+    minidb::sql::Cursor cursor;
+    // Keeps the plan and AST alive even if the client closes the statement
+    // (or the session re-prepares) while the cursor streams.
+    std::shared_ptr<minidb::sql::PreparedStatement> stmt;
+    bool holds_gate = false;
+  };
+
+  Frame doHello(WireReader& r);
+  Frame doPrepare(WireReader& r);
+  Frame doBind(WireReader& r);
+  Frame doExecute(WireReader& r);
+  Frame doFetch(WireReader& r);
+  Frame doCloseStmt(WireReader& r);
+  Frame doCloseCursor(WireReader& r);
+  Frame doSetOption(WireReader& r);
+  Frame doStat(WireReader& r);
+
+  Frame executeSelect(const std::shared_ptr<minidb::sql::PreparedStatement>& stmt);
+  Frame executeWrite(const std::shared_ptr<minidb::sql::PreparedStatement>& stmt);
+  void closeCursorEntry(CursorEntry& entry);
+
+  std::uint64_t id_;
+  minidb::Database* db_;
+  DbGate* gate_;
+  SessionLimits limits_;
+  ServerCounters* counters_;
+  minidb::sql::Engine engine_;  // session-scoped (use_indexes is per session)
+
+  std::unordered_map<std::uint32_t, std::shared_ptr<minidb::sql::PreparedStatement>>
+      stmts_;
+  std::unordered_map<std::uint32_t, CursorEntry> cursors_;
+  std::uint32_t next_stmt_id_ = 1;
+  std::uint32_t next_cursor_id_ = 1;
+  int gate_holds_ = 0;  // cursor-lifetime shared holds this session owns
+  bool hello_done_ = false;
+};
+
+}  // namespace perftrack::server

@@ -1,0 +1,156 @@
+// The paper's workflows, remote: a full PTDataStore driven over a
+// ptserverd session must behave exactly like one over a local connection.
+// Also holds the busy-statement regression tests for BOTH backends:
+// exec()/execPrepared() on a statement whose cursor is mid-stream must take
+// the fresh-statement fallback, never re-enter the streaming statement.
+#include "core/datastore.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dbal/connection.h"
+#include "dbal/remote.h"
+#include "minidb/database.h"
+#include "server/server.h"
+#include "util/error.h"
+
+namespace perftrack {
+namespace {
+
+class RemoteDataStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = minidb::Database::openMemory();
+    server::ServerConfig config;
+    config.port = 0;
+    server_ = std::make_unique<server::PtServer>(*db_, config);
+    server_->start();
+    conn_ = dbal::Connection::open("pt://127.0.0.1:" +
+                                   std::to_string(server_->boundPort()));
+    store_ = std::make_unique<core::PTDataStore>(*conn_);
+    store_->initialize();
+  }
+
+  void TearDown() override {
+    store_.reset();
+    conn_.reset();
+    server_->stop();
+  }
+
+  std::unique_ptr<minidb::Database> db_;
+  std::unique_ptr<server::PtServer> server_;
+  std::unique_ptr<dbal::Connection> conn_;
+  std::unique_ptr<core::PTDataStore> store_;
+};
+
+TEST_F(RemoteDataStoreTest, InitializeBuildsSchemaOverTheWire) {
+  EXPECT_TRUE(store_->hasResourceType("grid"));
+  EXPECT_TRUE(store_->hasResourceType("application"));
+  EXPECT_EQ(store_->stats().resource_types, 26);
+  // Idempotent, like the local path.
+  store_->initialize();
+  EXPECT_EQ(store_->stats().resource_types, 26);
+}
+
+TEST_F(RemoteDataStoreTest, ResourceWorkflowMatchesLocal) {
+  store_->addResourceType("syncObject/message");
+  store_->addResource("/mach1", "grid/machine");
+  store_->addResource("/mach1/part0", "grid/machine/partition");
+  store_->addResourceAttribute("/mach1", "os", "linux", "string");
+
+  EXPECT_TRUE(store_->findResource("/mach1/part0").has_value());
+  const auto attrs = store_->attributesOf(*store_->findResource("/mach1"));
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs[0].value, "linux");
+
+  store_->addExecution("run-1", "su3_rmd");
+  EXPECT_EQ(store_->stats().executions, 1);
+}
+
+TEST_F(RemoteDataStoreTest, PerformanceResultRoundTrip) {
+  store_->addResource("/nodeA", "grid/machine");
+  store_->addExecution("run-1", "app");
+  store_->addMetric("wall_time", "seconds");
+  store_->addPerformanceTool("paradyn");
+  core::ResourceSetSpec spec;
+  spec.resource_names = {"/nodeA"};
+  store_->addPerformanceResult("run-1", {spec}, "paradyn", "wall_time", 12.5);
+  EXPECT_EQ(store_->stats().performance_results, 1);
+}
+
+// --- busy-statement fallback regressions (satellite) -------------------------
+
+/// Shared body: exec() and execPrepared() while a cursor streams the SAME
+/// SQL text — the scenario that re-enters a busy statement without the
+/// fallback. Runs against either backend.
+void execWhileCursorOpen(dbal::Connection& conn) {
+  conn.exec("CREATE TABLE busy_t (v INTEGER)");
+  for (int i = 1; i <= 20; ++i) {
+    conn.execPrepared("INSERT INTO busy_t VALUES (?)", {minidb::Value(i)});
+  }
+
+  auto cur = conn.query("SELECT v FROM busy_t");
+  minidb::Row row;
+  ASSERT_TRUE(cur.next(row));
+  const std::int64_t first = row[0].asInt();
+
+  // exec() of the same text mid-stream: fresh statement, full result.
+  const auto rs = conn.exec("SELECT v FROM busy_t");
+  EXPECT_EQ(rs.rows.size(), 20u);
+
+  // execPrepared() with the same text but different shape of use.
+  const auto rs2 = conn.execPrepared("SELECT v FROM busy_t WHERE v > ?",
+                                     {minidb::Value(std::int64_t{15})});
+  EXPECT_EQ(rs2.rows.size(), 5u);
+
+  // The original cursor was not disturbed: it continues from where it was
+  // and still yields every remaining row exactly once.
+  int streamed = 1;
+  std::int64_t last = first;
+  while (cur.next(row)) {
+    ++streamed;
+    last = row[0].asInt();
+  }
+  EXPECT_EQ(streamed, 20);
+  EXPECT_NE(last, first);
+}
+
+TEST(BusyStatementFallback, LocalExecDuringOpenCursor) {
+  auto conn = dbal::Connection::open(":memory:");
+  execWhileCursorOpen(*conn);
+}
+
+TEST(BusyStatementFallback, RemoteExecDuringOpenCursor) {
+  auto db = minidb::Database::openMemory();
+  server::ServerConfig config;
+  config.port = 0;
+  server::PtServer srv(*db, config);
+  srv.start();
+  auto conn = dbal::Connection::open("pt://127.0.0.1:" +
+                                     std::to_string(srv.boundPort()));
+  execWhileCursorOpen(*conn);
+  conn.reset();
+  srv.stop();
+}
+
+TEST(BusyStatementFallback, RemoteStatementHandlesDoNotLeak) {
+  auto db = minidb::Database::openMemory();
+  server::ServerConfig config;
+  config.port = 0;
+  server::PtServer srv(*db, config);
+  srv.start();
+  auto conn = dbal::Connection::open("pt://127.0.0.1:" +
+                                     std::to_string(srv.boundPort()));
+  conn->exec("CREATE TABLE t (v INTEGER)");
+  conn->exec("INSERT INTO t VALUES (1)");
+  // Repeating one text must reuse one server-side statement, not grow.
+  for (int i = 0; i < 50; ++i) conn->queryInt("SELECT COUNT(*) FROM t");
+  EXPECT_LE(conn->statementCacheSize(), 4u);
+  conn.reset();
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace perftrack

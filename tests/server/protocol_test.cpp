@@ -1,0 +1,147 @@
+// Wire-protocol codec tests: byte-level round trips and the malformed
+// payloads a hostile or buggy client can produce.
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "minidb/value.h"
+
+namespace perftrack::server {
+namespace {
+
+using minidb::Value;
+
+TEST(WireCodec, IntegerRoundTripLittleEndian) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  w.i64(-42);
+
+  const auto bytes = w.bytes();
+  // Spot-check the layout: little-endian, no padding.
+  ASSERT_EQ(bytes.size(), 1u + 2 + 4 + 8 + 8);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0x34);  // u16 low byte first
+  EXPECT_EQ(bytes[2], 0x12);
+  EXPECT_EQ(bytes[3], 0xEF);  // u32 low byte first
+
+  WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(WireCodec, StringRoundTrip) {
+  WireWriter w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string("emb\0edded", 9));
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string("emb\0edded", 9));
+}
+
+TEST(WireCodec, ValueRoundTripAllTags) {
+  WireWriter w;
+  w.value(Value::null());
+  w.value(Value(std::int64_t{-123456789}));
+  w.value(Value(3.25));
+  w.value(Value("metric/papi/L1_DCM"));
+
+  WireReader r(w.bytes());
+  EXPECT_TRUE(r.value().isNull());
+  EXPECT_EQ(r.value().asInt(), -123456789);
+  EXPECT_DOUBLE_EQ(r.value().asReal(), 3.25);
+  EXPECT_EQ(r.value().asText(), "metric/papi/L1_DCM");
+}
+
+TEST(WireCodec, RealSurvivesBitExact) {
+  // std::bit_cast transport: NaN payloads and signed zero survive.
+  const double values[] = {0.0, -0.0, 1e308, -1e-308,
+                           std::numeric_limits<double>::infinity()};
+  for (const double d : values) {
+    WireWriter w;
+    w.value(Value(d));
+    WireReader r(w.bytes());
+    const Value v = r.value();
+    EXPECT_EQ(std::signbit(v.asReal()), std::signbit(d));
+    EXPECT_EQ(v.asReal(), d);
+  }
+}
+
+TEST(WireCodec, RowRoundTrip) {
+  minidb::Row row{Value(std::int64_t{7}), Value("cluster/node7"), Value::null()};
+  WireWriter w;
+  w.row(row);
+  WireReader r(w.bytes());
+  const minidb::Row back = r.row();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].asInt(), 7);
+  EXPECT_EQ(back[1].asText(), "cluster/node7");
+  EXPECT_TRUE(back[2].isNull());
+}
+
+TEST(WireCodec, TruncatedPayloadThrows) {
+  WireWriter w;
+  w.u32(12345);
+  auto bytes = w.take();
+  bytes.pop_back();  // 3 of 4 bytes
+  WireReader r(bytes);
+  EXPECT_THROW(r.u32(), WireError);
+}
+
+TEST(WireCodec, TruncatedStringThrows) {
+  WireWriter w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.str(), WireError);
+}
+
+TEST(WireCodec, BadValueTagThrows) {
+  std::vector<std::uint8_t> bytes{99};  // no such tag
+  WireReader r(bytes);
+  EXPECT_THROW(r.value(), WireError);
+}
+
+TEST(WireCodec, RowColumnCountLieThrows) {
+  WireWriter w;
+  w.u32(1u << 30);  // "a billion columns" in a 4-byte payload
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.row(), WireError);
+}
+
+TEST(WireCodec, ExpectEndCatchesTrailingGarbage) {
+  WireWriter w;
+  w.u32(1);
+  w.u8(0xFF);
+  WireReader r(w.bytes());
+  r.u32();
+  EXPECT_THROW(r.expectEnd("TEST"), WireError);
+}
+
+TEST(WireCodec, ErrorFrameRoundTrip) {
+  const Frame frame = makeError(ErrCode::Busy, "writer active");
+  EXPECT_EQ(frame.op, Op::Error);
+  const auto [code, message] = readError(frame);
+  EXPECT_EQ(code, ErrCode::Busy);
+  EXPECT_EQ(message, "writer active");
+}
+
+TEST(WireCodec, OpAndErrCodeNames) {
+  EXPECT_EQ(opName(Op::Fetch), "FETCH");
+  EXPECT_EQ(opName(Op::CursorOk), "CURSOR_OK");
+  EXPECT_EQ(errCodeName(ErrCode::TooBig), "TOO_BIG");
+}
+
+}  // namespace
+}  // namespace perftrack::server

@@ -1,0 +1,214 @@
+// ptserverd concurrency stress: many reader clients streaming prepared
+// SELECTs while a writer inserts and runs DDL, with random mid-stream
+// disconnects. Run under ThreadSanitizer by scripts/ci.sh tsan mode.
+//
+// Invariants checked:
+//   * every streamed row is internally consistent (v == id * 3) — a torn
+//     read under a concurrent writer would break this;
+//   * observed row counts only grow (writes are atomic and ordered);
+//   * the final table contents are byte-identical to a single-process
+//     differential run of the same writer workload;
+//   * the server survives every disconnect and abandoned cursor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbal/connection.h"
+#include "dbal/remote.h"
+#include "minidb/database.h"
+#include "minidb/sql/executor.h"
+#include "server/server.h"
+#include "util/error.h"
+
+namespace perftrack {
+namespace {
+
+using dbal::Connection;
+using dbal::ServerBusyError;
+
+constexpr int kReaders = 8;
+constexpr int kWriterRows = 300;
+constexpr auto kRetryPause = std::chrono::milliseconds(2);
+
+/// Runs `fn`, retrying while the server reports BUSY (lock contention is
+/// expected under stress; losing a timeout race is not a failure).
+template <typename Fn>
+void withBusyRetry(Fn&& fn) {
+  for (;;) {
+    try {
+      fn();
+      return;
+    } catch (const ServerBusyError&) {
+      std::this_thread::sleep_for(kRetryPause);
+    }
+  }
+}
+
+TEST(ServerStress, ConcurrentReadersWriterAndDisconnects) {
+  auto db = minidb::Database::openMemory();
+  server::ServerConfig config;
+  config.port = 0;
+  config.workers = 8;
+  config.max_connections = 64;
+  config.limits.lock_timeout = std::chrono::milliseconds(200);
+  server::PtServer srv(*db, config);
+  srv.start();
+  const std::string url = "pt://127.0.0.1:" + std::to_string(srv.boundPort());
+
+  {
+    auto setup = Connection::open(url);
+    setup->exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> rows_written{0};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    try {
+      auto conn = Connection::open(url);
+      for (int i = 1; i <= kWriterRows; ++i) {
+        withBusyRetry([&] {
+          conn->execPrepared("INSERT INTO t (v) VALUES (?)",
+                             {minidb::Value(std::int64_t{3} * i)});
+        });
+        rows_written.fetch_add(1, std::memory_order_release);
+        if (i % 100 == 0) {
+          // DDL forces the exclusive path against live cursor holds.
+          withBusyRetry([&] {
+            conn->exec("CREATE TABLE IF NOT EXISTS side_" + std::to_string(i) +
+                       " (x INTEGER)");
+          });
+        }
+      }
+    } catch (const std::exception&) {
+      failures.fetch_add(1);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::mt19937 rng(1234u + static_cast<unsigned>(r));
+      int last_count = 0;
+      try {
+        auto conn = Connection::open(url);
+        while (!writer_done.load(std::memory_order_acquire)) {
+          int seen = 0;
+          bool completed = true;
+          withBusyRetry([&] {
+            seen = 0;
+            completed = true;
+            auto cur = conn->query("SELECT id, v FROM t");
+            minidb::Row row;
+            while (cur.next(row)) {
+              if (row[1].asInt() != row[0].asInt() * 3) {
+                failures.fetch_add(1);
+                return;
+              }
+              ++seen;
+              // Random disconnect: abandon the cursor mid-stream and drop
+              // the whole connection; the server must reap the session.
+              if (seen > 5 && rng() % 97 == 0) {
+                conn.reset();
+                conn = Connection::open(url);
+                completed = false;
+                return;
+              }
+            }
+          });
+          if (completed) {
+            // A full scan can never see fewer rows than an earlier full
+            // scan: autocommit inserts only add.
+            if (seen < last_count) failures.fetch_add(1);
+            last_count = seen;
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(rows_written.load(), kWriterRows);
+
+  // Differential check: replay the writer workload single-process and
+  // compare the full table contents row by row.
+  auto reference = minidb::Database::openMemory();
+  minidb::sql::Engine ref_engine(*reference);
+  ref_engine.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  {
+    auto ins = ref_engine.prepare("INSERT INTO t (v) VALUES (?)");
+    for (int i = 1; i <= kWriterRows; ++i) {
+      ins.execute({minidb::Value(std::int64_t{3} * i)});
+    }
+  }
+  const auto expected = ref_engine.exec("SELECT id, v FROM t ORDER BY id");
+
+  auto conn = Connection::open(url);
+  const auto actual = conn->exec("SELECT id, v FROM t ORDER BY id");
+  ASSERT_EQ(actual.rows.size(), expected.rows.size());
+  for (std::size_t i = 0; i < expected.rows.size(); ++i) {
+    EXPECT_EQ(actual.rows[i][0].asInt(), expected.rows[i][0].asInt());
+    EXPECT_EQ(actual.rows[i][1].asInt(), expected.rows[i][1].asInt());
+  }
+
+  srv.stop();
+}
+
+TEST(ServerStress, ParallelSelectsMakeProgressTogether) {
+  // All-reader load: every session should stream under a shared hold with
+  // no serialization failures and no BUSY (no writer ever queues).
+  auto db = minidb::Database::openMemory();
+  server::ServerConfig config;
+  config.port = 0;
+  config.workers = 8;
+  server::PtServer srv(*db, config);
+  srv.start();
+  const std::string url = "pt://127.0.0.1:" + std::to_string(srv.boundPort());
+
+  {
+    auto setup = Connection::open(url);
+    setup->exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+    for (int i = 1; i <= 500; ++i) {
+      setup->execPrepared("INSERT INTO t (v) VALUES (?)", {minidb::Value(i)});
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      try {
+        auto conn = Connection::open(url);
+        for (int pass = 0; pass < 5; ++pass) {
+          auto cur = conn->query("SELECT id, v FROM t");
+          minidb::Row row;
+          int n = 0;
+          while (cur.next(row)) ++n;
+          if (n != 500) failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(srv.counters().busy_rejections.load(), 0u);
+
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace perftrack
