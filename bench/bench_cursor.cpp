@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dbal/connection.h"
+#include "obs/metrics.h"
 #include "util/tempdir.h"
 #include "util/timer.h"
 
@@ -149,5 +150,6 @@ int main() {
     writeJson(json, cells);
     std::printf("wrote %s\n", json);
   }
+  obs::writeSnapshotIfRequested();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "core/query_session.h"
+#include "obs/metrics.h"
 
 using namespace perftrack;
 
@@ -87,4 +88,13 @@ BENCHMARK(BM_SessionRun);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run can leave a metrics snapshot next
+// to its JSON output (PT_METRICS_SNAPSHOT, scripts/bench_smoke.sh).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  obs::writeSnapshotIfRequested();
+  return 0;
+}

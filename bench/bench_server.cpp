@@ -23,6 +23,7 @@
 
 #include "dbal/connection.h"
 #include "minidb/database.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "util/timer.h"
 
@@ -165,5 +166,6 @@ int main() {
   }
 
   srv.stop();
+  obs::writeSnapshotIfRequested();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "sim/smg_gen.h"
 #include "tools/smg_parser.h"
 #include "util/timer.h"
@@ -211,5 +212,6 @@ int main() {
   if (const char* json_path = std::getenv("PT_TABLE1_JSON")) {
     writeJson(json_path, all_rows);
   }
+  obs::writeSnapshotIfRequested();
   return 0;
 }

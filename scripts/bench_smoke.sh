@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke-runs the two headline benchmarks with a short measurement budget and
+# Smoke-runs the headline benchmarks with a short measurement budget and
 # leaves machine-readable JSON next to the binaries:
 #
 #   BENCH_fig3.json   google-benchmark output of bench_fig3_querysession
@@ -12,6 +12,14 @@
 #                     bench_cursor (time-to-first-row, peak-RSS growth)
 #   BENCH_server.json ptserverd under N concurrent clients from bench_server
 #                     (requests/s and p50/p99 latency, plus a streamed scan)
+#   BENCH_obs.json    observability overhead A/B from bench_obs (tracing
+#                     on/off ns per point-SELECT, overhead %, 2% budget)
+#
+# Every run also leaves a METRICS_<name>.prom sidecar — the Prometheus
+# exposition of the process's metrics registry at exit (PT_METRICS_SNAPSHOT)
+# — so a perf regression hunt can see the engine counters (pages read,
+# fsyncs, plan-cache hits) behind each number. The sidecars are format-checked
+# but never gated: a malformed snapshot warns, numbers never fail the smoke.
 #
 # Wired into CTest under the "bench" label (ctest -L bench). Compare two
 # checkouts by diffing the JSON files the runs leave behind.
@@ -27,29 +35,72 @@ bench_dir="${1:-$repo_root/build/bench}"
 out_dir="${2:-$bench_dir}"
 mkdir -p "$out_dir"
 
-for bin in bench_fig3_querysession bench_table1_ingest bench_durability bench_cursor bench_server; do
+for bin in bench_fig3_querysession bench_table1_ingest bench_durability bench_cursor bench_server bench_obs; do
   if [[ ! -x "$bench_dir/$bin" ]]; then
     echo "bench_smoke: $bench_dir/$bin not built" >&2
     exit 1
   fi
 done
 
+# Non-gating sanity pass over a metrics sidecar: it must exist, carry at
+# least one TYPE comment, and every TYPE line must be well-formed. Warn-only
+# by design — observability must never fail the bench smoke.
+check_snapshot() {
+  local snap="$1"
+  if [[ ! -s "$snap" ]]; then
+    echo "bench_smoke: WARNING: no metrics snapshot at $snap" >&2
+    return 0
+  fi
+  if ! grep -q '^# TYPE ' "$snap"; then
+    echo "bench_smoke: WARNING: $snap has no '# TYPE' lines" >&2
+    return 0
+  fi
+  local bad
+  bad="$(grep '^# TYPE ' "$snap" \
+    | grep -Ev '^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$' || true)"
+  if [[ -n "$bad" ]]; then
+    echo "bench_smoke: WARNING: malformed TYPE line(s) in $snap:" >&2
+    echo "$bad" >&2
+  fi
+  return 0
+}
+
 echo "== bench_fig3_querysession (short run) =="
-"$bench_dir/bench_fig3_querysession" \
+PT_METRICS_SNAPSHOT="$out_dir/METRICS_fig3.prom" \
+  "$bench_dir/bench_fig3_querysession" \
   --benchmark_min_time=0.05 \
   --benchmark_out="$out_dir/BENCH_fig3.json" \
   --benchmark_out_format=json
+check_snapshot "$out_dir/METRICS_fig3.prom"
 
 echo "== bench_table1_ingest =="
-PT_TABLE1_JSON="$out_dir/BENCH_table1.json" "$bench_dir/bench_table1_ingest"
+PT_TABLE1_JSON="$out_dir/BENCH_table1.json" \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_table1.prom" \
+  "$bench_dir/bench_table1_ingest"
+check_snapshot "$out_dir/METRICS_table1.prom"
 
 echo "== bench_durability =="
-PT_DURABILITY_JSON="$out_dir/BENCH_durability.json" "$bench_dir/bench_durability"
+PT_DURABILITY_JSON="$out_dir/BENCH_durability.json" \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_durability.prom" \
+  "$bench_dir/bench_durability"
+check_snapshot "$out_dir/METRICS_durability.prom"
 
 echo "== bench_cursor =="
-PT_CURSOR_JSON="$out_dir/BENCH_cursor.json" "$bench_dir/bench_cursor"
+PT_CURSOR_JSON="$out_dir/BENCH_cursor.json" \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_cursor.prom" \
+  "$bench_dir/bench_cursor"
+check_snapshot "$out_dir/METRICS_cursor.prom"
 
 echo "== bench_server =="
-PT_SERVER_JSON="$out_dir/BENCH_server.json" "$bench_dir/bench_server"
+PT_SERVER_JSON="$out_dir/BENCH_server.json" \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_server.prom" \
+  "$bench_dir/bench_server"
+check_snapshot "$out_dir/METRICS_server.prom"
 
-echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, and $out_dir/BENCH_server.json"
+echo "== bench_obs =="
+PT_OBS_JSON="$out_dir/BENCH_obs.json" \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_obs.prom" \
+  "$bench_dir/bench_obs"
+check_snapshot "$out_dir/METRICS_obs.prom"
+
+echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, $out_dir/BENCH_server.json, and $out_dir/BENCH_obs.json (plus METRICS_*.prom sidecars)"

@@ -3,9 +3,10 @@
 #
 #   scripts/ci.sh            normal build + full ctest (tier-1 gate)
 #   scripts/ci.sh sanitize   ASan+UBSan build + full ctest
-#   scripts/ci.sh tsan       ThreadSanitizer build + the `server` label
-#                            (ptserverd concurrency: worker pool, DbGate,
-#                            remote dbal, stress + crash-restart tests)
+#   scripts/ci.sh tsan       ThreadSanitizer build + the `server` and `obs`
+#                            labels (ptserverd concurrency: worker pool,
+#                            DbGate, remote dbal, stress + crash-restart
+#                            tests; obs registry/tracer cross-thread races)
 #   scripts/ci.sh bench      normal build + bench smoke (non-gating label)
 #
 # Each mode uses its own build directory so they can be run back to back.
@@ -34,13 +35,14 @@ case "$MODE" in
   tsan)
     # TSan is incompatible with ASan, so it gets its own tree; the server
     # label selects everything multi-threaded (src/server tests and the
-    # daemon crash-restart script).
+    # daemon crash-restart script) and the obs label adds the metrics
+    # registry / tracer cross-thread exercises.
     BUILD="$ROOT/build-tsan"
     cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DPT_SANITIZE=thread
     cmake --build "$BUILD" -j "$JOBS"
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-      ctest --test-dir "$BUILD" --output-on-failure -L server
+      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs"
     ;;
   bench)
     # Smoke only: the benchmarks must run to completion; numbers are not gated.
@@ -50,7 +52,7 @@ case "$MODE" in
     ctest --test-dir "$BUILD" --output-on-failure -L bench
     ;;
   *)
-    echo "usage: $0 [normal|sanitize|bench]" >&2
+    echo "usage: $0 [normal|sanitize|tsan|bench]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# metrics_smoke.sh — end-to-end smoke of the observability surface.
+#
+# Boots ptserverd with --metrics-port 0 on a fresh store, scrapes the HTTP
+# endpoint with nothing but bash's /dev/tcp, and validates:
+#
+#   * /metrics answers HTTP 200 with the Prometheus text exposition
+#     Content-Type and well-formed "# TYPE <name> <kind>" lines;
+#   * counters are live: pt_server_frames_served_total strictly increases
+#     after a ptquery --connect workload;
+#   * /traces shows the recent-query ring with the workload's SQL in it;
+#   * an unknown path answers 404 and does not kill the daemon;
+#   * the daemon still drains cleanly (SIGTERM -> exit 0) afterwards.
+#
+# Usage: metrics_smoke.sh <cli-bin-dir>
+set -u
+
+BIN="${1:?usage: metrics_smoke.sh <cli-bin-dir>}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --slow-query-ms puts the tracer in time-everything mode (classifying slow
+# queries needs every span), which makes the /traces assertions below
+# deterministic; 5000ms keeps the slow log itself empty.
+"$BIN/ptserverd" --listen 127.0.0.1:0 --workers 2 --metrics-port 0 \
+  --slow-query-ms 5000 "$WORK/store.db" > "$WORK/srv.out" 2> "$WORK/srv.err" &
+SRV_PID=$!
+for _ in $(seq 1 200); do
+  PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$WORK/srv.out")"
+  MPORT="$(sed -n 's|^metrics on http://127\.0\.0\.1:\([0-9][0-9]*\)/metrics$|\1|p' "$WORK/srv.out")"
+  [ -n "$PORT" ] && [ -n "$MPORT" ] && break
+  kill -0 "$SRV_PID" 2>/dev/null || fail "ptserverd died at startup: $(cat "$WORK/srv.err")"
+  sleep 0.02
+done
+[ -n "${PORT:-}" ] || fail "no wire port line in server output"
+[ -n "${MPORT:-}" ] || fail "no metrics port line in server output"
+
+# Minimal HTTP/1.0 GET over bash /dev/tcp; response (headers + body) on stdout.
+scrape() {
+  local path="$1"
+  exec 3<>"/dev/tcp/127.0.0.1/$MPORT" || fail "cannot connect to metrics port"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+frames_of() {
+  # Exposition sample line: "<name> <value>".
+  printf '%s\n' "$1" | sed -n 's/^pt_server_frames_served_total \([0-9][0-9]*\)$/\1/p'
+}
+
+# --- first scrape: format checks on an idle server ---------------------------
+
+RESP="$(scrape /metrics)" || fail "first scrape"
+printf '%s\n' "$RESP" | head -1 | grep -q '^HTTP/1\.0 200' \
+  || fail "/metrics did not answer 200: $(printf '%s\n' "$RESP" | head -1)"
+printf '%s\n' "$RESP" | grep -qi '^Content-Type: text/plain; version=0\.0\.4' \
+  || fail "/metrics missing Prometheus text Content-Type"
+# Every TYPE comment must be "# TYPE <metric_name> counter|gauge|histogram".
+BAD_TYPES="$(printf '%s\n' "$RESP" | grep '^# TYPE ' \
+  | grep -Ev '^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$')"
+[ -z "$BAD_TYPES" ] || fail "malformed TYPE line(s): $BAD_TYPES"
+[ "$(printf '%s\n' "$RESP" | grep -c '^# TYPE ')" -ge 5 ] \
+  || fail "expected at least 5 TYPE lines on a booted server"
+printf '%s\n' "$RESP" | grep -q '^pt_server_sessions 0$' \
+  || fail "idle server should report 0 sessions"
+FRAMES_BEFORE="$(frames_of "$RESP")"
+[ -n "$FRAMES_BEFORE" ] || fail "pt_server_frames_served_total sample missing"
+
+# --- workload, then prove the counters moved ---------------------------------
+
+sql() { "$BIN/ptquery" --connect "127.0.0.1:$PORT" sql "$1"; }
+sql "CREATE TABLE smoke (id INTEGER PRIMARY KEY, v INTEGER)" >/dev/null \
+  || fail "CREATE TABLE over the wire"
+for i in 1 2 3; do
+  sql "INSERT INTO smoke (v) VALUES ($i)" >/dev/null || fail "insert $i"
+done
+sql "SELECT COUNT(*) FROM smoke" >/dev/null || fail "select over the wire"
+
+RESP="$(scrape /metrics)" || fail "second scrape"
+FRAMES_AFTER="$(frames_of "$RESP")"
+[ -n "$FRAMES_AFTER" ] || fail "frames counter disappeared"
+[ "$FRAMES_AFTER" -gt "$FRAMES_BEFORE" ] \
+  || fail "frames_served did not move ($FRAMES_BEFORE -> $FRAMES_AFTER)"
+printf '%s\n' "$RESP" | grep -q '^pt_db_file_bytes [1-9]' \
+  || fail "db file size gauge not positive after writes"
+
+TRACES="$(scrape /traces)" || fail "trace scrape"
+printf '%s\n' "$TRACES" | head -1 | grep -q '^HTTP/1\.0 200' || fail "/traces not 200"
+printf '%s\n' "$TRACES" | grep -q '== recent queries' || fail "trace dump header missing"
+printf '%s\n' "$TRACES" | grep -q 'SELECT COUNT(\*) FROM smoke' \
+  || fail "workload query not in trace ring"
+
+NOPE="$(scrape /nope)" || fail "404 scrape"
+printf '%s\n' "$NOPE" | head -1 | grep -q '^HTTP/1\.0 404' || fail "/nope not 404"
+kill -0 "$SRV_PID" 2>/dev/null || fail "daemon died after unknown-path request"
+
+# --- clean drain -------------------------------------------------------------
+
+kill -TERM "$SRV_PID"
+{ wait "$SRV_PID"; status=$?; } 2>/dev/null
+SRV_PID=""
+[ "$status" -eq 0 ] || fail "server exited $status on SIGTERM drain"
+
+echo "OK: metrics endpoint scraped, counters live, traces populated, 404 handled"

@@ -1,7 +1,7 @@
 // ptquery — the PerfTrack GUI's query workflow as a command-line tool.
 //
 // Usage:
-//   ptquery <db> report                       store statistics
+//   ptquery [--timing] <db> report            store statistics
 //   ptquery <db> executions                   execution report
 //   ptquery <db> metrics                      metric inventory
 //   ptquery <db> types                        resource type list
@@ -13,6 +13,11 @@
 //       attr=<name><op><value>[:N|A|D|B]      op in = != < <= > >=
 //     each family prints its live match count, then the result table with
 //     all free-resource columns added.
+//
+// --timing (first flag) prints the client-observed stage breakdown of the
+// last query — parse/plan/bind/execute spans, rows — to stderr on exit.
+// It reports the same spans for local files and --connect runs (remote
+// spans are marked, and execute covers the streamed fetches).
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +30,7 @@
 
 #include "analyze/session_shell.h"
 #include "core/filter.h"
+#include "obs/trace.h"
 #include "core/integrity.h"
 #include "core/query_session.h"
 #include "core/reports.h"
@@ -149,7 +155,44 @@ int runSelect(core::PTDataStore& store, const std::vector<std::string>& args) {
 
 }  // namespace
 
+/// End-of-process stage report for --timing: the destructor prints the last
+/// recorded query span (local executor or remote client, whichever ran) and
+/// the process wall time to stderr, so stdout stays machine-parseable.
+struct TimingReport {
+  bool on = false;
+  obs::StageTimer wall;
+
+  ~TimingReport() {
+    if (!on) return;
+    const double wall_ms = static_cast<double>(wall.elapsedUs()) / 1000.0;
+    const auto t = obs::Tracer::global().last();
+    if (t.has_value()) {
+      std::fprintf(stderr,
+                   "timing:%s parse=%.3fms plan=%.3fms bind=%.3fms "
+                   "execute=%.3fms rows=%llu (wall %.3fms)\n",
+                   t->remote ? " [remote]" : "",
+                   static_cast<double>(t->parse_us) / 1000.0,
+                   static_cast<double>(t->plan_us) / 1000.0,
+                   static_cast<double>(t->bind_us) / 1000.0,
+                   static_cast<double>(t->exec_us) / 1000.0,
+                   static_cast<unsigned long long>(t->rows), wall_ms);
+    } else {
+      std::fprintf(stderr, "timing: no query trace recorded (wall %.3fms)\n",
+                   wall_ms);
+    }
+  }
+};
+
 int main(int argc, char** argv) {
+  TimingReport timing_report;
+  if (argc >= 2 && std::strcmp(argv[1], "--timing") == 0) {
+    timing_report.on = true;
+    // The user asked for this run's spans: defeat the tracer's rate limiter
+    // so the report never comes up empty.
+    obs::Tracer::global().setAlwaysSample(true);
+    argv += 1;
+    argc -= 1;
+  }
   // "--connect host:port" is sugar for the "pt://host:port" connection
   // string: the whole command surface below runs against a ptserverd.
   std::string connect_target;
@@ -161,7 +204,7 @@ int main(int argc, char** argv) {
   }
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <db>|--connect <host:port> "
+                 "usage: %s [--timing] <db>|--connect <host:port> "
                  "report|executions|metrics|types|tree <type>|"
                  "sql <stmt>|select <family>...\n",
                  argv[0]);

@@ -16,6 +16,11 @@
 //     --lock-timeout <ms>     gate acquisition budget before BUSY
 //     --durability=full|none  storage journaling mode (default full)
 //     --no-remote-shutdown    ignore SHUTDOWN frames (signals still work)
+//     --metrics-port <n>      serve GET /metrics and /traces over HTTP on
+//                             the listen host (0 picks an ephemeral port,
+//                             printed on stdout; omit to disable)
+//     --slow-query-ms <ms>    log queries slower than this to stderr and
+//                             the slow-trace ring (0 disables; default 0)
 //
 // On startup the daemon prints "listening on <host>:<port>" (and the unix
 // path if any) to stdout and flushes, so harnesses can scrape the ephemeral
@@ -37,6 +42,7 @@
 #include <unistd.h>
 
 #include "minidb/vfs.h"
+#include "obs/trace.h"
 #include "server/server.h"
 
 namespace {
@@ -63,6 +69,7 @@ int usage(const char* argv0) {
                "usage: %s [--listen host:port] [--unix path] [--workers n]\n"
                "       [--max-conn n] [--idle-timeout ms] [--lock-timeout ms]\n"
                "       [--durability=full|none] [--no-remote-shutdown]\n"
+               "       [--metrics-port n] [--slow-query-ms ms]\n"
                "       <database|:memory:>\n",
                argv0);
   return 2;
@@ -120,6 +127,15 @@ int main(int argc, char** argv) {
       options.durability = minidb::Durability::None;
     } else if (flag == "--no-remote-shutdown") {
       config.limits.allow_shutdown = false;
+    } else if (flag == "--metrics-port") {
+      config.metrics_port = std::atoi(nextValue("--metrics-port"));
+      if (config.metrics_port < 0 || config.metrics_port > 65535) {
+        std::fprintf(stderr, "ptserverd: bad --metrics-port (want 0..65535)\n");
+        return 2;
+      }
+    } else if (flag == "--slow-query-ms") {
+      obs::Tracer::global().setSlowQueryMillis(
+          static_cast<std::uint64_t>(std::atol(nextValue("--slow-query-ms"))));
     } else {
       std::fprintf(stderr, "ptserverd: unknown flag '%s'\n", flag.c_str());
       return usage(argv[0]);
@@ -160,6 +176,10 @@ int main(int argc, char** argv) {
     }
     if (!config.unix_path.empty()) {
       std::printf("listening on unix:%s\n", config.unix_path.c_str());
+    }
+    if (config.metrics_port >= 0) {
+      std::printf("metrics on http://%s:%u/metrics\n", config.host.c_str(),
+                  srv.boundMetricsPort());
     }
     std::fflush(stdout);
 

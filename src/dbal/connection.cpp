@@ -1,6 +1,7 @@
 #include "dbal/connection.h"
 
 #include "dbal/remote.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace perftrack::dbal {
@@ -8,6 +9,26 @@ namespace perftrack::dbal {
 namespace {
 
 using minidb::sql::Statement;
+
+/// Process-wide mirrors of the per-connection StatementCacheStats, so the
+/// metrics endpoint can report cache behavior across all sessions.
+struct StmtCacheCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& invalidations;
+};
+
+StmtCacheCounters& stmtCacheCounters() {
+  auto& reg = obs::Registry::global();
+  static StmtCacheCounters* c = new StmtCacheCounters{
+      reg.counter("pt_stmt_cache_hits_total"),
+      reg.counter("pt_stmt_cache_misses_total"),
+      reg.counter("pt_stmt_cache_evictions_total"),
+      reg.counter("pt_stmt_cache_invalidations_total"),
+  };
+  return *c;
+}
 
 /// Only plain DML/query statements are worth caching; DDL, transaction
 /// control, and VACUUM are rare and invalidate plans anyway.
@@ -122,6 +143,7 @@ std::shared_ptr<minidb::sql::PreparedStatement> LocalConnection::prepared(
   if (it != cache_map_.end()) {
     if (!it->second->stmt->hasOpenCursor()) {
       ++stats_.hits;
+      stmtCacheCounters().hits.inc();
       cache_.splice(cache_.begin(), cache_, it->second);
       return it->second->stmt;
     }
@@ -129,9 +151,11 @@ std::shared_ptr<minidb::sql::PreparedStatement> LocalConnection::prepared(
     // live in the shared AST, so hand out a fresh uncached statement rather
     // than corrupting the scan in progress.
     ++stats_.misses;
+    stmtCacheCounters().misses.inc();
     return std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
   }
   ++stats_.misses;
+  stmtCacheCounters().misses.inc();
   auto stmt = std::make_shared<minidb::sql::PreparedStatement>(engine_.prepare(sql));
   if (cache_capacity_ == 0 || !cacheableKind(stmt->kind())) return stmt;
   cache_.push_front(CacheEntry{std::string(sql), stmt});
@@ -140,12 +164,14 @@ std::shared_ptr<minidb::sql::PreparedStatement> LocalConnection::prepared(
     cache_map_.erase(std::string_view(cache_.back().sql));
     cache_.pop_back();
     ++stats_.evictions;
+    stmtCacheCounters().evictions.inc();
   }
   return stmt;
 }
 
 void LocalConnection::dropEntries(std::uint64_t* counter) {
   if (counter != nullptr) *counter += cache_.size();
+  stmtCacheCounters().invalidations.inc(cache_.size());
   cache_map_.clear();
   cache_.clear();
 }
@@ -205,6 +231,7 @@ void LocalConnection::setStatementCacheCapacity(std::size_t capacity) {
     cache_map_.erase(std::string_view(cache_.back().sql));
     cache_.pop_back();
     ++stats_.evictions;
+    stmtCacheCounters().evictions.inc();
   }
 }
 

@@ -3,6 +3,8 @@
 #include <deque>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/net.h"
 #include "server/protocol.h"
 #include "util/error.h"
@@ -118,6 +120,15 @@ class RemoteCursorImpl final : public Cursor::Impl {
         cursor_id_(cursor_id),
         columns_(std::move(columns)) {}
 
+  /// Arms client-side span recording: the trace (prepare/bind spans already
+  /// filled by the connection) is completed with the streaming wall time and
+  /// row count when the cursor closes.
+  void arm(obs::QueryTrace trace) {
+    traced_ = true;
+    trace_ = std::move(trace);
+    exec_timer_ = obs::StageTimer();
+  }
+
   ~RemoteCursorImpl() override {
     try {
       close();
@@ -135,12 +146,18 @@ class RemoteCursorImpl final : public Cursor::Impl {
     }
     row = std::move(buffer_.front());
     buffer_.pop_front();
+    if (traced_) ++trace_.rows;
     return true;
   }
 
   void close() override {
     if (!open_) return;
     open_ = false;
+    if (traced_) {
+      trace_.exec_us = exec_timer_.elapsedUs();
+      obs::Tracer::global().record(std::move(trace_));
+      traced_ = false;
+    }
     buffer_.clear();
     releaseStmt();
     if (!server_done_ && wire_->alive) {
@@ -185,6 +202,9 @@ class RemoteCursorImpl final : public Cursor::Impl {
   std::deque<minidb::Row> buffer_;
   bool server_done_ = false;  // server-side cursor exhausted and gone
   bool open_ = true;
+  bool traced_ = false;
+  obs::QueryTrace trace_;
+  obs::StageTimer exec_timer_;
 };
 
 // --- RemoteConnection --------------------------------------------------------
@@ -304,7 +324,8 @@ ResultSet RemoteConnection::runToResult(const std::shared_ptr<StmtHandle>& stmt)
   return rs;
 }
 
-Cursor RemoteConnection::openRemoteCursor(std::shared_ptr<StmtHandle> stmt) {
+Cursor RemoteConnection::openRemoteCursor(std::shared_ptr<StmtHandle> stmt,
+                                          obs::QueryTrace* trace) {
   WireWriter w;
   w.u32(stmt->id);
   Frame response;
@@ -322,40 +343,89 @@ Cursor RemoteConnection::openRemoteCursor(std::shared_ptr<StmtHandle> stmt) {
   columns.reserve(ncols);
   for (std::uint32_t i = 0; i < ncols; ++i) columns.push_back(r.str());
   stmt->cursor_open = true;
-  return Cursor(std::make_unique<RemoteCursorImpl>(wire_, std::move(stmt),
-                                                   cursor_id, std::move(columns)));
+  auto impl = std::make_unique<RemoteCursorImpl>(wire_, std::move(stmt),
+                                                 cursor_id, std::move(columns));
+  if (trace != nullptr) impl->arm(std::move(*trace));
+  return Cursor(std::move(impl));
 }
 
 ResultSet RemoteConnection::exec(std::string_view sql) {
+  const bool traced = obs::Tracer::global().shouldSample();
+  const obs::StageTimer prep_timer;
   auto stmt = stmtFor(sql);
   if (stmt->param_count > 0) {
     throw util::SqlError("statement has " + std::to_string(stmt->param_count) +
                          " '?' parameter(s); use execPrepared()");
   }
-  return runToResult(stmt);
+  if (!traced) return runToResult(stmt);
+  obs::QueryTrace t;
+  t.sql = std::string(sql);
+  t.remote = true;
+  t.parse_us = prep_timer.elapsedUs();
+  const obs::StageTimer exec_timer;
+  ResultSet rs = runToResult(stmt);
+  t.exec_us = exec_timer.elapsedUs();
+  t.rows = rs.rows.empty() && rs.rows_affected > 0
+               ? static_cast<std::uint64_t>(rs.rows_affected)
+               : rs.rows.size();
+  obs::Tracer::global().record(std::move(t));
+  return rs;
 }
 
 ResultSet RemoteConnection::execPrepared(std::string_view sql,
                                          std::vector<minidb::Value> params) {
+  const bool traced = obs::Tracer::global().shouldSample();
+  const obs::StageTimer prep_timer;
   auto stmt = stmtFor(sql);
+  obs::QueryTrace t;
+  t.parse_us = traced ? prep_timer.elapsedUs() : 0;
+  const obs::StageTimer bind_timer;
   bindRemote(stmt, std::move(params));
-  return runToResult(stmt);
+  if (!traced) return runToResult(stmt);
+  t.sql = std::string(sql);
+  t.remote = true;
+  t.bind_us = bind_timer.elapsedUs();
+  const obs::StageTimer exec_timer;
+  ResultSet rs = runToResult(stmt);
+  t.exec_us = exec_timer.elapsedUs();
+  t.rows = rs.rows.empty() && rs.rows_affected > 0
+               ? static_cast<std::uint64_t>(rs.rows_affected)
+               : rs.rows.size();
+  obs::Tracer::global().record(std::move(t));
+  return rs;
 }
 
 Cursor RemoteConnection::query(std::string_view sql) {
+  const bool traced = obs::Tracer::global().shouldSample();
+  const obs::StageTimer prep_timer;
   auto stmt = stmtFor(sql);
   if (stmt->param_count > 0) {
     throw util::SqlError("statement has " + std::to_string(stmt->param_count) +
                          " '?' parameter(s); use query(sql, params)");
   }
-  return openRemoteCursor(std::move(stmt));
+  if (!traced) return openRemoteCursor(std::move(stmt), nullptr);
+  obs::QueryTrace t;
+  t.sql = std::string(sql);
+  t.remote = true;
+  t.parse_us = prep_timer.elapsedUs();
+  return openRemoteCursor(std::move(stmt), &t);
 }
 
 Cursor RemoteConnection::query(std::string_view sql,
                                std::vector<minidb::Value> params) {
+  const bool traced = obs::Tracer::global().shouldSample();
+  const obs::StageTimer prep_timer;
   auto stmt = stmtFor(sql);
+  const std::uint64_t parse_us = traced ? prep_timer.elapsedUs() : 0;
+  const obs::StageTimer bind_timer;
   bindRemote(stmt, std::move(params));
-  return openRemoteCursor(std::move(stmt));
+  if (!traced) return openRemoteCursor(std::move(stmt), nullptr);
+  obs::QueryTrace t;
+  t.sql = std::string(sql);
+  t.remote = true;
+  t.parse_us = parse_us;
+  t.bind_us = bind_timer.elapsedUs();
+  return openRemoteCursor(std::move(stmt), &t);
 }
 
 void RemoteConnection::begin() {
@@ -401,6 +471,30 @@ void RemoteConnection::ping() {
 
 void RemoteConnection::shutdownServer() {
   wire_->expect(Frame{Op::Shutdown, {}}, Op::Ok);
+}
+
+ServerStat RemoteConnection::serverStat() {
+  Frame response = wire_->expect(Frame{Op::Stat, {}}, Op::StatOk);
+  WireReader r(response.payload);
+  ServerStat s;
+  s.size_bytes = r.u64();
+  s.sessions = r.u32();
+  s.frames_served = r.u64();
+  if (!r.atEnd()) {
+    s.extended = true;
+    s.uptime_ms = r.u64();
+    s.open_cursors = r.u32();
+    s.db_file_bytes = r.u64();
+    s.journal_bytes = r.u64();
+    s.busy_rejections = r.u64();
+  }
+  return s;
+}
+
+std::string RemoteConnection::serverMetrics() {
+  Frame response = wire_->expect(Frame{Op::Metrics, {}}, Op::MetricsOk);
+  WireReader r(response.payload);
+  return r.str();
 }
 
 }  // namespace perftrack::dbal

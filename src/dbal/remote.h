@@ -27,6 +27,7 @@
 
 #include "dbal/connection.h"
 #include "minidb/sql/ast.h"
+#include "obs/trace.h"
 
 namespace perftrack::dbal {
 
@@ -39,6 +40,20 @@ inline constexpr char kRemoteScheme[] = "pt://";
 class ServerBusyError : public util::PTError {
  public:
   explicit ServerBusyError(std::string message) : util::PTError(std::move(message)) {}
+};
+
+/// Decoded STAT_OK payload. `extended` is false when the server predates
+/// the PR-5 append-only fields (they read as zero in that case).
+struct ServerStat {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t sessions = 0;
+  std::uint64_t frames_served = 0;
+  bool extended = false;
+  std::uint64_t uptime_ms = 0;
+  std::uint32_t open_cursors = 0;
+  std::uint64_t db_file_bytes = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t busy_rejections = 0;
 };
 
 class RemoteConnection final : public Connection {
@@ -76,6 +91,11 @@ class RemoteConnection final : public Connection {
   void ping();
   /// Asks the server to drain and exit (SHUTDOWN frame).
   void shutdownServer();
+  /// Full decoded STAT_OK (sizeBytes() reads only the leading field).
+  ServerStat serverStat();
+  /// The server's Prometheus text exposition (METRICS frame) — the same
+  /// text `curl` gets from --metrics-port, fetched over the wire protocol.
+  std::string serverMetrics();
 
  private:
   struct Wire;        // shared socket state (kept alive by open cursors)
@@ -90,7 +110,10 @@ class RemoteConnection final : public Connection {
   std::shared_ptr<StmtHandle> stmtFor(std::string_view sql);
   std::shared_ptr<StmtHandle> prepareRemote(std::string_view sql, bool cache);
   ResultSet runToResult(const std::shared_ptr<StmtHandle>& stmt);
-  Cursor openRemoteCursor(std::shared_ptr<StmtHandle> stmt);
+  /// With `trace` non-null the cursor completes and records the span (the
+  /// prepare/bind stage timings already filled in) when it closes.
+  Cursor openRemoteCursor(std::shared_ptr<StmtHandle> stmt,
+                          obs::QueryTrace* trace);
   void bindRemote(const std::shared_ptr<StmtHandle>& stmt,
                   std::vector<minidb::Value> params);
 

@@ -227,6 +227,12 @@ class Database {
   /// Logical database size in bytes (Table 1 "DB size increase" metric).
   std::uint64_t sizeBytes() const { return pager_->sizeBytes(); }
 
+  /// On-disk db file size in bytes (0 for in-memory backends).
+  std::uint64_t fileSizeBytes() const { return pager_->fileSizeBytes(); }
+
+  /// Size of the sidecar rollback journal, or 0 when absent/in-memory.
+  std::uint64_t journalSizeBytes() const { return pager_->journalSizeBytes(); }
+
   Pager& pager() { return *pager_; }
 
  private:

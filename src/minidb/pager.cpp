@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace perftrack::minidb {
@@ -10,6 +12,41 @@ namespace perftrack::minidb {
 using util::StorageError;
 
 namespace {
+
+/// Process-wide pager counters, resolved once from the global registry and
+/// cached as references (the hot path is a relaxed atomic add, no lookup).
+/// Cache-hit accounting: every pageForRead is a hit except the pages loaded
+/// from disk at open (pt_pager_pages_loaded_total), since minidb keeps the
+/// whole database resident.
+struct PagerCounters {
+  obs::Counter& page_reads;
+  obs::Counter& page_writes;
+  obs::Counter& pages_allocated;
+  obs::Counter& pages_freed;
+  obs::Counter& pages_loaded;
+  obs::Counter& disk_page_writes;
+  obs::Counter& journal_fsyncs;
+  obs::Counter& db_fsyncs;
+  obs::Counter& commits;
+  obs::Histogram& commit_ms;
+};
+
+PagerCounters& pagerCounters() {
+  auto& reg = obs::Registry::global();
+  static PagerCounters* c = new PagerCounters{
+      reg.counter("pt_pager_page_reads_total"),
+      reg.counter("pt_pager_page_writes_total"),
+      reg.counter("pt_pager_pages_allocated_total"),
+      reg.counter("pt_pager_pages_freed_total"),
+      reg.counter("pt_pager_pages_loaded_total"),
+      reg.counter("pt_pager_disk_page_writes_total"),
+      reg.counter("pt_pager_journal_fsyncs_total"),
+      reg.counter("pt_pager_db_fsyncs_total"),
+      reg.counter("pt_pager_commits_total"),
+      reg.histogram("pt_pager_commit_ms"),
+  };
+  return *c;
+}
 
 DbHeader* headerOf(std::uint8_t* page0) { return reinterpret_cast<DbHeader*>(page0); }
 
@@ -66,6 +103,7 @@ std::uint8_t* Pager::pageForWrite(PageId id) {
   }
   journalTouch(id);
   dirty_.insert(id);
+  pagerCounters().page_writes.inc();
   return pages_[id]->data();
 }
 
@@ -73,6 +111,7 @@ const std::uint8_t* Pager::pageForRead(PageId id) const {
   if (id >= pages_.size() || !pages_[id]) {
     throw StorageError("Pager: read access to unallocated page " + std::to_string(id));
   }
+  pagerCounters().page_reads.inc();
   return pages_[id]->data();
 }
 
@@ -87,6 +126,7 @@ PageId Pager::allocate() {
     h.freelist_head = next;
     std::uint8_t* page = pageForWrite(id);
     std::memset(page, 0, kPageSize);
+    pagerCounters().pages_allocated.inc();
     return id;
   }
   const PageId id = h.page_count;
@@ -96,11 +136,13 @@ PageId Pager::allocate() {
   pages_[id]->fill(0);
   journalTouch(id);
   dirty_.insert(id);
+  pagerCounters().pages_allocated.inc();
   return id;
 }
 
 void Pager::free(PageId id) {
   if (id == 0) throw StorageError("Pager: cannot free header page");
+  pagerCounters().pages_freed.inc();
   DbHeader& h = headerForWrite();
   std::uint8_t* page = pageForWrite(id);
   std::memset(page, 0, kPageSize);
@@ -172,6 +214,7 @@ void FilePager::loadFromDisk() {
     throw StorageError("FilePager: " + path_ + " is not a valid minidb file");
   }
   const std::size_t count = static_cast<std::size_t>(file_size / kPageSize);
+  pagerCounters().pages_loaded.inc(count);
   pages_.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     pages_[i] = std::make_unique<PageBuf>();
@@ -245,16 +288,29 @@ void FilePager::flush() {
   }
 }
 
+std::uint64_t FilePager::fileSizeBytes() const {
+  return file_->size();
+}
+
+std::uint64_t FilePager::journalSizeBytes() const {
+  if (!vfs_->exists(journal_path_)) return 0;
+  return vfs_->open(journal_path_, /*create=*/false)->size();
+}
+
 void FilePager::flushInPlace() {
   const std::uint32_t count = header().page_count;
+  std::uint64_t written = 0;
   for (PageId id : dirty_) {
     if (id >= count || !pages_[id]) continue;  // freed/rolled-back page
     file_->write(std::uint64_t{id} * kPageSize, pages_[id]->data(), kPageSize);
+    ++written;
   }
+  pagerCounters().disk_page_writes.inc(written);
   dirty_.clear();
 }
 
 void FilePager::flushDurable() {
+  const obs::StageTimer commit_timer;
   // A journal left behind by an earlier failed flush describes the last
   // committed on-disk state; roll the file back to it before starting over.
   // dirty_ still covers every page changed since that state, so the retry
@@ -304,12 +360,14 @@ void FilePager::flushDurable() {
   auto jf = vfs_->open(journal_path_, /*create=*/true);
   jf->write(0, jbuf.data(), jbuf.size());
   jf->sync();
+  pagerCounters().journal_fsyncs.inc();
 
   // 2. Write the new pages in place, then force them to stable storage.
   for (PageId id : to_write) {
     file_->write(std::uint64_t{id} * kPageSize, pages_[id]->data(), kPageSize);
   }
   file_->sync();
+  pagerCounters().db_fsyncs.inc();
 
   // 3. Commit point: invalidate the journal. Truncating to zero commits even
   //    if the remove below never happens (an empty journal is discarded on
@@ -318,6 +376,10 @@ void FilePager::flushDurable() {
   jf.reset();
   vfs_->remove(journal_path_);
   dirty_.clear();
+  pagerCounters().disk_page_writes.inc(to_write.size());
+  pagerCounters().commits.inc();
+  pagerCounters().commit_ms.observe(
+      static_cast<double>(commit_timer.elapsedUs()) / 1000.0);
 }
 
 }  // namespace perftrack::minidb

@@ -129,6 +129,13 @@ class Pager {
   /// clean opens).
   const RecoveryStats& recoveryStats() const { return recovery_stats_; }
 
+  /// On-disk database file size in bytes (0 for in-memory backends). May
+  /// differ from sizeBytes() until the next flush.
+  virtual std::uint64_t fileSizeBytes() const { return 0; }
+
+  /// Size of the sidecar rollback journal, or 0 when absent/in-memory.
+  virtual std::uint64_t journalSizeBytes() const { return 0; }
+
  protected:
   Pager() = default;
 
@@ -168,6 +175,9 @@ class FilePager final : public Pager {
   ~FilePager() override;
 
   void flush() override;
+
+  std::uint64_t fileSizeBytes() const override;
+  std::uint64_t journalSizeBytes() const override;
 
   const std::string& path() const { return path_; }
   Durability durability() const { return durability_; }

@@ -147,8 +147,9 @@ struct Statement {
     Select, Insert, Update, Delete, CreateTable, CreateIndex, Drop, Txn, Vacuum,
   };
   Kind kind = Kind::Select;
-  bool explain = false;  // EXPLAIN prefix: emit the plan instead of rows
-  int param_count = 0;   // number of '?' placeholders across the statement
+  bool explain = false;          // EXPLAIN prefix: emit the plan instead of rows
+  bool explain_analyze = false;  // EXPLAIN ANALYZE: run, then emit annotated plan
+  int param_count = 0;           // number of '?' placeholders across the statement
 
   // Exactly one of these is populated, matching `kind`.
   std::unique_ptr<SelectStmt> select;

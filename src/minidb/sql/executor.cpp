@@ -2,15 +2,57 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "minidb/sql/lexer.h"
 #include "minidb/sql/parser.h"
 #include "minidb/sql/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace perftrack::minidb::sql {
 
 using util::SqlError;
+
+namespace {
+
+/// SQL-layer counters, resolved once (hot path is a relaxed atomic add).
+struct SqlCounters {
+  obs::Counter& queries;
+  obs::Counter& rows_streamed;
+  obs::Counter& plan_revalidations;
+  obs::Histogram& query_ms;
+};
+
+SqlCounters& sqlCounters() {
+  auto& reg = obs::Registry::global();
+  static SqlCounters* c = new SqlCounters{
+      reg.counter("pt_sql_queries_total"),
+      reg.counter("pt_sql_rows_streamed_total"),
+      reg.counter("pt_plan_revalidations_total"),
+      reg.histogram("pt_sql_query_ms"),
+  };
+  return *c;
+}
+
+/// Approximate wire size of one row (matches the server's framing costs
+/// closely enough for the bytes-streamed span).
+std::uint64_t approxRowBytes(const Row& row) {
+  std::uint64_t n = 0;
+  for (const Value& v : row) {
+    if (v.isNull()) {
+      n += 1;
+    } else if (v.isText()) {
+      n += 5 + v.asText().size();
+    } else {
+      n += 9;  // tag + 8-byte int/real payload
+    }
+  }
+  return n;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ResultSet rendering
@@ -77,6 +119,11 @@ struct CursorImpl {
   std::uint64_t epoch = 0;
   Database::CursorPin pin;
   std::shared_ptr<char> busy_token;  // shared with the owning PreparedStatement
+  // Query-span tracing (only when the tracer sampled this open). exec_us is
+  // wall time from open to close, covering the whole streamed drain.
+  bool traced = false;
+  obs::QueryTrace trace;
+  obs::StageTimer exec_timer;
 
   ~CursorImpl() { closeImpl(); }
 
@@ -88,6 +135,7 @@ struct CursorImpl {
         return false;
       }
       row = std::move(explain_rows[explain_pos++]);
+      countRow(row);
       return true;
     }
     // The pin makes schema changes impossible while open; this guards the
@@ -100,10 +148,24 @@ struct CursorImpl {
       closeImpl();
       return false;
     }
+    countRow(row);
     return true;
   }
 
+  void countRow(const Row& row) {
+    if (!traced) return;
+    ++trace.rows;
+    trace.bytes += approxRowBytes(row);
+  }
+
   void closeImpl() {
+    if (open && traced) {
+      trace.exec_us = exec_timer.elapsedUs();
+      sqlCounters().rows_streamed.inc(trace.rows);
+      sqlCounters().query_ms.observe(static_cast<double>(trace.totalUs()) / 1000.0);
+      obs::Tracer::global().record(std::move(trace));
+      traced = false;
+    }
     if (open && pipeline.root) pipeline.root->close();
     open = false;
     pin.release();
@@ -137,9 +199,14 @@ bool Cursor::isOpen() const { return impl_ && impl_->open; }
 // ---------------------------------------------------------------------------
 
 PreparedStatement::PreparedStatement(Engine& engine, std::string sql)
-    : engine_(&engine),
-      sql_(std::move(sql)),
-      stmt_(std::make_shared<Statement>(parseStatement(sql_))) {
+    : engine_(&engine), sql_(std::move(sql)) {
+  if (obs::enabled()) {
+    const obs::StageTimer t;
+    stmt_ = std::make_shared<Statement>(parseStatement(sql_));
+    parse_us_ = t.elapsedUs();
+  } else {
+    stmt_ = std::make_shared<Statement>(parseStatement(sql_));
+  }
   params_.resize(static_cast<std::size_t>(stmt_->param_count));
   bound_.assign(static_cast<std::size_t>(stmt_->param_count), 0);
 }
@@ -187,13 +254,33 @@ Cursor PreparedStatement::openCursor() {
   if (hasOpenCursor()) {
     throw SqlError("a cursor is already open on this prepared statement");
   }
-  if (stmt_->param_count > 0) bindParamValues(*stmt_, params_);
+  const bool traced = obs::Tracer::global().shouldSample();
+  std::uint64_t bind_us = 0;
+  std::uint64_t plan_us = 0;
+  if (stmt_->param_count > 0) {
+    if (traced) {
+      const obs::StageTimer t;
+      bindParamValues(*stmt_, params_);
+      bind_us = t.elapsedUs();
+    } else {
+      bindParamValues(*stmt_, params_);
+    }
+  }
   Database& db = *engine_->db_;
   if (!plan_ || plan_->epoch != db.schemaEpoch() ||
       plan_->use_indexes != engine_->use_indexes_) {
-    plan_ = std::make_shared<SelectPlan>(
-        buildSelectPlan(db, *stmt_->select, engine_->use_indexes_));
+    if (plan_) sqlCounters().plan_revalidations.inc();
+    if (traced) {
+      const obs::StageTimer t;
+      plan_ = std::make_shared<SelectPlan>(
+          buildSelectPlan(db, *stmt_->select, engine_->use_indexes_));
+      plan_us = t.elapsedUs();
+    } else {
+      plan_ = std::make_shared<SelectPlan>(
+          buildSelectPlan(db, *stmt_->select, engine_->use_indexes_));
+    }
   }
+  sqlCounters().queries.inc();
   auto impl = std::make_shared<CursorImpl>();
   impl->db = &db;
   impl->stmt = stmt_;
@@ -201,10 +288,39 @@ Cursor PreparedStatement::openCursor() {
   impl->epoch = plan_->epoch;
   impl->busy_token = std::make_shared<char>(1);
   busy_token_ = impl->busy_token;
+  if (traced) {
+    impl->traced = true;
+    impl->trace.sql = sql_;
+    impl->trace.parse_us = std::exchange(parse_us_, 0);
+    impl->trace.plan_us = plan_us;
+    impl->trace.bind_us = bind_us;
+  }
   if (stmt_->explain) {
     impl->is_explain = true;
     impl->columns = {"plan"};
-    for (std::string& line : explainPipeline(db, *plan_)) {
+    std::vector<std::string> lines;
+    if (stmt_->explain_analyze) {
+      // EXPLAIN ANALYZE: run the statement to exhaustion with per-operator
+      // accounting armed, then step the annotated tree lines. The run holds
+      // a scoped pin; the resulting cursor is text-only and pin-free, so it
+      // is safe to stream over the wire like plain EXPLAIN.
+      materializePlanSubqueries(db, *plan_);
+      Pipeline p = buildPipeline(db, *plan_);
+      p.root->setAnalyze(true);
+      {
+        const Database::CursorPin run_pin = db.pinCursor();
+        p.root->open();
+        Row row;
+        std::vector<Value> keys;
+        while (p.root->next(row, keys)) {
+        }
+        p.root->close();
+      }
+      p.root->describe(lines, 0);
+    } else {
+      lines = explainPipeline(db, *plan_);
+    }
+    for (std::string& line : lines) {
       impl->explain_rows.push_back({Value(std::move(line))});
     }
   } else {
@@ -215,6 +331,7 @@ Cursor PreparedStatement::openCursor() {
     impl->pin = db.pinCursor();
     impl->pipeline.root->open();
   }
+  if (traced) impl->exec_timer = obs::StageTimer();
   impl->open = true;
   return Cursor(std::move(impl));
 }
@@ -234,8 +351,26 @@ ResultSet PreparedStatement::execute() {
     while (cur.next(row)) rs.rows.push_back(std::move(row));
     return rs;
   }
-  if (stmt_->param_count > 0) bindParamValues(*stmt_, params_);
-  return engine_->exec(*stmt_);
+  sqlCounters().queries.inc();
+  if (!obs::Tracer::global().shouldSample()) {
+    if (stmt_->param_count > 0) bindParamValues(*stmt_, params_);
+    return engine_->exec(*stmt_);
+  }
+  obs::QueryTrace t;
+  t.sql = sql_;
+  t.parse_us = std::exchange(parse_us_, 0);
+  if (stmt_->param_count > 0) {
+    const obs::StageTimer bt;
+    bindParamValues(*stmt_, params_);
+    t.bind_us = bt.elapsedUs();
+  }
+  const obs::StageTimer et;
+  ResultSet rs = engine_->exec(*stmt_);
+  t.exec_us = et.elapsedUs();
+  t.rows = static_cast<std::uint64_t>(rs.rows_affected);
+  sqlCounters().query_ms.observe(static_cast<double>(t.totalUs()) / 1000.0);
+  obs::Tracer::global().record(std::move(t));
+  return rs;
 }
 
 ResultSet PreparedStatement::execute(std::vector<Value> params) {
@@ -317,7 +452,8 @@ ResultSet Engine::execScript(std::string_view script) {
 ResultSet Engine::exec(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::Select:
-      return execSelect(*db_, *stmt.select, use_indexes_, stmt.explain);
+      return execSelect(*db_, *stmt.select, use_indexes_, stmt.explain,
+                        stmt.explain_analyze);
 
     case Statement::Kind::Insert: {
       const InsertStmt& ins = *stmt.insert;

@@ -138,6 +138,7 @@ class PreparedStatement {
   std::vector<char> bound_;        // per-parameter "has been bound" flags
   std::shared_ptr<SelectPlan> plan_;  // lazily built, epoch-validated
   std::shared_ptr<char> busy_token_;  // nonzero while a cursor is open
+  std::uint64_t parse_us_ = 0;     // parse span, consumed by the first execution
 };
 
 class Engine {

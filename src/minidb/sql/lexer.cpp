@@ -21,7 +21,7 @@ const std::unordered_set<std::string>& keywords() {
       "ASC",    "DESC",    "NULL",   "IS",     "IN",     "LIKE",     "BEGIN",
       "COMMIT", "ROLLBACK","PRIMARY","KEY",    "INTEGER","REAL",     "TEXT",
       "COUNT",  "SUM",     "AVG",    "MIN",    "MAX",    "DISTINCT", "EXPLAIN",
-      "IF",     "EXISTS",  "BETWEEN","OUTER",  "VACUUM"};
+      "IF",     "EXISTS",  "BETWEEN","OUTER",  "VACUUM", "ANALYZE"};
   return kw;
 }
 

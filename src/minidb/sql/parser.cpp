@@ -39,7 +39,10 @@ class Parser {
 
   Statement parse() {
     Statement stmt;
-    if (accept("EXPLAIN")) stmt.explain = true;
+    if (accept("EXPLAIN")) {
+      stmt.explain = true;
+      stmt.explain_analyze = accept("ANALYZE");
+    }
     const Token& t = peek();
     if (t.isKeyword("SELECT")) {
       stmt.kind = Statement::Kind::Select;
@@ -84,6 +87,9 @@ class Parser {
     }
     acceptSymbol(";");
     if (peek().type != TokenType::End) fail("trailing input after statement");
+    if (stmt.explain_analyze && stmt.kind != Statement::Kind::Select) {
+      fail("EXPLAIN ANALYZE supports only SELECT statements");
+    }
     stmt.param_count = param_count_;
     return stmt;
   }

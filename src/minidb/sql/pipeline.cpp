@@ -3,6 +3,7 @@
 #include "minidb/sql/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <set>
@@ -686,23 +687,62 @@ SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
 // SlotIter — per-FROM-entry row producers inside the nested loop
 // ---------------------------------------------------------------------------
 
+void appendActuals(std::string& line, const OpStats& stats) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " (actual rows=%llu loops=%llu time=%.3fms)",
+                static_cast<unsigned long long>(stats.rows),
+                static_cast<unsigned long long>(stats.loops),
+                static_cast<double>(stats.time_ns) / 1e6);
+  line += buf;
+}
+
 namespace {
 
 std::string indentOf(int depth) { return std::string(2 * depth, ' '); }
 
 /// Produces the candidate rows of one FROM entry for the current binding of
 /// the earlier tuple slots. produced() counts rows emitted since open().
+/// Like RowOp, the public surface wraps virtual do*() hooks so EXPLAIN
+/// ANALYZE can account loops/rows/time per iterator stage.
 class SlotIter {
  public:
   virtual ~SlotIter() = default;
-  virtual void open() = 0;
-  virtual bool next(Row& out) = 0;
-  virtual void close() = 0;
-  virtual void describe(std::vector<std::string>& lines, int depth) const = 0;
+
+  void open() {
+    if (!stats_.timed) return doOpen();
+    ++stats_.loops;
+    const detail::OpTick tick(stats_);
+    doOpen();
+  }
+  bool next(Row& out) {
+    if (!stats_.timed) return doNext(out);
+    const detail::OpTick tick(stats_);
+    const bool ok = doNext(out);
+    if (ok) ++stats_.rows;
+    return ok;
+  }
+  void close() {
+    if (!stats_.timed) return doClose();
+    const detail::OpTick tick(stats_);
+    doClose();
+  }
+  void describe(std::vector<std::string>& lines, int depth) const {
+    const std::size_t first = lines.size();
+    doDescribe(lines, depth);
+    if (stats_.timed && first < lines.size()) appendActuals(lines[first], stats_);
+  }
+
+  virtual void setAnalyze(bool on) { stats_.timed = on; }
   std::size_t produced() const { return produced_; }
 
  protected:
+  virtual void doOpen() = 0;
+  virtual bool doNext(Row& out) = 0;
+  virtual void doClose() = 0;
+  virtual void doDescribe(std::vector<std::string>& lines, int depth) const = 0;
+
   std::size_t produced_ = 0;
+  OpStats stats_;
 };
 
 class SeqScanIter : public SlotIter {
@@ -711,18 +751,18 @@ class SeqScanIter : public SlotIter {
               const SelectPlan::FromEntry& entry)
       : db_(&db), path_(&path), entry_(&entry) {}
 
-  void open() override {
+  void doOpen() override {
     produced_ = 0;
     cur_.emplace(db_->openCursor(entry_->def->name));
   }
-  bool next(Row& out) override {
+  bool doNext(Row& out) override {
     RecordId rid;
     if (!cur_ || !cur_->next(rid, out)) return false;
     ++produced_;
     return true;
   }
-  void close() override { cur_.reset(); }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override { cur_.reset(); }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + path_->describe(*entry_));
   }
 
@@ -739,7 +779,7 @@ class IndexEqualIter : public SlotIter {
                  const SelectPlan::FromEntry& entry, const Tuple& tuple)
       : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
 
-  void open() override {
+  void doOpen() override {
     produced_ = 0;
     cur_.reset();
     const Value key = evaluate(*path_->equal_rhs, *tuple_);
@@ -747,14 +787,14 @@ class IndexEqualIter : public SlotIter {
       cur_.emplace(db_->openIndexEqual(*path_->index, {key}));
     }
   }
-  bool next(Row& out) override {
+  bool doNext(Row& out) override {
     RecordId rid;
     if (!cur_ || !cur_->next(rid, out)) return false;
     ++produced_;
     return true;
   }
-  void close() override { cur_.reset(); }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override { cur_.reset(); }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + path_->describe(*entry_));
   }
 
@@ -774,7 +814,7 @@ class IndexInListIter : public SlotIter {
                   const SelectPlan::FromEntry& entry, const Tuple& tuple)
       : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
 
-  void open() override {
+  void doOpen() override {
     produced_ = 0;
     cur_.reset();
     next_key_ = 0;
@@ -792,7 +832,7 @@ class IndexInListIter : public SlotIter {
                             }),
                 keys_.end());
   }
-  bool next(Row& out) override {
+  bool doNext(Row& out) override {
     RecordId rid;
     for (;;) {
       if (cur_ && cur_->next(rid, out)) {
@@ -803,12 +843,12 @@ class IndexInListIter : public SlotIter {
       cur_.emplace(db_->openIndexEqual(*path_->index, {keys_[next_key_++]}));
     }
   }
-  void close() override {
+  void doClose() override {
     cur_.reset();
     keys_.clear();
     next_key_ = 0;
   }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + path_->describe(*entry_));
   }
 
@@ -828,7 +868,7 @@ class IndexRangeIter : public SlotIter {
                  const SelectPlan::FromEntry& entry, const Tuple& tuple)
       : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
 
-  void open() override {
+  void doOpen() override {
     produced_ = 0;
     std::optional<Value> lower;
     std::optional<Value> upper;
@@ -838,14 +878,14 @@ class IndexRangeIter : public SlotIter {
                                      path_->lower_inclusive, std::move(upper),
                                      path_->upper_inclusive));
   }
-  bool next(Row& out) override {
+  bool doNext(Row& out) override {
     RecordId rid;
     if (!cur_ || !cur_->next(rid, out)) return false;
     ++produced_;
     return true;
   }
-  void close() override { cur_.reset(); }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override { cur_.reset(); }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + path_->describe(*entry_));
   }
 
@@ -870,11 +910,11 @@ class FilterIter : public SlotIter {
         slot_(slot),
         is_on_(is_on) {}
 
-  void open() override {
+  void doOpen() override {
     produced_ = 0;
     child_->open();
   }
-  bool next(Row& out) override {
+  bool doNext(Row& out) override {
     while (child_->next(out)) {
       (*tuple_)[slot_] = &out;
       bool pass = true;
@@ -892,12 +932,16 @@ class FilterIter : public SlotIter {
     }
     return false;
   }
-  void close() override { child_->close(); }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override { child_->close(); }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + (is_on_ ? "FILTER ON (" : "FILTER (") +
                     std::to_string(conjuncts_.size()) + " conjunct" +
                     (conjuncts_.size() == 1 ? "" : "s") + ")");
     child_->describe(lines, depth + 1);
+  }
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    child_->setAnalyze(on);
   }
 
  private:
@@ -975,12 +1019,37 @@ class NestedLoop {
   }
 
   void open() {
+    if (!stats_.timed) return openImpl();
+    ++stats_.loops;
+    const detail::OpTick tick(stats_);
+    openImpl();
+  }
+  bool next() {
+    if (!stats_.timed) return nextImpl();
+    const detail::OpTick tick(stats_);
+    const bool ok = nextImpl();
+    if (ok) ++stats_.rows;
+    return ok;
+  }
+  void close() {
+    if (!stats_.timed) return closeImpl();
+    const detail::OpTick tick(stats_);
+    closeImpl();
+  }
+
+  /// Arms EXPLAIN ANALYZE accounting on the loop and every SlotIter chain.
+  void setAnalyze(bool on) {
+    stats_.timed = on;
+    for (Level& lv : levels_) lv.top->setAnalyze(on);
+  }
+
+  void openImpl() {
     started_ = false;
     done_ = false;
     std::fill(tuple_.begin(), tuple_.end(), nullptr);
   }
 
-  bool next() {
+  bool nextImpl() {
     if (done_ || levels_.empty()) return false;
     const int last = static_cast<int>(levels_.size()) - 1;
     int t;
@@ -1020,7 +1089,7 @@ class NestedLoop {
     return false;
   }
 
-  void close() {
+  void closeImpl() {
     for (Level& lv : levels_) lv.top->close();
     std::fill(tuple_.begin(), tuple_.end(), nullptr);
     done_ = true;
@@ -1031,8 +1100,10 @@ class NestedLoop {
   void describe(std::vector<std::string>& lines, int depth) const {
     int child_depth = depth;
     if (levels_.size() > 1) {
-      lines.push_back(indentOf(depth) + "NESTED LOOP JOIN (" +
-                      std::to_string(levels_.size()) + " tables)");
+      std::string line = indentOf(depth) + "NESTED LOOP JOIN (" +
+                         std::to_string(levels_.size()) + " tables)";
+      if (stats_.timed) appendActuals(line, stats_);
+      lines.push_back(std::move(line));
       child_depth = depth + 1;
     }
     for (const Level& lv : levels_) lv.top->describe(lines, child_depth);
@@ -1076,6 +1147,7 @@ class NestedLoop {
   std::vector<Level> levels_;
   bool started_ = false;
   bool done_ = false;
+  OpStats stats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1087,8 +1159,8 @@ class ConstRowOp : public RowOp {
  public:
   explicit ConstRowOp(SelectPlan& plan) : plan_(&plan) {}
 
-  void open() override { emitted_ = false; }
-  bool next(Row& row, std::vector<Value>& keys) override {
+  void doOpen() override { emitted_ = false; }
+  bool doNext(Row& row, std::vector<Value>& keys) override {
     if (emitted_) return false;
     emitted_ = true;
     static const Tuple kEmpty;
@@ -1100,8 +1172,8 @@ class ConstRowOp : public RowOp {
     keys.clear();
     return true;
   }
-  void close() override {}
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override {}
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + "CONST ROW");
   }
 
@@ -1116,8 +1188,8 @@ class ProjectOp : public RowOp {
   ProjectOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan)
       : src_(std::move(src)), plan_(&plan) {}
 
-  void open() override { src_->open(); }
-  bool next(Row& row, std::vector<Value>& keys) override {
+  void doOpen() override { src_->open(); }
+  bool doNext(Row& row, std::vector<Value>& keys) override {
     if (!src_->next()) return false;
     const Tuple& tuple = src_->tuple();
     row.clear();
@@ -1133,8 +1205,8 @@ class ProjectOp : public RowOp {
     }
     return true;
   }
-  void close() override { src_->close(); }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override { src_->close(); }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     std::string cols;
     for (const SelectPlan::OutputCol& out : plan_->outputs) {
       if (!cols.empty()) cols += ", ";
@@ -1142,6 +1214,10 @@ class ProjectOp : public RowOp {
     }
     lines.push_back(indentOf(depth) + "PROJECT " + cols);
     src_->describe(lines, depth + 1);
+  }
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    src_->setAnalyze(on);
   }
 
  private:
@@ -1156,13 +1232,13 @@ class AggregateOp : public RowOp {
   AggregateOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan)
       : src_(std::move(src)), plan_(&plan) {}
 
-  void open() override {
+  void doOpen() override {
     src_->open();
     built_ = false;
     out_.clear();
     pos_ = 0;
   }
-  bool next(Row& row, std::vector<Value>& keys) override {
+  bool doNext(Row& row, std::vector<Value>& keys) override {
     if (!built_) build();
     if (pos_ >= out_.size()) return false;
     row = std::move(out_[pos_].first);
@@ -1170,12 +1246,12 @@ class AggregateOp : public RowOp {
     ++pos_;
     return true;
   }
-  void close() override {
+  void doClose() override {
     src_->close();
     out_.clear();
     pos_ = 0;
   }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     const SelectStmt& sel = *plan_->sel;
     std::string line = indentOf(depth) + "AGGREGATE (" +
                        std::to_string(plan_->aggregates.size()) + " aggregate" +
@@ -1185,6 +1261,10 @@ class AggregateOp : public RowOp {
     if (sel.having) line += " HAVING";
     lines.push_back(std::move(line));
     src_->describe(lines, depth + 1);
+  }
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    src_->setAnalyze(on);
   }
 
  private:
@@ -1262,11 +1342,11 @@ class DistinctOp : public RowOp {
  public:
   explicit DistinctOp(std::unique_ptr<RowOp> child) : child_(std::move(child)) {}
 
-  void open() override {
+  void doOpen() override {
     child_->open();
     seen_.clear();
   }
-  bool next(Row& row, std::vector<Value>& keys) override {
+  bool doNext(Row& row, std::vector<Value>& keys) override {
     while (child_->next(row, keys)) {
       EncodedKey key;
       for (const Value& v : row) encodeValue(v, key);
@@ -1274,13 +1354,17 @@ class DistinctOp : public RowOp {
     }
     return false;
   }
-  void close() override {
+  void doClose() override {
     child_->close();
     seen_.clear();
   }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + "DISTINCT");
     child_->describe(lines, depth + 1);
+  }
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    child_->setAnalyze(on);
   }
 
  private:
@@ -1299,13 +1383,13 @@ class SortOp : public RowOp {
          std::optional<std::size_t> top_k)
       : child_(std::move(child)), plan_(&plan), top_k_(top_k) {}
 
-  void open() override {
+  void doOpen() override {
     child_->open();
     sorted_ = false;
     rows_.clear();
     pos_ = 0;
   }
-  bool next(Row& row, std::vector<Value>& keys) override {
+  bool doNext(Row& row, std::vector<Value>& keys) override {
     if (!sorted_) drain();
     if (pos_ >= rows_.size()) return false;
     row = std::move(rows_[pos_].row);
@@ -1313,18 +1397,22 @@ class SortOp : public RowOp {
     ++pos_;
     return true;
   }
-  void close() override {
+  void doClose() override {
     child_->close();
     rows_.clear();
     pos_ = 0;
   }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     const std::size_t n = plan_->sel->order_by.size();
     std::string line = indentOf(depth) + "SORT BY " + std::to_string(n) + " key" +
                        (n == 1 ? "" : "s");
     if (top_k_) line += " (TOP-K " + std::to_string(*top_k_) + ")";
     lines.push_back(std::move(line));
     child_->describe(lines, depth + 1);
+  }
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    child_->setAnalyze(on);
   }
 
  private:
@@ -1390,12 +1478,12 @@ class LimitOp : public RowOp {
           std::size_t offset)
       : child_(std::move(child)), limit_(limit), offset_(offset) {}
 
-  void open() override {
+  void doOpen() override {
     child_->open();
     skipped_ = 0;
     emitted_ = 0;
   }
-  bool next(Row& row, std::vector<Value>& keys) override {
+  bool doNext(Row& row, std::vector<Value>& keys) override {
     if (limit_ && emitted_ >= *limit_) return false;
     while (child_->next(row, keys)) {
       if (skipped_ < offset_) {
@@ -1407,8 +1495,8 @@ class LimitOp : public RowOp {
     }
     return false;
   }
-  void close() override { child_->close(); }
-  void describe(std::vector<std::string>& lines, int depth) const override {
+  void doClose() override { child_->close(); }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
     std::string line = indentOf(depth);
     if (limit_) {
       line += "LIMIT " + std::to_string(*limit_);
@@ -1418,6 +1506,10 @@ class LimitOp : public RowOp {
     }
     lines.push_back(std::move(line));
     child_->describe(lines, depth + 1);
+  }
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    child_->setAnalyze(on);
   }
 
  private:
@@ -1475,9 +1567,10 @@ std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan) {
   return lines;
 }
 
-ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain) {
+ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
+                         bool analyze) {
   ResultSet rs;
-  if (explain) {
+  if (explain && !analyze) {
     rs.columns = {"plan"};
     for (std::string& line : explainPipeline(db, plan)) {
       rs.rows.push_back({Value(std::move(line))});
@@ -1486,6 +1579,22 @@ ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain) {
   }
   materializePlanSubqueries(db, plan);
   Pipeline p = buildPipeline(db, plan);
+  if (analyze) {
+    // EXPLAIN ANALYZE: run the statement to exhaustion with per-operator
+    // accounting armed, discard the rows, and emit the annotated tree.
+    p.root->setAnalyze(true);
+    p.root->open();
+    Row row;
+    std::vector<Value> keys;
+    while (p.root->next(row, keys)) {
+    }
+    p.root->close();
+    rs.columns = {"plan"};
+    std::vector<std::string> lines;
+    p.root->describe(lines, 0);
+    for (std::string& line : lines) rs.rows.push_back({Value(std::move(line))});
+    return rs;
+  }
   rs.columns = std::move(p.columns);
   p.root->open();
   Row row;
@@ -1496,12 +1605,12 @@ ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain) {
 }
 
 ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain) {
+                     bool explain, bool analyze) {
   // The binding pass annotates expressions in place; the annotations are
   // rewritten by every plan build, so sharing the AST across plans is safe.
   auto& sel = const_cast<SelectStmt&>(sel_const);
   SelectPlan plan = buildSelectPlan(db, sel, use_indexes);
-  return execSelectPlan(db, plan, explain);
+  return execSelectPlan(db, plan, explain, analyze);
 }
 
 }  // namespace perftrack::minidb::sql

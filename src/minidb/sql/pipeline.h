@@ -16,6 +16,7 @@
 // statements, cursors) builds on it; nothing above the SQL layer includes it.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -147,17 +148,93 @@ SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes);
 // Operator tree
 // ---------------------------------------------------------------------------
 
+/// Per-operator runtime counters for EXPLAIN ANALYZE. `loops` counts open()
+/// calls (re-opens of an inner join input each count), `rows` counts rows
+/// emitted, `time_ns` is inclusive wall time (children's time counts toward
+/// their parents, PostgreSQL-style). Accounting only happens while `timed`
+/// is set — untimed runs pay nothing beyond one branch per call.
+struct OpStats {
+  std::uint64_t loops = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t time_ns = 0;
+  bool timed = false;
+};
+
+/// Appends " (actual rows=R loops=L time=T ms)" to an EXPLAIN line.
+void appendActuals(std::string& line, const OpStats& stats);
+
+namespace detail {
+
+/// RAII accumulator: adds the scope's wall time to `stats.time_ns`.
+class OpTick {
+ public:
+  explicit OpTick(OpStats& stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~OpTick() {
+    stats_.time_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  OpTick(const OpTick&) = delete;
+  OpTick& operator=(const OpTick&) = delete;
+
+ private:
+  OpStats& stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
+
 /// One pipeline operator. next() fills `row` (and, for operators below the
 /// Sort, the ORDER BY key values in `keys`) and returns false at end of
 /// stream. Operators tolerate next() after exhaustion and close() twice.
+///
+/// The public surface wraps the virtual do*() hooks so EXPLAIN ANALYZE can
+/// account loops/rows/time per operator without touching every subclass.
 class RowOp {
  public:
   virtual ~RowOp() = default;
-  virtual void open() = 0;
-  virtual bool next(Row& row, std::vector<Value>& keys) = 0;
-  virtual void close() = 0;
+
+  void open() {
+    if (!stats_.timed) return doOpen();
+    ++stats_.loops;
+    const detail::OpTick tick(stats_);
+    doOpen();
+  }
+  bool next(Row& row, std::vector<Value>& keys) {
+    if (!stats_.timed) return doNext(row, keys);
+    const detail::OpTick tick(stats_);
+    const bool ok = doNext(row, keys);
+    if (ok) ++stats_.rows;
+    return ok;
+  }
+  void close() {
+    if (!stats_.timed) return doClose();
+    const detail::OpTick tick(stats_);
+    doClose();
+  }
+  /// Appends this operator's EXPLAIN line(s), children indented below;
+  /// annotated with actuals after an analyzed run.
+  void describe(std::vector<std::string>& lines, int depth) const {
+    const std::size_t first = lines.size();
+    doDescribe(lines, depth);
+    if (stats_.timed && first < lines.size()) appendActuals(lines[first], stats_);
+  }
+
+  /// Arms (or disarms) EXPLAIN ANALYZE accounting. Composite operators
+  /// override to recurse into their children.
+  virtual void setAnalyze(bool on) { stats_.timed = on; }
+  const OpStats& stats() const { return stats_; }
+
+ protected:
+  virtual void doOpen() = 0;
+  virtual bool doNext(Row& row, std::vector<Value>& keys) = 0;
+  virtual void doClose() = 0;
   /// Appends this operator's EXPLAIN line(s), children indented below.
-  virtual void describe(std::vector<std::string>& lines, int depth) const = 0;
+  virtual void doDescribe(std::vector<std::string>& lines, int depth) const = 0;
+
+  OpStats stats_;
 };
 
 /// A built (but not yet opened) operator tree for one SelectPlan.
@@ -179,12 +256,15 @@ void materializePlanSubqueries(Database& db, SelectPlan& plan);
 std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan);
 
 /// Runs a previously built plan to completion (the thin materializing
-/// wrapper the exec() entry points use).
-ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain);
+/// wrapper the exec() entry points use). With `analyze` set the plan is
+/// executed with per-operator accounting and the result is the annotated
+/// operator tree (EXPLAIN ANALYZE), one line per row.
+ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
+                         bool analyze = false);
 
 /// Plans and runs one SELECT (annotates the AST in place; the annotations
 /// are rewritten by every plan build, so sharing the AST is safe).
 ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain);
+                     bool explain, bool analyze = false);
 
 }  // namespace perftrack::minidb::sql

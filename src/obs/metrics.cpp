@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace perftrack::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{true};
+}  // namespace detail
+
+namespace {
+
+std::string formatMs(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", ms);
+  return buf;
+}
+
+}  // namespace
+
+void setEnabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBucketCount> Histogram::snapshot() const {
+  std::array<std::uint64_t, kBucketCount> cum{};
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    running += counts_[i].load(std::memory_order_relaxed);
+    cum[i] = running;
+  }
+  return cum;
+}
+
+double Histogram::percentile(double p) const {
+  const auto cum = snapshot();
+  const std::uint64_t total = cum.back();
+  if (total == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the observation we are after (1-based, ceil).
+  const double exact = p / 100.0 * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact || rank == 0) ++rank;
+
+  std::size_t b = 0;
+  while (b < kBucketCount && cum[b] < rank) ++b;
+  if (b >= kBounds.size()) return kBounds.back();  // overflow bucket: clamp
+  const double hi = kBounds[b];
+  const double lo = b == 0 ? 0.0 : kBounds[b - 1];
+  const std::uint64_t below = b == 0 ? 0 : cum[b - 1];
+  const std::uint64_t in_bucket = cum[b] - below;
+  if (in_bucket == 0) return hi;
+  const double frac =
+      static_cast<double>(rank - below) / static_cast<double>(in_bucket);
+  return lo + (hi - lo) * frac;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: metrics outlive all users
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::string Registry::renderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto cum = h->snapshot();
+    out += "# TYPE " + name + " histogram\n";
+    for (std::size_t i = 0; i < Histogram::kBounds.size(); ++i) {
+      out += name + "_bucket{le=\"" + formatMs(Histogram::kBounds[i]) + "\"} " +
+             std::to_string(cum[i]) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cum.back()) + "\n";
+    out += name + "_sum " + formatMs(h->sumMs()) + "\n";
+    out += name + "_count " + std::to_string(cum.back()) + "\n";
+    out += name + "_p50 " + formatMs(h->percentile(50)) + "\n";
+    out += name + "_p95 " + formatMs(h->percentile(95)) + "\n";
+    out += name + "_p99 " + formatMs(h->percentile(99)) + "\n";
+  }
+  return out;
+}
+
+void Registry::resetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+void writeSnapshotIfRequested() {
+  const char* path = std::getenv("PT_METRICS_SNAPSHOT");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << Registry::global().renderPrometheus();
+}
+
+}  // namespace perftrack::obs

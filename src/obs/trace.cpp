@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+namespace perftrack::obs {
+
+namespace {
+
+/// Milliseconds from a low-resolution monotonic clock. The sampling gate
+/// runs once per query, so it uses CLOCK_MONOTONIC_COARSE where available
+/// (a vDSO read of the kernel's tick timestamp, ~5ns) instead of the full
+/// steady_clock (~20ns). Tick resolution (1-4ms) is exactly the sampling
+/// window we want.
+std::uint64_t coarseTickMillis() {
+#if defined(__linux__) && defined(CLOCK_MONOTONIC_COARSE)
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC_COARSE, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+std::string formatUs(std::uint64_t us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+void pushRing(std::vector<QueryTrace>& ring, std::size_t& next, std::size_t cap,
+              const QueryTrace& t) {
+  if (ring.size() < cap) {
+    ring.push_back(t);
+    next = ring.size() % cap;
+  } else {
+    ring[next] = t;
+    next = (next + 1) % cap;
+  }
+}
+
+/// Ring contents oldest-to-newest: [next, end) then [0, next) once full.
+std::vector<QueryTrace> snapshotRing(const std::vector<QueryTrace>& ring,
+                                     std::size_t next, std::size_t cap) {
+  std::vector<QueryTrace> out;
+  out.reserve(ring.size());
+  if (ring.size() < cap) {
+    out = ring;
+  } else {
+    out.insert(out.end(), ring.begin() + static_cast<std::ptrdiff_t>(next),
+               ring.end());
+    out.insert(out.end(), ring.begin(),
+               ring.begin() + static_cast<std::ptrdiff_t>(next));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryTrace::toLine() const {
+  std::string line = "#" + std::to_string(seq) + (remote ? " [remote] " : " ") +
+                     "parse=" + formatUs(parse_us) + " plan=" + formatUs(plan_us) +
+                     " bind=" + formatUs(bind_us) + " execute=" + formatUs(exec_us) +
+                     " rows=" + std::to_string(rows) +
+                     " bytes=" + std::to_string(bytes) + " sql=" + sql;
+  return line;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: traces outlive all users
+  return *t;
+}
+
+bool Tracer::tickSample() {
+  const std::uint64_t tick = coarseTickMillis();
+  if (last_sample_tick_.load(std::memory_order_relaxed) == tick) return false;
+  // Plain store, not CAS: two threads racing the same tick both sample,
+  // which only means one extra trace.
+  last_sample_tick_.store(tick, std::memory_order_relaxed);
+  return true;
+}
+
+void Tracer::record(QueryTrace t) {
+  if (!enabled()) return;
+  if (t.sql.size() > kMaxSqlBytes) {
+    t.sql.resize(kMaxSqlBytes - 3);
+    t.sql += "...";
+  }
+  const std::uint64_t threshold = slow_threshold_us_.load(std::memory_order_relaxed);
+  const bool is_slow = threshold > 0 && t.totalUs() >= threshold;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t.seq = next_seq_++;
+    pushRing(ring_, ring_next_, kRingCapacity, t);
+    if (is_slow) pushRing(slow_ring_, slow_next_, kSlowRingCapacity, t);
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (is_slow) {
+    Registry::global().counter("pt_trace_slow_queries_total").inc();
+    // The slow-query log proper: one line per offender, greppable.
+    std::cerr << "[slow-query] " << t.toLine() << "\n";
+  }
+}
+
+std::vector<QueryTrace> Tracer::recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshotRing(ring_, ring_next_, kRingCapacity);
+}
+
+std::vector<QueryTrace> Tracer::slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshotRing(slow_ring_, slow_next_, kSlowRingCapacity);
+}
+
+std::optional<QueryTrace> Tracer::last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return std::nullopt;
+  const std::size_t newest =
+      ring_.size() < kRingCapacity ? ring_.size() - 1
+                                   : (ring_next_ + kRingCapacity - 1) % kRingCapacity;
+  return ring_[newest];
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_next_ = 0;
+  slow_ring_.clear();
+  slow_next_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+  last_sample_tick_.store(0, std::memory_order_relaxed);
+}
+
+std::string renderTraces(const Tracer& tracer) {
+  std::string out;
+  out += "== recent queries (oldest first) ==\n";
+  for (const QueryTrace& t : tracer.recent()) out += t.toLine() + "\n";
+  const auto slow = tracer.slow();
+  out += "== slow queries (threshold " +
+         std::to_string(tracer.slowQueryMillis()) + "ms, oldest first) ==\n";
+  for (const QueryTrace& t : slow) out += t.toLine() + "\n";
+  return out;
+}
+
+}  // namespace perftrack::obs

@@ -1,0 +1,105 @@
+#include "server/metrics_http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+namespace perftrack::server {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+std::string httpResponse(int status, const char* reason, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsEndpoint::MetricsEndpoint(std::string host, std::uint16_t port, Handler handler)
+    : host_(std::move(host)), port_(port), handler_(std::move(handler)) {}
+
+MetricsEndpoint::~MetricsEndpoint() { stop(); }
+
+void MetricsEndpoint::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  listener_ = Listener::tcp(host_, port_);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsEndpoint::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void MetricsEndpoint::loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listener_.fd();
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    Socket client = listener_.accept();
+    if (!client.valid()) continue;
+    try {
+      serveOne(std::move(client));
+    } catch (const std::exception&) {
+      // A broken scraper connection must never take the endpoint down.
+    }
+  }
+}
+
+void MetricsEndpoint::serveOne(Socket client) {
+  client.setIoTimeout(std::chrono::milliseconds(2000));
+  // Read until the blank line ending the request head (or the size cap);
+  // the body, if any, is ignored.
+  std::string request;
+  char buf[512];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(client.fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  // Parse "METHOD SP PATH SP ..." from the first line.
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  std::string response;
+  if (sp1 == std::string::npos) {
+    response = httpResponse(400, "Bad Request", "malformed request line\n");
+  } else if (line.substr(0, sp1) != "GET") {
+    response = httpResponse(405, "Method Not Allowed", "only GET is served\n");
+  } else {
+    std::string path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                                : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    try {
+      response = httpResponse(200, "OK", handler_(path));
+    } catch (const std::exception&) {
+      response = httpResponse(404, "Not Found", "no such endpoint: " + path + "\n");
+    }
+  }
+  client.sendAll(response.data(), response.size());
+}
+
+}  // namespace perftrack::server

@@ -1,0 +1,62 @@
+// Minimal HTTP/1.0 metrics endpoint for ptserverd.
+//
+// One listener, one thread, one request per connection: enough for a
+// Prometheus scraper or `curl http://host:port/metrics`, with zero
+// dependencies and no interaction with the wire-protocol data path. The
+// endpoint only ever *reads* observability state (the handler renders a
+// snapshot), so a stuck or malicious scraper cannot block a query.
+//
+// Supported surface:
+//   GET /metrics   -> 200 text/plain, Prometheus text exposition 0.0.4
+//   GET /traces    -> 200 text/plain, recent + slow query spans
+//   anything else  -> 404 (or 405 for non-GET methods)
+//
+// Requests are bounded (4 KiB, 2 s socket timeout) and the response always
+// closes the connection, so the loop never carries per-client state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "server/net.h"
+
+namespace perftrack::server {
+
+class MetricsEndpoint {
+ public:
+  /// Maps a request path ("/metrics", "/traces") to a response body, or
+  /// returns an empty optional-equivalent: throwing std::out_of_range (or
+  /// any exception) yields a 404.
+  using Handler = std::function<std::string(const std::string& path)>;
+
+  MetricsEndpoint(std::string host, std::uint16_t port, Handler handler);
+  ~MetricsEndpoint();
+
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  /// Binds the listener (throws NetError on failure) and launches the
+  /// serving thread. Port 0 picks an ephemeral port.
+  void start();
+
+  /// Closes the listener and joins the thread. Idempotent.
+  void stop();
+
+  std::uint16_t boundPort() const { return listener_.boundPort(); }
+
+ private:
+  void loop();
+  void serveOne(Socket client);
+
+  std::string host_;
+  std::uint16_t port_;
+  Handler handler_;
+  Listener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace perftrack::server

@@ -147,6 +147,7 @@ std::string_view opName(Op op) {
     case Op::Stat: return "STAT";
     case Op::Ping: return "PING";
     case Op::Shutdown: return "SHUTDOWN";
+    case Op::Metrics: return "METRICS";
     case Op::HelloOk: return "HELLO_OK";
     case Op::StmtOk: return "STMT_OK";
     case Op::BindOk: return "BIND_OK";
@@ -156,6 +157,7 @@ std::string_view opName(Op op) {
     case Op::Ok: return "OK";
     case Op::StatOk: return "STAT_OK";
     case Op::Pong: return "PONG";
+    case Op::MetricsOk: return "METRICS_OK";
     case Op::Error: return "ERROR";
   }
   return "UNKNOWN";

@@ -31,9 +31,19 @@
 //   CLOSE_CURSOR {u32 cursor_id}          -> OK {}
 //   SET_OPTION {u8 option, i64 value}     -> OK {}   (session-scoped)
 //   STAT    {}                            -> STAT_OK {u64 size_bytes,
-//                                                     u32 sessions, u64 frames}
+//                                                     u32 sessions, u64 frames,
+//                                                     u64 uptime_ms,
+//                                                     u32 open_cursors,
+//                                                     u64 db_file_bytes,
+//                                                     u64 journal_bytes,
+//                                                     u64 busy_rejections}
 //   PING    {}                            -> PONG {}
+//   METRICS {}                            -> METRICS_OK {str text}
+//                                            (Prometheus exposition format)
 //   SHUTDOWN {}                           -> OK {}, then the server drains
+//
+// STAT_OK grows append-only: old clients read the leading fields and stop,
+// new clients treat a short payload as "server predates the field".
 //
 // Any failure produces ERROR {u16 code, str message} and never kills the
 // daemon; only protocol-level damage (truncated/oversized frames) closes
@@ -71,6 +81,7 @@ enum class Op : std::uint8_t {
   Stat = 9,
   Ping = 10,
   Shutdown = 11,
+  Metrics = 12,
 
   // server -> client
   HelloOk = 64,
@@ -82,6 +93,7 @@ enum class Op : std::uint8_t {
   Ok = 70,
   StatOk = 71,
   Pong = 72,
+  MetricsOk = 73,
   Error = 127,
 };
 

@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace perftrack::server {
 
@@ -27,6 +30,20 @@ void PtServer::start() {
     listeners_.push_back(Listener::unixSocket(config_.unix_path));
   }
   if (listeners_.empty()) throw NetError("no listeners configured");
+
+  counters_.start_time = std::chrono::steady_clock::now();
+  if (config_.metrics_port >= 0) {
+    metrics_ = std::make_unique<MetricsEndpoint>(
+        config_.host, static_cast<std::uint16_t>(config_.metrics_port),
+        [this](const std::string& path) -> std::string {
+          if (path == "/metrics" || path == "/") {
+            return renderServerMetrics(*db_, counters_);
+          }
+          if (path == "/traces") return obs::renderTraces(obs::Tracer::global());
+          throw std::out_of_range("no such endpoint");
+        });
+    metrics_->start();
+  }
 
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) throw NetError("cannot create wakeup pipe");
@@ -90,6 +107,7 @@ void PtServer::stop() {
     }
     conns_.clear();
   }
+  metrics_.reset();  // joins the endpoint thread before the db can go away
   for (auto& l : listeners_) l.close();
   listeners_.clear();
   if (wakeup_read_ >= 0) ::close(wakeup_read_);

@@ -37,6 +37,7 @@
 
 #include "minidb/database.h"
 #include "server/dbgate.h"
+#include "server/metrics_http.h"
 #include "server/net.h"
 #include "server/session.h"
 
@@ -53,6 +54,11 @@ struct ServerConfig {
 
   int workers = 4;
   std::size_t max_connections = 64;
+
+  /// HTTP observability endpoint (GET /metrics, GET /traces) on the same
+  /// host as `host`. -1 disables; 0 = kernel-assigned (see
+  /// boundMetricsPort()).
+  int metrics_port = -1;
 
   /// Connections idle longer than this are reaped (0 disables reaping).
   std::chrono::milliseconds idle_timeout{300000};
@@ -90,6 +96,11 @@ class PtServer {
   /// The TCP port actually bound (resolves port 0). 0 when TCP is disabled.
   std::uint16_t boundPort() const { return bound_port_; }
 
+  /// The metrics endpoint's bound port. 0 when the endpoint is disabled.
+  std::uint16_t boundMetricsPort() const {
+    return metrics_ ? metrics_->boundPort() : 0;
+  }
+
   const ServerCounters& counters() const { return counters_; }
   DbGate& gate() { return gate_; }
 
@@ -119,6 +130,7 @@ class PtServer {
 
   std::vector<Listener> listeners_;
   std::uint16_t bound_port_ = 0;
+  std::unique_ptr<MetricsEndpoint> metrics_;
   int wakeup_read_ = -1;
   // requestStop() may arrive from any thread (signal relay, SHUTDOWN frame)
   // while stop() tears the pipe down, so the write end is mutex-guarded.

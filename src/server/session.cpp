@@ -1,7 +1,9 @@
 #include "server/session.h"
 
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace perftrack::server {
@@ -33,6 +35,9 @@ Session::~Session() {
 }
 
 void Session::closeCursorEntry(CursorEntry& entry) {
+  // Every close path erases the entry right after this call, so the
+  // decrement runs exactly once per executeSelect increment.
+  counters_->open_cursors.fetch_sub(1, std::memory_order_relaxed);
   entry.cursor.close();
   if (entry.holds_gate) {
     entry.holds_gate = false;
@@ -66,6 +71,7 @@ Session::Outcome Session::handle(const Frame& request) {
       case Op::CloseCursor: out.response = doCloseCursor(r); return out;
       case Op::SetOption: out.response = doSetOption(r); return out;
       case Op::Stat: out.response = doStat(r); return out;
+      case Op::Metrics: out.response = doMetrics(r); return out;
       case Op::Ping: out.response = Frame{Op::Pong, {}}; return out;
       case Op::Shutdown:
         if (!limits_.allow_shutdown) {
@@ -181,6 +187,7 @@ Frame Session::executeSelect(
   CursorEntry entry{std::move(cursor), stmt, /*holds_gate=*/true};
   hold.forget();  // the hold now belongs to the cursor, until close/exhaust
   ++gate_holds_;
+  counters_->open_cursors.fetch_add(1, std::memory_order_relaxed);
   cursors_.emplace(cursor_id, std::move(entry));
   return makeFrame(Op::CursorOk, std::move(w));
 }
@@ -312,7 +319,55 @@ Frame Session::doStat(WireReader& r) {
   w.u64(db_->sizeBytes());
   w.u32(counters_->sessions.load(std::memory_order_relaxed));
   w.u64(counters_->frames_served.load(std::memory_order_relaxed));
+  // Append-only extension (see protocol.h): old clients stop reading here.
+  w.u64(counters_->uptimeMillis());
+  w.u32(counters_->open_cursors.load(std::memory_order_relaxed));
+  w.u64(db_->fileSizeBytes());
+  w.u64(db_->journalSizeBytes());
+  w.u64(counters_->busy_rejections.load(std::memory_order_relaxed));
   return makeFrame(Op::StatOk, std::move(w));
+}
+
+Frame Session::doMetrics(WireReader& r) {
+  r.expectEnd("METRICS");
+  // The registry snapshot and the file-size stats are lock-free reads; no
+  // gate hold is needed (a torn read of a counter mid-commit is fine).
+  WireWriter w;
+  w.str(renderServerMetrics(*db_, *counters_));
+  return makeFrame(Op::MetricsOk, std::move(w));
+}
+
+std::string renderServerMetrics(minidb::Database& db, const ServerCounters& counters) {
+  std::string out = obs::Registry::global().renderPrometheus();
+  auto gauge = [&out](const char* name, std::uint64_t v) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  gauge("pt_server_sessions", counters.sessions.load(std::memory_order_relaxed));
+  gauge("pt_server_open_cursors",
+        counters.open_cursors.load(std::memory_order_relaxed));
+  gauge("pt_server_uptime_ms", counters.uptimeMillis());
+  gauge("pt_db_file_bytes", db.fileSizeBytes());
+  gauge("pt_db_journal_bytes", db.journalSizeBytes());
+  auto counter = [&out](const char* name, std::uint64_t v) {
+    out += "# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  counter("pt_server_frames_served_total",
+          counters.frames_served.load(std::memory_order_relaxed));
+  counter("pt_server_busy_rejections_total",
+          counters.busy_rejections.load(std::memory_order_relaxed));
+  return out;
 }
 
 }  // namespace perftrack::server

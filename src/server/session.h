@@ -57,7 +57,27 @@ struct ServerCounters {
   std::atomic<std::uint32_t> sessions{0};
   std::atomic<std::uint64_t> frames_served{0};
   std::atomic<std::uint64_t> busy_rejections{0};
+  /// Server-side cursors currently streaming (one per logical SELECT; the
+  /// storage layer's pin count is higher, one pin per scan below it).
+  std::atomic<std::uint32_t> open_cursors{0};
+  /// Set once by PtServer::start() before any worker thread exists (the
+  /// thread-creation fence publishes it), read-only afterwards.
+  std::chrono::steady_clock::time_point start_time{};
+
+  std::uint64_t uptimeMillis() const {
+    if (start_time.time_since_epoch().count() == 0) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_time)
+            .count());
+  }
 };
+
+/// Prometheus text exposition: process-wide obs registry plus the server
+/// gauges (sessions, frames, cursors, db sizes). Shared by the METRICS
+/// wire verb and the HTTP metrics endpoint. Callers must NOT hold the
+/// DbGate; the db size reads are plain file stats.
+std::string renderServerMetrics(minidb::Database& db, const ServerCounters& counters);
 
 class Session {
  public:
@@ -105,6 +125,7 @@ class Session {
   Frame doCloseCursor(WireReader& r);
   Frame doSetOption(WireReader& r);
   Frame doStat(WireReader& r);
+  Frame doMetrics(WireReader& r);
 
   Frame executeSelect(const std::shared_ptr<minidb::sql::PreparedStatement>& stmt);
   Frame executeWrite(const std::shared_ptr<minidb::sql::PreparedStatement>& stmt);

@@ -1,0 +1,127 @@
+// Cross-thread exercises for the metrics registry and the tracer. These run
+// under ThreadSanitizer in CI (ctest label `obs`, scripts/ci.sh tsan): the
+// assertions matter less than the interleavings — lookups racing lookups,
+// relaxed-atomic hot paths racing renderPrometheus snapshots, and tracer
+// records racing ring snapshots.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace perftrack::obs {
+namespace {
+
+TEST(RegistryConcurrency, ParallelLookupsResolveToOneMetric) {
+  Registry r;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&r, &seen, i] {
+      seen[static_cast<std::size_t>(i)] = &r.counter("pt_conc_shared_total");
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], seen[0]);
+  }
+}
+
+TEST(RegistryConcurrency, CountersSumAcrossThreads) {
+  Registry r;
+  Counter& c = r.counter("pt_conc_adds_total");
+  Histogram& h = r.histogram("pt_conc_lat_ms");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c, &h] {
+      for (int n = 0; n < kPerThread; ++n) {
+        c.inc();
+        h.observe(0.1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryConcurrency, RenderRacesWriters) {
+  Registry r;
+  Counter& c = r.counter("pt_conc_render_total");
+  Gauge& g = r.gauge("pt_conc_render_level");
+  Histogram& h = r.histogram("pt_conc_render_ms");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 4; ++i) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        c.inc();
+        g.add(1);
+        h.observe(0.5);
+      }
+    });
+  }
+  // Registration of new metrics also races the snapshot path.
+  std::thread registrar([&r, &stop] {
+    int n = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      r.counter("pt_conc_dynamic_" + std::to_string(n++ % 16));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = r.renderPrometheus();
+    EXPECT_NE(text.find("pt_conc_render_total"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+  registrar.join();
+}
+
+TEST(TracerConcurrency, RecordsRaceSnapshots) {
+  Tracer tracer;
+  tracer.setSlowQueryMillis(1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int i = 0; i < 4; ++i) {
+    recorders.emplace_back([&tracer, &stop, i] {
+      // A guaranteed floor of records (the stop flag may be set before this
+      // thread is even scheduled), then keep racing until told to stop.
+      std::uint64_t n = 0;
+      while (n < 200 || !stop.load(std::memory_order_acquire)) {
+        QueryTrace q;
+        q.sql = "SELECT " + std::to_string(i) + "/" + std::to_string(n);
+        // An occasional "slow" record exercises the slow ring without
+        // flooding stderr with [slow-query] lines.
+        q.exec_us = (n % 97 == 0) ? 5000 : 50;
+        tracer.record(std::move(q));
+        ++n;
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto recent = tracer.recent();
+    EXPECT_LE(recent.size(), Tracer::kRingCapacity);
+    const auto slow = tracer.slow();
+    EXPECT_LE(slow.size(), Tracer::kSlowRingCapacity);
+    (void)tracer.last();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : recorders) t.join();
+  EXPECT_GT(tracer.recordedCount(), 0u);
+  // Seq numbers in the ring are unique and increasing oldest-to-newest.
+  const auto recent = tracer.recent();
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_LT(recent[i - 1].seq, recent[i].seq);
+  }
+}
+
+}  // namespace
+}  // namespace perftrack::obs

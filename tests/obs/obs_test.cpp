@@ -1,0 +1,264 @@
+// Unit tests for the observability layer: counter/gauge semantics,
+// histogram bucket and percentile math, Prometheus rendering, and the
+// query-trace rings.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace perftrack::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndNegatives) {
+  Gauge g;
+  g.set(10);
+  g.add(-15);
+  EXPECT_EQ(g.value(), -5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, CountsAndSum) {
+  Histogram h;
+  h.observe(0.04);  // first bucket (<= 0.05)
+  h.observe(0.2);   // <= 0.25
+  h.observe(3.0);   // <= 5
+  h.observe(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sumMs(), 0.04 + 0.2 + 3.0 + 5000.0, 0.01);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  Histogram h;
+  h.observe(0.05);  // exactly the first bound -> first bucket
+  const auto cum = h.snapshot();
+  EXPECT_EQ(cum[0], 1u);
+  EXPECT_EQ(cum[Histogram::kBucketCount - 1], 1u);
+}
+
+TEST(Histogram, PercentileInterpolation) {
+  Histogram h;
+  // 100 observations spread uniformly in (0.5, 1.0]: all land in the
+  // bucket bounded by (0.5, 1.0], so percentiles interpolate inside it.
+  for (int i = 1; i <= 100; ++i) h.observe(0.5 + 0.005 * i);
+  const double p50 = h.percentile(50);
+  EXPECT_GT(p50, 0.5);
+  EXPECT_LE(p50, 1.0);
+  const double p99 = h.percentile(99);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 1.0);
+}
+
+TEST(Histogram, PercentileEmptyAndSingle) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50), 0.0);
+  h.observe(0.3);
+  const double p50 = h.percentile(50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 0.5);  // the covering bucket's upper bound
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h;
+  h.observe(0.01);
+  h.observe(1.5);
+  h.observe(40.0);
+  h.observe(900.0);
+  const double p50 = h.percentile(50);
+  const double p95 = h.percentile(95);
+  const double p99 = h.percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(Registry, LookupIsStableAndIdempotent) {
+  Registry r;
+  Counter& a = r.counter("pt_test_events_total");
+  Counter& b = r.counter("pt_test_events_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  Gauge& g = r.gauge("pt_test_level");
+  g.set(7);
+  EXPECT_EQ(r.gauge("pt_test_level").value(), 7);
+}
+
+TEST(Registry, RenderPrometheusShape) {
+  Registry r;
+  r.counter("pt_test_events_total").inc(5);
+  r.gauge("pt_test_level").set(-2);
+  r.histogram("pt_test_latency_ms").observe(0.7);
+  const std::string text = r.renderPrometheus();
+  EXPECT_NE(text.find("# TYPE pt_test_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pt_test_events_total 5"), std::string::npos);
+  EXPECT_NE(text.find("pt_test_level -2"), std::string::npos);
+  EXPECT_NE(text.find("pt_test_latency_ms_bucket{le="), std::string::npos);
+  EXPECT_NE(text.find("pt_test_latency_ms_count 1"), std::string::npos);
+  EXPECT_NE(text.find("+Inf"), std::string::npos);
+  EXPECT_NE(text.find("pt_test_latency_ms_p95"), std::string::npos);
+}
+
+TEST(Registry, ResetAllKeepsRegistrations) {
+  Registry r;
+  Counter& c = r.counter("pt_test_reset_total");
+  c.inc(9);
+  r.resetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&r.counter("pt_test_reset_total"), &c);
+}
+
+TEST(Tracer, RingKeepsNewestAndAssignsSeq) {
+  Tracer t;
+  for (int i = 0; i < 300; ++i) {
+    QueryTrace q;
+    q.sql = "SELECT " + std::to_string(i);
+    q.exec_us = static_cast<std::uint64_t>(i);
+    t.record(std::move(q));
+  }
+  EXPECT_EQ(t.recordedCount(), 300u);
+  const auto recent = t.recent();
+  ASSERT_EQ(recent.size(), Tracer::kRingCapacity);
+  // Oldest-to-newest: the last entry is the 300th trace.
+  EXPECT_EQ(recent.back().sql, "SELECT 299");
+  EXPECT_EQ(recent.front().sql, "SELECT " + std::to_string(300 - 256));
+  EXPECT_LT(recent.front().seq, recent.back().seq);
+  ASSERT_TRUE(t.last().has_value());
+  EXPECT_EQ(t.last()->sql, "SELECT 299");
+}
+
+TEST(Tracer, SlowRingRespectsThreshold) {
+  Tracer t;
+  t.setSlowQueryMillis(10);
+  QueryTrace fast;
+  fast.sql = "fast";
+  fast.exec_us = 500;  // 0.5ms
+  t.record(std::move(fast));
+  QueryTrace slow;
+  slow.sql = "slow";
+  slow.exec_us = 50000;  // 50ms
+  t.record(std::move(slow));
+  const auto slow_ring = t.slow();
+  ASSERT_EQ(slow_ring.size(), 1u);
+  EXPECT_EQ(slow_ring[0].sql, "slow");
+  EXPECT_EQ(t.recent().size(), 2u);
+}
+
+TEST(Tracer, TruncatesLongSql) {
+  Tracer t;
+  QueryTrace q;
+  q.sql = std::string(1000, 'x');
+  t.record(std::move(q));
+  ASSERT_TRUE(t.last().has_value());
+  EXPECT_EQ(t.last()->sql.size(), Tracer::kMaxSqlBytes);
+  EXPECT_EQ(t.last()->sql.substr(Tracer::kMaxSqlBytes - 3), "...");
+}
+
+TEST(Tracer, ClearEmptiesRings) {
+  Tracer t;
+  QueryTrace q;
+  q.sql = "x";
+  t.record(std::move(q));
+  t.clear();
+  EXPECT_TRUE(t.recent().empty());
+  EXPECT_FALSE(t.last().has_value());
+  EXPECT_EQ(t.recordedCount(), 0u);
+}
+
+TEST(Tracer, DisabledSwitchSkipsRecording) {
+  Tracer t;
+  setEnabled(false);
+  QueryTrace q;
+  q.sql = "dropped";
+  t.record(std::move(q));
+  setEnabled(true);
+  EXPECT_EQ(t.recordedCount(), 0u);
+  EXPECT_TRUE(t.recent().empty());
+}
+
+TEST(QueryTrace, ToLineAndTotal) {
+  QueryTrace q;
+  q.seq = 7;
+  q.sql = "SELECT 1";
+  q.parse_us = 10;
+  q.plan_us = 20;
+  q.bind_us = 30;
+  q.exec_us = 40;
+  q.rows = 2;
+  q.remote = true;
+  EXPECT_EQ(q.totalUs(), 100u);
+  const std::string line = q.toLine();
+  EXPECT_NE(line.find("#7"), std::string::npos);
+  EXPECT_NE(line.find("[remote]"), std::string::npos);
+  EXPECT_NE(line.find("rows=2"), std::string::npos);
+  EXPECT_NE(line.find("SELECT 1"), std::string::npos);
+}
+
+TEST(TracerSampling, RateLimitsToOneSamplePerTick) {
+  Tracer tracer;
+  // A fresh tracer samples its first query...
+  EXPECT_TRUE(tracer.shouldSample());
+  // ...then a tight loop gets throttled to roughly one sample per coarse
+  // clock tick — orders of magnitude fewer samples than calls.
+  constexpr int kCalls = 200000;
+  int samples = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    if (tracer.shouldSample()) ++samples;
+  }
+  EXPECT_LT(samples, kCalls / 10);
+}
+
+TEST(TracerSampling, SlowThresholdDisablesTheLimiter) {
+  Tracer tracer;
+  tracer.setSlowQueryMillis(50);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(tracer.shouldSample());
+}
+
+TEST(TracerSampling, AlwaysSampleDefeatsTheLimiter) {
+  Tracer tracer;
+  tracer.setAlwaysSample(true);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(tracer.shouldSample());
+}
+
+TEST(TracerSampling, KillSwitchBeatsAlwaysSample) {
+  Tracer tracer;
+  tracer.setAlwaysSample(true);
+  setEnabled(false);
+  EXPECT_FALSE(tracer.shouldSample());
+  setEnabled(true);
+  EXPECT_TRUE(tracer.shouldSample());
+}
+
+TEST(TracerSampling, ClearResetsTheLimiter) {
+  Tracer tracer;
+  EXPECT_TRUE(tracer.shouldSample());  // consumes the current tick
+  tracer.clear();
+  EXPECT_TRUE(tracer.shouldSample());  // fresh again after clear
+}
+
+TEST(RenderTraces, ContainsBothSections) {
+  Tracer t;
+  t.setSlowQueryMillis(1);
+  QueryTrace q;
+  q.sql = "SELECT slow";
+  q.exec_us = 5000;
+  t.record(std::move(q));
+  const std::string text = renderTraces(t);
+  EXPECT_NE(text.find("== recent queries"), std::string::npos);
+  EXPECT_NE(text.find("== slow queries"), std::string::npos);
+  EXPECT_NE(text.find("SELECT slow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::obs

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "dbal/connection.h"
 #include "dbal/remote.h"
 #include "minidb/database.h"
+#include "obs/trace.h"
 #include "server/net.h"
 #include "server/protocol.h"
 #include "util/error.h"
@@ -194,6 +198,162 @@ TEST_F(ServerTest, SizeBytesAndRecoveryStats) {
   EXPECT_GT(conn->sizeBytes(), 0u);
   EXPECT_FALSE(conn->recoveryStats().recovered);
   EXPECT_THROW(conn->database(), util::SqlError);
+}
+
+TEST_F(ServerTest, StatReportsSessionsCursorsAndUptime) {
+  auto a = dbal::RemoteConnection::connect(target_);
+  auto b = dbal::RemoteConnection::connect(target_);
+  a->exec("CREATE TABLE t (v INTEGER)");
+  for (int i = 0; i < 600; ++i) {
+    a->execPrepared("INSERT INTO t VALUES (?)", {minidb::Value(i)});
+  }
+
+  dbal::ServerStat stat = a->serverStat();
+  ASSERT_TRUE(stat.extended);
+  EXPECT_EQ(stat.sessions, 2u);
+  EXPECT_EQ(stat.open_cursors, 0u);
+  EXPECT_GT(stat.frames_served, 0u);
+  EXPECT_LT(stat.uptime_ms, 10u * 60 * 1000);  // sane, not garbage
+  EXPECT_EQ(stat.size_bytes, a->sizeBytes());
+
+  // A streaming cursor (600 rows > one batch) holds a server-side cursor
+  // open; STAT must see it, and see it gone after the stream is drained.
+  auto cur = b->query("SELECT v FROM t");
+  minidb::Row row;
+  ASSERT_TRUE(cur.next(row));
+  stat = a->serverStat();
+  EXPECT_EQ(stat.open_cursors, 1u);
+  while (cur.next(row)) {
+  }
+  stat = a->serverStat();
+  EXPECT_EQ(stat.open_cursors, 0u);
+}
+
+TEST(ServerStatFile, ReportsDbFileAndJournalSizes) {
+  const std::string path = ::testing::TempDir() + "/pt_stat_file_test.db";
+  std::remove(path.c_str());
+  std::remove((path + "-journal").c_str());
+  auto db = minidb::Database::open(path);
+  server::ServerConfig config;
+  config.port = 0;
+  server::PtServer srv(*db, config);
+  srv.start();
+  {
+    auto conn = dbal::RemoteConnection::connect(
+        "127.0.0.1:" + std::to_string(srv.boundPort()));
+    conn->exec("CREATE TABLE t (v INTEGER)");
+    conn->exec("INSERT INTO t VALUES (1)");
+    const dbal::ServerStat stat = conn->serverStat();
+    ASSERT_TRUE(stat.extended);
+    EXPECT_GT(stat.db_file_bytes, 0u);
+    // Between commits the rollback journal is truncated/removed.
+    EXPECT_EQ(stat.journal_bytes, 0u);
+    EXPECT_EQ(stat.db_file_bytes, stat.size_bytes);
+  }
+  srv.stop();
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerTest, MetricsVerbReturnsLiveCounters) {
+  auto conn = dbal::RemoteConnection::connect(target_);
+  conn->exec("CREATE TABLE t (v INTEGER)");
+  const std::string before = conn->serverMetrics();
+  EXPECT_NE(before.find("# TYPE pt_sql_queries_total counter"), std::string::npos);
+  EXPECT_NE(before.find("pt_server_sessions 1"), std::string::npos);
+  EXPECT_NE(before.find("pt_server_frames_served_total"), std::string::npos);
+  EXPECT_NE(before.find("pt_server_uptime_ms"), std::string::npos);
+
+  auto countersOf = [](const std::string& text, const std::string& name) {
+    const std::size_t pos = text.find("\n" + name + " ");
+    EXPECT_NE(pos, std::string::npos) << name;
+    return std::stoull(text.substr(pos + name.size() + 2));
+  };
+  const auto frames_before = countersOf(before, "pt_server_frames_served_total");
+  for (int i = 0; i < 5; ++i) conn->exec("INSERT INTO t VALUES (1)");
+  const std::string after = conn->serverMetrics();
+  EXPECT_GT(countersOf(after, "pt_server_frames_served_total"), frames_before);
+}
+
+TEST_F(ServerTest, RemoteExplainAnalyzeStreamsAnnotatedPlan) {
+  auto conn = connect();
+  conn->exec("CREATE TABLE runs (id INTEGER PRIMARY KEY, app TEXT)");
+  conn->exec("INSERT INTO runs (app) VALUES ('irs'), ('smg'), ('irs')");
+  auto cur = conn->query("EXPLAIN ANALYZE SELECT * FROM runs WHERE app = 'irs'");
+  ASSERT_EQ(cur.columns().size(), 1u);
+  EXPECT_EQ(cur.columns()[0], "plan");
+  minidb::Row row;
+  std::size_t lines = 0;
+  bool saw_actuals = false;
+  while (cur.next(row)) {
+    ++lines;
+    if (row[0].asText().find("actual rows=2") != std::string::npos) {
+      saw_actuals = true;
+    }
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_TRUE(saw_actuals);
+  // Plain EXPLAIN over the wire stays annotation-free.
+  auto plain = conn->query("EXPLAIN SELECT * FROM runs WHERE app = 'irs'");
+  while (plain.next(row)) {
+    EXPECT_EQ(row[0].asText().find("actual"), std::string::npos);
+  }
+}
+
+TEST(ServerMetricsHttp, EndpointServesPrometheusAndTraces) {
+  // The workload below runs back to back inside one coarse clock tick, so
+  // defeat the tracer's one-sample-per-tick rate limiter: this test asserts
+  // that specific statements land in the /traces ring.
+  obs::Tracer::global().setAlwaysSample(true);
+  struct SamplerReset {
+    ~SamplerReset() { obs::Tracer::global().setAlwaysSample(false); }
+  } sampler_reset;
+
+  auto db = minidb::Database::openMemory();
+  server::ServerConfig config;
+  config.port = 0;
+  config.metrics_port = 0;  // ephemeral
+  server::PtServer srv(*db, config);
+  srv.start();
+  ASSERT_GT(srv.boundMetricsPort(), 0);
+
+  auto httpGet = [&srv](const std::string& path) {
+    server::Socket sock = server::connectTo(
+        "127.0.0.1:" + std::to_string(srv.boundMetricsPort()),
+        std::chrono::milliseconds(5000));
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    sock.sendAll(request.data(), request.size());
+    std::string response;
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    return response;
+  };
+
+  {
+    auto conn = dbal::RemoteConnection::connect(
+        "127.0.0.1:" + std::to_string(srv.boundPort()));
+    conn->exec("CREATE TABLE t (v INTEGER)");
+    conn->exec("INSERT INTO t VALUES (7)");
+    conn->exec("SELECT * FROM t");
+  }
+
+  const std::string metrics = httpGet("/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("pt_sql_queries_total"), std::string::npos);
+  EXPECT_NE(metrics.find("pt_server_sessions 0"), std::string::npos);
+
+  const std::string traces = httpGet("/traces");
+  EXPECT_NE(traces.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(traces.find("== recent queries"), std::string::npos);
+  EXPECT_NE(traces.find("SELECT * FROM t"), std::string::npos);
+
+  EXPECT_NE(httpGet("/nope").find("HTTP/1.0 404"), std::string::npos);
+  srv.stop();
 }
 
 TEST_F(ServerTest, TwoClientsSeeEachOthersWrites) {
