@@ -6,6 +6,11 @@
 // recomputed on every click, so their latency bounds GUI interactivity.
 // This benchmark measures per-family and whole-filter count latency against
 // a store of IRS executions, for each filter kind the dialog can produce.
+//
+// Every run records a `threads` counter in the JSON output; the _ThreadSweep
+// variants re-run the count hot path at morsel-parallel degrees {1,2,4,8}
+// (dbal::Connection::setExecThreads) so BENCH_fig3.json carries the
+// per-degree timing matrix.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -28,6 +33,7 @@ void BM_FamilyCount_ByName(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(session.familyMatchCount(fam));
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_FamilyCount_ByName);
 
@@ -38,6 +44,7 @@ void BM_FamilyCount_ByType(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(session.familyMatchCount(fam));
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_FamilyCount_ByType);
 
@@ -48,6 +55,7 @@ void BM_FamilyCount_ByAttribute(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(session.familyMatchCount(fam));
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_FamilyCount_ByAttribute);
 
@@ -59,6 +67,7 @@ void BM_TotalCount_TwoFamilies(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(session.totalMatchCount());
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_TotalCount_TwoFamilies);
 
@@ -71,6 +80,7 @@ void BM_FamilyEvaluation_Expansion(benchmark::State& state) {
     session.setExpansion(fam, core::Expansion::Descendants);
     benchmark::DoNotOptimize(session.familyMatchCount(fam));
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_FamilyEvaluation_Expansion);
 
@@ -83,8 +93,46 @@ void BM_SessionRun(benchmark::State& state) {
     auto table = session.run();
     benchmark::DoNotOptimize(table.size());
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_SessionRun);
+
+// --- morsel-parallel degree sweep -------------------------------------------
+// The same count hot path, re-run at exec degrees {1,2,4,8}. Degree 1 is
+// exactly the serial pipeline; higher degrees go through the Gather merge
+// whenever the scanned table clears the small-table page gate.
+
+void BM_TotalCount_ThreadSweep(benchmark::State& state) {
+  auto& s = sharedStore();
+  const int threads = static_cast<int>(state.range(0));
+  s.conn->setExecThreads(threads);
+  core::QuerySession session(*s.store);
+  session.addFamily(core::ResourceFilter::byName("Frost", core::Expansion::Descendants));
+  session.addFamily(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.totalMatchCount());
+  }
+  state.counters["threads"] = threads;
+  s.conn->setExecThreads(0);
+}
+BENCHMARK(BM_TotalCount_ThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SessionRun_ThreadSweep(benchmark::State& state) {
+  auto& s = sharedStore();
+  const int threads = static_cast<int>(state.range(0));
+  s.conn->setExecThreads(threads);
+  core::QuerySession session(*s.store);
+  session.addFamily(
+      core::ResourceFilter::byName("/IRS-1.4/irscg.c/cgsolve", core::Expansion::None));
+  for (auto _ : state) {
+    auto table = session.run();
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.counters["threads"] = threads;
+  s.conn->setExecThreads(0);
+}
+BENCHMARK(BM_SessionRun_ThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

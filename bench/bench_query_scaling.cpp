@@ -10,12 +10,21 @@
 // selectivity. Expected shape: closure lookups scale with the subtree size
 // only; parent-chain traversal pays one indexed query per tree node and
 // falls behind as the hierarchy grows.
+//
+// The _Threads benchmarks at the bottom sweep the morsel-parallel degree
+// {1,2,4,8} over a large synthetic aggregate (DESIGN.md §5.6) and record a
+// `threads` counter per run, so BENCH_query_scaling.json carries the full
+// per-degree timing matrix rather than a single-run median.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <functional>
 
 #include "bench_util.h"
 #include "core/filter.h"
+#include "minidb/database.h"
+#include "minidb/sql/executor.h"
+#include "obs/metrics.h"
 
 using namespace perftrack;
 
@@ -100,6 +109,90 @@ void BM_PrFilterQuery_Intersection(benchmark::State& state) {
 }
 BENCHMARK(BM_PrFilterQuery_Intersection)->Arg(2)->Arg(8);
 
+// --- morsel-parallel degree sweep -------------------------------------------
+// Grouped aggregates and top-K over a wide synthetic scan, at degrees
+// {1,2,4,8}. Default table size is 1M rows (the acceptance sweep);
+// PT_SCALING_ROWS shrinks it for smoke runs. Degree 1 takes exactly the
+// serial pipeline, so the Arg(1) rows double as the pre-parallel baseline.
+
+struct ScanFixture {
+  std::unique_ptr<minidb::Database> db;
+  std::unique_ptr<minidb::sql::Engine> sql;
+  long rows = 0;
+};
+
+ScanFixture& scanFixture() {
+  static ScanFixture f = [] {
+    ScanFixture s;
+    s.rows = 1'000'000;
+    if (const char* env = std::getenv("PT_SCALING_ROWS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) s.rows = n;
+    }
+    s.db = minidb::Database::openMemory();
+    s.sql = std::make_unique<minidb::sql::Engine>(*s.db);
+    s.sql->exec(
+        "CREATE TABLE scan_t (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)");
+    std::string insert;
+    for (long i = 0; i < s.rows; ++i) {
+      insert += insert.empty() ? "INSERT INTO scan_t (grp, val) VALUES " : ",";
+      insert += "(" + std::to_string(i % 64) + "," + std::to_string(i % 1000) + ")";
+      if (insert.size() > 200000) {
+        s.sql->exec(insert);
+        insert.clear();
+      }
+    }
+    if (!insert.empty()) s.sql->exec(insert);
+    return s;
+  }();
+  return f;
+}
+
+void BM_GroupedAggregate_Threads(benchmark::State& state) {
+  auto& f = scanFixture();
+  const int threads = static_cast<int>(state.range(0));
+  f.sql->setExecThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sql->exec(
+        "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) "
+        "FROM scan_t GROUP BY grp"));
+  }
+  state.counters["threads"] = threads;
+  state.counters["rows"] = static_cast<double>(f.rows);
+  state.SetItemsProcessed(state.iterations() * f.rows);
+  f.sql->setExecThreads(1);
+}
+BENCHMARK(BM_GroupedAggregate_Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopK_Threads(benchmark::State& state) {
+  auto& f = scanFixture();
+  const int threads = static_cast<int>(state.range(0));
+  f.sql->setExecThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sql->exec(
+        "SELECT id, val FROM scan_t WHERE grp < 32 "
+        "ORDER BY val DESC, id LIMIT 25"));
+  }
+  state.counters["threads"] = threads;
+  state.counters["rows"] = static_cast<double>(f.rows);
+  state.SetItemsProcessed(state.iterations() * f.rows);
+  f.sql->setExecThreads(1);
+}
+BENCHMARK(BM_TopK_Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run can leave a metrics snapshot next
+// to its JSON output (PT_METRICS_SNAPSHOT, scripts/bench_smoke.sh).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  obs::writeSnapshotIfRequested();
+  return 0;
+}

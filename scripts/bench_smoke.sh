@@ -3,7 +3,14 @@
 # leaves machine-readable JSON next to the binaries:
 #
 #   BENCH_fig3.json   google-benchmark output of bench_fig3_querysession
-#                     (family/total match-count latency, the pr-filter hot path)
+#                     (family/total match-count latency, the pr-filter hot
+#                     path, plus the exec-degree {1,2,4,8} thread sweep)
+#   BENCH_query_scaling.json
+#                     closure-table ablation plus the morsel-parallel degree
+#                     sweep over a synthetic aggregate; every sweep entry
+#                     carries `threads` and `rows` counters. The smoke shrinks
+#                     the table via PT_SCALING_ROWS — run the binary without it
+#                     for the full 1M-row acceptance sweep.
 #   BENCH_table1.json per-dataset ingest rows from bench_table1_ingest
 #                     (Table 1 load path: results/exec, DB growth, load time)
 #   BENCH_durability.json ingest throughput with the crash-safe commit path
@@ -35,7 +42,7 @@ bench_dir="${1:-$repo_root/build/bench}"
 out_dir="${2:-$bench_dir}"
 mkdir -p "$out_dir"
 
-for bin in bench_fig3_querysession bench_table1_ingest bench_durability bench_cursor bench_server bench_obs; do
+for bin in bench_fig3_querysession bench_query_scaling bench_table1_ingest bench_durability bench_cursor bench_server bench_obs; do
   if [[ ! -x "$bench_dir/$bin" ]]; then
     echo "bench_smoke: $bench_dir/$bin not built" >&2
     exit 1
@@ -73,6 +80,15 @@ PT_METRICS_SNAPSHOT="$out_dir/METRICS_fig3.prom" \
   --benchmark_out_format=json
 check_snapshot "$out_dir/METRICS_fig3.prom"
 
+echo "== bench_query_scaling (degree sweep, short run) =="
+PT_SCALING_ROWS=120000 \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_query_scaling.prom" \
+  "$bench_dir/bench_query_scaling" \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="$out_dir/BENCH_query_scaling.json" \
+  --benchmark_out_format=json
+check_snapshot "$out_dir/METRICS_query_scaling.prom"
+
 echo "== bench_table1_ingest =="
 PT_TABLE1_JSON="$out_dir/BENCH_table1.json" \
   PT_METRICS_SNAPSHOT="$out_dir/METRICS_table1.prom" \
@@ -103,4 +119,4 @@ PT_OBS_JSON="$out_dir/BENCH_obs.json" \
   "$bench_dir/bench_obs"
 check_snapshot "$out_dir/METRICS_obs.prom"
 
-echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, $out_dir/BENCH_server.json, and $out_dir/BENCH_obs.json (plus METRICS_*.prom sidecars)"
+echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_query_scaling.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, $out_dir/BENCH_server.json, and $out_dir/BENCH_obs.json (plus METRICS_*.prom sidecars)"

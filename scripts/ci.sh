@@ -3,10 +3,12 @@
 #
 #   scripts/ci.sh            normal build + full ctest (tier-1 gate)
 #   scripts/ci.sh sanitize   ASan+UBSan build + full ctest
-#   scripts/ci.sh tsan       ThreadSanitizer build + the `server` and `obs`
-#                            labels (ptserverd concurrency: worker pool,
-#                            DbGate, remote dbal, stress + crash-restart
-#                            tests; obs registry/tracer cross-thread races)
+#   scripts/ci.sh tsan       ThreadSanitizer build + the `server`, `obs`,
+#                            and `parallel` labels (ptserverd concurrency:
+#                            worker pool, DbGate, remote dbal, stress +
+#                            crash-restart tests; obs registry/tracer
+#                            cross-thread races; morsel-driven parallel
+#                            query execution and the shared ExecPool)
 #   scripts/ci.sh bench      normal build + bench smoke (non-gating label)
 #
 # Each mode uses its own build directory so they can be run back to back.
@@ -35,14 +37,15 @@ case "$MODE" in
   tsan)
     # TSan is incompatible with ASan, so it gets its own tree; the server
     # label selects everything multi-threaded (src/server tests and the
-    # daemon crash-restart script) and the obs label adds the metrics
-    # registry / tracer cross-thread exercises.
+    # daemon crash-restart script), the obs label adds the metrics
+    # registry / tracer cross-thread exercises, and the parallel label adds
+    # the morsel-driven executor and ExecPool suites.
     BUILD="$ROOT/build-tsan"
     cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DPT_SANITIZE=thread
     cmake --build "$BUILD" -j "$JOBS"
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs"
+      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel"
     ;;
   bench)
     # Smoke only: the benchmarks must run to completion; numbers are not gated.

@@ -32,12 +32,18 @@ run_case() {
     metrics.txt)          "$BIN/ptquery" "$WORK/db" metrics ;;
     select_function.csv)  "$BIN/ptquery" "$WORK/db" select "name=IRS-1.4/irsrad.c/rbndcom:B" --csv ;;
     select_exec.csv)      "$BIN/ptquery" "$WORK/db" select "name=/irs-frost-np4-s1" "type=build/module/function" --csv ;;
-    explain_tree.txt)     "$BIN/ptquery" "$WORK/db" sql "EXPLAIN SELECT ra.name, COUNT(*) FROM resource_attribute ra JOIN resource_item r ON ra.resource_id = r.id GROUP BY ra.name ORDER BY ra.name LIMIT 5" ;;
+    # The EXPLAIN cases pin the parallel degree (PT_EXEC_THREADS=4) and
+    # disable the small-table page gate (PT_EXEC_MIN_PAGES=1) so the plan
+    # shows the GATHER subtree identically on any host, core count aside.
+    explain_tree.txt)     PT_EXEC_THREADS=4 PT_EXEC_MIN_PAGES=1 "$BIN/ptquery" "$WORK/db" sql "EXPLAIN SELECT ra.name, COUNT(*) FROM resource_attribute ra JOIN resource_item r ON ra.resource_id = r.id GROUP BY ra.name ORDER BY ra.name LIMIT 5" ;;
     explain_analyze.txt)
       # Timings vary run to run; mask them so only the tree shape, the row
-      # counts, and the loop counts stay under byte-exact protection.
-      "$BIN/ptquery" "$WORK/db" sql "EXPLAIN ANALYZE SELECT ra.name, COUNT(*) FROM resource_attribute ra JOIN resource_item r ON ra.resource_id = r.id GROUP BY ra.name ORDER BY ra.name LIMIT 5" \
-        | sed -E 's/time=[0-9]+\.[0-9]+ms/time=<T>ms/g' ;;
+      # counts, and the loop counts stay under byte-exact protection. The
+      # PER-WORKER line is masked entirely: the morsel race distributes rows
+      # across workers differently on every run.
+      PT_EXEC_THREADS=4 PT_EXEC_MIN_PAGES=1 "$BIN/ptquery" "$WORK/db" sql "EXPLAIN ANALYZE SELECT ra.name, COUNT(*) FROM resource_attribute ra JOIN resource_item r ON ra.resource_id = r.id GROUP BY ra.name ORDER BY ra.name LIMIT 5" \
+        | sed -E 's/time=[0-9]+\.[0-9]+ms/time=<T>ms/g' \
+        | sed -E 's/PER-WORKER .*/PER-WORKER <masked>/' ;;
     *) fail "unknown golden case '$1'" ;;
   esac
 }

@@ -8,6 +8,11 @@
 #     Content-Type and well-formed "# TYPE <name> <kind>" lines;
 #   * counters are live: pt_server_frames_served_total strictly increases
 #     after a ptquery --connect workload;
+#   * the parallel-exec metrics (pt_exec_morsels_dispatched_total,
+#     pt_exec_parallel_queries_total, pt_exec_pool_threads,
+#     pt_exec_gather_wait_ms) appear and move after a GROUP BY workload on a
+#     server started with --exec-threads 4 (PT_EXEC_MIN_PAGES=1 defeats the
+#     small-table gate so the smoke stays fast);
 #   * /traces shows the recent-query ring with the workload's SQL in it;
 #   * an unknown path answers 404 and does not kill the daemon;
 #   * the daemon still drains cleanly (SIGTERM -> exit 0) afterwards.
@@ -28,9 +33,13 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
 
 # --slow-query-ms puts the tracer in time-everything mode (classifying slow
 # queries needs every span), which makes the /traces assertions below
-# deterministic; 5000ms keeps the slow log itself empty.
+# deterministic; 5000ms keeps the slow log itself empty. --exec-threads 4
+# with the page gate off lets the small parallel workload below actually go
+# parallel regardless of the host's core count.
+PT_EXEC_MIN_PAGES=1 \
 "$BIN/ptserverd" --listen 127.0.0.1:0 --workers 2 --metrics-port 0 \
-  --slow-query-ms 5000 "$WORK/store.db" > "$WORK/srv.out" 2> "$WORK/srv.err" &
+  --slow-query-ms 5000 --exec-threads 4 \
+  "$WORK/store.db" > "$WORK/srv.out" 2> "$WORK/srv.err" &
 SRV_PID=$!
 for _ in $(seq 1 200); do
   PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$WORK/srv.out")"
@@ -92,10 +101,37 @@ FRAMES_AFTER="$(frames_of "$RESP")"
 printf '%s\n' "$RESP" | grep -q '^pt_db_file_bytes [1-9]' \
   || fail "db file size gauge not positive after writes"
 
+# --- parallel-exec metrics ---------------------------------------------------
+# A grouped aggregate on the gated-open store runs morsel-parallel (the
+# server was started with --exec-threads 4 and PT_EXEC_MIN_PAGES=1), which
+# must register and move all four exec metrics. The table needs to span
+# several morsels (~2k rows each) or the scheduler clamps the degree back to
+# one and never spawns a pool thread, so load 10k rows in 100-row batches.
+
+HUNDRED="$(seq 1 100 | sed 's/.*/(&)/' | paste -sd, -)"
+for i in $(seq 1 100); do
+  sql "INSERT INTO smoke (v) VALUES $HUNDRED" >/dev/null \
+    || fail "parallel workload insert batch $i"
+done
+sql "SELECT v, COUNT(*) FROM smoke GROUP BY v ORDER BY v" >/dev/null \
+  || fail "parallel GROUP BY over the wire"
+
+RESP="$(scrape /metrics)" || fail "parallel-exec scrape"
+printf '%s\n' "$RESP" | grep -q '^pt_exec_parallel_queries_total [1-9]' \
+  || fail "pt_exec_parallel_queries_total did not move after a parallel GROUP BY"
+printf '%s\n' "$RESP" | grep -q '^pt_exec_morsels_dispatched_total [1-9]' \
+  || fail "pt_exec_morsels_dispatched_total did not move"
+printf '%s\n' "$RESP" | grep -q '^pt_exec_pool_threads [1-9]' \
+  || fail "pt_exec_pool_threads gauge not positive"
+printf '%s\n' "$RESP" | grep -q '^pt_exec_gather_wait_ms_count [1-9]' \
+  || fail "pt_exec_gather_wait_ms histogram recorded no observations"
+
 TRACES="$(scrape /traces)" || fail "trace scrape"
 printf '%s\n' "$TRACES" | head -1 | grep -q '^HTTP/1\.0 200' || fail "/traces not 200"
 printf '%s\n' "$TRACES" | grep -q '== recent queries' || fail "trace dump header missing"
-printf '%s\n' "$TRACES" | grep -q 'SELECT COUNT(\*) FROM smoke' \
+# The INSERT storm above has rolled the ring past the early COUNT(*) probe,
+# so look for the parallel GROUP BY, which ran last.
+printf '%s\n' "$TRACES" | grep -q 'SELECT v, COUNT(\*) FROM smoke GROUP BY v' \
   || fail "workload query not in trace ring"
 
 NOPE="$(scrape /nope)" || fail "404 scrape"

@@ -21,6 +21,9 @@
 //                             printed on stdout; omit to disable)
 //     --slow-query-ms <ms>    log queries slower than this to stderr and
 //                             the slow-trace ring (0 disables; default 0)
+//     --exec-threads <n>      parallel SELECT degree per session (0 =
+//                             PT_EXEC_THREADS or hardware concurrency,
+//                             1 = serial; sessions share one worker pool)
 //
 // On startup the daemon prints "listening on <host>:<port>" (and the unix
 // path if any) to stdout and flushes, so harnesses can scrape the ephemeral
@@ -69,7 +72,7 @@ int usage(const char* argv0) {
                "usage: %s [--listen host:port] [--unix path] [--workers n]\n"
                "       [--max-conn n] [--idle-timeout ms] [--lock-timeout ms]\n"
                "       [--durability=full|none] [--no-remote-shutdown]\n"
-               "       [--metrics-port n] [--slow-query-ms ms]\n"
+               "       [--metrics-port n] [--slow-query-ms ms] [--exec-threads n]\n"
                "       <database|:memory:>\n",
                argv0);
   return 2;
@@ -136,6 +139,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--slow-query-ms") {
       obs::Tracer::global().setSlowQueryMillis(
           static_cast<std::uint64_t>(std::atol(nextValue("--slow-query-ms"))));
+    } else if (flag == "--exec-threads") {
+      config.limits.exec_threads = std::atoi(nextValue("--exec-threads"));
+      if (config.limits.exec_threads < 0) config.limits.exec_threads = 0;
     } else {
       std::fprintf(stderr, "ptserverd: unknown flag '%s'\n", flag.c_str());
       return usage(argv[0]);

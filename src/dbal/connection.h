@@ -147,6 +147,13 @@ class Connection {
   /// remote connections.
   virtual void setUseIndexes(bool enabled) = 0;
 
+  /// Execution degree for parallel-eligible SELECTs (morsel-driven; see
+  /// DESIGN.md §5.6). 0 restores the process default (PT_EXEC_THREADS or
+  /// hardware concurrency); 1 forces the serial path. Remote sessions
+  /// ignore it — the server decides its own degree (all sessions share one
+  /// worker pool there).
+  virtual void setExecThreads(int n) { (void)n; }
+
   // --- statement-cache introspection ----------------------------------------
   // Local backends report the real LRU numbers; the remote backend keeps no
   // client-side plan cache, so the base defaults (zeros, no-ops) apply.
@@ -185,6 +192,7 @@ class LocalConnection final : public Connection {
   }
 
   void setUseIndexes(bool enabled) override;
+  void setExecThreads(int n) override { engine_.setExecThreads(n); }
 
   std::size_t statementCacheSize() const override { return cache_.size(); }
   const StatementCacheStats& statementCacheStats() const override { return stats_; }

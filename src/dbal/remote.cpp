@@ -456,6 +456,13 @@ void RemoteConnection::setUseIndexes(bool enabled) {
   wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
 }
 
+void RemoteConnection::setExecThreads(int n) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(server::SessionOption::ExecThreads));
+  w.i64(n < 0 ? 0 : n);
+  wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
+}
+
 void RemoteConnection::clearStatementCache() {
   for (auto& [sql, stmt] : stmts_) {
     // Handles pinned by a streaming cursor are released by the cursor.

@@ -79,6 +79,7 @@ class RemoteConnection final : public Connection {
   const minidb::RecoveryStats& recoveryStats() const override;
 
   void setUseIndexes(bool enabled) override;
+  void setExecThreads(int n) override;
 
   /// Remote handles held by this client (server-side statements stay alive
   /// until closed, so this doubles as a leak check in tests).

@@ -143,6 +143,34 @@ void HeapFile::destroy() {
   first_ = kInvalidPage;
 }
 
+std::vector<PageId> HeapFile::collectPages(const Pager& pager, PageId first) {
+  std::vector<PageId> pages;
+  for (PageId p = first; p != kInvalidPage; p = hdr(pager.pageForRead(p))->next) {
+    pages.push_back(p);
+  }
+  return pages;
+}
+
+bool HeapFile::chainHasAtLeast(const Pager& pager, PageId first, std::size_t n) {
+  std::size_t seen = 0;
+  for (PageId p = first; p != kInvalidPage; p = hdr(pager.pageForRead(p))->next) {
+    if (++seen >= n) return true;
+  }
+  return seen >= n;  // n == 0
+}
+
+void HeapFile::visitPageRecords(
+    const Pager& pager, PageId page,
+    const std::function<bool(const std::uint8_t* data, std::size_t size)>& fn) {
+  const std::uint8_t* buf = pager.pageForRead(page);
+  const HeapPageHeader* h = hdr(buf);
+  const Slot* slots = slotArray(buf);
+  for (std::uint16_t s = 0; s < h->slot_count; ++s) {
+    if (slots[s].off == 0) continue;  // tombstone
+    if (!fn(buf + slots[s].off, slots[s].len)) return;
+  }
+}
+
 const std::uint8_t* HeapFile::Iterator::data() const {
   const std::uint8_t* page = pager_->pageForRead(page_);
   const Slot& slot = slotArray(page)[slot_];

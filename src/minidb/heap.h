@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -72,6 +73,24 @@ class HeapFile {
   };
 
   Iterator begin() const { return Iterator(pager_, first_, 0); }
+
+  // --- page-level read access (parallel scans) -----------------------------
+  // A heap chain partitions naturally at page boundaries, so the SQL layer's
+  // morsel source hands whole pages to scan workers. These helpers are the
+  // only page-granular read surface; they never mutate.
+
+  /// The page ids of the chain starting at `first`, in chain order.
+  static std::vector<PageId> collectPages(const Pager& pager, PageId first);
+
+  /// True when the chain starting at `first` spans at least `n` pages.
+  /// Stops walking as soon as the answer is known.
+  static bool chainHasAtLeast(const Pager& pager, PageId first, std::size_t n);
+
+  /// Visits every live record of one page, in slot order. `fn` returns
+  /// false to stop early.
+  static void visitPageRecords(
+      const Pager& pager, PageId page,
+      const std::function<bool(const std::uint8_t* data, std::size_t size)>& fn);
 
   /// Maximum payload a heap record may carry.
   static std::size_t maxRecordSize();

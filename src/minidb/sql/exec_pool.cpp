@@ -1,0 +1,114 @@
+#include "minidb/sql/exec_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace perftrack::minidb::sql {
+
+namespace {
+
+obs::Gauge& poolThreadsGauge() {
+  static obs::Gauge* g = &obs::Registry::global().gauge("pt_exec_pool_threads");
+  return *g;
+}
+
+}  // namespace
+
+ExecPool& ExecPool::shared() {
+  // Leaked on purpose: detached workers block on this object's cv forever,
+  // so it must outlive static destruction.
+  static ExecPool* pool = new ExecPool();
+  return *pool;
+}
+
+std::size_t ExecPool::threadCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return thread_count_;
+}
+
+void ExecPool::ensureThreadsLocked(std::size_t want) {
+  want = std::min(want, kMaxThreads);
+  while (thread_count_ < want) {
+    std::thread([this] { workerMain(); }).detach();
+    ++thread_count_;
+  }
+  poolThreadsGauge().set(static_cast<std::int64_t>(thread_count_));
+}
+
+void ExecPool::runOneSlot(const JobPtr& job, std::unique_lock<std::mutex>& lock,
+                          const std::function<void(std::size_t)>& fn) {
+  const std::size_t slot = job->next_slot++;
+  ++job->active;
+  if (job->next_slot >= job->end_slot) {
+    // Fully claimed: drop it from the queue so workers move on.
+    auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    fn(slot);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error && !job->error) job->error = error;
+  --job->active;
+  if (job->finished()) done_cv_.notify_all();
+}
+
+void ExecPool::workerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return !queue_.empty(); });
+    JobPtr job = queue_.front();
+    runOneSlot(job, lock, *job->fn);
+  }
+}
+
+ExecPool::RunStats ExecPool::run(std::size_t extra,
+                                 const std::function<void(std::size_t)>& fn) {
+  RunStats stats;
+  if (extra == 0) {
+    fn(0);
+    return stats;
+  }
+  stats.workers = extra;
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->next_slot = 1;
+  job->end_slot = extra + 1;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ensureThreadsLocked(extra);
+    queue_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Steal any of our own slots the pool has not picked up yet (it may be
+  // busy with other sessions' jobs); guarantees progress even when the pool
+  // is saturated.
+  while (job->next_slot < job->end_slot) runOneSlot(job, lock, fn);
+  const auto wait_start = std::chrono::steady_clock::now();
+  done_cv_.wait(lock, [&] { return job->finished(); });
+  stats.wait_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count());
+  std::exception_ptr error = caller_error ? caller_error : job->error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+  return stats;
+}
+
+}  // namespace perftrack::minidb::sql

@@ -1,8 +1,12 @@
 #include "minidb/sql/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 #include <utility>
+
+#include "minidb/sql/exec_pool.h"
 
 #include "minidb/sql/lexer.h"
 #include "minidb/sql/parser.h"
@@ -53,6 +57,32 @@ std::uint64_t approxRowBytes(const Row& row) {
 }
 
 }  // namespace
+
+int defaultExecThreads() {
+  static const int resolved = [] {
+    if (const char* env = std::getenv("PT_EXEC_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n >= 1) {
+        return static_cast<int>(
+            std::min<long>(n, static_cast<long>(ExecPool::kMaxThreads) + 1));
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return resolved;
+}
+
+std::size_t defaultParallelMinPages() {
+  static const std::size_t resolved = [] {
+    if (const char* env = std::getenv("PT_EXEC_MIN_PAGES")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n >= 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{16};
+  }();
+  return resolved;
+}
 
 // ---------------------------------------------------------------------------
 // ResultSet rendering
@@ -295,6 +325,7 @@ Cursor PreparedStatement::openCursor() {
     impl->trace.plan_us = plan_us;
     impl->trace.bind_us = bind_us;
   }
+  const ExecOptions exec_opts{engine_->execThreads(), engine_->parallelMinPages()};
   if (stmt_->explain) {
     impl->is_explain = true;
     impl->columns = {"plan"};
@@ -305,7 +336,7 @@ Cursor PreparedStatement::openCursor() {
       // a scoped pin; the resulting cursor is text-only and pin-free, so it
       // is safe to stream over the wire like plain EXPLAIN.
       materializePlanSubqueries(db, *plan_);
-      Pipeline p = buildPipeline(db, *plan_);
+      Pipeline p = buildPipeline(db, *plan_, exec_opts);
       p.root->setAnalyze(true);
       {
         const Database::CursorPin run_pin = db.pinCursor();
@@ -318,7 +349,7 @@ Cursor PreparedStatement::openCursor() {
       }
       p.root->describe(lines, 0);
     } else {
-      lines = explainPipeline(db, *plan_);
+      lines = explainPipeline(db, *plan_, exec_opts);
     }
     for (std::string& line : lines) {
       impl->explain_rows.push_back({Value(std::move(line))});
@@ -326,7 +357,7 @@ Cursor PreparedStatement::openCursor() {
   } else {
     // Subqueries run before the pin is taken (they open their own scans).
     materializePlanSubqueries(db, *plan_);
-    impl->pipeline = buildPipeline(db, *plan_);
+    impl->pipeline = buildPipeline(db, *plan_, exec_opts);
     impl->columns = impl->pipeline.columns;
     impl->pin = db.pinCursor();
     impl->pipeline.root->open();
@@ -453,7 +484,8 @@ ResultSet Engine::exec(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::Select:
       return execSelect(*db_, *stmt.select, use_indexes_, stmt.explain,
-                        stmt.explain_analyze);
+                        stmt.explain_analyze,
+                        ExecOptions{execThreads(), parallelMinPages()});
 
     case Statement::Kind::Insert: {
       const InsertStmt& ins = *stmt.insert;

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +49,15 @@ struct ResultSet {
 class Engine;
 struct SelectPlan;  // cached plan, defined in sql/pipeline.h
 struct CursorImpl;  // cursor state, defined in executor.cpp
+
+/// Process default for Engine::execThreads(): PT_EXEC_THREADS when set (>= 1,
+/// clamped to the pool ceiling), else std::thread::hardware_concurrency().
+/// Resolved once per process.
+int defaultExecThreads();
+
+/// Process default for Engine::parallelMinPages(): PT_EXEC_MIN_PAGES when
+/// set, else 16. 0 disables the small-table gate entirely.
+std::size_t defaultParallelMinPages();
 
 /// A stepping SELECT cursor: pulls one row at a time through the operator
 /// pipeline, so the first row arrives without materializing the result.
@@ -169,6 +179,21 @@ class Engine {
   void setUseIndexes(bool enabled) { use_indexes_ = enabled; }
   bool useIndexes() const { return use_indexes_; }
 
+  /// Execution degree for parallel-eligible SELECTs (workers including the
+  /// calling thread). 0 restores the process default (PT_EXEC_THREADS or
+  /// hardware concurrency); 1 forces the serial path.
+  void setExecThreads(int n) { exec_threads_ = n; }
+  int execThreads() const {
+    return exec_threads_ > 0 ? exec_threads_ : defaultExecThreads();
+  }
+
+  /// Heap pages table 0 must span before a SELECT goes parallel; 0 disables
+  /// the gate (tests force tiny tables parallel with it).
+  void setParallelMinPages(std::size_t n) { min_pages_ = n; }
+  std::size_t parallelMinPages() const {
+    return min_pages_ ? *min_pages_ : defaultParallelMinPages();
+  }
+
   Database& database() { return *db_; }
 
  private:
@@ -176,6 +201,8 @@ class Engine {
 
   Database* db_;
   bool use_indexes_ = true;
+  int exec_threads_ = 0;                  // 0 = process default
+  std::optional<std::size_t> min_pages_;  // unset = process default
 };
 
 }  // namespace perftrack::minidb::sql

@@ -3,13 +3,18 @@
 #include "minidb/sql/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
+#include <unordered_map>
 
 #include "minidb/keycodec.h"
+#include "minidb/sql/exec_pool.h"
 #include "minidb/sql/executor.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -735,6 +740,12 @@ class SlotIter {
   virtual void setAnalyze(bool on) { stats_.timed = on; }
   std::size_t produced() const { return produced_; }
 
+  /// Appends this stage's OpStats pointer (children first is not required;
+  /// the order only has to match between two chains built from the same
+  /// plan, which GatherOp relies on to roll worker stats into the template
+  /// tree it describes).
+  virtual void collectStats(std::vector<OpStats*>& out) { out.push_back(&stats_); }
+
  protected:
   virtual void doOpen() = 0;
   virtual bool doNext(Row& out) = 0;
@@ -943,6 +954,10 @@ class FilterIter : public SlotIter {
     stats_.timed = on;
     child_->setAnalyze(on);
   }
+  void collectStats(std::vector<OpStats*>& out) override {
+    out.push_back(&stats_);
+    child_->collectStats(out);
+  }
 
  private:
   std::unique_ptr<SlotIter> child_;
@@ -962,26 +977,34 @@ class FilterIter : public SlotIter {
 /// apply to it.
 class NestedLoop {
  public:
-  NestedLoop(Database& db, SelectPlan& plan)
+  /// `level0` (optional) replaces the base scan/probe iterator of the first
+  /// FROM entry; GatherOp feeds per-worker loops from a shared MorselSource
+  /// this way while the filter chain and join levels stay identical.
+  NestedLoop(Database& db, SelectPlan& plan,
+             std::unique_ptr<SlotIter> level0 = nullptr)
       : plan_(&plan), tuple_(plan.from.size(), nullptr) {
     const SelectStmt& sel = *plan.sel;
     for (std::size_t t = 0; t < plan.from.size(); ++t) {
       Level lv;
       const SelectPlan::AccessPath& path = plan.paths[t];
       std::unique_ptr<SlotIter> it;
-      switch (path.kind) {
-        case SelectPlan::AccessPath::Kind::Scan:
-          it = std::make_unique<SeqScanIter>(db, path, plan.from[t]);
-          break;
-        case SelectPlan::AccessPath::Kind::IndexEqual:
-          it = std::make_unique<IndexEqualIter>(db, path, plan.from[t], tuple_);
-          break;
-        case SelectPlan::AccessPath::Kind::IndexInList:
-          it = std::make_unique<IndexInListIter>(db, path, plan.from[t], tuple_);
-          break;
-        case SelectPlan::AccessPath::Kind::IndexRange:
-          it = std::make_unique<IndexRangeIter>(db, path, plan.from[t], tuple_);
-          break;
+      if (t == 0 && level0) {
+        it = std::move(level0);
+      } else {
+        switch (path.kind) {
+          case SelectPlan::AccessPath::Kind::Scan:
+            it = std::make_unique<SeqScanIter>(db, path, plan.from[t]);
+            break;
+          case SelectPlan::AccessPath::Kind::IndexEqual:
+            it = std::make_unique<IndexEqualIter>(db, path, plan.from[t], tuple_);
+            break;
+          case SelectPlan::AccessPath::Kind::IndexInList:
+            it = std::make_unique<IndexInListIter>(db, path, plan.from[t], tuple_);
+            break;
+          case SelectPlan::AccessPath::Kind::IndexRange:
+            it = std::make_unique<IndexRangeIter>(db, path, plan.from[t], tuple_);
+            break;
+        }
       }
       SlotIter* matched = it.get();
       // Route the conjuncts due at this level: ON conjuncts decide LEFT JOIN
@@ -1096,6 +1119,29 @@ class NestedLoop {
   }
 
   const Tuple& tuple() const { return tuple_; }
+
+  /// OpStats pointers in construction order (loop, then each level's chain).
+  /// Two loops built from the same plan produce parallel lists, so worker
+  /// stats can be rolled element-wise into a template tree.
+  void collectStats(std::vector<OpStats*>& out) {
+    out.push_back(&stats_);
+    for (Level& lv : levels_) lv.top->collectStats(out);
+  }
+
+  /// Adds `other`'s per-stage counters into this loop's (EXPLAIN ANALYZE
+  /// roll-up of per-worker pipelines into the described template).
+  void absorbStats(NestedLoop& other) {
+    std::vector<OpStats*> mine;
+    std::vector<OpStats*> theirs;
+    collectStats(mine);
+    other.collectStats(theirs);
+    const std::size_t n = std::min(mine.size(), theirs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      mine[i]->loops += theirs[i]->loops;
+      mine[i]->rows += theirs[i]->rows;
+      mine[i]->time_ns += theirs[i]->time_ns;
+    }
+  }
 
   void describe(std::vector<std::string>& lines, int depth) const {
     int child_depth = depth;
@@ -1520,13 +1566,762 @@ class LimitOp : public RowOp {
   std::size_t emitted_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel execution
+//
+// A MorselSource partitions table 0 into ~kMorselTargetRows-row morsels that
+// workers claim with one atomic (page partitioning) or one short lock
+// (cursor chunking). Each morsel carries its decoded rows — the RowBatch the
+// per-worker scan/filter/project loops run over — plus a dense morsel id
+// from which every row gets a global rank: concatenating morsels in id
+// order reproduces the serial scan order exactly, so parallel runs stay
+// bit-identical to serial ones (group representatives, DISTINCT survivors,
+// and ORDER BY tie-breaks all resolve by rank).
+// ---------------------------------------------------------------------------
+
+/// Bits of the per-row rank reserved for the row's offset inside its morsel
+/// (page morsels are capped well below 2^18 rows).
+constexpr unsigned kMorselRowBits = 18;
+
+/// Exec-layer metrics, resolved once (pt_exec_pool_threads lives in
+/// exec_pool.cpp).
+struct ExecCounters {
+  obs::Counter& morsels_dispatched;
+  obs::Counter& parallel_queries;
+  obs::Histogram& gather_wait_ms;
+};
+
+ExecCounters& execCounters() {
+  auto& reg = obs::Registry::global();
+  static ExecCounters* c = new ExecCounters{
+      reg.counter("pt_exec_morsels_dispatched_total"),
+      reg.counter("pt_exec_parallel_queries_total"),
+      reg.histogram("pt_exec_gather_wait_ms"),
+  };
+  return *c;
+}
+
+/// Thread-safe supplier of decoded row batches. abort() drains the source
+/// early when one worker fails, so the others reach the barrier quickly.
+class MorselSource {
+ public:
+  struct Morsel {
+    std::uint64_t id = 0;    // dense, increasing; ranks derive from it
+    std::vector<Row> rows;   // the batch the worker's tight loops run over
+  };
+
+  virtual ~MorselSource() = default;
+
+  bool next(Morsel& m) {
+    if (aborted_.load(std::memory_order_relaxed)) return false;
+    if (!produce(m)) return false;
+    execCounters().morsels_dispatched.inc();
+    return true;
+  }
+
+  void abort() { aborted_.store(true, std::memory_order_relaxed); }
+
+ protected:
+  virtual bool produce(Morsel& m) = 0;
+
+ private:
+  std::atomic<bool> aborted_{false};
+};
+
+/// SeqScan partitioning: snapshot the heap page chain, hand out fixed runs
+/// of whole pages per morsel (atomic claim, no lock), decode on the worker.
+class PageMorselSource : public MorselSource {
+ public:
+  PageMorselSource(Database& db, const TableDef& table) : pager_(&db.pager()) {
+    pages_ = HeapFile::collectPages(*pager_, table.first_page);
+    // Whole pages per morsel, sized from the first page's fill so a morsel
+    // lands near kMorselTargetRows rows. Capped so ranks fit kMorselRowBits.
+    std::size_t rows_on_first = 0;
+    if (!pages_.empty()) {
+      HeapFile::visitPageRecords(*pager_, pages_[0],
+                                 [&](const std::uint8_t*, std::size_t) {
+                                   ++rows_on_first;
+                                   return true;
+                                 });
+    }
+    if (rows_on_first == 0) rows_on_first = 1;
+    pages_per_morsel_ =
+        std::clamp<std::size_t>(kMorselTargetRows / rows_on_first, 1, 64);
+  }
+
+  std::size_t morselCount() const {
+    return (pages_.size() + pages_per_morsel_ - 1) / pages_per_morsel_;
+  }
+
+ protected:
+  bool produce(Morsel& m) override {
+    const std::size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t begin = idx * pages_per_morsel_;
+    if (begin >= pages_.size()) return false;
+    const std::size_t end = std::min(begin + pages_per_morsel_, pages_.size());
+    m.id = idx;
+    m.rows.clear();
+    for (std::size_t p = begin; p < end; ++p) {
+      HeapFile::visitPageRecords(*pager_, pages_[p],
+                                 [&](const std::uint8_t* data, std::size_t size) {
+                                   m.rows.push_back(deserializeRow(data, size));
+                                   return true;
+                                 });
+    }
+    return true;
+  }
+
+ private:
+  Pager* pager_;
+  std::vector<PageId> pages_;
+  std::size_t pages_per_morsel_ = 1;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Index-path partitioning: one shared storage cursor, chunked into
+/// kRowBatchRows-row batches under a mutex. The lock covers the decode, but
+/// filter/project/aggregate work — the bulk of these queries — still fans
+/// out. Chunk boundaries depend only on the pull count, so morsel contents
+/// are deterministic regardless of which worker claims them.
+class CursorMorselSource : public MorselSource {
+ public:
+  explicit CursorMorselSource(std::unique_ptr<SlotIter> iter)
+      : iter_(std::move(iter)) {}
+
+  /// Opens the underlying cursor (bound evaluation) on the caller's thread.
+  void open() { iter_->open(); }
+
+ protected:
+  bool produce(Morsel& m) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return false;
+    m.id = next_id_++;
+    m.rows.clear();
+    m.rows.reserve(kRowBatchRows);
+    Row row;
+    while (m.rows.size() < kRowBatchRows && iter_->next(row)) {
+      m.rows.push_back(std::move(row));
+      row = {};
+    }
+    if (m.rows.size() < kRowBatchRows) {
+      done_ = true;
+      iter_->close();
+    }
+    return !m.rows.empty();
+  }
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<SlotIter> iter_;
+  bool done_ = false;
+  std::uint64_t next_id_ = 0;
+};
+
+/// The Volcano adapter over a shared MorselSource: level-0 scan iterator of
+/// a per-worker NestedLoop. currentRank() exposes the global rank of the
+/// row most recently handed out, which the worker threads through to its
+/// partial states for deterministic merges.
+class MorselFedIter : public SlotIter {
+ public:
+  MorselFedIter(MorselSource* src, const SelectPlan::AccessPath& path,
+                const SelectPlan::FromEntry& entry)
+      : src_(src), path_(&path), entry_(&entry) {}
+
+  std::uint64_t currentRank() const { return rank_; }
+
+ protected:
+  void doOpen() override {
+    produced_ = 0;
+    m_.rows.clear();
+    pos_ = 0;
+  }
+  bool doNext(Row& out) override {
+    while (pos_ >= m_.rows.size()) {
+      if (!src_->next(m_)) return false;
+      pos_ = 0;
+    }
+    rank_ = (m_.id << kMorselRowBits) | static_cast<std::uint64_t>(pos_);
+    out = std::move(m_.rows[pos_++]);
+    ++produced_;
+    return true;
+  }
+  void doClose() override {
+    m_.rows.clear();
+    pos_ = 0;
+  }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
+    lines.push_back(indentOf(depth) + path_->describe(*entry_) + " [morsel]");
+  }
+
+ private:
+  MorselSource* src_;
+  const SelectPlan::AccessPath* path_;
+  const SelectPlan::FromEntry* entry_;
+  MorselSource::Morsel m_;
+  std::size_t pos_ = 0;
+  std::uint64_t rank_ = 0;
+};
+
+/// The parallel subtree: runs per-worker partial pipelines over a shared
+/// MorselSource on the process-wide ExecPool and merges their thread-local
+/// states at one barrier. Emits exactly what the serial
+/// (Project|Aggregate)(NestedLoop) subtree would, in the same order, so the
+/// serial operators above (Distinct, Sort, Limit) run unchanged:
+///
+///   grouped   partial hash aggregates merge per group key; the group
+///             representative (bare-column first_rows) is the minimum-rank
+///             input, matching serial first-arrival; groups emit in encoded
+///             key order like AggregateOp.
+///   row mode  per-worker buffers (optionally deduped for DISTINCT and
+///             bounded by an ORDER BY+LIMIT top-K heap, both of which only
+///             shrink the candidate set the serial operators re-check)
+///             merge sorted by rank, i.e. serial scan order.
+class GatherOp : public RowOp {
+ public:
+  GatherOp(Database& db, SelectPlan& plan, const ExecOptions& opts,
+           std::optional<std::size_t> row_top_k)
+      : db_(&db),
+        plan_(&plan),
+        degree_(opts.degree),
+        top_k_(row_top_k),
+        grouped_(plan.grouped),
+        distinct_(plan.sel->distinct && !plan.grouped),
+        src_tuple_(plan.from.size(), nullptr),
+        template_loop_(std::make_unique<NestedLoop>(db, plan)) {}
+
+  void doOpen() override {
+    built_ = false;
+    out_.clear();
+    pos_ = 0;
+  }
+  bool doNext(Row& row, std::vector<Value>& keys) override {
+    if (!built_) runParallel();
+    if (pos_ >= out_.size()) return false;
+    row = std::move(out_[pos_].first);
+    keys = std::move(out_[pos_].second);
+    ++pos_;
+    return true;
+  }
+  void doClose() override {
+    out_.clear();
+    pos_ = 0;
+  }
+
+  void setAnalyze(bool on) override {
+    stats_.timed = on;
+    analyze_ = on;
+    partial_stats_.timed = on;
+    template_loop_->setAnalyze(on);
+  }
+
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
+    std::string line =
+        indentOf(depth) + "GATHER (workers=" + std::to_string(degree_);
+    if (grouped_) line += ", partial aggregate";
+    if (distinct_) line += ", partial distinct";
+    if (top_k_) line += ", top-k " + std::to_string(*top_k_);
+    line += ")";
+    lines.push_back(std::move(line));
+    if (analyze_ && ran_) {
+      lines.push_back(indentOf(depth + 1) + perWorkerLine());
+    }
+    const std::size_t partial_line = lines.size();
+    if (grouped_) {
+      const SelectStmt& sel = *plan_->sel;
+      std::string agg = indentOf(depth + 1) + "PARTIAL AGGREGATE (" +
+                        std::to_string(plan_->aggregates.size()) + " aggregate" +
+                        (plan_->aggregates.size() == 1 ? "" : "s") + ", " +
+                        std::to_string(sel.group_by.size()) + " group key" +
+                        (sel.group_by.size() == 1 ? "" : "s") + ")";
+      if (sel.having) agg += " HAVING";
+      lines.push_back(std::move(agg));
+    } else {
+      std::string cols;
+      for (const SelectPlan::OutputCol& out : plan_->outputs) {
+        if (!cols.empty()) cols += ", ";
+        cols += out.name;
+      }
+      lines.push_back(indentOf(depth + 1) + "PROJECT " + cols);
+    }
+    if (partial_stats_.timed) appendActuals(lines[partial_line], partial_stats_);
+    template_loop_->describe(lines, depth + 2);
+  }
+
+ private:
+  // --- per-worker state ----------------------------------------------------
+
+  struct Entry {
+    std::vector<Value> keys;  // ORDER BY keys
+    Row row;                  // projected output row
+    std::uint64_t rank = 0;   // global scan rank of the outer row
+    std::uint64_t sub = 0;    // join-output ordinal under that outer row
+  };
+
+  /// Mergeable fragment of one AggState. DISTINCT aggregates carry the
+  /// distinct values themselves (keyed by encoding) so the final counts and
+  /// sums are recomputed exactly after the cross-worker union.
+  struct PartialAggState {
+    std::int64_t count = 0;
+    std::int64_t isum = 0;
+    double rsum = 0.0;
+    bool saw_real = false;
+    Value min;
+    Value max;
+    std::map<EncodedKey, Value> distinct;
+  };
+
+  struct PartialGroup {
+    Row key_values;
+    std::vector<Row> first_rows;
+    std::uint64_t first_rank = 0;
+    std::uint64_t first_sub = 0;
+    std::vector<PartialAggState> aggs;
+  };
+
+  struct WorkerState {
+    std::unordered_map<EncodedKey, PartialGroup> groups;  // grouped mode
+    std::vector<Entry> rows;                              // row mode
+    std::set<EncodedKey> seen;     // row-mode local DISTINCT dedup
+    std::uint64_t emitted = 0;     // partial-stage outputs (per-worker line)
+    std::uint64_t busy_ns = 0;
+  };
+
+  static void partialAdd(PartialAggState& s, const Value& v, bool distinct_only) {
+    if (v.isNull()) return;
+    if (distinct_only) {
+      EncodedKey key;
+      encodeValue(v, key);
+      s.distinct.emplace(std::move(key), v);
+      return;
+    }
+    ++s.count;
+    if (v.isReal()) {
+      s.saw_real = true;
+      s.rsum += v.asReal();
+    } else if (v.isInt()) {
+      s.isum += v.asInt();
+      s.rsum += static_cast<double>(v.asInt());
+    }
+    if (s.min.isNull() || v.compare(s.min) < 0) s.min = v;
+    if (s.max.isNull() || v.compare(s.max) > 0) s.max = v;
+  }
+
+  std::unique_ptr<SlotIter> makeLevel0Iter() {
+    const SelectPlan::AccessPath& path = plan_->paths[0];
+    switch (path.kind) {
+      case SelectPlan::AccessPath::Kind::Scan:
+        return std::make_unique<SeqScanIter>(*db_, path, plan_->from[0]);
+      case SelectPlan::AccessPath::Kind::IndexEqual:
+        return std::make_unique<IndexEqualIter>(*db_, path, plan_->from[0],
+                                                src_tuple_);
+      case SelectPlan::AccessPath::Kind::IndexInList:
+        return std::make_unique<IndexInListIter>(*db_, path, plan_->from[0],
+                                                 src_tuple_);
+      case SelectPlan::AccessPath::Kind::IndexRange:
+        return std::make_unique<IndexRangeIter>(*db_, path, plan_->from[0],
+                                                src_tuple_);
+    }
+    throw SqlError("internal: bad access path kind");
+  }
+
+  void runParallel() {
+    built_ = true;
+    // Mirror the serial path's invariant: storage is pinned for the whole
+    // drain, so a concurrent DDL/DML attempt on this database throws
+    // instead of invalidating worker iterators.
+    const Database::CursorPin pin = db_->pinCursor();
+    execCounters().parallel_queries.inc();
+
+    const SelectPlan::AccessPath& path = plan_->paths[0];
+    std::unique_ptr<MorselSource> src;
+    std::size_t extra = static_cast<std::size_t>(degree_ > 0 ? degree_ - 1 : 0);
+    if (path.kind == SelectPlan::AccessPath::Kind::Scan) {
+      auto ps = std::make_unique<PageMorselSource>(*db_, *plan_->from[0].def);
+      // No point spinning more workers than there are morsels.
+      const std::size_t morsels = ps->morselCount();
+      extra = std::min(extra, morsels > 0 ? morsels - 1 : 0);
+      src = std::move(ps);
+    } else {
+      auto cs = std::make_unique<CursorMorselSource>(makeLevel0Iter());
+      cs->open();  // bound evaluation happens on the calling thread
+      src = std::move(cs);
+    }
+
+    states_.clear();
+    states_.resize(extra + 1);
+    MorselSource* s = src.get();
+    const ExecPool::RunStats run = ExecPool::shared().run(
+        extra, [&](std::size_t slot) {
+          try {
+            runWorker(slot, *s);
+          } catch (...) {
+            s->abort();  // stop the other workers' morsel supply
+            throw;
+          }
+        });
+    gather_wait_ns_ = run.wait_ns;
+    execCounters().gather_wait_ms.observe(static_cast<double>(run.wait_ns) / 1e6);
+
+    if (grouped_) {
+      mergeGrouped();
+    } else {
+      mergeRows();
+    }
+    if (analyze_) {
+      partial_stats_.loops = states_.size();
+      partial_stats_.time_ns = 0;
+      for (const WorkerState& ws : states_) partial_stats_.time_ns += ws.busy_ns;
+    }
+    ran_ = true;
+  }
+
+  void runWorker(std::size_t slot, MorselSource& src) {
+    WorkerState& ws = states_[slot];
+    const auto start = std::chrono::steady_clock::now();
+    // Single-table plans run the tight batch loops; joins (and analyzed
+    // runs, which want exact per-stage accounting) run a full per-worker
+    // operator chain fed from the shared source.
+    if (plan_->from.size() == 1 && !analyze_) {
+      runBatchWorker(ws, src);
+    } else {
+      runLoopWorker(ws, src);
+    }
+    ws.busy_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  void runBatchWorker(WorkerState& ws, MorselSource& src) {
+    const SelectPlan::AccessPath& path = plan_->paths[0];
+    std::vector<Expr*> conjuncts;
+    for (const SelectPlan::PlannedConjunct& pc : plan_->conjuncts) {
+      // Level-0 conjuncts; an IN-list consumed by the probe already holds.
+      if (pc.max_table <= 0 && pc.expr != path.in_list) {
+        conjuncts.push_back(pc.expr);
+      }
+    }
+    MorselSource::Morsel m;
+    Tuple tuple(1, nullptr);
+    while (src.next(m)) {
+      for (std::size_t i = 0; i < m.rows.size(); ++i) {
+        tuple[0] = &m.rows[i];
+        bool pass = true;
+        for (const Expr* e : conjuncts) {
+          if (!truthy(evaluate(*e, tuple))) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        const std::uint64_t rank =
+            (m.id << kMorselRowBits) | static_cast<std::uint64_t>(i);
+        if (grouped_) {
+          accumulate(ws, tuple, rank, 0);
+        } else {
+          emitRow(ws, tuple, rank, 0);
+        }
+      }
+    }
+  }
+
+  void runLoopWorker(WorkerState& ws, MorselSource& src) {
+    auto fed =
+        std::make_unique<MorselFedIter>(&src, plan_->paths[0], plan_->from[0]);
+    MorselFedIter* fed_raw = fed.get();
+    NestedLoop loop(*db_, *plan_, std::move(fed));
+    if (analyze_) loop.setAnalyze(true);
+    loop.open();
+    std::uint64_t last_rank = ~std::uint64_t{0};
+    std::uint64_t sub = 0;
+    while (loop.next()) {
+      const std::uint64_t rank = fed_raw->currentRank();
+      if (rank == last_rank) {
+        ++sub;
+      } else {
+        sub = 0;
+        last_rank = rank;
+      }
+      if (grouped_) {
+        accumulate(ws, loop.tuple(), rank, sub);
+      } else {
+        emitRow(ws, loop.tuple(), rank, sub);
+      }
+    }
+    loop.close();
+    if (analyze_) {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      template_loop_->absorbStats(loop);
+    }
+  }
+
+  void accumulate(WorkerState& ws, const Tuple& tuple, std::uint64_t rank,
+                  std::uint64_t sub) {
+    const SelectStmt& sel = *plan_->sel;
+    Row key_values;
+    EncodedKey key;
+    for (const ExprPtr& e : sel.group_by) {
+      Value v = evaluate(*e, tuple);
+      encodeValue(v, key);
+      key_values.push_back(std::move(v));
+    }
+    auto [it, inserted] = ws.groups.try_emplace(std::move(key));
+    PartialGroup& g = it->second;
+    if (inserted) {
+      ++ws.emitted;
+      g.key_values = std::move(key_values);
+      g.first_rank = rank;
+      g.first_sub = sub;
+      g.aggs.resize(plan_->aggregates.size());
+      g.first_rows.reserve(tuple.size());
+      // A worker consumes rows in increasing rank order, so the first
+      // arrival is the worker-local minimum; cross-worker minima resolve at
+      // the merge.
+      for (const Row* row : tuple) g.first_rows.push_back(*row);
+    }
+    for (std::size_t a = 0; a < plan_->aggregates.size(); ++a) {
+      const Expr* agg = plan_->aggregates[a];
+      if (agg->lhs) {
+        partialAdd(g.aggs[a], evaluate(*agg->lhs, tuple), agg->agg_distinct);
+      } else {
+        ++g.aggs[a].count;  // COUNT(*)
+      }
+    }
+  }
+
+  void emitRow(WorkerState& ws, const Tuple& tuple, std::uint64_t rank,
+               std::uint64_t sub) {
+    Row row;
+    row.reserve(plan_->outputs.size());
+    for (const SelectPlan::OutputCol& out : plan_->outputs) {
+      row.push_back(evaluate(*out.expr, tuple));
+    }
+    if (distinct_) {
+      // Local dedup: keeps the worker's first (minimum-rank) copy. The
+      // DistinctOp above resolves cross-worker duplicates; dedup must
+      // happen before the top-K heap so duplicates never evict candidates.
+      EncodedKey key;
+      for (const Value& v : row) encodeValue(v, key);
+      if (!ws.seen.insert(std::move(key)).second) return;
+    }
+    ++ws.emitted;
+    const SelectStmt& sel = *plan_->sel;
+    Entry e;
+    e.row = std::move(row);
+    e.rank = rank;
+    e.sub = sub;
+    e.keys.reserve(sel.order_by.size());
+    for (const OrderItem& item : sel.order_by) {
+      e.keys.push_back(evaluate(*item.expr, tuple));
+    }
+    if (top_k_) {
+      if (*top_k_ == 0) return;  // LIMIT 0: consume input, keep nothing
+      auto cmp = [this](const Entry& a, const Entry& b) {
+        return entryBefore(a, b);
+      };
+      ws.rows.push_back(std::move(e));
+      std::push_heap(ws.rows.begin(), ws.rows.end(), cmp);
+      if (ws.rows.size() > *top_k_) {
+        std::pop_heap(ws.rows.begin(), ws.rows.end(), cmp);
+        ws.rows.pop_back();
+      }
+    } else {
+      ws.rows.push_back(std::move(e));
+    }
+  }
+
+  /// SortOp::before() over global ranks: a worker's top-K heap keeps its K
+  /// best by exactly the ordering the serial sort would apply, so the union
+  /// of worker heaps is a superset of the true top K.
+  bool entryBefore(const Entry& a, const Entry& b) const {
+    const auto& order = plan_->sel->order_by;
+    const std::size_t n = std::min({order.size(), a.keys.size(), b.keys.size()});
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = a.keys[i].compare(b.keys[i]);
+      if (c != 0) return order[i].descending ? c > 0 : c < 0;
+    }
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.sub < b.sub;
+  }
+
+  void mergeGrouped() {
+    const SelectStmt& sel = *plan_->sel;
+    std::map<EncodedKey, PartialGroup> merged;
+    for (WorkerState& ws : states_) {
+      for (auto& [key, pg] : ws.groups) {
+        auto [it, inserted] = merged.try_emplace(key);
+        if (inserted) {
+          it->second = std::move(pg);
+          continue;
+        }
+        PartialGroup& dst = it->second;
+        if (pg.first_rank < dst.first_rank ||
+            (pg.first_rank == dst.first_rank && pg.first_sub < dst.first_sub)) {
+          // This worker saw the group earlier in scan order; its first
+          // tuple is the serial path's group representative.
+          dst.first_rank = pg.first_rank;
+          dst.first_sub = pg.first_sub;
+          dst.first_rows = std::move(pg.first_rows);
+        }
+        for (std::size_t a = 0; a < dst.aggs.size(); ++a) {
+          PartialAggState& d = dst.aggs[a];
+          PartialAggState& s = pg.aggs[a];
+          d.count += s.count;
+          d.isum += s.isum;
+          d.rsum += s.rsum;
+          d.saw_real = d.saw_real || s.saw_real;
+          if (!s.min.isNull() && (d.min.isNull() || s.min.compare(d.min) < 0)) {
+            d.min = s.min;
+          }
+          if (!s.max.isNull() && (d.max.isNull() || s.max.compare(d.max) > 0)) {
+            d.max = s.max;
+          }
+          d.distinct.merge(s.distinct);
+        }
+      }
+      ws.groups.clear();
+    }
+    if (analyze_) partial_stats_.rows = merged.size();
+    // Finalize: the same tail as the serial AggregateOp::build(), over
+    // groups in encoded-key order.
+    for (auto& [key, pg] : merged) {
+      Group g;
+      g.key_values = std::move(pg.key_values);
+      g.first_rows = std::move(pg.first_rows);
+      g.aggs.resize(plan_->aggregates.size());
+      for (std::size_t a = 0; a < g.aggs.size(); ++a) {
+        const Expr* agg = plan_->aggregates[a];
+        PartialAggState& p = pg.aggs[a];
+        AggState& s = g.aggs[a];
+        if (agg->lhs && agg->agg_distinct) {
+          for (auto& [ek, v] : p.distinct) s.add(v, false);
+        } else {
+          s.count = p.count;
+          s.isum = p.isum;
+          s.rsum = p.rsum;
+          s.saw_real = p.saw_real;
+          s.min = p.min;
+          s.max = p.max;
+        }
+      }
+      if (sel.having && !truthy(evaluateGrouped(*sel.having, g))) continue;
+      Row row;
+      row.reserve(plan_->outputs.size());
+      for (const SelectPlan::OutputCol& out : plan_->outputs) {
+        row.push_back(evaluateGrouped(*out.expr, g));
+      }
+      std::vector<Value> keys;
+      keys.reserve(sel.order_by.size());
+      for (const OrderItem& item : sel.order_by) {
+        keys.push_back(evaluateGrouped(*item.expr, g));
+      }
+      out_.emplace_back(std::move(row), std::move(keys));
+    }
+    // A fully-aggregated SELECT over zero input rows still yields one row.
+    if (merged.empty() && sel.group_by.empty()) {
+      Group empty;
+      empty.aggs.resize(plan_->aggregates.size());
+      Row row;
+      for (const SelectPlan::OutputCol& out : plan_->outputs) {
+        if (containsAggregate(out.expr) || out.expr->kind == Expr::Kind::Literal) {
+          row.push_back(evaluateGrouped(*out.expr, empty));
+        } else {
+          row.push_back(Value::null());
+        }
+      }
+      out_.emplace_back(std::move(row), std::vector<Value>{});
+    }
+  }
+
+  void mergeRows() {
+    std::size_t total = 0;
+    for (const WorkerState& ws : states_) total += ws.rows.size();
+    std::vector<Entry> all;
+    all.reserve(total);
+    for (WorkerState& ws : states_) {
+      for (Entry& e : ws.rows) all.push_back(std::move(e));
+      ws.rows.clear();
+      ws.rows.shrink_to_fit();
+      ws.seen.clear();
+    }
+    // Emit in global scan order so the serial operators above see exactly
+    // the serial stream (stable ORDER BY ties, DISTINCT first-occurrence).
+    std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+      return a.rank != b.rank ? a.rank < b.rank : a.sub < b.sub;
+    });
+    if (analyze_) {
+      partial_stats_.rows = 0;
+      for (const WorkerState& ws : states_) partial_stats_.rows += ws.emitted;
+    }
+    out_.reserve(all.size());
+    for (Entry& e : all) {
+      out_.emplace_back(std::move(e.row), std::move(e.keys));
+    }
+  }
+
+  std::string perWorkerLine() const {
+    std::string line = "PER-WORKER rows=[";
+    for (std::size_t w = 0; w < states_.size(); ++w) {
+      if (w > 0) line += " ";
+      line += std::to_string(states_[w].emitted);
+    }
+    line += "] time=[";
+    char buf[32];
+    for (std::size_t w = 0; w < states_.size(); ++w) {
+      if (w > 0) line += " ";
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(states_[w].busy_ns) / 1e6);
+      line += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(gather_wait_ns_) / 1e6);
+    line += std::string("]ms wait=") + buf + "ms";
+    return line;
+  }
+
+  Database* db_;
+  SelectPlan* plan_;
+  int degree_;
+  std::optional<std::size_t> top_k_;  // row mode only
+  bool grouped_;
+  bool distinct_;
+  Tuple src_tuple_;  // never bound; level-0 probe bounds are constants
+  std::unique_ptr<NestedLoop> template_loop_;  // described, never opened
+  std::vector<WorkerState> states_;
+  std::mutex stats_mu_;
+  OpStats partial_stats_;  // the PARTIAL AGGREGATE / PROJECT stage line
+  std::uint64_t gather_wait_ns_ = 0;
+  bool analyze_ = false;
+  bool ran_ = false;
+  bool built_ = false;
+  std::vector<std::pair<Row, std::vector<Value>>> out_;
+  std::size_t pos_ = 0;
+};
+
+/// Whether `plan` runs its table-0 subtree morsel-parallel at `opts`.
+/// Streaming-friendly shapes stay serial: a plain projection (no blocking
+/// operator above) streams rows with zero materialization, and
+/// LIMIT-without-ORDER-BY stops the scan early — parallelism would only add
+/// wasted work. Tiny tables (under min_pages heap pages) stay serial too.
+bool parallelEligible(Database& db, const SelectPlan& plan,
+                      const ExecOptions& opts) {
+  if (opts.degree < 2 || plan.from.empty()) return false;
+  const SelectStmt& sel = *plan.sel;
+  if (sel.from[0].left_join) return false;  // defensive; parser never does this
+  const bool ordered = !sel.order_by.empty();
+  if (!plan.grouped && !ordered && !sel.distinct) return false;
+  if (!plan.grouped && !ordered && (sel.limit || sel.offset)) return false;
+  return HeapFile::chainHasAtLeast(db.pager(), plan.from[0].def->first_page,
+                                   opts.min_pages);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Pipeline assembly and the materializing wrappers
 // ---------------------------------------------------------------------------
 
-Pipeline buildPipeline(Database& db, SelectPlan& plan) {
+Pipeline buildPipeline(Database& db, SelectPlan& plan, const ExecOptions& opts) {
   Pipeline p;
   for (const SelectPlan::OutputCol& out : plan.outputs) p.columns.push_back(out.name);
   if (plan.from.empty()) {
@@ -1536,19 +2331,28 @@ Pipeline buildPipeline(Database& db, SelectPlan& plan) {
     return p;
   }
   SelectStmt& sel = *plan.sel;
-  auto loop = std::make_unique<NestedLoop>(db, plan);
-  std::unique_ptr<RowOp> op;
-  if (plan.grouped) {
-    op = std::make_unique<AggregateOp>(std::move(loop), plan);
-  } else {
-    op = std::make_unique<ProjectOp>(std::move(loop), plan);
-  }
-  if (sel.distinct) op = std::make_unique<DistinctOp>(std::move(op));
   const std::size_t offset =
       sel.offset ? static_cast<std::size_t>(*sel.offset) : 0;
+  std::optional<std::size_t> top_k;
+  if (!sel.order_by.empty() && sel.limit) {
+    top_k = offset + static_cast<std::size_t>(*sel.limit);
+  }
+  std::unique_ptr<RowOp> op;
+  if (parallelEligible(db, plan, opts)) {
+    // Workers pre-apply top-K only in row mode; a grouped plan's bound
+    // applies to groups, not inputs, so the serial Sort above handles it.
+    op = std::make_unique<GatherOp>(db, plan, opts,
+                                    plan.grouped ? std::nullopt : top_k);
+  } else {
+    auto loop = std::make_unique<NestedLoop>(db, plan);
+    if (plan.grouped) {
+      op = std::make_unique<AggregateOp>(std::move(loop), plan);
+    } else {
+      op = std::make_unique<ProjectOp>(std::move(loop), plan);
+    }
+  }
+  if (sel.distinct) op = std::make_unique<DistinctOp>(std::move(op));
   if (!sel.order_by.empty()) {
-    std::optional<std::size_t> top_k;
-    if (sel.limit) top_k = offset + static_cast<std::size_t>(*sel.limit);
     op = std::make_unique<SortOp>(std::move(op), plan, top_k);
   }
   if (sel.limit || sel.offset) {
@@ -1560,25 +2364,26 @@ Pipeline buildPipeline(Database& db, SelectPlan& plan) {
   return p;
 }
 
-std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan) {
-  const Pipeline p = buildPipeline(db, plan);
+std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan,
+                                         const ExecOptions& opts) {
+  const Pipeline p = buildPipeline(db, plan, opts);
   std::vector<std::string> lines;
   p.root->describe(lines, 0);
   return lines;
 }
 
 ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
-                         bool analyze) {
+                         bool analyze, const ExecOptions& opts) {
   ResultSet rs;
   if (explain && !analyze) {
     rs.columns = {"plan"};
-    for (std::string& line : explainPipeline(db, plan)) {
+    for (std::string& line : explainPipeline(db, plan, opts)) {
       rs.rows.push_back({Value(std::move(line))});
     }
     return rs;
   }
   materializePlanSubqueries(db, plan);
-  Pipeline p = buildPipeline(db, plan);
+  Pipeline p = buildPipeline(db, plan, opts);
   if (analyze) {
     // EXPLAIN ANALYZE: run the statement to exhaustion with per-operator
     // accounting armed, discard the rows, and emit the annotated tree.
@@ -1605,12 +2410,12 @@ ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
 }
 
 ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain, bool analyze) {
+                     bool explain, bool analyze, const ExecOptions& opts) {
   // The binding pass annotates expressions in place; the annotations are
   // rewritten by every plan build, so sharing the AST across plans is safe.
   auto& sel = const_cast<SelectStmt&>(sel_const);
   SelectPlan plan = buildSelectPlan(db, sel, use_indexes);
-  return execSelectPlan(db, plan, explain, analyze);
+  return execSelectPlan(db, plan, explain, analyze, opts);
 }
 
 }  // namespace perftrack::minidb::sql

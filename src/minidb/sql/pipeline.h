@@ -12,6 +12,20 @@
 // materializes more than offset+n rows. EXPLAIN renders this tree, one line
 // per operator, root first.
 //
+// When ExecOptions.degree >= 2 and the plan's shape allows it (blocking
+// Aggregate/Distinct/Sort above table 0, no LIMIT-without-ORDER-BY early
+// stop, table 0 spanning at least min_pages heap pages), the parallel-safe
+// subtree runs morsel-driven instead: a shared MorselSource partitions
+// table 0 into ~2k-row morsels (whole heap pages for SeqScan, chunked
+// cursor pulls for index paths) consumed by workers from the process-wide
+// ExecPool. Each worker runs a private partial pipeline — batch-at-a-time
+// scan/filter/project loops, a partial hash aggregate, or a per-worker
+// top-K heap — and a single GatherOp merges the thread-local states at the
+// barrier, after which the serial operators above (Distinct, Sort, Limit)
+// run unchanged. Degree 1 is exactly the serial path. EXPLAIN shows the
+// parallel subtree under "GATHER (workers=N)"; EXPLAIN ANALYZE rolls the
+// per-worker rows/time into the subtree's OpStats.
+//
 // This header is internal to minidb/sql: executor.cpp (statements, prepared
 // statements, cursors) builds on it; nothing above the SQL layer includes it.
 #pragma once
@@ -243,9 +257,31 @@ struct Pipeline {
   std::vector<std::string> columns;
 };
 
-/// Builds the operator tree for `plan`. Does not touch storage until the
-/// root is open()ed, so it is safe to build for EXPLAIN only.
-Pipeline buildPipeline(Database& db, SelectPlan& plan);
+// ---------------------------------------------------------------------------
+// Parallel execution knobs
+// ---------------------------------------------------------------------------
+
+/// Target rows per morsel handed to one worker (whole heap pages for
+/// sequential scans, so the realized size tracks the page fill).
+inline constexpr std::size_t kMorselTargetRows = 2048;
+
+/// Rows per RowBatch inside a worker's tight scan/filter/project loops.
+inline constexpr std::size_t kRowBatchRows = 1024;
+
+/// Per-execution knobs, resolved by the Engine (or defaulted to serial).
+struct ExecOptions {
+  /// Worker count including the calling thread; 1 = today's serial path.
+  int degree = 1;
+  /// Heap pages table 0 must span before the plan goes parallel; 0 turns
+  /// the gate off (tests force tiny tables parallel with it).
+  std::size_t min_pages = 16;
+};
+
+/// Builds the operator tree for `plan`. Only reads page headers (for the
+/// parallel-eligibility gate); does not open any cursor until the root is
+/// open()ed, so it is safe to build for EXPLAIN only.
+Pipeline buildPipeline(Database& db, SelectPlan& plan,
+                       const ExecOptions& opts = {});
 
 /// Runs the plan's uncorrelated IN (SELECT ...) subqueries (once per
 /// execution; their contents may have changed between runs).
@@ -253,18 +289,20 @@ void materializePlanSubqueries(Database& db, SelectPlan& plan);
 
 /// EXPLAIN text: the operator tree, one line per operator, root first,
 /// children indented two spaces per level.
-std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan);
+std::vector<std::string> explainPipeline(Database& db, SelectPlan& plan,
+                                         const ExecOptions& opts = {});
 
 /// Runs a previously built plan to completion (the thin materializing
 /// wrapper the exec() entry points use). With `analyze` set the plan is
 /// executed with per-operator accounting and the result is the annotated
 /// operator tree (EXPLAIN ANALYZE), one line per row.
 ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
-                         bool analyze = false);
+                         bool analyze = false, const ExecOptions& opts = {});
 
 /// Plans and runs one SELECT (annotates the AST in place; the annotations
 /// are rewritten by every plan build, so sharing the AST is safe).
 ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes,
-                     bool explain, bool analyze = false);
+                     bool explain, bool analyze = false,
+                     const ExecOptions& opts = {});
 
 }  // namespace perftrack::minidb::sql

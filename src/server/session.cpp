@@ -26,6 +26,7 @@ Session::Session(std::uint64_t id, minidb::Database& db, DbGate& gate,
       limits_(limits),
       counters_(&counters),
       engine_(db) {
+  engine_.setExecThreads(limits_.exec_threads);
   counters_->sessions.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -301,6 +302,14 @@ Frame Session::doSetOption(WireReader& r) {
       // Session-scoped: cached plans revalidate against the engine flag on
       // their next execution, so no explicit invalidation is needed.
       engine_.setUseIndexes(value != 0);
+      return Frame{Op::Ok, {}};
+    case SessionOption::ExecThreads:
+      if (value < 0 || value > 1024) {
+        return makeError(ErrCode::Protocol, "exec_threads out of range");
+      }
+      // Degree only; every session draws workers from the one process-wide
+      // ExecPool, so N parallel sessions never oversubscribe the machine.
+      engine_.setExecThreads(static_cast<int>(value));
       return Frame{Op::Ok, {}};
   }
   return makeError(ErrCode::Protocol, "unknown session option");

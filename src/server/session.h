@@ -50,6 +50,11 @@ struct SessionLimits {
   std::size_t fetch_byte_budget = 1u << 20;
   /// Whether the SHUTDOWN opcode is honored.
   bool allow_shutdown = true;
+  /// Default parallel SELECT degree for new sessions (ptserverd
+  /// --exec-threads). 0 = process default (PT_EXEC_THREADS or hardware
+  /// concurrency), 1 = serial. Sessions may override via SET_OPTION; every
+  /// session draws from the one process-wide ExecPool either way.
+  int exec_threads = 0;
 };
 
 /// Monotonic counters shared across sessions (STAT frames, tests, bench).

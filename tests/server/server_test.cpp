@@ -7,8 +7,10 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dbal/connection.h"
@@ -340,7 +342,14 @@ TEST(ServerMetricsHttp, EndpointServesPrometheusAndTraces) {
     conn->exec("SELECT * FROM t");
   }
 
-  const std::string metrics = httpGet("/metrics");
+  // The poller reaps the disconnected session asynchronously, so the gauge
+  // may still read 1 on the first scrape under load; retry until it drops.
+  std::string metrics = httpGet("/metrics");
+  for (int i = 0; i < 100 && metrics.find("pt_server_sessions 0") == std::string::npos;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    metrics = httpGet("/metrics");
+  }
   EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
   EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
             std::string::npos);
