@@ -3,11 +3,19 @@
 // With Durability::Full every commit writes before-images to the rollback
 // journal, fsyncs it, overwrites the db pages, fsyncs the db, and
 // invalidates the journal — two fsyncs and roughly 2x the page writes of
-// the legacy in-place path (Durability::None). This bench ingests the same
-// synthetic result batches through the dbal prepared-statement hot path in
-// both modes and reports rows/s, commit latency, and the overhead ratio, at
-// two commit granularities (the paper loads one execution per transaction;
-// small transactions amplify the per-commit fsync cost).
+// the legacy in-place path (Durability::None). Durability::Wal appends
+// redo frames and fsyncs once per commit, deferring the page overwrite to
+// a checkpoint. This bench ingests the same synthetic result batches
+// through the dbal prepared-statement hot path in all three modes and
+// reports rows/s, commit latency, and the overhead ratio, at two commit
+// granularities (the paper loads one execution per transaction; small
+// transactions amplify the per-commit fsync cost).
+//
+// A second sweep measures group commit: N concurrent committers running
+// begin -> INSERT -> commitDeferred under a writer lock but fsyncing
+// OUTSIDE it (the ptserverd pattern), so overlapping waitDurable() calls
+// batch behind one leader. Reported as commits/s, ms/commit, and actual
+// fsyncs per commit at each concurrency.
 //
 // PT_DURABILITY_JSON=<path>: also emit the rows as JSON (one object per
 // mode x batch-size cell) for scripts/bench_smoke.sh and before/after
@@ -15,10 +23,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dbal/connection.h"
+#include "minidb/sql/executor.h"
 #include "obs/metrics.h"
 #include "util/tempdir.h"
 #include "util/timer.h"
@@ -33,9 +44,18 @@ struct Cell {
   int commits = 0;
   std::int64_t rows = 0;
   double seconds = 0.0;
+  double fsyncs_per_commit = -1.0;  // group-commit sweep only
   double rows_per_s() const { return seconds > 0 ? rows / seconds : 0.0; }
   double ms_per_commit() const { return commits > 0 ? 1e3 * seconds / commits : 0.0; }
 };
+
+const char* modeName(minidb::Durability durability) {
+  switch (durability) {
+    case minidb::Durability::Full: return "full";
+    case minidb::Durability::Wal: return "wal";
+    default: return "none";
+  }
+}
 
 Cell runIngest(minidb::Durability durability, int batch_rows, int batches) {
   util::TempDir dir("pt_bench_dur");
@@ -48,7 +68,7 @@ Cell runIngest(minidb::Durability durability, int batch_rows, int batches) {
   conn->exec("CREATE INDEX result_by_ctx ON result (ctx)");
 
   Cell cell;
-  cell.mode = durability == minidb::Durability::Full ? "full" : "none";
+  cell.mode = modeName(durability);
   cell.batch_rows = batch_rows;
   const char* ins =
       "INSERT INTO result (ctx, metric, value, units) VALUES (?, ?, ?, ?)";
@@ -68,6 +88,50 @@ Cell runIngest(minidb::Durability durability, int batch_rows, int batches) {
   return cell;
 }
 
+// N committers share one store: the writer lock covers the work and the
+// WAL append, but each thread fsyncs outside it, so concurrent commits ride
+// one leader fsync. fsyncs/commit approaching 1/N is group commit working.
+Cell runGroupCommit(int writers, int commits_each) {
+  util::TempDir dir("pt_bench_gc");
+  minidb::OpenOptions options;
+  options.durability = minidb::Durability::Wal;
+  auto db = minidb::Database::open(dir.file("gc.db").string(), options);
+  minidb::sql::Engine ddl(*db);
+  ddl.exec("CREATE TABLE result (id INTEGER PRIMARY KEY, v INTEGER)");
+
+  obs::Counter& fsyncs = obs::Registry::global().counter("pt_wal_fsyncs_total");
+  const std::uint64_t fsyncs_before = fsyncs.value();
+
+  Cell cell;
+  cell.mode = "wal-group";
+  cell.batch_rows = writers;
+  std::mutex write_mu;
+  util::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < commits_each; ++i) {
+        std::uint64_t lsn = 0;
+        {
+          std::lock_guard<std::mutex> lk(write_mu);
+          db->begin();
+          db->insertRow("result", {minidb::Value(), minidb::Value(std::int64_t{i})});
+          lsn = db->commitDeferred();
+        }
+        db->waitDurable(lsn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  cell.seconds = timer.elapsedSeconds();
+  cell.commits = writers * commits_each;
+  cell.rows = cell.commits;
+  cell.fsyncs_per_commit =
+      static_cast<double>(fsyncs.value() - fsyncs_before) / cell.commits;
+  return cell;
+}
+
 void writeJson(const std::string& path, const std::vector<Cell>& cells) {
   std::ofstream out(path);
   out << "[\n";
@@ -76,7 +140,8 @@ void writeJson(const std::string& path, const std::vector<Cell>& cells) {
     out << "  {\"mode\": \"" << c.mode << "\", \"batch_rows\": " << c.batch_rows
         << ", \"commits\": " << c.commits << ", \"rows\": " << c.rows
         << ", \"seconds\": " << c.seconds << ", \"rows_per_s\": " << c.rows_per_s()
-        << ", \"ms_per_commit\": " << c.ms_per_commit() << "}"
+        << ", \"ms_per_commit\": " << c.ms_per_commit()
+        << ", \"fsyncs_per_commit\": " << c.fsyncs_per_commit << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -92,20 +157,32 @@ int main() {
   };
 
   std::vector<Cell> cells;
-  std::printf("%-6s %-11s %10s %10s %12s %14s\n", "mode", "batch", "rows",
+  std::printf("%-9s %-11s %10s %10s %12s %14s\n", "mode", "batch", "rows",
               "seconds", "rows/s", "ms/commit");
   for (const auto& shape : shapes) {
     Cell none = runIngest(minidb::Durability::None, shape.batch_rows, shape.batches);
     Cell full = runIngest(minidb::Durability::Full, shape.batch_rows, shape.batches);
-    for (const Cell& c : {none, full}) {
-      std::printf("%-6s %5d x %-3d %10lld %10.3f %12.0f %14.3f\n", c.mode.c_str(),
+    Cell wal = runIngest(minidb::Durability::Wal, shape.batch_rows, shape.batches);
+    for (const Cell& c : {none, full, wal}) {
+      std::printf("%-9s %5d x %-3d %10lld %10.3f %12.0f %14.3f\n", c.mode.c_str(),
                   c.batch_rows, c.commits, static_cast<long long>(c.rows), c.seconds,
                   c.rows_per_s(), c.ms_per_commit());
       cells.push_back(c);
     }
-    std::printf("  -> durability overhead: %.2fx slower, batch=%d\n",
+    std::printf("  -> durability overhead: full %.2fx, wal %.2fx slower, batch=%d\n",
                 none.seconds > 0 ? full.seconds / none.seconds : 0.0,
+                none.seconds > 0 ? wal.seconds / none.seconds : 0.0,
                 shape.batch_rows);
+  }
+
+  // Group commit: per-commit latency and fsync sharing vs concurrency.
+  std::printf("\n%-9s %8s %10s %14s %16s\n", "mode", "writers", "commits",
+              "ms/commit", "fsyncs/commit");
+  for (int writers : {1, 2, 4, 8}) {
+    Cell c = runGroupCommit(writers, 60);
+    std::printf("%-9s %8d %10d %14.3f %16.3f\n", c.mode.c_str(), c.batch_rows,
+                c.commits, c.ms_per_commit(), c.fsyncs_per_commit);
+    cells.push_back(c);
   }
   if (const char* json = std::getenv("PT_DURABILITY_JSON")) {
     writeJson(json, cells);

@@ -9,6 +9,14 @@
 // aggregate throughput as N grows is the shared-read-gate claim (DESIGN.md
 // §5.4) in numbers; p99 shows the queueing tail.
 //
+// A second sweep runs the same point-SELECT loop against a file-backed
+// store while one writer client commits a fat UPDATE in a loop, once under
+// --durability=full and once under --durability=wal. In full mode every
+// commit takes the exclusive gate, so readers stall (BUSY + retry) behind
+// it; in WAL mode readers stream pinned snapshots and never wait for the
+// committing writer (DESIGN.md §5.7). The reader p99 gap between the two
+// rows is the point of the WAL.
+//
 // PT_SERVER_JSON=<path>: also emit the cells as JSON (one object per row)
 // for scripts/bench_smoke.sh and before/after comparisons.
 #include <algorithm>
@@ -22,8 +30,11 @@
 #include <vector>
 
 #include "dbal/connection.h"
+#include "dbal/remote.h"
 #include "minidb/database.h"
+#include "minidb/sql/executor.h"
 #include "obs/metrics.h"
+#include "util/tempdir.h"
 #include "server/server.h"
 #include "util/timer.h"
 
@@ -110,6 +121,98 @@ Cell runScan(const std::string& url) {
   return cell;
 }
 
+/// Readers hammering point SELECTs while one writer loops committed fat
+/// UPDATEs, on a file-backed store in the given durability mode. Reader
+/// latencies include any BUSY-retry stalls — that is the measurement.
+Cell runReadDuringCommit(minidb::Durability durability, const std::string& db_path,
+                         int readers) {
+  minidb::OpenOptions options;
+  options.durability = durability;
+  auto db = minidb::Database::open(db_path, options);
+  {
+    // Seed embedded (one fat transaction) — the wire path is autocommit
+    // only and would pay a fsync per row.
+    minidb::sql::Engine seed(*db);
+    seed.exec("CREATE TABLE result (id INTEGER PRIMARY KEY, metric INTEGER, "
+              "value REAL)");
+    seed.exec("BEGIN");
+    minidb::sql::PreparedStatement ins =
+        seed.prepare("INSERT INTO result (metric, value) VALUES (?, ?)");
+    for (std::int64_t i = 0; i < kTableRows; ++i) {
+      ins.execute({minidb::Value(i % 13), minidb::Value(i * 0.25)});
+    }
+    seed.exec("COMMIT");
+  }
+
+  server::ServerConfig config;
+  config.port = 0;
+  config.workers = readers + 2;
+  server::PtServer srv(*db, config);
+  srv.start();
+  const std::string url = "pt://127.0.0.1:" + std::to_string(srv.boundPort());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> total{0};
+  std::atomic<std::int64_t> commits{0};
+  std::vector<std::vector<double>> latencies(readers);
+  std::vector<std::thread> threads;
+  util::Timer timer;
+  threads.emplace_back([&] {  // the committing writer
+    auto conn = dbal::Connection::open(url);
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        conn->exec("UPDATE result SET value = value + 1 WHERE id <= 2000");
+        commits.fetch_add(1, std::memory_order_relaxed);
+      } catch (const dbal::ServerBusyError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back([&, c] {
+      auto conn = dbal::Connection::open(url);
+      std::int64_t key = 1 + c * 37;
+      std::int64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        util::Timer rt;
+        for (;;) {  // BUSY retries count toward this request's latency
+          try {
+            conn->queryValue("SELECT value FROM result WHERE id = ?",
+                             {minidb::Value(key)});
+            break;
+          } catch (const dbal::ServerBusyError&) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        latencies[c].push_back(1e6 * rt.elapsedSeconds());
+        key = 1 + (key * 31) % kTableRows;
+        ++done;
+      }
+      total.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(kBudget);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const double seconds = timer.elapsedSeconds();
+  srv.stop();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  Cell cell;
+  cell.phase = std::string("read_during_commit_") +
+               (durability == minidb::Durability::Wal ? "wal" : "full");
+  cell.clients = readers;
+  cell.requests = total.load();
+  cell.seconds = seconds;
+  cell.throughput = static_cast<double>(cell.requests) / seconds;
+  cell.p50_us = percentile(all, 0.50);
+  cell.p99_us = percentile(all, 0.99);
+  std::printf("  (%s: writer landed %lld commits)\n", cell.phase.c_str(),
+              static_cast<long long>(commits.load()));
+  return cell;
+}
+
 void writeJson(const std::string& path, const std::vector<Cell>& cells) {
   std::ofstream out(path);
   out << "[\n";
@@ -148,14 +251,22 @@ int main() {
   }
 
   std::vector<Cell> cells;
-  std::printf("%-13s %8s %10s %10s %12s %10s %10s\n", "phase", "clients",
+  std::printf("%-24s %8s %10s %10s %12s %10s %10s\n", "phase", "clients",
               "requests", "seconds", "per_second", "p50_us", "p99_us");
   for (const int clients : {1, 4, 8}) {
     cells.push_back(runPointQueries(url, clients));
   }
   cells.push_back(runScan(url));
+  {
+    // Snapshot reads vs the exclusive gate, under a committing writer.
+    util::TempDir dir("pt_bench_srv");
+    cells.push_back(runReadDuringCommit(minidb::Durability::Full,
+                                        dir.file("full.db").string(), 4));
+    cells.push_back(runReadDuringCommit(minidb::Durability::Wal,
+                                        dir.file("wal.db").string(), 4));
+  }
   for (const Cell& c : cells) {
-    std::printf("%-13s %8d %10lld %10.3f %12.0f %10.1f %10.1f\n",
+    std::printf("%-24s %8d %10lld %10.3f %12.0f %10.1f %10.1f\n",
                 c.phase.c_str(), c.clients, static_cast<long long>(c.requests),
                 c.seconds, c.throughput, c.p50_us, c.p99_us);
   }

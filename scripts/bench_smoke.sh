@@ -13,12 +13,17 @@
 #                     for the full 1M-row acceptance sweep.
 #   BENCH_table1.json per-dataset ingest rows from bench_table1_ingest
 #                     (Table 1 load path: results/exec, DB growth, load time)
-#   BENCH_durability.json ingest throughput with the crash-safe commit path
-#                     off/on from bench_durability (rows/s, ms/commit)
+#   BENCH_durability.json ingest throughput across none/full/wal durability
+#                     from bench_durability (rows/s, ms/commit), plus the
+#                     wal-group cells: group-commit fsync sharing at
+#                     1/2/4/8 concurrent committers (fsyncs_per_commit)
 #   BENCH_cursor.json streamed vs materialized result drains from
 #                     bench_cursor (time-to-first-row, peak-RSS growth)
 #   BENCH_server.json ptserverd under N concurrent clients from bench_server
-#                     (requests/s and p50/p99 latency, plus a streamed scan)
+#                     (requests/s and p50/p99 latency, plus a streamed scan
+#                     and the read_during_commit_{full,wal} pair: reader
+#                     stall behind a committing writer, exclusive gate vs
+#                     WAL snapshot reads)
 #   BENCH_obs.json    observability overhead A/B from bench_obs (tracing
 #                     on/off ns per point-SELECT, overhead %, 2% budget)
 #

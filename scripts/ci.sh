@@ -4,11 +4,13 @@
 #   scripts/ci.sh            normal build + full ctest (tier-1 gate)
 #   scripts/ci.sh sanitize   ASan+UBSan build + full ctest
 #   scripts/ci.sh tsan       ThreadSanitizer build + the `server`, `obs`,
-#                            and `parallel` labels (ptserverd concurrency:
-#                            worker pool, DbGate, remote dbal, stress +
-#                            crash-restart tests; obs registry/tracer
-#                            cross-thread races; morsel-driven parallel
-#                            query execution and the shared ExecPool)
+#                            `parallel`, and `wal` labels (ptserverd
+#                            concurrency: worker pool, DbGate, remote dbal,
+#                            stress + crash-restart tests; obs registry/
+#                            tracer cross-thread races; morsel-driven
+#                            parallel query execution and the shared
+#                            ExecPool; WAL snapshot readers racing
+#                            group-commit writers)
 #   scripts/ci.sh bench      normal build + bench smoke (non-gating label)
 #
 # Each mode uses its own build directory so they can be run back to back.
@@ -45,7 +47,7 @@ case "$MODE" in
           -DPT_SANITIZE=thread
     cmake --build "$BUILD" -j "$JOBS"
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel"
+      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel|wal"
     ;;
   bench)
     # Smoke only: the benchmarks must run to completion; numbers are not gated.

@@ -1,14 +1,17 @@
 // ptdfload — load PTdf files into a PerfTrack data store.
 //
-// Usage: ptdfload [--durability=full|none] <database|:memory:> <file.ptdf>...
+// Usage: ptdfload [--durability=full|wal|none] [--wal-autocheckpoint <n>]
+//                 <database|:memory:> <file.ptdf>...
 // Initializes the store (schema + base types) if needed, loads each file in
 // one transaction, and prints per-file and final store statistics.
 //
 // --durability=full (default) commits through the rollback journal with
 // fsync ordering, so a crash mid-load rolls back to the last loaded file on
-// the next open; --durability=none is the fast, crash-unsafe legacy path.
-// If the previous process died mid-commit, opening the store rolls the hot
-// journal back and a "recovered" line reports it.
+// the next open; --durability=wal commits through a write-ahead log
+// (checkpointed every --wal-autocheckpoint frames, default 512); and
+// --durability=none is the fast, crash-unsafe legacy path. If the previous
+// process died mid-commit, opening the store rolls the hot journal back (or
+// replays the committed WAL prefix) and a "recovered" line reports it.
 //
 // PT_DEBUG_CRASH_AT=<n> (testing hook, used by scripts/crash_kill_test.sh):
 // SIGKILL the process at the n-th disk write/sync/truncate, leaving a
@@ -32,8 +35,13 @@ int main(int argc, char** argv) {
     const std::string flag = argv[arg];
     if (flag == "--durability=full") {
       options.durability = minidb::Durability::Full;
+    } else if (flag == "--durability=wal") {
+      options.durability = minidb::Durability::Wal;
     } else if (flag == "--durability=none") {
       options.durability = minidb::Durability::None;
+    } else if (flag == "--wal-autocheckpoint" && arg + 1 < argc) {
+      options.wal_autocheckpoint = static_cast<std::uint32_t>(
+          std::strtoul(argv[++arg], nullptr, 10));
     } else {
       std::fprintf(stderr, "ptdfload: unknown flag '%s'\n", flag.c_str());
       return 2;
@@ -42,7 +50,8 @@ int main(int argc, char** argv) {
   }
   if (argc - arg < 2) {
     std::fprintf(stderr,
-                 "usage: %s [--durability=full|none] <database|:memory:> <file.ptdf>...\n",
+                 "usage: %s [--durability=full|wal|none] [--wal-autocheckpoint n] "
+                 "<database|:memory:> <file.ptdf>...\n",
                  argv[0]);
     return 2;
   }
@@ -62,6 +71,15 @@ int main(int argc, char** argv) {
       std::printf("recovered: rolled back %u page(s) from a hot journal "
                   "(previous load crashed mid-commit)\n",
                   recovery.pages_restored);
+    }
+    if (recovery.wal_replayed) {
+      std::printf("recovered: replayed %u page(s) from a stale WAL "
+                  "(previous load exited before its checkpoint)\n",
+                  recovery.wal_frames_applied);
+    }
+    if (recovery.discarded_invalid_wal) {
+      std::printf("recovered: discarded a torn WAL tail "
+                  "(uncommitted frames from a crashed load)\n");
     }
     core::PTDataStore store(*conn);
     store.initialize();

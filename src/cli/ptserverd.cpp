@@ -14,7 +14,15 @@
 //     --max-conn <n>          connection cap; excess gets a BUSY frame
 //     --idle-timeout <ms>     reap connections idle this long (0 disables)
 //     --lock-timeout <ms>     gate acquisition budget before BUSY
-//     --durability=full|none  storage journaling mode (default full)
+//     --durability=full|wal|none
+//                             storage durability mode (default full). wal
+//                             commits through a write-ahead log: SELECTs
+//                             read pinned snapshots while writers commit,
+//                             and concurrent commits share fsyncs (group
+//                             commit)
+//     --wal-autocheckpoint <n>
+//                             fold the WAL back into the db file once it
+//                             holds n frames (default 512; 0 disables)
 //     --no-remote-shutdown    ignore SHUTDOWN frames (signals still work)
 //     --metrics-port <n>      serve GET /metrics and /traces over HTTP on
 //                             the listen host (0 picks an ephemeral port,
@@ -71,7 +79,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--listen host:port] [--unix path] [--workers n]\n"
                "       [--max-conn n] [--idle-timeout ms] [--lock-timeout ms]\n"
-               "       [--durability=full|none] [--no-remote-shutdown]\n"
+               "       [--durability=full|wal|none] [--wal-autocheckpoint n]\n"
+               "       [--no-remote-shutdown]\n"
                "       [--metrics-port n] [--slow-query-ms ms] [--exec-threads n]\n"
                "       <database|:memory:>\n",
                argv0);
@@ -126,8 +135,13 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(std::atol(nextValue("--lock-timeout")));
     } else if (flag == "--durability=full") {
       options.durability = minidb::Durability::Full;
+    } else if (flag == "--durability=wal") {
+      options.durability = minidb::Durability::Wal;
     } else if (flag == "--durability=none") {
       options.durability = minidb::Durability::None;
+    } else if (flag == "--wal-autocheckpoint") {
+      options.wal_autocheckpoint = static_cast<std::uint32_t>(
+          std::strtoul(nextValue("--wal-autocheckpoint"), nullptr, 10));
     } else if (flag == "--no-remote-shutdown") {
       config.limits.allow_shutdown = false;
     } else if (flag == "--metrics-port") {
@@ -172,6 +186,17 @@ int main(int argc, char** argv) {
                    "ptserverd: recovered: rolled back %u page(s) from a hot "
                    "journal (previous process crashed mid-commit)\n",
                    recovery.pages_restored);
+    }
+    if (recovery.wal_replayed) {
+      std::fprintf(stderr,
+                   "ptserverd: recovered: replayed %u page(s) from a stale "
+                   "WAL (previous process exited before its checkpoint)\n",
+                   recovery.wal_frames_applied);
+    }
+    if (recovery.discarded_invalid_wal) {
+      std::fprintf(stderr,
+                   "ptserverd: recovered: discarded a torn WAL tail "
+                   "(uncommitted frames from a crashed writer)\n");
     }
 
     server::PtServer srv(*db, config);

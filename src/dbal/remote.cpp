@@ -494,6 +494,8 @@ ServerStat RemoteConnection::serverStat() {
     s.db_file_bytes = r.u64();
     s.journal_bytes = r.u64();
     s.busy_rejections = r.u64();
+    // Second append-only extension (WAL-capable servers).
+    if (!r.atEnd()) s.wal_bytes = r.u64();
   }
   return s;
 }

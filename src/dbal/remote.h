@@ -54,6 +54,7 @@ struct ServerStat {
   std::uint64_t db_file_bytes = 0;
   std::uint64_t journal_bytes = 0;
   std::uint64_t busy_rejections = 0;
+  std::uint64_t wal_bytes = 0;  // 0 from pre-WAL servers
 };
 
 class RemoteConnection final : public Connection {

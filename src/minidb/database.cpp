@@ -14,8 +14,8 @@ std::unique_ptr<Database> Database::open(const std::string& path) {
 
 std::unique_ptr<Database> Database::open(const std::string& path,
                                          const OpenOptions& options) {
-  return std::make_unique<Database>(
-      std::make_unique<FilePager>(path, options.durability, options.vfs));
+  return std::make_unique<Database>(std::make_unique<FilePager>(
+      path, options.durability, options.vfs, options.wal_autocheckpoint));
 }
 
 std::unique_ptr<Database> Database::openMemory() {
@@ -37,6 +37,19 @@ void Database::assertNoOpenCursors(const char* op) const {
     throw StorageError(std::string(op) + ": " + std::to_string(open_cursors_) +
                        " cursor(s) still open on this database");
   }
+}
+
+void Database::assertNoCursorsAtAll(const char* op) const {
+  assertNoOpenCursors(op);
+  if (snapshot_cursors_ > 0) {
+    throw StorageError(std::string(op) + ": " + std::to_string(snapshot_cursors_) +
+                       " snapshot cursor(s) still open on this database");
+  }
+}
+
+void Database::noteSchemaChange() {
+  if (pager_->inTransaction()) txn_schema_touched_ = true;
+  ++schema_epoch_;
 }
 
 // --- cursors -----------------------------------------------------------------
@@ -150,7 +163,7 @@ Database::IndexCursor Database::openIndexRange(const IndexDef& index,
 
 void Database::createTable(const std::string& name, std::vector<ColumnDef> columns,
                            int primary_key) {
-  assertNoOpenCursors("CREATE TABLE");
+  assertNoCursorsAtAll("CREATE TABLE");
   if (columns.empty()) throw StorageError("createTable: no columns");
   if (primary_key >= static_cast<int>(columns.size())) {
     throw StorageError("createTable: primary key ordinal out of range");
@@ -164,7 +177,7 @@ void Database::createTable(const std::string& name, std::vector<ColumnDef> colum
   def.primary_key = primary_key;
   def.first_page = HeapFile::create(*pager_);
   catalog_.addTable(def);
-  ++schema_epoch_;
+  noteSchemaChange();
   if (primary_key >= 0) {
     IndexDef pk;
     pk.name = name + "__pk";
@@ -178,7 +191,7 @@ void Database::createTable(const std::string& name, std::vector<ColumnDef> colum
 }
 
 void Database::dropTable(const std::string& name) {
-  assertNoOpenCursors("DROP TABLE");
+  assertNoCursorsAtAll("DROP TABLE");
   const TableDef& def = tableOrThrow(name);
   for (const IndexDef* index : catalog_.indexesOn(def.name)) {
     BTree(*pager_, index->root).destroy();
@@ -186,13 +199,13 @@ void Database::dropTable(const std::string& name) {
   HeapFile(*pager_, def.first_page).destroy();
   next_ids_.erase(def.name);
   catalog_.removeTable(name);
-  ++schema_epoch_;
+  noteSchemaChange();
   catalog_.save(*pager_);
 }
 
 void Database::createIndex(const std::string& name, const std::string& table,
                            const std::vector<std::string>& columns, bool unique) {
-  assertNoOpenCursors("CREATE INDEX");
+  assertNoCursorsAtAll("CREATE INDEX");
   const TableDef& def = tableOrThrow(table);
   IndexDef index;
   index.name = name;
@@ -224,17 +237,17 @@ void Database::createIndex(const std::string& name, const std::string& table,
     tree.insert(indexKeyFor(index, def, row, it.rid()));
   }
   catalog_.addIndex(std::move(index));
-  ++schema_epoch_;
+  noteSchemaChange();
   catalog_.save(*pager_);
 }
 
 void Database::dropIndex(const std::string& name) {
-  assertNoOpenCursors("DROP INDEX");
+  assertNoCursorsAtAll("DROP INDEX");
   const IndexDef* def = catalog_.findIndex(name);
   if (def == nullptr) throw StorageError("no such index: " + name);
   BTree(*pager_, def->root).destroy();
   catalog_.removeIndex(name);
-  ++schema_epoch_;
+  noteSchemaChange();
   catalog_.save(*pager_);
 }
 
@@ -420,7 +433,7 @@ void Database::indexScanRange(const IndexDef& index, const std::optional<Value>&
 }
 
 void Database::vacuum() {
-  assertNoOpenCursors("VACUUM");
+  assertNoCursorsAtAll("VACUUM");
   if (pager_->inTransaction()) {
     throw StorageError("VACUUM is not allowed inside a transaction");
   }
@@ -500,18 +513,31 @@ std::vector<std::string> Database::verifyIntegrity() const {
 
 void Database::begin() {
   pager_->beginJournal();
+  txn_schema_touched_ = false;
 }
 
 void Database::commit() {
   pager_->commitJournal();
+  txn_schema_touched_ = false;
   pager_->flush();
+}
+
+std::uint64_t Database::commitDeferred() {
+  pager_->commitJournal();
+  txn_schema_touched_ = false;
+  return pager_->flushAsync();
 }
 
 void Database::rollback() {
   assertNoOpenCursors("ROLLBACK");
+  const bool schema_touched = txn_schema_touched_;
   pager_->rollbackJournal();
-  // Pages reverted under us: rebuild every cache derived from them.
-  catalog_.load(*pager_);
+  txn_schema_touched_ = false;
+  // Pages reverted under us: rebuild every cache derived from them. The
+  // catalog reload only matters (and is only safe against concurrent
+  // snapshot readers) when the transaction ran DDL, which requires schema
+  // exclusion from the server's gate.
+  if (schema_touched) catalog_.load(*pager_);
   next_ids_.clear();
   ++schema_epoch_;
 }

@@ -32,23 +32,36 @@ struct OpenOptions {
   /// outlive the Database). Defaults to the real filesystem; the crash
   /// tests pass a FaultInjectingVfs here.
   Vfs* vfs = nullptr;
+  /// WAL mode only: checkpoint automatically before a commit once the log
+  /// holds this many frames (0 = never checkpoint automatically). Ignored in
+  /// other durability modes.
+  std::uint32_t wal_autocheckpoint = kDefaultWalAutoCheckpoint;
 };
 
 class Database {
  public:
   /// RAII pin held by every open cursor (storage-level and SQL-level).
-  /// While at least one pin is live, operations that would invalidate live
-  /// iterators — DDL, VACUUM, ROLLBACK, and row mutations — throw
-  /// StorageError instead of corrupting the scan.
+  /// A pin taken while the calling thread reads through a pager snapshot
+  /// (SnapshotScope installed) counts as a *snapshot* cursor: its data is
+  /// frozen, so row mutations and ROLLBACK may proceed underneath it — only
+  /// DDL and VACUUM (which retarget catalog-derived plans) still refuse.
+  /// A pin over the working state counts as an *open* cursor: DDL, VACUUM,
+  /// ROLLBACK, and row mutations all throw StorageError while one is live.
   class CursorPin {
    public:
     CursorPin() = default;
-    explicit CursorPin(const Database& db) : db_(&db) { ++db_->open_cursors_; }
-    CursorPin(CursorPin&& o) noexcept : db_(o.db_) { o.db_ = nullptr; }
+    explicit CursorPin(const Database& db)
+        : db_(&db), snapshot_(db.pager_->snapshotScopeActive()) {
+      ++(snapshot_ ? db_->snapshot_cursors_ : db_->open_cursors_);
+    }
+    CursorPin(CursorPin&& o) noexcept : db_(o.db_), snapshot_(o.snapshot_) {
+      o.db_ = nullptr;
+    }
     CursorPin& operator=(CursorPin&& o) noexcept {
       if (this != &o) {
         release();
         db_ = o.db_;
+        snapshot_ = o.snapshot_;
         o.db_ = nullptr;
       }
       return *this;
@@ -58,13 +71,15 @@ class Database {
     ~CursorPin() { release(); }
 
     void release() {
-      if (db_ != nullptr) --db_->open_cursors_;
+      if (db_ != nullptr) --(snapshot_ ? db_->snapshot_cursors_ : db_->open_cursors_);
       db_ = nullptr;
     }
     bool active() const { return db_ != nullptr; }
+    bool isSnapshot() const { return db_ != nullptr && snapshot_; }
 
    private:
     const Database* db_ = nullptr;
+    bool snapshot_ = false;
   };
 
   /// Pull-based full-table scan. Obtained from openCursor(); holds a
@@ -145,7 +160,9 @@ class Database {
   /// Monotonic counter bumped whenever catalog-derived pointers may go stale
   /// (DDL, VACUUM, rollback). Cached query plans record the epoch they were
   /// built under and replan when it no longer matches.
-  std::uint64_t schemaEpoch() const { return schema_epoch_; }
+  std::uint64_t schemaEpoch() const {
+    return schema_epoch_.load(std::memory_order_relaxed);
+  }
 
   // --- DML -----------------------------------------------------------------
   /// Inserts `row` (one value per column, in declaration order). A NULL
@@ -198,14 +215,43 @@ class Database {
   /// storage-level probes).
   CursorPin pinCursor() const { return CursorPin(*this); }
 
-  /// Number of live cursor pins (tests and error messages).
+  /// Number of live working-state cursor pins (tests and error messages).
   std::size_t openCursorCount() const { return open_cursors_; }
+
+  /// Number of live snapshot cursor pins (readers frozen at a commit).
+  std::size_t snapshotCursorCount() const { return snapshot_cursors_; }
+
+  // --- snapshots ------------------------------------------------------------
+  /// Pins the latest committed version for lock-free reads. Install a
+  /// Pager::SnapshotScope built from the returned snapshot around every read
+  /// (the SQL layer does this when a cursor is opened with a snapshot).
+  /// Snapshots must not be carried across DDL/VACUUM — the server's gate
+  /// guarantees that by excluding readers during schema changes.
+  Pager::ReadSnapshot takeSnapshot() const { return pager_->beginSnapshot(); }
+
+  /// This database's durability mode (None for in-memory stores).
+  Durability durability() const { return pager_->durability(); }
 
   // --- transactions ---------------------------------------------------------
   void begin();
   void commit();
   void rollback();
   bool inTransaction() const { return pager_->inTransaction(); }
+
+  /// Commits like commit(), but in WAL mode the fsync is deferred: the
+  /// returned LSN must be passed to waitDurable() before the commit is
+  /// acknowledged to a client. Concurrent committers' waitDurable() calls
+  /// batch into one fsync behind a leader (group commit). Returns 0 when the
+  /// commit is already durable (non-WAL modes, or nothing to write).
+  std::uint64_t commitDeferred();
+
+  /// Blocks until the commit identified by `lsn` (from commitDeferred) is on
+  /// stable storage. Safe to call without any lock held.
+  void waitDurable(std::uint64_t lsn) { pager_->waitDurable(lsn); }
+
+  /// WAL mode: folds the log into the db file and resets it. Not allowed
+  /// inside a transaction; no-op in other modes.
+  void checkpoint() { pager_->checkpoint(); }
 
   /// Rewrites every table's heap (dropping tombstones and dead payload
   /// bytes) and rebuilds every index, then returns the freed pages to the
@@ -233,6 +279,9 @@ class Database {
   /// Size of the sidecar rollback journal, or 0 when absent/in-memory.
   std::uint64_t journalSizeBytes() const { return pager_->journalSizeBytes(); }
 
+  /// Bytes of valid write-ahead log, or 0 when absent/not in WAL mode.
+  std::uint64_t walSizeBytes() const { return pager_->walSizeBytes(); }
+
   Pager& pager() { return *pager_; }
 
  private:
@@ -240,6 +289,12 @@ class Database {
 
   const TableDef& tableOrThrow(const std::string& name) const;
   void assertNoOpenCursors(const char* op) const;
+  /// Stricter guard for DDL/VACUUM: refuses snapshot cursors too, since
+  /// those operations retarget the catalog their plans were built against.
+  void assertNoCursorsAtAll(const char* op) const;
+  /// Bumps the schema epoch and, inside a transaction, marks it as having
+  /// run DDL (so rollback knows to reload the catalog).
+  void noteSchemaChange();
   EncodedKey indexKeyFor(const IndexDef& index, const TableDef& table, const Row& row,
                          RecordId rid) const;
   void insertIntoIndexes(const TableDef& table, const Row& row, RecordId rid);
@@ -249,15 +304,23 @@ class Database {
 
   std::unique_ptr<Pager> pager_;
   Catalog catalog_;
-  std::uint64_t schema_epoch_ = 0;
+  // Atomic because snapshot readers in ptserverd revalidate cached plans
+  // against the epoch while a writer session commits or rolls back.
+  std::atomic<std::uint64_t> schema_epoch_{0};
+  // Whether the open transaction ran DDL; rollback only reloads the catalog
+  // (and thereby races with nothing: DDL requires schema exclusion) when the
+  // transaction actually touched it.
+  bool txn_schema_touched_ = false;
   // Per-table auto-increment cursors, computed lazily by scanning the PK
   // index once. Invalidated on rollback (ids may have been given back).
   std::unordered_map<std::string, std::int64_t> next_ids_;
   // Live cursor pins; guarded operations refuse to run while nonzero.
   // Atomic because ptserverd opens/closes cursors from concurrent reader
   // sessions; the DbGate orders pins against writers, but pin counting
-  // itself crosses reader threads.
+  // itself crosses reader threads. Snapshot cursors (reads frozen at a
+  // commit) are counted separately: they only block DDL/VACUUM.
   mutable std::atomic<std::size_t> open_cursors_{0};
+  mutable std::atomic<std::size_t> snapshot_cursors_{0};
 };
 
 }  // namespace perftrack::minidb

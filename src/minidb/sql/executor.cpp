@@ -148,6 +148,10 @@ struct CursorImpl {
   bool open = false;
   std::uint64_t epoch = 0;
   Database::CursorPin pin;
+  // Pinned committed version for snapshot cursors (WAL-mode readers). When
+  // valid, every pipeline step runs under a SnapshotScope for it, so the
+  // cursor streams one frozen version regardless of concurrent commits.
+  Pager::ReadSnapshot snap;
   std::shared_ptr<char> busy_token;  // shared with the owning PreparedStatement
   // Query-span tracing (only when the tracer sampled this open). exec_us is
   // wall time from open to close, covering the whole streamed drain.
@@ -169,11 +173,15 @@ struct CursorImpl {
       return true;
     }
     // The pin makes schema changes impossible while open; this guards the
-    // invariant itself rather than any expected path.
-    if (db->schemaEpoch() != epoch) {
+    // invariant itself rather than any expected path. Snapshot cursors skip
+    // it: their data is frozen and a concurrent DML rollback (which bumps
+    // the epoch without moving the catalog) must not kill them.
+    if (!snap.valid() && db->schemaEpoch() != epoch) {
       closeImpl();
       throw SqlError("cursor: schema changed while cursor was open");
     }
+    std::optional<Pager::SnapshotScope> scope;
+    if (snap.valid()) scope.emplace(snap);
     if (!pipeline.root->next(row, scratch_keys_)) {
       closeImpl();
       return false;
@@ -196,9 +204,14 @@ struct CursorImpl {
       obs::Tracer::global().record(std::move(trace));
       traced = false;
     }
-    if (open && pipeline.root) pipeline.root->close();
+    if (open && pipeline.root) {
+      std::optional<Pager::SnapshotScope> scope;
+      if (snap.valid()) scope.emplace(snap);
+      pipeline.root->close();
+    }
     open = false;
     pin.release();
+    snap.release();
     if (busy_token) {
       *busy_token = 0;
       busy_token.reset();
@@ -270,6 +283,14 @@ bool PreparedStatement::hasOpenCursor() const {
 }
 
 Cursor PreparedStatement::openCursor() {
+  return openCursorInternal(Pager::ReadSnapshot());
+}
+
+Cursor PreparedStatement::openCursor(Pager::ReadSnapshot snapshot) {
+  return openCursorInternal(std::move(snapshot));
+}
+
+Cursor PreparedStatement::openCursorInternal(Pager::ReadSnapshot snapshot) {
   for (std::size_t i = 0; i < bound_.size(); ++i) {
     if (!bound_[i]) {
       throw SqlError("openCursor: parameter " + std::to_string(i + 1) +
@@ -284,6 +305,11 @@ Cursor PreparedStatement::openCursor() {
   if (hasOpenCursor()) {
     throw SqlError("a cursor is already open on this prepared statement");
   }
+  // Snapshot cursors plan, open, and pin under the snapshot's scope: page
+  // statistics come from the frozen version, and the pin registers as a
+  // snapshot cursor (DML may run underneath it).
+  std::optional<Pager::SnapshotScope> snap_scope;
+  if (snapshot.valid()) snap_scope.emplace(snapshot);
   const bool traced = obs::Tracer::global().shouldSample();
   std::uint64_t bind_us = 0;
   std::uint64_t plan_us = 0;
@@ -362,6 +388,7 @@ Cursor PreparedStatement::openCursor() {
     impl->pin = db.pinCursor();
     impl->pipeline.root->open();
   }
+  impl->snap = std::move(snapshot);
   if (traced) impl->exec_timer = obs::StageTimer();
   impl->open = true;
   return Cursor(std::move(impl));

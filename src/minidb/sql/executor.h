@@ -130,6 +130,14 @@ class PreparedStatement {
   /// baked into the shared AST); throws SqlError otherwise.
   Cursor openCursor();
 
+  /// Like openCursor(), but every read — planning, the open, and each
+  /// next() — resolves through `snapshot`, a pinned committed version from
+  /// Database::takeSnapshot(). The cursor owns the snapshot for its open
+  /// lifetime; row mutations and rollbacks on the database proceed freely
+  /// underneath it (the cursor keeps seeing its frozen version), while DDL
+  /// and VACUUM still refuse until it closes.
+  Cursor openCursor(Pager::ReadSnapshot snapshot);
+
   /// True while a cursor opened from this statement is still open.
   bool hasOpenCursor() const;
 
@@ -140,6 +148,7 @@ class PreparedStatement {
  private:
   friend class Engine;
   PreparedStatement(Engine& engine, std::string sql);
+  Cursor openCursorInternal(Pager::ReadSnapshot snapshot);
 
   Engine* engine_;
   std::string sql_;

@@ -1950,8 +1950,14 @@ class GatherOp : public RowOp {
     states_.clear();
     states_.resize(extra + 1);
     MorselSource* s = src.get();
+    // Pool workers are fresh threads: when this cursor reads through a
+    // pinned snapshot, re-install it on each worker so every morsel is
+    // resolved against the same committed version the caller sees.
+    const Pager::SnapshotToken snap_token = Pager::currentToken();
     const ExecPool::RunStats run = ExecPool::shared().run(
         extra, [&](std::size_t slot) {
+          std::optional<Pager::SnapshotScope> snap_scope;
+          if (snap_token.pager != nullptr) snap_scope.emplace(snap_token);
           try {
             runWorker(slot, *s);
           } catch (...) {

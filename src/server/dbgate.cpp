@@ -24,11 +24,39 @@ void DbGate::unlockShared() {
   cv_.notify_all();
 }
 
+bool DbGate::lockWrite(std::chrono::milliseconds timeout) {
+  // Legacy (journal) mode: every mutation is an exclusive hold, exactly the
+  // pre-WAL behavior.
+  if (!snapshot_reads_) return lockExclusive(timeout);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Writer-writer mutual exclusion only; readers stream their snapshots
+  // underneath. Park behind queued exclusive (schema) holds so a steady DML
+  // load cannot starve DDL.
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    return !writer_ && !dml_writer_ && writers_waiting_ == 0;
+  });
+  if (!ok) return false;
+  dml_writer_ = true;
+  return true;
+}
+
+void DbGate::unlockWrite() {
+  if (!snapshot_reads_) {
+    unlockExclusive();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dml_writer_ = false;
+  }
+  cv_.notify_all();
+}
+
 bool DbGate::lockExclusive(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
   ++writers_waiting_;
-  const bool ok =
-      cv_.wait_for(lock, timeout, [&] { return !writer_ && readers_ == 0; });
+  const bool ok = cv_.wait_for(
+      lock, timeout, [&] { return !writer_ && !dml_writer_ && readers_ == 0; });
   --writers_waiting_;
   if (!ok) {
     lock.unlock();

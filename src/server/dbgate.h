@@ -32,6 +32,21 @@ namespace perftrack::server {
 
 class DbGate {
  public:
+  /// Configures snapshot-read mode. Set once at server start, before any
+  /// worker thread exists (the thread-creation fence publishes it).
+  ///
+  /// Off (journal durability, the default): the classic two-tier gate —
+  /// lockWrite() delegates to the exclusive hold, so every mutation drains
+  /// every reader.
+  ///
+  /// On (WAL durability): readers run under pinned storage snapshots, so a
+  /// concurrent DML writer cannot disturb them. Shared holds then conflict
+  /// only with exclusive (schema) holds, and lockWrite() provides
+  /// writer-writer mutual exclusion without draining readers — SELECTs
+  /// stream while commits land.
+  void setSnapshotReads(bool on) { snapshot_reads_ = on; }
+  bool snapshotReads() const { return snapshot_reads_; }
+
   /// Acquires one shared (read) hold. `bypass_writer_queue` is set by
   /// sessions that already hold at least one read hold (see above).
   /// Returns false on timeout.
@@ -40,8 +55,16 @@ class DbGate {
   /// Releases one shared hold; callable from any thread.
   void unlockShared();
 
-  /// Acquires the exclusive (write) hold: waits for every read hold —
-  /// including cursor-lifetime holds — to drain. Returns false on timeout.
+  /// Acquires the DML-writer hold. In snapshot mode this excludes only
+  /// other writers (exclusive holds included) — readers keep streaming; in
+  /// legacy mode it is exactly lockExclusive(). Returns false on timeout.
+  bool lockWrite(std::chrono::milliseconds timeout);
+
+  void unlockWrite();
+
+  /// Acquires the exclusive (schema) hold: waits for every read hold —
+  /// including cursor-lifetime holds — and any DML writer to drain.
+  /// Returns false on timeout.
   bool lockExclusive(std::chrono::milliseconds timeout);
 
   void unlockExclusive();
@@ -93,12 +116,34 @@ class DbGate {
     DbGate* gate_ = nullptr;
   };
 
+  /// RAII wrapper for the DML-writer hold. release() exists so a WAL-mode
+  /// session can drop the hold after the commit is appended but before the
+  /// group-commit fsync — the next writer overlaps with this one's sync.
+  class WriteHold {
+   public:
+    WriteHold(DbGate& gate, std::chrono::milliseconds timeout)
+        : gate_(gate.lockWrite(timeout) ? &gate : nullptr) {}
+    WriteHold(const WriteHold&) = delete;
+    WriteHold& operator=(const WriteHold&) = delete;
+    ~WriteHold() { release(); }
+    bool held() const { return gate_ != nullptr; }
+    void release() {
+      if (gate_ != nullptr) gate_->unlockWrite();
+      gate_ = nullptr;
+    }
+
+   private:
+    DbGate* gate_ = nullptr;
+  };
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
+  bool snapshot_reads_ = false;  // set once before threads exist
   int readers_ = 0;          // active shared holds (incl. cursor-lifetime)
   bool writer_ = false;      // exclusive hold active
-  int writers_waiting_ = 0;  // queued writers (readers defer to them)
+  bool dml_writer_ = false;  // DML-writer hold active (snapshot mode only)
+  int writers_waiting_ = 0;  // queued exclusive holds (readers defer to them)
 };
 
 }  // namespace perftrack::server

@@ -13,7 +13,11 @@
 namespace perftrack::server {
 
 PtServer::PtServer(minidb::Database& db, ServerConfig config)
-    : db_(&db), config_(std::move(config)) {}
+    : db_(&db), config_(std::move(config)) {
+  // WAL durability: cursors pin storage snapshots, so the gate lets DML
+  // writers run concurrently with readers (schema ops still drain all).
+  gate_.setSnapshotReads(db.durability() == minidb::Durability::Wal);
+}
 
 PtServer::~PtServer() { stop(); }
 

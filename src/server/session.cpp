@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,14 @@ bool isReadKind(Statement::Kind kind) { return kind == Statement::Kind::Select; 
 
 bool isTxnKind(Statement::Kind kind) { return kind == Statement::Kind::Txn; }
 
+/// Statements that rewrite the catalog or move pages under every version;
+/// they take the exclusive hold even in WAL mode.
+bool isSchemaKind(Statement::Kind kind) {
+  return kind == Statement::Kind::CreateTable ||
+         kind == Statement::Kind::CreateIndex ||
+         kind == Statement::Kind::Drop || kind == Statement::Kind::Vacuum;
+}
+
 }  // namespace
 
 Session::Session(std::uint64_t id, minidb::Database& db, DbGate& gate,
@@ -25,7 +34,8 @@ Session::Session(std::uint64_t id, minidb::Database& db, DbGate& gate,
       gate_(&gate),
       limits_(limits),
       counters_(&counters),
-      engine_(db) {
+      engine_(db),
+      snapshot_reads_(db.durability() == minidb::Durability::Wal) {
   engine_.setExecThreads(limits_.exec_threads);
   counters_->sessions.fetch_add(1, std::memory_order_relaxed);
 }
@@ -178,7 +188,12 @@ Frame Session::executeSelect(
     return makeError(ErrCode::Busy,
                      "database is busy (writer active or queued); retry");
   }
-  minidb::sql::Cursor cursor = stmt->openCursor();
+  // WAL mode: the cursor pins the committed version as of this instant and
+  // streams it to the last row — concurrent DML commits never block it and
+  // never appear in it.
+  minidb::sql::Cursor cursor = snapshot_reads_
+                                   ? stmt->openCursor(db_->takeSnapshot())
+                                   : stmt->openCursor();
   const std::uint32_t cursor_id = next_cursor_id_++;
   WireWriter w;
   w.u32(cursor_id);
@@ -195,6 +210,7 @@ Frame Session::executeSelect(
 
 Frame Session::executeWrite(
     const std::shared_ptr<minidb::sql::PreparedStatement>& stmt) {
+  if (snapshot_reads_ && !isSchemaKind(stmt->kind())) return executeDmlWal(stmt);
   DbGate::ExclusiveHold hold(*gate_, limits_.lock_timeout);
   if (!hold.held()) {
     counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
@@ -219,6 +235,37 @@ Frame Session::executeWrite(
       throw;
     }
   }
+  WireWriter w;
+  w.i64(rs.rows_affected);
+  w.i64(rs.last_insert_id);
+  return makeFrame(Op::ResultOk, std::move(w));
+}
+
+Frame Session::executeDmlWal(
+    const std::shared_ptr<minidb::sql::PreparedStatement>& stmt) {
+  // Writer-writer mutual exclusion only: readers keep streaming their
+  // snapshots while this commit lands.
+  DbGate::WriteHold hold(*gate_, limits_.lock_timeout);
+  if (!hold.held()) {
+    counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    return makeError(ErrCode::Busy,
+                     "database is busy (another writer is active); retry");
+  }
+  minidb::sql::ResultSet rs;
+  std::uint64_t lsn = 0;
+  db_->begin();
+  try {
+    rs = stmt->execute();
+    lsn = db_->commitDeferred();  // appended + published, not yet fsynced
+  } catch (...) {
+    if (db_->inTransaction()) db_->rollback();
+    throw;
+  }
+  // Group commit: drop the writer hold before the fsync so the next writer
+  // appends while we sync; one leader fsync then covers every commit
+  // appended so far, ours included.
+  hold.release();
+  db_->waitDurable(lsn);
   WireWriter w;
   w.i64(rs.rows_affected);
   w.i64(rs.last_insert_id);
@@ -318,11 +365,19 @@ Frame Session::doSetOption(WireReader& r) {
 Frame Session::doStat(WireReader& r) {
   r.expectEnd("STAT");
   // sizeBytes reads the header page; take a brief shared hold so a writer
-  // can't be rewriting it concurrently.
+  // can't be rewriting it concurrently. In WAL mode the shared hold no
+  // longer excludes DML writers, so the header is read through a pinned
+  // snapshot instead.
   DbGate::SharedHold hold(*gate_, limits_.lock_timeout, gate_holds_ > 0);
   if (!hold.held()) {
     counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
     return makeError(ErrCode::Busy, "database is busy; retry");
+  }
+  std::optional<minidb::Pager::ReadSnapshot> snap;
+  std::optional<minidb::Pager::SnapshotScope> scope;
+  if (snapshot_reads_) {
+    snap.emplace(db_->takeSnapshot());
+    scope.emplace(*snap);
   }
   WireWriter w;
   w.u64(db_->sizeBytes());
@@ -334,6 +389,7 @@ Frame Session::doStat(WireReader& r) {
   w.u64(db_->fileSizeBytes());
   w.u64(db_->journalSizeBytes());
   w.u64(counters_->busy_rejections.load(std::memory_order_relaxed));
+  w.u64(db_->walSizeBytes());
   return makeFrame(Op::StatOk, std::move(w));
 }
 
@@ -363,6 +419,7 @@ std::string renderServerMetrics(minidb::Database& db, const ServerCounters& coun
   gauge("pt_server_uptime_ms", counters.uptimeMillis());
   gauge("pt_db_file_bytes", db.fileSizeBytes());
   gauge("pt_db_journal_bytes", db.journalSizeBytes());
+  gauge("pt_db_wal_file_bytes", db.walSizeBytes());
   auto counter = [&out](const char* name, std::uint64_t v) {
     out += "# TYPE ";
     out += name;

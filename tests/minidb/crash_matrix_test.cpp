@@ -16,8 +16,12 @@
 //   * the rollback journal is gone after the reopen;
 //   * cached statements replan and return correct results after recovery.
 //
-// A second sweep repeats the matrix with torn (partial-sector) writes at
-// the fault point.
+// The matrix is parameterized over (durability mode, torn): the same
+// workload and the same invariants run against the rollback journal and
+// the write-ahead log, clean and with torn (partial-sector) writes at the
+// fault point. WAL runs use a tiny autocheckpoint so fault points land
+// inside checkpoints (WAL folding back into the db file) as well as inside
+// commits.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -55,9 +59,13 @@ Snapshot snapshotOf(const std::map<std::int64_t, std::pair<std::int64_t, std::st
 
 /// Runs the full workload. Updates `trace` as commits complete; an injected
 /// fault propagates out with `trace` describing exactly how far it got.
-void runWorkload(const std::string& path, Vfs* vfs, WorkloadTrace& trace) {
+void runWorkload(const std::string& path, Vfs* vfs, Durability durability,
+                 WorkloadTrace& trace) {
   OpenOptions options;
-  options.durability = Durability::Full;
+  options.durability = durability;
+  // Low threshold: several checkpoints fire inside the workload, so the
+  // fault sweep hits WAL-fold points, not just commit points.
+  options.wal_autocheckpoint = 4;
   options.vfs = vfs;
   auto conn = Connection::open(path, options);
   std::map<std::int64_t, std::pair<std::int64_t, std::string>> model;
@@ -134,16 +142,18 @@ Snapshot readState(Connection& conn) {
   return s;
 }
 
-class CrashMatrix : public ::testing::TestWithParam<bool> {};
+using CrashMatrixParam = std::tuple<Durability, bool>;
+
+class CrashMatrix : public ::testing::TestWithParam<CrashMatrixParam> {};
 
 TEST_P(CrashMatrix, EveryFaultPointRecoversToACommittedState) {
-  const bool torn = GetParam();
+  const auto [durability, torn] = GetParam();
   util::TempDir dir;
 
   // Fault-free run: learn the op count and the per-commit snapshots.
   FaultInjectingVfs counter(PosixVfs::instance());
   WorkloadTrace expected;
-  runWorkload(dir.file("base.db").string(), &counter, expected);
+  runWorkload(dir.file("base.db").string(), &counter, durability, expected);
   const std::uint64_t fault_points = counter.mutatingOps();
   ASSERT_GT(fault_points, 20u) << "workload too small to be a meaningful matrix";
   ASSERT_EQ(expected.commits_completed, 6u);
@@ -160,19 +170,25 @@ TEST_P(CrashMatrix, EveryFaultPointRecoversToACommittedState) {
     WorkloadTrace trace;
     bool crashed = false;
     try {
-      runWorkload(path, &vfs, trace);
+      runWorkload(path, &vfs, durability, trace);
     } catch (const InjectedFault&) {
       crashed = true;
     }
-    ASSERT_TRUE(crashed) << "fault point " << k << " was never reached";
+    // Late WAL fault points land in the close-time checkpoint, where the
+    // pager destructor swallows the exception (a real close would just die
+    // with the process). The fault still fired — the store on disk is
+    // crashed either way.
+    ASSERT_TRUE(crashed || vfs.crashed())
+        << "fault point " << k << " was never reached";
 
-    // Reopen with a clean VFS: hot-journal recovery runs here.
+    // Reopen with a clean VFS: hot-journal / stale-WAL recovery runs here.
     OpenOptions options;
-    options.durability = Durability::Full;
+    options.durability = durability;
     auto conn = Connection::open(path, options);
 
-    // The journal must be consumed by recovery, whichever way it went.
+    // Both logs must be consumed by recovery, whichever way it went.
     EXPECT_FALSE(PosixVfs::instance().exists(FilePager::journalPathFor(path)));
+    EXPECT_FALSE(PosixVfs::instance().exists(FilePager::walPathFor(path)));
 
     // Storage invariants: heap and every index agree.
     EXPECT_TRUE(conn->database().verifyIntegrity().empty());
@@ -206,10 +222,18 @@ TEST_P(CrashMatrix, EveryFaultPointRecoversToACommittedState) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(CleanAndTorn, CrashMatrix, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "TornWrites" : "CleanFaults";
-                         });
+std::string crashMatrixName(const ::testing::TestParamInfo<CrashMatrixParam>& info) {
+  const Durability durability = std::get<0>(info.param);
+  const bool torn = std::get<1>(info.param);
+  return std::string(durability == Durability::Wal ? "Wal" : "Journal") +
+         (torn ? "TornWrites" : "CleanFaults");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CleanAndTorn, CrashMatrix,
+    ::testing::Combine(::testing::Values(Durability::Full, Durability::Wal),
+                       ::testing::Values(false, true)),
+    crashMatrixName);
 
 // --- direct journal-level tests ---------------------------------------------
 
@@ -352,6 +376,171 @@ TEST(DurablePager, CrashDuringFirstEverFlushRollsBackToEmpty) {
   EXPECT_TRUE(pager.recoveryStats().recovered ||
               pager.recoveryStats().discarded_invalid_journal);
   EXPECT_EQ(pager.pageCount(), 1u);
+}
+
+// --- direct WAL-level tests --------------------------------------------------
+
+TEST(WalPager, CommitAppendsFramesAndCleanCloseFoldsThem) {
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  {
+    FilePager pager(path, Durability::Wal, nullptr, /*wal_autocheckpoint=*/0);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "walled", 6);
+    pager.flush();
+    EXPECT_TRUE(PosixVfs::instance().exists(FilePager::walPathFor(path)));
+    EXPECT_GT(pager.walFrameCount(), 0u);
+    EXPECT_GT(pager.walSizeBytes(), sizeof(WalHeader));
+  }
+  // Clean close checkpoints and removes the log.
+  EXPECT_FALSE(PosixVfs::instance().exists(FilePager::walPathFor(path)));
+  FilePager check(path, Durability::Wal);
+  EXPECT_FALSE(check.recoveryStats().wal_replayed);
+  bool found = false;
+  for (PageId id = 1; id < check.pageCount(); ++id) {
+    if (std::memcmp(check.pageForRead(id), "walled", 6) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WalPager, StaleWalIsReplayedOnReopen) {
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  {
+    FilePager pager(path, Durability::Wal, &vfs, 0);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "replayme", 8);
+    pager.flush();  // committed: appended + fsynced
+    // Kill every disk op from here on: the close-time checkpoint dies and
+    // the WAL survives — exactly what a crashed process leaves behind.
+    FaultPlan plan;
+    plan.fail_at_op = vfs.mutatingOps() + 1;
+    vfs.setPlan(plan);
+  }
+  ASSERT_TRUE(PosixVfs::instance().exists(FilePager::walPathFor(path)));
+  FilePager pager(path, Durability::Wal);
+  EXPECT_TRUE(pager.recoveryStats().wal_replayed);
+  EXPECT_GE(pager.recoveryStats().wal_frames_applied, 1u);
+  EXPECT_FALSE(PosixVfs::instance().exists(FilePager::walPathFor(path)));
+  bool found = false;
+  for (PageId id = 1; id < pager.pageCount(); ++id) {
+    if (std::memcmp(pager.pageForRead(id), "replayme", 8) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WalPager, StaleWalIsReplayedEvenWhenReopenedInJournalMode) {
+  // Recovery is unconditional: a store carrying committed WAL frames must
+  // surface them no matter which durability mode the next opener uses.
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  {
+    FilePager pager(path, Durability::Wal, &vfs, 0);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "crossmode", 9);
+    pager.flush();
+    FaultPlan plan;
+    plan.fail_at_op = vfs.mutatingOps() + 1;
+    vfs.setPlan(plan);
+  }
+  FilePager pager(path, Durability::Full);
+  EXPECT_TRUE(pager.recoveryStats().wal_replayed);
+  EXPECT_FALSE(PosixVfs::instance().exists(FilePager::walPathFor(path)));
+  bool found = false;
+  for (PageId id = 1; id < pager.pageCount(); ++id) {
+    if (std::memcmp(pager.pageForRead(id), "crossmode", 9) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WalPager, TornTailRecoversToCommittedPrefix) {
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  FaultInjectingVfs vfs(PosixVfs::instance());
+  PageId id = 0;
+  {
+    FilePager pager(path, Durability::Wal, &vfs, 0);
+    id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "first", 5);
+    pager.flush();  // commit A
+    std::memcpy(pager.pageForWrite(id), "SECOND", 6);
+    FaultPlan plan;
+    plan.fail_at_op = vfs.mutatingOps() + 1;  // commit B's first frame write
+    plan.torn_write = true;                   // half a sector reaches disk
+    vfs.setPlan(plan);
+    EXPECT_THROW(pager.flush(), InjectedFault);
+  }
+  FilePager pager(path, Durability::Wal);
+  EXPECT_TRUE(pager.recoveryStats().wal_replayed);
+  EXPECT_TRUE(pager.recoveryStats().discarded_invalid_wal);
+  EXPECT_EQ(std::memcmp(pager.pageForRead(id), "first", 5), 0);
+}
+
+TEST(WalPager, ExplicitCheckpointFoldsAndTruncates) {
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  {
+    FilePager pager(path, Durability::Wal, nullptr, 0);
+    const PageId id = pager.allocate();
+    std::memcpy(pager.pageForWrite(id), "one", 3);
+    pager.flush();
+    std::memcpy(pager.pageForWrite(id), "two", 3);
+    pager.flush();
+    EXPECT_GT(pager.walFrameCount(), 0u);
+    pager.checkpoint();
+    EXPECT_EQ(pager.walFrameCount(), 0u);
+    EXPECT_EQ(pager.walSizeBytes(), 0u);
+    EXPECT_EQ(std::memcmp(pager.pageForRead(id), "two", 3), 0);
+  }
+  FilePager check(path, Durability::Wal);
+  EXPECT_FALSE(check.recoveryStats().wal_replayed);
+  bool found = false;
+  for (PageId p = 1; p < check.pageCount(); ++p) {
+    if (std::memcmp(check.pageForRead(p), "two", 3) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WalPager, AutocheckpointBoundsTheLog) {
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  FilePager pager(path, Durability::Wal, nullptr, /*wal_autocheckpoint=*/2);
+  const PageId id = pager.allocate();
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(pager.pageForWrite(id), &i, sizeof(i));
+    pager.flush();
+    // The threshold check runs at the start of every commit, so the log can
+    // exceed the threshold by at most one commit's frames.
+    EXPECT_LE(pager.walFrameCount(), 2u + 2u);
+  }
+}
+
+TEST(WalPager, PinnedSnapshotDefersAutocheckpoint) {
+  util::TempDir dir;
+  const std::string path = dir.file("w.db").string();
+  FilePager pager(path, Durability::Wal, nullptr, /*wal_autocheckpoint=*/1);
+  const PageId id = pager.allocate();
+  std::memcpy(pager.pageForWrite(id), "base", 4);
+  pager.flush();
+
+  auto snap = pager.beginSnapshot();
+  for (int i = 0; i < 4; ++i) {
+    std::memcpy(pager.pageForWrite(id), &i, sizeof(i));
+    pager.flush();
+  }
+  // The checkpoint would fold versions the snapshot still needs; it must
+  // wait until the pin is gone.
+  EXPECT_GE(pager.walFrameCount(), 3u);
+  {
+    Pager::SnapshotScope scope(snap);
+    EXPECT_EQ(std::memcmp(pager.pageForRead(id), "base", 4), 0);
+  }
+  snap.release();
+  std::memcpy(pager.pageForWrite(id), "post", 4);
+  pager.flush();  // threshold long exceeded: folds now
+  EXPECT_LE(pager.walFrameCount(), 2u);
 }
 
 }  // namespace
