@@ -4,11 +4,13 @@
 // ResultSet before emitting the first byte. With the Volcano pipeline they
 // pull rows one at a time through dbal::Connection::query(). This bench
 // builds a result table at two sizes and drains the full-table "export scan"
-// both ways, reporting time-to-first-row (TTFR), total drain time, and the
-// peak-RSS increase each phase causes. The streamed phase runs first at each
-// size: VmHWM is monotonic, so any high-water growth observed during the
-// materialized phase is memory the streamed phase never needed — the
-// O(1)-memory claim for the export path, in numbers.
+// three ways — row-at-a-time next(), columnar fetchBatch(), and fully
+// materialized exec() — reporting time-to-first-row (TTFR), total drain
+// time, and the peak-RSS increase each phase causes. The streaming phases
+// run first at each size: VmHWM is monotonic, so any high-water growth
+// observed during the materialized phase is memory the streamed phases
+// never needed — the O(1)-memory claim for the export path, in numbers.
+// The streamed-vs-batched pair is the row-vs-batch pipeline A/B.
 //
 // PT_CURSOR_JSON=<path>: also emit the cells as JSON (one object per
 // size x phase) for scripts/bench_smoke.sh and before/after comparisons.
@@ -19,6 +21,8 @@
 #include <vector>
 
 #include "dbal/connection.h"
+#include "minidb/sql/executor.h"
+#include "minidb/sql/row_batch.h"
 #include "obs/metrics.h"
 #include "util/tempdir.h"
 #include "util/timer.h"
@@ -47,6 +51,7 @@ struct Cell {
   std::string phase;
   std::int64_t table_rows = 0;
   std::int64_t rows = 0;
+  std::int64_t batch_rows = 0;  // pipeline batch size (0 = row-at-a-time drain)
   double ttfr_ms = 0.0;   // time to first row
   double total_ms = 0.0;  // full drain
   long rss_growth_kb = 0; // VmHWM increase caused by this phase
@@ -73,6 +78,32 @@ Cell runStreamed(dbal::Connection& conn, std::int64_t table_rows) {
   cell.total_ms = 1e3 * timer.elapsedSeconds();
   cell.rss_growth_kb = peakRssKb() - before;
   if (checksum < 0) std::printf("impossible\n");  // keep the drain observable
+  return cell;
+}
+
+Cell runBatched(dbal::Connection& conn, std::int64_t table_rows) {
+  Cell cell;
+  cell.phase = "batched";
+  cell.table_rows = table_rows;
+  cell.batch_rows =
+      static_cast<std::int64_t>(minidb::sql::defaultExecBatchRows());
+  const long before = peakRssKb();
+  util::Timer timer;
+  auto cur = conn.query(kScan);
+  minidb::sql::RowBatch batch;
+  double checksum = 0.0;
+  if (cur.fetchBatch(batch)) {
+    cell.ttfr_ms = 1e3 * timer.elapsedSeconds();
+    do {
+      for (const std::uint32_t i : batch.sel) {
+        checksum += batch.cols[3][i].asReal();
+        ++cell.rows;
+      }
+    } while (cur.fetchBatch(batch));
+  }
+  cell.total_ms = 1e3 * timer.elapsedSeconds();
+  cell.rss_growth_kb = peakRssKb() - before;
+  if (checksum < 0) std::printf("impossible\n");
   return cell;
 }
 
@@ -103,7 +134,8 @@ void writeJson(const std::string& path, const std::vector<Cell>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     out << "  {\"phase\": \"" << c.phase << "\", \"table_rows\": " << c.table_rows
-        << ", \"rows\": " << c.rows << ", \"ttfr_ms\": " << c.ttfr_ms
+        << ", \"rows\": " << c.rows << ", \"batch_rows\": " << c.batch_rows
+        << ", \"ttfr_ms\": " << c.ttfr_ms
         << ", \"total_ms\": " << c.total_ms
         << ", \"rss_growth_kb\": " << c.rss_growth_kb << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
@@ -136,9 +168,10 @@ int main() {
     }
     conn->commit();
 
-    // Streamed first: VmHWM only ever rises, so the materialized phase's
-    // growth cannot be blamed on the streamed one.
-    for (const Cell& c : {runStreamed(*conn, n), runMaterialized(*conn, n)}) {
+    // Streaming phases first: VmHWM only ever rises, so the materialized
+    // phase's growth cannot be blamed on the streamed ones.
+    for (const Cell& c :
+         {runStreamed(*conn, n), runBatched(*conn, n), runMaterialized(*conn, n)}) {
       std::printf("%-13s %10lld %10lld %10.2f %12.2f %14ld\n", c.phase.c_str(),
                   static_cast<long long>(c.table_rows),
                   static_cast<long long>(c.rows), c.ttfr_ms, c.total_ms,

@@ -166,6 +166,50 @@ BENCHMARK(BM_GroupedAggregate_Threads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// --- vectorized batch-size sweep --------------------------------------------
+// The same grouped aggregate and a filtered scan at batch sizes
+// {64,256,1024,4096}, serial degree so the sweep isolates the batch-size
+// knob from the parallel one. A `batch_rows` counter lands in
+// BENCH_query_scaling.json next to `threads`, so the JSON carries both
+// sweep matrices.
+
+void BM_GroupedAggregate_BatchRows(benchmark::State& state) {
+  auto& f = scanFixture();
+  const auto batch_rows = static_cast<std::size_t>(state.range(0));
+  f.sql->setExecThreads(1);
+  f.sql->setExecBatchRows(batch_rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sql->exec(
+        "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) "
+        "FROM scan_t GROUP BY grp"));
+  }
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+  state.counters["rows"] = static_cast<double>(f.rows);
+  state.SetItemsProcessed(state.iterations() * f.rows);
+  f.sql->setExecBatchRows(1024);
+}
+BENCHMARK(BM_GroupedAggregate_BatchRows)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FilteredScan_BatchRows(benchmark::State& state) {
+  auto& f = scanFixture();
+  const auto batch_rows = static_cast<std::size_t>(state.range(0));
+  f.sql->setExecThreads(1);
+  f.sql->setExecBatchRows(batch_rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.sql->exec("SELECT id, val FROM scan_t WHERE grp < 8 AND val < 500"));
+  }
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+  state.counters["rows"] = static_cast<double>(f.rows);
+  state.SetItemsProcessed(state.iterations() * f.rows);
+  f.sql->setExecBatchRows(1024);
+}
+BENCHMARK(BM_FilteredScan_BatchRows)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TopK_Threads(benchmark::State& state) {
   auto& f = scanFixture();
   const int threads = static_cast<int>(state.range(0));

@@ -7,18 +7,21 @@
 #                     path, plus the exec-degree {1,2,4,8} thread sweep)
 #   BENCH_query_scaling.json
 #                     closure-table ablation plus the morsel-parallel degree
-#                     sweep over a synthetic aggregate; every sweep entry
-#                     carries `threads` and `rows` counters. The smoke shrinks
-#                     the table via PT_SCALING_ROWS — run the binary without it
-#                     for the full 1M-row acceptance sweep.
+#                     sweep and the vectorized batch-size sweep
+#                     ({64,256,1024,4096} rows per batch) over a synthetic
+#                     aggregate; sweep entries carry `threads`/`batch_rows`
+#                     and `rows` counters. The smoke shrinks the table via
+#                     PT_SCALING_ROWS — run the binary without it for the
+#                     full 1M-row acceptance sweep.
 #   BENCH_table1.json per-dataset ingest rows from bench_table1_ingest
 #                     (Table 1 load path: results/exec, DB growth, load time)
 #   BENCH_durability.json ingest throughput across none/full/wal durability
 #                     from bench_durability (rows/s, ms/commit), plus the
 #                     wal-group cells: group-commit fsync sharing at
 #                     1/2/4/8 concurrent committers (fsyncs_per_commit)
-#   BENCH_cursor.json streamed vs materialized result drains from
-#                     bench_cursor (time-to-first-row, peak-RSS growth)
+#   BENCH_cursor.json streamed (row-at-a-time) vs batched (fetchBatch) vs
+#                     materialized result drains from bench_cursor
+#                     (time-to-first-row, peak-RSS growth, row-vs-batch A/B)
 #   BENCH_server.json ptserverd under N concurrent clients from bench_server
 #                     (requests/s and p50/p99 latency, plus a streamed scan
 #                     and the read_during_commit_{full,wal} pair: reader
@@ -85,7 +88,7 @@ PT_METRICS_SNAPSHOT="$out_dir/METRICS_fig3.prom" \
   --benchmark_out_format=json
 check_snapshot "$out_dir/METRICS_fig3.prom"
 
-echo "== bench_query_scaling (degree sweep, short run) =="
+echo "== bench_query_scaling (degree + batch-size sweeps, short run) =="
 PT_SCALING_ROWS=120000 \
   PT_METRICS_SNAPSHOT="$out_dir/METRICS_query_scaling.prom" \
   "$bench_dir/bench_query_scaling" \

@@ -47,7 +47,7 @@ case "$MODE" in
           -DPT_SANITIZE=thread
     cmake --build "$BUILD" -j "$JOBS"
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel|wal"
+      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel|wal|vectorized"
     ;;
   bench)
     # Smoke only: the benchmarks must run to completion; numbers are not gated.

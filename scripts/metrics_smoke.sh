@@ -10,9 +10,11 @@
 #     after a ptquery --connect workload;
 #   * the parallel-exec metrics (pt_exec_morsels_dispatched_total,
 #     pt_exec_parallel_queries_total, pt_exec_pool_threads,
-#     pt_exec_gather_wait_ms) appear and move after a GROUP BY workload on a
-#     server started with --exec-threads 4 (PT_EXEC_MIN_PAGES=1 defeats the
-#     small-table gate so the smoke stays fast);
+#     pt_exec_gather_wait_ms) and the vectorized-pipeline metrics
+#     (pt_exec_batches_total, pt_exec_batch_fill_rows) appear and move after
+#     a GROUP BY workload on a server started with --exec-threads 4
+#     (PT_EXEC_MIN_PAGES=1 defeats the small-table gate so the smoke stays
+#     fast);
 #   * /traces shows the recent-query ring with the workload's SQL in it;
 #   * an unknown path answers 404 and does not kill the daemon;
 #   * the daemon still drains cleanly (SIGTERM -> exit 0) afterwards.
@@ -125,6 +127,10 @@ printf '%s\n' "$RESP" | grep -q '^pt_exec_pool_threads [1-9]' \
   || fail "pt_exec_pool_threads gauge not positive"
 printf '%s\n' "$RESP" | grep -q '^pt_exec_gather_wait_ms_count [1-9]' \
   || fail "pt_exec_gather_wait_ms histogram recorded no observations"
+printf '%s\n' "$RESP" | grep -q '^pt_exec_batches_total [1-9]' \
+  || fail "pt_exec_batches_total did not move (vectorized pipeline idle?)"
+printf '%s\n' "$RESP" | grep -q '^pt_exec_batch_fill_rows_count [1-9]' \
+  || fail "pt_exec_batch_fill_rows histogram recorded no observations"
 
 TRACES="$(scrape /traces)" || fail "trace scrape"
 printf '%s\n' "$TRACES" | head -1 | grep -q '^HTTP/1\.0 200' || fail "/traces not 200"

@@ -69,6 +69,9 @@ class LocalCursorImpl final : public Cursor::Impl {
     return inner_.columns();
   }
   bool next(minidb::Row& row) override { return inner_.next(row); }
+  bool fetchBatch(minidb::sql::RowBatch& batch) override {
+    return inner_.fetchBatch(batch);
+  }
   void close() override { inner_.close(); }
   bool isOpen() const override { return inner_.isOpen(); }
 

@@ -56,6 +56,20 @@ class Cursor {
     virtual ~Impl() = default;
     virtual const std::vector<std::string>& columns() const = 0;
     virtual bool next(minidb::Row& row) = 0;
+    /// Batch pull. The default adapter loops next() up to `batch.capacity`
+    /// rows (at least one); backends with a native batch path (local
+    /// pipeline, remote wire fetch) override it.
+    virtual bool fetchBatch(minidb::sql::RowBatch& batch) {
+      batch.clearRows();
+      if (batch.cols.empty()) batch.reset(columns().size(), 0);
+      const std::size_t cap = batch.capacity > 0 ? batch.capacity : 1;
+      minidb::Row row;
+      while (batch.nrows < cap && next(row)) {
+        batch.appendMoveValues(row);
+        row.clear();
+      }
+      return batch.nrows > 0;
+    }
     virtual void close() = 0;
     virtual bool isOpen() const = 0;
   };
@@ -68,6 +82,12 @@ class Cursor {
 
   /// Produces the next row; returns false (and auto-closes) at end.
   bool next(minidb::Row& row) { return impl_->next(row); }
+
+  /// Pulls the next batch of rows (see minidb::sql::Cursor::fetchBatch for
+  /// the capacity contract). Returns false (and auto-closes) at end.
+  bool fetchBatch(minidb::sql::RowBatch& batch) {
+    return impl_->fetchBatch(batch);
+  }
 
   /// Releases the pipeline/server cursor and the statement pin early;
   /// idempotent.
@@ -154,6 +174,12 @@ class Connection {
   /// worker pool there).
   virtual void setExecThreads(int n) { (void)n; }
 
+  /// Rows per pipeline batch for this connection's statements (see
+  /// DESIGN.md §5.8). Local backends validate through
+  /// Engine::setExecBatchRows (throws on 0 / absurd values); remote
+  /// sessions ignore it — the server picks its own batch size.
+  virtual void setExecBatchRows(std::size_t n) { (void)n; }
+
   // --- statement-cache introspection ----------------------------------------
   // Local backends report the real LRU numbers; the remote backend keeps no
   // client-side plan cache, so the base defaults (zeros, no-ops) apply.
@@ -193,6 +219,7 @@ class LocalConnection final : public Connection {
 
   void setUseIndexes(bool enabled) override;
   void setExecThreads(int n) override { engine_.setExecThreads(n); }
+  void setExecBatchRows(std::size_t n) override { engine_.setExecBatchRows(n); }
 
   std::size_t statementCacheSize() const override { return cache_.size(); }
   const StatementCacheStats& statementCacheStats() const override { return stats_; }

@@ -139,7 +139,7 @@ class RemoteCursorImpl final : public Cursor::Impl {
   const std::vector<std::string>& columns() const override { return columns_; }
 
   bool next(minidb::Row& row) override {
-    if (buffer_.empty() && !server_done_ && open_) fetchBatch();
+    if (buffer_.empty() && !server_done_ && open_) refill();
     if (buffer_.empty()) {
       close();
       return false;
@@ -147,6 +147,50 @@ class RemoteCursorImpl final : public Cursor::Impl {
     row = std::move(buffer_.front());
     buffer_.pop_front();
     if (traced_) ++trace_.rows;
+    return true;
+  }
+
+  /// Native batch pull: one FETCH round trip decodes straight into the
+  /// batch's columns — no per-row deque hop. `capacity` caps the requested
+  /// wire batch (0 = server default); interleaving with next() is safe,
+  /// because rows next() pre-pulled into the buffer are emitted first.
+  bool fetchBatch(minidb::sql::RowBatch& batch) override {
+    batch.clearRows();
+    if (batch.cols.size() != columns_.size()) batch.reset(columns_.size(), 0);
+    if (!open_) return false;
+    const std::size_t cap = batch.capacity;
+    while (!buffer_.empty() && (cap == 0 || batch.nrows < cap)) {
+      batch.appendMoveValues(buffer_.front());
+      buffer_.pop_front();
+    }
+    // Empty ROWS responses imply done, so this terminates in one round trip.
+    while (batch.nrows == 0 && !server_done_) {
+      WireWriter w;
+      w.u32(cursor_id_);
+      w.u32(cap > 0xffffffffu ? 0 : static_cast<std::uint32_t>(cap));
+      Frame response = wire_->expect(server::makeFrame(Op::Fetch, std::move(w)),
+                                     Op::Rows);
+      WireReader r(response.payload);
+      server_done_ = r.u8() != 0;
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t ncols = r.u32();
+        for (std::uint32_t c = 0; c < ncols; ++c) {
+          minidb::Value v = r.value();
+          if (c < batch.cols.size()) batch.cols[c].push_back(std::move(v));
+        }
+        for (std::size_t c = ncols; c < batch.cols.size(); ++c) {
+          batch.cols[c].push_back(minidb::Value());
+        }
+        batch.sel.push_back(static_cast<std::uint32_t>(batch.nrows++));
+      }
+      if (server_done_) releaseStmt();
+    }
+    if (batch.nrows == 0) {
+      close();
+      return false;
+    }
+    if (traced_) trace_.rows += batch.active();
     return true;
   }
 
@@ -173,7 +217,7 @@ class RemoteCursorImpl final : public Cursor::Impl {
   bool isOpen() const override { return open_; }
 
  private:
-  void fetchBatch() {
+  void refill() {
     WireWriter w;
     w.u32(cursor_id_);
     w.u32(0);  // 0 = server default batch size
@@ -460,6 +504,13 @@ void RemoteConnection::setExecThreads(int n) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(server::SessionOption::ExecThreads));
   w.i64(n < 0 ? 0 : n);
+  wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
+}
+
+void RemoteConnection::setExecBatchRows(std::size_t n) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(server::SessionOption::ExecBatchRows));
+  w.i64(static_cast<std::int64_t>(n));
   wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
 }
 

@@ -81,6 +81,9 @@ class RemoteConnection final : public Connection {
 
   void setUseIndexes(bool enabled) override;
   void setExecThreads(int n) override;
+  /// Session-scoped server-side batch size (SET_OPTION round trip); the
+  /// server validates and caps it like a local Engine.
+  void setExecBatchRows(std::size_t n) override;
 
   /// Remote handles held by this client (server-side statements stay alive
   /// until closed, so this doubles as a leak check in tests).

@@ -40,19 +40,17 @@ SqlCounters& sqlCounters() {
   return *c;
 }
 
-/// Approximate wire size of one row (matches the server's framing costs
+/// Approximate wire size of one value (matches the server's framing costs
 /// closely enough for the bytes-streamed span).
+std::uint64_t approxValueBytes(const Value& v) {
+  if (v.isNull()) return 1;
+  if (v.isText()) return 5 + v.asText().size();
+  return 9;  // tag + 8-byte int/real payload
+}
+
 std::uint64_t approxRowBytes(const Row& row) {
   std::uint64_t n = 0;
-  for (const Value& v : row) {
-    if (v.isNull()) {
-      n += 1;
-    } else if (v.isText()) {
-      n += 5 + v.asText().size();
-    } else {
-      n += 9;  // tag + 8-byte int/real payload
-    }
-  }
+  for (const Value& v : row) n += approxValueBytes(v);
   return n;
 }
 
@@ -82,6 +80,28 @@ std::size_t defaultParallelMinPages() {
     return std::size_t{16};
   }();
   return resolved;
+}
+
+std::size_t defaultExecBatchRows() {
+  static const std::size_t resolved = [] {
+    if (const char* env = std::getenv("PT_EXEC_BATCH_ROWS")) {
+      char* end = nullptr;
+      const long n = std::strtol(env, &end, 10);
+      if (end != env && n >= 1) {
+        return std::min(static_cast<std::size_t>(n), kMaxExecBatchRows);
+      }
+    }
+    return std::size_t{1024};
+  }();
+  return resolved;
+}
+
+void Engine::setExecBatchRows(std::size_t n) {
+  if (n == 0 || n > kMaxExecBatchRows) {
+    throw SqlError("setExecBatchRows: batch size must be in [1, " +
+                   std::to_string(kMaxExecBatchRows) + "]");
+  }
+  exec_batch_rows_ = n;
 }
 
 // ---------------------------------------------------------------------------
@@ -158,6 +178,7 @@ struct CursorImpl {
   bool traced = false;
   obs::QueryTrace trace;
   obs::StageTimer exec_timer;
+  std::size_t batch_rows = 1024;  // engine's execBatchRows() at open time
 
   ~CursorImpl() { closeImpl(); }
 
@@ -190,10 +211,51 @@ struct CursorImpl {
     return true;
   }
 
+  bool fetchBatch(RowBatch& batch) {
+    if (!open) return false;
+    if (is_explain) {
+      // EXPLAIN cursors step precomputed text lines; batch them trivially.
+      batch.reset(1, 0);
+      const std::size_t cap =
+          batch.capacity > 0 ? batch.capacity : explain_rows.size();
+      while (batch.nrows < cap && explain_pos < explain_rows.size()) {
+        Row& row = explain_rows[explain_pos++];
+        countRow(row);
+        batch.appendMoveValues(row);
+      }
+      if (batch.nrows == 0) {
+        closeImpl();
+        return false;
+      }
+      return true;
+    }
+    if (!snap.valid() && db->schemaEpoch() != epoch) {
+      closeImpl();
+      throw SqlError("cursor: schema changed while cursor was open");
+    }
+    std::optional<Pager::SnapshotScope> scope;
+    if (snap.valid()) scope.emplace(snap);
+    if (batch.capacity == 0) batch.capacity = batch_rows;
+    if (!pipeline.root->nextBatch(batch)) {
+      closeImpl();
+      return false;
+    }
+    countBatch(batch);
+    return true;
+  }
+
   void countRow(const Row& row) {
     if (!traced) return;
     ++trace.rows;
     trace.bytes += approxRowBytes(row);
+  }
+
+  void countBatch(const RowBatch& batch) {
+    if (!traced) return;
+    trace.rows += batch.sel.size();
+    for (const std::uint32_t i : batch.sel) {
+      for (const auto& c : batch.cols) trace.bytes += approxValueBytes(c[i]);
+    }
   }
 
   void closeImpl() {
@@ -230,6 +292,8 @@ Cursor::~Cursor() = default;
 const std::vector<std::string>& Cursor::columns() const { return impl_->columns; }
 
 bool Cursor::next(Row& row) { return impl_->nextRow(row); }
+
+bool Cursor::fetchBatch(RowBatch& batch) { return impl_->fetchBatch(batch); }
 
 void Cursor::close() {
   if (impl_) impl_->closeImpl();
@@ -351,7 +415,9 @@ Cursor PreparedStatement::openCursorInternal(Pager::ReadSnapshot snapshot) {
     impl->trace.plan_us = plan_us;
     impl->trace.bind_us = bind_us;
   }
-  const ExecOptions exec_opts{engine_->execThreads(), engine_->parallelMinPages()};
+  impl->batch_rows = engine_->execBatchRows();
+  const ExecOptions exec_opts{engine_->execThreads(), engine_->parallelMinPages(),
+                              engine_->execBatchRows()};
   if (stmt_->explain) {
     impl->is_explain = true;
     impl->columns = {"plan"};
@@ -367,9 +433,9 @@ Cursor PreparedStatement::openCursorInternal(Pager::ReadSnapshot snapshot) {
       {
         const Database::CursorPin run_pin = db.pinCursor();
         p.root->open();
-        Row row;
-        std::vector<Value> keys;
-        while (p.root->next(row, keys)) {
+        RowBatch batch;
+        batch.capacity = exec_opts.batch_rows;
+        while (p.root->nextBatch(batch)) {
         }
         p.root->close();
       }
@@ -401,12 +467,19 @@ ResultSet PreparedStatement::execute() {
     }
   }
   if (stmt_->kind == Statement::Kind::Select) {
-    // The materializing wrapper: open a cursor and drain it.
+    // The materializing wrapper: open a cursor and drain it batch-at-a-time.
     Cursor cur = openCursor();
     ResultSet rs;
     rs.columns = cur.columns();
+    RowBatch batch;
     Row row;
-    while (cur.next(row)) rs.rows.push_back(std::move(row));
+    while (cur.fetchBatch(batch)) {
+      for (const std::uint32_t i : batch.sel) {
+        batch.takeRow(i, row);
+        rs.rows.push_back(std::move(row));
+        row = {};
+      }
+    }
     return rs;
   }
   sqlCounters().queries.inc();
@@ -512,7 +585,8 @@ ResultSet Engine::exec(const Statement& stmt) {
     case Statement::Kind::Select:
       return execSelect(*db_, *stmt.select, use_indexes_, stmt.explain,
                         stmt.explain_analyze,
-                        ExecOptions{execThreads(), parallelMinPages()});
+                        ExecOptions{execThreads(), parallelMinPages(),
+                                    execBatchRows()});
 
     case Statement::Kind::Insert: {
       const InsertStmt& ins = *stmt.insert;

@@ -30,6 +30,7 @@
 
 #include "minidb/database.h"
 #include "minidb/sql/ast.h"
+#include "minidb/sql/row_batch.h"
 
 namespace perftrack::minidb::sql {
 
@@ -59,6 +60,11 @@ int defaultExecThreads();
 /// set, else 16. 0 disables the small-table gate entirely.
 std::size_t defaultParallelMinPages();
 
+/// Process default for Engine::execBatchRows(): PT_EXEC_BATCH_ROWS when set
+/// (clamped to [1, kMaxExecBatchRows]; non-numeric values are ignored), else
+/// 1024. Resolved once per process.
+std::size_t defaultExecBatchRows();
+
 /// A stepping SELECT cursor: pulls one row at a time through the operator
 /// pipeline, so the first row arrives without materializing the result.
 ///
@@ -83,6 +89,12 @@ class Cursor {
   /// Produces the next row. Returns false (and auto-closes) at end of
   /// stream.
   bool next(Row& row);
+
+  /// Pulls the next batch of rows. `batch.capacity` bounds the refill (0 =
+  /// the engine's execBatchRows()); a true return carries at least one live
+  /// row in `batch.sel`. Returns false (and auto-closes) at end of stream.
+  /// Interleaving with next() is allowed; rows are never duplicated.
+  bool fetchBatch(RowBatch& batch);
 
   /// Releases the pipeline and the database pin early; idempotent.
   void close();
@@ -203,6 +215,14 @@ class Engine {
     return min_pages_ ? *min_pages_ : defaultParallelMinPages();
   }
 
+  /// Rows per pipeline batch for this engine's statements. Throws SqlError
+  /// on 0 or values above kMaxExecBatchRows (see sql/pipeline.h); unset
+  /// engines use the process default (PT_EXEC_BATCH_ROWS or 1024).
+  void setExecBatchRows(std::size_t n);
+  std::size_t execBatchRows() const {
+    return exec_batch_rows_ > 0 ? exec_batch_rows_ : defaultExecBatchRows();
+  }
+
   Database& database() { return *db_; }
 
  private:
@@ -212,6 +232,7 @@ class Engine {
   bool use_indexes_ = true;
   int exec_threads_ = 0;                  // 0 = process default
   std::optional<std::size_t> min_pages_;  // unset = process default
+  std::size_t exec_batch_rows_ = 0;       // 0 = process default
 };
 
 }  // namespace perftrack::minidb::sql

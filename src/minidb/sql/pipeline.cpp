@@ -693,17 +693,217 @@ SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
 // ---------------------------------------------------------------------------
 
 void appendActuals(std::string& line, const OpStats& stats) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), " (actual rows=%llu loops=%llu time=%.3fms)",
-                static_cast<unsigned long long>(stats.rows),
-                static_cast<unsigned long long>(stats.loops),
-                static_cast<double>(stats.time_ns) / 1e6);
+  char buf[128];
+  if (stats.batches > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " (actual rows=%llu loops=%llu time=%.3fms batches=%llu"
+                  " avg_fill=%.1f)",
+                  static_cast<unsigned long long>(stats.rows),
+                  static_cast<unsigned long long>(stats.loops),
+                  static_cast<double>(stats.time_ns) / 1e6,
+                  static_cast<unsigned long long>(stats.batches),
+                  static_cast<double>(stats.batch_rows) /
+                      static_cast<double>(stats.batches));
+  } else {
+    std::snprintf(buf, sizeof(buf), " (actual rows=%llu loops=%llu time=%.3fms)",
+                  static_cast<unsigned long long>(stats.rows),
+                  static_cast<unsigned long long>(stats.loops),
+                  static_cast<double>(stats.time_ns) / 1e6);
+  }
   line += buf;
 }
 
 namespace {
 
 std::string indentOf(int depth) { return std::string(2 * depth, ' '); }
+
+/// Exec-layer metrics, resolved once (pt_exec_pool_threads lives in
+/// exec_pool.cpp).
+struct ExecCounters {
+  obs::Counter& morsels_dispatched;
+  obs::Counter& parallel_queries;
+  obs::Counter& batches;
+  obs::Histogram& gather_wait_ms;
+  obs::Histogram& batch_fill;
+};
+
+ExecCounters& execCounters() {
+  auto& reg = obs::Registry::global();
+  static ExecCounters* c = new ExecCounters{
+      reg.counter("pt_exec_morsels_dispatched_total"),
+      reg.counter("pt_exec_parallel_queries_total"),
+      reg.counter("pt_exec_batches_total"),
+      reg.histogram("pt_exec_gather_wait_ms"),
+      reg.histogram("pt_exec_batch_fill_rows"),
+  };
+  return *c;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized expression evaluation
+//
+// evalRows() is the batch twin of evaluate(): it computes `e` for every row
+// index in `sel` against a single-table batch (Column refs resolve through
+// bound_col; every expression reaching here binds table 0 only). `out` is
+// sized to the batch and only the `sel` lanes are written. And/Or evaluate
+// the right side only on the lanes the row path would have reached, so the
+// two evaluators agree even on expressions that throw (e.g. an InSelect
+// whose subquery was never materialized).
+// ---------------------------------------------------------------------------
+
+void evalRows(const Expr& e, const RowBatch& b,
+              const std::vector<std::uint32_t>& sel, std::vector<Value>& out) {
+  out.resize(b.nrows);
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+    case Expr::Kind::Param:
+      for (const std::uint32_t i : sel) out[i] = e.value;
+      return;
+    case Expr::Kind::Column: {
+      const std::vector<Value>& col =
+          b.cols.at(static_cast<std::size_t>(e.bound_col));
+      for (const std::uint32_t i : sel) out[i] = col[i];
+      return;
+    }
+    case Expr::Kind::Binary: {
+      switch (e.op) {
+        case BinaryOp::And: {
+          std::vector<Value> lhs;
+          evalRows(*e.lhs, b, sel, lhs);
+          std::vector<std::uint32_t> live;
+          live.reserve(sel.size());
+          for (const std::uint32_t i : sel) {
+            if (truthy(lhs[i])) {
+              live.push_back(i);
+            } else {
+              out[i] = Value(std::int64_t{0});
+            }
+          }
+          std::vector<Value> rhs;
+          evalRows(*e.rhs, b, live, rhs);
+          for (const std::uint32_t i : live) {
+            out[i] = Value(std::int64_t{truthy(rhs[i]) ? 1 : 0});
+          }
+          return;
+        }
+        case BinaryOp::Or: {
+          std::vector<Value> lhs;
+          evalRows(*e.lhs, b, sel, lhs);
+          std::vector<std::uint32_t> live;
+          live.reserve(sel.size());
+          for (const std::uint32_t i : sel) {
+            if (truthy(lhs[i])) {
+              out[i] = Value(std::int64_t{1});
+            } else {
+              live.push_back(i);
+            }
+          }
+          std::vector<Value> rhs;
+          evalRows(*e.rhs, b, live, rhs);
+          for (const std::uint32_t i : live) {
+            out[i] = Value(std::int64_t{truthy(rhs[i]) ? 1 : 0});
+          }
+          return;
+        }
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul:
+        case BinaryOp::Div: {
+          std::vector<Value> lhs;
+          std::vector<Value> rhs;
+          evalRows(*e.lhs, b, sel, lhs);
+          evalRows(*e.rhs, b, sel, rhs);
+          for (const std::uint32_t i : sel) out[i] = arith(e.op, lhs[i], rhs[i]);
+          return;
+        }
+        default: {
+          std::vector<Value> lhs;
+          std::vector<Value> rhs;
+          evalRows(*e.lhs, b, sel, lhs);
+          evalRows(*e.rhs, b, sel, rhs);
+          for (const std::uint32_t i : sel) out[i] = compare(e.op, lhs[i], rhs[i]);
+          return;
+        }
+      }
+    }
+    case Expr::Kind::Not: {
+      std::vector<Value> lhs;
+      evalRows(*e.lhs, b, sel, lhs);
+      for (const std::uint32_t i : sel) {
+        out[i] = Value(std::int64_t{truthy(lhs[i]) ? 0 : 1});
+      }
+      return;
+    }
+    case Expr::Kind::IsNull: {
+      std::vector<Value> lhs;
+      evalRows(*e.lhs, b, sel, lhs);
+      for (const std::uint32_t i : sel) {
+        out[i] = Value(std::int64_t{(lhs[i].isNull() != e.negated) ? 1 : 0});
+      }
+      return;
+    }
+    case Expr::Kind::Like: {
+      std::vector<Value> lhs;
+      evalRows(*e.lhs, b, sel, lhs);
+      const std::string_view pattern = e.value.asText();
+      for (const std::uint32_t i : sel) {
+        const Value& v = lhs[i];
+        if (v.isNull()) {
+          out[i] = Value(std::int64_t{0});
+          continue;
+        }
+        const bool hit =
+            likeMatch(v.isText() ? v.asText() : v.toDisplayString(), pattern);
+        out[i] = Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+      }
+      return;
+    }
+    case Expr::Kind::InList: {
+      std::vector<Value> lhs;
+      evalRows(*e.lhs, b, sel, lhs);
+      std::vector<std::vector<Value>> items(e.list.size());
+      for (std::size_t k = 0; k < e.list.size(); ++k) {
+        evalRows(*e.list[k], b, sel, items[k]);
+      }
+      for (const std::uint32_t i : sel) {
+        if (lhs[i].isNull()) {
+          out[i] = Value(std::int64_t{0});
+          continue;
+        }
+        bool hit = false;
+        for (const std::vector<Value>& item : items) {
+          if (lhs[i].compare(item[i]) == 0) {
+            hit = true;
+            break;
+          }
+        }
+        out[i] = Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+      }
+      return;
+    }
+    case Expr::Kind::InSelect: {
+      std::vector<Value> lhs;
+      evalRows(*e.lhs, b, sel, lhs);
+      for (const std::uint32_t i : sel) {
+        if (lhs[i].isNull()) {
+          out[i] = Value(std::int64_t{0});
+          continue;
+        }
+        if (!e.subquery_values) {
+          throw SqlError("internal: subquery was not materialized");
+        }
+        EncodedKey key;
+        encodeValue(lhs[i], key);
+        const bool hit = e.subquery_values->contains(key);
+        out[i] = Value(std::int64_t{(hit != e.negated) ? 1 : 0});
+      }
+      return;
+    }
+    case Expr::Kind::Aggregate:
+      throw SqlError("aggregate used outside of an aggregating SELECT");
+  }
+  throw SqlError("internal: bad expression kind");
+}
 
 /// Produces the candidate rows of one FROM entry for the current binding of
 /// the earlier tuple slots. produced() counts rows emitted since open().
@@ -724,6 +924,15 @@ class SlotIter {
     const detail::OpTick tick(stats_);
     const bool ok = doNext(out);
     if (ok) ++stats_.rows;
+    return ok;
+  }
+  /// Batch pull; returns false only at end of stream (a true return carries
+  /// at least one live row).
+  bool nextBatch(RowBatch& out) {
+    if (!stats_.timed) return doNextBatch(out);
+    const detail::OpTick tick(stats_);
+    const bool ok = doNextBatch(out);
+    if (ok) stats_.rows += out.active();
     return ok;
   }
   void close() {
@@ -749,6 +958,19 @@ class SlotIter {
  protected:
   virtual void doOpen() = 0;
   virtual bool doNext(Row& out) = 0;
+  /// Default adapter: loops doNext(), transposing rows into the batch's
+  /// columns (Value moves, so string payloads are stolen, not copied).
+  /// FilterIter overrides it to compact the selection vector instead.
+  virtual bool doNextBatch(RowBatch& b) {
+    b.clearRows();
+    const std::size_t cap = b.capacity > 0 ? b.capacity : 1;
+    Row row;
+    while (b.nrows < cap && doNext(row)) {
+      b.appendMoveValues(row);
+      row.clear();
+    }
+    return b.nrows > 0;
+  }
   virtual void doClose() = 0;
   virtual void doDescribe(std::vector<std::string>& lines, int depth) const = 0;
 
@@ -943,6 +1165,30 @@ class FilterIter : public SlotIter {
     }
     return false;
   }
+  /// Vectorized only at slot 0 (every conjunct due there binds table 0, so
+  /// evalRows needs no tuple context); inner join levels are always driven
+  /// row-at-a-time and keep the tuple-binding path above.
+  bool doNextBatch(RowBatch& b) override {
+    if (slot_ != 0) return SlotIter::doNextBatch(b);
+    for (;;) {
+      if (!child_->nextBatch(b)) return false;
+      for (const Expr* e : conjuncts_) {
+        if (b.sel.empty()) break;
+        evalRows(*e, b, b.sel, eval_scratch_);
+        sel_scratch_.clear();
+        for (const std::uint32_t i : b.sel) {
+          if (truthy(eval_scratch_[i])) sel_scratch_.push_back(i);
+        }
+        b.sel.swap(sel_scratch_);
+      }
+      // A batch whose selection vector emptied stays internal: loop for the
+      // next child batch rather than emitting a zero-row batch upstream.
+      if (!b.sel.empty()) {
+        produced_ += b.sel.size();
+        return true;
+      }
+    }
+  }
   void doClose() override { child_->close(); }
   void doDescribe(std::vector<std::string>& lines, int depth) const override {
     lines.push_back(indentOf(depth) + (is_on_ ? "FILTER ON (" : "FILTER (") +
@@ -965,6 +1211,8 @@ class FilterIter : public SlotIter {
   Tuple* tuple_;
   std::size_t slot_;
   bool is_on_;
+  std::vector<Value> eval_scratch_;
+  std::vector<std::uint32_t> sel_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -980,9 +1228,15 @@ class NestedLoop {
   /// `level0` (optional) replaces the base scan/probe iterator of the first
   /// FROM entry; GatherOp feeds per-worker loops from a shared MorselSource
   /// this way while the filter chain and join levels stay identical.
-  NestedLoop(Database& db, SelectPlan& plan,
-             std::unique_ptr<SlotIter> level0 = nullptr)
-      : plan_(&plan), tuple_(plan.from.size(), nullptr) {
+  /// `batch_outer` turns off the batched outer side: morsel-fed worker loops
+  /// need it off because they read the level-0 iterator's per-row rank after
+  /// every next(), which pre-batching would run ahead of.
+  NestedLoop(Database& db, SelectPlan& plan, std::size_t batch_rows,
+             std::unique_ptr<SlotIter> level0 = nullptr, bool batch_outer = true)
+      : plan_(&plan),
+        batch_rows_(batch_rows > 0 ? batch_rows : 1),
+        batch_outer_(batch_outer),
+        tuple_(plan.from.size(), nullptr) {
     const SelectStmt& sel = *plan.sel;
     for (std::size_t t = 0; t < plan.from.size(); ++t) {
       Level lv;
@@ -1054,6 +1308,17 @@ class NestedLoop {
     if (ok) ++stats_.rows;
     return ok;
   }
+  /// Columnar passthrough for single-table loops (buildPipeline only drives
+  /// it when levels_.size() == 1): hands the level-0 chain's batch up
+  /// untouched. Rows a row-stepping caller pre-pulled but did not consume
+  /// are emitted first, so next() and nextBatch() can be mixed freely.
+  bool nextBatch(RowBatch& b) {
+    if (!stats_.timed) return nextBatchImpl(b);
+    const detail::OpTick tick(stats_);
+    const bool ok = nextBatchImpl(b);
+    if (ok) stats_.rows += b.active();
+    return ok;
+  }
   void close() {
     if (!stats_.timed) return closeImpl();
     const detail::OpTick tick(stats_);
@@ -1093,7 +1358,7 @@ class NestedLoop {
           t = ascend(t);
           continue;
         }
-      } else if (lv.top->next(lv.row)) {
+      } else if ((t == 0 && batch_outer_) ? nextOuter() : lv.top->next(lv.row)) {
         tuple_[static_cast<std::size_t>(t)] = &lv.row;
       } else {
         if (lv.left_join && !lv.null_done && lv.matched_stage->produced() == 0) {
@@ -1110,6 +1375,31 @@ class NestedLoop {
     }
     done_ = true;
     return false;
+  }
+
+  bool nextBatchImpl(RowBatch& b) {
+    if (done_ || levels_.empty()) return false;
+    if (!started_) {
+      started_ = true;
+      openLevel(0);
+    }
+    if (outer_pos_ < outer_batch_.sel.size()) {
+      const std::size_t cap = b.capacity;
+      b = std::move(outer_batch_);
+      b.sel.erase(b.sel.begin(),
+                  b.sel.begin() + static_cast<std::ptrdiff_t>(outer_pos_));
+      b.capacity = cap;
+      outer_batch_ = RowBatch{};
+      outer_pos_ = 0;
+      return true;
+    }
+    if (b.capacity == 0) b.capacity = batch_rows_;
+    if (!levels_[0].top->nextBatch(b)) {
+      ascend(0);
+      done_ = true;
+      return false;
+    }
+    return true;
   }
 
   void closeImpl() {
@@ -1172,7 +1462,28 @@ class NestedLoop {
     lv.null_pending = false;
     lv.null_done = false;
     tuple_[t] = nullptr;
+    if (t == 0) {
+      outer_batch_.clearRows();
+      outer_pos_ = 0;
+      // Ramp the outer batch up from a small refill so LIMIT-without-ORDER-BY
+      // row-stepping stops the scan after a handful of rows, not a full batch.
+      outer_cap_ = std::min<std::size_t>(32, batch_rows_);
+    }
     lv.top->open();
+  }
+
+  /// Row-path advancement of level 0: rows arrive in columnar batches from
+  /// the scan/filter chain and materialize one at a time into the tuple slot.
+  bool nextOuter() {
+    Level& lv = levels_[0];
+    while (outer_pos_ >= outer_batch_.sel.size()) {
+      outer_batch_.capacity = outer_cap_;
+      outer_cap_ = std::min(outer_cap_ * 2, batch_rows_);
+      if (!lv.top->nextBatch(outer_batch_)) return false;
+      outer_pos_ = 0;
+    }
+    outer_batch_.materializeRow(outer_batch_.sel[outer_pos_++], lv.row);
+    return true;
   }
 
   bool nullRowPasses(const Level& lv) const {
@@ -1189,8 +1500,13 @@ class NestedLoop {
   }
 
   SelectPlan* plan_;
+  std::size_t batch_rows_;
+  bool batch_outer_;
   Tuple tuple_;
   std::vector<Level> levels_;
+  RowBatch outer_batch_;        // level-0 rows pre-pulled for the row path
+  std::size_t outer_pos_ = 0;   // next unconsumed index into outer_batch_.sel
+  std::size_t outer_cap_ = 32;  // current refill size (ramps to batch_rows_)
   bool started_ = false;
   bool done_ = false;
   OpStats stats_;
@@ -1229,10 +1545,16 @@ class ConstRowOp : public RowOp {
 };
 
 /// Evaluates the output expressions (and ORDER BY keys) per joined tuple.
+/// With `batch_input` set (single-table plans), projection runs column-wise
+/// over the source's batches instead of per materialized tuple.
 class ProjectOp : public RowOp {
  public:
-  ProjectOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan)
-      : src_(std::move(src)), plan_(&plan) {}
+  ProjectOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan, bool batch_input,
+            std::size_t batch_rows)
+      : src_(std::move(src)),
+        plan_(&plan),
+        batch_input_(batch_input),
+        batch_rows_(batch_rows) {}
 
   void doOpen() override { src_->open(); }
   bool doNext(Row& row, std::vector<Value>& keys) override {
@@ -1249,6 +1571,32 @@ class ProjectOp : public RowOp {
     for (const OrderItem& item : sel.order_by) {
       keys.push_back(evaluate(*item.expr, tuple));
     }
+    return true;
+  }
+  bool doNextBatch(RowBatch& b) override {
+    if (!batch_input_) return RowOp::doNextBatch(b);
+    in_.capacity = b.capacity ? b.capacity : batch_rows_;
+    if (!src_->nextBatch(in_)) return false;
+    const SelectStmt& sel = *plan_->sel;
+    b.reset(plan_->outputs.size(), sel.order_by.size());
+    const std::size_t n = in_.sel.size();
+    for (std::size_t c = 0; c < plan_->outputs.size(); ++c) {
+      evalRows(*plan_->outputs[c].expr, in_, in_.sel, eval_scratch_);
+      b.cols[c].reserve(n);
+      for (const std::uint32_t i : in_.sel) {
+        b.cols[c].push_back(std::move(eval_scratch_[i]));
+      }
+    }
+    for (std::size_t k = 0; k < sel.order_by.size(); ++k) {
+      evalRows(*sel.order_by[k].expr, in_, in_.sel, eval_scratch_);
+      b.keys[k].reserve(n);
+      for (const std::uint32_t i : in_.sel) {
+        b.keys[k].push_back(std::move(eval_scratch_[i]));
+      }
+    }
+    b.nrows = n;
+    b.sel.resize(n);
+    for (std::size_t i = 0; i < n; ++i) b.sel[i] = static_cast<std::uint32_t>(i);
     return true;
   }
   void doClose() override { src_->close(); }
@@ -1269,14 +1617,25 @@ class ProjectOp : public RowOp {
  private:
   std::unique_ptr<NestedLoop> src_;
   SelectPlan* plan_;
+  bool batch_input_;
+  std::size_t batch_rows_;
+  RowBatch in_;
+  std::vector<Value> eval_scratch_;
 };
 
 /// Blocking aggregation: drains the join on the first next(), groups by the
-/// GROUP BY keys, then emits one row per HAVING-surviving group.
+/// GROUP BY keys, then emits one row per HAVING-surviving group. With
+/// `batch_input` set (single-table plans), the build phase evaluates group
+/// keys and aggregate arguments column-wise per batch and only materializes
+/// a row when a group first appears.
 class AggregateOp : public RowOp {
  public:
-  AggregateOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan)
-      : src_(std::move(src)), plan_(&plan) {}
+  AggregateOp(std::unique_ptr<NestedLoop> src, SelectPlan& plan,
+              bool batch_input, std::size_t batch_rows)
+      : src_(std::move(src)),
+        plan_(&plan),
+        batch_input_(batch_input),
+        batch_rows_(batch_rows) {}
 
   void doOpen() override {
     src_->open();
@@ -1290,6 +1649,17 @@ class AggregateOp : public RowOp {
     row = std::move(out_[pos_].first);
     keys = std::move(out_[pos_].second);
     ++pos_;
+    return true;
+  }
+  bool doNextBatch(RowBatch& b) override {
+    if (!built_) build();
+    if (pos_ >= out_.size()) return false;
+    const std::size_t cap = b.capacity ? b.capacity : batch_rows_;
+    b.reset(out_[pos_].first.size(), plan_->sel->order_by.size());
+    while (b.nrows < cap && pos_ < out_.size()) {
+      b.appendMoveValues(out_[pos_].first, out_[pos_].second);
+      ++pos_;
+    }
     return true;
   }
   void doClose() override {
@@ -1317,29 +1687,33 @@ class AggregateOp : public RowOp {
   void build() {
     const SelectStmt& sel = *plan_->sel;
     std::map<EncodedKey, Group> groups;
-    while (src_->next()) {
-      const Tuple& tuple = src_->tuple();
-      Row key_values;
-      EncodedKey key;
-      for (const ExprPtr& e : sel.group_by) {
-        Value v = evaluate(*e, tuple);
-        encodeValue(v, key);
-        key_values.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      Group& g = it->second;
-      if (inserted) {
-        g.key_values = std::move(key_values);
-        g.aggs.resize(plan_->aggregates.size());
-        g.first_rows.reserve(tuple.size());
-        for (const Row* row : tuple) g.first_rows.push_back(*row);
-      }
-      for (std::size_t a = 0; a < plan_->aggregates.size(); ++a) {
-        const Expr* agg = plan_->aggregates[a];
-        if (agg->lhs) {
-          g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
-        } else {
-          g.aggs[a].count++;  // COUNT(*)
+    if (batch_input_) {
+      buildBatched(groups);
+    } else {
+      while (src_->next()) {
+        const Tuple& tuple = src_->tuple();
+        Row key_values;
+        EncodedKey key;
+        for (const ExprPtr& e : sel.group_by) {
+          Value v = evaluate(*e, tuple);
+          encodeValue(v, key);
+          key_values.push_back(std::move(v));
+        }
+        auto [it, inserted] = groups.try_emplace(std::move(key));
+        Group& g = it->second;
+        if (inserted) {
+          g.key_values = std::move(key_values);
+          g.aggs.resize(plan_->aggregates.size());
+          g.first_rows.reserve(tuple.size());
+          for (const Row* row : tuple) g.first_rows.push_back(*row);
+        }
+        for (std::size_t a = 0; a < plan_->aggregates.size(); ++a) {
+          const Expr* agg = plan_->aggregates[a];
+          if (agg->lhs) {
+            g.aggs[a].add(evaluate(*agg->lhs, tuple), agg->agg_distinct);
+          } else {
+            g.aggs[a].count++;  // COUNT(*)
+          }
         }
       }
     }
@@ -1376,8 +1750,56 @@ class AggregateOp : public RowOp {
     built_ = true;
   }
 
+  /// Batch-probe variant of the accumulation loop: evaluates the group keys
+  /// and aggregate arguments column-at-a-time over each input batch, then
+  /// probes the hash table per live lane. Same group map, same insertion
+  /// order, same semantics as the row loop.
+  void buildBatched(std::map<EncodedKey, Group>& groups) {
+    const SelectStmt& sel = *plan_->sel;
+    RowBatch in;
+    in.capacity = batch_rows_;
+    std::vector<std::vector<Value>> key_cols(sel.group_by.size());
+    std::vector<std::vector<Value>> arg_cols(plan_->aggregates.size());
+    while (src_->nextBatch(in)) {
+      for (std::size_t g = 0; g < sel.group_by.size(); ++g) {
+        evalRows(*sel.group_by[g], in, in.sel, key_cols[g]);
+      }
+      for (std::size_t a = 0; a < plan_->aggregates.size(); ++a) {
+        if (plan_->aggregates[a]->lhs) {
+          evalRows(*plan_->aggregates[a]->lhs, in, in.sel, arg_cols[a]);
+        }
+      }
+      for (std::uint32_t i : in.sel) {
+        Row key_values;
+        EncodedKey key;
+        for (std::size_t g = 0; g < key_cols.size(); ++g) {
+          encodeValue(key_cols[g][i], key);
+          key_values.push_back(std::move(key_cols[g][i]));
+        }
+        auto [it, inserted] = groups.try_emplace(std::move(key));
+        Group& grp = it->second;
+        if (inserted) {
+          grp.key_values = std::move(key_values);
+          grp.aggs.resize(plan_->aggregates.size());
+          grp.first_rows.resize(1);
+          in.materializeRow(i, grp.first_rows[0]);
+        }
+        for (std::size_t a = 0; a < plan_->aggregates.size(); ++a) {
+          const Expr* agg = plan_->aggregates[a];
+          if (agg->lhs) {
+            grp.aggs[a].add(std::move(arg_cols[a][i]), agg->agg_distinct);
+          } else {
+            grp.aggs[a].count++;  // COUNT(*)
+          }
+        }
+      }
+    }
+  }
+
   std::unique_ptr<NestedLoop> src_;
   SelectPlan* plan_;
+  bool batch_input_;
+  std::size_t batch_rows_;
   bool built_ = false;
   std::vector<std::pair<Row, std::vector<Value>>> out_;
   std::size_t pos_ = 0;
@@ -1400,6 +1822,21 @@ class DistinctOp : public RowOp {
     }
     return false;
   }
+  bool doNextBatch(RowBatch& b) override {
+    // Probe the seen-set per live lane and compact the selection vector;
+    // a batch whose rows are all duplicates is skipped, not returned empty.
+    while (child_->nextBatch(b)) {
+      sel_scratch_.clear();
+      for (std::uint32_t i : b.sel) {
+        EncodedKey key;
+        for (const auto& c : b.cols) encodeValue(c[i], key);
+        if (seen_.insert(std::move(key)).second) sel_scratch_.push_back(i);
+      }
+      b.sel.swap(sel_scratch_);
+      if (!b.sel.empty()) return true;
+    }
+    return false;
+  }
   void doClose() override {
     child_->close();
     seen_.clear();
@@ -1416,6 +1853,7 @@ class DistinctOp : public RowOp {
  private:
   std::unique_ptr<RowOp> child_;
   std::set<EncodedKey> seen_;
+  std::vector<std::uint32_t> sel_scratch_;
 };
 
 /// Blocking sort on the ORDER BY keys. With a pushed-down LIMIT the sort
@@ -1426,8 +1864,11 @@ class DistinctOp : public RowOp {
 class SortOp : public RowOp {
  public:
   SortOp(std::unique_ptr<RowOp> child, SelectPlan& plan,
-         std::optional<std::size_t> top_k)
-      : child_(std::move(child)), plan_(&plan), top_k_(top_k) {}
+         std::optional<std::size_t> top_k, std::size_t batch_rows)
+      : child_(std::move(child)),
+        plan_(&plan),
+        top_k_(top_k),
+        batch_rows_(batch_rows > 0 ? batch_rows : 1) {}
 
   void doOpen() override {
     child_->open();
@@ -1441,6 +1882,18 @@ class SortOp : public RowOp {
     row = std::move(rows_[pos_].row);
     keys.clear();
     ++pos_;
+    return true;
+  }
+  bool doNextBatch(RowBatch& b) override {
+    if (!sorted_) drain();
+    if (pos_ >= rows_.size()) return false;
+    const std::size_t cap = b.capacity ? b.capacity : batch_rows_;
+    // Keys are consumed by the sort; downstream sees plain rows.
+    b.reset(rows_[pos_].row.size(), 0);
+    while (b.nrows < cap && pos_ < rows_.size()) {
+      b.appendMoveValues(rows_[pos_].row);
+      ++pos_;
+    }
     return true;
   }
   void doClose() override {
@@ -1481,22 +1934,26 @@ class SortOp : public RowOp {
 
   void drain() {
     auto cmp = [this](const Keyed& a, const Keyed& b) { return before(a, b); };
-    Row row;
-    std::vector<Value> keys;
+    RowBatch in;
+    in.capacity = batch_rows_;
     std::uint64_t seq = 0;
-    while (child_->next(row, keys)) {
-      if (top_k_ && *top_k_ == 0) {
-        ++seq;
-        continue;  // LIMIT 0: consume input, keep nothing
-      }
-      rows_.push_back(Keyed{std::move(keys), std::move(row), seq++});
-      keys = {};
-      row = {};
-      if (top_k_) {
-        std::push_heap(rows_.begin(), rows_.end(), cmp);
-        if (rows_.size() > *top_k_) {
-          std::pop_heap(rows_.begin(), rows_.end(), cmp);
-          rows_.pop_back();
+    while (child_->nextBatch(in)) {
+      for (std::uint32_t i : in.sel) {
+        if (top_k_ && *top_k_ == 0) {
+          ++seq;
+          continue;  // LIMIT 0: consume input, keep nothing
+        }
+        Keyed k;
+        in.takeRow(i, k.row);
+        in.takeKeys(i, k.keys);
+        k.seq = seq++;
+        rows_.push_back(std::move(k));
+        if (top_k_) {
+          std::push_heap(rows_.begin(), rows_.end(), cmp);
+          if (rows_.size() > *top_k_) {
+            std::pop_heap(rows_.begin(), rows_.end(), cmp);
+            rows_.pop_back();
+          }
         }
       }
     }
@@ -1511,6 +1968,7 @@ class SortOp : public RowOp {
   std::unique_ptr<RowOp> child_;
   SelectPlan* plan_;
   std::optional<std::size_t> top_k_;
+  std::size_t batch_rows_;
   std::vector<Keyed> rows_;
   std::size_t pos_ = 0;
   bool sorted_ = false;
@@ -1540,6 +1998,36 @@ class LimitOp : public RowOp {
       return true;
     }
     return false;
+  }
+  bool doNextBatch(RowBatch& b) override {
+    if (limit_ && emitted_ >= *limit_) return false;
+    const std::size_t caller_cap = b.capacity;
+    while (true) {
+      // Never ask the child for more rows than the limit still needs —
+      // without an ORDER BY below, that over-pull would over-scan the table.
+      if (limit_) {
+        const std::size_t need = (offset_ - skipped_) + (*limit_ - emitted_);
+        if (caller_cap == 0 || need < caller_cap) b.capacity = need;
+      }
+      const bool ok = child_->nextBatch(b);
+      b.capacity = caller_cap;
+      if (!ok) return false;
+      if (skipped_ < offset_) {
+        const std::size_t drop =
+            std::min(offset_ - skipped_, b.sel.size());
+        b.sel.erase(b.sel.begin(),
+                    b.sel.begin() + static_cast<std::ptrdiff_t>(drop));
+        skipped_ += drop;
+      }
+      if (limit_ && b.sel.size() > *limit_ - emitted_) {
+        b.sel.resize(*limit_ - emitted_);
+      }
+      if (!b.sel.empty()) {
+        emitted_ += b.sel.size();
+        return true;
+      }
+      if (limit_ && emitted_ >= *limit_) return false;
+    }
   }
   void doClose() override { child_->close(); }
   void doDescribe(std::vector<std::string>& lines, int depth) const override {
@@ -1582,24 +2070,6 @@ class LimitOp : public RowOp {
 /// Bits of the per-row rank reserved for the row's offset inside its morsel
 /// (page morsels are capped well below 2^18 rows).
 constexpr unsigned kMorselRowBits = 18;
-
-/// Exec-layer metrics, resolved once (pt_exec_pool_threads lives in
-/// exec_pool.cpp).
-struct ExecCounters {
-  obs::Counter& morsels_dispatched;
-  obs::Counter& parallel_queries;
-  obs::Histogram& gather_wait_ms;
-};
-
-ExecCounters& execCounters() {
-  auto& reg = obs::Registry::global();
-  static ExecCounters* c = new ExecCounters{
-      reg.counter("pt_exec_morsels_dispatched_total"),
-      reg.counter("pt_exec_parallel_queries_total"),
-      reg.histogram("pt_exec_gather_wait_ms"),
-  };
-  return *c;
-}
 
 /// Thread-safe supplier of decoded row batches. abort() drains the source
 /// early when one worker fails, so the others reach the barrier quickly.
@@ -1679,14 +2149,14 @@ class PageMorselSource : public MorselSource {
 };
 
 /// Index-path partitioning: one shared storage cursor, chunked into
-/// kRowBatchRows-row batches under a mutex. The lock covers the decode, but
+/// batch_rows-row batches under a mutex. The lock covers the decode, but
 /// filter/project/aggregate work — the bulk of these queries — still fans
 /// out. Chunk boundaries depend only on the pull count, so morsel contents
 /// are deterministic regardless of which worker claims them.
 class CursorMorselSource : public MorselSource {
  public:
-  explicit CursorMorselSource(std::unique_ptr<SlotIter> iter)
-      : iter_(std::move(iter)) {}
+  CursorMorselSource(std::unique_ptr<SlotIter> iter, std::size_t batch_rows)
+      : iter_(std::move(iter)), batch_rows_(batch_rows > 0 ? batch_rows : 1) {}
 
   /// Opens the underlying cursor (bound evaluation) on the caller's thread.
   void open() { iter_->open(); }
@@ -1697,13 +2167,13 @@ class CursorMorselSource : public MorselSource {
     if (done_) return false;
     m.id = next_id_++;
     m.rows.clear();
-    m.rows.reserve(kRowBatchRows);
+    m.rows.reserve(batch_rows_);
     Row row;
-    while (m.rows.size() < kRowBatchRows && iter_->next(row)) {
+    while (m.rows.size() < batch_rows_ && iter_->next(row)) {
       m.rows.push_back(std::move(row));
       row = {};
     }
-    if (m.rows.size() < kRowBatchRows) {
+    if (m.rows.size() < batch_rows_) {
       done_ = true;
       iter_->close();
     }
@@ -1713,6 +2183,7 @@ class CursorMorselSource : public MorselSource {
  private:
   std::mutex mu_;
   std::unique_ptr<SlotIter> iter_;
+  std::size_t batch_rows_;
   bool done_ = false;
   std::uint64_t next_id_ = 0;
 };
@@ -1783,11 +2254,12 @@ class GatherOp : public RowOp {
       : db_(&db),
         plan_(&plan),
         degree_(opts.degree),
+        batch_rows_(opts.batch_rows),
         top_k_(row_top_k),
         grouped_(plan.grouped),
         distinct_(plan.sel->distinct && !plan.grouped),
         src_tuple_(plan.from.size(), nullptr),
-        template_loop_(std::make_unique<NestedLoop>(db, plan)) {}
+        template_loop_(std::make_unique<NestedLoop>(db, plan, opts.batch_rows)) {}
 
   void doOpen() override {
     built_ = false;
@@ -1800,6 +2272,17 @@ class GatherOp : public RowOp {
     row = std::move(out_[pos_].first);
     keys = std::move(out_[pos_].second);
     ++pos_;
+    return true;
+  }
+  bool doNextBatch(RowBatch& b) override {
+    if (!built_) runParallel();
+    if (pos_ >= out_.size()) return false;
+    const std::size_t cap = b.capacity ? b.capacity : batch_rows_;
+    b.reset(out_[pos_].first.size(), plan_->sel->order_by.size());
+    while (b.nrows < cap && pos_ < out_.size()) {
+      b.appendMoveValues(out_[pos_].first, out_[pos_].second);
+      ++pos_;
+    }
     return true;
   }
   void doClose() override {
@@ -1942,7 +2425,7 @@ class GatherOp : public RowOp {
       extra = std::min(extra, morsels > 0 ? morsels - 1 : 0);
       src = std::move(ps);
     } else {
-      auto cs = std::make_unique<CursorMorselSource>(makeLevel0Iter());
+      auto cs = std::make_unique<CursorMorselSource>(makeLevel0Iter(), batch_rows_);
       cs->open();  // bound evaluation happens on the calling thread
       src = std::move(cs);
     }
@@ -1987,7 +2470,7 @@ class GatherOp : public RowOp {
     // Single-table plans run the tight batch loops; joins (and analyzed
     // runs, which want exact per-stage accounting) run a full per-worker
     // operator chain fed from the shared source.
-    if (plan_->from.size() == 1 && !analyze_) {
+    if (batchEligible(*plan_) && !analyze_) {
       runBatchWorker(ws, src);
     } else {
       runLoopWorker(ws, src);
@@ -2035,7 +2518,10 @@ class GatherOp : public RowOp {
     auto fed =
         std::make_unique<MorselFedIter>(&src, plan_->paths[0], plan_->from[0]);
     MorselFedIter* fed_raw = fed.get();
-    NestedLoop loop(*db_, *plan_, std::move(fed));
+    // batch_outer=false: rank accounting reads the fed iterator's *current*
+    // row, which pre-pulling a whole outer batch would run ahead of.
+    NestedLoop loop(*db_, *plan_, batch_rows_, std::move(fed),
+                    /*batch_outer=*/false);
     if (analyze_) loop.setAnalyze(true);
     loop.open();
     std::uint64_t last_rank = ~std::uint64_t{0};
@@ -2288,6 +2774,7 @@ class GatherOp : public RowOp {
   Database* db_;
   SelectPlan* plan_;
   int degree_;
+  std::size_t batch_rows_;
   std::optional<std::size_t> top_k_;  // row mode only
   bool grouped_;
   bool distinct_;
@@ -2324,6 +2811,46 @@ bool parallelEligible(Database& db, const SelectPlan& plan,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Batch pull plumbing
+// ---------------------------------------------------------------------------
+
+bool RowOp::nextBatch(RowBatch& batch) {
+  if (!stats_.timed) {
+    const bool ok = doNextBatch(batch);
+    if (ok) {
+      execCounters().batches.inc();
+      execCounters().batch_fill.observe(static_cast<double>(batch.active()));
+    }
+    return ok;
+  }
+  const detail::OpTick tick(stats_);
+  const bool ok = doNextBatch(batch);
+  if (ok) {
+    stats_.rows += batch.active();
+    ++stats_.batches;
+    stats_.batch_rows += batch.active();
+    execCounters().batches.inc();
+    execCounters().batch_fill.observe(static_cast<double>(batch.active()));
+  }
+  return ok;
+}
+
+bool RowOp::doNextBatch(RowBatch& batch) {
+  batch.clearRows();
+  const std::size_t cap = batch.capacity > 0 ? batch.capacity : 1;
+  Row row;
+  std::vector<Value> keys;
+  while (batch.nrows < cap && doNext(row, keys)) {
+    batch.appendMoveValues(row, keys);
+    row.clear();
+    keys.clear();
+  }
+  return batch.nrows > 0;
+}
+
+bool batchEligible(const SelectPlan& plan) { return plan.from.size() == 1; }
+
+// ---------------------------------------------------------------------------
 // Pipeline assembly and the materializing wrappers
 // ---------------------------------------------------------------------------
 
@@ -2350,16 +2877,23 @@ Pipeline buildPipeline(Database& db, SelectPlan& plan, const ExecOptions& opts) 
     op = std::make_unique<GatherOp>(db, plan, opts,
                                     plan.grouped ? std::nullopt : top_k);
   } else {
-    auto loop = std::make_unique<NestedLoop>(db, plan);
+    // Single-table subtrees run column-at-a-time: the loop hands whole
+    // batches to Project/Aggregate, which evaluate expressions per column.
+    // Joins keep the row-at-a-time tuple walk (their expressions bind
+    // multiple slots) behind the generic row→batch adapter.
+    const bool batch_input = batchEligible(plan);
+    auto loop = std::make_unique<NestedLoop>(db, plan, opts.batch_rows);
     if (plan.grouped) {
-      op = std::make_unique<AggregateOp>(std::move(loop), plan);
+      op = std::make_unique<AggregateOp>(std::move(loop), plan, batch_input,
+                                         opts.batch_rows);
     } else {
-      op = std::make_unique<ProjectOp>(std::move(loop), plan);
+      op = std::make_unique<ProjectOp>(std::move(loop), plan, batch_input,
+                                       opts.batch_rows);
     }
   }
   if (sel.distinct) op = std::make_unique<DistinctOp>(std::move(op));
   if (!sel.order_by.empty()) {
-    op = std::make_unique<SortOp>(std::move(op), plan, top_k);
+    op = std::make_unique<SortOp>(std::move(op), plan, top_k, opts.batch_rows);
   }
   if (sel.limit || sel.offset) {
     std::optional<std::size_t> limit;
@@ -2395,9 +2929,9 @@ ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
     // accounting armed, discard the rows, and emit the annotated tree.
     p.root->setAnalyze(true);
     p.root->open();
-    Row row;
-    std::vector<Value> keys;
-    while (p.root->next(row, keys)) {
+    RowBatch batch;
+    batch.capacity = opts.batch_rows;
+    while (p.root->nextBatch(batch)) {
     }
     p.root->close();
     rs.columns = {"plan"};
@@ -2408,9 +2942,16 @@ ResultSet execSelectPlan(Database& db, SelectPlan& plan, bool explain,
   }
   rs.columns = std::move(p.columns);
   p.root->open();
+  RowBatch batch;
+  batch.capacity = opts.batch_rows;
   Row row;
-  std::vector<Value> keys;
-  while (p.root->next(row, keys)) rs.rows.push_back(std::move(row));
+  while (p.root->nextBatch(batch)) {
+    for (std::uint32_t i : batch.sel) {
+      batch.takeRow(i, row);
+      rs.rows.push_back(std::move(row));
+      row = {};
+    }
+  }
   p.root->close();
   return rs;
 }

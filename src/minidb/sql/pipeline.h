@@ -1,8 +1,9 @@
 // minidb SQL execution pipeline (internal header).
 //
 // SELECT execution is a Volcano-style operator tree: each operator exposes
-// open()/next()/close() and pulls rows from its child, so the first output
-// row is produced without materializing the whole result. The tree is
+// open()/nextBatch()/close() (plus a row-at-a-time next() adapter) and pulls
+// column-major RowBatches from its child, so the first output row is produced
+// without materializing the whole result. The tree is
 //
 //   Limit -> Sort -> Distinct -> (Project | Aggregate) -> NestedLoop
 //
@@ -39,6 +40,7 @@
 
 #include "minidb/database.h"
 #include "minidb/sql/ast.h"
+#include "minidb/sql/row_batch.h"
 
 namespace perftrack::minidb::sql {
 
@@ -171,10 +173,13 @@ struct OpStats {
   std::uint64_t loops = 0;
   std::uint64_t rows = 0;
   std::uint64_t time_ns = 0;
+  std::uint64_t batches = 0;     // nextBatch() calls that produced rows
+  std::uint64_t batch_rows = 0;  // live rows across those batches (avg fill)
   bool timed = false;
 };
 
-/// Appends " (actual rows=R loops=L time=T ms)" to an EXPLAIN line.
+/// Appends " (actual rows=R loops=L time=T ms)" to an EXPLAIN line; when the
+/// operator was driven batch-at-a-time, " batches=B avg_fill=F" follows.
 void appendActuals(std::string& line, const OpStats& stats);
 
 namespace detail {
@@ -200,9 +205,13 @@ class OpTick {
 
 }  // namespace detail
 
-/// One pipeline operator. next() fills `row` (and, for operators below the
-/// Sort, the ORDER BY key values in `keys`) and returns false at end of
-/// stream. Operators tolerate next() after exhaustion and close() twice.
+/// One pipeline operator. The primary pull interface is batch-at-a-time:
+/// nextBatch() fills a column-major RowBatch (with ORDER BY keys for
+/// operators below the Sort) and returns false only at end of stream — a
+/// true return always carries at least one live row. next() is the thin
+/// row-at-a-time adapter kept for row-stepping callers; both draw from the
+/// same operator state, so a consumer may mix them. Operators tolerate
+/// next()/nextBatch() after exhaustion and close() twice.
 ///
 /// The public surface wraps the virtual do*() hooks so EXPLAIN ANALYZE can
 /// account loops/rows/time per operator without touching every subclass.
@@ -223,6 +232,8 @@ class RowOp {
     if (ok) ++stats_.rows;
     return ok;
   }
+  /// Batch pull. Defined in pipeline.cpp (it feeds the exec metrics).
+  bool nextBatch(RowBatch& batch);
   void close() {
     if (!stats_.timed) return doClose();
     const detail::OpTick tick(stats_);
@@ -244,6 +255,10 @@ class RowOp {
  protected:
   virtual void doOpen() = 0;
   virtual bool doNext(Row& row, std::vector<Value>& keys) = 0;
+  /// Default adapter: loops doNext() into the batch. Batch-native operators
+  /// (single-table Project/Aggregate, Distinct, Sort, Limit, Gather)
+  /// override it.
+  virtual bool doNextBatch(RowBatch& batch);
   virtual void doClose() = 0;
   /// Appends this operator's EXPLAIN line(s), children indented below.
   virtual void doDescribe(std::vector<std::string>& lines, int depth) const = 0;
@@ -265,8 +280,10 @@ struct Pipeline {
 /// sequential scans, so the realized size tracks the page fill).
 inline constexpr std::size_t kMorselTargetRows = 2048;
 
-/// Rows per RowBatch inside a worker's tight scan/filter/project loops.
-inline constexpr std::size_t kRowBatchRows = 1024;
+/// Upper bound on ExecOptions::batch_rows / PT_EXEC_BATCH_ROWS. Must stay
+/// below 2^18: cursor-fed morsels are one batch each, and morsel row ranks
+/// pack the in-morsel position into 18 bits (kMorselRowBits).
+inline constexpr std::size_t kMaxExecBatchRows = 65536;
 
 /// Per-execution knobs, resolved by the Engine (or defaulted to serial).
 struct ExecOptions {
@@ -275,7 +292,15 @@ struct ExecOptions {
   /// Heap pages table 0 must span before the plan goes parallel; 0 turns
   /// the gate off (tests force tiny tables parallel with it).
   std::size_t min_pages = 16;
+  /// Rows per RowBatch between operators (and inside worker loops).
+  std::size_t batch_rows = 1024;
 };
+
+/// Single-table plans stream columnar batches from the scan straight through
+/// Filter/Project/Aggregate; joins keep the row-at-a-time tuple interface
+/// above a batched outer (table 0) side. This predicate also gates the
+/// batch-at-a-time parallel worker loop.
+bool batchEligible(const SelectPlan& plan);
 
 /// Builds the operator tree for `plan`. Only reads page headers (for the
 /// parallel-eligibility gate); does not open any cursor until the root is

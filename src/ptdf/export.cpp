@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/typesystem.h"
+#include "minidb/sql/row_batch.h"
 #include "util/strings.h"
 
 namespace perftrack::ptdf {
@@ -66,20 +67,24 @@ void emitResults(core::PTDataStore& store, const std::string& exec_name, Writer&
         "SELECT focus_id FROM performance_result_has_focus WHERE result_id = ?",
         {minidb::Value(id)});
     std::vector<core::ResourceSetSpec> sets;
-    minidb::Row focus_row;
-    while (foci.next(focus_row)) {
-      const std::int64_t focus_id = focus_row[0].asInt();
-      auto members = conn.query(
-          "SELECT resource_id, focus_type FROM focus_has_resource WHERE focus_id = ?",
-          {minidb::Value(focus_id)});
-      core::ResourceSetSpec spec;
-      minidb::Row member;
-      while (members.next(member)) {
-        spec.resource_names.push_back(
-            store.resourceInfo(member[0].asInt()).full_name);
-        spec.set_type = core::focusTypeFromName(member[1].asText());
+    minidb::sql::RowBatch focus_batch;
+    while (foci.fetchBatch(focus_batch)) {
+      for (const std::uint32_t f : focus_batch.sel) {
+        const std::int64_t focus_id = focus_batch.cols[0][f].asInt();
+        auto members = conn.query(
+            "SELECT resource_id, focus_type FROM focus_has_resource WHERE focus_id = ?",
+            {minidb::Value(focus_id)});
+        core::ResourceSetSpec spec;
+        minidb::sql::RowBatch member_batch;
+        while (members.fetchBatch(member_batch)) {
+          for (const std::uint32_t m : member_batch.sel) {
+            spec.resource_names.push_back(
+                store.resourceInfo(member_batch.cols[0][m].asInt()).full_name);
+            spec.set_type = core::focusTypeFromName(member_batch.cols[1][m].asText());
+          }
+        }
+        if (!spec.resource_names.empty()) sets.push_back(std::move(spec));
       }
-      if (!spec.resource_names.empty()) sets.push_back(std::move(spec));
     }
     if (const auto hist = store.getHistogram(id)) {
       // Complex result: re-expand the sparse bins into the full vector with
@@ -118,11 +123,13 @@ ExportStats exportStore(core::PTDataStore& store, Writer& writer) {
     auto execs = conn.query(
         "SELECT e.name, a.name FROM execution e JOIN application a "
         "ON e.application_id = a.id ORDER BY e.id");
-    minidb::Row row;
-    while (execs.next(row)) {
-      writer.application(row[1].asText());
-      writer.execution(row[0].asText(), row[1].asText());
-      ++stats.executions;
+    minidb::sql::RowBatch batch;
+    while (execs.fetchBatch(batch)) {
+      for (const std::uint32_t i : batch.sel) {
+        writer.application(batch.cols[1][i].asText());
+        writer.execution(batch.cols[0][i].asText(), batch.cols[1][i].asText());
+        ++stats.executions;
+      }
     }
   }
 
@@ -132,16 +139,22 @@ ExportStats exportStore(core::PTDataStore& store, Writer& writer) {
   // footprint stays flat in the store size (BENCH_cursor.json measures this).
   {
     auto resources = conn.query("SELECT r.id FROM resource_item r ORDER BY r.id");
-    minidb::Row row;
-    while (resources.next(row)) {
-      emitResource(store, writer, store.resourceInfo(row[0].asInt()), stats);
+    minidb::sql::RowBatch batch;
+    while (resources.fetchBatch(batch)) {
+      for (const std::uint32_t i : batch.sel) {
+        emitResource(store, writer, store.resourceInfo(batch.cols[0][i].asInt()),
+                     stats);
+      }
     }
   }
   {
     auto resources = conn.query("SELECT r.id FROM resource_item r ORDER BY r.id");
-    minidb::Row row;
-    while (resources.next(row)) {
-      emitConstraints(store, writer, store.resourceInfo(row[0].asInt()), stats);
+    minidb::sql::RowBatch batch;
+    while (resources.fetchBatch(batch)) {
+      for (const std::uint32_t i : batch.sel) {
+        emitConstraints(store, writer, store.resourceInfo(batch.cols[0][i].asInt()),
+                        stats);
+      }
     }
   }
 

@@ -111,8 +111,9 @@ enum class ErrCode : std::uint16_t {
 
 /// Session options settable over the wire (SET_OPTION).
 enum class SessionOption : std::uint8_t {
-  UseIndexes = 1,   // value 0/1: planner ablation switch, session-scoped
-  ExecThreads = 2,  // parallel SELECT degree; 0 = server default, 1 = serial
+  UseIndexes = 1,    // value 0/1: planner ablation switch, session-scoped
+  ExecThreads = 2,   // parallel SELECT degree; 0 = server default, 1 = serial
+  ExecBatchRows = 3, // rows per pipeline batch; 0 = server default
 };
 
 /// One decoded frame.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "minidb/sql/pipeline.h"
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -200,7 +201,7 @@ Frame Session::executeSelect(
   const auto& columns = cursor.columns();
   w.u32(static_cast<std::uint32_t>(columns.size()));
   for (const std::string& c : columns) w.str(c);
-  CursorEntry entry{std::move(cursor), stmt, /*holds_gate=*/true};
+  CursorEntry entry{std::move(cursor), stmt, /*holds_gate=*/true, {}, 0};
   hold.forget();  // the hold now belongs to the cursor, until close/exhaust
   ++gate_holds_;
   counters_->open_cursors.fetch_add(1, std::memory_order_relaxed);
@@ -287,14 +288,23 @@ Frame Session::doFetch(WireReader& r) {
   WireWriter rows;
   std::uint32_t produced = 0;
   bool done = false;
+  CursorEntry& entry = it->second;
   try {
-    minidb::Row row;
     while (produced < max_rows && rows.bytes().size() < limits_.fetch_byte_budget) {
-      if (!it->second.cursor.next(row)) {
-        done = true;
-        break;
+      if (entry.pending_pos >= entry.pending.sel.size()) {
+        entry.pending.clearRows();
+        entry.pending_pos = 0;
+        entry.pending.capacity = max_rows - produced;
+        if (!entry.cursor.fetchBatch(entry.pending)) {
+          done = true;
+          break;
+        }
       }
-      rows.row(row);
+      // Encode straight from the batch's columns (same byte layout as
+      // WireWriter::row — u32 ncols, then one value per column).
+      const std::uint32_t i = entry.pending.sel[entry.pending_pos++];
+      rows.u32(static_cast<std::uint32_t>(entry.pending.cols.size()));
+      for (const auto& c : entry.pending.cols) rows.value(c[i]);
       ++produced;
     }
   } catch (...) {
@@ -357,6 +367,14 @@ Frame Session::doSetOption(WireReader& r) {
       // Degree only; every session draws workers from the one process-wide
       // ExecPool, so N parallel sessions never oversubscribe the machine.
       engine_.setExecThreads(static_cast<int>(value));
+      return Frame{Op::Ok, {}};
+    case SessionOption::ExecBatchRows:
+      if (value < 0 ||
+          value > static_cast<std::int64_t>(minidb::sql::kMaxExecBatchRows)) {
+        return makeError(ErrCode::Protocol, "exec_batch_rows out of range");
+      }
+      if (value == 0) return Frame{Op::Ok, {}};  // 0 = keep the server default
+      engine_.setExecBatchRows(static_cast<std::size_t>(value));
       return Frame{Op::Ok, {}};
   }
   return makeError(ErrCode::Protocol, "unknown session option");

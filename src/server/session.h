@@ -126,6 +126,10 @@ class Session {
     // (or the session re-prepares) while the cursor streams.
     std::shared_ptr<minidb::sql::PreparedStatement> stmt;
     bool holds_gate = false;
+    // Pipeline rows pulled but not yet shipped: a FETCH that hits the byte
+    // budget mid-batch parks the remainder here for the next FETCH.
+    minidb::sql::RowBatch pending;
+    std::size_t pending_pos = 0;
   };
 
   Frame doHello(WireReader& r);

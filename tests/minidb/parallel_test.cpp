@@ -16,6 +16,7 @@
 
 #include "minidb/sql/exec_pool.h"
 #include "minidb/sql/executor.h"
+#include "minidb/sql/pipeline.h"
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -70,8 +71,23 @@ class ParallelExecTest : public ::testing::Test {
     sql_.setParallelMinPages(1);
   }
 
+  /// Drains `query` through the vectorized fetchBatch() cursor surface.
+  ResultSet drainBatches(const std::string& query) {
+    Cursor cur = sql_.openCursor(query);
+    ResultSet rs;
+    RowBatch batch;
+    Row row;
+    while (cur.fetchBatch(batch)) {
+      for (const std::uint32_t i : batch.sel) {
+        batch.materializeRow(i, row);
+        rs.rows.push_back(row);
+      }
+    }
+    return rs;
+  }
+
   /// Runs `query` serially and at several degrees; expects identical
-  /// output, both materialized and cursor-stepped.
+  /// output — materialized, cursor-stepped, and batch-fetched.
   void expectDifferentialMatch(const std::string& query) {
     sql_.setExecThreads(1);
     const std::string serial = canon(sql_.exec(query));
@@ -86,6 +102,9 @@ class ParallelExecTest : public ::testing::Test {
       while (cur.next(row)) stepped.rows.push_back(row);
       EXPECT_EQ(canon(stepped), serial)
           << "cursor mismatch at degree " << degree << ": " << query;
+      // Batch-fetched: same pipeline pulled a columnar batch at a time.
+      EXPECT_EQ(canon(drainBatches(query)), serial)
+          << "batch cursor mismatch at degree " << degree << ": " << query;
     }
     sql_.setExecThreads(1);
   }
@@ -242,6 +261,43 @@ TEST_F(ParallelExecTest, MinPagesGateKeepsSmallTablesSerial) {
   EXPECT_NE(planText(sql_.exec("EXPLAIN SELECT grp, COUNT(*) FROM m GROUP BY grp"))
                 .find("GATHER"),
             std::string::npos);
+}
+
+// --- batch-size edge cases ---------------------------------------------------
+
+TEST_F(ParallelExecTest, BatchSizeOneMatchesSerial) {
+  sql_.setExecBatchRows(1);
+  expectDifferentialMatch("SELECT grp, COUNT(*) FROM m GROUP BY grp ORDER BY grp");
+  expectDifferentialMatch("SELECT id, val FROM m WHERE val < 10 ORDER BY id");
+}
+
+TEST_F(ParallelExecTest, BatchLargerThanTableMatchesSerial) {
+  sql_.setExecBatchRows(kMaxExecBatchRows);  // 65536 > the 9000-row table
+  expectDifferentialMatch("SELECT id, val FROM m WHERE grp = 3 ORDER BY id");
+  expectDifferentialMatch("SELECT DISTINCT tag FROM m ORDER BY tag");
+}
+
+TEST_F(ParallelExecTest, LimitCutsMidBatch) {
+  sql_.setExecBatchRows(10);
+  // 23 = two full batches plus a partial third; the limit lands mid-batch.
+  expectDifferentialMatch("SELECT id, val FROM m ORDER BY val, id LIMIT 23");
+  expectDifferentialMatch("SELECT id FROM m ORDER BY id LIMIT 23 OFFSET 5");
+}
+
+TEST_F(ParallelExecTest, FullyFilteredBatchesAreSkipped) {
+  sql_.setExecBatchRows(8);
+  // One matching row in 9000: nearly every batch compacts to an empty
+  // selection vector, which must not surface as a premature end-of-stream.
+  expectDifferentialMatch("SELECT id, tag FROM m WHERE id = 4567");
+  // No matching rows at all: every batch is empty.
+  expectDifferentialMatch("SELECT id FROM m WHERE val = 999 ORDER BY id");
+}
+
+TEST_F(ParallelExecTest, SetExecBatchRowsValidates) {
+  EXPECT_THROW(sql_.setExecBatchRows(0), util::SqlError);
+  EXPECT_THROW(sql_.setExecBatchRows(kMaxExecBatchRows + 1), util::SqlError);
+  sql_.setExecBatchRows(1);                  // boundary values are accepted
+  sql_.setExecBatchRows(kMaxExecBatchRows);
 }
 
 // --- plan shape gating -------------------------------------------------------

@@ -1,16 +1,20 @@
 // Differential SQL fuzzing: the literal path vs the prepared path vs the
-// streaming cursor path, plus a rollback-journal vs WAL durability
-// differential over the same statement stream (DurabilityFuzz below).
+// streaming cursor path vs the batch cursor path, plus a rollback-journal
+// vs WAL durability differential over the same statement stream
+// (DurabilityFuzz below).
 //
-// Three twin in-memory databases receive the same seeded random statement
+// Four twin in-memory databases receive the same seeded random statement
 // stream. One executes every statement with inlined literals through
 // Engine::exec; the second executes the parameterized form ('?'
 // placeholders) through prepare()/bind/execute; the third also prepares, but
-// drains every SELECT one row at a time through openCursor()/next(). The
-// paths share the parser but diverge at parameter substitution, plan caching,
-// epoch revalidation, and (for the cursor twin) the materializing wrapper vs
-// the raw operator pipeline. Any divergence (different rows, different
-// rows_affected, an error on one side only) is a bug in one of the paths.
+// drains every SELECT one row at a time through openCursor()/next(); the
+// fourth drains through fetchBatch() with a deliberately odd batch size (7)
+// so every query ends on a partial batch. The paths share the parser but
+// diverge at parameter substitution, plan caching, epoch revalidation, and
+// (for the cursor twins) the materializing wrapper vs the row-at-a-time vs
+// the vectorized operator pipeline. Any divergence (different rows,
+// different rows_affected, an error on one side only) is a bug in one of
+// the paths.
 //
 // Statement mix: INSERT (with NULLs, negative ints, reals, text), UPDATE,
 // DELETE, point/range/IN SELECTs with ORDER BY, occasional CREATE/DROP
@@ -176,20 +180,47 @@ ResultSet runViaCursor(Engine& eng, const std::string& sql,
   return rs;
 }
 
+/// The batch-cursor twin's executor: like runViaCursor, but drains SELECTs
+/// through the vectorized fetchBatch() surface, materializing rows from the
+/// columnar batches.
+ResultSet runViaBatchCursor(Engine& eng, const std::string& sql,
+                            const std::vector<Value>& params) {
+  PreparedStatement stmt = eng.prepare(sql);
+  if (stmt.kind() != Statement::Kind::Select) return stmt.execute(params);
+  stmt.bindAll(params);
+  Cursor cur = stmt.openCursor();
+  ResultSet rs;
+  rs.columns = cur.columns();
+  RowBatch batch;
+  Row row;
+  while (cur.fetchBatch(batch)) {
+    for (const std::uint32_t i : batch.sel) {
+      batch.materializeRow(i, row);
+      rs.rows.push_back(row);
+    }
+  }
+  return rs;
+}
+
 class SqlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SqlFuzz, LiteralPreparedAndCursorPathsAgree) {
   auto db_lit = Database::openMemory();
   auto db_par = Database::openMemory();
   auto db_cur = Database::openMemory();
+  auto db_bat = Database::openMemory();
   Engine lit(*db_lit);
   Engine par(*db_par);
   Engine cur(*db_cur);
+  Engine bat(*db_bat);
+  // Odd batch size so nearly every SELECT ends on a partial final batch.
+  bat.setExecBatchRows(7);
   const char* ddl =
       "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT, r REAL)";
   lit.exec(ddl);
   par.exec(ddl);
   cur.exec(ddl);
+  bat.exec(ddl);
 
   FuzzGen gen(GetParam());
   int in_txn = 0;
@@ -200,22 +231,25 @@ TEST_P(SqlFuzz, LiteralPreparedAndCursorPathsAgree) {
       db_lit->begin();
       db_par->begin();
       db_cur->begin();
+      db_bat->begin();
       in_txn = static_cast<int>(gen.rng().uniformInt(3, 10));
     } else if (in_txn > 0 && --in_txn == 0) {
       if (gen.rng().chance(0.33)) {
         db_lit->rollback();
         db_par->rollback();
         db_cur->rollback();
+        db_bat->rollback();
       } else {
         db_lit->commit();
         db_par->commit();
         db_cur->commit();
+        db_bat->commit();
       }
     }
 
     const GenStmt g = gen.next();
-    std::optional<ResultSet> ra, rb, rc;
-    std::string err_a, err_b, err_c;
+    std::optional<ResultSet> ra, rb, rc, rd;
+    std::string err_a, err_b, err_c, err_d;
     try {
       ra = lit.exec(g.literal);
     } catch (const util::PTError& e) {
@@ -233,47 +267,74 @@ TEST_P(SqlFuzz, LiteralPreparedAndCursorPathsAgree) {
     } catch (const util::PTError& e) {
       err_c = e.what();
     }
+    try {
+      rd = runViaBatchCursor(bat, g.parameterized, g.params);
+    } catch (const util::PTError& e) {
+      err_d = e.what();
+    }
     ASSERT_EQ(ra.has_value(), rb.has_value())
         << "one path errored: literal=[" << err_a << "] prepared=[" << err_b
         << "] for: " << g.literal;
     ASSERT_EQ(ra.has_value(), rc.has_value())
         << "one path errored: literal=[" << err_a << "] cursor=[" << err_c
         << "] for: " << g.literal;
+    ASSERT_EQ(ra.has_value(), rd.has_value())
+        << "one path errored: literal=[" << err_a << "] batch=[" << err_d
+        << "] for: " << g.literal;
     if (ra) {
       expectSameResult(*ra, *rb, g.literal);
-      SCOPED_TRACE("cursor path");
-      ASSERT_EQ(ra->columns, rc->columns);
-      ASSERT_EQ(ra->rows.size(), rc->rows.size()) << "for: " << g.literal;
-      for (std::size_t i = 0; i < ra->rows.size(); ++i) {
-        for (std::size_t j = 0; j < ra->rows[i].size(); ++j) {
-          EXPECT_EQ(ra->rows[i][j], rc->rows[i][j])
-              << "cursor row " << i << " col " << j << " diverged for: "
-              << g.literal;
+      {
+        SCOPED_TRACE("cursor path");
+        ASSERT_EQ(ra->columns, rc->columns);
+        ASSERT_EQ(ra->rows.size(), rc->rows.size()) << "for: " << g.literal;
+        for (std::size_t i = 0; i < ra->rows.size(); ++i) {
+          for (std::size_t j = 0; j < ra->rows[i].size(); ++j) {
+            EXPECT_EQ(ra->rows[i][j], rc->rows[i][j])
+                << "cursor row " << i << " col " << j << " diverged for: "
+                << g.literal;
+          }
+        }
+      }
+      {
+        SCOPED_TRACE("batch cursor path");
+        ASSERT_EQ(ra->columns, rd->columns);
+        ASSERT_EQ(ra->rows.size(), rd->rows.size()) << "for: " << g.literal;
+        for (std::size_t i = 0; i < ra->rows.size(); ++i) {
+          for (std::size_t j = 0; j < ra->rows[i].size(); ++j) {
+            EXPECT_EQ(ra->rows[i][j], rd->rows[i][j])
+                << "batch row " << i << " col " << j << " diverged for: "
+                << g.literal;
+          }
         }
       }
     } else {
       EXPECT_EQ(err_a, err_b) << "error text diverged for: " << g.literal;
       EXPECT_EQ(err_a, err_c) << "cursor error text diverged for: " << g.literal;
+      EXPECT_EQ(err_a, err_d) << "batch error text diverged for: " << g.literal;
     }
 
     if (step % 40 == 39) {
       const char* all = "SELECT id, k, v, r FROM t ORDER BY id";
       expectSameResult(lit.exec(all), par.exec(all), all);
       expectSameResult(lit.exec(all), runViaCursor(cur, all, {}), all);
+      expectSameResult(lit.exec(all), runViaBatchCursor(bat, all, {}), all);
       EXPECT_TRUE(db_lit->verifyIntegrity().empty());
       EXPECT_TRUE(db_par->verifyIntegrity().empty());
       EXPECT_TRUE(db_cur->verifyIntegrity().empty());
+      EXPECT_TRUE(db_bat->verifyIntegrity().empty());
     }
   }
   if (in_txn > 0) {
     db_lit->commit();
     db_par->commit();
     db_cur->commit();
+    db_bat->commit();
   }
   const char* all = "SELECT id, k, v, r FROM t ORDER BY id";
   const ResultSet fin = lit.exec(all);
   expectSameResult(fin, par.exec(all), all);
   expectSameResult(fin, runViaCursor(cur, all, {}), all);
+  expectSameResult(fin, runViaBatchCursor(bat, all, {}), all);
   EXPECT_GT(fin.rows.size(), 50u) << "workload degenerated; generator is off";
 }
 
