@@ -1,0 +1,204 @@
+// Resource-matcher ablation: legacy SQL pr-filter vs the inverted-index
+// fast path (src/minidb/invidx/).
+//
+// Builds a wide matching problem — PT_MATCH_FAMILIES resource families of
+// PT_MATCH_RES resources each over PT_MATCH_FOCI foci (defaults 8 x 2000 x
+// 100000; every even focus touches all families, odd foci only half) — and
+// runs the same pr-filter both ways with core::matchResults /
+// matchResultCount / matchResultsTopK, toggling the path per run with
+// dbal::Connection::setInvidxEnabled. The first inverted-index run is
+// reported separately (phase "match_first") because it pays the posting
+// build; every later run hits the cached indexes. Count and top-K are where
+// early termination shows: the fast path popcounts a bitmap / stops the
+// posting merge at k, while the legacy path has no shortcut and must
+// materialize everything.
+//
+// PT_RESOURCE_MATCH_JSON=<path>: emit the cells as JSON (one object per
+// phase x mode) for scripts/bench_smoke.sh; invidx rows carry
+// `speedup` = legacy_ms / invidx_ms for the same phase.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/datastore.h"
+#include "core/filter.h"
+#include "dbal/connection.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+using namespace perftrack;
+
+namespace {
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoll(v) : fallback;
+}
+
+struct Cell {
+  std::string phase;
+  std::string mode;  // "legacy" | "invidx"
+  std::int64_t families = 0;
+  std::int64_t foci = 0;
+  std::int64_t results = 0;
+  double ms = 0.0;
+  double speedup = 0.0;  // legacy_ms / ms, invidx rows only
+};
+
+/// Best-of-two wall time of fn(); fn's return size lands in *results.
+template <typename Fn>
+double timeBest(Fn&& fn, std::int64_t* results) {
+  double best = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    util::Timer timer;
+    *results = fn();
+    const double ms = 1e3 * timer.elapsedSeconds();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void writeJson(const std::string& path, const std::vector<Cell>& cells) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return;
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(out,
+                 "  {\"phase\": \"%s\", \"mode\": \"%s\", \"families\": %lld, "
+                 "\"foci\": %lld, \"results\": %lld, \"ms\": %.3f, "
+                 "\"speedup\": %.2f}%s\n",
+                 c.phase.c_str(), c.mode.c_str(),
+                 static_cast<long long>(c.families),
+                 static_cast<long long>(c.foci),
+                 static_cast<long long>(c.results), c.ms, c.speedup,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n_families = envInt("PT_MATCH_FAMILIES", 8);
+  const std::int64_t res_per_family = envInt("PT_MATCH_RES", 2000);
+  const std::int64_t n_foci = envInt("PT_MATCH_FOCI", 100000);
+
+  auto conn = dbal::Connection::open(":memory:");
+  core::PTDataStore store(*conn);
+  store.initialize();
+
+  // Family j owns resource ids [j*res_per_family+1, (j+1)*res_per_family].
+  // Even foci touch one resource of every family; odd foci only the first
+  // half, so exactly the even foci (and their results) match the wide
+  // filter. Results map 1:1 to foci (result id == focus id).
+  conn->begin();
+  const char* ins_fhr =
+      "INSERT INTO focus_has_resource (focus_id, resource_id, focus_type) "
+      "VALUES (?, ?, 'primary')";
+  const char* ins_prhf =
+      "INSERT INTO performance_result_has_focus (result_id, focus_id) "
+      "VALUES (?, ?)";
+  const char* ins_pr =
+      "INSERT INTO performance_result (id, execution_id, metric_id, "
+      "performance_tool_id, value, units) VALUES (?, 1, 1, 1, ?, 's')";
+  for (std::int64_t f = 1; f <= n_foci; ++f) {
+    const std::int64_t touched = (f % 2 == 0) ? n_families : n_families / 2;
+    for (std::int64_t j = 0; j < touched; ++j) {
+      const std::int64_t rid = j * res_per_family + 1 + (f % res_per_family);
+      conn->execPrepared(ins_fhr, {minidb::Value(f), minidb::Value(rid)});
+    }
+    conn->execPrepared(ins_pr, {minidb::Value(f), minidb::Value(f * 0.5)});
+    conn->execPrepared(ins_prhf, {minidb::Value(f), minidb::Value(f)});
+  }
+  conn->commit();
+
+  std::vector<std::vector<core::ResourceId>> families(
+      static_cast<std::size_t>(n_families));
+  for (std::int64_t j = 0; j < n_families; ++j) {
+    for (std::int64_t r = 1; r <= res_per_family; ++r) {
+      families[static_cast<std::size_t>(j)].push_back(j * res_per_family + r);
+    }
+  }
+
+  std::vector<Cell> cells;
+  auto add = [&](const std::string& phase, const std::string& mode, double ms,
+                 std::int64_t results) -> Cell& {
+    Cell c;
+    c.phase = phase;
+    c.mode = mode;
+    c.families = n_families;
+    c.foci = n_foci;
+    c.results = results;
+    c.ms = ms;
+    cells.push_back(c);
+    return cells.back();
+  };
+
+  std::printf("%-12s %-8s %10s %10s %10s %12s %9s\n", "phase", "mode",
+              "families", "foci", "results", "ms", "speedup");
+  auto print = [&](const Cell& c) {
+    std::printf("%-12s %-8s %10lld %10lld %10lld %12.3f %9.2f\n",
+                c.phase.c_str(), c.mode.c_str(),
+                static_cast<long long>(c.families),
+                static_cast<long long>(c.foci),
+                static_cast<long long>(c.results), c.ms, c.speedup);
+  };
+
+  // Cold inverted-index run: pays the posting-list builds.
+  {
+    std::int64_t n = 0;
+    conn->setInvidxEnabled(true);
+    util::Timer timer;
+    n = static_cast<std::int64_t>(core::matchResults(store, families).size());
+    print(add("match_first", "invidx", 1e3 * timer.elapsedSeconds(), n));
+  }
+
+  struct Phase {
+    const char* name;
+    std::int64_t (*run)(core::PTDataStore&,
+                        const std::vector<std::vector<core::ResourceId>>&);
+  };
+  const Phase phases[] = {
+      {"match",
+       [](core::PTDataStore& s, const std::vector<std::vector<core::ResourceId>>& f) {
+         return static_cast<std::int64_t>(core::matchResults(s, f).size());
+       }},
+      {"count",
+       [](core::PTDataStore& s, const std::vector<std::vector<core::ResourceId>>& f) {
+         return static_cast<std::int64_t>(core::matchResultCount(s, f));
+       }},
+      {"topk10",
+       [](core::PTDataStore& s, const std::vector<std::vector<core::ResourceId>>& f) {
+         return static_cast<std::int64_t>(core::matchResultsTopK(s, f, 10).size());
+       }},
+  };
+  for (const Phase& phase : phases) {
+    std::int64_t legacy_n = 0, fast_n = 0;
+    conn->setInvidxEnabled(false);
+    const double legacy_ms =
+        timeBest([&] { return phase.run(store, families); }, &legacy_n);
+    conn->setInvidxEnabled(true);
+    const double fast_ms =
+        timeBest([&] { return phase.run(store, families); }, &fast_n);
+    if (legacy_n != fast_n) {
+      std::fprintf(stderr, "bench_resource_match: %s disagrees (%lld vs %lld)\n",
+                   phase.name, static_cast<long long>(legacy_n),
+                   static_cast<long long>(fast_n));
+      return 1;
+    }
+    print(add(phase.name, "legacy", legacy_ms, legacy_n));
+    Cell& fast = add(phase.name, "invidx", fast_ms, fast_n);
+    fast.speedup = fast_ms > 0.0 ? legacy_ms / fast_ms : 0.0;
+    print(fast);
+  }
+
+  if (const char* json = std::getenv("PT_RESOURCE_MATCH_JSON")) {
+    writeJson(json, cells);
+    std::printf("wrote %s\n", json);
+  }
+  obs::writeSnapshotIfRequested();
+  return 0;
+}

@@ -29,6 +29,11 @@
 #                     WAL snapshot reads)
 #   BENCH_obs.json    observability overhead A/B from bench_obs (tracing
 #                     on/off ns per point-SELECT, overhead %, 2% budget)
+#   BENCH_resource_match.json
+#                     legacy SQL vs inverted-index pr-filter matching from
+#                     bench_resource_match (8 families x 100k foci; full
+#                     match, count-only popcount, and top-K early
+#                     termination, with `speedup` per invidx row)
 #
 # Every run also leaves a METRICS_<name>.prom sidecar — the Prometheus
 # exposition of the process's metrics registry at exit (PT_METRICS_SNAPSHOT)
@@ -50,7 +55,7 @@ bench_dir="${1:-$repo_root/build/bench}"
 out_dir="${2:-$bench_dir}"
 mkdir -p "$out_dir"
 
-for bin in bench_fig3_querysession bench_query_scaling bench_table1_ingest bench_durability bench_cursor bench_server bench_obs; do
+for bin in bench_fig3_querysession bench_query_scaling bench_table1_ingest bench_durability bench_cursor bench_server bench_obs bench_resource_match; do
   if [[ ! -x "$bench_dir/$bin" ]]; then
     echo "bench_smoke: $bench_dir/$bin not built" >&2
     exit 1
@@ -127,4 +132,10 @@ PT_OBS_JSON="$out_dir/BENCH_obs.json" \
   "$bench_dir/bench_obs"
 check_snapshot "$out_dir/METRICS_obs.prom"
 
-echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_query_scaling.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, $out_dir/BENCH_server.json, and $out_dir/BENCH_obs.json (plus METRICS_*.prom sidecars)"
+echo "== bench_resource_match =="
+PT_RESOURCE_MATCH_JSON="$out_dir/BENCH_resource_match.json" \
+  PT_METRICS_SNAPSHOT="$out_dir/METRICS_resource_match.prom" \
+  "$bench_dir/bench_resource_match"
+check_snapshot "$out_dir/METRICS_resource_match.prom"
+
+echo "bench_smoke: wrote $out_dir/BENCH_fig3.json, $out_dir/BENCH_query_scaling.json, $out_dir/BENCH_table1.json, $out_dir/BENCH_durability.json, $out_dir/BENCH_cursor.json, $out_dir/BENCH_server.json, $out_dir/BENCH_obs.json, and $out_dir/BENCH_resource_match.json (plus METRICS_*.prom sidecars)"

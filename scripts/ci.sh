@@ -40,14 +40,15 @@ case "$MODE" in
     # TSan is incompatible with ASan, so it gets its own tree; the server
     # label selects everything multi-threaded (src/server tests and the
     # daemon crash-restart script), the obs label adds the metrics
-    # registry / tracer cross-thread exercises, and the parallel label adds
-    # the morsel-driven executor and ExecPool suites.
+    # registry / tracer cross-thread exercises, the parallel label adds
+    # the morsel-driven executor and ExecPool suites, and the invidx label
+    # adds the inverted-index matcher differentials.
     BUILD="$ROOT/build-tsan"
     cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DPT_SANITIZE=thread
     cmake --build "$BUILD" -j "$JOBS"
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel|wal|vectorized"
+      ctest --test-dir "$BUILD" --output-on-failure -L "server|obs|parallel|wal|vectorized|invidx"
     ;;
   bench)
     # Smoke only: the benchmarks must run to completion; numbers are not gated.

@@ -15,6 +15,9 @@
 #     a GROUP BY workload on a server started with --exec-threads 4
 #     (PT_EXEC_MIN_PAGES=1 defeats the small-table gate so the smoke stays
 #     fast);
+#   * the inverted-index metrics (pt_invidx_builds_total,
+#     pt_invidx_probes_total, pt_invidx_lists) appear and move after an
+#     IN-list probe on a secondary-indexed integer column;
 #   * /traces shows the recent-query ring with the workload's SQL in it;
 #   * an unknown path answers 404 and does not kill the daemon;
 #   * the daemon still drains cleanly (SIGTERM -> exit 0) afterwards.
@@ -131,6 +134,25 @@ printf '%s\n' "$RESP" | grep -q '^pt_exec_batches_total [1-9]' \
   || fail "pt_exec_batches_total did not move (vectorized pipeline idle?)"
 printf '%s\n' "$RESP" | grep -q '^pt_exec_batch_fill_rows_count [1-9]' \
   || fail "pt_exec_batch_fill_rows histogram recorded no observations"
+
+# --- inverted-index metrics --------------------------------------------------
+# An IN-list probe on a secondary-indexed integer column takes the planner's
+# posting-list path (invidx is on by default), which builds a rid posting
+# index for smoke.v and probes it — pt_invidx_builds/probes_total must move
+# and the lists gauge must go positive.
+
+sql "CREATE INDEX smoke_v ON smoke (v)" >/dev/null \
+  || fail "CREATE INDEX for the posting-path workload"
+sql "SELECT id FROM smoke WHERE v IN (5, 6, 7, 8) ORDER BY id" >/dev/null \
+  || fail "IN-list probe over the wire"
+
+RESP="$(scrape /metrics)" || fail "invidx scrape"
+printf '%s\n' "$RESP" | grep -q '^pt_invidx_builds_total [1-9]' \
+  || fail "pt_invidx_builds_total did not move after the IN-list probe"
+printf '%s\n' "$RESP" | grep -q '^pt_invidx_probes_total [1-9]' \
+  || fail "pt_invidx_probes_total did not move"
+printf '%s\n' "$RESP" | grep -q '^pt_invidx_lists [1-9]' \
+  || fail "pt_invidx_lists gauge not positive"
 
 TRACES="$(scrape /traces)" || fail "trace scrape"
 printf '%s\n' "$TRACES" | head -1 | grep -q '^HTTP/1\.0 200' || fail "/traces not 200"

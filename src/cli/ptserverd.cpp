@@ -32,6 +32,9 @@
 //     --exec-threads <n>      parallel SELECT degree per session (0 =
 //                             PT_EXEC_THREADS or hardware concurrency,
 //                             1 = serial; sessions share one worker pool)
+//     --invidx <0|1>          default inverted-index switch for new
+//                             sessions (posting-list IN probes; omit for
+//                             the process default, PT_INVIDX or on)
 //
 // On startup the daemon prints "listening on <host>:<port>" (and the unix
 // path if any) to stdout and flushes, so harnesses can scrape the ephemeral
@@ -82,7 +85,7 @@ int usage(const char* argv0) {
                "       [--durability=full|wal|none] [--wal-autocheckpoint n]\n"
                "       [--no-remote-shutdown]\n"
                "       [--metrics-port n] [--slow-query-ms ms] [--exec-threads n]\n"
-               "       <database|:memory:>\n",
+               "       [--invidx 0|1] <database|:memory:>\n",
                argv0);
   return 2;
 }
@@ -156,6 +159,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--exec-threads") {
       config.limits.exec_threads = std::atoi(nextValue("--exec-threads"));
       if (config.limits.exec_threads < 0) config.limits.exec_threads = 0;
+    } else if (flag == "--invidx") {
+      config.limits.invidx = std::atoi(nextValue("--invidx")) != 0 ? 1 : 0;
     } else {
       std::fprintf(stderr, "ptserverd: unknown flag '%s'\n", flag.c_str());
       return usage(argv[0]);

@@ -1,8 +1,13 @@
 #include "core/filter.h"
 
 #include <algorithm>
+#include <iterator>
+#include <optional>
+#include <queue>
 #include <unordered_set>
+#include <utility>
 
+#include "minidb/invidx/manager.h"
 #include "util/compare.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -12,6 +17,8 @@ namespace perftrack::core {
 using minidb::Value;
 using util::ModelError;
 using util::sqlQuote;
+
+namespace invidx = minidb::invidx;
 
 std::string_view expansionName(Expansion e) {
   switch (e) {
@@ -73,32 +80,14 @@ std::string ResourceFilter::describe() const {
 
 namespace {
 
-/// Runs `sql_prefix` + IN (?,...) for chunks of `ids`, collecting the first
-/// column of every row. `prefix_params` bind any '?' already in sql_prefix.
-/// Full chunks share one SQL text, so all but the ragged last chunk hit the
-/// connection's statement cache, and the IN-list lands on the index-backed
-/// multi-point probe path instead of a heap scan.
-std::vector<std::int64_t> chunkedIn(dbal::Connection& conn, const std::string& sql_prefix,
-                                    const std::vector<std::int64_t>& ids,
-                                    std::vector<Value> prefix_params = {}) {
-  std::vector<std::int64_t> out;
-  constexpr std::size_t kChunk = 200;
-  for (std::size_t start = 0; start < ids.size(); start += kChunk) {
-    const std::size_t n = std::min(ids.size() - start, kChunk);
-    std::string sql = sql_prefix + " IN (";
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i) sql.push_back(',');
-      sql.push_back('?');
-    }
-    sql.push_back(')');
-    std::vector<Value> params = prefix_params;
-    params.reserve(params.size() + n);
-    for (std::size_t i = 0; i < n; ++i) params.emplace_back(ids[start + i]);
-    auto cur = conn.query(sql, std::move(params));
-    minidb::Row row;
-    while (cur.next(row)) out.push_back(row[0].asInt());
-  }
-  return out;
+/// The inverted-index manager behind `conn`, or nullptr when the fast paths
+/// must stay off (remote connection, invidx switch disabled). Every fast
+/// path below also handles the manager declining a specific index (nullptr)
+/// by falling back to the legacy SQL, so the two paths always agree.
+invidx::Manager* fastIndexes(dbal::Connection& conn) {
+  if (!conn.invidxEnabled()) return nullptr;
+  minidb::Database* db = conn.localDatabase();
+  return db != nullptr ? &db->invidx() : nullptr;
 }
 
 void sortUnique(std::vector<std::int64_t>& v) {
@@ -106,8 +95,68 @@ void sortUnique(std::vector<std::int64_t>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+/// Fixed IN-list sizes. The ragged tail chunk is padded up to the next rung
+/// by repeating its last id — the engine sorts and dedupes IN-list keys, so
+/// padding never changes the result — which keeps the set of distinct SQL
+/// texts bounded and every probe on the statement cache's hot path.
+constexpr std::size_t kChunkSizes[] = {1, 2, 4, 8, 16, 32, 64, 128, 200};
+constexpr std::size_t kChunk = 200;
+
+/// Runs `sql_prefix` + IN (?,...) for chunks of `ids`, collecting the first
+/// column of every row. `prefix_params` bind any '?' already in sql_prefix.
+/// Ids are deduplicated and probed in ascending order — every caller treats
+/// the output as a set (a sort/dedup or hash-set build follows), and sorted
+/// probes walk the B-tree or posting index in key order.
+std::vector<std::int64_t> chunkedIn(dbal::Connection& conn, const std::string& sql_prefix,
+                                    std::vector<std::int64_t> ids,
+                                    std::vector<Value> prefix_params = {}) {
+  sortUnique(ids);
+  std::vector<std::int64_t> out;
+  for (std::size_t start = 0; start < ids.size(); start += kChunk) {
+    const std::size_t n = std::min(ids.size() - start, kChunk);
+    const std::size_t padded =
+        *std::lower_bound(std::begin(kChunkSizes), std::end(kChunkSizes), n);
+    std::string sql = sql_prefix + " IN (";
+    for (std::size_t i = 0; i < padded; ++i) {
+      if (i) sql.push_back(',');
+      sql.push_back('?');
+    }
+    sql.push_back(')');
+    std::vector<Value> params = prefix_params;
+    params.reserve(params.size() + padded);
+    for (std::size_t i = 0; i < n; ++i) params.emplace_back(ids[start + i]);
+    for (std::size_t i = n; i < padded; ++i) params.emplace_back(ids[start + n - 1]);
+    auto cur = conn.query(sql, std::move(params));
+    minidb::Row row;
+    while (cur.next(row)) out.push_back(row[0].asInt());
+  }
+  return out;
+}
+
 std::vector<std::int64_t> attributeCandidates(dbal::Connection& conn,
                                               const AttrPredicate& pred) {
+  if (invidx::Manager* mgr = fastIndexes(conn)) {
+    if (const auto idx = mgr->attrIndex("resource_attribute", "resource_id",
+                                        "name", "value")) {
+      // Predicates evaluate once per *distinct* value of the attribute; the
+      // matching values' id postings are unioned. Same comparator, same
+      // rows, so the result matches the legacy row-at-a-time scan exactly.
+      invidx::counters().probes.inc();
+      std::vector<std::int64_t> out;
+      if (const auto* values = idx->valuesOf(pred.name)) {
+        for (const auto& vp : *values) {
+          if (util::comparePredicate(vp.value, pred.comparator, pred.value)) {
+            invidx::counters().unions.inc();
+            for (const std::uint64_t id : vp.ids.toVector()) {
+              out.push_back(static_cast<std::int64_t>(id));
+            }
+          }
+        }
+      }
+      sortUnique(out);
+      return out;
+    }
+  }
   auto cur = conn.query(
       "SELECT resource_id, value FROM resource_attribute WHERE name = ?",
       {Value(pred.name)});
@@ -119,6 +168,73 @@ std::vector<std::int64_t> attributeCandidates(dbal::Connection& conn,
     }
   }
   sortUnique(out);
+  return out;
+}
+
+/// Partial-path ByName ("Frost/batch") via the name index: intersect the
+/// pattern's path-segment and trigram postings to get a small candidate
+/// set, then verify the exact "/<pattern>" suffix against the stored full
+/// name. Declines (nullopt -> legacy LIKE) when the pattern contains LIKE
+/// wildcards (legacy interprets them) or the index is unavailable.
+std::optional<std::vector<std::int64_t>> partialPathFast(dbal::Connection& conn,
+                                                         const std::string& name) {
+  if (name.find('%') != std::string::npos || name.find('_') != std::string::npos) {
+    return std::nullopt;
+  }
+  invidx::Manager* mgr = fastIndexes(conn);
+  if (mgr == nullptr) return std::nullopt;
+  const auto idx = mgr->nameIndex("resource_item", "id", "name", "full_name");
+  if (!idx) return std::nullopt;
+
+  std::vector<const invidx::PostingList*> lists;
+  for (const std::string& seg : util::split(name, '/')) {
+    if (seg.empty()) continue;
+    invidx::counters().probes.inc();
+    const invidx::PostingList* pl = idx->segment(seg);
+    if (pl == nullptr) return std::vector<std::int64_t>{};  // segment unseen
+    lists.push_back(pl);
+  }
+  const std::string pattern = "/" + name;
+  // A few trigrams of the suffix pattern tighten the candidate set; more
+  // than a handful adds intersection work without shrinking it further.
+  for (std::size_t i = 0; i + 3 <= pattern.size() && i < 8 * 3; i += 3) {
+    invidx::counters().probes.inc();
+    const invidx::PostingList* pl = idx->trigram(pattern.substr(i, 3));
+    if (pl == nullptr) return std::vector<std::int64_t>{};
+    lists.push_back(pl);
+  }
+  if (lists.empty()) return std::nullopt;
+  invidx::counters().intersections.inc();
+  std::vector<std::int64_t> out;
+  for (const std::uint64_t id : invidx::PostingList::intersect(std::move(lists))) {
+    const std::string* full = idx->fullName(static_cast<std::int64_t>(id));
+    if (full != nullptr && util::endsWith(*full, pattern)) {
+      out.push_back(static_cast<std::int64_t>(id));
+    }
+  }
+  return out;
+}
+
+/// Closure expansion via a key->values index on the closure table; nullopt
+/// falls back to the legacy chunked IN-list join.
+std::optional<std::vector<std::int64_t>> closureFast(dbal::Connection& conn,
+                                                     const std::string& table,
+                                                     const std::string& value_col,
+                                                     const std::vector<ResourceId>& base) {
+  invidx::Manager* mgr = fastIndexes(conn);
+  if (mgr == nullptr) return std::nullopt;
+  const auto idx = mgr->valueIndex(table, "resource_id", value_col);
+  if (!idx) return std::nullopt;
+  std::vector<std::int64_t> out;
+  for (const ResourceId id : base) {
+    invidx::counters().probes.inc();
+    if (const invidx::PostingList* pl = idx->find(id)) {
+      invidx::counters().unions.inc();
+      for (const std::uint64_t v : pl->toVector()) {
+        out.push_back(static_cast<std::int64_t>(v));
+      }
+    }
+  }
   return out;
 }
 
@@ -142,14 +258,33 @@ std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter&
         // Partial path like "Frost/batch": resources whose full name ends
         // with "/Frost/batch" (paper Fig. 3: child selection restricts to
         // named parents).
-        auto cur = conn.query(
-            "SELECT id, full_name FROM resource_item WHERE full_name LIKE " +
-            sqlQuote("%/" + filter.name));
-        minidb::Row row;
-        while (cur.next(row)) family.push_back(row[0].asInt());
+        if (auto fast = partialPathFast(conn, filter.name)) {
+          family = std::move(*fast);
+        } else {
+          auto cur = conn.query(
+              "SELECT id, full_name FROM resource_item WHERE full_name LIKE " +
+              sqlQuote("%/" + filter.name));
+          minidb::Row row;
+          while (cur.next(row)) family.push_back(row[0].asInt());
+        }
       } else {
-        for (const ResourceInfo& info : store.resourcesNamed(filter.name)) {
-          family.push_back(info.id);
+        bool fast = false;
+        if (invidx::Manager* mgr = fastIndexes(conn)) {
+          if (const auto idx =
+                  mgr->nameIndex("resource_item", "id", "name", "full_name")) {
+            invidx::counters().probes.inc();
+            if (const invidx::PostingList* pl = idx->baseName(filter.name)) {
+              for (const std::uint64_t id : pl->toVector()) {
+                family.push_back(static_cast<std::int64_t>(id));
+              }
+            }
+            fast = true;
+          }
+        }
+        if (!fast) {
+          for (const ResourceInfo& info : store.resourcesNamed(filter.name)) {
+            family.push_back(info.id);
+          }
         }
       }
       break;
@@ -191,15 +326,22 @@ std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter&
   // which would drag in entire sibling subtrees.
   const std::vector<ResourceId> base = family;
   if (filter.expand == Expansion::Ancestors || filter.expand == Expansion::Both) {
-    auto ancestors = chunkedIn(
-        conn, "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id", base);
-    family.insert(family.end(), ancestors.begin(), ancestors.end());
+    auto ancestors = closureFast(conn, "resource_has_ancestor", "ancestor_id", base);
+    if (!ancestors) {
+      ancestors = chunkedIn(
+          conn, "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id", base);
+    }
+    family.insert(family.end(), ancestors->begin(), ancestors->end());
   }
   if (filter.expand == Expansion::Descendants || filter.expand == Expansion::Both) {
-    auto descendants = chunkedIn(
-        conn, "SELECT descendant_id FROM resource_has_descendant WHERE resource_id",
-        base);
-    family.insert(family.end(), descendants.begin(), descendants.end());
+    auto descendants =
+        closureFast(conn, "resource_has_descendant", "descendant_id", base);
+    if (!descendants) {
+      descendants = chunkedIn(
+          conn, "SELECT descendant_id FROM resource_has_descendant WHERE resource_id",
+          base);
+    }
+    family.insert(family.end(), descendants->begin(), descendants->end());
   }
   sortUnique(family);
   return family;
@@ -214,19 +356,62 @@ std::unordered_set<std::int64_t> fociTouchingFamily(dbal::Connection& conn,
   return {foci.begin(), foci.end()};
 }
 
-}  // namespace
-
-std::vector<std::int64_t> matchResults(
-    PTDataStore& store, const std::vector<std::vector<ResourceId>>& families) {
-  dbal::Connection& conn = store.connection();
-  if (families.empty()) {
-    // An empty pr-filter matches everything (paper: filters narrow a set).
-    auto cur = conn.query("SELECT id FROM performance_result ORDER BY id");
-    std::vector<std::int64_t> out;
-    minidb::Row row;
-    while (cur.next(row)) out.push_back(row[0].asInt());
-    return out;
+/// The pr-filter core on the inverted index: per family, union the member
+/// resources' focus postings into a dense bitmap, then AND the bitmaps
+/// across families (word-wise when the postings are bitmap-represented).
+/// nullopt -> the focus_has_resource index is unavailable, use the legacy
+/// hash-set path. The caller must pass a non-empty family list.
+std::optional<invidx::Bitmap> matchingFociFast(
+    invidx::Manager& mgr, const std::vector<std::vector<ResourceId>>& families) {
+  const auto fhr = mgr.valueIndex("focus_has_resource", "resource_id", "focus_id");
+  if (!fhr) return std::nullopt;
+  std::optional<invidx::Bitmap> acc;
+  for (const std::vector<ResourceId>& family : families) {
+    invidx::Bitmap bm(fhr->valueLo(), fhr->valueHi());
+    for (const ResourceId id : family) {
+      invidx::counters().probes.inc();
+      if (const invidx::PostingList* pl = fhr->find(id)) {
+        invidx::counters().unions.inc();
+        bm.orPosting(*pl);
+      }
+    }
+    if (!acc) {
+      acc = std::move(bm);
+    } else {
+      invidx::counters().intersections.inc();
+      acc->andWith(bm);
+    }
+    if (!acc->any()) break;  // some family touches no focus: empty match
   }
+  return acc;
+}
+
+/// All result ids whose foci appear in `foci`, ascending and unique, via
+/// the focus -> results index. nullopt -> index unavailable.
+std::optional<invidx::Bitmap> resultsOfFoci(invidx::Manager& mgr,
+                                            const invidx::Bitmap& foci) {
+  const auto prhf =
+      mgr.valueIndex("performance_result_has_focus", "focus_id", "result_id");
+  if (!prhf) return std::nullopt;
+  invidx::Bitmap res(prhf->valueLo(), prhf->valueHi());
+  foci.forEach([&](std::uint64_t focus) {
+    invidx::counters().probes.inc();
+    if (const invidx::PostingList* pl =
+            prhf->find(static_cast<std::int64_t>(focus))) {
+      invidx::counters().unions.inc();
+      res.orPosting(*pl);
+    }
+    return true;
+  });
+  return res;
+}
+
+std::vector<std::int64_t> toSigned(const std::vector<std::uint64_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+std::vector<std::int64_t> legacyMatchResults(
+    dbal::Connection& conn, const std::vector<std::vector<ResourceId>>& families) {
   // Matching foci = intersection over families of {focus | focus ∩ family}.
   std::unordered_set<std::int64_t> matching = fociTouchingFamily(conn, families[0]);
   for (std::size_t i = 1; i < families.size() && !matching.empty(); ++i) {
@@ -247,6 +432,110 @@ std::vector<std::int64_t> matchResults(
   return results;
 }
 
+}  // namespace
+
+std::vector<std::int64_t> matchResults(
+    PTDataStore& store, const std::vector<std::vector<ResourceId>>& families) {
+  dbal::Connection& conn = store.connection();
+  if (families.empty()) {
+    // An empty pr-filter matches everything (paper: filters narrow a set).
+    auto cur = conn.query("SELECT id FROM performance_result ORDER BY id");
+    std::vector<std::int64_t> out;
+    minidb::Row row;
+    while (cur.next(row)) out.push_back(row[0].asInt());
+    return out;
+  }
+  if (invidx::Manager* mgr = fastIndexes(conn)) {
+    if (auto foci = matchingFociFast(*mgr, families)) {
+      if (!foci->any()) return {};
+      if (const auto res = resultsOfFoci(*mgr, *foci)) {
+        return toSigned(res->toVector());
+      }
+      // Foci resolved on the index but the results index declined: finish
+      // through the legacy IN-list join.
+      auto results = chunkedIn(
+          conn, "SELECT result_id FROM performance_result_has_focus WHERE focus_id",
+          toSigned(foci->toVector()));
+      sortUnique(results);
+      return results;
+    }
+  }
+  return legacyMatchResults(conn, families);
+}
+
+std::size_t matchResultCount(PTDataStore& store,
+                             const std::vector<std::vector<ResourceId>>& families) {
+  dbal::Connection& conn = store.connection();
+  if (!families.empty()) {
+    if (invidx::Manager* mgr = fastIndexes(conn)) {
+      if (const auto foci = matchingFociFast(*mgr, families)) {
+        if (!foci->any()) return 0;
+        if (const auto res = resultsOfFoci(*mgr, *foci)) {
+          // Count without materializing ids: a popcount over the bitmap.
+          return static_cast<std::size_t>(res->count());
+        }
+      }
+    }
+  }
+  return matchResults(store, families).size();
+}
+
+std::vector<std::int64_t> matchResultsTopK(
+    PTDataStore& store, const std::vector<std::vector<ResourceId>>& families,
+    std::size_t k) {
+  if (k == 0) return {};
+  dbal::Connection& conn = store.connection();
+  if (families.empty()) {
+    auto cur = conn.query("SELECT id FROM performance_result ORDER BY id");
+    std::vector<std::int64_t> out;
+    minidb::Row row;
+    while (out.size() < k && cur.next(row)) out.push_back(row[0].asInt());
+    return out;
+  }
+  if (invidx::Manager* mgr = fastIndexes(conn)) {
+    if (const auto foci = matchingFociFast(*mgr, families)) {
+      if (!foci->any()) return {};
+      const auto prhf =
+          mgr->valueIndex("performance_result_has_focus", "focus_id", "result_id");
+      if (prhf) {
+        // K-way merge of the matching foci's result postings: a min-heap of
+        // cursors emits ascending unique result ids, and the merge stops at
+        // k results without touching the postings' tails (the block-max
+        // analogue of WAND's early termination for an OR of sorted lists).
+        std::vector<invidx::PostingList::Cursor> cursors;
+        foci->forEach([&](std::uint64_t focus) {
+          invidx::counters().probes.inc();
+          if (const invidx::PostingList* pl =
+                  prhf->find(static_cast<std::int64_t>(focus))) {
+            cursors.push_back(pl->cursor());
+          }
+          return true;
+        });
+        using HeapItem = std::pair<std::uint64_t, std::size_t>;  // (value, cursor)
+        std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+        for (std::size_t i = 0; i < cursors.size(); ++i) {
+          if (cursors[i].valid()) heap.emplace(cursors[i].value(), i);
+        }
+        std::vector<std::int64_t> out;
+        while (out.size() < k && !heap.empty()) {
+          const auto [value, ci] = heap.top();
+          heap.pop();
+          if (out.empty() || static_cast<std::uint64_t>(out.back()) != value) {
+            out.push_back(static_cast<std::int64_t>(value));
+          }
+          cursors[ci].next();
+          if (cursors[ci].valid()) heap.emplace(cursors[ci].value(), ci);
+        }
+        if (!heap.empty()) invidx::counters().topk_early_exits.inc();
+        return out;
+      }
+    }
+  }
+  auto all = matchResults(store, families);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
 std::vector<std::int64_t> queryResults(PTDataStore& store, const PrFilter& filter) {
   std::vector<std::vector<ResourceId>> families;
   families.reserve(filter.families.size());
@@ -257,7 +546,7 @@ std::vector<std::int64_t> queryResults(PTDataStore& store, const PrFilter& filte
 }
 
 std::size_t familyMatchCount(PTDataStore& store, const std::vector<ResourceId>& family) {
-  return matchResults(store, {family}).size();
+  return matchResultCount(store, {family});
 }
 
 }  // namespace perftrack::core

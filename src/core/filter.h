@@ -69,6 +69,20 @@ std::vector<ResourceId> evaluateFamily(PTDataStore& store, const ResourceFilter&
 std::vector<std::int64_t> matchResults(PTDataStore& store,
                                        const std::vector<std::vector<ResourceId>>& families);
 
+/// Number of results matchResults() would return, without materializing
+/// their ids: on the inverted-index fast path this is a popcount over the
+/// result bitmap. Falls back to matchResults().size().
+std::size_t matchResultCount(PTDataStore& store,
+                             const std::vector<std::vector<ResourceId>>& families);
+
+/// The first `k` ids of matchResults() (ascending). On the inverted-index
+/// fast path the merge over the matching foci's result postings terminates
+/// as soon as k distinct ids have been produced, so the postings' tails are
+/// never decoded (pt_invidx_topk_early_exits_total counts the cutoffs).
+std::vector<std::int64_t> matchResultsTopK(
+    PTDataStore& store, const std::vector<std::vector<ResourceId>>& families,
+    std::size_t k);
+
 /// Convenience: evaluate + match in one call.
 std::vector<std::int64_t> queryResults(PTDataStore& store, const PrFilter& filter);
 

@@ -210,7 +210,7 @@ std::size_t QuerySession::totalMatchCount() {
   std::vector<std::vector<ResourceId>> families;
   families.reserve(families_.size());
   for (std::size_t i = 0; i < families_.size(); ++i) families.push_back(evaluated(i));
-  return matchResults(*store_, families).size();
+  return matchResultCount(*store_, families);
 }
 
 ResultTable QuerySession::run() {

@@ -228,6 +228,12 @@ void LocalConnection::setUseIndexes(bool enabled) {
   dropEntries(&stats_.invalidations);
 }
 
+void LocalConnection::setInvidxEnabled(bool enabled) {
+  if (enabled == engine_.invidx()) return;
+  engine_.setInvidx(enabled);
+  dropEntries(&stats_.invalidations);
+}
+
 void LocalConnection::setStatementCacheCapacity(std::size_t capacity) {
   cache_capacity_ = capacity;
   while (cache_.size() > cache_capacity_) {

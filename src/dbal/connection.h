@@ -180,6 +180,14 @@ class Connection {
   /// sessions ignore it — the server picks its own batch size.
   virtual void setExecBatchRows(std::size_t n) { (void)n; }
 
+  /// Inverted-index switch (see DESIGN.md §5.9): whether integer IN-list
+  /// probes and the core resource matcher may answer from posting-list
+  /// indexes instead of per-key B+-tree descents. On by default (process
+  /// default PT_INVIDX). Flipping it drops all cached statements locally;
+  /// remote sessions forward it as a session option.
+  virtual void setInvidxEnabled(bool enabled) { (void)enabled; }
+  virtual bool invidxEnabled() const { return false; }
+
   // --- statement-cache introspection ----------------------------------------
   // Local backends report the real LRU numbers; the remote backend keeps no
   // client-side plan cache, so the base defaults (zeros, no-ops) apply.
@@ -192,6 +200,11 @@ class Connection {
   /// Direct storage access (integrity checks, tests). Only local
   /// connections have one; remote connections throw SqlError.
   virtual minidb::Database& database();
+
+  /// The in-process store, or nullptr for remote connections (the core
+  /// fast paths use it to reach the inverted-index manager; remote callers
+  /// fall back to SQL).
+  virtual minidb::Database* localDatabase() { return nullptr; }
 };
 
 /// The in-process backends: a minidb store opened in this process (file or
@@ -220,6 +233,8 @@ class LocalConnection final : public Connection {
   void setUseIndexes(bool enabled) override;
   void setExecThreads(int n) override { engine_.setExecThreads(n); }
   void setExecBatchRows(std::size_t n) override { engine_.setExecBatchRows(n); }
+  void setInvidxEnabled(bool enabled) override;
+  bool invidxEnabled() const override { return engine_.invidx(); }
 
   std::size_t statementCacheSize() const override { return cache_.size(); }
   const StatementCacheStats& statementCacheStats() const override { return stats_; }
@@ -227,6 +242,7 @@ class LocalConnection final : public Connection {
   void clearStatementCache() override { dropEntries(nullptr); }
 
   minidb::Database& database() override { return *db_; }
+  minidb::Database* localDatabase() override { return db_.get(); }
 
  private:
   explicit LocalConnection(std::unique_ptr<minidb::Database> db)

@@ -514,6 +514,14 @@ void RemoteConnection::setExecBatchRows(std::size_t n) {
   wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
 }
 
+void RemoteConnection::setInvidxEnabled(bool enabled) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(server::SessionOption::InvIdx));
+  w.i64(enabled ? 1 : 0);
+  wire_->expect(server::makeFrame(Op::SetOption, std::move(w)), Op::Ok);
+  invidx_enabled_ = enabled;
+}
+
 void RemoteConnection::clearStatementCache() {
   for (auto& [sql, stmt] : stmts_) {
     // Handles pinned by a streaming cursor are released by the cursor.

@@ -84,6 +84,10 @@ class RemoteConnection final : public Connection {
   /// Session-scoped server-side batch size (SET_OPTION round trip); the
   /// server validates and caps it like a local Engine.
   void setExecBatchRows(std::size_t n) override;
+  /// Session-scoped inverted-index switch (SET_OPTION round trip); the
+  /// last value sent is cached client-side for invidxEnabled().
+  void setInvidxEnabled(bool enabled) override;
+  bool invidxEnabled() const override { return invidx_enabled_; }
 
   /// Remote handles held by this client (server-side statements stay alive
   /// until closed, so this doubles as a leak check in tests).
@@ -124,6 +128,10 @@ class RemoteConnection final : public Connection {
 
   std::shared_ptr<Wire> wire_;
   std::unordered_map<std::string, std::shared_ptr<StmtHandle>> stmts_;
+  // Client-side echo of the server's session invidx flag (the wire has no
+  // GET_OPTION; new sessions start from the server default, which is on
+  // unless ptserverd was started with --invidx 0).
+  bool invidx_enabled_ = true;
 };
 
 }  // namespace perftrack::dbal

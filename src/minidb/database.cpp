@@ -322,6 +322,7 @@ std::int64_t Database::insertRow(const std::string& table_name, Row row) {
   HeapFile heap(*pager_, table.first_page);
   const RecordId rid = heap.insert(buf.data(), buf.size());
   insertIntoIndexes(table, row, rid);
+  invidx_.onTableMutated(table.name);
   return pk_value;
 }
 
@@ -334,6 +335,7 @@ bool Database::eraseRow(const std::string& table_name, RecordId rid) {
   const Row row = deserializeRow(buf.data(), buf.size());
   removeFromIndexes(table, row, rid);
   heap.erase(rid);
+  invidx_.onTableMutated(table.name);
   return true;
 }
 
@@ -355,6 +357,7 @@ void Database::updateRow(const std::string& table_name, RecordId rid, const Row&
   serializeRow(row, buf);
   const RecordId new_rid = heap.update(rid, buf.data(), buf.size());
   insertIntoIndexes(table, row, new_rid);
+  invidx_.onTableMutated(table.name);
 }
 
 std::optional<Row> Database::readRow(const std::string& table_name, RecordId rid) const {

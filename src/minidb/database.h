@@ -18,6 +18,7 @@
 
 #include "minidb/btree.h"
 #include "minidb/catalog.h"
+#include "minidb/invidx/manager.h"
 #include "minidb/keycodec.h"
 #include "minidb/heap.h"
 #include "minidb/pager.h"
@@ -284,6 +285,12 @@ class Database {
 
   Pager& pager() { return *pager_; }
 
+  /// Inverted-index manager: posting-list indexes over this database's
+  /// tables, rebuilt lazily when the schema epoch or a table's DML version
+  /// moves (insertRow/eraseRow/updateRow notify it; rollback/DDL/VACUUM are
+  /// covered by the epoch). See minidb/invidx/manager.h.
+  invidx::Manager& invidx() { return invidx_; }
+
  private:
   friend class CursorPin;
 
@@ -321,6 +328,7 @@ class Database {
   // commit) are counted separately: they only block DDL/VACUUM.
   mutable std::atomic<std::size_t> open_cursors_{0};
   mutable std::atomic<std::size_t> snapshot_cursors_{0};
+  invidx::Manager invidx_{*this};
 };
 
 }  // namespace perftrack::minidb

@@ -1,0 +1,276 @@
+#include "minidb/invidx/posting.h"
+
+#include <algorithm>
+
+namespace perftrack::minidb::invidx {
+
+namespace {
+
+void putVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t getVarint(const std::vector<std::uint8_t>& bytes, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = bytes[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+PostingList PostingList::fromSorted(const std::vector<std::uint64_t>& ids) {
+  PostingList pl;
+  pl.size_ = ids.size();
+  if (ids.empty()) return pl;
+  pl.min_ = ids.front();
+  pl.max_ = ids.back();
+
+  const std::uint64_t range = pl.max_ - pl.min_ + 1;
+  if (ids.size() >= 8 && range / ids.size() <= kBitmapDensity) {
+    pl.rep_ = Rep::Bitmap;
+    pl.base_ = pl.min_ & ~std::uint64_t{63};
+    pl.words_.assign((pl.max_ - pl.base_) / 64 + 1, 0);
+    for (const std::uint64_t id : ids) {
+      const std::uint64_t off = id - pl.base_;
+      pl.words_[off >> 6] |= std::uint64_t{1} << (off & 63);
+    }
+    return pl;
+  }
+
+  pl.rep_ = Rep::Deltas;
+  pl.skips_.reserve((ids.size() + kBlockSize - 1) / kBlockSize);
+  for (std::size_t start = 0; start < ids.size(); start += kBlockSize) {
+    const std::size_t n = std::min(ids.size() - start, kBlockSize);
+    Skip skip;
+    skip.first = ids[start];
+    skip.last = ids[start + n - 1];
+    skip.offset = static_cast<std::uint32_t>(pl.bytes_.size());
+    skip.count = static_cast<std::uint32_t>(n);
+    // The block's first id lives in the skip entry; the stream holds the
+    // n-1 gaps (strictly positive: input is strictly ascending).
+    for (std::size_t i = 1; i < n; ++i) {
+      putVarint(pl.bytes_, ids[start + i] - ids[start + i - 1]);
+    }
+    pl.skips_.push_back(skip);
+  }
+  return pl;
+}
+
+std::size_t PostingList::byteSize() const {
+  return bytes_.capacity() + skips_.capacity() * sizeof(Skip) +
+         words_.capacity() * sizeof(std::uint64_t);
+}
+
+// --- Cursor ----------------------------------------------------------------
+
+PostingList::Cursor::Cursor(const PostingList& pl) : pl_(&pl) {
+  if (pl.empty()) return;
+  valid_ = true;
+  if (pl.rep_ == Rep::Bitmap) {
+    cur_ = pl.min_;
+    return;
+  }
+  loadBlock(0);
+}
+
+void PostingList::Cursor::loadBlock(std::size_t block) {
+  block_ = block;
+  const Skip& skip = pl_->skips_[block];
+  cur_ = skip.first;
+  in_block_ = 1;
+  pos_ = skip.offset;
+}
+
+void PostingList::Cursor::next() {
+  if (!valid_) return;
+  if (pl_->rep_ == Rep::Bitmap) {
+    if (cur_ >= pl_->max_) {
+      valid_ = false;
+      return;
+    }
+    std::uint64_t off = cur_ - pl_->base_ + 1;
+    std::size_t w = off >> 6;
+    std::uint64_t word = pl_->words_[w] >> (off & 63) << (off & 63);
+    while (word == 0) word = pl_->words_[++w];
+    cur_ = pl_->base_ + (static_cast<std::uint64_t>(w) << 6) +
+           __builtin_ctzll(word);
+    return;
+  }
+  const Skip& skip = pl_->skips_[block_];
+  if (in_block_ < skip.count) {
+    cur_ += getVarint(pl_->bytes_, pos_);
+    ++in_block_;
+    return;
+  }
+  if (block_ + 1 >= pl_->skips_.size()) {
+    valid_ = false;
+    return;
+  }
+  loadBlock(block_ + 1);
+}
+
+bool PostingList::Cursor::advanceTo(std::uint64_t target) {
+  if (!valid_ || cur_ >= target) return valid_;
+  if (target > pl_->max_) {
+    valid_ = false;
+    return false;
+  }
+  if (pl_->rep_ == Rep::Bitmap) {
+    std::uint64_t off = (target > pl_->base_ ? target - pl_->base_ : 0);
+    std::size_t w = off >> 6;
+    std::uint64_t word = pl_->words_[w] >> (off & 63) << (off & 63);
+    while (word == 0) word = pl_->words_[++w];
+    cur_ = pl_->base_ + (static_cast<std::uint64_t>(w) << 6) +
+           __builtin_ctzll(word);
+    return true;
+  }
+  // Gallop over the skip entries: find the first block whose last >= target.
+  if (pl_->skips_[block_].last < target) {
+    std::size_t step = 1;
+    std::size_t lo = block_ + 1;
+    while (lo + step < pl_->skips_.size() &&
+           pl_->skips_[lo + step].last < target) {
+      lo += step;
+      step <<= 1;
+    }
+    std::size_t hi = std::min(lo + step, pl_->skips_.size() - 1);
+    while (lo < hi) {  // first block with last >= target
+      const std::size_t mid = (lo + hi) / 2;
+      if (pl_->skips_[mid].last < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    loadBlock(lo);
+  }
+  // Linear decode inside the one candidate block.
+  const Skip& skip = pl_->skips_[block_];
+  while (cur_ < target && in_block_ < skip.count) {
+    cur_ += getVarint(pl_->bytes_, pos_);
+    ++in_block_;
+  }
+  if (cur_ < target) {
+    valid_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> PostingList::toVector() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(size_);
+  for (Cursor c = cursor(); c.valid(); c.next()) out.push_back(c.value());
+  return out;
+}
+
+std::vector<std::uint64_t> PostingList::intersect(
+    std::vector<const PostingList*> lists, std::size_t limit) {
+  std::vector<std::uint64_t> out;
+  if (lists.empty() || limit == 0) return out;
+  for (const PostingList* pl : lists) {
+    if (pl == nullptr || pl->empty()) return out;
+  }
+  // Smallest list drives: its cursor advances one id at a time, the others
+  // gallop to it.
+  std::sort(lists.begin(), lists.end(),
+            [](const PostingList* a, const PostingList* b) {
+              return a->size() < b->size();
+            });
+  std::vector<Cursor> cursors;
+  cursors.reserve(lists.size());
+  for (const PostingList* pl : lists) cursors.emplace_back(*pl);
+  Cursor& drive = cursors.front();
+  while (drive.valid()) {
+    const std::uint64_t candidate = drive.value();
+    bool all = true;
+    for (std::size_t i = 1; i < cursors.size(); ++i) {
+      if (!cursors[i].advanceTo(candidate)) return out;
+      if (cursors[i].value() != candidate) {
+        all = false;
+        // Let the larger list pull the driver forward past the gap.
+        if (!drive.advanceTo(cursors[i].value())) return out;
+        break;
+      }
+    }
+    if (all) {
+      out.push_back(candidate);
+      if (out.size() >= limit) return out;
+      drive.next();
+    }
+  }
+  return out;
+}
+
+// --- Bitmap ----------------------------------------------------------------
+
+Bitmap::Bitmap(std::uint64_t lo, std::uint64_t hi) {
+  if (hi < lo) return;
+  base_ = lo & ~std::uint64_t{63};
+  hi_ = hi;
+  words_.assign((hi - base_) / 64 + 1, 0);
+}
+
+void Bitmap::orPosting(const PostingList& pl) {
+  if (pl.empty() || words_.empty()) return;
+  if (pl.rep_ == PostingList::Rep::Bitmap && pl.base_ >= base_ &&
+      (pl.base_ - base_) % 64 == 0) {
+    const std::size_t shift = (pl.base_ - base_) / 64;
+    const std::size_t n = std::min(pl.words_.size(), words_.size() - shift);
+    for (std::size_t w = 0; w < n; ++w) words_[shift + w] |= pl.words_[w];
+    return;
+  }
+  for (PostingList::Cursor c = pl.cursor(); c.valid(); c.next()) set(c.value());
+}
+
+void Bitmap::set(std::uint64_t id) {
+  if (id < base_ || id > hi_) return;
+  const std::uint64_t off = id - base_;
+  words_[off >> 6] |= std::uint64_t{1} << (off & 63);
+}
+
+bool Bitmap::test(std::uint64_t id) const {
+  if (id < base_ || id > hi_) return false;
+  const std::uint64_t off = id - base_;
+  return (words_[off >> 6] >> (off & 63)) & 1;
+}
+
+void Bitmap::andWith(const Bitmap& other) {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < n; ++w) words_[w] &= other.words_[w];
+  for (std::size_t w = n; w < words_.size(); ++w) words_[w] = 0;
+}
+
+std::uint64_t Bitmap::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : words_) total += __builtin_popcountll(w);
+  return total;
+}
+
+bool Bitmap::any() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> Bitmap::toVector(std::size_t limit) const {
+  std::vector<std::uint64_t> out;
+  forEach([&](std::uint64_t id) {
+    if (out.size() >= limit) return false;
+    out.push_back(id);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+}  // namespace perftrack::minidb::invidx

@@ -1,0 +1,149 @@
+// minidb inverted-index core: posting lists and bitmaps.
+//
+// A PostingList is a sorted set of non-negative 64-bit ids (focus ids,
+// resource ids, result ids, or packed record ids) in one of two
+// representations, chosen at build time by density:
+//
+//   * delta blocks — ids split into blocks of kBlockSize, each block's
+//     first/last id kept in a skip entry and the in-block gaps varint
+//     (LEB128) encoded. advanceTo() gallops over the skip entries and only
+//     decodes the one block that can contain the target, so a k-way
+//     intersection of sparse lists touches O(result) blocks, not O(input).
+//   * bitmap — one bit per id over [base, max], used when the set is dense
+//     enough (range <= kBitmapDensity * size) that the bitmap is no larger
+//     than the delta stream. Unions and intersections over bitmaps collapse
+//     to word-wise OR/AND (see Bitmap below), the roaring-style dense case.
+//
+// Lists are immutable after fromSorted(); readers share them freely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace perftrack::minidb::invidx {
+
+inline constexpr std::size_t kBlockSize = 128;
+/// Bitmap representation wins once range/size <= this (bitmap bytes =
+/// range/8 vs. roughly 1..2 varint bytes per id).
+inline constexpr std::uint64_t kBitmapDensity = 16;
+
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Builds from a strictly ascending (sorted, deduplicated) id vector.
+  static PostingList fromSorted(const std::vector<std::uint64_t>& ids);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool isBitmap() const { return rep_ == Rep::Bitmap; }
+  std::uint64_t minId() const { return min_; }
+  std::uint64_t maxId() const { return max_; }
+  /// Heap bytes held by the encoded payload (metrics).
+  std::size_t byteSize() const;
+
+  /// Forward iterator with skip-pointer seeks. Invalidated only by
+  /// destroying the list (lists are immutable).
+  class Cursor {
+   public:
+    explicit Cursor(const PostingList& pl);
+    bool valid() const { return valid_; }
+    std::uint64_t value() const { return cur_; }
+    void next();
+    /// Seeks to the first id >= target (no-op when already there).
+    /// Returns valid().
+    bool advanceTo(std::uint64_t target);
+
+   private:
+    void loadBlock(std::size_t block);
+    const PostingList* pl_ = nullptr;
+    bool valid_ = false;
+    std::uint64_t cur_ = 0;
+    // delta state
+    std::size_t block_ = 0;
+    std::uint32_t in_block_ = 0;  // ids consumed from the current block
+    std::size_t pos_ = 0;         // byte position in bytes_
+  };
+  Cursor cursor() const { return Cursor(*this); }
+
+  /// Decodes the whole list (tests, unions into plain vectors).
+  std::vector<std::uint64_t> toVector() const;
+
+  /// K-way galloping intersection, smallest list driving. Stops after
+  /// `limit` results (early termination for top-K/existence probes).
+  static std::vector<std::uint64_t> intersect(
+      std::vector<const PostingList*> lists,
+      std::size_t limit = static_cast<std::size_t>(-1));
+
+ private:
+  friend class Cursor;
+  friend class Bitmap;
+
+  enum class Rep : std::uint8_t { Deltas, Bitmap };
+
+  struct Skip {
+    std::uint64_t first = 0;   // first id of the block (stored absolute)
+    std::uint64_t last = 0;    // last id of the block (the skip pointer)
+    std::uint32_t offset = 0;  // byte offset of the block's gap stream
+    std::uint32_t count = 0;   // ids in the block
+  };
+
+  Rep rep_ = Rep::Deltas;
+  std::size_t size_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  // delta representation
+  std::vector<Skip> skips_;
+  std::vector<std::uint8_t> bytes_;
+  // bitmap representation (base_ is 64-aligned so cross-list OR/AND stay
+  // word-aligned)
+  std::uint64_t base_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A mutable dense accumulator over a fixed id domain [lo, hi]: families
+/// union their members' postings into one Bitmap, and the pr-filter AND
+/// across families is a word-wise intersection. The base is 64-aligned, so
+/// OR-ing a bitmap-represented PostingList is pure word arithmetic.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(std::uint64_t lo, std::uint64_t hi);
+
+  bool domainEmpty() const { return words_.empty(); }
+  /// ORs a posting list in (word-wise when the list is a bitmap). Ids
+  /// outside the domain are ignored (callers build the domain from the
+  /// index's global min/max, so none exist in practice).
+  void orPosting(const PostingList& pl);
+  void set(std::uint64_t id);
+  bool test(std::uint64_t id) const;
+  /// Word-wise AND; both bitmaps must share a domain (same lo/hi).
+  void andWith(const Bitmap& other);
+  std::uint64_t count() const;
+  bool any() const;
+
+  /// Visits set ids in ascending order; `fn` returns false to stop early.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        if (!fn(base_ + (static_cast<std::uint64_t>(w) << 6) + bit)) return;
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Set ids, ascending, at most `limit` of them.
+  std::vector<std::uint64_t> toVector(
+      std::size_t limit = static_cast<std::size_t>(-1)) const;
+
+ private:
+  std::uint64_t base_ = 0;  // 64-aligned
+  std::uint64_t hi_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace perftrack::minidb::invidx

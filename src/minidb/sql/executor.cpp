@@ -96,6 +96,17 @@ std::size_t defaultExecBatchRows() {
   return resolved;
 }
 
+bool defaultInvidxEnabled() {
+  static const bool resolved = [] {
+    if (const char* env = std::getenv("PT_INVIDX")) {
+      const std::string v(env);
+      if (v == "0" || v == "off" || v == "false") return false;
+    }
+    return true;
+  }();
+  return resolved;
+}
+
 void Engine::setExecBatchRows(std::size_t n) {
   if (n == 0 || n > kMaxExecBatchRows) {
     throw SqlError("setExecBatchRows: batch size must be in [1, " +
@@ -388,16 +399,17 @@ Cursor PreparedStatement::openCursorInternal(Pager::ReadSnapshot snapshot) {
   }
   Database& db = *engine_->db_;
   if (!plan_ || plan_->epoch != db.schemaEpoch() ||
-      plan_->use_indexes != engine_->use_indexes_) {
+      plan_->use_indexes != engine_->use_indexes_ ||
+      plan_->invidx != engine_->invidx()) {
     if (plan_) sqlCounters().plan_revalidations.inc();
     if (traced) {
       const obs::StageTimer t;
-      plan_ = std::make_shared<SelectPlan>(
-          buildSelectPlan(db, *stmt_->select, engine_->use_indexes_));
+      plan_ = std::make_shared<SelectPlan>(buildSelectPlan(
+          db, *stmt_->select, engine_->use_indexes_, engine_->invidx()));
       plan_us = t.elapsedUs();
     } else {
-      plan_ = std::make_shared<SelectPlan>(
-          buildSelectPlan(db, *stmt_->select, engine_->use_indexes_));
+      plan_ = std::make_shared<SelectPlan>(buildSelectPlan(
+          db, *stmt_->select, engine_->use_indexes_, engine_->invidx()));
     }
   }
   sqlCounters().queries.inc();
@@ -417,7 +429,7 @@ Cursor PreparedStatement::openCursorInternal(Pager::ReadSnapshot snapshot) {
   }
   impl->batch_rows = engine_->execBatchRows();
   const ExecOptions exec_opts{engine_->execThreads(), engine_->parallelMinPages(),
-                              engine_->execBatchRows()};
+                              engine_->execBatchRows(), engine_->invidx()};
   if (stmt_->explain) {
     impl->is_explain = true;
     impl->columns = {"plan"};
@@ -586,7 +598,7 @@ ResultSet Engine::exec(const Statement& stmt) {
       return execSelect(*db_, *stmt.select, use_indexes_, stmt.explain,
                         stmt.explain_analyze,
                         ExecOptions{execThreads(), parallelMinPages(),
-                                    execBatchRows()});
+                                    execBatchRows(), invidx()});
 
     case Statement::Kind::Insert: {
       const InsertStmt& ins = *stmt.insert;

@@ -65,6 +65,11 @@ std::size_t defaultParallelMinPages();
 /// 1024. Resolved once per process.
 std::size_t defaultExecBatchRows();
 
+/// Process default for Engine::invidx(): PT_INVIDX when set ("0"/"off"/
+/// "false" disable, anything else enables), else enabled. Resolved once per
+/// process.
+bool defaultInvidxEnabled();
+
 /// A stepping SELECT cursor: pulls one row at a time through the operator
 /// pipeline, so the first row arrives without materializing the result.
 ///
@@ -223,6 +228,16 @@ class Engine {
     return exec_batch_rows_ > 0 ? exec_batch_rows_ : defaultExecBatchRows();
   }
 
+  /// Whether the planner may answer integer IN-list probes from the
+  /// inverted index (posting-list point lookups instead of B+-tree
+  /// descents). Unset engines use the process default (PT_INVIDX, on by
+  /// default). Cached plans built under the other setting replan
+  /// automatically on next execution.
+  void setInvidx(bool enabled) { invidx_ = enabled ? 1 : 0; }
+  bool invidx() const {
+    return invidx_ < 0 ? defaultInvidxEnabled() : invidx_ != 0;
+  }
+
   Database& database() { return *db_; }
 
  private:
@@ -233,6 +248,7 @@ class Engine {
   int exec_threads_ = 0;                  // 0 = process default
   std::optional<std::size_t> min_pages_;  // unset = process default
   std::size_t exec_batch_rows_ = 0;       // 0 = process default
+  int invidx_ = -1;                       // -1 = process default
 };
 
 }  // namespace perftrack::minidb::sql

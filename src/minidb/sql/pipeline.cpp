@@ -497,11 +497,13 @@ void materializePlanSubqueries(Database& db, SelectPlan& plan) {
   }
 }
 
-SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
+SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes,
+                           bool invidx) {
   SelectPlan plan;
   plan.sel = &sel;
   plan.epoch = db.schemaEpoch();
   plan.use_indexes = use_indexes;
+  plan.invidx = invidx;
 
   // --- resolve FROM ---
   for (const TableRef& ref : sel.from) {
@@ -614,11 +616,20 @@ SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
             db.catalog().indexOnColumn(plan.from[t].def->name, col->bound_col);
         if (index == nullptr) continue;
         if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
-            path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
+            path.kind == SelectPlan::AccessPath::Kind::IndexInList ||
+            path.kind == SelectPlan::AccessPath::Kind::PostingInList) {
           continue;
         }
         path = {};
         path.kind = SelectPlan::AccessPath::Kind::IndexInList;
+        // Integer key columns upgrade to the inverted index: one posting
+        // lookup per key, rids emitted in the same per-key order as the
+        // B-tree probes (the iterator falls back to the index at runtime
+        // when the posting path must decline).
+        if (invidx &&
+            plan.from[t].def->columns[col->bound_col].type == ColumnType::Integer) {
+          path.kind = SelectPlan::AccessPath::Kind::PostingInList;
+        }
         path.index = index;
         path.key_column = col->bound_col;
         path.in_list = e;
@@ -666,7 +677,8 @@ SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes) {
       }
       // Range bound: merge into an existing range path on the same column.
       if (path.kind == SelectPlan::AccessPath::Kind::IndexEqual ||
-          path.kind == SelectPlan::AccessPath::Kind::IndexInList) {
+          path.kind == SelectPlan::AccessPath::Kind::IndexInList ||
+          path.kind == SelectPlan::AccessPath::Kind::PostingInList) {
         continue;
       }
       if (path.kind == SelectPlan::AccessPath::Kind::IndexRange &&
@@ -1095,6 +1107,119 @@ class IndexInListIter : public SlotIter {
   std::optional<Database::IndexCursor> cur_;
 };
 
+/// IN-list probe answered from the inverted index: each key's rid posting
+/// is decoded and rows are fetched by RecordId. Packed rids are ascending
+/// (page, slot), which is exactly the order a B+-tree point probe emits
+/// rows for one key, so the row stream is byte-identical to
+/// IndexInListIter's. Falls back to B-tree point probes when the index
+/// declines (snapshot read, undecodable column) or a key is not an
+/// integer.
+class PostingInListIter : public SlotIter {
+ public:
+  PostingInListIter(Database& db, const SelectPlan::AccessPath& path,
+                    const SelectPlan::FromEntry& entry, const Tuple& tuple)
+      : db_(&db), path_(&path), entry_(&entry), tuple_(&tuple) {}
+
+  void doOpen() override {
+    produced_ = 0;
+    probes_ = 0;
+    hits_ = 0;
+    cur_.reset();
+    pcur_.reset();
+    index_.reset();
+    next_key_ = 0;
+    keys_.clear();
+    keys_.reserve(path_->in_list->list.size());
+    bool all_int = true;
+    for (const ExprPtr& item : path_->in_list->list) {
+      Value v = evaluate(*item, *tuple_);
+      if (v.isNull()) continue;  // col IN (..., NULL, ...) never matches NULL
+      all_int = all_int && v.isInt();
+      keys_.push_back(std::move(v));
+    }
+    std::sort(keys_.begin(), keys_.end(),
+              [](const Value& a, const Value& b) { return a.compare(b) < 0; });
+    keys_.erase(std::unique(keys_.begin(), keys_.end(),
+                            [](const Value& a, const Value& b) {
+                              return a.compare(b) == 0;
+                            }),
+                keys_.end());
+    if (all_int) {
+      index_ = db_->invidx().ridIndex(entry_->def->name, path_->key_column);
+    } else {
+      // Mixed-type key list: the manager never saw this probe, count the
+      // fallback here (the manager counts its own declines).
+      invidx::counters().fallbacks.inc();
+    }
+  }
+  bool doNext(Row& out) override {
+    for (;;) {
+      if (index_) {
+        if (pcur_ && pcur_->valid()) {
+          const std::uint64_t packed = pcur_->value();
+          pcur_->next();
+          const RecordId rid{static_cast<PageId>(packed >> 16),
+                             static_cast<std::uint16_t>(packed & 0xffff)};
+          std::optional<Row> row = db_->readRow(entry_->def->name, rid);
+          if (!row) continue;  // defensive: a valid index has no dangling rids
+          out = std::move(*row);
+          ++produced_;
+          return true;
+        }
+        if (next_key_ >= keys_.size()) return false;
+        ++probes_;
+        invidx::counters().probes.inc();
+        const invidx::PostingList* pl =
+            index_->find(keys_[next_key_++].asInt());
+        pcur_.reset();
+        if (pl) {
+          hits_ += pl->size();
+          pcur_.emplace(pl->cursor());
+        }
+        continue;
+      }
+      // B-tree fallback, identical to IndexInListIter.
+      RecordId rid;
+      if (cur_ && cur_->next(rid, out)) {
+        ++produced_;
+        return true;
+      }
+      if (next_key_ >= keys_.size()) return false;
+      cur_.emplace(db_->openIndexEqual(*path_->index, {keys_[next_key_++]}));
+    }
+  }
+  void doClose() override {
+    cur_.reset();
+    pcur_.reset();
+    index_.reset();
+    keys_.clear();
+    next_key_ = 0;
+  }
+  void doDescribe(std::vector<std::string>& lines, int depth) const override {
+    std::string line = indentOf(depth) + path_->describe(*entry_);
+    if (probes_ > 0) {
+      line += " [postings: " + std::to_string(probes_) + " probed, " +
+              std::to_string(hits_) + " ids]";
+    } else if (produced_ > 0 || next_key_ > 0) {
+      line += " [btree fallback]";
+    }
+    lines.push_back(line);
+  }
+
+ private:
+  Database* db_;
+  const SelectPlan::AccessPath* path_;
+  const SelectPlan::FromEntry* entry_;
+  const Tuple* tuple_;
+  std::shared_ptr<const invidx::RidIndex> index_;
+  std::vector<Value> keys_;
+  std::size_t next_key_ = 0;
+  std::size_t probes_ = 0;
+  std::size_t hits_ = 0;
+  std::optional<invidx::PostingList::Cursor> pcur_;
+  std::optional<Database::IndexCursor> cur_;
+};
+
 class IndexRangeIter : public SlotIter {
  public:
   IndexRangeIter(Database& db, const SelectPlan::AccessPath& path,
@@ -1254,6 +1379,10 @@ class NestedLoop {
             break;
           case SelectPlan::AccessPath::Kind::IndexInList:
             it = std::make_unique<IndexInListIter>(db, path, plan.from[t], tuple_);
+            break;
+          case SelectPlan::AccessPath::Kind::PostingInList:
+            it = std::make_unique<PostingInListIter>(db, path, plan.from[t],
+                                                     tuple_);
             break;
           case SelectPlan::AccessPath::Kind::IndexRange:
             it = std::make_unique<IndexRangeIter>(db, path, plan.from[t], tuple_);
@@ -2400,6 +2529,9 @@ class GatherOp : public RowOp {
       case SelectPlan::AccessPath::Kind::IndexInList:
         return std::make_unique<IndexInListIter>(*db_, path, plan_->from[0],
                                                  src_tuple_);
+      case SelectPlan::AccessPath::Kind::PostingInList:
+        return std::make_unique<PostingInListIter>(*db_, path, plan_->from[0],
+                                                   src_tuple_);
       case SelectPlan::AccessPath::Kind::IndexRange:
         return std::make_unique<IndexRangeIter>(*db_, path, plan_->from[0],
                                                 src_tuple_);
@@ -2961,7 +3093,7 @@ ResultSet execSelect(Database& db, const SelectStmt& sel_const, bool use_indexes
   // The binding pass annotates expressions in place; the annotations are
   // rewritten by every plan build, so sharing the AST across plans is safe.
   auto& sel = const_cast<SelectStmt&>(sel_const);
-  SelectPlan plan = buildSelectPlan(db, sel, use_indexes);
+  SelectPlan plan = buildSelectPlan(db, sel, use_indexes, opts.invidx);
   return execSelectPlan(db, plan, explain, analyze, opts);
 }
 

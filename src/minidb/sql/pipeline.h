@@ -89,7 +89,18 @@ struct SelectPlan {
   };
 
   struct AccessPath {
-    enum class Kind { Scan, IndexEqual, IndexInList, IndexRange } kind = Kind::Scan;
+    enum class Kind {
+      Scan,
+      IndexEqual,
+      IndexInList,
+      IndexRange,
+      /// IN-list probe answered from the inverted index: one posting-list
+      /// lookup per key instead of one B+-tree descent per key. Chosen over
+      /// IndexInList when the engine's invidx knob is on and the key column
+      /// is INTEGER; `index` stays set for the runtime B-tree fallback
+      /// (snapshot reads, non-integer keys, undecodable columns).
+      PostingInList,
+    } kind = Kind::Scan;
     const IndexDef* index = nullptr;
     int key_column = -1;         // table-local ordinal of the indexed column
     Expr* equal_rhs = nullptr;   // IndexEqual: bound expression for the key
@@ -116,6 +127,11 @@ struct SelectPlan {
           return "SEARCH " + entry.def->name + " AS " + entry.alias +
                  " USING INDEX " + index->name + " (" +
                  entry.def->columns[key_column].name + " range)";
+        case Kind::PostingInList:
+          return "SEARCH " + entry.def->name + " AS " + entry.alias +
+                 " USING POSTING INDEX (" + entry.def->columns[key_column].name +
+                 " IN posting-list probe, " + std::to_string(in_list->list.size()) +
+                 " keys)";
       }
       return "?";
     }
@@ -124,6 +140,7 @@ struct SelectPlan {
   SelectStmt* sel = nullptr;
   std::uint64_t epoch = 0;
   bool use_indexes = true;
+  bool invidx = false;
   std::vector<FromEntry> from;
   std::vector<ExprPtr> star_exprs;  // owns column refs expanded from '*'
   std::vector<OutputCol> outputs;
@@ -158,7 +175,8 @@ void materializeSubqueries(Expr* e, Database& db, bool use_indexes);
 /// access path per FROM entry. Annotates the AST in place (bound_table /
 /// bound_col / agg_slot); the produced plan is valid while the database's
 /// schema epoch matches plan.epoch.
-SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes);
+SelectPlan buildSelectPlan(Database& db, SelectStmt& sel, bool use_indexes,
+                           bool invidx = false);
 
 // ---------------------------------------------------------------------------
 // Operator tree
@@ -294,6 +312,9 @@ struct ExecOptions {
   std::size_t min_pages = 16;
   /// Rows per RowBatch between operators (and inside worker loops).
   std::size_t batch_rows = 1024;
+  /// Whether the planner may answer IN-list probes from the inverted index
+  /// (Engine::invidx(); PT_INVIDX process default).
+  bool invidx = false;
 };
 
 /// Single-table plans stream columnar batches from the scan straight through

@@ -114,6 +114,7 @@ enum class SessionOption : std::uint8_t {
   UseIndexes = 1,    // value 0/1: planner ablation switch, session-scoped
   ExecThreads = 2,   // parallel SELECT degree; 0 = server default, 1 = serial
   ExecBatchRows = 3, // rows per pipeline batch; 0 = server default
+  InvIdx = 4,        // value 0/1: inverted-index IN-list probes, session-scoped
 };
 
 /// One decoded frame.

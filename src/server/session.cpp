@@ -38,6 +38,7 @@ Session::Session(std::uint64_t id, minidb::Database& db, DbGate& gate,
       engine_(db),
       snapshot_reads_(db.durability() == minidb::Durability::Wal) {
   engine_.setExecThreads(limits_.exec_threads);
+  if (limits_.invidx >= 0) engine_.setInvidx(limits_.invidx != 0);
   counters_->sessions.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -375,6 +376,11 @@ Frame Session::doSetOption(WireReader& r) {
       }
       if (value == 0) return Frame{Op::Ok, {}};  // 0 = keep the server default
       engine_.setExecBatchRows(static_cast<std::size_t>(value));
+      return Frame{Op::Ok, {}};
+    case SessionOption::InvIdx:
+      // Session-scoped like UseIndexes: cached plans revalidate against the
+      // engine flag on their next execution.
+      engine_.setInvidx(value != 0);
       return Frame{Op::Ok, {}};
   }
   return makeError(ErrCode::Protocol, "unknown session option");

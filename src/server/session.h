@@ -62,6 +62,10 @@ struct SessionLimits {
   /// concurrency), 1 = serial. Sessions may override via SET_OPTION; every
   /// session draws from the one process-wide ExecPool either way.
   int exec_threads = 0;
+  /// Default inverted-index switch for new sessions (ptserverd --invidx).
+  /// -1 = process default (PT_INVIDX, on by default); 0/1 force it off/on.
+  /// Sessions may override via SET_OPTION.
+  int invidx = -1;
 };
 
 /// Monotonic counters shared across sessions (STAT frames, tests, bench).

@@ -1,0 +1,210 @@
+// Randomized differential test of the core resource matcher: every query
+// runs twice — once on the inverted-index fast path, once with the switch
+// off (legacy SQL) — and the outputs must be byte-identical. Also covers
+// the documented edge cases (empty families, single-focus stores, DML and
+// rollback invalidation) and the top-K / count-only variants against the
+// full materialization.
+#include "core/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace perftrack::core {
+namespace {
+
+/// A randomized store: `machines` machines x `nodes` nodes x `procs`
+/// processors, with attributes on machines and one result per processor
+/// per execution.
+class FuzzStore {
+ public:
+  FuzzStore(util::Rng& rng, int machines, int nodes, int procs)
+      : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+    for (int m = 0; m < machines; ++m) {
+      const std::string machine = "/G" + std::to_string(m) + "/M" + std::to_string(m);
+      store_.addResource(machine, "grid/machine");
+      store_.addResourceAttribute(machine, "os", rng.uniformInt(0, 1) ? "AIX" : "Linux");
+      store_.addResourceAttribute(machine, "nodes", std::to_string(nodes));
+      for (int n = 0; n < nodes; ++n) {
+        for (int p = 0; p < procs; ++p) {
+          store_.addResource(machine + "/batch/n" + std::to_string(n) + "/p" +
+                                 std::to_string(p),
+                             "grid/machine/partition/node/processor");
+        }
+      }
+    }
+    const std::string exec = "run-0";
+    store_.addExecution(exec, "APP");
+    for (int m = 0; m < machines; ++m) {
+      const std::string machine = "/G" + std::to_string(m) + "/M" + std::to_string(m);
+      for (int n = 0; n < nodes; ++n) {
+        for (int p = 0; p < procs; ++p) {
+          const std::string proc = machine + "/batch/n" + std::to_string(n) + "/p" +
+                                   std::to_string(p);
+          store_.addPerformanceResult(exec, {{{proc}, FocusType::Primary}}, "tool",
+                                      "cpu time", rng.uniform(0.1, 10.0), "s");
+        }
+      }
+      store_.addPerformanceResult(exec, {{{machine}, FocusType::Primary}}, "tool",
+                                  "total time", rng.uniform(1.0, 100.0), "s");
+    }
+  }
+
+  dbal::Connection& conn() { return *conn_; }
+  PTDataStore& store() { return store_; }
+
+ private:
+  std::unique_ptr<dbal::Connection> conn_;
+  PTDataStore store_;
+};
+
+ResourceFilter randomFilter(util::Rng& rng, int machines) {
+  const auto expansion = static_cast<Expansion>(rng.uniformInt(0, 3));
+  switch (rng.uniformInt(0, 4)) {
+    case 0:
+      return ResourceFilter::byType(
+          rng.uniformInt(0, 1) ? "grid/machine" : "grid/machine/partition/node/processor",
+          expansion);
+    case 1: {
+      const auto m = rng.uniformInt(0, machines - 1);
+      return ResourceFilter::byName("M" + std::to_string(m), expansion);
+    }
+    case 2: {
+      const auto m = rng.uniformInt(0, machines - 1);
+      return ResourceFilter::byName("M" + std::to_string(m) + "/batch", expansion);
+    }
+    case 3:
+      return ResourceFilter::byAttributes(
+          {{"os", "=", rng.uniformInt(0, 1) ? "AIX" : "Linux"}}, "", expansion);
+    default:
+      return ResourceFilter::byAttributes({{"nodes", ">=", "1"}}, "grid/machine",
+                                          expansion);
+  }
+}
+
+/// Runs fn() with invidx on and off; returns {fast, legacy}.
+template <typename Fn>
+auto bothWays(dbal::Connection& conn, Fn&& fn) {
+  conn.setInvidxEnabled(true);
+  auto fast = fn();
+  conn.setInvidxEnabled(false);
+  auto legacy = fn();
+  conn.setInvidxEnabled(true);
+  return std::make_pair(std::move(fast), std::move(legacy));
+}
+
+TEST(FilterInvidxFuzz, FamiliesAndMatchesAgreeWithLegacy) {
+  util::Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    FuzzStore fixture(rng, /*machines=*/3, /*nodes=*/3, /*procs=*/2);
+    for (int query = 0; query < 12; ++query) {
+      PrFilter pr;
+      const int nfam = static_cast<int>(rng.uniformInt(1, 3));
+      for (int f = 0; f < nfam; ++f) pr.families.push_back(randomFilter(rng, 3));
+
+      std::vector<std::vector<ResourceId>> fast_families, legacy_families;
+      for (const ResourceFilter& f : pr.families) {
+        const auto [fast, legacy] = bothWays(fixture.conn(), [&] {
+          return evaluateFamily(fixture.store(), f);
+        });
+        EXPECT_EQ(fast, legacy) << f.describe();
+        fast_families.push_back(fast);
+        legacy_families.push_back(legacy);
+      }
+
+      const auto [fast, legacy] = bothWays(fixture.conn(), [&] {
+        return matchResults(fixture.store(), fast_families);
+      });
+      EXPECT_EQ(fast, legacy);
+
+      // Count and top-K agree with the full materialization.
+      EXPECT_EQ(matchResultCount(fixture.store(), fast_families), fast.size());
+      const std::size_t k = static_cast<std::size_t>(rng.uniformInt(0, 5));
+      const auto topk = matchResultsTopK(fixture.store(), fast_families, k);
+      const std::size_t expect_n = std::min(k, fast.size());
+      ASSERT_EQ(topk.size(), expect_n);
+      EXPECT_TRUE(std::equal(topk.begin(), topk.end(), fast.begin()));
+    }
+  }
+}
+
+TEST(FilterInvidxFuzz, EmptyFamiliesMatchEverything) {
+  util::Rng rng(7);
+  FuzzStore fixture(rng, 2, 2, 2);
+  const auto [fast, legacy] = bothWays(fixture.conn(), [&] {
+    return matchResults(fixture.store(), {});
+  });
+  EXPECT_EQ(fast, legacy);
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(matchResultCount(fixture.store(), {}), fast.size());
+  EXPECT_EQ(matchResultsTopK(fixture.store(), {}, 3),
+            std::vector<std::int64_t>(fast.begin(), fast.begin() + 3));
+}
+
+TEST(FilterInvidxFuzz, EmptyFamilyMatchesNothing) {
+  util::Rng rng(8);
+  FuzzStore fixture(rng, 2, 2, 2);
+  const std::vector<std::vector<ResourceId>> families = {{}};
+  const auto [fast, legacy] = bothWays(fixture.conn(), [&] {
+    return matchResults(fixture.store(), families);
+  });
+  EXPECT_EQ(fast, legacy);
+  EXPECT_TRUE(fast.empty());
+  EXPECT_EQ(matchResultCount(fixture.store(), families), 0u);
+  EXPECT_TRUE(matchResultsTopK(fixture.store(), families, 5).empty());
+}
+
+TEST(FilterInvidxFuzz, SingleFocusStore) {
+  auto conn = dbal::Connection::open(":memory:");
+  PTDataStore store(*conn);
+  store.initialize();
+  store.addResource("/G/M", "grid/machine");
+  store.addExecution("r", "A");
+  store.addPerformanceResult("r", {{{"/G/M"}, FocusType::Primary}}, "t", "m", 1.0);
+  const auto family = evaluateFamily(store, ResourceFilter::byName("M", Expansion::None));
+  ASSERT_EQ(family.size(), 1u);
+  conn->setInvidxEnabled(true);
+  const auto fast = matchResults(store, {family});
+  conn->setInvidxEnabled(false);
+  const auto legacy = matchResults(store, {family});
+  EXPECT_EQ(fast, legacy);
+  EXPECT_EQ(fast.size(), 1u);
+}
+
+TEST(FilterInvidxFuzz, DmlAndRollbackInvalidateIndexes) {
+  util::Rng rng(9);
+  FuzzStore fixture(rng, 2, 2, 2);
+  PTDataStore& store = fixture.store();
+  dbal::Connection& conn = fixture.conn();
+  conn.setInvidxEnabled(true);
+
+  const auto family =
+      evaluateFamily(store, ResourceFilter::byName("M0", Expansion::Descendants));
+  const auto before = matchResults(store, {family});
+  ASSERT_FALSE(before.empty());
+
+  // New result on an existing machine focus: visible on the next match.
+  store.addPerformanceResult("run-0", {{{"/G0/M0"}, FocusType::Primary}}, "tool",
+                             "extra", 5.0, "s");
+  const auto with_extra = matchResults(store, {family});
+  EXPECT_EQ(with_extra.size(), before.size() + 1);
+  conn.setInvidxEnabled(false);
+  EXPECT_EQ(matchResults(store, {family}), with_extra);
+  conn.setInvidxEnabled(true);
+
+  // A rolled-back insert must not leak into the index.
+  conn.begin();
+  store.addPerformanceResult("run-0", {{{"/G0/M0"}, FocusType::Primary}}, "tool",
+                             "phantom", 6.0, "s");
+  EXPECT_EQ(matchResults(store, {family}).size(), with_extra.size() + 1);
+  conn.rollback();
+  EXPECT_EQ(matchResults(store, {family}), with_extra);
+}
+
+}  // namespace
+}  // namespace perftrack::core

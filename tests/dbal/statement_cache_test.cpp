@@ -96,6 +96,9 @@ TEST_F(StatementCacheTest, DropInvalidates) {
 }
 
 TEST_F(StatementCacheTest, UseIndexesSwitchClearsCacheAndChangesPlans) {
+  // This test is about the use_indexes knob; pin the inverted-index path
+  // off so the multi-point-probe plan text is what EXPLAIN prints.
+  conn_->setInvidxEnabled(false);
   conn_->exec("CREATE INDEX t_by_k ON t (k)");
   const char* q = "EXPLAIN SELECT v FROM t WHERE k IN (1, 3)";
   auto plan = conn_->exec(q);

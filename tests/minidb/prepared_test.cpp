@@ -152,6 +152,9 @@ TEST_F(PreparedTest, ExplainThroughPreparedReflectsIndexToggle) {
 // --- IN-list multi-point probe access path ---------------------------------
 
 TEST_F(PreparedTest, ExplainInListUsesMultiPointProbe) {
+  // Pin the inverted-index path off: this test documents the B-tree probe
+  // (the posting-path twin lives in invidx_test.cpp).
+  sql_.setInvidx(false);
   sql_.exec("CREATE INDEX runs_by_np ON runs (nprocs)");
   const ResultSet rs =
       sql_.exec("EXPLAIN SELECT id FROM runs WHERE nprocs IN (8, 32, 99)");
@@ -215,6 +218,7 @@ TEST_F(PreparedTest, InListProbeWithBoundParameters) {
 }
 
 TEST_F(PreparedTest, InListProbeOnJoinColumn) {
+  sql_.setInvidx(false);  // assert the B-tree probe shape specifically
   sql_.exec("CREATE TABLE tags (run_id INTEGER, tag TEXT)");
   sql_.exec("CREATE INDEX tags_by_run ON tags (run_id)");
   sql_.exec("INSERT INTO tags VALUES (1, 'a'), (2, 'b'), (4, 'c'), (4, 'd')");
