@@ -19,6 +19,11 @@
 #     pt_invidx_probes_total, pt_invidx_lists) appear and move after an
 #     IN-list probe on a secondary-indexed integer column;
 #   * /traces shows the recent-query ring with the workload's SQL in it;
+#   * /healthz answers "ok" and /varz reports the build/config lines;
+#   * the diagnosis metrics (pt_diag_diffs_total, pt_diag_pairs_aligned_total,
+#     pt_diag_divergences_total, pt_diag_diff_ms) appear and move after two
+#     bench runs are ingested over the wire with pt_perf_ingest and DIFFed
+#     with ptquery --connect;
 #   * an unknown path answers 404 and does not kill the daemon;
 #   * the daemon still drains cleanly (SIGTERM -> exit 0) afterwards.
 #
@@ -87,6 +92,27 @@ printf '%s\n' "$RESP" | grep -q '^pt_server_sessions 0$' \
   || fail "idle server should report 0 sessions"
 FRAMES_BEFORE="$(frames_of "$RESP")"
 [ -n "$FRAMES_BEFORE" ] || fail "pt_server_frames_served_total sample missing"
+
+# --- health and introspection endpoints --------------------------------------
+
+HEALTH="$(scrape /healthz)" || fail "healthz scrape"
+printf '%s\n' "$HEALTH" | head -1 | grep -q '^HTTP/1\.0 200' || fail "/healthz not 200"
+printf '%s\n' "$HEALTH" | grep -q '^ok$' || fail "/healthz body is not ok: $HEALTH"
+
+VARZ="$(scrape /varz)" || fail "varz scrape"
+printf '%s\n' "$VARZ" | head -1 | grep -q '^HTTP/1\.0 200' || fail "/varz not 200"
+printf '%s\n' "$VARZ" | grep -q '^pt_server_protocol_version [0-9]' \
+  || fail "/varz missing protocol version"
+printf '%s\n' "$VARZ" | grep -q '^pt_server_durability \(full\|wal\|none\)$' \
+  || fail "/varz missing durability mode"
+printf '%s\n' "$VARZ" | grep -q '^pt_server_workers 2$' \
+  || fail "/varz workers should echo --workers 2"
+printf '%s\n' "$VARZ" | grep -q '^pt_server_exec_threads 4$' \
+  || fail "/varz exec_threads should echo --exec-threads 4"
+printf '%s\n' "$VARZ" | grep -q '^pt_server_build_compiler ' \
+  || fail "/varz missing build info"
+printf '%s\n' "$VARZ" | grep -q '^pt_server_uptime_ms [0-9]' \
+  || fail "/varz missing uptime"
 
 # --- workload, then prove the counters moved ---------------------------------
 
@@ -161,6 +187,38 @@ printf '%s\n' "$TRACES" | grep -q '== recent queries' || fail "trace dump header
 # so look for the parallel GROUP BY, which ran last.
 printf '%s\n' "$TRACES" | grep -q 'SELECT v, COUNT(\*) FROM smoke GROUP BY v' \
   || fail "workload query not in trace ring"
+
+# --- diagnosis (DIFF) metrics ------------------------------------------------
+# Ingest two synthetic bench runs over the wire with pt_perf_ingest, then
+# DIFF them with ptquery --connect: the pt_diag_* counters and the diff
+# latency histogram must register and move. (This runs after the /traces
+# assertions — the ingest workload rolls the recent-query ring.)
+
+cat > "$WORK/BENCH_smokebench.json" <<'EOF'
+[{"phase": "probe", "table_rows": 1000, "ttfr_ms": 2.0, "total_ms": 40.0}]
+EOF
+"$BIN/pt_perf_ingest" --connect "127.0.0.1:$PORT" ingest runA \
+  "$WORK/BENCH_smokebench.json" >/dev/null || fail "wire ingest of run A"
+sed -i 's/"total_ms": 40.0/"total_ms": 90.0/' "$WORK/BENCH_smokebench.json"
+"$BIN/pt_perf_ingest" --connect "127.0.0.1:$PORT" ingest runB \
+  "$WORK/BENCH_smokebench.json" >/dev/null || fail "wire ingest of run B"
+
+DIFF_OUT="$("$BIN/ptquery" --connect "127.0.0.1:$PORT" diff \
+  smokebench@runA smokebench@runB)" || fail "DIFF over the wire"
+printf '%s\n' "$DIFF_OUT" | grep -q 'ranked explanations' \
+  || fail "DIFF output missing ranked explanations: $DIFF_OUT"
+printf '%s\n' "$DIFF_OUT" | grep -q 'total_ms' \
+  || fail "DIFF did not rank the planted total_ms divergence"
+
+RESP="$(scrape /metrics)" || fail "diag scrape"
+printf '%s\n' "$RESP" | grep -q '^pt_diag_diffs_total [1-9]' \
+  || fail "pt_diag_diffs_total did not move after a wire DIFF"
+printf '%s\n' "$RESP" | grep -q '^pt_diag_pairs_aligned_total [1-9]' \
+  || fail "pt_diag_pairs_aligned_total did not move"
+printf '%s\n' "$RESP" | grep -q '^pt_diag_divergences_total [1-9]' \
+  || fail "pt_diag_divergences_total did not move"
+printf '%s\n' "$RESP" | grep -q '^pt_diag_diff_ms_count [1-9]' \
+  || fail "pt_diag_diff_ms histogram recorded no observations"
 
 NOPE="$(scrape /nope)" || fail "404 scrape"
 printf '%s\n' "$NOPE" | head -1 | grep -q '^HTTP/1\.0 404' || fail "/nope not 404"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# perf_gate.sh — self-ingested performance history with a regression gate.
+#
+# Feeds the BENCH_*.json files of one bench run (scripts/bench_smoke.sh
+# output, plus any METRICS_*.prom sidecars next to them) into a PerfTrack
+# store with pt_perf_ingest, DIFFs every application against its stored
+# baseline execution, and classifies the run:
+#
+#   baseline-established   first run for this application
+#   improvement            a time metric got >10% faster (baseline advances)
+#   stable                 every time metric within +/-10%
+#   minor-regression       a time metric got 10-20% slower
+#   critical-regression    a time metric got >20% slower (exit 1)
+#
+# The classification happens through the same DIFF engine ptquery exposes,
+# so `ptquery <db> diff <baseline> <current>` reproduces any verdict with
+# its full ranked explanation.
+#
+# Usage: perf_gate.sh <cli-bin-dir> <bench-dir> [options]
+#   --db FILE       history store (default: <bench-dir>/perf_history.db)
+#   --label L       run label (default: gate-<UTC timestamp>[-<git sha>])
+#   --report FILE   JSON-lines gate report (default: <bench-dir>/perf_gate.jsonl)
+#   --warn-only     report critical regressions but exit 0 (CI soft mode;
+#                   PT_PERF_GATE_WARN_ONLY=1 does the same)
+set -u
+
+BIN="${1:?usage: perf_gate.sh <cli-bin-dir> <bench-dir> [--db F] [--label L] [--report F] [--warn-only]}"
+BENCH_DIR="${2:?usage: perf_gate.sh <cli-bin-dir> <bench-dir>}"
+shift 2
+
+DB="$BENCH_DIR/perf_history.db"
+LABEL=""
+REPORT="$BENCH_DIR/perf_gate.jsonl"
+WARN_ONLY=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --db) DB="$2"; shift 2 ;;
+    --label) LABEL="$2"; shift 2 ;;
+    --report) REPORT="$2"; shift 2 ;;
+    --warn-only) WARN_ONLY="--warn-only"; shift ;;
+    *) echo "perf_gate.sh: unknown option $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ -z "$LABEL" ]; then
+  LABEL="gate-$(date -u +%Y%m%d-%H%M%S)"
+  SHA="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null)" \
+    && LABEL="$LABEL-$SHA"
+fi
+
+set --
+for f in "$BENCH_DIR"/BENCH_*.json; do
+  [ -e "$f" ] && set -- "$@" "$f"
+done
+if [ $# -eq 0 ]; then
+  echo "perf_gate.sh: no BENCH_*.json in $BENCH_DIR (run scripts/bench_smoke.sh first)" >&2
+  exit 2
+fi
+
+"$BIN/pt_perf_ingest" "$DB" gate "$LABEL" "$@" --report "$REPORT" $WARN_ONLY
+STATUS=$?
+echo "perf_gate.sh: report -> $REPORT (history: $DB)"
+exit $STATUS

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# perf_gate_test.sh — end-to-end test of the perf-history pipeline (ISSUE 10).
+#
+# Drives the whole loop with synthetic bench output:
+#
+#   1. run A ingests through scripts/perf_gate.sh -> baseline-established;
+#   2. run B plants a 2x slowdown in total_ms -> critical-regression,
+#      exit 1, baseline unchanged;
+#   3. ptquery diff explains the regression identically from the history db
+#      directly and over the wire from a ptserverd serving it (byte-compare);
+#   4. ptcompare --connect reproduces the comparison against the same server;
+#   5. run C plants a speedup -> improvement, exit 0, baseline advanced;
+#   6. a gbench-schema file rides the same gate run as a second application.
+#
+# Usage: perf_gate_test.sh <cli-bin-dir>
+set -u
+
+BIN="${1:?usage: perf_gate_test.sh <cli-bin-dir>}"
+SCRIPTS="$(cd "$(dirname "$0")" && pwd)"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+DB="$WORK/perf_history.db"
+mkdir -p "$WORK/bench"
+
+write_run() {
+  # write_run <total_ms> — one flat-array bench file plus a prom sidecar,
+  # and a google-benchmark-schema file for a second application.
+  cat > "$WORK/bench/BENCH_gatecase.json" <<EOF
+[{"phase": "scan", "table_rows": 5000, "rows": 5000, "ttfr_ms": 1.25, "total_ms": $1, "rss_growth_kb": 512}]
+EOF
+  cat > "$WORK/bench/METRICS_gatecase.prom" <<'EOF'
+# TYPE pt_sql_statements_total counter
+pt_sql_statements_total 7
+pt_exec_batches_total 3
+EOF
+  cat > "$WORK/bench/BENCH_gbenchcase.json" <<EOF
+{"context": {"host_name": "ci"}, "benchmarks": [
+  {"name": "BM_Lookup/1024", "iterations": 100, "real_time": $2,
+   "cpu_time": $2, "time_unit": "ns", "items_per_second": 12000.0}
+]}
+EOF
+}
+
+gate() {
+  "$SCRIPTS/perf_gate.sh" "$BIN" "$WORK/bench" --db "$DB" --label "$1" \
+    --report "$WORK/report.jsonl" > "$WORK/gate.out" 2>&1
+}
+
+# --- run A: first sight of both applications ---------------------------------
+
+write_run 100.0 2000.0
+gate runA || fail "baseline run exited $?: $(cat "$WORK/gate.out")"
+grep -q '"application": "gatecase", "verdict": "baseline-established"' \
+  "$WORK/report.jsonl" || fail "run A should establish the gatecase baseline"
+grep -q '"application": "gbenchcase", "verdict": "baseline-established"' \
+  "$WORK/report.jsonl" || fail "run A should establish the gbenchcase baseline"
+
+# --- run B: planted 2x slowdown -> critical, nonzero exit, baseline kept -----
+
+write_run 200.0 2000.0
+if gate runB; then fail "planted 2x slowdown must make the gate exit nonzero"; fi
+grep -q '"application": "gatecase", "verdict": "critical-regression"' \
+  "$WORK/report.jsonl" || fail "run B gatecase verdict: $(cat "$WORK/report.jsonl")"
+grep -q '"metric": "total_ms"' "$WORK/report.jsonl" \
+  || fail "critical verdict should cite total_ms"
+grep -q '"application": "gbenchcase", "verdict": "stable"' "$WORK/report.jsonl" \
+  || fail "unchanged gbenchcase should be stable"
+grep -q '"baseline_updated": false' "$WORK/report.jsonl" \
+  || fail "regression must not advance the baseline"
+"$BIN/pt_perf_ingest" "$DB" baseline | grep -q '^gatecase -> gatecase@runA$' \
+  || fail "baseline should still be runA: $("$BIN/pt_perf_ingest" "$DB" baseline)"
+
+# warn-only mode downgrades the same verdict to exit 0.
+rm -f "$DB" && write_run 100.0 2000.0 && gate warnA \
+  || fail "warn-only baseline run failed"
+write_run 200.0 2000.0
+"$SCRIPTS/perf_gate.sh" "$BIN" "$WORK/bench" --db "$DB" --label warnB \
+  --report "$WORK/warn.jsonl" --warn-only >/dev/null 2>&1 \
+  || fail "--warn-only must exit 0 on a critical regression"
+grep -q '"verdict": "critical-regression"' "$WORK/warn.jsonl" \
+  || fail "warn-only must still report the regression"
+
+# --- DIFF explains the regression; local and wire output byte-identical ------
+
+"$BIN/ptquery" "$DB" diff gatecase@warnA gatecase@warnB > "$WORK/local.diff" \
+  || fail "local ptquery diff"
+grep -q 'total_ms \[/\$EXEC/scan' "$WORK/local.diff" \
+  || fail "diff should rank the planted total_ms divergence: $(cat "$WORK/local.diff")"
+
+"$BIN/ptserverd" --listen 127.0.0.1:0 "$DB" > "$WORK/srv.out" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 200); do
+  PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$WORK/srv.out")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SRV_PID" 2>/dev/null || fail "ptserverd died: $(cat "$WORK/srv.out")"
+  sleep 0.02
+done
+[ -n "${PORT:-}" ] || fail "no port line from ptserverd"
+
+"$BIN/ptquery" --connect "127.0.0.1:$PORT" diff gatecase@warnA gatecase@warnB \
+  > "$WORK/wire.diff" || fail "wire ptquery diff"
+cmp "$WORK/local.diff" "$WORK/wire.diff" \
+  || fail "local and wire DIFF output differ: $(diff "$WORK/local.diff" "$WORK/wire.diff")"
+
+# Top-K and threshold knobs survive the wire too.
+"$BIN/ptquery" --connect "127.0.0.1:$PORT" diff gatecase@warnA gatecase@warnB \
+  --top 1 --threshold 0.5 > "$WORK/topk.diff" || fail "wire diff with knobs"
+grep -q 'divergent:         1' "$WORK/topk.diff" \
+  || fail "threshold 0.5 should keep only the 2x total_ms pair: $(cat "$WORK/topk.diff")"
+
+# ptcompare against the same live server (remote comparison satellite).
+"$BIN/ptcompare" --connect "127.0.0.1:$PORT" gatecase@warnA gatecase@warnB \
+  > "$WORK/compare.out" || fail "ptcompare --connect"
+grep -q 'comparison: gatecase@warnA vs gatecase@warnB' "$WORK/compare.out" \
+  || fail "ptcompare header missing: $(cat "$WORK/compare.out")"
+grep -q 'total_ms' "$WORK/compare.out" \
+  || fail "ptcompare should list the total_ms change"
+
+kill -TERM "$SRV_PID"
+{ wait "$SRV_PID"; status=$?; } 2>/dev/null
+SRV_PID=""
+[ "$status" -eq 0 ] || fail "ptserverd exited $status on SIGTERM"
+
+# --- run C: planted speedup -> improvement, baseline advances ----------------
+
+write_run 50.0 2000.0
+gate warnC || fail "improvement run exited $?: $(cat "$WORK/gate.out")"
+grep -q '"application": "gatecase", "verdict": "improvement"' "$WORK/report.jsonl" \
+  || fail "run C verdict: $(cat "$WORK/report.jsonl")"
+grep -q '"application": "gatecase".*"baseline_updated": true' "$WORK/report.jsonl" \
+  || fail "improvement must advance the baseline"
+"$BIN/pt_perf_ingest" "$DB" baseline | grep -q '^gatecase -> gatecase@warnC$' \
+  || fail "baseline should now be warnC: $("$BIN/pt_perf_ingest" "$DB" baseline)"
+
+echo "OK: gate classified baseline/critical/improvement; local and wire DIFF byte-identical"

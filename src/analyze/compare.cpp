@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/diag.h"
 #include "util/strings.h"
 
 namespace perftrack::analyze {
@@ -17,25 +18,13 @@ std::optional<double> ComparisonRow::ratio() const {
 
 std::string comparableContext(core::PTDataStore& store,
                               const core::PerfResultRecord& record) {
+  // The $EXEC canonicalization rule is shared with the core::diag engine so
+  // both layers align the same contexts across executions.
   std::set<std::string> names;
   for (const auto& context : record.contexts) {
     for (core::ResourceId id : context) {
-      std::string full = store.resourceInfo(id).full_name;
-      // Canonicalize the leading segment when it embeds the execution name
-      // (e.g. /irs-frost-np8-s1/p0, /build-irs-frost-np8-s1, /env-...).
-      const auto slash = full.find('/', 1);
-      const std::string head =
-          slash == std::string::npos ? full.substr(1) : full.substr(1, slash - 1);
-      if (head.find(record.execution) != std::string::npos) {
-        const std::string tail = slash == std::string::npos ? "" : full.substr(slash);
-        // Keep any collector prefix ("build-", "env-") so different
-        // hierarchies stay distinct after canonicalization.
-        std::string prefix = head;
-        const auto pos = prefix.find(record.execution);
-        prefix.replace(pos, record.execution.size(), "$EXEC");
-        full = "/" + prefix + tail;
-      }
-      names.insert(std::move(full));
+      names.insert(core::diag::canonicalResourceName(
+          record.execution, store.resourceInfo(id).full_name));
     }
   }
   return util::join({names.begin(), names.end()}, "|");

@@ -1,0 +1,123 @@
+// pt_perf_ingest — the repo's own bench results as PerfTrack history, plus
+// the DIFF-backed regression gate (DESIGN.md §5.10).
+//
+// Usage:
+//   pt_perf_ingest <db> ingest <label> <bench.json>...
+//       record one bench run: one execution "<app>@<label>" per file, with
+//       any METRICS_*.prom sidecars found next to the JSON
+//   pt_perf_ingest <db> gate <label> <bench.json>... [--report FILE] [--warn-only]
+//       ingest, then classify each application against its stored baseline
+//       (improvement / stable / minor-regression / critical-regression);
+//       exits 1 on critical regressions unless --warn-only
+//   pt_perf_ingest <db> baseline
+//       list the stored per-application baseline executions
+//
+// <db> may be a file path, ":memory:", or a remote "pt://host:port" target;
+// "--connect host:port" is sugar for the pt:// form, as in ptquery.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/datastore.h"
+#include "dbal/connection.h"
+#include "tools/perf_ingest.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <db>|--connect <host:port> <command> ...\n"
+      "  ingest <label> <bench.json>...   record one bench run\n"
+      "  gate <label> <bench.json>... [--report FILE] [--warn-only]\n"
+      "                                   ingest + classify vs baseline\n"
+      "  baseline                         list stored baselines\n"
+      "  <db> accepts pt://host:port and pt://unix:/sock targets\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perftrack;
+  namespace pi = tools::perf_ingest;
+
+  // "--connect host:port" is sugar for the "pt://host:port" connection
+  // string (an already-prefixed target passes through unchanged).
+  std::string connect_target;
+  if (argc >= 3 && std::strcmp(argv[1], "--connect") == 0) {
+    connect_target = argv[2];
+    if (connect_target.rfind("pt://", 0) != 0) {
+      connect_target = "pt://" + connect_target;
+    }
+    argv += 1;
+    argc -= 1;
+    argv[1] = const_cast<char*>(connect_target.c_str());
+  }
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[2];
+
+  try {
+    auto conn = dbal::Connection::open(argv[1]);
+    core::PTDataStore store(*conn);
+
+    if (command == "baseline") {
+      for (const auto& [app, exec] : pi::baselines(*conn)) {
+        std::printf("%s -> %s\n", app.c_str(), exec.c_str());
+      }
+      return 0;
+    }
+
+    if (command != "ingest" && command != "gate") return usage(argv[0]);
+    if (argc < 5) return usage(argv[0]);
+    const std::string label = argv[3];
+    std::vector<std::string> bench_paths;
+    std::string report_path;
+    bool warn_only = std::getenv("PT_PERF_GATE_WARN_ONLY") != nullptr;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+        report_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+        warn_only = true;
+      } else {
+        bench_paths.emplace_back(argv[i]);
+      }
+    }
+    if (bench_paths.empty()) return usage(argv[0]);
+
+    store.initialize();
+
+    if (command == "ingest") {
+      const auto stats = pi::ingestRun(store, bench_paths, label);
+      std::printf("ingested %zu file(s): %zu execution(s), %zu result(s)\n",
+                  stats.files, stats.executions, stats.results);
+      return 0;
+    }
+
+    const auto report = pi::runGate(store, bench_paths, label);
+    std::fputs(report.toText().c_str(), stdout);
+    if (!report_path.empty()) {
+      std::ofstream out(report_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "pt_perf_ingest: cannot write %s\n",
+                     report_path.c_str());
+        return 1;
+      }
+      out << report.toJsonLines();
+    }
+    if (report.hasCritical()) {
+      std::fprintf(stderr, "pt_perf_ingest: critical regression detected%s\n",
+                   warn_only ? " (warn-only)" : "");
+      return warn_only ? 0 : 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pt_perf_ingest: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,6 +7,10 @@
 //       materialize a prediction from base-exec at <nprocs> (Amdahl model
 //       when serial-frac is given, ideal linear otherwise) and report the
 //       error against actual-exec
+//
+// <db> may be a file path, ":memory:", or a remote "pt://host:port" /
+// "pt://unix:/sock" target; "--connect host:port" is sugar for the pt://
+// form, exactly as in ptquery/ptexport.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,11 +24,25 @@
 
 int main(int argc, char** argv) {
   using namespace perftrack;
+  // "--connect host:port" is sugar for the "pt://host:port" connection
+  // string (an already-prefixed target passes through unchanged).
+  std::string connect_target;
+  if (argc >= 3 && std::strcmp(argv[1], "--connect") == 0) {
+    connect_target = argv[2];
+    if (connect_target.rfind("pt://", 0) != 0) {
+      connect_target = "pt://" + connect_target;
+    }
+    argv += 1;
+    argc -= 1;
+    argv[1] = const_cast<char*>(connect_target.c_str());
+  }
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: %s <db> <execA> <execB> [--threshold T]\n"
-                 "       %s <db> predict <base-exec> <actual-exec> <nprocs> "
-                 "[serial-frac]\n",
+                 "usage: %s <db>|--connect <host:port> <execA> <execB> "
+                 "[--threshold T]\n"
+                 "       %s <db>|--connect <host:port> predict <base-exec> "
+                 "<actual-exec> <nprocs> [serial-frac]\n"
+                 "  <db> accepts pt://host:port and pt://unix:/sock targets\n",
                  argv[0], argv[0]);
     return 2;
   }

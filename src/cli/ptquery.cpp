@@ -7,6 +7,11 @@
 //   ptquery <db> types                        resource type list
 //   ptquery <db> tree <root-type>             resource tree
 //   ptquery <db> sql "<statement>"            raw SQL against the schema
+//   ptquery <db> diff <execA> <execB> [--top K] [--threshold T] [--abs T]
+//       comparison-based diagnosis: aligns the two executions' results over
+//       comparable contexts and prints the divergent (metric, context)
+//       pairs ranked by contribution to the total delta, plus alignment
+//       stats. Runs server-side (DIFF wire verb) under --connect.
 //   ptquery <db> select <family>... [--csv]   pr-filter query; families:
 //       type=<type-path>[:N|A|D|B]
 //       name=<resource-name>[:N|A|D|B]        (default D, like the GUI)
@@ -29,6 +34,7 @@
 #include <fstream>
 
 #include "analyze/session_shell.h"
+#include "core/diag.h"
 #include "core/filter.h"
 #include "obs/trace.h"
 #include "core/integrity.h"
@@ -36,6 +42,7 @@
 #include "core/reports.h"
 #include "dbal/connection.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -206,7 +213,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--timing] <db>|--connect <host:port> "
                  "report|executions|metrics|types|tree <type>|"
-                 "sql <stmt>|select <family>...\n",
+                 "sql <stmt>|diff <execA> <execB>|select <family>...\n",
                  argv[0]);
     return 2;
   }
@@ -268,6 +275,43 @@ int main(int argc, char** argv) {
                       static_cast<long long>(rs.rows_affected));
         }
       }
+    } else if ((command == "diff" || command == "--diff") && argc >= 5) {
+      core::diag::Request req;
+      req.exec_a = argv[3];
+      req.exec_b = argv[4];
+      for (int i = 5; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (flag == "--top" && value != nullptr) {
+          const auto k = util::parseInt(value);
+          if (!k || *k < 0) {
+            std::fprintf(stderr, "ptquery: bad --top value '%s'\n", value);
+            return 2;
+          }
+          req.top_k = static_cast<std::uint32_t>(*k);
+          ++i;
+        } else if (flag == "--threshold" && value != nullptr) {
+          const auto t = util::parseReal(value);
+          if (!t || *t < 0) {
+            std::fprintf(stderr, "ptquery: bad --threshold value '%s'\n", value);
+            return 2;
+          }
+          req.ratio_threshold = *t;
+          ++i;
+        } else if (flag == "--abs" && value != nullptr) {
+          const auto t = util::parseReal(value);
+          if (!t || *t < 0) {
+            std::fprintf(stderr, "ptquery: bad --abs value '%s'\n", value);
+            return 2;
+          }
+          req.abs_threshold = *t;
+          ++i;
+        } else {
+          std::fprintf(stderr, "ptquery: unknown diff flag '%s'\n", flag.c_str());
+          return 2;
+        }
+      }
+      std::fputs(conn->diff(req).toText().c_str(), stdout);
     } else if (command == "select") {
       return runSelect(store, {argv + 3, argv + argc});
     } else if (command == "session") {

@@ -1,0 +1,318 @@
+#include "core/diag.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::core::diag {
+
+namespace {
+
+using minidb::Value;
+using minidb::sql::ResultSet;
+
+/// Instrumentation sites, resolved once (registry lookups are cold-path).
+struct DiagMetrics {
+  obs::Counter* diffs;
+  obs::Counter* aligned;
+  obs::Counter* divergences;
+  obs::Histogram* diff_ms;
+};
+
+DiagMetrics& metrics() {
+  static DiagMetrics m{
+      &obs::Registry::global().counter("pt_diag_diffs_total"),
+      &obs::Registry::global().counter("pt_diag_pairs_aligned_total"),
+      &obs::Registry::global().counter("pt_diag_divergences_total"),
+      &obs::Registry::global().histogram("pt_diag_diff_ms"),
+  };
+  return m;
+}
+
+std::int64_t executionId(minidb::sql::Engine& engine, const std::string& name) {
+  auto stmt = engine.prepare("SELECT id FROM execution WHERE name = ?");
+  ResultSet rs = stmt.execute({Value(name)});
+  if (rs.rows.empty()) throw util::ModelError("no such execution: " + name);
+  return rs.rows[0][0].asInt();
+}
+
+/// Chunk size for inlined integer IN-lists. Large enough to amortize the
+/// per-statement cost, small enough that the planner's posting-probe path
+/// (invidx) stays in its sweet spot.
+constexpr std::size_t kInChunk = 256;
+
+/// id -> full_name for every resource in `ids`, fetched in chunked IN-list
+/// probes on the resource_item primary key.
+std::unordered_map<std::int64_t, std::string> fetchResourceNames(
+    minidb::sql::Engine& engine, const std::vector<std::int64_t>& ids) {
+  std::unordered_map<std::int64_t, std::string> out;
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); i += kInChunk) {
+    const std::size_t end = std::min(ids.size(), i + kInChunk);
+    std::string sql = "SELECT id, full_name FROM resource_item WHERE id IN (";
+    for (std::size_t j = i; j < end; ++j) {
+      if (j > i) sql += ',';
+      sql += std::to_string(ids[j]);
+    }
+    sql += ')';
+    ResultSet rs = engine.exec(sql);
+    for (const auto& row : rs.rows) out.emplace(row[0].asInt(), row[1].asText());
+  }
+  return out;
+}
+
+struct Side {
+  std::uint64_t results = 0;
+  /// (metric, canonical context) -> value; several samples of one metric in
+  /// one context keep the first (lowest result id), matching
+  /// analyze::compareExecutions.
+  std::map<std::pair<std::string, std::string>, double> values;
+};
+
+Side collectSide(minidb::sql::Engine& engine, const std::string& exec) {
+  const std::int64_t exec_id = executionId(engine, exec);
+
+  // Every query below starts from an indexed equality on execution_id and
+  // joins through indexed equality conjuncts (pr_by_exec, prhf_by_result,
+  // focus_by_exec, fhr_by_focus), so cost scales with this execution's data,
+  // not the store.
+  auto results_stmt = engine.prepare(
+      "SELECT pr.id, m.name, pr.value FROM performance_result pr, metric m "
+      "WHERE pr.execution_id = ? AND m.id = pr.metric_id ORDER BY pr.id");
+  ResultSet results = results_stmt.execute({Value(exec_id)});
+
+  auto foci_stmt = engine.prepare(
+      "SELECT prhf.result_id, prhf.focus_id "
+      "FROM performance_result pr, performance_result_has_focus prhf "
+      "WHERE pr.execution_id = ? AND prhf.result_id = pr.id");
+  std::unordered_map<std::int64_t, std::vector<std::int64_t>> result_foci;
+  for (const auto& row : foci_stmt.execute({Value(exec_id)}).rows) {
+    result_foci[row[0].asInt()].push_back(row[1].asInt());
+  }
+
+  auto fhr_stmt = engine.prepare(
+      "SELECT fhr.focus_id, fhr.resource_id "
+      "FROM focus f, focus_has_resource fhr "
+      "WHERE f.execution_id = ? AND fhr.focus_id = f.id");
+  std::unordered_map<std::int64_t, std::vector<std::int64_t>> focus_resources;
+  std::set<std::int64_t> resource_ids;
+  for (const auto& row : fhr_stmt.execute({Value(exec_id)}).rows) {
+    const std::int64_t rid = row[1].asInt();
+    focus_resources[row[0].asInt()].push_back(rid);
+    resource_ids.insert(rid);
+  }
+
+  const auto names = fetchResourceNames(
+      engine, {resource_ids.begin(), resource_ids.end()});
+
+  // Canonicalize each distinct resource once, not once per result.
+  std::unordered_map<std::int64_t, std::string> canonical;
+  canonical.reserve(names.size());
+  for (const auto& [id, full] : names) {
+    canonical.emplace(id, canonicalResourceName(exec, full));
+  }
+
+  Side side;
+  side.results = results.rows.size();
+  for (const auto& row : results.rows) {
+    const std::int64_t result_id = row[0].asInt();
+    std::set<std::string> context_names;
+    const auto foci_it = result_foci.find(result_id);
+    if (foci_it != result_foci.end()) {
+      for (std::int64_t focus_id : foci_it->second) {
+        const auto res_it = focus_resources.find(focus_id);
+        if (res_it == focus_resources.end()) continue;
+        for (std::int64_t rid : res_it->second) {
+          const auto name_it = canonical.find(rid);
+          if (name_it != canonical.end()) context_names.insert(name_it->second);
+        }
+      }
+    }
+    std::string context =
+        util::join({context_names.begin(), context_names.end()}, "|");
+    side.values.try_emplace({row[1].asText(), std::move(context)},
+                            row[2].asReal());
+  }
+  return side;
+}
+
+}  // namespace
+
+std::string canonicalResourceName(const std::string& execution,
+                                  std::string full_name) {
+  if (execution.empty() || full_name.size() < 2) return full_name;
+  // Canonicalize the leading segment when it embeds the execution name
+  // (e.g. /irs-frost-np8-s1/p0, /build-irs-frost-np8-s1, /env-...).
+  const auto slash = full_name.find('/', 1);
+  const std::string head = slash == std::string::npos
+                               ? full_name.substr(1)
+                               : full_name.substr(1, slash - 1);
+  const auto pos = head.find(execution);
+  if (pos == std::string::npos) return full_name;
+  const std::string tail =
+      slash == std::string::npos ? "" : full_name.substr(slash);
+  // Keep any collector prefix ("build-", "env-") so different hierarchies
+  // stay distinct after canonicalization.
+  std::string prefix = head;
+  prefix.replace(pos, execution.size(), "$EXEC");
+  return "/" + prefix + tail;
+}
+
+const std::vector<std::string>& Report::columns() {
+  static const std::vector<std::string> kColumns = {
+      "rank",  "metric", "context", "value_a",
+      "value_b", "delta",  "ratio",   "contribution_pct"};
+  return kColumns;
+}
+
+std::vector<minidb::Row> Report::toRows() const {
+  std::vector<minidb::Row> out;
+  out.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    minidb::Row row;
+    row.reserve(8);
+    row.emplace_back(static_cast<std::int64_t>(i + 1));
+    row.emplace_back(r.metric);
+    row.emplace_back(r.context);
+    row.emplace_back(r.value_a);
+    row.emplace_back(r.value_b);
+    row.emplace_back(r.delta());
+    row.emplace_back(r.has_ratio ? Value(r.ratio) : Value::null());
+    row.emplace_back(r.contribution_pct);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string Report::toText() const {
+  std::ostringstream out;
+  out << "diff: " << request.exec_a << " -> " << request.exec_b << "\n"
+      << "  results (A / B):   " << stats.results_a << " / " << stats.results_b
+      << "\n"
+      << "  aligned pairs:     " << stats.aligned << "\n"
+      << "  only in A:         " << stats.only_a << "\n"
+      << "  only in B:         " << stats.only_b << "\n"
+      << "  zero baselines:    " << stats.zero_baseline << "\n"
+      << "  divergent:         " << stats.divergent << " (|ratio-1| > "
+      << util::formatReal(request.ratio_threshold) << ", |delta| >= "
+      << util::formatReal(request.abs_threshold) << ")\n";
+  if (rows.empty()) {
+    out << "  ranked explanations: (none)\n";
+    return out.str();
+  }
+  out << "  ranked explanations";
+  if (rows.size() < stats.divergent) {
+    out << " (top " << rows.size() << " of " << stats.divergent << ")";
+  }
+  out << ":\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    " << (i + 1) << ". " << r.metric << " [" << r.context << "]  "
+        << util::formatReal(r.value_a) << " -> " << util::formatReal(r.value_b);
+    if (r.has_ratio) {
+      out << "  (x" << util::formatReal(r.ratio);
+    } else {
+      out << "  (zero baseline";
+    }
+    out << ", " << util::formatReal(r.contribution_pct) << "% of "
+        << r.metric << " change)\n";
+  }
+  return out.str();
+}
+
+Report diagnose(minidb::sql::Engine& engine, const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Report report;
+  report.request = request;
+
+  const Side a = collectSide(engine, request.exec_a);
+  const Side b = collectSide(engine, request.exec_b);
+  report.stats.results_a = a.results;
+  report.stats.results_b = b.results;
+
+  // Alignment pass: walk A's keys against B's, tallying contribution
+  // denominators per metric as we go.
+  struct Aligned {
+    const std::pair<std::string, std::string>* key;
+    double value_a;
+    double value_b;
+  };
+  std::vector<Aligned> aligned;
+  std::map<std::string, double> metric_total_delta;  // sum of |delta|
+  for (const auto& [key, value_a] : a.values) {
+    const auto it = b.values.find(key);
+    if (it == b.values.end()) {
+      ++report.stats.only_a;
+      continue;
+    }
+    aligned.push_back({&key, value_a, it->second});
+    metric_total_delta[key.first] += std::abs(it->second - value_a);
+    if (value_a == 0.0) ++report.stats.zero_baseline;
+  }
+  for (const auto& [key, value_b] : b.values) {
+    if (!a.values.contains(key)) ++report.stats.only_b;
+  }
+  report.stats.aligned = aligned.size();
+
+  for (const Aligned& pair : aligned) {
+    Row row;
+    row.metric = pair.key->first;
+    row.context = pair.key->second;
+    row.value_a = pair.value_a;
+    row.value_b = pair.value_b;
+    row.has_ratio = pair.value_a != 0.0;
+    if (row.has_ratio) row.ratio = pair.value_b / pair.value_a;
+    const double delta = std::abs(row.delta());
+    // Zero-baseline guard: without a ratio, any change at all is divergent
+    // (the value appeared from nothing); with one, apply the threshold.
+    const bool past_ratio = row.has_ratio
+                                ? std::abs(row.ratio - 1.0) > request.ratio_threshold
+                                : delta != 0.0;
+    if (!past_ratio || delta < request.abs_threshold) continue;
+    const double total = metric_total_delta[row.metric];
+    row.contribution_pct = total > 0.0 ? delta / total * 100.0 : 0.0;
+    report.rows.push_back(std::move(row));
+  }
+  report.stats.divergent = report.rows.size();
+
+  // Rank: contribution first, then raw |delta|, then a deterministic
+  // name/context tiebreak so local and remote renderings are byte-identical.
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const Row& x, const Row& y) {
+              if (x.contribution_pct != y.contribution_pct) {
+                return x.contribution_pct > y.contribution_pct;
+              }
+              const double dx = std::abs(x.delta());
+              const double dy = std::abs(y.delta());
+              if (dx != dy) return dx > dy;
+              if (x.metric != y.metric) return x.metric < y.metric;
+              return x.context < y.context;
+            });
+  if (request.top_k > 0 && report.rows.size() > request.top_k) {
+    report.rows.resize(request.top_k);
+  }
+
+  report.stats.diff_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  DiagMetrics& m = metrics();
+  m.diffs->inc();
+  m.aligned->inc(report.stats.aligned);
+  m.divergences->inc(report.stats.divergent);
+  m.diff_ms->observe(static_cast<double>(report.stats.diff_us) / 1000.0);
+  return report;
+}
+
+}  // namespace perftrack::core::diag

@@ -101,6 +101,10 @@ const StatementCacheStats& Connection::statementCacheStats() const {
   return kEmpty;
 }
 
+core::diag::Report Connection::diff(const core::diag::Request&) {
+  throw util::SqlError("this connection does not support DIFF");
+}
+
 minidb::Database& Connection::database() {
   throw util::SqlError(
       "this connection has no local database (remote ptserverd session)");

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/diag.h"
 #include "minidb/database.h"
 #include "minidb/sql/executor.h"
 
@@ -153,6 +154,16 @@ class Connection {
   virtual void rollback() = 0;
   virtual bool inTransaction() const = 0;
 
+  /// Comparison-based diagnosis (DESIGN.md §5.10): aligns the results of
+  /// `request.exec_a` and `request.exec_b` over comparable contexts and
+  /// returns the divergent (metric, context) pairs ranked by contribution
+  /// to the total delta. Local backends run the core::diag engine in
+  /// process; remote sessions round-trip the DIFF wire verb and stream the
+  /// ranked rows back, so both render byte-identical reports. Throws
+  /// util::ModelError (local) or util::SqlError (remote) when either
+  /// execution does not exist; the base implementation throws SqlError.
+  virtual core::diag::Report diff(const core::diag::Request& request);
+
   /// Logical store size in bytes (Table 1's "DB size increase" numbers).
   /// For remote sessions this is one STAT round trip.
   virtual std::uint64_t sizeBytes() const = 0;
@@ -224,6 +235,10 @@ class LocalConnection final : public Connection {
   void commit() override { db_->commit(); }
   void rollback() override { db_->rollback(); }
   bool inTransaction() const override { return db_->inTransaction(); }
+
+  core::diag::Report diff(const core::diag::Request& request) override {
+    return core::diag::diagnose(engine_, request);
+  }
 
   std::uint64_t sizeBytes() const override { return db_->sizeBytes(); }
   const minidb::RecoveryStats& recoveryStats() const override {

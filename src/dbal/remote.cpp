@@ -480,6 +480,63 @@ void RemoteConnection::begin() {
 void RemoteConnection::commit() { begin(); }
 void RemoteConnection::rollback() { begin(); }
 
+core::diag::Report RemoteConnection::diff(const core::diag::Request& request) {
+  WireWriter w;
+  w.str(request.exec_a);
+  w.str(request.exec_b);
+  w.u32(request.top_k);
+  w.value(minidb::Value(request.ratio_threshold));
+  w.value(minidb::Value(request.abs_threshold));
+  Frame response =
+      wire_->expect(server::makeFrame(Op::Diff, std::move(w)), Op::DiffOk);
+  WireReader r(response.payload);
+
+  core::diag::Report report;
+  report.request = request;
+  const std::uint32_t cursor_id = r.u32();
+  const std::uint32_t ncols = r.u32();
+  for (std::uint32_t i = 0; i < ncols; ++i) r.str();  // fixed Report::columns()
+  report.stats.results_a = r.u64();
+  report.stats.results_b = r.u64();
+  report.stats.aligned = r.u64();
+  report.stats.only_a = r.u64();
+  report.stats.only_b = r.u64();
+  report.stats.divergent = r.u64();
+  report.stats.zero_baseline = r.u64();
+  report.stats.diff_us = r.u64();
+
+  // The ranked rows are bounded (top-K or the divergent count), so draining
+  // them into the report mirrors the local engine's materialized result.
+  bool done = false;
+  while (!done) {
+    WireWriter fw;
+    fw.u32(cursor_id);
+    fw.u32(0);
+    Frame batch =
+        wire_->expect(server::makeFrame(Op::Fetch, std::move(fw)), Op::Rows);
+    WireReader br(batch.payload);
+    done = br.u8() != 0;
+    const std::uint32_t n = br.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const minidb::Row row = br.row();
+      if (row.size() < 8) {
+        throw NetError("malformed DIFF row (expected 8 columns, got " +
+                       std::to_string(row.size()) + ")");
+      }
+      core::diag::Row d;
+      d.metric = row[1].asText();
+      d.context = row[2].asText();
+      d.value_a = row[3].asReal();
+      d.value_b = row[4].asReal();
+      d.has_ratio = !row[6].isNull();
+      if (d.has_ratio) d.ratio = row[6].asReal();
+      d.contribution_pct = row[7].asReal();
+      report.rows.push_back(std::move(d));
+    }
+  }
+  return report;
+}
+
 std::uint64_t RemoteConnection::sizeBytes() const {
   Frame response = wire_->expect(Frame{Op::Stat, {}}, Op::StatOk);
   WireReader r(response.payload);

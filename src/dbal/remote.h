@@ -76,6 +76,12 @@ class RemoteConnection final : public Connection {
   void rollback() override;
   bool inTransaction() const override { return false; }
 
+  /// DIFF round trip: the server runs the core::diag engine against its
+  /// store and streams the ranked rows back through FETCH; the decoded
+  /// Report (stats + full-fidelity REAL rows) renders byte-identically to a
+  /// local diff over the same store.
+  core::diag::Report diff(const core::diag::Request& request) override;
+
   std::uint64_t sizeBytes() const override;
   const minidb::RecoveryStats& recoveryStats() const override;
 

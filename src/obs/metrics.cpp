@@ -101,6 +101,20 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+std::string promEscapeLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string Registry::renderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -117,8 +131,8 @@ std::string Registry::renderPrometheus() const {
     const auto cum = h->snapshot();
     out += "# TYPE " + name + " histogram\n";
     for (std::size_t i = 0; i < Histogram::kBounds.size(); ++i) {
-      out += name + "_bucket{le=\"" + formatMs(Histogram::kBounds[i]) + "\"} " +
-             std::to_string(cum[i]) + "\n";
+      out += name + "_bucket{le=\"" + promEscapeLabel(formatMs(Histogram::kBounds[i])) +
+             "\"} " + std::to_string(cum[i]) + "\n";
     }
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cum.back()) + "\n";
     out += name + "_sum " + formatMs(h->sumMs()) + "\n";

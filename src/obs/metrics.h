@@ -135,6 +135,11 @@ inline bool enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+/// Escapes a label value for the text exposition (0.0.4): backslash,
+/// double-quote, and newline become \\, \", and \n. Used for the histogram
+/// `le` labels and by anything that renders user-provided label values.
+std::string promEscapeLabel(std::string_view value);
+
 /// Writes renderPrometheus() of the global registry to the path named by
 /// the PT_METRICS_SNAPSHOT environment variable (no-op when unset). Bench
 /// binaries call this on exit so every BENCH_*.json gets a metrics sidecar.

@@ -148,6 +148,7 @@ std::string_view opName(Op op) {
     case Op::Ping: return "PING";
     case Op::Shutdown: return "SHUTDOWN";
     case Op::Metrics: return "METRICS";
+    case Op::Diff: return "DIFF";
     case Op::HelloOk: return "HELLO_OK";
     case Op::StmtOk: return "STMT_OK";
     case Op::BindOk: return "BIND_OK";
@@ -158,6 +159,7 @@ std::string_view opName(Op op) {
     case Op::StatOk: return "STAT_OK";
     case Op::Pong: return "PONG";
     case Op::MetricsOk: return "METRICS_OK";
+    case Op::DiffOk: return "DIFF_OK";
     case Op::Error: return "ERROR";
   }
   return "UNKNOWN";

@@ -40,6 +40,15 @@
 //   PING    {}                            -> PONG {}
 //   METRICS {}                            -> METRICS_OK {str text}
 //                                            (Prometheus exposition format)
+//   DIFF    {str exec_a, str exec_b,      -> DIFF_OK {u32 cursor_id, u32 ncols,
+//            u32 top_k,                      str..., u64 results_a, u64 results_b,
+//            value ratio_threshold,          u64 aligned, u64 only_a, u64 only_b,
+//            value abs_threshold}            u64 divergent, u64 zero_baseline,
+//                                            u64 diff_us}
+//                                            (server-side comparison diagnosis:
+//                                            the ranked rows then stream through
+//                                            the ordinary FETCH/ROWS machinery
+//                                            under the returned cursor id)
 //   SHUTDOWN {}                           -> OK {}, then the server drains
 //
 // STAT_OK grows append-only: old clients read the leading fields and stop,
@@ -82,6 +91,7 @@ enum class Op : std::uint8_t {
   Ping = 10,
   Shutdown = 11,
   Metrics = 12,
+  Diff = 13,
 
   // server -> client
   HelloOk = 64,
@@ -94,6 +104,7 @@ enum class Op : std::uint8_t {
   StatOk = 71,
   Pong = 72,
   MetricsOk = 73,
+  DiffOk = 74,
   Error = 127,
 };
 

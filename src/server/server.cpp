@@ -44,6 +44,8 @@ void PtServer::start() {
             return renderServerMetrics(*db_, counters_);
           }
           if (path == "/traces") return obs::renderTraces(obs::Tracer::global());
+          if (path == "/healthz") return renderHealthz();
+          if (path == "/varz") return renderVarz();
           throw std::out_of_range("no such endpoint");
         });
     metrics_->start();
@@ -68,6 +70,48 @@ void PtServer::start() {
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
   }
+}
+
+std::string PtServer::renderHealthz() const {
+  // Liveness plus a writability probe: a store the server cannot write
+  // (volume gone read-only, permissions changed under a running daemon)
+  // still serves reads but will fail every commit. The probe is a plain
+  // access(2) — no gate, no I/O — so /healthz stays cheap enough to poll.
+  const auto* file_pager = dynamic_cast<minidb::FilePager*>(&db_->pager());
+  const bool writable =
+      file_pager == nullptr || ::access(file_pager->path().c_str(), W_OK) == 0;
+  if (!writable) return "unhealthy: store file not writable\n";
+  return "ok\n";
+}
+
+std::string PtServer::renderVarz() const {
+  const auto durability = [&]() -> const char* {
+    switch (db_->durability()) {
+      case minidb::Durability::None: return "none";
+      case minidb::Durability::Full: return "full";
+      case minidb::Durability::Wal: return "wal";
+    }
+    return "unknown";
+  }();
+  std::string out;
+  out += "pt_server_build_compiler " __VERSION__ "\n";
+  out += "pt_server_build_date " __DATE__ "\n";
+  out += "pt_server_protocol_version " + std::to_string(kProtocolVersion) + "\n";
+  out += "pt_server_durability " + std::string(durability) + "\n";
+  out += "pt_server_workers " + std::to_string(config_.workers) + "\n";
+  out += "pt_server_max_connections " +
+         std::to_string(config_.max_connections) + "\n";
+  out += "pt_server_exec_threads " + std::to_string(config_.limits.exec_threads) +
+         "\n";
+  out += "pt_server_invidx " + std::to_string(config_.limits.invidx) + "\n";
+  out += "pt_server_default_fetch_rows " +
+         std::to_string(config_.limits.default_fetch_rows) + "\n";
+  out += "pt_server_max_fetch_rows " +
+         std::to_string(config_.limits.max_fetch_rows) + "\n";
+  out += "pt_server_fetch_byte_budget " +
+         std::to_string(config_.limits.fetch_byte_budget) + "\n";
+  out += "pt_server_uptime_ms " + std::to_string(counters_.uptimeMillis()) + "\n";
+  return out;
 }
 
 void PtServer::requestStop() {

@@ -113,6 +113,13 @@ class PtServer {
     bool in_service = false;
   };
 
+  /// GET /healthz body: "ok" when the process is serving and the store
+  /// file (if any) is still writable; an "unhealthy: ..." line otherwise.
+  std::string renderHealthz() const;
+  /// GET /varz body: build/config introspection as "name value" lines
+  /// (protocol version, durability mode, worker/limit knobs, uptime).
+  std::string renderVarz() const;
+
   void pollerLoop();
   void workerLoop();
   /// Serves exactly one request on `conn`; returns false when the

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diag.h"
 #include "minidb/sql/pipeline.h"
 #include "obs/metrics.h"
 #include "util/error.h"
@@ -51,7 +52,7 @@ void Session::closeCursorEntry(CursorEntry& entry) {
   // Every close path erases the entry right after this call, so the
   // decrement runs exactly once per executeSelect increment.
   counters_->open_cursors.fetch_sub(1, std::memory_order_relaxed);
-  entry.cursor.close();
+  if (entry.cursor) entry.cursor->close();
   if (entry.holds_gate) {
     entry.holds_gate = false;
     --gate_holds_;
@@ -85,6 +86,7 @@ Session::Outcome Session::handle(const Frame& request) {
       case Op::SetOption: out.response = doSetOption(r); return out;
       case Op::Stat: out.response = doStat(r); return out;
       case Op::Metrics: out.response = doMetrics(r); return out;
+      case Op::Diff: out.response = doDiff(r); return out;
       case Op::Ping: out.response = Frame{Op::Pong, {}}; return out;
       case Op::Shutdown:
         if (!limits_.allow_shutdown) {
@@ -103,6 +105,10 @@ Session::Outcome Session::handle(const Frame& request) {
   } catch (const WireError& e) {
     out.response = makeError(ErrCode::Protocol, e.what());
   } catch (const util::SqlError& e) {
+    out.response = makeError(ErrCode::Sql, e.what());
+  } catch (const util::ModelError& e) {
+    // DIFF against an unknown execution: a client mistake, same family as a
+    // bad SQL identifier, so it maps to the Sql error code.
     out.response = makeError(ErrCode::Sql, e.what());
   } catch (const util::StorageError& e) {
     out.response = makeError(ErrCode::Storage, e.what());
@@ -202,7 +208,10 @@ Frame Session::executeSelect(
   const auto& columns = cursor.columns();
   w.u32(static_cast<std::uint32_t>(columns.size()));
   for (const std::string& c : columns) w.str(c);
-  CursorEntry entry{std::move(cursor), stmt, /*holds_gate=*/true, {}, 0};
+  CursorEntry entry;
+  entry.cursor.emplace(std::move(cursor));
+  entry.stmt = stmt;
+  entry.holds_gate = true;
   hold.forget();  // the hold now belongs to the cursor, until close/exhaust
   ++gate_holds_;
   counters_->open_cursors.fetch_add(1, std::memory_order_relaxed);
@@ -291,12 +300,24 @@ Frame Session::doFetch(WireReader& r) {
   bool done = false;
   CursorEntry& entry = it->second;
   try {
-    while (produced < max_rows && rows.bytes().size() < limits_.fetch_byte_budget) {
+    if (!entry.cursor) {
+      // Cursor-less (DIFF) result: stream the staged rows under the same
+      // max_rows / byte-budget bounds as a pipeline cursor.
+      while (produced < max_rows &&
+             rows.bytes().size() < limits_.fetch_byte_budget &&
+             entry.staged_pos < entry.staged.size()) {
+        rows.row(entry.staged[entry.staged_pos++]);
+        ++produced;
+      }
+      done = entry.staged_pos >= entry.staged.size();
+    }
+    while (entry.cursor && produced < max_rows &&
+           rows.bytes().size() < limits_.fetch_byte_budget) {
       if (entry.pending_pos >= entry.pending.sel.size()) {
         entry.pending.clearRows();
         entry.pending_pos = 0;
         entry.pending.capacity = max_rows - produced;
-        if (!entry.cursor.fetchBatch(entry.pending)) {
+        if (!entry.cursor->fetchBatch(entry.pending)) {
           done = true;
           break;
         }
@@ -424,6 +445,58 @@ Frame Session::doMetrics(WireReader& r) {
   WireWriter w;
   w.str(renderServerMetrics(*db_, *counters_));
   return makeFrame(Op::MetricsOk, std::move(w));
+}
+
+Frame Session::doDiff(WireReader& r) {
+  core::diag::Request req;
+  req.exec_a = r.str();
+  req.exec_b = r.str();
+  req.top_k = r.u32();
+  req.ratio_threshold = r.value().asReal();
+  req.abs_threshold = r.value().asReal();
+  r.expectEnd("DIFF");
+
+  // The diagnosis is a burst of SELECTs: it runs under one shared hold (and
+  // one pinned snapshot in WAL mode, so a committing writer never skews the
+  // two sides against each other), released as soon as the ranked rows are
+  // materialized — the staged cursor holds no storage at all.
+  core::diag::Report report;
+  {
+    DbGate::SharedHold hold(*gate_, limits_.lock_timeout, gate_holds_ > 0);
+    if (!hold.held()) {
+      counters_->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+      return makeError(ErrCode::Busy,
+                       "database is busy (writer active or queued); retry");
+    }
+    std::optional<minidb::Pager::ReadSnapshot> snap;
+    std::optional<minidb::Pager::SnapshotScope> scope;
+    if (snapshot_reads_) {
+      snap.emplace(db_->takeSnapshot());
+      scope.emplace(*snap);
+    }
+    report = core::diag::diagnose(engine_, req);
+  }
+
+  const std::uint32_t cursor_id = next_cursor_id_++;
+  CursorEntry entry;
+  entry.staged = report.toRows();
+  counters_->open_cursors.fetch_add(1, std::memory_order_relaxed);
+  cursors_.emplace(cursor_id, std::move(entry));
+
+  WireWriter w;
+  w.u32(cursor_id);
+  const auto& columns = core::diag::Report::columns();
+  w.u32(static_cast<std::uint32_t>(columns.size()));
+  for (const std::string& c : columns) w.str(c);
+  w.u64(report.stats.results_a);
+  w.u64(report.stats.results_b);
+  w.u64(report.stats.aligned);
+  w.u64(report.stats.only_a);
+  w.u64(report.stats.only_b);
+  w.u64(report.stats.divergent);
+  w.u64(report.stats.zero_baseline);
+  w.u64(report.stats.diff_us);
+  return makeFrame(Op::DiffOk, std::move(w));
 }
 
 std::string renderServerMetrics(minidb::Database& db, const ServerCounters& counters) {

@@ -34,8 +34,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "minidb/database.h"
 #include "minidb/sql/executor.h"
@@ -125,7 +127,9 @@ class Session {
 
  private:
   struct CursorEntry {
-    minidb::sql::Cursor cursor;
+    // Engaged for SELECT cursors; DIFF cursors stream `staged` instead (the
+    // diagnosis materializes its ranked rows up front and holds no storage).
+    std::optional<minidb::sql::Cursor> cursor;
     // Keeps the plan and AST alive even if the client closes the statement
     // (or the session re-prepares) while the cursor streams.
     std::shared_ptr<minidb::sql::PreparedStatement> stmt;
@@ -134,6 +138,9 @@ class Session {
     // budget mid-batch parks the remainder here for the next FETCH.
     minidb::sql::RowBatch pending;
     std::size_t pending_pos = 0;
+    // Pre-materialized rows for cursor-less (DIFF) results.
+    std::vector<minidb::Row> staged;
+    std::size_t staged_pos = 0;
   };
 
   Frame doHello(WireReader& r);
@@ -146,6 +153,7 @@ class Session {
   Frame doSetOption(WireReader& r);
   Frame doStat(WireReader& r);
   Frame doMetrics(WireReader& r);
+  Frame doDiff(WireReader& r);
 
   Frame executeSelect(const std::shared_ptr<minidb::sql::PreparedStatement>& stmt);
   Frame executeWrite(const std::shared_ptr<minidb::sql::PreparedStatement>& stmt);

@@ -1,0 +1,621 @@
+// pt_perf_ingest implementation: bench-output parsers, the history ingester,
+// and the DIFF-backed regression gate. See perf_ingest.h for the model.
+#include "tools/perf_ingest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/diag.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perftrack::tools::perf_ingest {
+
+namespace {
+
+// --- JSON parsing ------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json value = parseValue();
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing data after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw util::ParseError("JSON: " + what + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skipSpace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parseValue() {
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        Json v;
+        v.type = Json::Type::String;
+        v.text = parseString();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Json v;
+        v.type = Json::Type::Bool;
+        if (consumeWord("true")) {
+          v.boolean = true;
+        } else if (consumeWord("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!consumeWord("null")) fail("bad literal");
+        return Json{};
+      default: return parseNumber();
+    }
+  }
+
+  Json parseObject() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::Object;
+    if (consume('}')) return v;
+    while (true) {
+      skipSpace();
+      std::string key = parseString();
+      expect(':');
+      v.members.emplace_back(std::move(key), parseValue());
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parseArray() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::Array;
+    if (consume(']')) return v;
+    while (true) {
+      v.items.push_back(parseValue());
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // The bench writers emit ASCII only; decode BMP escapes to UTF-8
+          // so the parser is still total over valid input.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    const auto parsed = util::parseReal(text_.substr(start, pos_ - start));
+    if (!parsed) fail("bad number");
+    Json v;
+    v.type = Json::Type::Number;
+    v.number = *parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::ParseError("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string baseName(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string dirName(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+/// Entry names become path segments of context resources: '/' would add
+/// depth and '|' is the canonical-context join character, so both map to
+/// ':'.
+std::string sanitizeSegment(std::string name) {
+  for (char& c : name) {
+    if (c == '/' || c == '|') c = ':';
+  }
+  while (!name.empty() && name.front() == ':') name.erase(name.begin());
+  return name.empty() ? std::string("unnamed") : name;
+}
+
+/// google-benchmark bookkeeping fields that vary per invocation without
+/// describing performance — excluded from both names and measurements.
+bool isGbenchNoise(const std::string& key) {
+  return key == "family_index" || key == "per_family_instance_index" ||
+         key == "repetition_index" || key == "repetitions" ||
+         key == "iterations" || key == "threads";
+}
+
+/// Flat-array numeric fields that configure the workload rather than
+/// measure it: folded into the entry name so differently-sized runs never
+/// align as the same context.
+bool isConfigField(const std::string& key) {
+  static const std::set<std::string> kConfig = {
+      "table_rows", "batch_rows", "threads", "clients",   "writers",
+      "nprocs",     "families",   "foci",    "committers", "sessions"};
+  return kConfig.count(key) > 0;
+}
+
+std::string formatConfigNumber(double value) {
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  return util::formatReal(value);
+}
+
+void parseGoogleBenchmark(const Json& root, BenchFile& out) {
+  const Json* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->isArray()) {
+    throw util::ParseError("google-benchmark file without a benchmarks array");
+  }
+  for (const Json& bench : benchmarks->items) {
+    if (!bench.isObject()) continue;
+    BenchEntry entry;
+    const Json* name = bench.find("name");
+    entry.name = sanitizeSegment(name != nullptr && name->isString()
+                                     ? name->text
+                                     : "unnamed");
+    for (const auto& [key, value] : bench.members) {
+      if (!value.isNumber() || isGbenchNoise(key)) continue;
+      entry.measurements.push_back({key, value.number});
+    }
+    if (!entry.measurements.empty()) out.entries.push_back(std::move(entry));
+  }
+}
+
+void parseFlatArray(const Json& root, BenchFile& out) {
+  std::size_t index = 0;
+  for (const Json& item : root.items) {
+    ++index;
+    if (!item.isObject()) continue;
+    BenchEntry entry;
+    std::vector<std::string> name_parts;
+    for (const auto& [key, value] : item.members) {
+      if (value.isString()) {
+        name_parts.push_back(sanitizeSegment(value.text));
+      } else if (value.type == Json::Type::Bool) {
+        name_parts.push_back(key + "=" + (value.boolean ? "true" : "false"));
+      } else if (value.isNumber() && isConfigField(key)) {
+        name_parts.push_back(key + "=" + formatConfigNumber(value.number));
+      } else if (value.isNumber()) {
+        entry.measurements.push_back({key, value.number});
+      }
+    }
+    entry.name = name_parts.empty() ? "entry" + std::to_string(index)
+                                    : util::join(name_parts, ":");
+    if (!entry.measurements.empty()) out.entries.push_back(std::move(entry));
+  }
+}
+
+std::string unitsForMetric(const std::string& metric) {
+  if (util::endsWith(metric, "_ms")) return "ms";
+  if (util::endsWith(metric, "_ns")) return "ns";
+  if (util::endsWith(metric, "_us")) return "us";
+  if (util::endsWith(metric, "_kb")) return "kb";
+  if (util::endsWith(metric, "_bytes")) return "bytes";
+  if (metric == "real_time" || metric == "cpu_time") return "ns";
+  return "";
+}
+
+// --- baseline table ----------------------------------------------------------
+
+void ensureBaselineTable(dbal::Connection& conn) {
+  conn.exec(
+      "CREATE TABLE IF NOT EXISTS perf_baseline ("
+      "  id INTEGER PRIMARY KEY,"
+      "  application TEXT,"
+      "  execution TEXT)");
+  conn.exec(
+      "CREATE UNIQUE INDEX IF NOT EXISTS pb_by_app ON perf_baseline "
+      "(application)");
+}
+
+std::string baselineFor(dbal::Connection& conn, const std::string& app) {
+  auto rs = conn.execPrepared(
+      "SELECT execution FROM perf_baseline WHERE application = ?",
+      {minidb::Value(app)});
+  if (rs.rows.empty()) return {};
+  return rs.rows[0][0].asText();
+}
+
+void setBaseline(dbal::Connection& conn, const std::string& app,
+                 const std::string& exec, bool existed) {
+  if (existed) {
+    conn.execPrepared("UPDATE perf_baseline SET execution = ? WHERE application = ?",
+                      {minidb::Value(exec), minidb::Value(app)});
+  } else {
+    conn.execPrepared(
+        "INSERT INTO perf_baseline (application, execution) VALUES (?, ?)",
+        {minidb::Value(app), minidb::Value(exec)});
+  }
+}
+
+// --- JSON emit for the gate report -------------------------------------------
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json parseJson(std::string_view text) { return JsonParser(text).parse(); }
+
+std::string applicationForPath(const std::string& path) {
+  std::string name = baseName(path);
+  if (util::startsWith(name, "BENCH_")) name.erase(0, 6);
+  if (util::endsWith(name, ".json")) name.erase(name.size() - 5);
+  return name.empty() ? "bench" : name;
+}
+
+BenchFile parseBenchFile(const std::string& path) {
+  BenchFile out;
+  out.application = applicationForPath(path);
+  const Json root = parseJson(readFile(path));
+  if (root.isObject() && root.find("benchmarks") != nullptr) {
+    parseGoogleBenchmark(root, out);
+  } else if (root.isArray()) {
+    parseFlatArray(root, out);
+  } else {
+    throw util::ParseError(path + ": unrecognized bench JSON shape");
+  }
+  return out;
+}
+
+std::vector<Measurement> parsePromSidecar(const std::string& path) {
+  std::vector<Measurement> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    // Labelled samples (histogram buckets, per-le bounds) are not
+    // comparable as scalars; only bare `name value` lines are ingested.
+    if (trimmed.find('{') != std::string_view::npos) continue;
+    const auto fields = util::splitWhitespace(trimmed);
+    if (fields.size() < 2) continue;
+    const auto value = util::parseReal(fields[1]);
+    if (!value || !std::isfinite(*value)) continue;
+    out.push_back({fields[0], *value});
+  }
+  return out;
+}
+
+std::string promSidecarForBenchPath(const std::string& path) {
+  return dirName(path) + "METRICS_" + applicationForPath(path) + ".prom";
+}
+
+IngestStats ingestRun(core::PTDataStore& store,
+                      const std::vector<std::string>& bench_paths,
+                      const std::string& label) {
+  if (label.empty()) throw util::ModelError("ingest label must not be empty");
+  IngestStats stats;
+  const auto existing_list = store.executions();
+  const std::set<std::string> existing(existing_list.begin(),
+                                       existing_list.end());
+  store.addResourceType("benchRun/benchCase");
+  for (const auto& path : bench_paths) {
+    const BenchFile file = parseBenchFile(path);
+    const std::string exec = file.application + "@" + label;
+    if (existing.count(exec) > 0) {
+      throw util::ModelError("execution already ingested: " + exec);
+    }
+    store.addExecution(exec, file.application);
+    ++stats.files;
+    ++stats.executions;
+
+    auto record = [&](const std::string& entry_name,
+                      const std::vector<Measurement>& measurements) {
+      if (measurements.empty()) return;
+      const std::string resource = "/" + exec + "/" + entry_name;
+      store.addResource(resource, "benchRun/benchCase");
+      const std::vector<core::ResourceSetSpec> context = {
+          {{resource}, core::FocusType::Primary}};
+      for (const auto& m : measurements) {
+        store.addPerformanceResult(exec, context, "pt_perf_ingest", m.metric,
+                                   m.value, unitsForMetric(m.metric));
+        ++stats.results;
+      }
+    };
+
+    for (const auto& entry : file.entries) {
+      record(entry.name, entry.measurements);
+    }
+    record("metrics", parsePromSidecar(promSidecarForBenchPath(path)));
+  }
+  return stats;
+}
+
+std::string_view verdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::BaselineEstablished: return "baseline-established";
+    case Verdict::Improvement: return "improvement";
+    case Verdict::Stable: return "stable";
+    case Verdict::MinorRegression: return "minor-regression";
+    case Verdict::CriticalRegression: return "critical-regression";
+  }
+  return "unknown";
+}
+
+bool isTimeMetric(const std::string& metric) {
+  return util::endsWith(metric, "_ms") || util::endsWith(metric, "_ns") ||
+         util::endsWith(metric, "_us") || util::endsWith(metric, "_seconds") ||
+         metric == "real_time" || metric == "cpu_time";
+}
+
+bool GateReport::hasCritical() const {
+  return std::any_of(entries.begin(), entries.end(), [](const GateEntry& e) {
+    return e.verdict == Verdict::CriticalRegression;
+  });
+}
+
+std::string GateReport::toJsonLines() const {
+  std::string out;
+  for (const auto& e : entries) {
+    out += "{\"label\": \"" + jsonEscape(label) + "\"";
+    out += ", \"application\": \"" + jsonEscape(e.application) + "\"";
+    out += ", \"verdict\": \"" + std::string(verdictName(e.verdict)) + "\"";
+    out += ", \"baseline\": \"" + jsonEscape(e.baseline_exec) + "\"";
+    out += ", \"current\": \"" + jsonEscape(e.current_exec) + "\"";
+    if (!e.metric.empty()) {
+      out += ", \"metric\": \"" + jsonEscape(e.metric) + "\"";
+      out += ", \"context\": \"" + jsonEscape(e.context) + "\"";
+      out += ", \"baseline_value\": " + util::formatReal(e.baseline_value);
+      out += ", \"current_value\": " + util::formatReal(e.current_value);
+      out += ", \"ratio\": " + util::formatReal(e.ratio);
+    }
+    out += ", \"baseline_updated\": ";
+    out += e.baseline_updated ? "true" : "false";
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string GateReport::toText() const {
+  std::string out = "perf gate: run " + label + "\n";
+  for (const auto& e : entries) {
+    out += "  " + e.application + ": " + std::string(verdictName(e.verdict));
+    if (!e.metric.empty()) {
+      out += "  " + e.metric + " [" + e.context + "]  " +
+             util::formatReal(e.baseline_value) + " -> " +
+             util::formatReal(e.current_value) + "  (x" +
+             util::formatReal(e.ratio) + ")";
+    }
+    if (e.baseline_updated) out += "  [baseline -> " + e.current_exec + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+GateReport runGate(core::PTDataStore& store,
+                   const std::vector<std::string>& bench_paths,
+                   const std::string& label,
+                   const GateThresholds& thresholds) {
+  dbal::Connection& conn = store.connection();
+  ensureBaselineTable(conn);
+  ingestRun(store, bench_paths, label);
+
+  GateReport report;
+  report.label = label;
+  // One gate entry per application, in the (sorted, de-duplicated) order of
+  // the bench files.
+  std::set<std::string> apps;
+  for (const auto& path : bench_paths) apps.insert(applicationForPath(path));
+
+  for (const auto& app : apps) {
+    GateEntry entry;
+    entry.application = app;
+    entry.current_exec = app + "@" + label;
+    entry.baseline_exec = baselineFor(conn, app);
+
+    if (entry.baseline_exec.empty()) {
+      entry.verdict = Verdict::BaselineEstablished;
+      entry.baseline_updated = true;
+      setBaseline(conn, app, entry.current_exec, /*existed=*/false);
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+
+    // All changed pairs (thresholds zero) — classification applies its own
+    // bands below. Runs server-side over pt:// connections.
+    core::diag::Request request;
+    request.exec_a = entry.baseline_exec;
+    request.exec_b = entry.current_exec;
+    request.ratio_threshold = 0.0;
+    request.abs_threshold = 0.0;
+    const auto diff = conn.diff(request);
+
+    const core::diag::Row* worst = nullptr;
+    const core::diag::Row* best = nullptr;
+    for (const auto& row : diff.rows) {
+      if (!row.has_ratio || !isTimeMetric(row.metric)) continue;
+      if (row.value_a < thresholds.min_baseline) continue;
+      if (worst == nullptr || row.ratio > worst->ratio) worst = &row;
+      if (best == nullptr || row.ratio < best->ratio) best = &row;
+    }
+
+    if (worst == nullptr) {
+      entry.verdict = Verdict::Stable;
+    } else if (worst->ratio > thresholds.critical) {
+      entry.verdict = Verdict::CriticalRegression;
+    } else if (worst->ratio > thresholds.minor) {
+      entry.verdict = Verdict::MinorRegression;
+    } else if (best->ratio < thresholds.improvement) {
+      entry.verdict = Verdict::Improvement;
+    } else {
+      entry.verdict = Verdict::Stable;
+    }
+
+    const core::diag::Row* cite =
+        entry.verdict == Verdict::Improvement ? best : worst;
+    if (cite != nullptr) {
+      entry.metric = cite->metric;
+      entry.context = cite->context;
+      entry.baseline_value = cite->value_a;
+      entry.current_value = cite->value_b;
+      entry.ratio = cite->ratio;
+    }
+    if (entry.verdict == Verdict::Improvement) {
+      entry.baseline_updated = true;
+      setBaseline(conn, app, entry.current_exec, /*existed=*/true);
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::vector<std::pair<std::string, std::string>> baselines(
+    dbal::Connection& conn) {
+  ensureBaselineTable(conn);
+  auto rs = conn.exec(
+      "SELECT application, execution FROM perf_baseline ORDER BY application");
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    out.emplace_back(row[0].asText(), row[1].asText());
+  }
+  return out;
+}
+
+}  // namespace perftrack::tools::perf_ingest

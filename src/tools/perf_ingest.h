@@ -1,0 +1,177 @@
+// pt_perf_ingest: the repo's own benchmark history as PerfTrack data.
+//
+// Parses the BENCH_*.json files that scripts/bench_smoke.sh leaves behind
+// (both the google-benchmark schema — {"context":..., "benchmarks":[...]} —
+// and the hand-rolled flat arrays the other bench binaries write) plus their
+// METRICS_*.prom metric sidecars, and records them as PerfTrack executions:
+//
+//   bench file         -> application  (BENCH_cursor.json -> "cursor")
+//   one ingest run     -> one execution per file, named "<app>@<label>"
+//   bench entry/config -> context      (resource "/<exec>/<entry>", which
+//                                       canonicalizes to "/$EXEC/<entry>",
+//                                       so entries align across runs)
+//   measurements       -> performance results (metric per numeric field)
+//   prom sidecar       -> results under the "/<exec>/metrics" context
+//
+// On top of the stored history sits the regression gate: DIFF the current
+// run against the per-application baseline execution (kept in a tool-owned
+// perf_baseline table in the same store), classify each application as
+// improvement / stable / minor-regression / critical-regression with
+// diagon-style thresholds, auto-advance the baseline on improvement, and
+// emit a machine-readable JSON-lines report. Everything goes through
+// dbal::Connection, so ingest and gate run identically against a local
+// perf_history.db and a live ptserverd (pt://host:port).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/datastore.h"
+#include "dbal/connection.h"
+
+namespace perftrack::tools::perf_ingest {
+
+// --- minimal JSON reader -----------------------------------------------------
+
+/// Just enough JSON for the bench formats: objects keep member order,
+/// numbers are doubles. Parse errors throw util::ParseError.
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Json> items;                            // Array
+  std::vector<std::pair<std::string, Json>> members;  // Object, in file order
+
+  bool isNumber() const { return type == Type::Number; }
+  bool isString() const { return type == Type::String; }
+  bool isArray() const { return type == Type::Array; }
+  bool isObject() const { return type == Type::Object; }
+  /// First member named `key`, or nullptr.
+  const Json* find(const std::string& key) const;
+};
+
+Json parseJson(std::string_view text);
+
+// --- bench-file model --------------------------------------------------------
+
+struct Measurement {
+  std::string metric;
+  double value = 0.0;
+};
+
+/// One bench entry: a stable name (the context across runs) plus its
+/// numeric measurements.
+struct BenchEntry {
+  std::string name;
+  std::vector<Measurement> measurements;
+};
+
+struct BenchFile {
+  std::string application;  // "BENCH_cursor.json" -> "cursor"
+  std::vector<BenchEntry> entries;
+};
+
+/// Application name for a bench file path (basename minus the BENCH_ prefix
+/// and .json suffix).
+std::string applicationForPath(const std::string& path);
+
+/// Parses one BENCH_*.json, auto-detecting the schema. Throws
+/// util::ParseError on malformed input.
+BenchFile parseBenchFile(const std::string& path);
+
+/// Parses a Prometheus text-exposition sidecar: every label-free sample
+/// line becomes a measurement (lines with labels — histogram buckets — are
+/// skipped; they are per-bound, not comparable as scalars). Returns empty
+/// for a missing file.
+std::vector<Measurement> parsePromSidecar(const std::string& path);
+
+/// The METRICS_*.prom path conventionally next to a BENCH_*.json.
+std::string promSidecarForBenchPath(const std::string& path);
+
+// --- ingest ------------------------------------------------------------------
+
+struct IngestStats {
+  std::size_t files = 0;
+  std::size_t executions = 0;
+  std::size_t results = 0;
+};
+
+/// Ingests one run of bench files (plus any prom sidecars found next to
+/// them) under `label`: one execution "<app>@<label>" per file. Re-ingesting
+/// an existing execution name throws util::ModelError (labels identify
+/// runs).
+IngestStats ingestRun(core::PTDataStore& store,
+                      const std::vector<std::string>& bench_paths,
+                      const std::string& label);
+
+// --- regression gate ---------------------------------------------------------
+
+/// diagon-style classification thresholds over time-like metrics
+/// (lower-better: names ending _ms/_ns/_us/_seconds, real_time, cpu_time).
+struct GateThresholds {
+  double improvement = 0.90;  // ratio below: >10% faster
+  double minor = 1.10;        // ratio above: >10% slower
+  double critical = 1.20;     // ratio above: >20% slower
+  /// Baseline values below this are ignored for classification (near-zero
+  /// timings jitter far past any ratio threshold).
+  double min_baseline = 0.05;
+};
+
+enum class Verdict {
+  BaselineEstablished,
+  Improvement,
+  Stable,
+  MinorRegression,
+  CriticalRegression,
+};
+
+std::string_view verdictName(Verdict verdict);
+
+/// True when `metric` is a lower-is-better duration.
+bool isTimeMetric(const std::string& metric);
+
+/// One application's gate outcome. For regressions the recorded pair is the
+/// worst time-like ratio; for improvements, the best.
+struct GateEntry {
+  std::string application;
+  std::string baseline_exec;  // empty when the baseline was just established
+  std::string current_exec;
+  Verdict verdict = Verdict::Stable;
+  std::string metric;
+  std::string context;
+  double baseline_value = 0.0;
+  double current_value = 0.0;
+  double ratio = 0.0;
+  bool baseline_updated = false;
+};
+
+struct GateReport {
+  std::string label;
+  std::vector<GateEntry> entries;
+
+  bool hasCritical() const;
+  /// One JSON object per line (machine-readable gate report).
+  std::string toJsonLines() const;
+  /// Human-readable summary table.
+  std::string toText() const;
+};
+
+/// Ingests the run under `label`, then classifies every application against
+/// its stored baseline via Connection::diff (so the comparison runs
+/// server-side for pt:// connections). Establishes missing baselines and
+/// advances them on improvement.
+GateReport runGate(core::PTDataStore& store,
+                   const std::vector<std::string>& bench_paths,
+                   const std::string& label,
+                   const GateThresholds& thresholds = {});
+
+/// The stored (application, baseline execution) pairs, sorted.
+std::vector<std::pair<std::string, std::string>> baselines(
+    dbal::Connection& conn);
+
+}  // namespace perftrack::tools::perf_ingest

@@ -90,6 +90,59 @@ TEST_F(CompareTest, ReportTextMentionsEverything) {
   EXPECT_NE(text.find("x2"), std::string::npos);
 }
 
+TEST_F(CompareTest, ZeroSharedContextsMatchesNothing) {
+  // Two fresh executions whose results live on disjoint shared resources:
+  // nothing aligns, everything is unmatched, and the report still renders.
+  store_.addExecution("soloA", "app");
+  store_.addExecution("soloB", "app");
+  store_.addResource("/machX", "grid/machine");
+  store_.addResource("/machY", "grid/machine");
+  store_.addPerformanceResult("soloA", {{{"/machX"}, core::FocusType::Primary}},
+                              "tool", "wall time", 3.0, "s");
+  store_.addPerformanceResult("soloB", {{{"/machY"}, core::FocusType::Primary}},
+                              "tool", "wall time", 4.0, "s");
+  const ComparisonReport report = compareExecutions(store_, "soloA", "soloB");
+  EXPECT_TRUE(report.rows.empty());
+  EXPECT_EQ(report.unmatched_a, 1u);
+  EXPECT_EQ(report.unmatched_b, 1u);
+  EXPECT_TRUE(report.divergent(0.0).empty());
+  EXPECT_NE(report.toText().find("matched results:   0"), std::string::npos);
+}
+
+TEST_F(CompareTest, MetricPresentOnOneSideOnlyStaysUnmatched) {
+  // Same context on both sides, but the metric differs: metric is part of
+  // the match key, so these must not be compared against each other.
+  store_.addExecution("mA", "app");
+  store_.addExecution("mB", "app");
+  store_.addResource("/shared", "grid/machine");
+  store_.addPerformanceResult("mA", {{{"/shared"}, core::FocusType::Primary}},
+                              "tool", "cache misses", 100.0);
+  store_.addPerformanceResult("mB", {{{"/shared"}, core::FocusType::Primary}},
+                              "tool", "tlb misses", 90.0);
+  const ComparisonReport report = compareExecutions(store_, "mA", "mB");
+  EXPECT_TRUE(report.rows.empty());
+  EXPECT_EQ(report.unmatched_a, 1u);
+  EXPECT_EQ(report.unmatched_b, 1u);
+}
+
+TEST_F(CompareTest, ZeroBaselineRowSurvivesDivergentFilter) {
+  // A zero-valued baseline has no ratio; divergent() must classify it by
+  // difference instead of crashing or silently dropping it.
+  store_.addExecution("zA", "app");
+  store_.addExecution("zB", "app");
+  store_.addResource("/zmach", "grid/machine");
+  store_.addPerformanceResult("zA", {{{"/zmach"}, core::FocusType::Primary}},
+                              "tool", "page faults", 0.0);
+  store_.addPerformanceResult("zB", {{{"/zmach"}, core::FocusType::Primary}},
+                              "tool", "page faults", 25.0);
+  const ComparisonReport report = compareExecutions(store_, "zA", "zB");
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_FALSE(report.rows[0].ratio().has_value());
+  const auto divergent = report.divergent(0.1);
+  ASSERT_EQ(divergent.size(), 1u);
+  EXPECT_DOUBLE_EQ(divergent[0].difference(), 25.0);
+}
+
 TEST_F(CompareTest, SelfComparisonIsClean) {
   const ComparisonReport report = compareExecutions(store_, "runA", "runA");
   EXPECT_EQ(report.unmatched_a, 0u);

@@ -1,0 +1,105 @@
+// Prometheus text-exposition format guarantees (DESIGN.md §5.5): a golden
+// rendering for a fixed registry, stable (sorted) metric ordering, # TYPE
+// lines for every family, histogram bucket monotonicity, and label-value
+// escaping. ptserverd's /metrics endpoint and the METRICS wire verb both
+// serve this rendering, so scrapers may rely on every property here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace perftrack::obs {
+namespace {
+
+TEST(PromFormatTest, GoldenExposition) {
+  // Registered deliberately out of name order: the rendering must sort.
+  Registry reg;
+  reg.counter("pt_zz_last_total").inc(3);
+  reg.counter("pt_aa_first_total").inc(41);
+  reg.gauge("pt_mid_level").set(-7);
+
+  const std::string expected =
+      "# TYPE pt_aa_first_total counter\n"
+      "pt_aa_first_total 41\n"
+      "# TYPE pt_zz_last_total counter\n"
+      "pt_zz_last_total 3\n"
+      "# TYPE pt_mid_level gauge\n"
+      "pt_mid_level -7\n";
+  EXPECT_EQ(reg.renderPrometheus(), expected);
+  // Rendering is a pure snapshot: byte-stable across calls.
+  EXPECT_EQ(reg.renderPrometheus(), expected);
+}
+
+TEST(PromFormatTest, EveryFamilyHasAWellFormedTypeLine) {
+  Registry reg;
+  reg.counter("pt_x_total").inc();
+  reg.gauge("pt_y");
+  reg.histogram("pt_z_ms").observe(1.0);
+
+  std::istringstream in(reg.renderPrometheus());
+  std::string line;
+  std::size_t type_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    ++type_lines;
+    std::istringstream fields(line);
+    std::string hash, word, name, kind;
+    fields >> hash >> word >> name >> kind;
+    EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+        << line;
+    EXPECT_FALSE(name.empty()) << line;
+  }
+  EXPECT_EQ(type_lines, 3u);
+}
+
+TEST(PromFormatTest, HistogramBucketsAreCumulativeAndMonotonic) {
+  Registry reg;
+  auto& h = reg.histogram("pt_lat_ms");
+  for (double ms : {0.01, 0.2, 0.2, 3.0, 40.0, 5000.0}) h.observe(ms);
+
+  std::istringstream in(reg.renderPrometheus());
+  std::string line;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("pt_lat_ms_bucket", 0) == 0) {
+      buckets.push_back(std::stoull(line.substr(line.rfind(' ') + 1)));
+    }
+    if (line.rfind("pt_lat_ms_count ", 0) == 0) {
+      count = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  ASSERT_EQ(buckets.size(), Histogram::kBucketCount);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "bucket " << i << " not monotone";
+  }
+  // The +Inf bucket equals _count equals the number of observations — the
+  // overflow observation (5000ms) must not be lost.
+  EXPECT_EQ(buckets.back(), 6u);
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(PromFormatTest, LabelValueEscaping) {
+  EXPECT_EQ(promEscapeLabel("plain"), "plain");
+  EXPECT_EQ(promEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(promEscapeLabel("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(promEscapeLabel("two\nlines"), "two\\nlines");
+  EXPECT_EQ(promEscapeLabel(""), "");
+}
+
+TEST(PromFormatTest, ResetAllZeroesWithoutDroppingFamilies) {
+  Registry reg;
+  reg.counter("pt_c_total").inc(9);
+  reg.histogram("pt_h_ms").observe(2.0);
+  reg.resetAll();
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(text.find("pt_c_total 0\n"), std::string::npos);
+  EXPECT_NE(text.find("pt_h_ms_count 0\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::obs

@@ -1,0 +1,208 @@
+// pt_perf_ingest: the minimal JSON reader, both bench schemas, the prom
+// sidecar parser, history ingest into a PTDataStore, and the regression
+// gate's verdict bands (baseline-established / improvement / stable /
+// minor / critical with baseline auto-advance).
+#include "tools/perf_ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/datastore.h"
+#include "dbal/connection.h"
+#include "util/error.h"
+
+namespace perftrack::tools::perf_ingest {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/pt_perf_ingest_test.XXXXXX";
+    path_ = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    // Tests create a handful of flat files only.
+    std::string cmd = "rm -rf '" + path_ + "'";
+    (void)!std::system(cmd.c_str());
+  }
+  std::string file(const std::string& name, const std::string& content) const {
+    const std::string p = path_ + "/" + name;
+    std::ofstream(p) << content;
+    return p;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(JsonParserTest, ParsesScalarsArraysObjects) {
+  const Json v = parseJson(
+      R"({"s": "a\"b", "n": -2.5e2, "b": true, "z": null, "a": [1, 2]})");
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(v.find("s")->text, "a\"b");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -250.0);
+  EXPECT_TRUE(v.find("b")->boolean);
+  EXPECT_EQ(v.find("z")->type, Json::Type::Null);
+  ASSERT_EQ(v.find("a")->items.size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, KeepsMemberOrderAndRejectsGarbage) {
+  const Json v = parseJson(R"({"zz": 1, "aa": 2})");
+  EXPECT_EQ(v.members[0].first, "zz");
+  EXPECT_EQ(v.members[1].first, "aa");
+  EXPECT_THROW(parseJson("{"), util::ParseError);
+  EXPECT_THROW(parseJson("[1,]"), util::ParseError);
+  EXPECT_THROW(parseJson("{} trailing"), util::ParseError);
+  EXPECT_THROW(parseJson(R"({"k": nope})"), util::ParseError);
+}
+
+TEST(BenchFileTest, ApplicationNameFromPath) {
+  EXPECT_EQ(applicationForPath("/x/y/BENCH_cursor.json"), "cursor");
+  EXPECT_EQ(applicationForPath("BENCH_wal_commit.json"), "wal_commit");
+  EXPECT_EQ(applicationForPath("custom.json"), "custom");
+  EXPECT_EQ(promSidecarForBenchPath("/x/BENCH_cursor.json"),
+            "/x/METRICS_cursor.prom");
+}
+
+TEST(BenchFileTest, FlatArraySplitsConfigFromMeasurements) {
+  TempDir dir;
+  const auto path = dir.file("BENCH_cursor.json", R"([
+    {"phase": "streamed", "table_rows": 50000, "rows": 50000,
+     "batch_rows": 0, "ttfr_ms": 1.5, "total_ms": 100.25, "rss_growth_kb": 64}
+  ])");
+  const BenchFile file = parseBenchFile(path);
+  EXPECT_EQ(file.application, "cursor");
+  ASSERT_EQ(file.entries.size(), 1u);
+  // String fields and config numerics form the entry name...
+  EXPECT_EQ(file.entries[0].name, "streamed:table_rows=50000:batch_rows=0");
+  // ...and the remaining numerics are the measurements.
+  ASSERT_EQ(file.entries[0].measurements.size(), 4u);
+  EXPECT_EQ(file.entries[0].measurements[0].metric, "rows");
+  EXPECT_EQ(file.entries[0].measurements[2].metric, "total_ms");
+  EXPECT_DOUBLE_EQ(file.entries[0].measurements[2].value, 100.25);
+}
+
+TEST(BenchFileTest, GoogleBenchmarkSchemaSkipsBookkeeping) {
+  TempDir dir;
+  const auto path = dir.file("BENCH_gb.json", R"({
+    "context": {"host_name": "ci", "num_cpus": 8},
+    "benchmarks": [
+      {"name": "BM_Probe/64", "family_index": 0, "repetitions": 1,
+       "iterations": 1000, "real_time": 125.5, "cpu_time": 125.0,
+       "time_unit": "ns", "items_per_second": 8000.0}
+    ]})");
+  const BenchFile file = parseBenchFile(path);
+  ASSERT_EQ(file.entries.size(), 1u);
+  // '/' is a path separator in resource names, so it sanitizes to ':'.
+  EXPECT_EQ(file.entries[0].name, "BM_Probe:64");
+  ASSERT_EQ(file.entries[0].measurements.size(), 3u);
+  EXPECT_EQ(file.entries[0].measurements[0].metric, "real_time");
+  EXPECT_EQ(file.entries[0].measurements[2].metric, "items_per_second");
+}
+
+TEST(BenchFileTest, PromSidecarTakesLabelFreeSamplesOnly) {
+  TempDir dir;
+  const auto path = dir.file("METRICS_x.prom",
+                             "# TYPE pt_a_total counter\n"
+                             "pt_a_total 7\n"
+                             "pt_h_ms_bucket{le=\"0.05\"} 3\n"
+                             "pt_h_ms_sum 1.25\n"
+                             "pt_bad notanumber\n"
+                             "\n"
+                             "pt_g -4\n");
+  const auto samples = parsePromSidecar(path);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].metric, "pt_a_total");
+  EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+  EXPECT_EQ(samples[1].metric, "pt_h_ms_sum");
+  EXPECT_EQ(samples[2].metric, "pt_g");
+  EXPECT_TRUE(parsePromSidecar("/nonexistent/file.prom").empty());
+}
+
+TEST(IsTimeMetricTest, RecognizesLowerBetterDurations) {
+  EXPECT_TRUE(isTimeMetric("total_ms"));
+  EXPECT_TRUE(isTimeMetric("real_time"));
+  EXPECT_TRUE(isTimeMetric("cpu_time"));
+  EXPECT_TRUE(isTimeMetric("commit_us"));
+  EXPECT_FALSE(isTimeMetric("rss_growth_kb"));
+  EXPECT_FALSE(isTimeMetric("items_per_second"));
+}
+
+class GateTest : public ::testing::Test {
+ protected:
+  GateTest() : conn_(dbal::Connection::open(":memory:")), store_(*conn_) {
+    store_.initialize();
+  }
+
+  std::string writeRun(double total_ms) {
+    return dir_.file("BENCH_gatecase.json",
+                     "[{\"phase\": \"scan\", \"table_rows\": 1000, "
+                     "\"ttfr_ms\": 1.0, \"total_ms\": " +
+                         std::to_string(total_ms) + "}]");
+  }
+
+  GateReport gate(double total_ms, const std::string& label) {
+    return runGate(store_, {writeRun(total_ms)}, label);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<dbal::Connection> conn_;
+  core::PTDataStore store_;
+};
+
+TEST_F(GateTest, IngestRecordsExecutionsAndResults) {
+  const auto stats = ingestRun(store_, {writeRun(50.0)}, "r1");
+  EXPECT_EQ(stats.files, 1u);
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.results, 2u);  // ttfr_ms + total_ms
+  const auto execs = store_.executions();
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0], "gatecase@r1");
+  // The same label cannot be ingested twice.
+  EXPECT_THROW(ingestRun(store_, {writeRun(50.0)}, "r1"), util::ModelError);
+}
+
+TEST_F(GateTest, VerdictBands) {
+  EXPECT_EQ(gate(100.0, "r0").entries[0].verdict,
+            Verdict::BaselineEstablished);
+  EXPECT_EQ(gate(105.0, "r1").entries[0].verdict, Verdict::Stable);
+  EXPECT_EQ(gate(115.0, "r2").entries[0].verdict, Verdict::MinorRegression);
+  EXPECT_EQ(gate(150.0, "r3").entries[0].verdict,
+            Verdict::CriticalRegression);
+  EXPECT_EQ(gate(85.0, "r4").entries[0].verdict, Verdict::Improvement);
+}
+
+TEST_F(GateTest, BaselineAdvancesOnlyOnImprovement) {
+  gate(100.0, "r0");
+  gate(150.0, "r1");  // critical: keep baseline
+  auto stored = baselines(*conn_);
+  ASSERT_EQ(stored.size(), 1u);
+  EXPECT_EQ(stored[0].second, "gatecase@r0");
+
+  const auto report = gate(80.0, "r2");  // improvement vs r0: advance
+  EXPECT_TRUE(report.entries[0].baseline_updated);
+  stored = baselines(*conn_);
+  EXPECT_EQ(stored[0].second, "gatecase@r2");
+  EXPECT_TRUE(report.hasCritical() == false);
+}
+
+TEST_F(GateTest, ReportFormatsCarryTheCitedPair) {
+  gate(100.0, "r0");
+  const auto report = gate(200.0, "r1");
+  EXPECT_TRUE(report.hasCritical());
+  const std::string jsonl = report.toJsonLines();
+  EXPECT_NE(jsonl.find("\"verdict\": \"critical-regression\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"metric\": \"total_ms\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ratio\": 2"), std::string::npos);
+  const std::string text = report.toText();
+  EXPECT_NE(text.find("gatecase: critical-regression"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perftrack::tools::perf_ingest
